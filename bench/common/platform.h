@@ -1,0 +1,72 @@
+// bench/common/platform.h — the two experimental platforms of the paper and
+// the shared measurement harness behind every table/figure bench.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cpumodel/cpu_model.h"
+#include "cpusim/cpu_simulator.h"
+#include "gpumodel/gpu_model.h"
+#include "gpusim/gpu_simulator.h"
+#include "mca/machine_model.h"
+#include "polybench/polybench.h"
+
+namespace osel::bench {
+
+/// A host + accelerator pairing: ground-truth simulators on one side,
+/// analytical models (and the MCA machine model feeding them) on the other.
+struct Platform {
+  std::string name;
+  cpusim::CpuSimParams cpuSim;
+  gpusim::GpuSimParams gpuSim;
+  cpumodel::CpuModelParams cpuModel;
+  gpumodel::GpuDeviceParams gpuModel;
+  mca::MachineModel mcaModel;
+  int threads = 160;
+
+  /// Platform 2 of §III / the §IV testbed: POWER9 (AC922) + V100 (NVLink2).
+  static Platform power9V100(int threads);
+  /// Platform 1 of §III: POWER8 + K80 (PCIe3).
+  static Platform power8K80(int threads);
+};
+
+/// Per-kernel joined measurement: ground truth (simulators) next to the
+/// analytical predictions, both "including data transfer, excluding context
+/// initialization" (§III).
+struct KernelMeasurement {
+  std::string benchmark;
+  std::string kernel;
+  std::int64_t n = 0;
+  double actualCpuSeconds = 0.0;
+  double actualGpuSeconds = 0.0;
+  double predictedCpuSeconds = 0.0;
+  double predictedGpuSeconds = 0.0;
+
+  /// True GPU-offloading speedup (>1: offloading wins).
+  [[nodiscard]] double actualSpeedup() const {
+    return actualCpuSeconds / actualGpuSeconds;
+  }
+  [[nodiscard]] double predictedSpeedup() const {
+    return predictedCpuSeconds / predictedGpuSeconds;
+  }
+};
+
+/// Measures every kernel of `benchmark` at size `n` on `platform`.
+///
+/// Input arrays are initialized once; each kernel is then timed on both
+/// simulated devices in pipeline order. Intermediate arrays are only
+/// partially materialized by the sampled simulation — timing is insensitive
+/// to the missing values because address streams are value-independent and
+/// the only data-dependent branch in the suite (CORR's eps guard) resolves
+/// identically either way.
+[[nodiscard]] std::vector<KernelMeasurement> measureBenchmark(
+    const polybench::Benchmark& benchmark, std::int64_t n,
+    const Platform& platform);
+
+/// Applies `--scale` to a benchmark-mode size (test mode is never scaled).
+[[nodiscard]] std::int64_t scaledSize(const polybench::Benchmark& benchmark,
+                                      polybench::Mode mode, std::int64_t scale);
+
+}  // namespace osel::bench

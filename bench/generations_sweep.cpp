@@ -1,0 +1,66 @@
+// The §III.A evolution story, isolated to the accelerator: the same host
+// (simulated POWER9, 160 threads) paired with three GPU generations —
+// K80 (Kepler/PCIe3), P100 (Pascal/NVLink1), V100 (Volta/NVLink2) — so the
+// per-kernel offloading benefit's growth tracks GPU/interconnect evolution
+// alone. "Year-over-year advances in GPU generations are far outpacing
+// development of CPU architecture."
+#include <cstdio>
+#include <vector>
+
+#include "bench/common/platform.h"
+#include "support/cli.h"
+#include "support/format.h"
+#include "support/statistics.h"
+#include "support/table.h"
+
+int main(int argc, char** argv) {
+  using namespace osel;
+  const auto cl = support::CommandLine::parse(argc, argv);
+  const auto scale = cl.intOption("scale", 4);
+  const auto threads = static_cast<int>(cl.intOption("threads", 160));
+  const auto mode = polybench::Mode::Benchmark;
+
+  // Same host everywhere; swap the GPU.
+  std::vector<bench::Platform> platforms;
+  for (int g = 0; g < 3; ++g) platforms.push_back(bench::Platform::power9V100(threads));
+  platforms[0].gpuSim = gpusim::GpuSimParams::teslaK80();
+  platforms[0].gpuModel = gpumodel::GpuDeviceParams::teslaK80();
+  platforms[1].gpuSim = gpusim::GpuSimParams::teslaP100();
+  platforms[1].gpuModel = gpumodel::GpuDeviceParams::teslaP100();
+
+  std::printf("GPU generations sweep — fixed POWER9 host (%d threads), "
+              "%s mode, --scale=%lld\n\n",
+              threads, polybench::toString(mode).c_str(),
+              static_cast<long long>(scale));
+
+  support::TextTable table({"Kernel", "K80 (Kepler)", "P100 (Pascal)",
+                            "V100 (Volta)", "monotone?"});
+  std::vector<std::vector<double>> speedups(3);
+  std::vector<std::string> names;
+  for (std::size_t g = 0; g < 3; ++g) {
+    for (const polybench::Benchmark& benchmark : polybench::suite()) {
+      const std::int64_t n = bench::scaledSize(benchmark, mode, scale);
+      for (const auto& m : bench::measureBenchmark(benchmark, n, platforms[g])) {
+        if (g == 0) names.push_back(m.kernel);
+        speedups[g].push_back(m.actualSpeedup());
+      }
+    }
+  }
+  int monotone = 0;
+  for (std::size_t k = 0; k < names.size(); ++k) {
+    const bool mono =
+        speedups[0][k] <= speedups[1][k] && speedups[1][k] <= speedups[2][k];
+    if (mono) ++monotone;
+    table.addRow({names[k], support::formatSpeedup(speedups[0][k]),
+                  support::formatSpeedup(speedups[1][k]),
+                  support::formatSpeedup(speedups[2][k]), mono ? "yes" : "-"});
+  }
+  table.addSeparator();
+  table.addRow({"geomean",
+                support::formatSpeedup(support::geometricMean(speedups[0])),
+                support::formatSpeedup(support::geometricMean(speedups[1])),
+                support::formatSpeedup(support::geometricMean(speedups[2])),
+                std::to_string(monotone) + "/" + std::to_string(names.size())});
+  std::fputs(table.render(2).c_str(), stdout);
+  return 0;
+}

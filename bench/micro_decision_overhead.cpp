@@ -1,0 +1,99 @@
+// Micro-benchmarks for the paper's §IV.D claim: evaluating the analytical
+// models at launch time is "equivalent to solving an equation" — negligible
+// next to the work the OpenMP runtime already does to start parallel
+// execution (and next to the ~8 us kernel-launch overhead, let alone the
+// ML-inference alternative §V.B dismisses).
+#include <benchmark/benchmark.h>
+
+#include <array>
+
+#include "compiler/compiler.h"
+#include "mca/pipeline_sim.h"
+#include "polybench/polybench.h"
+#include "runtime/selector.h"
+
+namespace {
+
+using namespace osel;
+
+const pad::RegionAttributes& gemmAttributes() {
+  static const pad::RegionAttributes attr = [] {
+    const std::array<mca::MachineModel, 1> models{mca::MachineModel::power9()};
+    return compiler::analyzeRegion(
+        polybench::benchmarkByName("GEMM").kernels()[0], models);
+  }();
+  return attr;
+}
+
+const runtime::OffloadSelector& selector() {
+  static const runtime::OffloadSelector instance{runtime::SelectorConfig{}};
+  return instance;
+}
+
+void BM_FullDecision(benchmark::State& state) {
+  const symbolic::Bindings bindings{{"n", 9600}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector().decide(gemmAttributes(), bindings));
+  }
+}
+BENCHMARK(BM_FullDecision);
+
+void BM_CpuModelPredict(benchmark::State& state) {
+  const symbolic::Bindings bindings{{"n", 9600}};
+  const cpumodel::CpuCostModel model(cpumodel::CpuModelParams::power9(), 160);
+  const cpumodel::CpuWorkload workload =
+      selector().cpuWorkload(gemmAttributes(), bindings);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(workload));
+  }
+}
+BENCHMARK(BM_CpuModelPredict);
+
+void BM_GpuModelPredict(benchmark::State& state) {
+  const symbolic::Bindings bindings{{"n", 9600}};
+  const gpumodel::GpuCostModel model(gpumodel::GpuDeviceParams::teslaV100());
+  const gpumodel::GpuWorkload workload =
+      selector().gpuWorkload(gemmAttributes(), bindings);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(workload));
+  }
+}
+BENCHMARK(BM_GpuModelPredict);
+
+void BM_RuntimeStrideResolution(benchmark::State& state) {
+  // Binding the stored symbolic strides with runtime values — the per-launch
+  // cost of the hybrid IPDA path.
+  const symbolic::Bindings bindings{{"n", 9600}};
+  for (auto _ : state) {
+    for (const pad::StrideAttribute& stride : gemmAttributes().strides) {
+      benchmark::DoNotOptimize(
+          stride.stride.substituteAll(bindings).tryConstant());
+    }
+  }
+}
+BENCHMARK(BM_RuntimeStrideResolution);
+
+void BM_PadSerializeDeserialize(benchmark::State& state) {
+  pad::AttributeDatabase db;
+  db.insert(gemmAttributes());
+  const std::string text = db.serialize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pad::AttributeDatabase::deserialize(text));
+  }
+}
+BENCHMARK(BM_PadSerializeDeserialize);
+
+void BM_CompileTimeAnalysis(benchmark::State& state) {
+  // The *compile-time* half (loadout + IPDA + MCA) for context: expensive
+  // relative to the launch-time decision, but paid once per program.
+  const std::array<mca::MachineModel, 1> models{mca::MachineModel::power9()};
+  const ir::TargetRegion& kernel = polybench::benchmarkByName("GEMM").kernels()[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiler::analyzeRegion(kernel, models));
+  }
+}
+BENCHMARK(BM_CompileTimeAnalysis);
+
+}  // namespace
+
+BENCHMARK_MAIN();

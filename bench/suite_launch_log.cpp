@@ -1,0 +1,54 @@
+// Runs the whole Polybench suite through the target runtime under a chosen
+// policy and prints the launch log as CSV — the observability surface a
+// production deployment of the paper's framework would scrape (cf. the
+// OMPT discussion in §V.A). Not one of the paper's figures; a harness
+// utility.
+#include <array>
+#include <cstdio>
+
+#include "bench/common/platform.h"
+#include "compiler/compiler.h"
+#include "runtime/target_runtime.h"
+#include "support/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace osel;
+  const auto cl = support::CommandLine::parse(argc, argv);
+  const auto scale = cl.intOption("scale", 4);
+  const auto threads = static_cast<int>(cl.intOption("threads", 160));
+  const std::string policyName =
+      cl.stringOption("policy").value_or("model-guided");
+  runtime::Policy policy = runtime::Policy::ModelGuided;
+  if (policyName == "always-cpu") policy = runtime::Policy::AlwaysCpu;
+  if (policyName == "always-gpu") policy = runtime::Policy::AlwaysGpu;
+  if (policyName == "oracle") policy = runtime::Policy::Oracle;
+  const auto mode = cl.stringOption("mode").value_or("test") == "benchmark"
+                        ? polybench::Mode::Benchmark
+                        : polybench::Mode::Test;
+
+  // Compile the whole suite into one PAD, then drive the runtime.
+  std::vector<ir::TargetRegion> regions;
+  for (const polybench::Benchmark& benchmark : polybench::suite()) {
+    for (const auto& kernel : benchmark.kernels()) regions.push_back(kernel);
+  }
+  const std::array<mca::MachineModel, 1> models{mca::MachineModel::power9()};
+  pad::AttributeDatabase db = compiler::compileAll(regions, models);
+
+  runtime::SelectorConfig config;
+  config.cpuThreads = threads;
+  runtime::TargetRuntime rt(std::move(db), config,
+                            cpusim::CpuSimParams::power9(), threads,
+                            gpusim::GpuSimParams::teslaV100());
+  for (ir::TargetRegion& region : regions) rt.registerRegion(std::move(region));
+
+  for (const polybench::Benchmark& benchmark : polybench::suite()) {
+    const std::int64_t n = bench::scaledSize(benchmark, mode, scale);
+    const auto bindings = benchmark.bindings(n);
+    ir::ArrayStore store = benchmark.allocate(bindings);
+    polybench::initializeInputs(benchmark, bindings, store);
+    for (const auto& kernel : benchmark.kernels())
+      (void)rt.launch(kernel.name, bindings, store, policy);
+  }
+  std::fputs(runtime::renderLogCsv(rt.log()).c_str(), stdout);
+  return 0;
+}

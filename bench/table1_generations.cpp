@@ -1,0 +1,87 @@
+// Reproduces Table I: GPU offloading speedup per Polybench kernel on the
+// two generational platforms (POWER8 + K80/PCIe3 vs POWER9 + V100/NVLink2),
+// in both dataset modes. The paper's headline observations to look for:
+//   * 3DCONV (benchmark): K80 *slowdown* flipping to a clear V100 speedup
+//     (memory-bound kernel, 900 vs 240 GB/s);
+//   * CORR (benchmark): offloading profitable on the POWER8 box but not on
+//     POWER9 (better host vectorization of the sequential inner loops);
+//   * ATAX k2 (test): same decision, drastically larger magnitude on V100.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common/platform.h"
+#include "support/cli.h"
+#include "support/format.h"
+#include "support/statistics.h"
+#include "support/table.h"
+
+namespace {
+
+using namespace osel;
+
+struct Row {
+  std::string kernel;
+  polybench::Mode mode;
+  double k80Speedup = 0.0;
+  double v100Speedup = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cl = support::CommandLine::parse(argc, argv);
+  const auto scale = cl.intOption("scale", 4);
+  const auto threads = static_cast<int>(cl.intOption("threads", 160));
+
+  const bench::Platform k80 = bench::Platform::power8K80(threads);
+  const bench::Platform v100 = bench::Platform::power9V100(threads);
+
+  std::printf("Table I — GPU offloading speedup across GPU generations\n");
+  std::printf("  platforms: [%s] vs [%s]\n", k80.name.c_str(), v100.name.c_str());
+  std::printf("  host threads: %d; benchmark-mode sizes divided by --scale=%lld\n\n",
+              threads, static_cast<long long>(scale));
+
+  std::vector<Row> rows;
+  for (const polybench::Mode mode :
+       {polybench::Mode::Test, polybench::Mode::Benchmark}) {
+    for (const polybench::Benchmark& benchmark : polybench::suite()) {
+      const std::int64_t n = bench::scaledSize(benchmark, mode, scale);
+      const auto onK80 = bench::measureBenchmark(benchmark, n, k80);
+      const auto onV100 = bench::measureBenchmark(benchmark, n, v100);
+      for (std::size_t i = 0; i < onK80.size(); ++i) {
+        Row row;
+        row.kernel = onK80[i].kernel;
+        row.mode = mode;
+        row.k80Speedup = onK80[i].actualSpeedup();
+        row.v100Speedup = onV100[i].actualSpeedup();
+        rows.push_back(row);
+      }
+    }
+  }
+
+  support::TextTable table(
+      {"Kernel", "Mode", "P8+K80 speedup", "P9+V100 speedup", "Decision flip?"});
+  std::vector<double> k80Speedups;
+  std::vector<double> v100Speedups;
+  for (const Row& row : rows) {
+    const bool flips = (row.k80Speedup > 1.0) != (row.v100Speedup > 1.0);
+    table.addRow({row.kernel, polybench::toString(row.mode),
+                  support::formatSpeedup(row.k80Speedup),
+                  support::formatSpeedup(row.v100Speedup),
+                  flips ? "YES" : "-"});
+    k80Speedups.push_back(row.k80Speedup);
+    v100Speedups.push_back(row.v100Speedup);
+  }
+  table.addSeparator();
+  table.addRow({"geomean", "all", support::formatSpeedup(
+                                      support::geometricMean(k80Speedups)),
+                support::formatSpeedup(support::geometricMean(v100Speedups)),
+                "-"});
+  if (cl.hasFlag("csv")) {
+    std::fputs(table.renderCsv().c_str(), stdout);
+  } else {
+    std::fputs(table.render(2).c_str(), stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Reproduces the paper's §IV.E adaptability observation: the same models,
+// fed a different host thread count (the paper contrasts the full
+// 160-thread machine with a restricted 4-thread environment), change their
+// offloading decisions in step with the ground truth — "a scenario that
+// resembles a more typical execution environment".
+#include <cstdio>
+#include <vector>
+
+#include "bench/common/platform.h"
+#include "support/cli.h"
+#include "support/format.h"
+#include "support/statistics.h"
+#include "support/table.h"
+
+int main(int argc, char** argv) {
+  using namespace osel;
+  const auto cl = support::CommandLine::parse(argc, argv);
+  const auto scale = cl.intOption("scale", 4);
+  const auto mode = polybench::Mode::Test;
+
+  std::printf("Adaptability — decisions across host thread counts "
+              "(POWER9 + V100, %s mode)\n\n",
+              polybench::toString(mode).c_str());
+
+  struct PerThreads {
+    std::vector<bench::KernelMeasurement> measurements;
+  };
+  const std::vector<int> threadCounts{4, 160};
+  std::vector<PerThreads> results(threadCounts.size());
+  std::vector<std::string> kernelNames;
+  for (std::size_t t = 0; t < threadCounts.size(); ++t) {
+    const bench::Platform platform = bench::Platform::power9V100(threadCounts[t]);
+    for (const polybench::Benchmark& benchmark : polybench::suite()) {
+      const std::int64_t n = bench::scaledSize(benchmark, mode, scale);
+      for (auto& m : bench::measureBenchmark(benchmark, n, platform)) {
+        if (t == 0) kernelNames.push_back(m.kernel);
+        results[t].measurements.push_back(std::move(m));
+      }
+    }
+  }
+
+  support::TextTable table({"Kernel", "actual@4", "model@4", "actual@160",
+                            "model@160", "decision flips with threads?"});
+  int adaptiveKernels = 0;
+  std::vector<double> agreements;
+  for (std::size_t k = 0; k < kernelNames.size(); ++k) {
+    const auto& at4 = results[0].measurements[k];
+    const auto& at160 = results[1].measurements[k];
+    const bool actualFlips =
+        (at4.actualSpeedup() > 1.0) != (at160.actualSpeedup() > 1.0);
+    const bool modelFlips =
+        (at4.predictedSpeedup() > 1.0) != (at160.predictedSpeedup() > 1.0);
+    if (actualFlips) ++adaptiveKernels;
+    table.addRow({kernelNames[k], support::formatSpeedup(at4.actualSpeedup()),
+                  support::formatSpeedup(at4.predictedSpeedup()),
+                  support::formatSpeedup(at160.actualSpeedup()),
+                  support::formatSpeedup(at160.predictedSpeedup()),
+                  actualFlips ? (modelFlips ? "yes, model follows" : "yes, model MISSES")
+                              : "-"});
+  }
+  std::fputs(table.render(2).c_str(), stdout);
+
+  for (std::size_t t = 0; t < threadCounts.size(); ++t) {
+    std::vector<double> actual;
+    std::vector<double> predicted;
+    for (const auto& m : results[t].measurements) {
+      actual.push_back(m.actualSpeedup());
+      predicted.push_back(m.predictedSpeedup());
+    }
+    std::printf("\n  @%d threads: decision agreement %s (actual geomean %s, "
+                "predicted %s)",
+                threadCounts[t],
+                support::formatPercent(
+                    support::agreementRate(predicted, actual, 1.0))
+                    .c_str(),
+                support::formatSpeedup(support::geometricMean(actual)).c_str(),
+                support::formatSpeedup(support::geometricMean(predicted)).c_str());
+  }
+  std::printf("\n  kernels whose true best device depends on the thread "
+              "count: %d\n",
+              adaptiveKernels);
+  return 0;
+}

@@ -1,0 +1,173 @@
+#include "compiler/cache_aware_mca.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "ir/cost_walk.h"
+#include "ir/traversal.h"
+#include "support/check.h"
+
+namespace osel::compiler {
+
+using support::require;
+
+CacheGeometry CacheGeometry::power9() {
+  CacheGeometry g;
+  g.l1Bytes = 32 * 1024;
+  g.l2Bytes = 512 * 1024;
+  g.l3Bytes = 120LL * 1024 * 1024;
+  g.lineBytes = 128;
+  g.l1LoadCycles = 5.0;
+  g.l2LoadCycles = 14.0;
+  g.l3LoadCycles = 40.0;
+  g.dramLoadCycles = 160.0;
+  g.streamPrefetchFactor = 0.35;
+  return g;
+}
+
+namespace {
+
+double evalReal(const symbolic::Expr& expr,
+                const std::map<std::string, double>& env) {
+  return expr.evaluateReal(env);
+}
+
+/// Latency of the smallest cache level whose capacity covers `walkBytes`.
+double levelLatency(const CacheGeometry& g, double walkBytes) {
+  if (walkBytes <= static_cast<double>(g.l1Bytes)) return g.l1LoadCycles;
+  if (walkBytes <= static_cast<double>(g.l2Bytes)) return g.l2LoadCycles;
+  if (walkBytes <= static_cast<double>(g.l3Bytes)) return g.l3LoadCycles;
+  return g.dramLoadCycles;
+}
+
+void addFraction(EffectiveLoadLatency& out, const CacheGeometry& g,
+                 double latency, double weight) {
+  if (latency <= g.l1LoadCycles) {
+    out.l1Fraction += weight;
+  } else if (latency <= g.l2LoadCycles) {
+    out.l2Fraction += weight;
+  } else if (latency <= g.l3LoadCycles) {
+    out.l3Fraction += weight;
+  } else {
+    out.dramFraction += weight;
+  }
+}
+
+}  // namespace
+
+EffectiveLoadLatency estimateLoadLatency(const ir::TargetRegion& region,
+                                         const symbolic::Bindings& bindings,
+                                         const CacheGeometry& geometry) {
+  region.verify();
+  const auto sites = ir::collectAccesses(region);
+  const ir::WalkPolicy policy{ir::WalkPolicy::TripMode::RuntimeAverage, 128.0,
+                              0.5};
+  const ir::DynamicCounts counts =
+      ir::estimateDynamicCounts(region, bindings, policy);
+  require(counts.siteCounts.size() == sites.size(),
+          "estimateLoadLatency: site count mismatch");
+
+  // Environment of average values for outer variables.
+  std::map<std::string, double> env;
+  for (const auto& [name, value] : bindings)
+    env[name] = static_cast<double>(value);
+  for (const ir::ParallelDim& dim : region.parallelDims)
+    env[dim.var] = (evalReal(dim.extent, env) - 1.0) / 2.0;
+
+  EffectiveLoadLatency out;
+  double weightedLatency = 0.0;
+  double totalWeight = 0.0;
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    const ir::AccessSite& site = sites[i];
+    if (site.isStore) continue;  // MCA charges Load latency; stores retire fast
+    const double weight = counts.siteCounts[i];
+    if (weight <= 0.0) continue;
+    const ir::ArrayDecl& decl = region.array(site.array);
+    const auto elemBytes = static_cast<double>(ir::sizeOf(decl.elementType));
+    const symbolic::Expr linear = decl.linearize(site.indices);
+
+    // Resolve the innermost loop context of the site.
+    std::map<std::string, double> siteEnv = env;
+    double innermostTrips = 1.0;
+    std::string var = region.parallelDims.back().var;
+    for (const ir::LoopContext& loop : site.enclosingLoops) {
+      const double lo = evalReal(loop.lower, siteEnv);
+      const double hi = evalReal(loop.upper, siteEnv);
+      innermostTrips = std::max(1.0, hi - lo);
+      siteEnv[loop.var] = lo + (innermostTrips - 1.0) / 2.0;
+      var = loop.var;
+    }
+    if (site.enclosingLoops.empty()) {
+      // Executes once per parallel iteration; the walk is over the
+      // innermost parallel variable across a thread's chunk — treat one
+      // line's worth of progress as the footprint.
+      innermostTrips = static_cast<double>(geometry.lineBytes) / elemBytes;
+    }
+
+    double latency = geometry.dramLoadCycles;  // pessimistic default
+    if (linear.isAffineIn({var})) {
+      const auto stride =
+          linear.differenceIn(var).substituteAll(bindings).tryConstant();
+      if (stride.has_value()) {
+        const double strideBytes =
+            std::abs(static_cast<double>(*stride)) * elemBytes;
+        if (strideBytes == 0.0) {
+          latency = geometry.l1LoadCycles;  // loop-invariant: register/L1
+        } else {
+          // Bytes the walk actually touches: contiguous span for narrow
+          // strides, one line per access for wide ones.
+          const double walkBytes =
+              strideBytes < static_cast<double>(geometry.lineBytes)
+                  ? innermostTrips * strideBytes
+                  : innermostTrips * static_cast<double>(geometry.lineBytes);
+          const double miss = levelLatency(geometry, walkBytes);
+          if (strideBytes < static_cast<double>(geometry.lineBytes)) {
+            // Several consecutive accesses share a line; only the
+            // line-crossing access pays, softened by the stream prefetcher.
+            const double accessesPerLine =
+                static_cast<double>(geometry.lineBytes) / strideBytes;
+            latency = geometry.l1LoadCycles * (1.0 - 1.0 / accessesPerLine) +
+                      miss * geometry.streamPrefetchFactor / 1.0 *
+                          (1.0 / accessesPerLine);
+          } else {
+            // Every access opens a new line.
+            latency = miss;
+          }
+        }
+      }
+    }
+    weightedLatency += latency * weight;
+    totalWeight += weight;
+    addFraction(out, geometry, latency, weight);
+  }
+
+  if (totalWeight > 0.0) {
+    out.cycles = weightedLatency / totalWeight;
+    out.l1Fraction /= totalWeight;
+    out.l2Fraction /= totalWeight;
+    out.l3Fraction /= totalWeight;
+    out.dramFraction /= totalWeight;
+  } else {
+    out.cycles = geometry.l1LoadCycles;
+  }
+  return out;
+}
+
+mca::MachineModel cacheAwareMachineModel(const mca::MachineModel& base,
+                                         const ir::TargetRegion& region,
+                                         const symbolic::Bindings& bindings,
+                                         const CacheGeometry& geometry) {
+  mca::MachineModel model = base;
+  model.name = base.name + "+cache";
+  const EffectiveLoadLatency effective =
+      estimateLoadLatency(region, bindings, geometry);
+  const auto it = model.ops.find(mca::MOp::Load);
+  require(it != model.ops.end(),
+          "cacheAwareMachineModel: base model lacks a Load entry");
+  it->second.latency =
+      std::max(1, static_cast<int>(std::lround(effective.cycles)));
+  return model;
+}
+
+}  // namespace osel::compiler

@@ -1,0 +1,71 @@
+// osel/compiler/cache_aware_mca.h — the paper's primary future-work item.
+//
+// §IV.A.1: "The cache hierarchy model, missing from the analysis tool,
+// remains a limitation of the performance model described here and is a
+// primary future work direction to improve the model's accuracy."
+//
+// This extension keeps MCA's pipeline simulation but replaces its flat
+// L1-hit load latency with a *per-kernel effective load latency* derived
+// statically (plus runtime values) from the same IPDA machinery the GPU
+// model already uses: each access site's stride in its innermost loop,
+// the loop's walk footprint, and the cache capacities decide which level
+// the access is expected to hit; the dynamic-count-weighted mix gives the
+// latency MCA should charge for `Load` micro-ops. No profiling run is
+// needed — the extension stays inside the paper's hybrid
+// static+runtime-values envelope.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/region.h"
+#include "mca/machine_model.h"
+#include "symbolic/expr.h"
+
+namespace osel::compiler {
+
+/// Host cache geometry/latency facts the heuristic consumes (raw latencies,
+/// not the OoO-overlapped figures the ground-truth simulator uses).
+struct CacheGeometry {
+  std::int64_t l1Bytes = 32 * 1024;
+  std::int64_t l2Bytes = 512 * 1024;
+  std::int64_t l3Bytes = 120 * 1024 * 1024;
+  std::int64_t lineBytes = 128;
+  double l1LoadCycles = 5.0;    ///< MCA's default flat figure
+  double l2LoadCycles = 14.0;
+  double l3LoadCycles = 40.0;
+  double dramLoadCycles = 160.0;  ///< prefetch-softened main-memory load
+  /// Fraction of the miss latency charged for unit-stride walks (the
+  /// stream prefetcher hides the rest).
+  double streamPrefetchFactor = 0.35;
+
+  /// POWER9 figures matching cpusim's machine description.
+  static CacheGeometry power9();
+};
+
+/// Per-kernel result of the footprint heuristic.
+struct EffectiveLoadLatency {
+  /// Dynamic-count-weighted expected load latency in cycles.
+  double cycles = 5.0;
+  /// Weighted fraction of loads expected to be served per level (for
+  /// reports and tests; sums to ~1).
+  double l1Fraction = 0.0;
+  double l2Fraction = 0.0;
+  double l3Fraction = 0.0;
+  double dramFraction = 0.0;
+};
+
+/// Estimates the expected service level of every load in `region` under the
+/// runtime values `bindings` and mixes the per-level latencies by dynamic
+/// access counts.
+[[nodiscard]] EffectiveLoadLatency estimateLoadLatency(
+    const ir::TargetRegion& region, const symbolic::Bindings& bindings,
+    const CacheGeometry& geometry);
+
+/// Returns `base` with its Load entry's latency replaced by the
+/// cache-aware estimate for this (region, bindings). The model name gains a
+/// "+cache" suffix so PAD entries from both variants can coexist.
+[[nodiscard]] mca::MachineModel cacheAwareMachineModel(
+    const mca::MachineModel& base, const ir::TargetRegion& region,
+    const symbolic::Bindings& bindings, const CacheGeometry& geometry);
+
+}  // namespace osel::compiler

@@ -1,0 +1,147 @@
+#include "cpumodel/cpu_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/check.h"
+#include "support/format.h"
+
+namespace osel::cpumodel {
+
+using support::require;
+
+CpuModelParams CpuModelParams::power9() {
+  CpuModelParams p;
+  p.name = "POWER9";
+  // Table II of the paper, verbatim.
+  p.frequencyHz = 3.0e9;
+  p.tlbEntries = 1024;
+  p.tlbMissPenaltyCycles = 14.0;
+  p.loopOverheadPerIterCycles = 4.0;
+  p.parScheduleOverheadStaticCycles = 10154.0;
+  p.synchronizationOverheadCycles = 4000.0;
+  p.parStartupCycles = 3000.0;
+  p.cores = 20;
+  p.smtWays = 8;
+  p.smtThroughputFactor = 2.2;
+  return p;
+}
+
+CpuModelParams CpuModelParams::power8() {
+  CpuModelParams p = power9();
+  p.name = "POWER8";
+  // Same 3000 MHz clock (stated in §III); the older OpenMP runtime and
+  // memory system carry slightly higher overhead constants.
+  p.parScheduleOverheadStaticCycles = 11800.0;
+  p.synchronizationOverheadCycles = 4600.0;
+  p.parStartupCycles = 3600.0;
+  p.overheadPerThreadCycles = 3500.0;
+  p.tlbMissPenaltyCycles = 18.0;
+  p.smtThroughputFactor = 2.0;
+  return p;
+}
+
+double CpuModelParams::effectiveParallelism(int threads) const {
+  require(threads >= 1, "effectiveParallelism: threads must be >= 1");
+  const double ceiling = static_cast<double>(cores) * smtThroughputFactor;
+  return std::max(1.0, std::min(static_cast<double>(threads), ceiling));
+}
+
+std::string CpuPrediction::toString() const {
+  std::ostringstream out;
+  out << "CPU prediction: " << support::formatSeconds(seconds) << " ("
+      << support::formatFixed(totalCycles, 0) << " cycles; work "
+      << support::formatFixed(workCycles, 0) << ", sched "
+      << support::formatFixed(scheduleCycles, 0) << ", fork/join "
+      << support::formatFixed(forkJoinCycles, 0) << ", loop-ovh "
+      << support::formatFixed(loopOverheadCycles, 0) << ", tlb "
+      << support::formatFixed(tlbCycles, 0) << ", false-sharing "
+      << support::formatFixed(falseSharingCycles, 0) << ")";
+  return out.str();
+}
+
+CpuCostModel::CpuCostModel(CpuModelParams params, int threads)
+    : params_(std::move(params)), threads_(threads) {
+  require(threads_ >= 1, "CpuCostModel: threads must be >= 1");
+  require(params_.frequencyHz > 0.0, "CpuCostModel: frequency must be positive");
+}
+
+CpuPrediction CpuCostModel::predict(const CpuWorkload& workload) const {
+  require(workload.parallelTripCount > 0,
+          "CpuCostModel::predict: trip count must be positive");
+  require(workload.machineCyclesPerIter >= 0.0,
+          "CpuCostModel::predict: negative cycles per iteration");
+
+  CpuPrediction prediction;
+
+  // Fork + Join (Fig. 3, Parallel_Region equation): startup plus the final
+  // synchronization among participating threads.
+  prediction.forkJoinCycles = params_.parStartupCycles +
+                              params_.synchronizationOverheadCycles +
+                              params_.overheadPerThreadCycles * threads_;
+
+  // Iterations executed by the most loaded thread. Static OpenMP scheduling
+  // deals ceil(trips/threads) to the first threads; throughput derating for
+  // SMT oversubscription enters through effectiveParallelism.
+  const double parallelism = params_.effectiveParallelism(threads_);
+  const double chunk =
+      std::ceil(static_cast<double>(workload.parallelTripCount) / parallelism);
+
+  // Schedule_times x Schedule_c (Fig. 3, Parallel_for equation).
+  switch (workload.schedule) {
+    case ScheduleKind::Static:
+      prediction.scheduleCycles = params_.parScheduleOverheadStaticCycles;
+      break;
+    case ScheduleKind::Dynamic: {
+      // One runtime transaction per dispatched chunk; the busiest thread
+      // participates in chunk-count/threads of them.
+      const double chunks =
+          std::ceil(static_cast<double>(workload.parallelTripCount) /
+                    std::max(1.0, chunk));
+      prediction.scheduleCycles = params_.parScheduleOverheadStaticCycles +
+                                  chunks * params_.dynamicSchedulePerChunkCycles /
+                                      parallelism;
+      break;
+    }
+  }
+
+  // Loop_chunk = Machine_cycles_per_iter x Chunk_size + Cache_c +
+  // Loop_overhead_c (Fig. 3).
+  prediction.workCycles =
+      workload.machineCyclesPerIter * chunk * params_.fallbackWorkFactor;
+  prediction.loopOverheadCycles = params_.loopOverheadPerIterCycles * chunk;
+
+  // Cache_c: the model has no cache hierarchy (a stated limitation); the
+  // TLB term is the one memory-system cost it does carry. Every page of the
+  // busiest thread's footprint costs one cold miss; a footprint beyond the
+  // TLB reach pays capacity misses again per traversal.
+  const double bytesPerThread = workload.bytesTouchedPerIteration * chunk;
+  const double pagesPerThread =
+      std::ceil(bytesPerThread / static_cast<double>(params_.pageBytes));
+  double tlbMisses = pagesPerThread;
+  const double tlbReachPages = static_cast<double>(params_.tlbEntries);
+  if (pagesPerThread > tlbReachPages) {
+    // Capacity misses: each iteration's pages beyond reach miss again.
+    tlbMisses += (pagesPerThread - tlbReachPages);
+  }
+  prediction.tlbCycles = tlbMisses * params_.tlbMissPenaltyCycles;
+
+  if (workload.falseSharingRisk) {
+    // Line ping-pong at each chunk boundary: threads-1 shared boundaries,
+    // costed on the busiest thread once.
+    prediction.falseSharingCycles =
+        params_.falseSharingPenaltyCycles *
+        std::max(0.0, parallelism - 1.0) / parallelism *
+        static_cast<double>(params_.cacheLineBytes) /
+        8.0;  // lines-per-boundary normalization for f64 elements
+  }
+
+  prediction.totalCycles = prediction.forkJoinCycles + prediction.scheduleCycles +
+                           prediction.workCycles + prediction.loopOverheadCycles +
+                           prediction.tlbCycles + prediction.falseSharingCycles;
+  prediction.seconds = prediction.totalCycles / params_.frequencyHz;
+  return prediction;
+}
+
+}  // namespace osel::cpumodel

@@ -1,0 +1,501 @@
+#include "cpusim/cpu_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "ir/cost_walk.h"
+#include "ir/traversal.h"
+#include "support/cache_sim.h"
+#include "support/check.h"
+#include "support/format.h"
+
+namespace osel::cpusim {
+
+using support::require;
+
+CpuSimParams CpuSimParams::power9() {
+  CpuSimParams p;
+  p.name = "POWER9";
+  p.frequencyHz = 3.0e9;
+  p.cores = 20;
+  p.smtWays = 8;
+  p.cache.l1Bytes = 32 * 1024;
+  p.cache.l2Bytes = 512 * 1024;
+  p.cache.l3BytesPerCore = 6 * 1024 * 1024;
+  p.cache.lineBytes = 128;
+  p.memBandwidthBytesPerSec = 85.0e9;  // sustained triad, not peak
+  p.vectorBits = 128;
+  p.vectorUnits = 2;
+  p.vectorEfficiency = 0.85;  // VSX3-era vectorizer (paper §III: CORR case)
+  p.stridedVectorEfficiency = 0.7;  // VSX3 gathers vectorize fixed strides
+  p.cache.stridedPrefetchResidual = 0.5;
+  p.cache.stridedHitMultiplier = 1.3;  // gathers pipeline strided hits
+  p.smtGainPerThread = 0.25;
+  return p;
+}
+
+CpuSimParams CpuSimParams::power8() {
+  CpuSimParams p = power9();
+  p.name = "POWER8";
+  p.cache.l1Bytes = 64 * 1024;  // P8 had a larger L1D
+  p.cache.l2Bytes = 512 * 1024;
+  p.cache.l3BytesPerCore = 8 * 1024 * 1024;
+  p.cache.dramCycles = 350.0;
+  p.memBandwidthBytesPerSec = 70.0e9;  // sustained
+  p.vectorUnits = 2;
+  p.vectorEfficiency = 0.45;  // pre-VSX3 vectorizer leaves lanes unused
+  p.arithCycles = 0.6;  // narrower issue on the P8 core
+  p.stridedVectorEfficiency = 0.0;  // no strided/gather vectorization
+  p.cache.stridedPrefetchResidual = 0.8;
+  p.cache.stridedHitMultiplier = 8.0;  // scalar strided loads serialize
+  p.smtGainPerThread = 0.15;
+  p.forkJoinCycles = 9000.0;
+  p.scheduleCycles = 10600.0;
+  p.overheadPerThreadCycles = 7000.0;
+  p.hostFallbackPenalty = 1.6;
+  return p;
+}
+
+std::string toString(CpuBound value) {
+  switch (value) {
+    case CpuBound::Compute:
+      return "compute";
+    case CpuBound::MemoryLatency:
+      return "memory-latency";
+    case CpuBound::MemoryBandwidth:
+      return "memory-bandwidth";
+  }
+  return "?";
+}
+
+std::string CpuSimResult::toString() const {
+  std::ostringstream out;
+  out << "CPU sim: " << support::formatSeconds(seconds) << " ("
+      << support::formatFixed(totalCycles, 0) << " cycles, "
+      << osel::cpusim::toString(bound) << "-bound; vec x"
+      << support::formatFixed(vectorFactor, 2) << ", SMT slowdown x"
+      << support::formatFixed(smtSlowdown, 2) << ", L1 "
+      << support::formatPercent(l1HitRate) << ", L2 "
+      << support::formatPercent(l2HitRate) << ", L3 "
+      << support::formatPercent(l3HitRate) << ")";
+  return out.str();
+}
+
+namespace {
+
+/// How a site's addresses move with its innermost loop variable.
+enum class AccessTier {
+  Unit,     ///< stride 0/+-1: vectorizable + fully prefetchable
+  Strided,  ///< constant |stride| > 1: gather-vectorizable, stride-prefetch
+  Scalar,   ///< position-dependent or unresolved: neither
+};
+
+/// Per-site facts precomputed before tracing.
+struct SiteInfo {
+  AccessTier tier = AccessTier::Scalar;
+  double lanes = 1.0;  ///< SIMD lanes at this site's element width
+  [[nodiscard]] bool streamable() const { return tier == AccessTier::Unit; }
+};
+
+std::vector<SiteInfo> analyzeSites(const ir::TargetRegion& region,
+                                   const symbolic::Bindings& bindings,
+                                   const CpuSimParams& params) {
+  std::vector<SiteInfo> infos;
+  const std::string innermostParallel = region.parallelDims.back().var;
+  for (const ir::AccessSite& site : ir::collectAccesses(region)) {
+    SiteInfo info;
+    const ir::ArrayDecl& decl = region.array(site.array);
+    const symbolic::Expr linear = decl.linearize(site.indices);
+    const std::string& var = site.enclosingLoops.empty()
+                                 ? innermostParallel
+                                 : site.enclosingLoops.back().var;
+    if (linear.isAffineIn({var})) {
+      const auto stride =
+          linear.differenceIn(var).substituteAll(bindings).tryConstant();
+      if (stride.has_value()) {
+        info.tier = std::abs(*stride) <= 1 ? AccessTier::Unit
+                                           : AccessTier::Strided;
+      }
+    }
+    info.lanes = static_cast<double>(params.vectorBits) / 8.0 /
+                 static_cast<double>(ir::sizeOf(decl.elementType));
+    infos.push_back(info);
+  }
+  return infos;
+}
+
+/// Point-local CPU event metering with an abort budget (see gpusim's
+/// WarpObserver for the shared pattern).
+class ThreadObserver final : public ir::ExecutionObserver {
+ public:
+  struct PointTotals {
+    double issueCycles = 0.0;
+    double stallCycles = 0.0;
+    std::int64_t dramBytes = 0;
+    std::uint64_t l1Hits = 0, l1Misses = 0;
+    std::uint64_t l2Hits = 0, l2Misses = 0;
+    std::uint64_t l3Hits = 0, l3Misses = 0;
+    std::uint64_t events = 0;
+  };
+
+  ThreadObserver(const CpuSimParams& params, const std::vector<SiteInfo>& sites,
+                 const std::vector<std::int64_t>& arrayBaseBytes,
+                 const std::vector<std::int64_t>& arrayElemBytes,
+                 std::int64_t l3ShareBytes)
+      : params_(params),
+        sites_(sites),
+        arrayBaseBytes_(arrayBaseBytes),
+        arrayElemBytes_(arrayElemBytes),
+        l1_(params.cache.l1Bytes, params.cache.l1Associativity,
+            params.cache.lineBytes),
+        l2_(params.cache.l2Bytes, params.cache.l2Associativity,
+            params.cache.lineBytes),
+        l3_(l3ShareBytes, params.cache.l3Associativity, params.cache.lineBytes) {}
+
+  void onLoad(std::size_t arrayId, std::int64_t linearIndex,
+              std::size_t siteId) override {
+    onAccess(arrayId, linearIndex, siteId, /*isStore=*/false);
+  }
+  void onStore(std::size_t arrayId, std::int64_t linearIndex,
+               std::size_t siteId) override {
+    onAccess(arrayId, linearIndex, siteId, /*isStore=*/true);
+  }
+  void onArithmetic(bool special) override {
+    point_.issueCycles += special ? params_.specialCycles : params_.arithCycles;
+    countEvent();
+  }
+  void onBranch(bool) override {
+    point_.issueCycles += params_.branchCycles;
+    countEvent();
+  }
+  void onLoopIteration() override {
+    point_.issueCycles += params_.loopOverheadCycles;
+    countEvent();
+  }
+
+  void startThread() {
+    l1_.reset();
+    l2_.reset();
+    l3_.reset();
+  }
+
+  void beginPoint(std::uint64_t eventBudget) {
+    point_ = PointTotals{};
+    budget_ = eventBudget;
+  }
+
+  [[nodiscard]] const PointTotals& point() const { return point_; }
+
+ private:
+  void countEvent() {
+    ++point_.events;
+    if (budget_ != 0 && point_.events >= budget_) throw ir::TraceBudgetExhausted{};
+  }
+
+  void onAccess(std::size_t arrayId, std::int64_t linearIndex,
+                std::size_t siteId, bool isStore) {
+    point_.issueCycles += params_.memIssueCycles;
+    const std::int64_t address =
+        arrayBaseBytes_[arrayId] + linearIndex * arrayElemBytes_[arrayId];
+    const double hitMultiplier = sites_[siteId].tier == AccessTier::Unit
+                                     ? 1.0
+                                     : params_.cache.stridedHitMultiplier;
+    double serviceCycles = 0.0;
+    if (l1_.access(address)) {
+      ++point_.l1Hits;
+      serviceCycles = params_.cache.l1HitCycles * hitMultiplier;
+    } else {
+      ++point_.l1Misses;
+      if (l2_.access(address)) {
+        ++point_.l2Hits;
+        serviceCycles = params_.cache.l2HitCycles * hitMultiplier;
+      } else {
+        ++point_.l2Misses;
+        if (l3_.access(address)) {
+          ++point_.l3Hits;
+          serviceCycles = params_.cache.l3HitCycles * hitMultiplier;
+        } else {
+          ++point_.l3Misses;
+          // Prefetchers cover streaming DRAM misses almost fully and
+          // fixed-stride misses partially; irregular misses pay in full.
+          double residual = 1.0;
+          switch (sites_[siteId].tier) {
+            case AccessTier::Unit:
+              residual = params_.cache.prefetchResidual;
+              break;
+            case AccessTier::Strided:
+              residual = params_.cache.stridedPrefetchResidual;
+              break;
+            case AccessTier::Scalar:
+              break;
+          }
+          serviceCycles = params_.cache.dramCycles * residual;
+          // Stores allocate the line and later write it back: 2x traffic.
+          point_.dramBytes += params_.cache.lineBytes * (isStore ? 2 : 1);
+        }
+      }
+    }
+    point_.stallCycles += serviceCycles;
+    countEvent();
+  }
+
+  const CpuSimParams& params_;
+  const std::vector<SiteInfo>& sites_;
+  const std::vector<std::int64_t>& arrayBaseBytes_;
+  const std::vector<std::int64_t>& arrayElemBytes_;
+  support::SetAssociativeCache l1_;
+  support::SetAssociativeCache l2_;
+  support::SetAssociativeCache l3_;
+  PointTotals point_;
+  std::uint64_t budget_ = 0;
+};
+
+std::vector<std::int64_t> spreadSamples(std::int64_t population, int count) {
+  std::vector<std::int64_t> samples;
+  if (population <= 0) return samples;
+  const auto n = std::min<std::int64_t>(population, count);
+  samples.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) samples.push_back(i * population / n);
+  return samples;
+}
+
+}  // namespace
+
+double streamableAccessFraction(const ir::TargetRegion& region,
+                                const symbolic::Bindings& bindings) {
+  const std::vector<SiteInfo> sites =
+      analyzeSites(region, bindings, CpuSimParams::power9());
+  const ir::WalkPolicy policy{ir::WalkPolicy::TripMode::RuntimeAverage, 128.0,
+                              0.5};
+  const ir::DynamicCounts counts =
+      ir::estimateDynamicCounts(region, bindings, policy);
+  require(counts.siteCounts.size() == sites.size(),
+          "streamableAccessFraction: site count mismatch");
+  double total = 0.0;
+  double streamable = 0.0;
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    total += counts.siteCounts[i];
+    if (sites[i].streamable()) streamable += counts.siteCounts[i];
+  }
+  return total > 0.0 ? streamable / total : 0.0;
+}
+
+CpuSimulator::CpuSimulator(CpuSimParams params, int threads)
+    : params_(std::move(params)), threads_(threads) {
+  require(threads_ >= 1, "CpuSimulator: threads must be >= 1");
+  require(params_.cores >= 1 && params_.smtWays >= 1,
+          "CpuSimulator: malformed host");
+}
+
+CpuSimResult CpuSimulator::simulate(const ir::TargetRegion& region,
+                                    const symbolic::Bindings& bindings,
+                                    ir::ArrayStore& store,
+                                    Schedule schedule) const {
+  const ir::CompiledRegion compiled(region, bindings);
+  const std::int64_t trips = compiled.flatTripCount();
+
+  CpuSimResult result;
+
+  // ---- SIMD factor ----------------------------------------------------------
+  const std::vector<SiteInfo> sites = analyzeSites(region, bindings, params_);
+  const ir::WalkPolicy averagePolicy{ir::WalkPolicy::TripMode::RuntimeAverage,
+                                     128.0, 0.5};
+  const ir::DynamicCounts expected =
+      ir::estimateDynamicCounts(region, bindings, averagePolicy);
+  double weightTotal = 0.0, weightUnit = 0.0, weightStrided = 0.0;
+  double lanesUnit = 0.0, lanesStrided = 0.0;
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    const double w = expected.siteCounts[i];
+    weightTotal += w;
+    if (sites[i].tier == AccessTier::Unit) {
+      weightUnit += w;
+      lanesUnit += w * sites[i].lanes;
+    } else if (sites[i].tier == AccessTier::Strided) {
+      weightStrided += w;
+      lanesStrided += w * sites[i].lanes;
+    }
+  }
+  const double unitFraction = weightTotal > 0.0 ? weightUnit / weightTotal : 0.0;
+  const double stridedFraction =
+      weightTotal > 0.0 ? weightStrided / weightTotal : 0.0;
+  const double scalarFraction =
+      std::max(0.0, 1.0 - unitFraction - stridedFraction);
+  const double unitSpeedup = std::max(
+      1.0, (weightUnit > 0.0 ? lanesUnit / weightUnit : 1.0) *
+               params_.vectorUnits * params_.vectorEfficiency);
+  const double stridedSpeedup = std::max(
+      1.0, (weightStrided > 0.0 ? lanesStrided / weightStrided : 1.0) *
+               params_.vectorUnits * params_.stridedVectorEfficiency);
+  // Amdahl over the issue stream, three tiers.
+  result.vectorFactor = 1.0 / (scalarFraction + unitFraction / unitSpeedup +
+                               stridedFraction / stridedSpeedup);
+
+  // ---- SMT derating -----------------------------------------------------------
+  const int usableThreads =
+      std::min(threads_, params_.cores * params_.smtWays);
+  const int threadsPerCore =
+      (usableThreads + params_.cores - 1) / params_.cores;
+  const double coreThroughput =
+      std::min(static_cast<double>(threadsPerCore),
+               1.0 + params_.smtGainPerThread * (threadsPerCore - 1));
+  result.smtSlowdown = static_cast<double>(threadsPerCore) / coreThroughput;
+
+  // ---- Array address map ------------------------------------------------------
+  std::vector<std::int64_t> arrayBaseBytes;
+  std::vector<std::int64_t> arrayElemBytes;
+  std::int64_t nextBase = 0;
+  for (const ir::ArrayDecl& decl : region.arrays) {
+    arrayBaseBytes.push_back(nextBase);
+    arrayElemBytes.push_back(
+        static_cast<std::int64_t>(ir::sizeOf(decl.elementType)));
+    nextBase += ((decl.byteSize(bindings) + 511) / 512) * 512;
+  }
+
+  // ---- Per-thread sampling ------------------------------------------------------
+  const std::int64_t chunk = (trips + usableThreads - 1) / usableThreads;
+  // Threads of these kernels share their working sets (B columns, vectors),
+  // so each traced thread sees the full chip-level L3 rather than a
+  // partitioned share.
+  const std::int64_t l3Share = params_.cache.l3BytesPerCore * params_.cores;
+  ThreadObserver observer(params_, sites, arrayBaseBytes, arrayElemBytes,
+                          l3Share);
+  ir::ExecutionContext context = compiled.makeContext(store, &observer);
+
+  const double expectedEventsPerPoint = expected.totalEvents();
+  double maxThreadCycles = 0.0;
+  double maxThreadIssue = 0.0;
+  double maxThreadStall = 0.0;
+  double sumThreadCycles = 0.0;
+  double sumThreadIssue = 0.0;
+  double sumThreadStall = 0.0;
+  int sampledThreadCount = 0;
+  double dramBytesAll = 0.0;
+  std::uint64_t l1h = 0, l1m = 0, l2h = 0, l2m = 0, l3h = 0, l3m = 0;
+  const std::vector<std::int64_t> threadSamples =
+      spreadSamples(usableThreads, params_.sampleThreads);
+
+  for (const std::int64_t thread : threadSamples) {
+    const std::int64_t lo = thread * chunk;
+    const std::int64_t hi = std::min<std::int64_t>(trips, lo + chunk);
+    if (lo >= hi) continue;
+    observer.startThread();
+    double issue = 0.0, stall = 0.0, dram = 0.0;
+    int counted = 0;
+    for (const std::int64_t anchor :
+         spreadSamples(hi - lo, params_.itersPerThread)) {
+      const std::int64_t burst =
+          std::min<std::int64_t>(params_.burstIters, (hi - lo) - anchor);
+      for (std::int64_t b = 0; b < burst; ++b) {
+        observer.beginPoint(params_.maxEventsPerPoint);
+        bool truncated = false;
+        try {
+          compiled.runPoint(context, lo + anchor + b);
+        } catch (const ir::TraceBudgetExhausted&) {
+          truncated = true;
+        }
+        // Warmup iterations only populate the caches; their cost is not
+        // representative of the steady state.
+        const bool warm = b >= params_.burstWarmup || burst <= params_.burstWarmup;
+        if (!warm) continue;
+        const ThreadObserver::PointTotals& pt = observer.point();
+        double scale = 1.0;
+        if (truncated && pt.events > 0) {
+          scale = std::max(1.0, expectedEventsPerPoint /
+                                    static_cast<double>(pt.events));
+        }
+        issue += pt.issueCycles * scale;
+        stall += pt.stallCycles * scale;
+        dram += static_cast<double>(pt.dramBytes) * scale;
+        l1h += pt.l1Hits;
+        l1m += pt.l1Misses;
+        l2h += pt.l2Hits;
+        l2m += pt.l2Misses;
+        l3h += pt.l3Hits;
+        l3m += pt.l3Misses;
+        ++counted;
+      }
+    }
+    if (counted == 0) continue;
+    const double iterScale = static_cast<double>(hi - lo) / counted;
+    issue *= iterScale;
+    stall *= iterScale;
+    dram *= iterScale;
+
+    const double threadIssue = issue * params_.hostFallbackPenalty *
+                               result.smtSlowdown / result.vectorFactor;
+    const double threadStall = stall * params_.stallExposedFraction;
+    const double threadCycles = threadIssue + threadStall;
+    if (threadCycles > maxThreadCycles) {
+      maxThreadCycles = threadCycles;
+      maxThreadIssue = threadIssue;
+      maxThreadStall = threadStall;
+    }
+    sumThreadCycles += threadCycles;
+    sumThreadIssue += threadIssue;
+    sumThreadStall += threadStall;
+    ++sampledThreadCount;
+    dramBytesAll += dram;
+  }
+  if (!threadSamples.empty()) {
+    dramBytesAll *= static_cast<double>(usableThreads) /
+                    static_cast<double>(threadSamples.size());
+  }
+
+  // ---- Chip-level composition --------------------------------------------------
+  // Threads duplicate fetches of shared inputs; the chip-level L3 filters
+  // the duplicates when the footprint fits, so scale cross-thread DRAM
+  // traffic by how badly the data overflows the L3.
+  double footprintBytes = 0.0;
+  for (const ir::ArrayDecl& decl : region.arrays)
+    footprintBytes += static_cast<double>(decl.byteSize(bindings));
+  const double l3TotalBytes = static_cast<double>(
+      params_.cache.l3BytesPerCore * params_.cores);
+  const double sharingFilter = std::min(1.0, footprintBytes / l3TotalBytes);
+  dramBytesAll *= sharingFilter;
+  const double bytesPerCycle = params_.memBandwidthBytesPerSec / params_.frequencyHz;
+  result.bandwidthCycles = dramBytesAll / bytesPerCycle;
+  result.computeCycles = maxThreadIssue;
+  result.stallCycles = maxThreadStall;
+  result.overheadCycles = params_.forkJoinCycles + params_.scheduleCycles +
+                          params_.overheadPerThreadCycles * usableThreads;
+
+  if (schedule == Schedule::Dynamic && sampledThreadCount > 0) {
+    // Self-scheduling erases the static imbalance: every thread finishes at
+    // the mean, not the max — but each dispatched chunk pays a runtime
+    // transaction shared across the team.
+    result.computeCycles = sumThreadIssue / sampledThreadCount;
+    result.stallCycles = sumThreadStall / sampledThreadCount;
+    maxThreadCycles = sumThreadCycles / sampledThreadCount;
+    const double chunks =
+        std::ceil(static_cast<double>(trips) /
+                  static_cast<double>(params_.dynamicChunkIters));
+    result.overheadCycles +=
+        chunks * params_.dynamicDispatchCycles / usableThreads;
+  }
+
+  const double workCycles = std::max(maxThreadCycles, result.bandwidthCycles);
+  result.totalCycles = result.overheadCycles + workCycles;
+  result.seconds = result.totalCycles / params_.frequencyHz;
+
+  if (result.bandwidthCycles >= maxThreadCycles) {
+    result.bound = CpuBound::MemoryBandwidth;
+  } else if (maxThreadStall > maxThreadIssue) {
+    result.bound = CpuBound::MemoryLatency;
+  } else {
+    result.bound = CpuBound::Compute;
+  }
+
+  const auto rate = [](std::uint64_t hits, std::uint64_t misses) {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  };
+  result.l1HitRate = rate(l1h, l1m);
+  result.l2HitRate = rate(l2h, l2m);
+  result.l3HitRate = rate(l3h, l3m);
+  return result;
+}
+
+}  // namespace osel::cpusim

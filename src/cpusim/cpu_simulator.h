@@ -1,0 +1,190 @@
+// osel/cpusim/cpu_simulator.h — the ground-truth CPU timing simulator.
+//
+// Substitutes for wall-clock measurements on the paper's POWER8/POWER9
+// hosts. Deliberately models what the Liao/Chapman analytical model (and
+// MCA) abstract away:
+//   * a three-level cache hierarchy fed with real addresses,
+//   * hardware prefetching of streaming (unit-stride) miss sequences,
+//   * SIMD vectorization whose width/quality differs by generation
+//     (POWER9's VSX3 vectorizes the paper's CORR-style inner loops better
+//     than POWER8 — the Table I reversal),
+//   * SMT oversubscription derating (160 threads on 20 cores),
+//   * load imbalance via per-thread chunk simulation (max over threads).
+//
+// Tractability mirrors gpusim: per thread, a few chunk iterations are
+// traced (with an event budget per iteration) and scaled by exact
+// closed-form dynamic counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/interpreter.h"
+#include "ir/region.h"
+
+namespace osel::cpusim {
+
+/// Cache hierarchy of one core (L3 is a chip-level resource shared per
+/// thread at simulation time).
+struct CpuCacheParams {
+  std::int64_t l1Bytes = 32 * 1024;
+  int l1Associativity = 8;
+  std::int64_t l2Bytes = 512 * 1024;
+  int l2Associativity = 8;
+  std::int64_t l3BytesPerCore = 6 * 1024 * 1024;
+  int l3Associativity = 16;
+  int lineBytes = 128;
+  /// Effective (OoO-overlapped) cost per access at each hit level; these
+  /// are throughput figures, not raw latencies — pipelined hits mostly
+  /// hide behind computation.
+  double l1HitCycles = 0.5;
+  double l2HitCycles = 3.0;
+  double l3HitCycles = 10.0;
+  /// Raw DRAM latency; prefetch residual and the exposure fraction apply
+  /// to this level only.
+  double dramCycles = 320.0;
+  /// Fraction of a streaming (unit-stride) miss's latency actually paid
+  /// after hardware prefetching.
+  double prefetchResidual = 0.3;
+  /// Residual for constant-but-non-unit strides (stride prefetchers help
+  /// but less).
+  double stridedPrefetchResidual = 0.55;
+  /// Cache-hit cost multiplier for non-unit-stride accesses: strided loads
+  /// issue one-at-a-time (or via gathers) and pipeline far worse than
+  /// streaming loads. Generational lever: VSX3 gathers (POWER9) keep this
+  /// low; pre-VSX3 scalar strided loads pay heavily.
+  double stridedHitMultiplier = 2.0;
+};
+
+/// Host machine description for the simulator.
+struct CpuSimParams {
+  std::string name = "host";
+  double frequencyHz = 3.0e9;
+  int cores = 20;
+  int smtWays = 8;
+  CpuCacheParams cache;
+  double memBandwidthBytesPerSec = 140.0e9;
+
+  // Scalar op throughput costs (cycles per dynamic op, superscalar view).
+  double arithCycles = 0.5;
+  double specialCycles = 12.0;  ///< sqrt/exp
+  double memIssueCycles = 0.5;
+  double branchCycles = 0.75;
+  double loopOverheadCycles = 1.0;
+
+  // SIMD: width in bits, number of vector pipes, and a quality factor for
+  // how well the compiler's auto-vectorizer exploits them on unit-stride
+  // loops. `stridedVectorEfficiency` covers constant-but-non-unit strides:
+  // VSX3-era codegen (POWER9) can vectorize those with gathers; earlier
+  // vectorizers cannot (the paper's CORR generational story, SIII).
+  int vectorBits = 128;
+  int vectorUnits = 2;
+  double vectorEfficiency = 0.85;
+  double stridedVectorEfficiency = 0.45;
+
+  /// Marginal per-thread throughput gain of each extra SMT thread on a
+  /// core (core throughput = 1 + gain * (threadsOnCore - 1)).
+  double smtGainPerThread = 0.25;
+  /// Fraction of out-of-order-hidden miss latency actually paid.
+  double stallExposedFraction = 0.6;
+
+  // "Actual" OpenMP runtime overheads (what the EPCC constants estimate)
+  // plus a per-participating-thread component the constants flatten away.
+  double forkJoinCycles = 8200.0;
+  double scheduleCycles = 9400.0;
+  /// Per-participating-thread fork/barrier cost. EPCC-style measurements
+  /// grow steeply with thread count on SMT8 parts; at 160 threads this is
+  /// hundreds of microseconds — the reason the paper's tiny `test` kernels
+  /// offload so profitably against a 160-thread host.
+  double overheadPerThreadCycles = 6000.0;
+  /// Issue-side inefficiency of the compiler's *host fallback* version of a
+  /// target region relative to a hand-written OpenMP loop (teams emulation,
+  /// extra indirection).
+  double hostFallbackPenalty = 1.5;
+
+  // Dynamic-schedule costs: iterations per dispatched chunk and the runtime
+  // transaction cycles each dispatch pays.
+  std::int64_t dynamicChunkIters = 16;
+  double dynamicDispatchCycles = 150.0;
+
+  // Sampling budget: per sampled thread, `itersPerThread` anchor points are
+  // spread across its chunk and a consecutive burst of `burstIters`
+  // iterations runs at each anchor; the first `burstWarmup` iterations of a
+  // burst only warm the caches (consecutive iterations share cache lines —
+  // isolated samples would look artificially DRAM-bound).
+  // The burst must advance past a whole cache line of unit-stride f32
+  // progress (32 elements) or steady-state miss rates collapse to zero.
+  int sampleThreads = 3;
+  int itersPerThread = 4;
+  int burstIters = 34;
+  int burstWarmup = 2;
+  std::uint64_t maxEventsPerPoint = 200000;
+
+  /// POWER9 (AC922): 20 cores x SMT8 @ 3 GHz, VSX3-era vectorizer.
+  static CpuSimParams power9();
+  /// POWER8: same clock, smaller caches, weaker vectorizer, slower memory.
+  static CpuSimParams power8();
+};
+
+/// Work-sharing schedule of the simulated parallel loop.
+enum class Schedule {
+  Static,   ///< contiguous chunks; imbalance = max over threads
+  Dynamic,  ///< self-scheduled small chunks; balanced but per-chunk cost
+};
+
+/// Why the simulated region took the time it did.
+enum class CpuBound { Compute, MemoryLatency, MemoryBandwidth };
+
+[[nodiscard]] std::string toString(CpuBound value);
+
+/// Measured ("actual") CPU execution of one target region.
+struct CpuSimResult {
+  double seconds = 0.0;
+  double totalCycles = 0.0;
+  double overheadCycles = 0.0;  ///< fork/join + schedule
+  double computeCycles = 0.0;   ///< busiest thread's issue time (SMT derated)
+  double stallCycles = 0.0;     ///< busiest thread's exposed miss stalls
+  double bandwidthCycles = 0.0; ///< chip-level DRAM bound
+  CpuBound bound = CpuBound::Compute;
+  double l1HitRate = 0.0;
+  double l2HitRate = 0.0;
+  double l3HitRate = 0.0;
+  /// Effective SIMD speedup applied to vectorizable work (1 = scalar).
+  double vectorFactor = 1.0;
+  /// Per-thread issue-rate slowdown from SMT sharing (1 = dedicated core).
+  double smtSlowdown = 1.0;
+
+  [[nodiscard]] std::string toString() const;
+};
+
+/// The simulator bound to one host configuration and OpenMP thread count.
+class CpuSimulator {
+ public:
+  /// Precondition: threads >= 1.
+  CpuSimulator(CpuSimParams params, int threads);
+
+  /// Times one parallel execution of `region` against the data in `store`
+  /// (sampled iterations run functionally on it). `schedule` selects the
+  /// OpenMP work-sharing policy: Static pays imbalance (max over thread
+  /// chunks), Dynamic balances perfectly but pays a dispatch transaction
+  /// per chunk.
+  [[nodiscard]] CpuSimResult simulate(const ir::TargetRegion& region,
+                                      const symbolic::Bindings& bindings,
+                                      ir::ArrayStore& store,
+                                      Schedule schedule = Schedule::Static) const;
+
+  [[nodiscard]] const CpuSimParams& params() const { return params_; }
+  [[nodiscard]] int threads() const { return threads_; }
+
+ private:
+  CpuSimParams params_;
+  int threads_;
+};
+
+/// Dynamic-count-weighted fraction of the region's memory accesses whose
+/// stride in their innermost enclosing loop variable is 0 or +-1 — the
+/// accesses both the vectorizer and the hardware prefetcher can exploit.
+[[nodiscard]] double streamableAccessFraction(const ir::TargetRegion& region,
+                                              const symbolic::Bindings& bindings);
+
+}  // namespace osel::cpusim

@@ -1,0 +1,23 @@
+#include "cpusim/native_executor.h"
+
+#include "cpusim/parallel_for.h"
+#include "support/check.h"
+
+namespace osel::cpusim {
+
+void executeNative(const ir::TargetRegion& region,
+                   const symbolic::Bindings& bindings, ir::ArrayStore& store,
+                   int threads) {
+  support::require(threads >= 1, "executeNative: threads must be >= 1");
+  const ir::CompiledRegion compiled(region, bindings);
+  parallelFor(0, compiled.flatTripCount(), threads,
+              [&compiled, &store](std::int64_t lo, std::int64_t hi) {
+                // One execution context per worker: contexts carry mutable
+                // slot/local state and must not be shared.
+                ir::ExecutionContext context = compiled.makeContext(store);
+                for (std::int64_t point = lo; point < hi; ++point)
+                  compiled.runPoint(context, point);
+              });
+}
+
+}  // namespace osel::cpusim

@@ -1,0 +1,26 @@
+// osel/cpusim/native_executor.h — full-speed native execution of target
+// regions on host threads.
+//
+// The functional counterpart of the timing simulators: every parallel point
+// executes through the compiled interpreter, chunked statically across
+// std::thread workers — the "host fallback version" of a target region,
+// actually runnable. Used for correctness validation at sizes where
+// sequential runAll would crawl, and by examples that want real wall time.
+//
+// Concurrency contract (same as OpenMP's): distinct parallel iterations
+// must write disjoint locations. All Polybench kernels satisfy it.
+#pragma once
+
+#include "ir/interpreter.h"
+#include "ir/region.h"
+
+namespace osel::cpusim {
+
+/// Executes every parallel point of `region` under `bindings` against
+/// `store`, statically chunked over `threads` host threads.
+/// Preconditions: threads >= 1; store matches the region's arrays.
+void executeNative(const ir::TargetRegion& region,
+                   const symbolic::Bindings& bindings, ir::ArrayStore& store,
+                   int threads);
+
+}  // namespace osel::cpusim

@@ -1,0 +1,35 @@
+#include "cpusim/parallel_for.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "support/check.h"
+
+namespace osel::cpusim {
+
+void parallelFor(std::int64_t begin, std::int64_t end, int threads,
+                 const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  support::require(threads >= 1, "parallelFor: threads must be >= 1");
+  if (begin >= end) return;
+  const std::int64_t total = end - begin;
+  const int workers = static_cast<int>(
+      std::min<std::int64_t>(threads, total));
+  if (workers == 1) {
+    fn(begin, end);
+    return;
+  }
+  const std::int64_t chunk = (total + workers - 1) / workers;
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers - 1));
+  for (int t = 1; t < workers; ++t) {
+    const std::int64_t lo = begin + t * chunk;
+    const std::int64_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    pool.emplace_back([&fn, lo, hi] { fn(lo, hi); });
+  }
+  fn(begin, std::min(end, begin + chunk));
+  for (std::thread& worker : pool) worker.join();
+}
+
+}  // namespace osel::cpusim

@@ -1,0 +1,19 @@
+// osel/cpusim/parallel_for.h — minimal native work-sharing.
+//
+// Used by the native reference implementations in src/polybench (functional
+// validation) and by the examples. Static chunking over std::thread, the
+// same policy the simulated OpenMP runtime assumes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace osel::cpusim {
+
+/// Runs fn(begin, end) over static contiguous chunks of [begin, end) on
+/// `threads` worker threads (the calling thread works too, as thread 0).
+/// threads <= 1 runs inline. fn must be thread-safe across disjoint ranges.
+void parallelFor(std::int64_t begin, std::int64_t end, int threads,
+                 const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+}  // namespace osel::cpusim

@@ -1,0 +1,172 @@
+#include "frontend/lexer.h"
+
+#include <cctype>
+#include <set>
+
+#include "support/check.h"
+
+namespace osel::frontend {
+
+using support::require;
+
+std::string toString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::Identifier:
+      return "identifier";
+    case TokenKind::Keyword:
+      return "keyword";
+    case TokenKind::Integer:
+      return "integer";
+    case TokenKind::Float:
+      return "float";
+    case TokenKind::Punct:
+      return "punctuation";
+    case TokenKind::EndOfInput:
+      return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::set<std::string>& keywords() {
+  static const std::set<std::string> kw{
+      "kernel", "array", "parallel", "for",  "in",     "if",    "else",
+      "f32",    "f64",   "i32",      "i64",  "to",     "from",  "tofrom",
+      "alloc",  "sqrt",  "abs",      "exp"};
+  return kw;
+}
+
+[[nodiscard]] std::string locate(int line, int column) {
+  return " at line " + std::to_string(line) + ", column " +
+         std::to_string(column);
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  int column = 1;
+  std::size_t i = 0;
+  const auto peek = [&](std::size_t ahead = 0) -> char {
+    return i + ahead < source.size() ? source[i + ahead] : '\0';
+  };
+  const auto advance = [&] {
+    if (source[i] == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+    ++i;
+  };
+
+  while (i < source.size()) {
+    const char c = peek();
+    if (c == '#') {  // comment to end of line
+      while (i < source.size() && peek() != '\n') advance();
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+      continue;
+    }
+    Token token;
+    token.line = line;
+    token.column = column;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')) {
+        token.text += peek();
+        advance();
+      }
+      token.kind = keywords().contains(token.text) ? TokenKind::Keyword
+                                                   : TokenKind::Identifier;
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      bool isFloat = false;
+      while (i < source.size() &&
+             std::isdigit(static_cast<unsigned char>(peek()))) {
+        token.text += peek();
+        advance();
+      }
+      // Digit-leading identifiers (Polybench names like "3mm_k1"): a letter
+      // or '_' after the digits that cannot start an exponent turns the
+      // token into an identifier.
+      const bool exponentAhead =
+          (peek() == 'e' || peek() == 'E') &&
+          (std::isdigit(static_cast<unsigned char>(peek(1))) ||
+           ((peek(1) == '+' || peek(1) == '-') &&
+            std::isdigit(static_cast<unsigned char>(peek(2)))));
+      if (!exponentAhead &&
+          (std::isalpha(static_cast<unsigned char>(peek())) || peek() == '_')) {
+        while (i < source.size() &&
+               (std::isalnum(static_cast<unsigned char>(peek())) ||
+                peek() == '_')) {
+          token.text += peek();
+          advance();
+        }
+        token.kind = TokenKind::Identifier;
+        tokens.push_back(std::move(token));
+        continue;
+      }
+      // ".." is the range operator, a single '.' continues a float.
+      if (peek() == '.' && peek(1) != '.') {
+        isFloat = true;
+        token.text += peek();
+        advance();
+        while (i < source.size() &&
+               std::isdigit(static_cast<unsigned char>(peek()))) {
+          token.text += peek();
+          advance();
+        }
+      }
+      if (peek() == 'e' || peek() == 'E') {
+        isFloat = true;
+        token.text += peek();
+        advance();
+        if (peek() == '+' || peek() == '-') {
+          token.text += peek();
+          advance();
+        }
+        require(std::isdigit(static_cast<unsigned char>(peek())),
+                "lexer: malformed exponent" + locate(line, column));
+        while (i < source.size() &&
+               std::isdigit(static_cast<unsigned char>(peek()))) {
+          token.text += peek();
+          advance();
+        }
+      }
+      token.kind = isFloat ? TokenKind::Float : TokenKind::Integer;
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    // Multi-character punctuation first.
+    const char next = peek(1);
+    std::string punct(1, c);
+    if ((c == '.' && next == '.') || (c == '<' && next == '=') ||
+        (c == '>' && next == '=') || (c == '=' && next == '=') ||
+        (c == '!' && next == '=')) {
+      punct += next;
+    }
+    static const std::string kSingle = "(){}[],;:=+-*/<>";
+    require(punct.size() == 2 || kSingle.find(c) != std::string::npos,
+            std::string("lexer: unexpected character '") + c + "'" +
+                locate(line, column));
+    token.kind = TokenKind::Punct;
+    token.text = punct;
+    for (std::size_t k = 0; k < punct.size(); ++k) advance();
+    tokens.push_back(std::move(token));
+  }
+  Token eof;
+  eof.kind = TokenKind::EndOfInput;
+  eof.line = line;
+  eof.column = column;
+  tokens.push_back(std::move(eof));
+  return tokens;
+}
+
+}  // namespace osel::frontend

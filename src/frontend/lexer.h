@@ -1,0 +1,46 @@
+// osel/frontend/lexer.h — tokenizer for the osel kernel language.
+//
+// The kernel language is the repository's stand-in for the OpenMP C source
+// the paper's XL compiler outlines target regions from: a small annotated
+// loop-nest notation that parses directly into ir::TargetRegion (see
+// frontend/parser.h for the grammar and examples/kernels/*.osel for real
+// inputs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace osel::frontend {
+
+/// Token kinds. Keywords lex as Keyword with the spelling preserved.
+enum class TokenKind {
+  Identifier,
+  Keyword,     ///< kernel array parallel for in if else f32 f64 i32 i64
+               ///< to from tofrom alloc sqrt abs exp
+  Integer,     ///< decimal integer literal
+  Float,       ///< decimal floating literal (contains '.' or exponent)
+  Punct,       ///< one of ( ) { } [ ] , ; : = + - * / .. < > <= >= == !=
+  EndOfInput,
+};
+
+[[nodiscard]] std::string toString(TokenKind kind);
+
+/// One token with its source location (1-based line/column).
+struct Token {
+  TokenKind kind = TokenKind::EndOfInput;
+  std::string text;
+  int line = 1;
+  int column = 1;
+
+  [[nodiscard]] bool is(TokenKind k) const { return kind == k; }
+  [[nodiscard]] bool is(TokenKind k, const std::string& spelling) const {
+    return kind == k && text == spelling;
+  }
+};
+
+/// Tokenizes `source`. '#' starts a comment running to end of line.
+/// Throws support::PreconditionError with line/column on malformed input.
+[[nodiscard]] std::vector<Token> tokenize(const std::string& source);
+
+}  // namespace osel::frontend

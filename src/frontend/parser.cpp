@@ -1,0 +1,372 @@
+#include "frontend/parser.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "frontend/lexer.h"
+#include "ir/builder.h"
+#include "support/check.h"
+
+namespace osel::frontend {
+
+using support::require;
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  std::vector<ir::TargetRegion> parseProgram() {
+    std::vector<ir::TargetRegion> kernels;
+    while (!peek().is(TokenKind::EndOfInput)) kernels.push_back(parseKernel());
+    require(!kernels.empty(), "parser: no kernels in input");
+    return kernels;
+  }
+
+ private:
+  // ---- Token plumbing ------------------------------------------------------
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t index = std::min(position_ + ahead, tokens_.size() - 1);
+    return tokens_[index];
+  }
+
+  Token consume() { return tokens_[std::min(position_++, tokens_.size() - 1)]; }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    const Token& token = peek();
+    require(false, "parser: " + message + " (got " + toString(token.kind) +
+                       (token.text.empty() ? "" : " '" + token.text + "'") +
+                       " at line " + std::to_string(token.line) + ", column " +
+                       std::to_string(token.column) + ")");
+    std::abort();  // unreachable; require throws
+  }
+
+  Token expect(TokenKind kind, const std::string& spelling = "") {
+    if (!peek().is(kind) || (!spelling.empty() && peek().text != spelling)) {
+      fail("expected " + (spelling.empty() ? toString(kind) : "'" + spelling + "'"));
+    }
+    return consume();
+  }
+
+  bool accept(TokenKind kind, const std::string& spelling) {
+    if (peek().is(kind, spelling)) {
+      consume();
+      return true;
+    }
+    return false;
+  }
+
+  // ---- Grammar --------------------------------------------------------------
+  ir::TargetRegion parseKernel() {
+    expect(TokenKind::Keyword, "kernel");
+    const std::string name = expect(TokenKind::Identifier).text;
+    ir::RegionBuilder builder(name);
+    scope_.clear();
+    arrays_.clear();
+    locals_.clear();
+
+    expect(TokenKind::Punct, "(");
+    while (true) {
+      const std::string param = expect(TokenKind::Identifier).text;
+      builder.param(param);
+      declare(param);
+      if (!accept(TokenKind::Punct, ",")) break;
+    }
+    expect(TokenKind::Punct, ")");
+    expect(TokenKind::Punct, "{");
+
+    while (peek().is(TokenKind::Keyword, "array")) parseArrayDecl(builder);
+
+    expect(TokenKind::Keyword, "parallel");
+    expect(TokenKind::Keyword, "for");
+    while (true) {
+      const std::string var = expect(TokenKind::Identifier).text;
+      expect(TokenKind::Keyword, "in");
+      const Token zero = expect(TokenKind::Integer);
+      require(zero.text == "0",
+              "parser: parallel ranges must start at 0 (line " +
+                  std::to_string(zero.line) + ")");
+      expect(TokenKind::Punct, "..");
+      const symbolic::Expr extent = parseIndexExpr();
+      builder.parallelFor(var, extent);
+      declare(var);
+      if (!accept(TokenKind::Punct, ",")) break;
+    }
+    expect(TokenKind::Punct, "{");
+    builder.statements(parseBody());
+    expect(TokenKind::Punct, "}");  // parallel body
+    expect(TokenKind::Punct, "}");  // kernel
+    return builder.build();
+  }
+
+  void parseArrayDecl(ir::RegionBuilder& builder) {
+    expect(TokenKind::Keyword, "array");
+    const std::string name = expect(TokenKind::Identifier).text;
+    std::vector<symbolic::Expr> extents;
+    while (peek().is(TokenKind::Punct, "[")) {
+      consume();
+      extents.push_back(parseIndexExpr());
+      expect(TokenKind::Punct, "]");
+    }
+    require(!extents.empty(), "parser: array " + name + " needs extents");
+    expect(TokenKind::Punct, ":");
+    const Token type = expect(TokenKind::Keyword);
+    ir::ScalarType scalarType = ir::ScalarType::F32;
+    if (type.text == "f32") {
+      scalarType = ir::ScalarType::F32;
+    } else if (type.text == "f64") {
+      scalarType = ir::ScalarType::F64;
+    } else if (type.text == "i32") {
+      scalarType = ir::ScalarType::I32;
+    } else if (type.text == "i64") {
+      scalarType = ir::ScalarType::I64;
+    } else {
+      fail("expected element type (f32/f64/i32/i64)");
+    }
+    const Token transfer = expect(TokenKind::Keyword);
+    ir::Transfer direction = ir::Transfer::ToFrom;
+    if (transfer.text == "to") {
+      direction = ir::Transfer::To;
+    } else if (transfer.text == "from") {
+      direction = ir::Transfer::From;
+    } else if (transfer.text == "tofrom") {
+      direction = ir::Transfer::ToFrom;
+    } else if (transfer.text == "alloc") {
+      direction = ir::Transfer::Alloc;
+    } else {
+      fail("expected transfer direction (to/from/tofrom/alloc)");
+    }
+    expect(TokenKind::Punct, ";");
+    builder.array(name, scalarType, extents, direction);
+    arrays_.insert(name);
+  }
+
+  std::vector<ir::Stmt> parseBody() {
+    std::vector<ir::Stmt> body;
+    while (!peek().is(TokenKind::Punct, "}")) body.push_back(parseStmt());
+    return body;
+  }
+
+  ir::Stmt parseStmt() {
+    if (peek().is(TokenKind::Keyword, "for")) return parseForLoop();
+    if (peek().is(TokenKind::Keyword, "if")) return parseIf();
+    // Assignment or store.
+    const std::string name = expect(TokenKind::Identifier).text;
+    if (peek().is(TokenKind::Punct, "[")) {
+      require(arrays_.contains(name), "parser: store to undeclared array " + name);
+      std::vector<symbolic::Expr> indices;
+      while (accept(TokenKind::Punct, "[")) {
+        indices.push_back(parseIndexExpr());
+        expect(TokenKind::Punct, "]");
+      }
+      expect(TokenKind::Punct, "=");
+      ir::Value value = parseValueExpr();
+      expect(TokenKind::Punct, ";");
+      return ir::Stmt::store(name, std::move(indices), std::move(value));
+    }
+    require(!arrays_.contains(name),
+            "parser: array " + name + " needs subscripts on assignment");
+    expect(TokenKind::Punct, "=");
+    ir::Value value = parseValueExpr();
+    expect(TokenKind::Punct, ";");
+    locals_.insert(name);
+    return ir::Stmt::assign(name, std::move(value));
+  }
+
+  ir::Stmt parseForLoop() {
+    expect(TokenKind::Keyword, "for");
+    const std::string var = expect(TokenKind::Identifier).text;
+    expect(TokenKind::Keyword, "in");
+    const symbolic::Expr lower = parseIndexExpr();
+    expect(TokenKind::Punct, "..");
+    const symbolic::Expr upper = parseIndexExpr();
+    declare(var);
+    expect(TokenKind::Punct, "{");
+    std::vector<ir::Stmt> body = parseBody();
+    expect(TokenKind::Punct, "}");
+    scope_.erase(var);
+    return ir::Stmt::seqLoop(var, lower, upper, std::move(body));
+  }
+
+  ir::Stmt parseIf() {
+    expect(TokenKind::Keyword, "if");
+    expect(TokenKind::Punct, "(");
+    ir::Value lhs = parseValueExpr();
+    const Token op = expect(TokenKind::Punct);
+    ir::CmpOp cmp = ir::CmpOp::LT;
+    if (op.text == "<") {
+      cmp = ir::CmpOp::LT;
+    } else if (op.text == "<=") {
+      cmp = ir::CmpOp::LE;
+    } else if (op.text == ">") {
+      cmp = ir::CmpOp::GT;
+    } else if (op.text == ">=") {
+      cmp = ir::CmpOp::GE;
+    } else if (op.text == "==") {
+      cmp = ir::CmpOp::EQ;
+    } else if (op.text == "!=") {
+      cmp = ir::CmpOp::NE;
+    } else {
+      fail("expected comparison operator");
+    }
+    ir::Value rhs = parseValueExpr();
+    expect(TokenKind::Punct, ")");
+    expect(TokenKind::Punct, "{");
+    std::vector<ir::Stmt> thenBody = parseBody();
+    expect(TokenKind::Punct, "}");
+    std::vector<ir::Stmt> elseBody;
+    if (accept(TokenKind::Keyword, "else")) {
+      expect(TokenKind::Punct, "{");
+      elseBody = parseBody();
+      expect(TokenKind::Punct, "}");
+    }
+    return ir::Stmt::ifStmt(ir::Condition{std::move(lhs), cmp, std::move(rhs)},
+                            std::move(thenBody), std::move(elseBody));
+  }
+
+  // ---- Index (symbolic integer) expressions --------------------------------
+  symbolic::Expr parseIndexExpr() {
+    symbolic::Expr value = parseIndexTerm();
+    while (peek().is(TokenKind::Punct, "+") || peek().is(TokenKind::Punct, "-")) {
+      const bool add = consume().text == "+";
+      const symbolic::Expr rhs = parseIndexTerm();
+      value = add ? value + rhs : value - rhs;
+    }
+    return value;
+  }
+
+  symbolic::Expr parseIndexTerm() {
+    symbolic::Expr value = parseIndexFactor();
+    while (peek().is(TokenKind::Punct, "*")) {
+      consume();
+      value = value * parseIndexFactor();
+    }
+    return value;
+  }
+
+  symbolic::Expr parseIndexFactor() {
+    if (accept(TokenKind::Punct, "(")) {
+      const symbolic::Expr inner = parseIndexExpr();
+      expect(TokenKind::Punct, ")");
+      return inner;
+    }
+    if (peek().is(TokenKind::Punct, "-")) {
+      consume();
+      return symbolic::Expr{} - parseIndexFactor();
+    }
+    if (peek().is(TokenKind::Integer)) {
+      return symbolic::Expr::constant(std::strtoll(consume().text.c_str(),
+                                                   nullptr, 10));
+    }
+    if (peek().is(TokenKind::Identifier)) {
+      const Token token = consume();
+      require(scope_.contains(token.text),
+              "parser: symbol '" + token.text + "' not in scope at line " +
+                  std::to_string(token.line));
+      return symbolic::Expr::symbol(token.text);
+    }
+    fail("expected index expression");
+  }
+
+  // ---- Data (value) expressions -----------------------------------------------
+  ir::Value parseValueExpr() {
+    ir::Value value = parseValueTerm();
+    while (peek().is(TokenKind::Punct, "+") || peek().is(TokenKind::Punct, "-")) {
+      const bool add = consume().text == "+";
+      ir::Value rhs = parseValueTerm();
+      value = add ? value + rhs : value - rhs;
+    }
+    return value;
+  }
+
+  ir::Value parseValueTerm() {
+    ir::Value value = parseValueFactor();
+    while (peek().is(TokenKind::Punct, "*") || peek().is(TokenKind::Punct, "/")) {
+      const bool mul = consume().text == "*";
+      ir::Value rhs = parseValueFactor();
+      value = mul ? value * rhs : value / rhs;
+    }
+    return value;
+  }
+
+  ir::Value parseValueFactor() {
+    if (accept(TokenKind::Punct, "(")) {
+      ir::Value inner = parseValueExpr();
+      expect(TokenKind::Punct, ")");
+      return inner;
+    }
+    if (peek().is(TokenKind::Punct, "-")) {
+      consume();
+      return ir::Value::unary(ir::UnOp::Neg, parseValueFactor());
+    }
+    for (const auto& [spelling, op] :
+         {std::pair<const char*, ir::UnOp>{"sqrt", ir::UnOp::Sqrt},
+          {"abs", ir::UnOp::Abs},
+          {"exp", ir::UnOp::Exp}}) {
+      if (peek().is(TokenKind::Keyword, spelling)) {
+        consume();
+        expect(TokenKind::Punct, "(");
+        ir::Value inner = parseValueExpr();
+        expect(TokenKind::Punct, ")");
+        return ir::Value::unary(op, std::move(inner));
+      }
+    }
+    if (peek().is(TokenKind::Integer) || peek().is(TokenKind::Float)) {
+      return ir::Value::constant(std::strtod(consume().text.c_str(), nullptr));
+    }
+    if (peek().is(TokenKind::Identifier)) {
+      const Token token = consume();
+      const std::string& name = token.text;
+      if (arrays_.contains(name)) {
+        std::vector<symbolic::Expr> indices;
+        require(peek().is(TokenKind::Punct, "["),
+                "parser: array '" + name + "' needs subscripts at line " +
+                    std::to_string(token.line));
+        while (accept(TokenKind::Punct, "[")) {
+          indices.push_back(parseIndexExpr());
+          expect(TokenKind::Punct, "]");
+        }
+        return ir::Value::arrayRead(name, std::move(indices));
+      }
+      if (scope_.contains(name)) {
+        // Loop variable or parameter used as a data operand.
+        return ir::Value::indexCast(symbolic::Expr::symbol(name));
+      }
+      require(locals_.contains(name),
+              "parser: '" + name + "' is not a local, parameter, or array "
+              "at line " + std::to_string(token.line));
+      return ir::Value::local(name);
+    }
+    fail("expected value expression");
+  }
+
+  void declare(const std::string& name) {
+    require(scope_.insert(name).second,
+            "parser: duplicate symbol '" + name + "'");
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t position_ = 0;
+  std::set<std::string> scope_;   // params + live loop variables
+  std::set<std::string> arrays_;  // declared arrays
+  std::set<std::string> locals_;  // scalar temporaries seen so far
+};
+
+}  // namespace
+
+std::vector<ir::TargetRegion> parseKernels(const std::string& source) {
+  return Parser(tokenize(source)).parseProgram();
+}
+
+std::vector<ir::TargetRegion> parseKernelFile(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "parseKernelFile: cannot open " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parseKernels(text.str());
+}
+
+}  // namespace osel::frontend

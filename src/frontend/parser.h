@@ -1,0 +1,48 @@
+// osel/frontend/parser.h — the osel kernel language.
+//
+// A textual notation for OpenMP-style target regions that parses directly
+// into ir::TargetRegion — the repository's counterpart of handing annotated
+// C loops to the paper's XL compiler for outlining. Grammar:
+//
+//   program   := kernel*
+//   kernel    := 'kernel' NAME '(' param (',' param)* ')' '{'
+//                   arrayDecl* parallel '}'
+//   arrayDecl := 'array' NAME ('[' iexpr ']')+ ':' type transfer ';'
+//   type      := 'f32' | 'f64' | 'i32' | 'i64'
+//   transfer  := 'to' | 'from' | 'tofrom' | 'alloc'
+//   parallel  := 'parallel' 'for' dim (',' dim)* '{' stmt* '}'
+//   dim       := NAME 'in' '0' '..' iexpr
+//   stmt      := NAME '=' vexpr ';'                       (scalar assign)
+//              | NAME ('[' iexpr ']')+ '=' vexpr ';'      (array store)
+//              | 'for' NAME 'in' iexpr '..' iexpr '{' stmt* '}'
+//              | 'if' '(' vexpr cmp vexpr ')' '{' stmt* '}'
+//                     ('else' '{' stmt* '}')?
+//   cmp       := '<' | '<=' | '>' | '>=' | '==' | '!='
+//
+// Two expression sorts, mirroring the IR split:
+//   iexpr — integer *index* expressions (+ - * over parameters, loop
+//           variables, integer literals) -> symbolic::Expr;
+//   vexpr — *data* expressions (+ - * / over array reads, scalar locals,
+//           numeric literals, parenthesization, unary '-', sqrt/abs/exp,
+//           and loop variables/parameters, which coerce to IndexCast).
+//
+// '#' comments run to end of line. See examples/kernels/ for real inputs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/region.h"
+
+namespace osel::frontend {
+
+/// Parses every kernel in `source` into verified target regions.
+/// Throws support::PreconditionError with line/column context on syntax or
+/// semantic errors (undeclared arrays, rank mismatches, ...).
+[[nodiscard]] std::vector<ir::TargetRegion> parseKernels(const std::string& source);
+
+/// Convenience: parses a file (see AttributeDatabase::loadFromFile for the
+/// error behaviour of the I/O half).
+[[nodiscard]] std::vector<ir::TargetRegion> parseKernelFile(const std::string& path);
+
+}  // namespace osel::frontend

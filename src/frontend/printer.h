@@ -1,0 +1,19 @@
+// osel/frontend/printer.h — emits a TargetRegion as kernel-language text.
+//
+// The inverse of frontend/parser.h: printKernel(parseKernels(s)[0]) parses
+// back to a semantically identical region (round-trip property tests pin
+// this). Used by oselctl to export built-in Polybench kernels as editable
+// .osel files.
+#pragma once
+
+#include <string>
+
+#include "ir/region.h"
+
+namespace osel::frontend {
+
+/// Renders `region` in the kernel language. The region must verify.
+/// Data-value constants print with enough digits to round-trip exactly.
+[[nodiscard]] std::string printKernel(const ir::TargetRegion& region);
+
+}  // namespace osel::frontend

@@ -1,0 +1,90 @@
+#include "gpumodel/gpu_device.h"
+
+namespace osel::gpumodel {
+
+GpuDeviceParams GpuDeviceParams::teslaV100() {
+  GpuDeviceParams d;
+  d.name = "Tesla V100 (NVLink2)";
+  d.sms = 80;
+  d.coresPerSm = 64;
+  d.coreClockHz = 1.53e9;  // processor clock (Table III)
+  d.warpSize = 32;
+  d.maxWarpsPerSm = 64;
+  d.maxThreadsPerSm = 2048;
+  d.maxBlocksPerSm = 32;
+  d.memBandwidthBytesPerSec = 900.0e9;  // HBM2 (Table III)
+  d.memLatencyCycles = 440.0;           // Jia et al. global-access average
+  d.departureDelayCoalCycles = 4.0;
+  // Per-sector departure: an uncoalesced warp access issues 32 sectors at
+  // the same per-sector gap as a coalesced one (Volta's sectored L2).
+  d.departureDelayUncoalCycles = 4.0;
+  d.uncoalTransactionsPerWarp = 32;
+  d.loadBytesPerWarp = 32 * 8.0;
+  // 4 schedulers x 32 lanes over 64 FP32 cores: ~2 warp-insts/cycle.
+  // Total: 80 SMs x 2 x 32 lanes x 1.53 GHz ~ 7.8 G-warp-ops/s, matching
+  // the 15.7 TFLOP FP32 (FMA) peak.
+  d.issueCyclesPerInst = 0.5;
+  d.fp64IssueMultiplier = 2.0;  // FP64 = 1/2 FP32 rate on GV100
+  d.transferBandwidthBytesPerSec = 68.0e9;  // NVLink2, 3 bricks sustained
+  d.transferLatencySec = 8.0e-6;
+  d.kernelLaunchOverheadSec = 8.0e-6;
+  d.defaultThreadsPerBlock = 128;
+  return d;
+}
+
+GpuDeviceParams GpuDeviceParams::teslaP100() {
+  GpuDeviceParams d;
+  d.name = "Tesla P100 (NVLink1)";
+  d.sms = 56;
+  d.coresPerSm = 64;
+  d.coreClockHz = 1.48e9;
+  d.warpSize = 32;
+  d.maxWarpsPerSm = 64;
+  d.maxThreadsPerSm = 2048;
+  d.maxBlocksPerSm = 32;
+  d.memBandwidthBytesPerSec = 732.0e9;  // HBM2 gen1
+  d.memLatencyCycles = 500.0;
+  d.departureDelayCoalCycles = 4.0;
+  d.departureDelayUncoalCycles = 5.0;
+  d.uncoalTransactionsPerWarp = 32;
+  d.loadBytesPerWarp = 32 * 8.0;
+  // 56 SMs x ~2 warp-insts/cycle x 32 lanes x 1.48 GHz ~ 5.3 G-warp-ops/s
+  // (10.6 TFLOP FMA FP32 peak).
+  d.issueCyclesPerInst = 0.5;
+  d.fp64IssueMultiplier = 2.0;  // GP100 FP64 = 1/2 FP32
+  d.transferBandwidthBytesPerSec = 35.0e9;  // NVLink1 sustained
+  d.transferLatencySec = 9.0e-6;
+  d.kernelLaunchOverheadSec = 9.0e-6;
+  d.defaultThreadsPerBlock = 128;
+  return d;
+}
+
+GpuDeviceParams GpuDeviceParams::teslaK80() {
+  GpuDeviceParams d;
+  d.name = "Tesla K80 (PCIe3)";
+  d.sms = 13;          // one GK210 die
+  d.coresPerSm = 192;  // Kepler SMX
+  d.coreClockHz = 0.875e9;  // boost clock
+  d.warpSize = 32;
+  d.maxWarpsPerSm = 64;
+  d.maxThreadsPerSm = 2048;
+  d.maxBlocksPerSm = 16;
+  d.memBandwidthBytesPerSec = 240.0e9;  // per-die GDDR5
+  d.memLatencyCycles = 600.0;
+  d.departureDelayCoalCycles = 6.0;
+  d.departureDelayUncoalCycles = 8.0;  // per sector, slower memory pipe
+  d.uncoalTransactionsPerWarp = 32;
+  d.loadBytesPerWarp = 32 * 8.0;
+  // 192 cores per SMX but Kepler's schedulers sustain ~3 warp-insts/cycle
+  // in practice: 13 x 3 x 32 x 0.875 GHz ~ 1.1 G-warp-ops/s (~2.8 TFLOP
+  // FMA peak at ~40% achievable utilization).
+  d.issueCyclesPerInst = 0.33;
+  d.fp64IssueMultiplier = 3.0;  // GK210 FP64 = 1/3 FP32 rate
+  d.transferBandwidthBytesPerSec = 11.0e9;  // PCIe gen3 x16 sustained
+  d.transferLatencySec = 15.0e-6;
+  d.kernelLaunchOverheadSec = 10.0e-6;
+  d.defaultThreadsPerBlock = 128;
+  return d;
+}
+
+}  // namespace osel::gpumodel

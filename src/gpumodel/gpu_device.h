@@ -1,0 +1,74 @@
+// osel/gpumodel/gpu_device.h — GPU device / interconnect parameter sets.
+//
+// The paper's Table III (V100) plus a Kepler K80 set for the Table I
+// generational study. Values come from vendor datasheets, CUDA API queries,
+// and Zhe Jia's Volta microbenchmarking report [25] — the same three
+// sources the paper cites.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace osel::gpumodel {
+
+/// Device-side and bus-side constants consumed by the Hong-Kim model and by
+/// the ground-truth GPU simulator's top-level geometry decisions.
+struct GpuDeviceParams {
+  std::string name;
+
+  // --- Compute geometry -------------------------------------------------
+  int sms = 80;              ///< streaming multiprocessors
+  int coresPerSm = 64;       ///< FP32 lanes per SM (informational)
+  double coreClockHz = 1.53e9;  ///< processor (boost) clock
+  int warpSize = 32;
+  int maxWarpsPerSm = 64;
+  int maxThreadsPerSm = 2048;
+  int maxBlocksPerSm = 32;
+
+  // --- Memory system -----------------------------------------------------
+  double memBandwidthBytesPerSec = 900.0e9;
+  double memLatencyCycles = 440.0;  ///< average global-access latency
+  /// Departure delay between consecutive memory warps (cycles): the cost of
+  /// injecting one more transaction into the memory pipeline.
+  double departureDelayCoalCycles = 4.0;
+  double departureDelayUncoalCycles = 40.0;
+  /// Transactions a fully uncoalesced warp access explodes into.
+  int uncoalTransactionsPerWarp = 32;
+  /// Bytes one coalesced warp-load moves (warpSize x element size).
+  double loadBytesPerWarp = 32 * 8.0;
+
+  // --- Issue model ---------------------------------------------------------
+  /// Cycles the SM spends issuing one warp instruction (Hong-Kim
+  /// issue-rate abstraction; lower on Volta's four schedulers than on
+  /// Kepler's).
+  double issueCyclesPerInst = 1.0;
+  /// Extra issue-cost multiplier for FP64 on throughput-limited parts.
+  double fp64IssueMultiplier = 2.0;
+
+  // --- Interconnect --------------------------------------------------------
+  double transferBandwidthBytesPerSec = 68.0e9;  ///< NVLink2 / PCIe payload
+  double transferLatencySec = 10.0e-6;           ///< per-direction setup
+  double kernelLaunchOverheadSec = 8.0e-6;       ///< excluding context init
+
+  // --- OpenMP runtime geometry policy -------------------------------------
+  /// Threads per block the OpenMP runtime picks for parallel-for kernels
+  /// (the XL runtime default the paper's #OMP_Rep discussion assumes).
+  int defaultThreadsPerBlock = 128;
+  /// Cap on grid size the runtime will request; iterations beyond
+  /// maxGridBlocks x threadsPerBlock fold into #OMP_Rep repetitions.
+  int maxGridBlocks = 0;  ///< 0 means sms * maxBlocksPerSm
+
+  /// NVIDIA Tesla V100 on NVLink2 (paper Table III context).
+  static GpuDeviceParams teslaV100();
+  /// NVIDIA Tesla P100 on NVLink1 — the generation between the paper's two
+  /// testbeds, for the §III.A evolution study.
+  static GpuDeviceParams teslaP100();
+  /// NVIDIA Tesla K80 (one GK210 die, as a single process sees it) on PCIe3.
+  static GpuDeviceParams teslaK80();
+
+  [[nodiscard]] int effectiveMaxGridBlocks() const {
+    return maxGridBlocks > 0 ? maxGridBlocks : sms * maxBlocksPerSm;
+  }
+};
+
+}  // namespace osel::gpumodel

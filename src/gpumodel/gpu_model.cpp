@@ -1,0 +1,160 @@
+#include "gpumodel/gpu_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/check.h"
+#include "support/format.h"
+
+namespace osel::gpumodel {
+
+using support::require;
+
+std::string toString(ExecCase value) {
+  switch (value) {
+    case ExecCase::Balanced:
+      return "balanced (MWP==N==CWP)";
+    case ExecCase::MemoryBound:
+      return "memory-bound (CWP>=MWP)";
+    case ExecCase::ComputeBound:
+      return "compute-bound (MWP>CWP)";
+  }
+  return "?";
+}
+
+std::string GpuPrediction::toString() const {
+  std::ostringstream out;
+  out << "GPU prediction: " << support::formatSeconds(totalSeconds) << " (kernel "
+      << support::formatSeconds(kernelSeconds) << ", transfer "
+      << support::formatSeconds(transferSeconds) << "; grid " << blocks << "x"
+      << threadsPerBlock << ", OMP_Rep " << support::formatFixed(ompRep, 1)
+      << ", Rep " << support::formatFixed(rep, 1) << ", MWP "
+      << support::formatFixed(mwp, 2) << ", CWP " << support::formatFixed(cwp, 2)
+      << ", N " << support::formatFixed(activeWarpsPerSm, 1) << ", "
+      << osel::gpumodel::toString(execCase) << ")";
+  return out.str();
+}
+
+GpuCostModel::GpuCostModel(GpuDeviceParams device) : device_(std::move(device)) {
+  require(device_.sms > 0 && device_.warpSize > 0,
+          "GpuCostModel: malformed device parameters");
+  require(device_.coreClockHz > 0 && device_.memBandwidthBytesPerSec > 0,
+          "GpuCostModel: malformed device clocks/bandwidth");
+}
+
+GpuPrediction GpuCostModel::predict(const GpuWorkload& workload) const {
+  require(workload.parallelTripCount > 0,
+          "GpuCostModel::predict: trip count must be positive");
+  require(workload.compInstsPerThread >= 0 &&
+              workload.coalMemInstsPerThread >= 0 &&
+              workload.uncoalMemInstsPerThread >= 0,
+          "GpuCostModel::predict: negative instruction counts");
+  require(workload.bytesToDevice >= 0 && workload.bytesFromDevice >= 0,
+          "GpuCostModel::predict: negative transfer sizes");
+
+  GpuPrediction p;
+  const double trips = static_cast<double>(workload.parallelTripCount);
+
+  // ---- Grid geometry (OpenMP runtime policy) -----------------------------
+  p.threadsPerBlock = device_.defaultThreadsPerBlock;
+  const auto wantedBlocks = static_cast<std::int64_t>(
+      std::ceil(trips / p.threadsPerBlock));
+  p.blocks = std::min<std::int64_t>(wantedBlocks, device_.effectiveMaxGridBlocks());
+  // #OMP_Rep: distinct loop iterations per GPU thread when the grid cannot
+  // cover the iteration space (highlighted factor in Fig. 4).
+  p.ompRep = std::ceil(trips / (static_cast<double>(p.blocks) *
+                                static_cast<double>(p.threadsPerBlock)));
+
+  // ---- Occupancy ----------------------------------------------------------
+  const int warpsPerBlock =
+      (p.threadsPerBlock + device_.warpSize - 1) / device_.warpSize;
+  const int blocksPerSmLimit =
+      std::min({device_.maxBlocksPerSm, device_.maxWarpsPerSm / warpsPerBlock,
+                device_.maxThreadsPerSm / p.threadsPerBlock});
+  p.activeSms = static_cast<int>(
+      std::min<std::int64_t>(device_.sms, p.blocks));
+  const auto blocksPerSmAvailable = static_cast<int>(
+      (p.blocks + p.activeSms - 1) / p.activeSms);
+  const int activeBlocksPerSm = std::min(blocksPerSmLimit, blocksPerSmAvailable);
+  p.activeWarpsPerSm = static_cast<double>(warpsPerBlock * activeBlocksPerSm);
+  const double n = p.activeWarpsPerSm;  // "N" in Figs. 4-5
+
+  // #Rep: rounds of block scheduling over the machine.
+  p.rep = std::ceil(static_cast<double>(p.blocks) /
+                    (static_cast<double>(activeBlocksPerSm) * p.activeSms));
+
+  // ---- Per-thread cycle components (Fig. 5) ------------------------------
+  const double coal = workload.coalMemInstsPerThread;
+  const double uncoal = workload.uncoalMemInstsPerThread;
+  const double memInsts = coal + uncoal;
+  const double memLcoal = device_.memLatencyCycles;
+  const double memLuncoal =
+      device_.memLatencyCycles +
+      (device_.uncoalTransactionsPerWarp - 1) * device_.departureDelayUncoalCycles;
+  p.memCycles = memLuncoal * uncoal + memLcoal * coal;
+
+  const double issuePerInst =
+      device_.issueCyclesPerInst *
+      (1.0 + workload.fp64Fraction * (device_.fp64IssueMultiplier - 1.0));
+  p.compCycles =
+      issuePerInst * (workload.compInstsPerThread + memInsts);
+
+  // ---- MWP (memory-warp parallelism) --------------------------------------
+  const double avgMemLatency =
+      memInsts > 0 ? (memLuncoal * uncoal + memLcoal * coal) / memInsts
+                   : device_.memLatencyCycles;
+  const double avgDepartureDelay =
+      memInsts > 0
+          ? (device_.departureDelayUncoalCycles *
+                 device_.uncoalTransactionsPerWarp * uncoal +
+             device_.departureDelayCoalCycles * coal) /
+                memInsts
+          : device_.departureDelayCoalCycles;
+  p.mwpWithoutBw = avgMemLatency / avgDepartureDelay;
+  const double bwPerWarp = device_.coreClockHz * device_.loadBytesPerWarp /
+                           avgMemLatency;  // bytes/sec one warp can demand
+  p.mwpPeakBw = device_.memBandwidthBytesPerSec /
+                (bwPerWarp * static_cast<double>(p.activeSms));
+  p.mwp = std::max(1.0, std::min({p.mwpWithoutBw, p.mwpPeakBw, n}));
+
+  // ---- CWP (compute-warp parallelism) -------------------------------------
+  const double cwpFull =
+      p.compCycles > 0 ? (p.memCycles + p.compCycles) / p.compCycles : n;
+  p.cwp = std::max(1.0, std::min(cwpFull, n));
+
+  // ---- Execution cycles (Fig. 4, with the #OMP_Rep factor) ---------------
+  const double repFactor = p.rep * p.ompRep;
+  constexpr double kCaseEpsilon = 1e-9;
+  if (memInsts == 0.0) {
+    // Pure compute kernel: all warps issue their instructions in turn.
+    p.execCase = ExecCase::ComputeBound;
+    p.kernelCycles = p.compCycles * n * repFactor;
+  } else if (std::abs(p.mwp - n) < kCaseEpsilon &&
+             std::abs(p.cwp - n) < kCaseEpsilon) {
+    p.execCase = ExecCase::Balanced;
+    p.kernelCycles = (p.memCycles + p.compCycles +
+                      p.compCycles / memInsts * (p.mwp - 1.0)) *
+                     repFactor;
+  } else if (p.cwp >= p.mwp) {
+    p.execCase = ExecCase::MemoryBound;
+    p.kernelCycles = (p.memCycles * n / p.mwp +
+                      p.compCycles / memInsts * (p.mwp - 1.0)) *
+                     repFactor;
+  } else {
+    p.execCase = ExecCase::ComputeBound;
+    p.kernelCycles = (avgMemLatency + p.compCycles * n) * repFactor;
+  }
+
+  // ---- Seconds -------------------------------------------------------------
+  p.kernelSeconds = p.kernelCycles / device_.coreClockHz;
+  p.transferSeconds =
+      static_cast<double>(workload.bytesToDevice + workload.bytesFromDevice) /
+          device_.transferBandwidthBytesPerSec +
+      2.0 * device_.transferLatencySec;
+  p.launchSeconds = device_.kernelLaunchOverheadSec;
+  p.totalSeconds = p.kernelSeconds + p.transferSeconds + p.launchSeconds;
+  return p;
+}
+
+}  // namespace osel::gpumodel

@@ -1,0 +1,100 @@
+// osel/gpumodel/gpu_model.h — the Hong-Kim analytical GPU model with the
+// paper's OpenMP extension.
+//
+// Implements the MWP/CWP (memory-warp / compute-warp parallelism) execution
+// cycle model of Hong & Kim [11], exactly as reproduced in the paper's
+// Figures 4-5, with the paper's two adaptations:
+//   * #OMP_Rep — when the runtime's maximum grid does not cover the
+//     parallel iteration space, each GPU thread executes several loop
+//     iterations; every per-thread instruction count scales by that factor
+//     (highlighted term in Fig. 4);
+//   * coalesced/uncoalesced memory-instruction counts supplied by IPDA
+//     instead of trace profiling (§IV.C).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gpumodel/gpu_device.h"
+
+namespace osel::gpumodel {
+
+/// Per-thread workload features, produced by the compiler's instruction
+/// loadout analysis (counts are *dynamic* estimates under the 128-iteration
+/// / 50%-branch abstractions) and completed by runtime values.
+struct GpuWorkload {
+  /// Dynamic compute instructions per thread per original loop iteration.
+  double compInstsPerThread = 0.0;
+  /// Dynamic memory instructions per thread (total = coal + uncoal).
+  double coalMemInstsPerThread = 0.0;
+  double uncoalMemInstsPerThread = 0.0;
+  /// Fraction of compute instructions that are FP64 (drives issue cost).
+  double fp64Fraction = 1.0;
+  /// Flattened parallel trip count (runtime value = work items).
+  std::int64_t parallelTripCount = 0;
+  /// Host<->device traffic for the region's data environment.
+  std::int64_t bytesToDevice = 0;
+  std::int64_t bytesFromDevice = 0;
+
+  [[nodiscard]] double memInstsPerThread() const {
+    return coalMemInstsPerThread + uncoalMemInstsPerThread;
+  }
+};
+
+/// Which branch of the Fig. 4 case analysis produced the estimate.
+enum class ExecCase {
+  Balanced,      ///< MWP == N == CWP
+  MemoryBound,   ///< CWP >= MWP
+  ComputeBound,  ///< MWP > CWP
+};
+
+[[nodiscard]] std::string toString(ExecCase value);
+
+/// Full prediction with intermediate quantities exposed for tests, reports
+/// and the ablation benches.
+struct GpuPrediction {
+  // Grid geometry chosen by the (modelled) OpenMP runtime.
+  int threadsPerBlock = 0;
+  std::int64_t blocks = 0;
+  double ompRep = 1.0;  ///< #OMP_Rep
+  double rep = 1.0;     ///< #Rep
+  int activeSms = 0;
+  double activeWarpsPerSm = 0.0;  ///< N
+
+  // MWP/CWP machinery (Fig. 5).
+  double memCycles = 0.0;
+  double compCycles = 0.0;
+  double mwpWithoutBw = 0.0;
+  double mwpPeakBw = 0.0;
+  double mwp = 0.0;
+  double cwp = 0.0;
+  ExecCase execCase = ExecCase::Balanced;
+
+  // Results.
+  double kernelCycles = 0.0;
+  double kernelSeconds = 0.0;
+  double transferSeconds = 0.0;
+  double launchSeconds = 0.0;
+  double totalSeconds = 0.0;  ///< transfer + launch + kernel (no ctx init)
+
+  [[nodiscard]] std::string toString() const;
+};
+
+/// The analytical model bound to one device.
+class GpuCostModel {
+ public:
+  explicit GpuCostModel(GpuDeviceParams device);
+
+  /// Predicts kernel time including data transfer and launch overhead but
+  /// excluding CUDA context initialization (the paper's measurement
+  /// convention, §III). Precondition: positive trip count, non-negative
+  /// instruction counts.
+  [[nodiscard]] GpuPrediction predict(const GpuWorkload& workload) const;
+
+  [[nodiscard]] const GpuDeviceParams& device() const { return device_; }
+
+ private:
+  GpuDeviceParams device_;
+};
+
+}  // namespace osel::gpumodel

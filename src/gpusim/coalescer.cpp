@@ -1,0 +1,42 @@
+#include "gpusim/coalescer.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "support/check.h"
+
+namespace osel::gpusim {
+
+using support::require;
+
+int transactionsForStride(std::int64_t strideElements, std::int64_t elementBytes,
+                          int warpSize, int sectorBytes) {
+  require(warpSize > 0 && sectorBytes > 0 && elementBytes > 0,
+          "transactionsForStride: non-positive geometry");
+  const std::int64_t stride = std::abs(strideElements);
+  if (stride == 0) return 1;  // broadcast: one sector serves the warp
+  const std::int64_t strideBytes = stride * elementBytes;
+  if (strideBytes >= sectorBytes) return warpSize;  // every lane its own sector
+  const std::int64_t spanBytes =
+      (warpSize - 1) * strideBytes + elementBytes;
+  const std::int64_t sectors = (spanBytes + sectorBytes - 1) / sectorBytes;
+  return static_cast<int>(std::min<std::int64_t>(sectors, warpSize));
+}
+
+int transactionsForClassification(const ipda::Classification& classification,
+                                  std::int64_t elementBytes, int warpSize,
+                                  int sectorBytes) {
+  switch (classification.kind) {
+    case ipda::CoalescingClass::Uniform:
+      return 1;
+    case ipda::CoalescingClass::Coalesced:
+    case ipda::CoalescingClass::Strided:
+      return transactionsForStride(classification.strideElements.value_or(1),
+                                   elementBytes, warpSize, sectorBytes);
+    case ipda::CoalescingClass::Irregular:
+      return warpSize;
+  }
+  return warpSize;
+}
+
+}  // namespace osel::gpusim

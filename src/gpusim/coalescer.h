@@ -1,0 +1,37 @@
+// osel/gpusim/coalescer.h — warp memory-transaction accounting.
+//
+// GPUs service a warp's 32 lane accesses as 32-byte-sector transactions;
+// how many sectors one warp instruction touches is the single largest
+// performance lever for memory-bound kernels (paper §IV.C). The simulator
+// derives sector counts from the runtime-resolved IPDA stride of each
+// access site.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "ipda/ipda.h"
+
+namespace osel::gpusim {
+
+/// Number of memory transactions (sectors) one warp access generates for a
+/// constant inter-thread stride.
+///
+/// Lanes l = 0..warpSize-1 touch byte offsets l * strideElements *
+/// elementBytes within a window; the touched span is covered by
+/// ceil(span / sectorBytes) sectors, except that once consecutive lanes land
+/// in different sectors every lane pays its own transaction (capped at
+/// warpSize).
+///
+/// Preconditions: warpSize, sectorBytes, elementBytes positive.
+[[nodiscard]] int transactionsForStride(std::int64_t strideElements,
+                                        std::int64_t elementBytes, int warpSize,
+                                        int sectorBytes);
+
+/// Transactions for a classified access: Uniform -> 1; Coalesced/Strided ->
+/// transactionsForStride; Irregular -> worst case (warpSize).
+[[nodiscard]] int transactionsForClassification(
+    const ipda::Classification& classification, std::int64_t elementBytes,
+    int warpSize, int sectorBytes);
+
+}  // namespace osel::gpusim

@@ -1,0 +1,491 @@
+#include "gpusim/gpu_simulator.h"
+
+#include <algorithm>
+#include <limits>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "gpusim/coalescer.h"
+#include "ipda/ipda.h"
+#include "ir/cost_walk.h"
+#include "support/cache_sim.h"
+#include "support/check.h"
+#include "support/format.h"
+
+namespace osel::gpusim {
+
+using support::require;
+
+GpuSimParams GpuSimParams::teslaV100() {
+  GpuSimParams p;
+  p.device = gpumodel::GpuDeviceParams::teslaV100();
+  p.memory.l1BytesPerSm = 128 * 1024;
+  p.memory.l1Associativity = 4;
+  p.memory.l2BytesTotal = 6 * 1024 * 1024;
+  p.memory.l2Associativity = 16;
+  p.memory.l1HitCycles = 28.0;
+  p.memory.l2HitCycles = 193.0;
+  p.memory.dramCycles = 600.0;
+  p.memory.sectorIssueCycles = 4.0;
+  p.memory.warpMlp = 5.0;  // Volta LSU pipelining + larger in-flight window
+  return p;
+}
+
+GpuSimParams GpuSimParams::teslaP100() {
+  GpuSimParams p;
+  p.device = gpumodel::GpuDeviceParams::teslaP100();
+  p.memory.l1BytesPerSm = 64 * 1024;
+  p.memory.l1Associativity = 4;
+  p.memory.l2BytesTotal = 4 * 1024 * 1024;
+  p.memory.l2Associativity = 16;
+  p.memory.l1HitCycles = 30.0;
+  p.memory.l2HitCycles = 210.0;
+  p.memory.dramCycles = 650.0;
+  p.memory.sectorIssueCycles = 4.0;
+  p.memory.warpMlp = 5.0;
+  return p;
+}
+
+GpuSimParams GpuSimParams::teslaK80() {
+  GpuSimParams p;
+  p.device = gpumodel::GpuDeviceParams::teslaK80();
+  p.memory.l1BytesPerSm = 48 * 1024;  // Kepler read-only/texture path
+  p.memory.l1Associativity = 4;
+  p.memory.l2BytesTotal = 1536 * 1024;  // per GK210 die
+  p.memory.l2Associativity = 16;
+  p.memory.tlbEntries = 16;
+  p.memory.tlbMissCycles = 400.0;
+  p.memory.l1HitCycles = 35.0;
+  p.memory.l2HitCycles = 222.0;
+  p.memory.dramCycles = 700.0;
+  p.memory.sectorIssueCycles = 6.0;
+  p.memory.warpMlp = 4.0;
+  return p;
+}
+
+std::string GpuSimResult::toString() const {
+  std::ostringstream out;
+  out << "GPU sim: " << support::formatSeconds(totalSeconds) << " (kernel "
+      << support::formatSeconds(kernelSeconds) << ", transfer "
+      << support::formatSeconds(transferSeconds) << "; grid " << blocks << "x"
+      << threadsPerBlock << ", OMP_Rep " << support::formatFixed(ompRep, 1)
+      << ", waves " << waves << ", trans/acc "
+      << support::formatFixed(avgTransactionsPerAccess, 2) << ", L1 "
+      << support::formatPercent(l1HitRate) << ", L2 "
+      << support::formatPercent(l2HitRate) << ")";
+  return out.str();
+}
+
+namespace {
+
+/// Accumulates point-local timing from the interpreter's event stream of
+/// the warp's representative lane. Each runPoint call is bracketed by
+/// beginPoint(); when the event budget is exhausted the observer throws
+/// ir::TraceBudgetExhausted and the caller scales the partial totals.
+class WarpObserver final : public ir::ExecutionObserver {
+ public:
+  struct PointTotals {
+    double issueCycles = 0.0;
+    double stallCycles = 0.0;
+    std::uint64_t memAccesses = 0;
+    std::uint64_t transactions = 0;
+    std::int64_t dramBytes = 0;
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t tlbHits = 0;
+    std::uint64_t tlbMisses = 0;
+    std::uint64_t events = 0;
+  };
+
+  WarpObserver(const GpuSimParams& params,
+               const std::vector<int>& siteTransactions,
+               const std::vector<std::int64_t>& arrayBaseBytes,
+               const std::vector<std::int64_t>& arrayElemBytes,
+               double issueMultiplier,
+               support::SetAssociativeCache& l2)
+      : params_(params),
+        siteTransactions_(siteTransactions),
+        arrayBaseBytes_(arrayBaseBytes),
+        arrayElemBytes_(arrayElemBytes),
+        issuePerInst_(params.device.issueCyclesPerInst * issueMultiplier),
+        l1_(params.memory.l1BytesPerSm, params.memory.l1Associativity,
+            params.memory.sectorBytes),
+        l2_(l2),
+        tlb_(params.memory.tlbEntries * params.memory.tlbPageBytes,
+             params.memory.tlbEntries, static_cast<int>(std::min<std::int64_t>(
+                                           params.memory.tlbPageBytes,
+                                           std::numeric_limits<int>::max()))) {}
+
+  void onLoad(std::size_t arrayId, std::int64_t linearIndex,
+              std::size_t siteId) override {
+    onAccess(arrayId, linearIndex, siteId);
+  }
+
+  void onStore(std::size_t arrayId, std::int64_t linearIndex,
+               std::size_t siteId) override {
+    onAccess(arrayId, linearIndex, siteId);
+  }
+
+  void onArithmetic(bool special) override {
+    point_.issueCycles += special ? 8.0 * issuePerInst_ : issuePerInst_;
+    countEvent();
+  }
+
+  void onBranch(bool) override {
+    point_.issueCycles += issuePerInst_;
+    countEvent();
+  }
+
+  void onLoopIteration() override {
+    // Loop bookkeeping: compare + branch.
+    point_.issueCycles += 2.0 * issuePerInst_;
+    countEvent();
+  }
+
+  /// Resets per-warp state (fresh L1 share). The L2 reference persists
+  /// across warps of one SM wave.
+  void startWarp(std::int64_t l1ShareBytes) {
+    l1_ = support::SetAssociativeCache(l1ShareBytes, params_.memory.l1Associativity,
+                                       params_.memory.sectorBytes);
+  }
+
+  /// Starts a fresh point trace with the given event budget (0 = unlimited).
+  void beginPoint(std::uint64_t eventBudget) {
+    point_ = PointTotals{};
+    budget_ = eventBudget;
+  }
+
+  [[nodiscard]] const PointTotals& point() const { return point_; }
+
+ private:
+  void countEvent() {
+    ++point_.events;
+    if (budget_ != 0 && point_.events >= budget_) throw ir::TraceBudgetExhausted{};
+  }
+
+  void onAccess(std::size_t arrayId, std::int64_t linearIndex,
+                std::size_t siteId) {
+    ++point_.memAccesses;
+    point_.issueCycles += issuePerInst_;
+    const int transactions = siteTransactions_[siteId];
+    point_.transactions += static_cast<std::uint64_t>(transactions);
+
+    const std::int64_t address =
+        arrayBaseBytes_[arrayId] + linearIndex * arrayElemBytes_[arrayId];
+    // Address translation first: a TLB miss stalls the access path.
+    double serviceCycles = 0.0;
+    if (tlb_.access(address)) {
+      ++point_.tlbHits;
+    } else {
+      ++point_.tlbMisses;
+      serviceCycles += params_.memory.tlbMissCycles;
+    }
+    if (l1_.access(address)) {
+      ++point_.l1Hits;
+      serviceCycles += params_.memory.l1HitCycles;
+    } else {
+      ++point_.l1Misses;
+      if (l2_.access(address)) {
+        ++point_.l2Hits;
+        serviceCycles += params_.memory.l2HitCycles;
+      } else {
+        ++point_.l2Misses;
+        serviceCycles += params_.memory.dramCycles;
+        point_.dramBytes += static_cast<std::int64_t>(transactions) *
+                            params_.memory.sectorBytes;
+      }
+    }
+    point_.stallCycles +=
+        serviceCycles + (transactions - 1) * params_.memory.sectorIssueCycles;
+    countEvent();
+  }
+
+  const GpuSimParams& params_;
+  const std::vector<int>& siteTransactions_;
+  const std::vector<std::int64_t>& arrayBaseBytes_;
+  const std::vector<std::int64_t>& arrayElemBytes_;
+  double issuePerInst_;
+  support::SetAssociativeCache l1_;
+  support::SetAssociativeCache& l2_;
+  support::SetAssociativeCache tlb_;
+  PointTotals point_;
+  std::uint64_t budget_ = 0;
+};
+
+/// Evenly spread `count` sample indices over [0, population).
+std::vector<std::int64_t> spreadSamples(std::int64_t population, int count) {
+  std::vector<std::int64_t> samples;
+  if (population <= 0) return samples;
+  const auto n = std::min<std::int64_t>(population, count);
+  samples.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i)
+    samples.push_back(i * population / n);
+  return samples;
+}
+
+}  // namespace
+
+GpuSimulator::GpuSimulator(GpuSimParams params) : params_(std::move(params)) {
+  require(params_.device.sms > 0 && params_.device.warpSize > 0,
+          "GpuSimulator: malformed device");
+  require(params_.sampling.warpsPerWave > 0 && params_.sampling.repsPerThread > 0 &&
+              params_.sampling.waves > 0,
+          "GpuSimulator: sampling budget must be positive");
+}
+
+GpuSimResult GpuSimulator::simulate(const ir::TargetRegion& region,
+                                    const symbolic::Bindings& bindings,
+                                    ir::ArrayStore& store) const {
+  const gpumodel::GpuDeviceParams& device = params_.device;
+  const ir::CompiledRegion compiled(region, bindings);
+  const std::int64_t trips = compiled.flatTripCount();
+
+  // Expected events of one (average) parallel iteration: scales traces the
+  // event budget truncates.
+  const ir::WalkPolicy averagePolicy{ir::WalkPolicy::TripMode::RuntimeAverage,
+                                     128.0, 0.5};
+  const double expectedEventsPerPoint =
+      estimateDynamicCounts(region, bindings, averagePolicy).totalEvents();
+
+  GpuSimResult result;
+
+  // ---- Grid geometry (identical policy to the analytical model) ----------
+  result.threadsPerBlock = device.defaultThreadsPerBlock;
+  const std::int64_t wantedBlocks =
+      (trips + result.threadsPerBlock - 1) / result.threadsPerBlock;
+  result.blocks = std::min<std::int64_t>(wantedBlocks,
+                                         device.effectiveMaxGridBlocks());
+  const std::int64_t gridThreads =
+      result.blocks * result.threadsPerBlock;
+  result.ompRep = std::ceil(static_cast<double>(trips) /
+                            static_cast<double>(gridThreads));
+
+  const int warpsPerBlock =
+      (result.threadsPerBlock + device.warpSize - 1) / device.warpSize;
+  const int blocksPerSmLimit = std::min(
+      {device.maxBlocksPerSm, device.maxWarpsPerSm / warpsPerBlock,
+       device.maxThreadsPerSm / result.threadsPerBlock});
+  const int activeSms =
+      static_cast<int>(std::min<std::int64_t>(device.sms, result.blocks));
+  const auto blocksPerSmAvailable =
+      static_cast<int>((result.blocks + activeSms - 1) / activeSms);
+  const int activeBlocksPerSm = std::min(blocksPerSmLimit, blocksPerSmAvailable);
+  const std::int64_t blocksPerWave =
+      static_cast<std::int64_t>(activeBlocksPerSm) * activeSms;
+  result.waves = (result.blocks + blocksPerWave - 1) / blocksPerWave;
+
+  // ---- Static per-site transaction counts via IPDA ------------------------
+  const ipda::Analysis analysis = ipda::Analysis::analyze(region);
+  std::vector<int> siteTransactions;
+  siteTransactions.reserve(analysis.records().size());
+  for (const ipda::StrideRecord& record : analysis.records()) {
+    siteTransactions.push_back(transactionsForClassification(
+        record.classify(bindings), static_cast<std::int64_t>(record.elementBytes),
+        device.warpSize, params_.memory.sectorBytes));
+  }
+
+  // ---- Array address map ---------------------------------------------------
+  std::vector<std::int64_t> arrayBaseBytes;
+  std::vector<std::int64_t> arrayElemBytes;
+  std::int64_t nextBase = 0;
+  for (const ir::ArrayDecl& decl : region.arrays) {
+    arrayBaseBytes.push_back(nextBase);
+    arrayElemBytes.push_back(static_cast<std::int64_t>(ir::sizeOf(decl.elementType)));
+    const std::int64_t bytes = decl.byteSize(bindings);
+    nextBase += ((bytes + 511) / 512) * 512;  // 512B-aligned allocations
+  }
+
+  // FP64 issue weighting from the region's element types.
+  std::size_t fp64Arrays = 0;
+  for (const ir::ArrayDecl& decl : region.arrays) {
+    if (decl.elementType == ir::ScalarType::F64 ||
+        decl.elementType == ir::ScalarType::I64)
+      ++fp64Arrays;
+  }
+  const double fp64Fraction =
+      region.arrays.empty()
+          ? 0.0
+          : static_cast<double>(fp64Arrays) / static_cast<double>(region.arrays.size());
+  const double issueMultiplier =
+      1.0 + fp64Fraction * (device.fp64IssueMultiplier - 1.0);
+
+  // ---- Sampled wave simulation ---------------------------------------------
+  // The device L2 is shared and these kernels' blocks share read-only
+  // inputs, so the traced SM sees the full L2 capacity.
+  support::SetAssociativeCache l2(params_.memory.l2BytesTotal,
+                                  params_.memory.l2Associativity,
+                                  params_.memory.sectorBytes);
+  WarpObserver observer(params_, siteTransactions, arrayBaseBytes,
+                        arrayElemBytes, issueMultiplier, l2);
+  ir::ExecutionContext context = compiled.makeContext(store, &observer);
+
+  const double perSmBytesPerCycle = device.memBandwidthBytesPerSec /
+                                    (device.coreClockHz * activeSms);
+
+  double waveCyclesSum = 0.0;
+  double issueBoundWeight = 0.0;
+  double latencyBoundWeight = 0.0;
+  double bandwidthBoundWeight = 0.0;
+  std::uint64_t l1Hits = 0, l1Misses = 0, l2HitsTotal = 0, l2MissesTotal = 0;
+  std::uint64_t tlbHits = 0, tlbMisses = 0;
+  std::uint64_t memAccesses = 0, transactions = 0;
+  int sampledWaves = 0;
+
+  for (const std::int64_t wave : spreadSamples(result.waves, params_.sampling.waves)) {
+    // Resident blocks of SM 0 in this wave.
+    std::vector<std::int64_t> residentBlocks;
+    for (int k = 0; k < activeBlocksPerSm; ++k) {
+      const std::int64_t block =
+          wave * blocksPerWave + static_cast<std::int64_t>(k) * activeSms;
+      if (block < result.blocks) residentBlocks.push_back(block);
+    }
+    if (residentBlocks.empty()) continue;
+    const std::int64_t residentWarps =
+        static_cast<std::int64_t>(residentBlocks.size()) * warpsPerBlock;
+
+    l2.reset();
+    const std::int64_t l1Share =
+        params_.memory.l1BytesPerSm /
+        std::max<std::int64_t>(1, residentWarps);
+
+    double issueSum = 0.0;
+    double latencyMax = 0.0;
+    double dramBytes = 0.0;
+    const std::vector<std::int64_t> warpSamples =
+        spreadSamples(residentWarps, params_.sampling.warpsPerWave);
+    for (const std::int64_t warpIndex : warpSamples) {
+      const std::int64_t block =
+          residentBlocks[static_cast<std::size_t>(warpIndex) /
+                         static_cast<std::size_t>(warpsPerBlock)];
+      const std::int64_t warpInBlock = warpIndex % warpsPerBlock;
+      const std::int64_t thread0 =
+          block * result.threadsPerBlock + warpInBlock * device.warpSize;
+      if (thread0 >= trips) continue;
+      // Total repetitions this thread executes (static block-cyclic
+      // schedule with stride gridThreads).
+      const std::int64_t threadReps =
+          (trips - thread0 + gridThreads - 1) / gridThreads;
+
+      observer.startWarp(l1Share);
+      int executedReps = 0;
+      double warpIssue = 0.0;
+      double warpStall = 0.0;
+      double warpDram = 0.0;
+      for (const std::int64_t rep :
+           spreadSamples(threadReps, params_.sampling.repsPerThread)) {
+        const std::int64_t iteration = thread0 + rep * gridThreads;
+        observer.beginPoint(params_.sampling.maxEventsPerPoint);
+        bool truncated = false;
+        try {
+          compiled.runPoint(context, iteration);
+        } catch (const ir::TraceBudgetExhausted&) {
+          truncated = true;
+        }
+        const WarpObserver::PointTotals& pt = observer.point();
+        double pointScale = 1.0;
+        if (truncated && pt.events > 0) {
+          pointScale = std::max(1.0, expectedEventsPerPoint /
+                                         static_cast<double>(pt.events));
+        }
+        warpIssue += pt.issueCycles * pointScale;
+        warpStall += pt.stallCycles * pointScale;
+        warpDram += static_cast<double>(pt.dramBytes) * pointScale;
+        l1Hits += pt.l1Hits;
+        l1Misses += pt.l1Misses;
+        l2HitsTotal += pt.l2Hits;
+        l2MissesTotal += pt.l2Misses;
+        tlbHits += pt.tlbHits;
+        tlbMisses += pt.tlbMisses;
+        memAccesses += pt.memAccesses;
+        transactions += pt.transactions;
+        ++executedReps;
+      }
+      if (executedReps == 0) continue;
+      const double repScale =
+          static_cast<double>(threadReps) / executedReps;
+      warpIssue *= repScale;
+      warpStall *= repScale;
+      issueSum += warpIssue;
+      latencyMax = std::max(
+          latencyMax, warpIssue + warpStall / params_.memory.warpMlp);
+      dramBytes += warpDram * repScale;
+    }
+    if (warpSamples.empty()) continue;
+
+    // Scale sampled warps to the full resident set.
+    const double warpScale = static_cast<double>(residentWarps) /
+                             static_cast<double>(warpSamples.size());
+    issueSum *= warpScale;
+    dramBytes *= warpScale;
+
+    const double bandwidthCycles = dramBytes / perSmBytesPerCycle;
+    const double waveCycles = std::max({issueSum, latencyMax, bandwidthCycles});
+    waveCyclesSum += waveCycles;
+    if (waveCycles <= 0.0) {
+      ++sampledWaves;
+      continue;
+    }
+    if (issueSum >= latencyMax && issueSum >= bandwidthCycles) {
+      issueBoundWeight += waveCycles;
+    } else if (latencyMax >= bandwidthCycles) {
+      latencyBoundWeight += waveCycles;
+    } else {
+      bandwidthBoundWeight += waveCycles;
+    }
+    ++sampledWaves;
+  }
+
+  const double meanWaveCycles =
+      sampledWaves > 0 ? waveCyclesSum / sampledWaves : 0.0;
+  const double kernelCycles = meanWaveCycles * static_cast<double>(result.waves);
+  result.kernelSeconds = kernelCycles / device.coreClockHz;
+
+  const double boundTotal =
+      issueBoundWeight + latencyBoundWeight + bandwidthBoundWeight;
+  if (boundTotal > 0.0) {
+    result.issueBoundFraction = issueBoundWeight / boundTotal;
+    result.latencyBoundFraction = latencyBoundWeight / boundTotal;
+    result.bandwidthBoundFraction = bandwidthBoundWeight / boundTotal;
+  }
+
+  result.sampledMemAccesses = memAccesses;
+  result.sampledTransactions = transactions;
+  result.avgTransactionsPerAccess =
+      memAccesses > 0 ? static_cast<double>(transactions) /
+                            static_cast<double>(memAccesses)
+                      : 0.0;
+  const std::uint64_t l1Total = l1Hits + l1Misses;
+  result.l1HitRate =
+      l1Total > 0 ? static_cast<double>(l1Hits) / static_cast<double>(l1Total) : 0.0;
+  const std::uint64_t l2Total = l2HitsTotal + l2MissesTotal;
+  result.l2HitRate = l2Total > 0 ? static_cast<double>(l2HitsTotal) /
+                                       static_cast<double>(l2Total)
+                                 : 0.0;
+  const std::uint64_t tlbTotal = tlbHits + tlbMisses;
+  result.tlbHitRate = tlbTotal > 0 ? static_cast<double>(tlbHits) /
+                                         static_cast<double>(tlbTotal)
+                                   : 0.0;
+
+  // ---- Transfers: chunked DMA ------------------------------------------------
+  auto dmaSeconds = [this](std::int64_t bytes) {
+    if (bytes <= 0) return 0.0;
+    const double chunks = std::ceil(static_cast<double>(bytes) /
+                                    static_cast<double>(params_.memory.dmaChunkBytes));
+    return static_cast<double>(bytes) /
+               (params_.device.transferBandwidthBytesPerSec *
+                params_.memory.dmaEfficiency) +
+           chunks * params_.memory.dmaPerChunkSec +
+           params_.device.transferLatencySec;
+  };
+  result.transferSeconds = dmaSeconds(region.bytesToDevice(bindings)) +
+                           dmaSeconds(region.bytesFromDevice(bindings));
+  result.launchSeconds = device.kernelLaunchOverheadSec;
+  result.totalSeconds =
+      result.kernelSeconds + result.transferSeconds + result.launchSeconds;
+  return result;
+}
+
+}  // namespace osel::gpusim

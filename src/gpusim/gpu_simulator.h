@@ -1,0 +1,130 @@
+// osel/gpusim/gpu_simulator.h — the ground-truth GPU timing simulator.
+//
+// Substitutes for the paper's physical K80/V100 measurements ("actual"
+// kernel time incl. transfer, excl. CUDA context init, §III/§IV.E). Where
+// the analytical Hong-Kim model abstracts, this simulator measures:
+//   * real trip counts and branch outcomes — sampled warps execute the
+//     kernel IR through the interpreter on real data;
+//   * real coalescing — per dynamic access, transactions derive from the
+//     runtime-resolved IPDA stride of its site;
+//   * a cache hierarchy — L1 (per-SM share) and L2 (device share) LRU
+//     simulations decide each transaction's service latency;
+//   * chunked DMA transfers with per-chunk overhead.
+//
+// Tractability: grids are sampled — a few warps per SM wave, a few OMP_Rep
+// repetitions per thread, a few waves per kernel — and scaled. Sampling is
+// deterministic; tests bound its error against full simulation on small
+// grids.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gpumodel/gpu_device.h"
+#include "ir/interpreter.h"
+#include "ir/region.h"
+
+namespace osel::gpusim {
+
+/// Cache-hierarchy and DMA parameters of the simulated device, layered on
+/// top of the shared GpuDeviceParams geometry.
+struct GpuMemoryParams {
+  std::int64_t l1BytesPerSm = 128 * 1024;
+  int l1Associativity = 4;
+  std::int64_t l2BytesTotal = 6 * 1024 * 1024;
+  int l2Associativity = 16;
+  int sectorBytes = 32;
+  /// GPU address-translation: per-SM TLB over large pages; a miss adds a
+  /// fixed walk penalty (Table III's "Access on TLB Hit" context).
+  std::int64_t tlbPageBytes = 2 * 1024 * 1024;
+  int tlbEntries = 32;
+  double tlbMissCycles = 300.0;
+  double l1HitCycles = 28.0;
+  double l2HitCycles = 193.0;
+  double dramCycles = 1029.0;
+  /// Issue gap between the sectors of one warp transaction burst.
+  double sectorIssueCycles = 4.0;
+  /// Outstanding memory requests one warp sustains (intra-warp ILP +
+  /// pipelined loads): a warp's accumulated miss latency divides by this
+  /// when composing its serial time.
+  double warpMlp = 4.0;
+  /// DMA engine behaviour for host<->device copies.
+  double dmaEfficiency = 0.92;
+  std::int64_t dmaChunkBytes = 2 * 1024 * 1024;
+  double dmaPerChunkSec = 3.0e-6;
+};
+
+/// Deterministic sampling budget. Larger values converge on the full
+/// simulation at proportional cost.
+struct GpuSamplingParams {
+  int warpsPerWave = 4;   ///< sampled warps per SM wave
+  int repsPerThread = 4;  ///< sampled #OMP_Rep repetitions per thread
+  int waves = 3;          ///< sampled block waves
+  /// Events traced per parallel iteration before the trace is truncated and
+  /// scaled by the point's expected event count (0 = unlimited). Bounds the
+  /// cost of kernels whose single iteration is enormous (e.g. CORR at
+  /// benchmark size).
+  std::uint64_t maxEventsPerPoint = 200000;
+};
+
+/// Complete simulator configuration.
+struct GpuSimParams {
+  gpumodel::GpuDeviceParams device;
+  GpuMemoryParams memory;
+  GpuSamplingParams sampling;
+
+  static GpuSimParams teslaV100();
+  static GpuSimParams teslaP100();
+  static GpuSimParams teslaK80();
+};
+
+/// Measured ("actual") execution of one target region.
+struct GpuSimResult {
+  double kernelSeconds = 0.0;
+  double transferSeconds = 0.0;
+  double launchSeconds = 0.0;
+  double totalSeconds = 0.0;  ///< transfer + launch + kernel
+
+  // Geometry the simulated runtime picked (matches the model's policy).
+  std::int64_t blocks = 0;
+  int threadsPerBlock = 0;
+  double ompRep = 1.0;
+  std::int64_t waves = 0;
+
+  // Sampled memory-system statistics (unscaled raw counts).
+  std::uint64_t sampledMemAccesses = 0;
+  std::uint64_t sampledTransactions = 0;
+  double l1HitRate = 0.0;
+  double l2HitRate = 0.0;
+  double tlbHitRate = 0.0;
+  /// Average transactions per warp memory instruction (1 == perfectly
+  /// coalesced / broadcast; 32 == fully serialized).
+  double avgTransactionsPerAccess = 0.0;
+  /// Fraction of kernel time attributable to each bound (diagnostics).
+  double issueBoundFraction = 0.0;
+  double latencyBoundFraction = 0.0;
+  double bandwidthBoundFraction = 0.0;
+
+  [[nodiscard]] std::string toString() const;
+};
+
+/// The simulator bound to one device configuration.
+class GpuSimulator {
+ public:
+  explicit GpuSimulator(GpuSimParams params);
+
+  /// Times one launch of `region` with parameters `bindings` against the
+  /// data in `store` (used for data-dependent branches; sampled threads
+  /// write their real results into it). `store` must match the region's
+  /// arrays under `bindings`.
+  [[nodiscard]] GpuSimResult simulate(const ir::TargetRegion& region,
+                                      const symbolic::Bindings& bindings,
+                                      ir::ArrayStore& store) const;
+
+  [[nodiscard]] const GpuSimParams& params() const { return params_; }
+
+ private:
+  GpuSimParams params_;
+};
+
+}  // namespace osel::gpusim

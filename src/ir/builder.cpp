@@ -1,0 +1,42 @@
+#include "ir/builder.h"
+
+#include "support/check.h"
+
+namespace osel::ir {
+
+RegionBuilder::RegionBuilder(std::string name) { region_.name = std::move(name); }
+
+RegionBuilder& RegionBuilder::param(const std::string& name) {
+  region_.params.push_back(name);
+  return *this;
+}
+
+RegionBuilder& RegionBuilder::array(const std::string& name, ScalarType type,
+                                    std::vector<symbolic::Expr> extents,
+                                    Transfer transfer) {
+  region_.arrays.push_back(ArrayDecl{name, type, std::move(extents), transfer});
+  return *this;
+}
+
+RegionBuilder& RegionBuilder::parallelFor(const std::string& var,
+                                          symbolic::Expr extent) {
+  region_.parallelDims.push_back(ParallelDim{var, std::move(extent)});
+  return *this;
+}
+
+RegionBuilder& RegionBuilder::statement(Stmt stmt) {
+  region_.body.push_back(std::move(stmt));
+  return *this;
+}
+
+RegionBuilder& RegionBuilder::statements(std::vector<Stmt> stmts) {
+  for (Stmt& stmt : stmts) region_.body.push_back(std::move(stmt));
+  return *this;
+}
+
+TargetRegion RegionBuilder::build() const {
+  region_.verify();
+  return region_;
+}
+
+}  // namespace osel::ir

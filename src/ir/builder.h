@@ -1,0 +1,73 @@
+// osel/ir/builder.h — fluent construction of TargetRegions plus a small DSL
+// of free functions so kernel definitions in src/polybench read close to the
+// OpenMP C sources they mirror.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/region.h"
+
+namespace osel::ir {
+
+/// Shorthand: symbolic expression for symbol `name`.
+[[nodiscard]] inline symbolic::Expr sym(const std::string& name) {
+  return symbolic::Expr::symbol(name);
+}
+
+/// Shorthand: symbolic constant.
+[[nodiscard]] inline symbolic::Expr cst(std::int64_t value) {
+  return symbolic::Expr::constant(value);
+}
+
+/// Shorthand: data-value constant.
+[[nodiscard]] inline Value num(double value) { return Value::constant(value); }
+
+/// Shorthand: scalar temporary reference.
+[[nodiscard]] inline Value local(const std::string& name) {
+  return Value::local(name);
+}
+
+/// Shorthand: array load.
+[[nodiscard]] inline Value read(const std::string& array,
+                                std::vector<symbolic::Expr> indices) {
+  return Value::arrayRead(array, std::move(indices));
+}
+
+/// Shorthand: integer index expression as a data operand.
+[[nodiscard]] inline Value asValue(const symbolic::Expr& expr) {
+  return Value::indexCast(expr);
+}
+
+/// Builds a verified TargetRegion step by step. Methods return *this for
+/// chaining; build() runs the verifier and returns the region.
+class RegionBuilder {
+ public:
+  explicit RegionBuilder(std::string name);
+
+  /// Declares a runtime parameter symbol (array extents, trip counts, ...).
+  RegionBuilder& param(const std::string& name);
+
+  /// Declares a mapped array.
+  RegionBuilder& array(const std::string& name, ScalarType type,
+                       std::vector<symbolic::Expr> extents, Transfer transfer);
+
+  /// Appends a parallel dimension (call order = outermost first). The
+  /// iteration space is [0, extent) with unit step.
+  RegionBuilder& parallelFor(const std::string& var, symbolic::Expr extent);
+
+  /// Appends one statement to the parallel body.
+  RegionBuilder& statement(Stmt stmt);
+
+  /// Appends several statements to the parallel body.
+  RegionBuilder& statements(std::vector<Stmt> stmts);
+
+  /// Verifies and returns the finished region. The builder is left valid but
+  /// further mutation affects only future build() calls.
+  [[nodiscard]] TargetRegion build() const;
+
+ private:
+  TargetRegion region_;
+};
+
+}  // namespace osel::ir

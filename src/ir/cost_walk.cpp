@@ -1,0 +1,121 @@
+#include "ir/cost_walk.h"
+
+#include <algorithm>
+#include <map>
+
+#include "support/check.h"
+
+namespace osel::ir {
+
+using support::require;
+
+namespace {
+
+double evalReal(const symbolic::Expr& expr,
+                const std::map<std::string, double>& env) {
+  return expr.evaluateReal(env);
+}
+
+class CostWalker {
+ public:
+  CostWalker(const TargetRegion& region, const symbolic::Bindings& bindings,
+             const WalkPolicy& policy)
+      : policy_(policy) {
+    for (const auto& [name, value] : bindings)
+      env_[name] = static_cast<double>(value);
+    // Parallel variables at their average point.
+    for (const ParallelDim& dim : region.parallelDims) {
+      const double extent = evalReal(dim.extent, env_);
+      require(extent > 0.0, "cost walk: non-positive parallel extent");
+      env_[dim.var] = (extent - 1.0) / 2.0;
+    }
+  }
+
+  DynamicCounts walk(const std::vector<Stmt>& body) {
+    DynamicCounts counts;
+    walkBody(body, 1.0, counts);
+    return counts;
+  }
+
+ private:
+  void countValue(const Value& value, double weight, DynamicCounts& counts) {
+    switch (value.kind()) {
+      case Value::Kind::ArrayRead:
+        counts.loads += weight;
+        counts.siteCounts.push_back(weight);
+        return;
+      case Value::Kind::Binary:
+        countValue(value.lhs(), weight, counts);
+        countValue(value.rhs(), weight, counts);
+        counts.arithOps += weight;
+        return;
+      case Value::Kind::Unary:
+        countValue(value.operand(), weight, counts);
+        if (value.unOp() == UnOp::Sqrt || value.unOp() == UnOp::Exp) {
+          counts.specialOps += weight;
+        } else {
+          counts.arithOps += weight;
+        }
+        return;
+      case Value::Kind::Constant:
+      case Value::Kind::Local:
+      case Value::Kind::IndexCast:
+        return;
+    }
+  }
+
+  void walkBody(const std::vector<Stmt>& body, double weight,
+                DynamicCounts& counts) {
+    for (const Stmt& stmt : body) {
+      switch (stmt.kind()) {
+        case Stmt::Kind::Assign:
+          countValue(stmt.value(), weight, counts);
+          break;
+        case Stmt::Kind::Store:
+          countValue(stmt.value(), weight, counts);
+          counts.stores += weight;
+          counts.siteCounts.push_back(weight);
+          break;
+        case Stmt::Kind::SeqLoop: {
+          double trips = policy_.fixedTrips;
+          if (policy_.mode == WalkPolicy::TripMode::RuntimeAverage) {
+            const double lo = evalReal(stmt.lowerBound(), env_);
+            const double hi = evalReal(stmt.upperBound(), env_);
+            trips = std::max(0.0, hi - lo);
+            // The loop variable's average value over its range.
+            env_[stmt.loopVar()] = lo + std::max(0.0, trips - 1.0) / 2.0;
+          } else {
+            env_[stmt.loopVar()] = (policy_.fixedTrips - 1.0) / 2.0;
+          }
+          counts.loopIterations += weight * trips;
+          walkBody(stmt.loopBody(), weight * trips, counts);
+          env_.erase(stmt.loopVar());
+          break;
+        }
+        case Stmt::Kind::If: {
+          counts.compares += weight;
+          countValue(stmt.condition().lhs, weight, counts);
+          countValue(stmt.condition().rhs, weight, counts);
+          walkBody(stmt.thenBody(), weight * policy_.branchProbability, counts);
+          walkBody(stmt.elseBody(), weight * (1.0 - policy_.branchProbability),
+                   counts);
+          break;
+        }
+      }
+    }
+  }
+
+  const WalkPolicy& policy_;
+  std::map<std::string, double> env_;
+};
+
+}  // namespace
+
+DynamicCounts estimateDynamicCounts(const TargetRegion& region,
+                                    const symbolic::Bindings& bindings,
+                                    const WalkPolicy& policy) {
+  CostWalker walker(region, bindings, policy);
+  return walker.walk(region.body);
+}
+
+}  // namespace osel::ir

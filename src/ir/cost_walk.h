@@ -1,0 +1,67 @@
+// osel/ir/cost_walk.h — closed-form dynamic operation counts.
+//
+// Estimates how many times each operation and access site executes per
+// *parallel iteration*, without running the kernel. Two policies share the
+// walker:
+//
+//   * RuntimeAverage — loop trip counts resolve from runtime bindings; a
+//     loop whose bounds depend on an enclosing variable is evaluated at that
+//     variable's average value. Bounds in osel kernels are affine, and the
+//     expectation of an affine function over a uniform range is exact, so
+//     triangular nests (CORR/COVAR/SYR2K) count correctly. The simulators
+//     use this to scale budget-truncated traces.
+//   * FixedAssumption — the paper's compiler abstraction (§IV.B): every
+//     sequential loop executes a fixed 128 iterations and conditionals run
+//     each arm half the time. The analytical models are fed these counts.
+//
+// Counts are per parallel iteration evaluated at the *average* parallel
+// point; multiply by the flat trip count for region totals.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/region.h"
+#include "symbolic/expr.h"
+
+namespace osel::ir {
+
+/// Trip-count policy of the walk.
+struct WalkPolicy {
+  enum class TripMode {
+    RuntimeAverage,   ///< resolve bounds from bindings (hybrid analysis)
+    FixedAssumption,  ///< assume fixedTrips iterations per loop (paper §IV.B)
+  };
+  TripMode mode = TripMode::RuntimeAverage;
+  /// Iterations assumed per sequential loop under FixedAssumption.
+  double fixedTrips = 128.0;
+  /// Probability of the then-arm of every conditional.
+  double branchProbability = 0.5;
+};
+
+/// Expected dynamic operation counts per parallel iteration.
+struct DynamicCounts {
+  double arithOps = 0.0;    ///< binary/cheap-unary FP operations
+  double specialOps = 0.0;  ///< sqrt/exp
+  double loads = 0.0;
+  double stores = 0.0;
+  double compares = 0.0;        ///< conditional evaluations
+  double loopIterations = 0.0;  ///< sequential loop iterations (bookkeeping)
+  /// Expected executions of each static access site, indexed identically to
+  /// ir::collectAccesses(region).
+  std::vector<double> siteCounts;
+
+  [[nodiscard]] double memoryAccesses() const { return loads + stores; }
+  [[nodiscard]] double totalEvents() const {
+    return arithOps + specialOps + loads + stores + compares + loopIterations;
+  }
+};
+
+/// Runs the walk. With RuntimeAverage mode, `bindings` must resolve every
+/// parameter used in loop bounds; parallel variables evaluate at their
+/// average value (extent-1)/2.
+[[nodiscard]] DynamicCounts estimateDynamicCounts(const TargetRegion& region,
+                                                  const symbolic::Bindings& bindings,
+                                                  const WalkPolicy& policy);
+
+}  // namespace osel::ir

@@ -1,0 +1,451 @@
+#include "ir/interpreter.h"
+
+#include <cmath>
+#include <functional>
+
+#include "support/check.h"
+
+namespace osel::ir {
+
+using support::ensure;
+using support::require;
+using symbolic::CompiledExpr;
+using symbolic::SlotMap;
+
+ArrayStore allocateArrays(const TargetRegion& region,
+                          const symbolic::Bindings& bindings) {
+  ArrayStore store;
+  for (const ArrayDecl& decl : region.arrays) {
+    store.emplace(decl.name,
+                  std::vector<double>(
+                      static_cast<std::size_t>(decl.elementCount(bindings))));
+  }
+  return store;
+}
+
+namespace detail {
+
+/// Mutable evaluation state threaded through compiled nodes.
+struct Env {
+  std::vector<std::int64_t> slots;    // params (constant) + loop variables
+  std::vector<double> locals;         // scalar temporaries
+  std::vector<double*> arrayData;     // resolved per runAll/runPoint call
+  std::vector<std::int64_t> arraySizes;
+  ExecutionObserver* observer = nullptr;
+};
+
+}  // namespace detail
+
+namespace {
+
+using detail::Env;
+
+struct CompiledValue;
+using ValuePtr = std::unique_ptr<const CompiledValue>;
+
+struct CompiledValue {
+  virtual ~CompiledValue() = default;
+  [[nodiscard]] virtual double eval(Env& env) const = 0;
+};
+
+struct ConstValue final : CompiledValue {
+  double literal;
+  explicit ConstValue(double v) : literal(v) {}
+  double eval(Env&) const override { return literal; }
+};
+
+struct LocalValue final : CompiledValue {
+  std::size_t slot;
+  explicit LocalValue(std::size_t s) : slot(s) {}
+  double eval(Env& env) const override { return env.locals[slot]; }
+};
+
+struct IndexCastValue final : CompiledValue {
+  CompiledExpr expr;
+  explicit IndexCastValue(CompiledExpr e) : expr(std::move(e)) {}
+  double eval(Env& env) const override {
+    return static_cast<double>(expr.evaluate(env.slots));
+  }
+};
+
+struct ArrayReadValue final : CompiledValue {
+  std::size_t arrayId;
+  std::size_t siteId;
+  CompiledExpr linearIndex;
+  ArrayReadValue(std::size_t id, std::size_t site, CompiledExpr idx)
+      : arrayId(id), siteId(site), linearIndex(std::move(idx)) {}
+  double eval(Env& env) const override {
+    const std::int64_t index = linearIndex.evaluate(env.slots);
+    ensure(index >= 0 && index < env.arraySizes[arrayId],
+           "interpreter: array read out of bounds");
+    if (env.observer != nullptr) env.observer->onLoad(arrayId, index, siteId);
+    return env.arrayData[arrayId][index];
+  }
+};
+
+struct BinaryValue final : CompiledValue {
+  BinOp op;
+  ValuePtr lhs;
+  ValuePtr rhs;
+  BinaryValue(BinOp o, ValuePtr l, ValuePtr r)
+      : op(o), lhs(std::move(l)), rhs(std::move(r)) {}
+  double eval(Env& env) const override {
+    const double a = lhs->eval(env);
+    const double b = rhs->eval(env);
+    if (env.observer != nullptr) env.observer->onArithmetic(false);
+    switch (op) {
+      case BinOp::Add:
+        return a + b;
+      case BinOp::Sub:
+        return a - b;
+      case BinOp::Mul:
+        return a * b;
+      case BinOp::Div:
+        return a / b;
+    }
+    return 0.0;
+  }
+};
+
+struct UnaryValue final : CompiledValue {
+  UnOp op;
+  ValuePtr operand;
+  UnaryValue(UnOp o, ValuePtr v) : op(o), operand(std::move(v)) {}
+  double eval(Env& env) const override {
+    const double a = operand->eval(env);
+    if (env.observer != nullptr)
+      env.observer->onArithmetic(op == UnOp::Sqrt || op == UnOp::Exp);
+    switch (op) {
+      case UnOp::Neg:
+        return -a;
+      case UnOp::Sqrt:
+        return std::sqrt(a);
+      case UnOp::Abs:
+        return std::fabs(a);
+      case UnOp::Exp:
+        return std::exp(a);
+    }
+    return 0.0;
+  }
+};
+
+struct CompiledStmt;
+using StmtPtr = std::unique_ptr<const CompiledStmt>;
+
+struct CompiledStmt {
+  virtual ~CompiledStmt() = default;
+  virtual void exec(Env& env) const = 0;
+};
+
+struct AssignStmt final : CompiledStmt {
+  std::size_t localSlot;
+  ValuePtr value;
+  AssignStmt(std::size_t slot, ValuePtr v) : localSlot(slot), value(std::move(v)) {}
+  void exec(Env& env) const override { env.locals[localSlot] = value->eval(env); }
+};
+
+struct StoreStmt final : CompiledStmt {
+  std::size_t arrayId;
+  std::size_t siteId;
+  CompiledExpr linearIndex;
+  ValuePtr value;
+  StoreStmt(std::size_t id, std::size_t site, CompiledExpr idx, ValuePtr v)
+      : arrayId(id),
+        siteId(site),
+        linearIndex(std::move(idx)),
+        value(std::move(v)) {}
+  void exec(Env& env) const override {
+    const double v = value->eval(env);
+    const std::int64_t index = linearIndex.evaluate(env.slots);
+    ensure(index >= 0 && index < env.arraySizes[arrayId],
+           "interpreter: array store out of bounds");
+    if (env.observer != nullptr) env.observer->onStore(arrayId, index, siteId);
+    env.arrayData[arrayId][index] = v;
+  }
+};
+
+struct SeqLoopStmt final : CompiledStmt {
+  std::size_t varSlot;
+  CompiledExpr lower;
+  CompiledExpr upper;
+  std::vector<StmtPtr> body;
+  void exec(Env& env) const override {
+    const std::int64_t lo = lower.evaluate(env.slots);
+    const std::int64_t hi = upper.evaluate(env.slots);
+    for (std::int64_t i = lo; i < hi; ++i) {
+      env.slots[varSlot] = i;
+      for (const StmtPtr& stmt : body) stmt->exec(env);
+      if (env.observer != nullptr) env.observer->onLoopIteration();
+    }
+  }
+};
+
+struct IfStmt final : CompiledStmt {
+  CmpOp op = CmpOp::LT;
+  ValuePtr lhs;
+  ValuePtr rhs;
+  std::vector<StmtPtr> thenBody;
+  std::vector<StmtPtr> elseBody;
+  void exec(Env& env) const override {
+    const double a = lhs->eval(env);
+    const double b = rhs->eval(env);
+    bool taken = false;
+    switch (op) {
+      case CmpOp::LT:
+        taken = a < b;
+        break;
+      case CmpOp::LE:
+        taken = a <= b;
+        break;
+      case CmpOp::GT:
+        taken = a > b;
+        break;
+      case CmpOp::GE:
+        taken = a >= b;
+        break;
+      case CmpOp::EQ:
+        taken = a == b;
+        break;
+      case CmpOp::NE:
+        taken = a != b;
+        break;
+    }
+    if (env.observer != nullptr) env.observer->onBranch(taken);
+    for (const StmtPtr& stmt : taken ? thenBody : elseBody) stmt->exec(env);
+  }
+};
+
+}  // namespace
+
+struct CompiledRegion::Impl {
+  TargetRegion source;
+  SlotMap slotMap;
+  std::vector<std::int64_t> paramSlotValues;  // initial slot image
+  std::map<std::string, std::size_t> localSlots;
+  std::vector<StmtPtr> body;
+  std::vector<std::int64_t> parallelExtents;
+  std::vector<std::size_t> parallelVarSlots;
+  std::vector<std::int64_t> arrayElementCounts;
+  std::int64_t flatTrips = 1;
+  // Access-site counter; assignment order matches ir::collectAccesses.
+  std::size_t nextSiteId = 0;
+
+  ValuePtr compileValue(const Value& value) {
+    switch (value.kind()) {
+      case Value::Kind::Constant:
+        return std::make_unique<ConstValue>(value.constantLiteral());
+      case Value::Kind::Local: {
+        const auto it = localSlots.find(value.localName());
+        require(it != localSlots.end(),
+                "CompiledRegion: local read before assignment: " +
+                    value.localName());
+        return std::make_unique<LocalValue>(it->second);
+      }
+      case Value::Kind::IndexCast:
+        return std::make_unique<IndexCastValue>(
+            CompiledExpr(value.indexExpr(), slotMap));
+      case Value::Kind::ArrayRead: {
+        const std::size_t id = arrayIdOf(value.arrayName());
+        const symbolic::Expr linear =
+            source.arrays[id].linearize(value.indices());
+        return std::make_unique<ArrayReadValue>(id, nextSiteId++,
+                                                CompiledExpr(linear, slotMap));
+      }
+      case Value::Kind::Binary:
+        return std::make_unique<BinaryValue>(value.binOp(), compileValue(value.lhs()),
+                                             compileValue(value.rhs()));
+      case Value::Kind::Unary:
+        return std::make_unique<UnaryValue>(value.unOp(),
+                                            compileValue(value.operand()));
+    }
+    ensure(false, "CompiledRegion: unreachable value kind");
+    return nullptr;
+  }
+
+  std::size_t arrayIdOf(const std::string& name) const {
+    for (std::size_t i = 0; i < source.arrays.size(); ++i) {
+      if (source.arrays[i].name == name) return i;
+    }
+    require(false, "CompiledRegion: unknown array " + name);
+    return 0;
+  }
+
+  std::size_t localSlotOf(const std::string& name) {
+    const auto [it, inserted] = localSlots.emplace(name, localSlots.size());
+    (void)inserted;
+    return it->second;
+  }
+
+  std::vector<StmtPtr> compileBody(const std::vector<Stmt>& stmts) {
+    std::vector<StmtPtr> out;
+    out.reserve(stmts.size());
+    for (const Stmt& stmt : stmts) {
+      switch (stmt.kind()) {
+        case Stmt::Kind::Assign: {
+          // Compile the value first: reads of the local refer to its prior
+          // definition, which must already exist.
+          ValuePtr value = compileValue(stmt.value());
+          out.push_back(std::make_unique<AssignStmt>(
+              localSlotOf(stmt.targetName()), std::move(value)));
+          break;
+        }
+        case Stmt::Kind::Store: {
+          const std::size_t id = arrayIdOf(stmt.targetName());
+          const symbolic::Expr linear =
+              source.arrays[id].linearize(stmt.storeIndices());
+          // Site order contract: the stored value's loads were compiled
+          // (and numbered) first, then the store site itself — matching
+          // ir::collectAccesses.
+          ValuePtr value = compileValue(stmt.value());
+          out.push_back(std::make_unique<StoreStmt>(
+              id, nextSiteId++, CompiledExpr(linear, slotMap),
+              std::move(value)));
+          break;
+        }
+        case Stmt::Kind::SeqLoop: {
+          auto loop = std::make_unique<SeqLoopStmt>();
+          loop->lower = CompiledExpr(stmt.lowerBound(), slotMap);
+          loop->upper = CompiledExpr(stmt.upperBound(), slotMap);
+          loop->varSlot = slotMap.slotOf(stmt.loopVar());
+          loop->body = compileBody(stmt.loopBody());
+          out.push_back(std::move(loop));
+          break;
+        }
+        case Stmt::Kind::If: {
+          auto branch = std::make_unique<IfStmt>();
+          branch->op = stmt.condition().op;
+          branch->lhs = compileValue(stmt.condition().lhs);
+          branch->rhs = compileValue(stmt.condition().rhs);
+          branch->thenBody = compileBody(stmt.thenBody());
+          branch->elseBody = compileBody(stmt.elseBody());
+          out.push_back(std::move(branch));
+          break;
+        }
+      }
+    }
+    return out;
+  }
+};
+
+CompiledRegion::CompiledRegion(const TargetRegion& region,
+                               const symbolic::Bindings& bindings)
+    : impl_(std::make_unique<Impl>()) {
+  region.verify();
+  impl_->source = region;
+
+  // Parameters become constant slots.
+  for (const std::string& param : region.params) {
+    const auto it = bindings.find(param);
+    require(it != bindings.end(),
+            "CompiledRegion: unbound parameter " + param);
+    const std::size_t slot = impl_->slotMap.slotOf(param);
+    if (impl_->paramSlotValues.size() <= slot)
+      impl_->paramSlotValues.resize(slot + 1, 0);
+    impl_->paramSlotValues[slot] = it->second;
+  }
+
+  for (const ParallelDim& dim : region.parallelDims) {
+    const std::int64_t extent = dim.extent.evaluate(bindings);
+    require(extent > 0, "CompiledRegion: non-positive parallel extent");
+    impl_->parallelExtents.push_back(extent);
+    impl_->parallelVarSlots.push_back(impl_->slotMap.slotOf(dim.var));
+    impl_->flatTrips *= extent;
+  }
+
+  for (const ArrayDecl& decl : region.arrays)
+    impl_->arrayElementCounts.push_back(decl.elementCount(bindings));
+
+  impl_->body = impl_->compileBody(region.body);
+}
+
+CompiledRegion::~CompiledRegion() = default;
+CompiledRegion::CompiledRegion(CompiledRegion&&) noexcept = default;
+CompiledRegion& CompiledRegion::operator=(CompiledRegion&&) noexcept = default;
+
+std::int64_t CompiledRegion::flatTripCount() const { return impl_->flatTrips; }
+
+std::int64_t CompiledRegion::parallelExtent(std::size_t dim) const {
+  require(dim < impl_->parallelExtents.size(),
+          "CompiledRegion: parallel dim out of range");
+  return impl_->parallelExtents[dim];
+}
+
+const TargetRegion& CompiledRegion::region() const { return impl_->source; }
+
+namespace {
+
+Env makeEnv(const CompiledRegion::Impl& impl, ArrayStore& store,
+            ExecutionObserver* observer) {
+  Env env;
+  env.slots.assign(impl.slotMap.size(), 0);
+  for (std::size_t i = 0; i < impl.paramSlotValues.size(); ++i)
+    env.slots[i] = impl.paramSlotValues[i];
+  env.locals.assign(impl.localSlots.size(), 0.0);
+  env.arrayData.reserve(impl.source.arrays.size());
+  env.arraySizes.reserve(impl.source.arrays.size());
+  for (std::size_t i = 0; i < impl.source.arrays.size(); ++i) {
+    const std::string& name = impl.source.arrays[i].name;
+    const auto it = store.find(name);
+    require(it != store.end(), "CompiledRegion: missing array storage " + name);
+    require(static_cast<std::int64_t>(it->second.size()) ==
+                impl.arrayElementCounts[i],
+            "CompiledRegion: storage size mismatch for " + name);
+    env.arrayData.push_back(it->second.data());
+    env.arraySizes.push_back(impl.arrayElementCounts[i]);
+  }
+  env.observer = observer;
+  return env;
+}
+
+void setPointCoords(const CompiledRegion::Impl& impl, Env& env,
+                    std::int64_t flatIndex) {
+  std::int64_t rest = flatIndex;
+  for (std::size_t d = impl.parallelExtents.size(); d > 0; --d) {
+    const std::int64_t extent = impl.parallelExtents[d - 1];
+    env.slots[impl.parallelVarSlots[d - 1]] = rest % extent;
+    rest /= extent;
+  }
+}
+
+}  // namespace
+
+void CompiledRegion::runPoint(std::int64_t flatIndex, ArrayStore& store,
+                              ExecutionObserver* observer) const {
+  require(flatIndex >= 0 && flatIndex < impl_->flatTrips,
+          "CompiledRegion::runPoint: flat index out of range");
+  Env env = makeEnv(*impl_, store, observer);
+  setPointCoords(*impl_, env, flatIndex);
+  for (const auto& stmt : impl_->body) stmt->exec(env);
+}
+
+void CompiledRegion::runAll(ArrayStore& store, ExecutionObserver* observer) const {
+  Env env = makeEnv(*impl_, store, observer);
+  for (std::int64_t flat = 0; flat < impl_->flatTrips; ++flat) {
+    setPointCoords(*impl_, env, flat);
+    for (const auto& stmt : impl_->body) stmt->exec(env);
+  }
+}
+
+ExecutionContext::ExecutionContext(std::unique_ptr<detail::Env> env)
+    : env_(std::move(env)) {}
+ExecutionContext::~ExecutionContext() = default;
+ExecutionContext::ExecutionContext(ExecutionContext&&) noexcept = default;
+ExecutionContext& ExecutionContext::operator=(ExecutionContext&&) noexcept =
+    default;
+
+ExecutionContext CompiledRegion::makeContext(ArrayStore& store,
+                                             ExecutionObserver* observer) const {
+  return ExecutionContext(
+      std::make_unique<detail::Env>(makeEnv(*impl_, store, observer)));
+}
+
+void CompiledRegion::runPoint(ExecutionContext& context,
+                              std::int64_t flatIndex) const {
+  require(flatIndex >= 0 && flatIndex < impl_->flatTrips,
+          "CompiledRegion::runPoint: flat index out of range");
+  Env& env = *context.env_;
+  setPointCoords(*impl_, env, flatIndex);
+  for (const auto& stmt : impl_->body) stmt->exec(env);
+}
+
+}  // namespace osel::ir

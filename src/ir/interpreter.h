@@ -1,0 +1,143 @@
+// osel/ir/interpreter.h — functional execution of target regions.
+//
+// The interpreter is the single execution engine behind:
+//   * correctness tests (kernel IR vs native reference implementations),
+//   * the ground-truth simulators — cpusim/gpusim attach an
+//     ExecutionObserver to harvest per-iteration instruction and address
+//     traces with *real* trip counts and *real* branch outcomes (the very
+//     information the analytical models abstract away, §IV.E).
+//
+// Regions are compiled once per (region, parameter-binding) pair: symbols
+// are resolved to dense slots, array indices to linearized CompiledExprs,
+// so per-point execution is allocation-free.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/region.h"
+#include "symbolic/compiled_expr.h"
+
+namespace osel::ir {
+
+/// Named array storage. All element types are stored as double; ScalarType
+/// still governs transfer sizes and footprints in the models/simulators.
+using ArrayStore = std::map<std::string, std::vector<double>>;
+
+/// Allocates zero-initialized storage for every array of `region` with
+/// extents resolved under `bindings`.
+[[nodiscard]] ArrayStore allocateArrays(const TargetRegion& region,
+                                        const symbolic::Bindings& bindings);
+
+/// Thrown by observers to abort a runPoint mid-trace once a sampling budget
+/// is exhausted. Timing simulators catch it and scale the partial trace by
+/// the point's expected event count (ir::estimateDynamicCounts).
+class TraceBudgetExhausted final : public std::exception {
+ public:
+  [[nodiscard]] const char* what() const noexcept override {
+    return "trace budget exhausted";
+  }
+};
+
+/// Callback interface for instruction/address tracing. Default
+/// implementations ignore everything, so observers override only what they
+/// meter. `arrayId` is the position of the array in the region declaration
+/// order; `linearIndex` is the row-major element index; `siteId` is the
+/// static access-site index, numbered identically to
+/// ir::collectAccesses(region) order — simulators use it to join dynamic
+/// events with per-site IPDA stride records.
+class ExecutionObserver {
+ public:
+  virtual ~ExecutionObserver() = default;
+  virtual void onLoad(std::size_t arrayId, std::int64_t linearIndex,
+                      std::size_t siteId) {
+    (void)arrayId;
+    (void)linearIndex;
+    (void)siteId;
+  }
+  virtual void onStore(std::size_t arrayId, std::int64_t linearIndex,
+                       std::size_t siteId) {
+    (void)arrayId;
+    (void)linearIndex;
+    (void)siteId;
+  }
+  /// One arithmetic operation; `special` marks long-latency math (sqrt/exp).
+  virtual void onArithmetic(bool special) { (void)special; }
+  /// A resolved conditional branch.
+  virtual void onBranch(bool taken) { (void)taken; }
+  /// One completed iteration of a sequential loop.
+  virtual void onLoopIteration() {}
+};
+
+namespace detail {
+struct Env;
+}  // namespace detail
+
+/// Reusable per-run state (slot image, local scalars, resolved array
+/// pointers). Create once via CompiledRegion::makeContext and reuse across
+/// runPoint calls to keep the hot path allocation-free.
+class ExecutionContext {
+ public:
+  ~ExecutionContext();
+  ExecutionContext(ExecutionContext&&) noexcept;
+  ExecutionContext& operator=(ExecutionContext&&) noexcept;
+  ExecutionContext(const ExecutionContext&) = delete;
+  ExecutionContext& operator=(const ExecutionContext&) = delete;
+
+ private:
+  friend class CompiledRegion;
+  explicit ExecutionContext(std::unique_ptr<detail::Env> env);
+  std::unique_ptr<detail::Env> env_;
+};
+
+/// A target region compiled against fixed parameter bindings.
+class CompiledRegion {
+ public:
+  /// Compiles `region` with all parameters bound. Throws if a parameter is
+  /// unbound or an extent is non-positive.
+  CompiledRegion(const TargetRegion& region, const symbolic::Bindings& bindings);
+  ~CompiledRegion();
+
+  CompiledRegion(CompiledRegion&&) noexcept;
+  CompiledRegion& operator=(CompiledRegion&&) noexcept;
+  CompiledRegion(const CompiledRegion&) = delete;
+  CompiledRegion& operator=(const CompiledRegion&) = delete;
+
+  /// Flattened parallel trip count (product of parallel extents).
+  [[nodiscard]] std::int64_t flatTripCount() const;
+
+  /// Resolved extent of parallel dimension `dim`.
+  [[nodiscard]] std::int64_t parallelExtent(std::size_t dim) const;
+
+  [[nodiscard]] const TargetRegion& region() const;
+
+  /// Executes the body for the parallel point with flattened index
+  /// `flatIndex` (row-major over parallel dims; the innermost dim varies
+  /// fastest, matching GPU thread adjacency). `store` must contain every
+  /// region array with the exact allocated size.
+  void runPoint(std::int64_t flatIndex, ArrayStore& store,
+                ExecutionObserver* observer = nullptr) const;
+
+  /// Executes every parallel point in flat order (a sequential functional
+  /// run of the whole region).
+  void runAll(ArrayStore& store, ExecutionObserver* observer = nullptr) const;
+
+  /// Builds a reusable execution context bound to `store`/`observer`. The
+  /// store must outlive the context and must not be resized while in use.
+  [[nodiscard]] ExecutionContext makeContext(ArrayStore& store,
+                                             ExecutionObserver* observer = nullptr) const;
+
+  /// Allocation-free variant of runPoint using a prepared context.
+  void runPoint(ExecutionContext& context, std::int64_t flatIndex) const;
+
+  /// Implementation detail exposed for the .cpp's internal helpers only.
+  struct Impl;
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace osel::ir

@@ -1,0 +1,94 @@
+// osel/ir/region.h — OpenMP-style target regions.
+//
+// A TargetRegion models the code a `#pragma omp target teams distribute
+// parallel for` construct outlines: a (possibly collapsed) parallel loop
+// nest whose body is sequential code, plus the data environment (mapped
+// arrays with transfer directions) and runtime parameters (symbols bound
+// just before launch).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/stmt.h"
+#include "ir/type.h"
+#include "symbolic/expr.h"
+
+namespace osel::ir {
+
+/// Direction of the `map` clause for an array.
+enum class Transfer {
+  To,      ///< host -> device before the kernel
+  From,    ///< device -> host after the kernel
+  ToFrom,  ///< both
+  Alloc,   ///< device-only scratch, no transfer
+};
+
+[[nodiscard]] std::string toString(Transfer transfer);
+
+/// A mapped array: name, element type, row-major symbolic extents, and
+/// transfer direction.
+struct ArrayDecl {
+  std::string name;
+  ScalarType elementType = ScalarType::F64;
+  std::vector<symbolic::Expr> extents;
+  Transfer transfer = Transfer::ToFrom;
+
+  /// Total element count once `bindings` resolves all extent symbols.
+  [[nodiscard]] std::int64_t elementCount(const symbolic::Bindings& bindings) const;
+
+  /// Total size in bytes once extents are resolved.
+  [[nodiscard]] std::int64_t byteSize(const symbolic::Bindings& bindings) const;
+
+  /// Row-major linearization of a symbolic multi-dimensional index. With
+  /// symbolic extents the result is a (polynomial) symbolic expression —
+  /// this is exactly the flattened addressing expression IPDA differences.
+  [[nodiscard]] symbolic::Expr linearize(const std::vector<symbolic::Expr>& indices) const;
+};
+
+/// One dimension of the parallel iteration space (outermost first). The
+/// extent is symbolic; the lower bound is always zero with unit step, which
+/// matches the canonicalized loops OpenMP compilers hand to the runtime.
+struct ParallelDim {
+  std::string var;
+  symbolic::Expr extent;
+};
+
+/// An outlined target region. Invariants are established by RegionBuilder
+/// and checked by verify().
+struct TargetRegion {
+  std::string name;
+  /// Runtime parameters (symbol names) the region depends on, e.g. "n".
+  std::vector<std::string> params;
+  std::vector<ArrayDecl> arrays;
+  /// Parallel dims, outermost first. The *flattened* iteration space is the
+  /// product of extents; adjacent flattened points differ by 1 in the
+  /// innermost var (that adjacency defines "adjacent GPU threads").
+  std::vector<ParallelDim> parallelDims;
+  std::vector<Stmt> body;
+
+  [[nodiscard]] const ArrayDecl& array(const std::string& arrayName) const;
+  [[nodiscard]] bool hasArray(const std::string& arrayName) const;
+
+  /// Flattened parallel trip count under `bindings`.
+  [[nodiscard]] std::int64_t flatTripCount(const symbolic::Bindings& bindings) const;
+
+  /// Bytes moved host->device before launch (To + ToFrom arrays).
+  [[nodiscard]] std::int64_t bytesToDevice(const symbolic::Bindings& bindings) const;
+
+  /// Bytes moved device->host after completion (From + ToFrom arrays).
+  [[nodiscard]] std::int64_t bytesFromDevice(const symbolic::Bindings& bindings) const;
+
+  /// Structural validation: names unique and non-empty, every array
+  /// reference declared, every symbol in every index/bound expression is a
+  /// parameter or an enclosing loop variable, every local read after a
+  /// definition. Throws support::PreconditionError describing the first
+  /// violation.
+  void verify() const;
+
+  /// Pretty print of the whole region (for examples and debugging).
+  [[nodiscard]] std::string toString() const;
+};
+
+}  // namespace osel::ir

@@ -1,0 +1,154 @@
+#include "ir/stmt.h"
+
+#include <sstream>
+
+#include "support/check.h"
+
+namespace osel::ir {
+
+using support::require;
+
+class StmtNode {
+ public:
+  Stmt::Kind kind;
+  std::string name;  // assign local / store array / loop var
+  std::vector<symbolic::Expr> indices;
+  Value value = Value::constant(0.0);
+  symbolic::Expr lower;
+  symbolic::Expr upper;
+  Condition cond;
+  std::vector<Stmt> bodyA;  // loop body / then
+  std::vector<Stmt> bodyB;  // else
+
+  explicit StmtNode(Stmt::Kind k) : kind(k) {}
+};
+
+Stmt Stmt::assign(const std::string& name, Value value) {
+  require(!name.empty(), "Stmt::assign: empty name");
+  auto node = std::make_shared<StmtNode>(Kind::Assign);
+  node->name = name;
+  node->value = std::move(value);
+  return Stmt(std::move(node));
+}
+
+Stmt Stmt::store(const std::string& array, std::vector<symbolic::Expr> indices,
+                 Value value) {
+  require(!array.empty(), "Stmt::store: empty array name");
+  require(!indices.empty(), "Stmt::store: no indices");
+  auto node = std::make_shared<StmtNode>(Kind::Store);
+  node->name = array;
+  node->indices = std::move(indices);
+  node->value = std::move(value);
+  return Stmt(std::move(node));
+}
+
+Stmt Stmt::seqLoop(const std::string& var, symbolic::Expr lower,
+                   symbolic::Expr upper, std::vector<Stmt> body) {
+  require(!var.empty(), "Stmt::seqLoop: empty loop variable");
+  auto node = std::make_shared<StmtNode>(Kind::SeqLoop);
+  node->name = var;
+  node->lower = std::move(lower);
+  node->upper = std::move(upper);
+  node->bodyA = std::move(body);
+  return Stmt(std::move(node));
+}
+
+Stmt Stmt::ifStmt(Condition cond, std::vector<Stmt> thenBody,
+                  std::vector<Stmt> elseBody) {
+  auto node = std::make_shared<StmtNode>(Kind::If);
+  node->cond = std::move(cond);
+  node->bodyA = std::move(thenBody);
+  node->bodyB = std::move(elseBody);
+  return Stmt(std::move(node));
+}
+
+Stmt::Kind Stmt::kind() const { return node_->kind; }
+
+const std::string& Stmt::targetName() const {
+  require(node_->kind == Kind::Assign || node_->kind == Kind::Store,
+          "Stmt: not an assignment/store");
+  return node_->name;
+}
+
+const std::vector<symbolic::Expr>& Stmt::storeIndices() const {
+  require(node_->kind == Kind::Store, "Stmt: not a store");
+  return node_->indices;
+}
+
+const Value& Stmt::value() const {
+  require(node_->kind == Kind::Assign || node_->kind == Kind::Store,
+          "Stmt: not an assignment/store");
+  return node_->value;
+}
+
+const std::string& Stmt::loopVar() const {
+  require(node_->kind == Kind::SeqLoop, "Stmt: not a loop");
+  return node_->name;
+}
+
+const symbolic::Expr& Stmt::lowerBound() const {
+  require(node_->kind == Kind::SeqLoop, "Stmt: not a loop");
+  return node_->lower;
+}
+
+const symbolic::Expr& Stmt::upperBound() const {
+  require(node_->kind == Kind::SeqLoop, "Stmt: not a loop");
+  return node_->upper;
+}
+
+const std::vector<Stmt>& Stmt::loopBody() const {
+  require(node_->kind == Kind::SeqLoop, "Stmt: not a loop");
+  return node_->bodyA;
+}
+
+const Condition& Stmt::condition() const {
+  require(node_->kind == Kind::If, "Stmt: not a conditional");
+  return node_->cond;
+}
+
+const std::vector<Stmt>& Stmt::thenBody() const {
+  require(node_->kind == Kind::If, "Stmt: not a conditional");
+  return node_->bodyA;
+}
+
+const std::vector<Stmt>& Stmt::elseBody() const {
+  require(node_->kind == Kind::If, "Stmt: not a conditional");
+  return node_->bodyB;
+}
+
+std::string Stmt::toString(std::size_t indent) const {
+  const std::string pad(indent, ' ');
+  std::ostringstream out;
+  switch (node_->kind) {
+    case Kind::Assign:
+      out << pad << node_->name << " = " << node_->value.toString() << ";\n";
+      break;
+    case Kind::Store: {
+      out << pad << node_->name;
+      for (const auto& index : node_->indices) out << "[" << index.toString() << "]";
+      out << " = " << node_->value.toString() << ";\n";
+      break;
+    }
+    case Kind::SeqLoop: {
+      out << pad << "for (" << node_->name << " = " << node_->lower.toString()
+          << "; " << node_->name << " < " << node_->upper.toString() << "; ++"
+          << node_->name << ") {\n";
+      for (const Stmt& stmt : node_->bodyA) out << stmt.toString(indent + 2);
+      out << pad << "}\n";
+      break;
+    }
+    case Kind::If: {
+      out << pad << "if (" << node_->cond.toString() << ") {\n";
+      for (const Stmt& stmt : node_->bodyA) out << stmt.toString(indent + 2);
+      if (!node_->bodyB.empty()) {
+        out << pad << "} else {\n";
+        for (const Stmt& stmt : node_->bodyB) out << stmt.toString(indent + 2);
+      }
+      out << pad << "}\n";
+      break;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace osel::ir

@@ -1,0 +1,71 @@
+// osel/ir/stmt.h — statements of a kernel body.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/value.h"
+#include "symbolic/expr.h"
+
+namespace osel::ir {
+
+class StmtNode;
+
+/// Immutable handle to a kernel-body statement. A body is a vector<Stmt>.
+class Stmt {
+ public:
+  enum class Kind {
+    Assign,   ///< local scalar `name` := value
+    Store,    ///< array[indices...] := value
+    SeqLoop,  ///< sequential `for (var = lower; var < upper; ++var) body`
+    If,       ///< conditional on a data-value comparison
+  };
+
+  /// `name := value` — defines or updates a scalar temporary.
+  static Stmt assign(const std::string& name, Value value);
+
+  /// `array[indices...] := value` (row-major indices).
+  static Stmt store(const std::string& array, std::vector<symbolic::Expr> indices,
+                    Value value);
+
+  /// A sequential loop nested inside the parallel body. `lower` inclusive,
+  /// `upper` exclusive, unit step; bounds are symbolic integer expressions
+  /// over enclosing loop variables and kernel parameters.
+  static Stmt seqLoop(const std::string& var, symbolic::Expr lower,
+                      symbolic::Expr upper, std::vector<Stmt> body);
+
+  /// `if (cond) then else otherwise`. The static analyses assume the branch
+  /// is taken 50% of the time (paper §IV.B); the interpreter resolves it
+  /// from real data.
+  static Stmt ifStmt(Condition cond, std::vector<Stmt> thenBody,
+                     std::vector<Stmt> elseBody = {});
+
+  [[nodiscard]] Kind kind() const;
+
+  // Assign / Store accessors.
+  [[nodiscard]] const std::string& targetName() const;  ///< local or array name
+  [[nodiscard]] const std::vector<symbolic::Expr>& storeIndices() const;  ///< Store
+  [[nodiscard]] const Value& value() const;  ///< Assign / Store
+
+  // SeqLoop accessors.
+  [[nodiscard]] const std::string& loopVar() const;
+  [[nodiscard]] const symbolic::Expr& lowerBound() const;
+  [[nodiscard]] const symbolic::Expr& upperBound() const;
+  [[nodiscard]] const std::vector<Stmt>& loopBody() const;
+
+  // If accessors.
+  [[nodiscard]] const Condition& condition() const;
+  [[nodiscard]] const std::vector<Stmt>& thenBody() const;
+  [[nodiscard]] const std::vector<Stmt>& elseBody() const;
+
+  /// Multi-line pretty print with `indent` leading spaces.
+  [[nodiscard]] std::string toString(std::size_t indent = 0) const;
+
+ private:
+  explicit Stmt(std::shared_ptr<const StmtNode> node) : node_(std::move(node)) {}
+
+  std::shared_ptr<const StmtNode> node_;
+};
+
+}  // namespace osel::ir

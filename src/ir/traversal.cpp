@@ -1,0 +1,186 @@
+#include "ir/traversal.h"
+
+namespace osel::ir {
+
+namespace {
+
+class AccessCollector {
+ public:
+  explicit AccessCollector(std::vector<AccessSite>& out) : out_(out) {}
+
+  void walkBody(const std::vector<Stmt>& body) {
+    for (const Stmt& stmt : body) walkStmt(stmt);
+  }
+
+ private:
+  void walkValue(const Value& value) {
+    switch (value.kind()) {
+      case Value::Kind::ArrayRead:
+        out_.push_back(AccessSite{value.arrayName(), value.indices(),
+                                  /*isStore=*/false, loops_, branchDepth_});
+        return;
+      case Value::Kind::Binary:
+        walkValue(value.lhs());
+        walkValue(value.rhs());
+        return;
+      case Value::Kind::Unary:
+        walkValue(value.operand());
+        return;
+      case Value::Kind::Constant:
+      case Value::Kind::Local:
+      case Value::Kind::IndexCast:
+        return;
+    }
+  }
+
+  void walkStmt(const Stmt& stmt) {
+    switch (stmt.kind()) {
+      case Stmt::Kind::Assign:
+        walkValue(stmt.value());
+        return;
+      case Stmt::Kind::Store:
+        walkValue(stmt.value());
+        out_.push_back(AccessSite{stmt.targetName(), stmt.storeIndices(),
+                                  /*isStore=*/true, loops_, branchDepth_});
+        return;
+      case Stmt::Kind::SeqLoop:
+        loops_.push_back(LoopContext{stmt.loopVar(), stmt.lowerBound(),
+                                     stmt.upperBound()});
+        walkBody(stmt.loopBody());
+        loops_.pop_back();
+        return;
+      case Stmt::Kind::If:
+        walkValue(stmt.condition().lhs);
+        walkValue(stmt.condition().rhs);
+        ++branchDepth_;
+        walkBody(stmt.thenBody());
+        walkBody(stmt.elseBody());
+        --branchDepth_;
+        return;
+    }
+  }
+
+  std::vector<AccessSite>& out_;
+  std::vector<LoopContext> loops_;
+  int branchDepth_ = 0;
+};
+
+}  // namespace
+
+std::vector<AccessSite> collectAccesses(const TargetRegion& region) {
+  std::vector<AccessSite> out;
+  AccessCollector(out).walkBody(region.body);
+  return out;
+}
+
+void forEachStmt(const std::vector<Stmt>& body,
+                 const std::function<void(const Stmt&)>& fn) {
+  for (const Stmt& stmt : body) {
+    fn(stmt);
+    switch (stmt.kind()) {
+      case Stmt::Kind::SeqLoop:
+        forEachStmt(stmt.loopBody(), fn);
+        break;
+      case Stmt::Kind::If:
+        forEachStmt(stmt.thenBody(), fn);
+        forEachStmt(stmt.elseBody(), fn);
+        break;
+      case Stmt::Kind::Assign:
+      case Stmt::Kind::Store:
+        break;
+    }
+  }
+}
+
+void forEachValue(const Value& value, const std::function<void(const Value&)>& fn) {
+  fn(value);
+  switch (value.kind()) {
+    case Value::Kind::Binary:
+      forEachValue(value.lhs(), fn);
+      forEachValue(value.rhs(), fn);
+      break;
+    case Value::Kind::Unary:
+      forEachValue(value.operand(), fn);
+      break;
+    case Value::Kind::Constant:
+    case Value::Kind::Local:
+    case Value::Kind::ArrayRead:
+    case Value::Kind::IndexCast:
+      break;
+  }
+}
+
+namespace {
+
+void countValue(const Value& value, OpCounts& counts) {
+  forEachValue(value, [&](const Value& v) {
+    switch (v.kind()) {
+      case Value::Kind::ArrayRead:
+        ++counts.loads;
+        break;
+      case Value::Kind::Binary:
+        ++counts.floatOps;
+        break;
+      case Value::Kind::Unary:
+        if (v.unOp() == UnOp::Sqrt || v.unOp() == UnOp::Exp) {
+          ++counts.specialOps;
+        } else {
+          ++counts.floatOps;
+        }
+        break;
+      case Value::Kind::Constant:
+      case Value::Kind::Local:
+      case Value::Kind::IndexCast:
+        break;
+    }
+  });
+}
+
+}  // namespace
+
+OpCounts countOpSites(const std::vector<Stmt>& body) {
+  OpCounts counts;
+  for (const Stmt& stmt : body) {
+    switch (stmt.kind()) {
+      case Stmt::Kind::Assign:
+        countValue(stmt.value(), counts);
+        break;
+      case Stmt::Kind::Store:
+        countValue(stmt.value(), counts);
+        ++counts.stores;
+        break;
+      case Stmt::Kind::SeqLoop: {
+        ++counts.seqLoops;
+        const OpCounts inner = countOpSites(stmt.loopBody());
+        counts.loads += inner.loads;
+        counts.stores += inner.stores;
+        counts.floatOps += inner.floatOps;
+        counts.specialOps += inner.specialOps;
+        counts.compares += inner.compares;
+        counts.seqLoops += inner.seqLoops;
+        counts.branches += inner.branches;
+        break;
+      }
+      case Stmt::Kind::If: {
+        ++counts.branches;
+        ++counts.compares;
+        countValue(stmt.condition().lhs, counts);
+        countValue(stmt.condition().rhs, counts);
+        for (const auto* arm : {&stmt.thenBody(), &stmt.elseBody()}) {
+          const OpCounts inner = countOpSites(*arm);
+          counts.loads += inner.loads;
+          counts.stores += inner.stores;
+          counts.floatOps += inner.floatOps;
+          counts.specialOps += inner.specialOps;
+          counts.compares += inner.compares;
+          counts.seqLoops += inner.seqLoops;
+          counts.branches += inner.branches;
+        }
+        break;
+      }
+    }
+  }
+  return counts;
+}
+
+}  // namespace osel::ir

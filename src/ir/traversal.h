@@ -1,0 +1,62 @@
+// osel/ir/traversal.h — read-only walks over region bodies shared by the
+// static analyses (IPDA, instruction loadout) and the simulators.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/region.h"
+
+namespace osel::ir {
+
+/// One enclosing sequential loop of an access/statement site.
+struct LoopContext {
+  std::string var;
+  symbolic::Expr lower;
+  symbolic::Expr upper;
+};
+
+/// A static memory access site in the region body.
+struct AccessSite {
+  std::string array;
+  std::vector<symbolic::Expr> indices;
+  bool isStore = false;
+  /// Sequential loops enclosing the site, outermost first. (Parallel dims
+  /// are part of the region, not repeated here.)
+  std::vector<LoopContext> enclosingLoops;
+  /// Number of enclosing conditional branches (then- or else- arms).
+  int branchDepth = 0;
+};
+
+/// Collects every static load/store site in the region body, in syntactic
+/// order (loads of a statement's operands before its store).
+[[nodiscard]] std::vector<AccessSite> collectAccesses(const TargetRegion& region);
+
+/// Statement-level pre-order walk including nested bodies. The callback
+/// receives each Stmt exactly once.
+void forEachStmt(const std::vector<Stmt>& body,
+                 const std::function<void(const Stmt&)>& fn);
+
+/// Value-tree pre-order walk.
+void forEachValue(const Value& value, const std::function<void(const Value&)>& fn);
+
+/// Counts of IR operations in a single statement list, *not* weighted by
+/// loop trip counts (the loadout analysis applies its own trip-count
+/// abstraction on top of these raw site counts).
+struct OpCounts {
+  std::int64_t loads = 0;
+  std::int64_t stores = 0;
+  std::int64_t floatOps = 0;  ///< arithmetic on data values
+  std::int64_t specialOps = 0;  ///< sqrt/exp (long-latency units)
+  std::int64_t compares = 0;
+  std::int64_t seqLoops = 0;
+  std::int64_t branches = 0;
+};
+
+/// Raw operation-site counts for `body` (no trip weighting, no branch
+/// probability; nested statements included).
+[[nodiscard]] OpCounts countOpSites(const std::vector<Stmt>& body);
+
+}  // namespace osel::ir

@@ -1,0 +1,19 @@
+#include "ir/type.h"
+
+namespace osel::ir {
+
+std::string toString(ScalarType type) {
+  switch (type) {
+    case ScalarType::F32:
+      return "f32";
+    case ScalarType::F64:
+      return "f64";
+    case ScalarType::I32:
+      return "i32";
+    case ScalarType::I64:
+      return "i64";
+  }
+  return "?";
+}
+
+}  // namespace osel::ir

@@ -1,0 +1,200 @@
+#include "ir/value.h"
+
+#include <sstream>
+
+#include "support/check.h"
+
+namespace osel::ir {
+
+using support::require;
+
+std::string toString(BinOp op) {
+  switch (op) {
+    case BinOp::Add:
+      return "+";
+    case BinOp::Sub:
+      return "-";
+    case BinOp::Mul:
+      return "*";
+    case BinOp::Div:
+      return "/";
+  }
+  return "?";
+}
+
+std::string toString(UnOp op) {
+  switch (op) {
+    case UnOp::Neg:
+      return "neg";
+    case UnOp::Sqrt:
+      return "sqrt";
+    case UnOp::Abs:
+      return "abs";
+    case UnOp::Exp:
+      return "exp";
+  }
+  return "?";
+}
+
+std::string toString(CmpOp op) {
+  switch (op) {
+    case CmpOp::LT:
+      return "<";
+    case CmpOp::LE:
+      return "<=";
+    case CmpOp::GT:
+      return ">";
+    case CmpOp::GE:
+      return ">=";
+    case CmpOp::EQ:
+      return "==";
+    case CmpOp::NE:
+      return "!=";
+  }
+  return "?";
+}
+
+/// Internal immutable node. A tagged union spelled out as optional fields;
+/// the public Value accessors enforce the kind discipline.
+class ValueNode {
+ public:
+  Value::Kind kind;
+  double literal = 0.0;
+  std::string name;  // local or array name
+  std::vector<symbolic::Expr> indices;
+  symbolic::Expr indexExpr;
+  BinOp binOp = BinOp::Add;
+  UnOp unOp = UnOp::Neg;
+  std::vector<Value> operands;
+
+  explicit ValueNode(Value::Kind k) : kind(k) {}
+};
+
+Value Value::constant(double literal) {
+  auto node = std::make_shared<ValueNode>(Kind::Constant);
+  node->literal = literal;
+  return Value(std::move(node));
+}
+
+Value Value::local(const std::string& name) {
+  require(!name.empty(), "Value::local: empty name");
+  auto node = std::make_shared<ValueNode>(Kind::Local);
+  node->name = name;
+  return Value(std::move(node));
+}
+
+Value Value::arrayRead(const std::string& array,
+                       std::vector<symbolic::Expr> indices) {
+  require(!array.empty(), "Value::arrayRead: empty array name");
+  require(!indices.empty(), "Value::arrayRead: no indices");
+  auto node = std::make_shared<ValueNode>(Kind::ArrayRead);
+  node->name = array;
+  node->indices = std::move(indices);
+  return Value(std::move(node));
+}
+
+Value Value::indexCast(symbolic::Expr expr) {
+  auto node = std::make_shared<ValueNode>(Kind::IndexCast);
+  node->indexExpr = std::move(expr);
+  return Value(std::move(node));
+}
+
+Value Value::binary(BinOp op, Value lhs, Value rhs) {
+  auto node = std::make_shared<ValueNode>(Kind::Binary);
+  node->binOp = op;
+  node->operands = {std::move(lhs), std::move(rhs)};
+  return Value(std::move(node));
+}
+
+Value Value::unary(UnOp op, Value operand) {
+  auto node = std::make_shared<ValueNode>(Kind::Unary);
+  node->unOp = op;
+  node->operands = {std::move(operand)};
+  return Value(std::move(node));
+}
+
+Value::Kind Value::kind() const { return node_->kind; }
+
+double Value::constantLiteral() const {
+  require(node_->kind == Kind::Constant, "Value: not a constant");
+  return node_->literal;
+}
+
+const std::string& Value::localName() const {
+  require(node_->kind == Kind::Local, "Value: not a local");
+  return node_->name;
+}
+
+const std::string& Value::arrayName() const {
+  require(node_->kind == Kind::ArrayRead, "Value: not an array read");
+  return node_->name;
+}
+
+const std::vector<symbolic::Expr>& Value::indices() const {
+  require(node_->kind == Kind::ArrayRead, "Value: not an array read");
+  return node_->indices;
+}
+
+const symbolic::Expr& Value::indexExpr() const {
+  require(node_->kind == Kind::IndexCast, "Value: not an index cast");
+  return node_->indexExpr;
+}
+
+BinOp Value::binOp() const {
+  require(node_->kind == Kind::Binary, "Value: not a binary op");
+  return node_->binOp;
+}
+
+UnOp Value::unOp() const {
+  require(node_->kind == Kind::Unary, "Value: not a unary op");
+  return node_->unOp;
+}
+
+const Value& Value::lhs() const {
+  require(node_->kind == Kind::Binary, "Value: not a binary op");
+  return node_->operands[0];
+}
+
+const Value& Value::rhs() const {
+  require(node_->kind == Kind::Binary, "Value: not a binary op");
+  return node_->operands[1];
+}
+
+const Value& Value::operand() const {
+  require(node_->kind == Kind::Unary, "Value: not a unary op");
+  return node_->operands[0];
+}
+
+std::string Value::toString() const {
+  std::ostringstream out;
+  switch (node_->kind) {
+    case Kind::Constant:
+      out << node_->literal;
+      break;
+    case Kind::Local:
+      out << node_->name;
+      break;
+    case Kind::ArrayRead: {
+      out << node_->name;
+      for (const auto& index : node_->indices) out << "[" << index.toString() << "]";
+      break;
+    }
+    case Kind::IndexCast:
+      out << "(double)(" << node_->indexExpr.toString() << ")";
+      break;
+    case Kind::Binary:
+      out << "(" << lhs().toString() << " " << osel::ir::toString(node_->binOp)
+          << " " << rhs().toString() << ")";
+      break;
+    case Kind::Unary:
+      out << osel::ir::toString(node_->unOp) << "(" << operand().toString() << ")";
+      break;
+  }
+  return out.str();
+}
+
+std::string Condition::toString() const {
+  return lhs.toString() + " " + osel::ir::toString(op) + " " + rhs.toString();
+}
+
+}  // namespace osel::ir

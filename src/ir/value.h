@@ -1,0 +1,104 @@
+// osel/ir/value.h — runtime-valued expression trees for kernel bodies.
+//
+// Two expression languages coexist in osel on purpose:
+//   * symbolic::Expr — integer *index* expressions (array subscripts, loop
+//     bounds). These are what IPDA differences to derive thread strides.
+//   * ir::Value — the *data* computation of the loop body (loads, arithmetic,
+//     math calls). These are what the MCA lowering turns into micro-ops and
+//     what the interpreter executes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "symbolic/expr.h"
+
+namespace osel::ir {
+
+/// Binary arithmetic operators on data values.
+enum class BinOp { Add, Sub, Mul, Div };
+
+/// Unary operators / math calls on data values.
+enum class UnOp { Neg, Sqrt, Abs, Exp };
+
+[[nodiscard]] std::string toString(BinOp op);
+[[nodiscard]] std::string toString(UnOp op);
+
+class ValueNode;
+
+/// Immutable handle to a data-value expression. Cheap to copy (shared
+/// ownership of an immutable tree).
+class Value {
+ public:
+  /// Node discriminator.
+  enum class Kind {
+    Constant,   ///< double literal
+    Local,      ///< named scalar temporary defined by an Assign
+    ArrayRead,  ///< load from a declared array at symbolic indices
+    IndexCast,  ///< integer symbolic expression converted to a data value
+    Binary,     ///< BinOp over two values
+    Unary,      ///< UnOp over one value
+  };
+
+  /// Literal constant.
+  static Value constant(double literal);
+  /// Reference to a scalar temporary named `name`.
+  static Value local(const std::string& name);
+  /// Load of `array[indices...]` (row-major). Indices are symbolic integer
+  /// expressions over loop variables and kernel parameters.
+  static Value arrayRead(const std::string& array,
+                         std::vector<symbolic::Expr> indices);
+  /// Integer index expression used as a data operand, e.g. `x / (double)n`.
+  static Value indexCast(symbolic::Expr expr);
+  static Value binary(BinOp op, Value lhs, Value rhs);
+  static Value unary(UnOp op, Value operand);
+
+  [[nodiscard]] Kind kind() const;
+  [[nodiscard]] double constantLiteral() const;          ///< Kind::Constant
+  [[nodiscard]] const std::string& localName() const;    ///< Kind::Local
+  [[nodiscard]] const std::string& arrayName() const;    ///< Kind::ArrayRead
+  [[nodiscard]] const std::vector<symbolic::Expr>& indices() const;  ///< ArrayRead
+  [[nodiscard]] const symbolic::Expr& indexExpr() const;  ///< Kind::IndexCast
+  [[nodiscard]] BinOp binOp() const;                      ///< Kind::Binary
+  [[nodiscard]] UnOp unOp() const;                        ///< Kind::Unary
+  [[nodiscard]] const Value& lhs() const;  ///< Binary
+  [[nodiscard]] const Value& rhs() const;  ///< Binary
+  [[nodiscard]] const Value& operand() const;  ///< Unary
+
+  [[nodiscard]] std::string toString() const;
+
+  friend Value operator+(const Value& a, const Value& b) {
+    return binary(BinOp::Add, a, b);
+  }
+  friend Value operator-(const Value& a, const Value& b) {
+    return binary(BinOp::Sub, a, b);
+  }
+  friend Value operator*(const Value& a, const Value& b) {
+    return binary(BinOp::Mul, a, b);
+  }
+  friend Value operator/(const Value& a, const Value& b) {
+    return binary(BinOp::Div, a, b);
+  }
+
+ private:
+  explicit Value(std::shared_ptr<const ValueNode> node) : node_(std::move(node)) {}
+
+  std::shared_ptr<const ValueNode> node_;
+};
+
+/// Comparison predicates for If conditions.
+enum class CmpOp { LT, LE, GT, GE, EQ, NE };
+
+[[nodiscard]] std::string toString(CmpOp op);
+
+/// A boolean condition comparing two data values.
+struct Condition {
+  Value lhs = Value::constant(0.0);
+  CmpOp op = CmpOp::LT;
+  Value rhs = Value::constant(0.0);
+
+  [[nodiscard]] std::string toString() const;
+};
+
+}  // namespace osel::ir

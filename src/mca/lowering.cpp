@@ -1,0 +1,229 @@
+#include "mca/lowering.h"
+
+#include <map>
+
+#include "support/check.h"
+
+namespace osel::mca {
+
+using support::require;
+
+namespace {
+
+/// Stateful lowering of one straight-line block.
+class Lowerer {
+ public:
+  explicit Lowerer(const ir::TargetRegion& region) : region_(region) {}
+
+  void lowerStmt(const ir::Stmt& stmt) {
+    switch (stmt.kind()) {
+      case ir::Stmt::Kind::Assign: {
+        const Reg value = lowerValue(stmt.value());
+        defineLocal(stmt.targetName(), value);
+        return;
+      }
+      case ir::Stmt::Kind::Store: {
+        const Reg value = lowerValue(stmt.value());
+        const Reg address = lowerIndex(
+            region_.array(stmt.targetName()).linearize(stmt.storeIndices()));
+        MInst store{MOp::Store, kInvalidReg, {}};
+        store.srcs.push_back(value);
+        if (address != kInvalidReg) store.srcs.push_back(address);
+        program_.insts.push_back(std::move(store));
+        return;
+      }
+      case ir::Stmt::Kind::SeqLoop:
+      case ir::Stmt::Kind::If:
+        require(false,
+                "mca lowering: control flow must be handled by the caller");
+        return;
+    }
+  }
+
+  void lowerCondition(const ir::Condition& condition) {
+    const Reg lhs = lowerValue(condition.lhs);
+    const Reg rhs = lowerValue(condition.rhs);
+    const Reg flag = fresh();
+    program_.insts.push_back(MInst{MOp::Cmp, flag, {lhs, rhs}});
+    program_.insts.push_back(MInst{MOp::Branch, kInvalidReg, {flag}});
+  }
+
+  /// Appends the induction increment and marks it loop-carried.
+  void closeAsLoopBody(const std::string& inductionVar) {
+    const Reg iv = symbolReg(inductionVar);
+    const Reg next = fresh();
+    program_.insts.push_back(MInst{MOp::IAlu, next, {iv}});
+    program_.loopCarried.emplace_back(iv, next);
+  }
+
+  MCProgram take() {
+    // Record reduction accumulators: locals read before their first write
+    // in this block and reassigned later.
+    for (const auto& [name, liveIn] : liveInLocals_) {
+      const auto def = locals_.find(name);
+      if (def != locals_.end() && def->second != liveIn)
+        program_.loopCarried.emplace_back(liveIn, def->second);
+    }
+    program_.regCount = next_;
+    return std::move(program_);
+  }
+
+ private:
+  Reg fresh() { return next_++; }
+
+  void defineLocal(const std::string& name, Reg reg) { locals_[name] = reg; }
+
+  Reg localReg(const std::string& name) {
+    const auto it = locals_.find(name);
+    if (it != locals_.end()) return it->second;
+    // Read before write in this block: live-in (e.g. accumulator defined by
+    // the previous iteration or by enclosing straight-line code).
+    const auto [liveIt, inserted] = liveInLocals_.emplace(name, next_);
+    if (inserted) ++next_;
+    return liveIt->second;
+  }
+
+  Reg symbolReg(const std::string& name) {
+    const auto [it, inserted] = symbols_.emplace(name, next_);
+    if (inserted) ++next_;
+    return it->second;
+  }
+
+  /// Emits the address arithmetic for an index polynomial: one IAlu per
+  /// variable factor (multiply) and one per additional term (accumulate).
+  /// Returns kInvalidReg for constant indices (immediate addressing).
+  Reg lowerIndex(const symbolic::Expr& index) {
+    Reg acc = kInvalidReg;
+    for (const auto& [mono, coeff] : index.terms()) {
+      (void)coeff;
+      if (mono.empty()) continue;  // constant term folds into displacement
+      Reg term = symbolReg(mono.front());
+      for (std::size_t f = 1; f < mono.size(); ++f) {
+        const Reg product = fresh();
+        program_.insts.push_back(
+            MInst{MOp::IAlu, product, {term, symbolReg(mono[f])}});
+        term = product;
+      }
+      if (acc == kInvalidReg) {
+        // First variable term: scaling by the coefficient is one IAlu.
+        const Reg scaled = fresh();
+        program_.insts.push_back(MInst{MOp::IAlu, scaled, {term}});
+        acc = scaled;
+      } else {
+        const Reg sum = fresh();
+        program_.insts.push_back(MInst{MOp::IAlu, sum, {acc, term}});
+        acc = sum;
+      }
+    }
+    return acc;
+  }
+
+  Reg lowerValue(const ir::Value& value) {
+    switch (value.kind()) {
+      case ir::Value::Kind::Constant:
+        return constantReg();
+      case ir::Value::Kind::Local:
+        return localReg(value.localName());
+      case ir::Value::Kind::IndexCast: {
+        // int->fp conversion: one IAlu-like move producing an FP value.
+        const Reg src = lowerIndex(value.indexExpr());
+        const Reg out = fresh();
+        MInst convert{MOp::IAlu, out, {}};
+        if (src != kInvalidReg) convert.srcs.push_back(src);
+        program_.insts.push_back(std::move(convert));
+        return out;
+      }
+      case ir::Value::Kind::ArrayRead: {
+        const Reg address = lowerIndex(
+            region_.array(value.arrayName()).linearize(value.indices()));
+        const Reg out = fresh();
+        MInst load{MOp::Load, out, {}};
+        if (address != kInvalidReg) load.srcs.push_back(address);
+        program_.insts.push_back(std::move(load));
+        return out;
+      }
+      case ir::Value::Kind::Binary: {
+        const Reg lhs = lowerValue(value.lhs());
+        const Reg rhs = lowerValue(value.rhs());
+        const Reg out = fresh();
+        MOp op = MOp::FAdd;
+        switch (value.binOp()) {
+          case ir::BinOp::Add:
+          case ir::BinOp::Sub:
+            op = MOp::FAdd;
+            break;
+          case ir::BinOp::Mul:
+            op = MOp::FMul;
+            break;
+          case ir::BinOp::Div:
+            op = MOp::FDiv;
+            break;
+        }
+        program_.insts.push_back(MInst{op, out, {lhs, rhs}});
+        return out;
+      }
+      case ir::Value::Kind::Unary: {
+        const Reg src = lowerValue(value.operand());
+        const Reg out = fresh();
+        MOp op = MOp::FAdd;
+        switch (value.unOp()) {
+          case ir::UnOp::Neg:
+          case ir::UnOp::Abs:
+            op = MOp::FAdd;  // sign-manipulation class
+            break;
+          case ir::UnOp::Sqrt:
+            op = MOp::FSqrt;
+            break;
+          case ir::UnOp::Exp:
+            op = MOp::FSpec;
+            break;
+        }
+        program_.insts.push_back(MInst{op, out, {src}});
+        return out;
+      }
+    }
+    require(false, "mca lowering: unreachable value kind");
+    return kInvalidReg;
+  }
+
+  /// All constants share one always-ready register.
+  Reg constantReg() {
+    if (constant_ == kInvalidReg) constant_ = fresh();
+    return constant_;
+  }
+
+  const ir::TargetRegion& region_;
+  MCProgram program_;
+  Reg next_ = 0;
+  Reg constant_ = kInvalidReg;
+  std::map<std::string, Reg> locals_;       // last def in this block
+  std::map<std::string, Reg> liveInLocals_; // first-read-before-write regs
+  std::map<std::string, Reg> symbols_;      // params / loop vars (live-in)
+};
+
+}  // namespace
+
+MCProgram lowerStraightLine(const ir::TargetRegion& region,
+                            std::span<const ir::Stmt> stmts) {
+  Lowerer lowerer(region);
+  for (const ir::Stmt& stmt : stmts) lowerer.lowerStmt(stmt);
+  return lowerer.take();
+}
+
+MCProgram lowerLoopBody(const ir::TargetRegion& region,
+                        std::span<const ir::Stmt> stmts,
+                        const std::string& inductionVar) {
+  Lowerer lowerer(region);
+  for (const ir::Stmt& stmt : stmts) lowerer.lowerStmt(stmt);
+  lowerer.closeAsLoopBody(inductionVar);
+  return lowerer.take();
+}
+
+MCProgram lowerCondition(const ir::TargetRegion& region,
+                         const ir::Condition& condition) {
+  Lowerer lowerer(region);
+  lowerer.lowerCondition(condition);
+  return lowerer.take();
+}
+
+}  // namespace osel::mca

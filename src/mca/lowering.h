@@ -1,0 +1,43 @@
+// osel/mca/lowering.h — kernel-IR to micro-op lowering.
+//
+// MCA analyzes straight-line instruction sequences, so lowering operates on
+// one nesting level at a time: Assign/Store statements lower directly;
+// SeqLoop and If statements are rejected here — the cost-model layer
+// (osel::compiler) recurses into their bodies and composes cycle counts with
+// the paper's trip-count/branch-probability abstractions.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "ir/region.h"
+#include "mca/minst.h"
+
+namespace osel::mca {
+
+/// Lowers the Assign/Store statements of one nesting level of `region`'s
+/// body to micro-ops. Array accesses linearize against the region's array
+/// declarations, emitting address arithmetic per index-expression term.
+/// Locals read before any write become live-in registers; a local that is
+/// both live-in and reassigned is recorded as loop-carried so the pipeline
+/// simulator can chain reduction accumulators across iterations.
+///
+/// Throws support::PreconditionError if `stmts` contains a SeqLoop or If.
+[[nodiscard]] MCProgram lowerStraightLine(const ir::TargetRegion& region,
+                                          std::span<const ir::Stmt> stmts);
+
+/// Like lowerStraightLine, but treats the statements as the body of a
+/// sequential loop over `inductionVar`: an induction-variable increment is
+/// appended and marked loop-carried, so back-to-back iterations carry the
+/// (short) address recurrence in addition to any reduction chain.
+[[nodiscard]] MCProgram lowerLoopBody(const ir::TargetRegion& region,
+                                      std::span<const ir::Stmt> stmts,
+                                      const std::string& inductionVar);
+
+/// Lowers an If condition to its compare micro-ops (operand evaluation +
+/// Cmp + Branch). Used to price the branch itself; arms are priced by the
+/// caller.
+[[nodiscard]] MCProgram lowerCondition(const ir::TargetRegion& region,
+                                       const ir::Condition& condition);
+
+}  // namespace osel::mca

@@ -1,0 +1,66 @@
+// osel/mca/machine_model.h — per-target scheduling models.
+//
+// Mirrors the information an LLVM backend scheduler exposes to llvm-mca:
+// dispatch width, scheduler window, execution pipes, and per-opcode latency
+// / pipe-binding / occupancy. The paper notes MCA "is limited by the quality
+// of information present in the scheduler" and lacks a cache model — both
+// properties are reproduced here by construction (Load latency is a flat
+// L1-hit figure).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mca/minst.h"
+
+namespace osel::mca {
+
+/// Scheduling entry for one micro-op class.
+struct OpModel {
+  /// Result latency in cycles (producer issue -> consumer may issue).
+  int latency = 1;
+  /// Bitmask over MachineModel::pipeNames of pipes able to execute the op.
+  std::uint32_t pipeMask = 0;
+  /// Cycles the chosen pipe stays busy (reciprocal throughput); 1 for fully
+  /// pipelined ops, >1 for dividers/sqrt.
+  int occupancy = 1;
+};
+
+/// A CPU core's scheduling model as MCA sees it.
+struct MachineModel {
+  std::string name;
+  /// Instructions dispatched into the scheduler window per cycle.
+  int dispatchWidth = 4;
+  /// Scheduler window (in-flight micro-ops).
+  int windowSize = 64;
+  /// In-order retirement bandwidth per cycle.
+  int retireWidth = 4;
+  std::vector<std::string> pipeNames;
+  std::map<MOp, OpModel> ops;
+
+  /// Looks up the model for `op`; throws support::PreconditionError if the
+  /// table has no entry (a model-definition bug).
+  [[nodiscard]] const OpModel& opModel(MOp op) const;
+
+  /// IBM POWER9-flavoured model (SMT4 core, single-thread view): 6-wide
+  /// dispatch, 2 load/store + 2 VSU double-precision + 2 fixed-point pipes,
+  /// 7-cycle FP pipeline, 5-cycle L1 load-to-use. Sources: POWER9 User
+  /// Manual figures as quoted by the paper (Table II context).
+  static MachineModel power9();
+
+  /// IBM POWER8-flavoured model: same pipe shape, slightly shallower window
+  /// and slower long-latency ops — the generational contrast the paper's
+  /// Table I leans on comes mostly from vector width and memory system
+  /// (modelled in cpusim), but scheduler-level differences are kept too.
+  static MachineModel power8();
+
+  /// A deliberately naive model used by the ablation bench: single pipe,
+  /// no overlap (latency == occupancy), which reduces the pipeline
+  /// simulation to a latency sum.
+  static MachineModel scalarLatencySum();
+};
+
+}  // namespace osel::mca

@@ -1,0 +1,66 @@
+// osel/mca/minst.h — the micro-operation ISA the MCA pipeline simulator
+// consumes.
+//
+// The real LLVM-MCA analyzes target assembly; osel has no binary code, so
+// the "compiler" lowers kernel-IR statements to this small class-level ISA
+// (one opcode per functional-unit class). That preserves exactly what MCA
+// extracts from real assembly: latencies, port usage, and data-dependency
+// chains — while staying ISA-neutral.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace osel::mca {
+
+/// Micro-op classes. Each maps to a latency/pipe entry in a MachineModel.
+enum class MOp {
+  FAdd,   ///< FP add/sub/neg/abs/compare-ish cheap FP op
+  FMul,   ///< FP multiply
+  FDiv,   ///< FP divide (long latency, poorly pipelined)
+  FSqrt,  ///< FP square root
+  FSpec,  ///< special math call (exp) — longest latency class
+  Load,   ///< memory load (fixed L1-hit latency: MCA has no cache model)
+  Store,  ///< memory store
+  IAlu,   ///< integer/address arithmetic
+  Cmp,    ///< compare feeding a branch
+  Branch, ///< conditional/unconditional branch
+};
+
+[[nodiscard]] std::string toString(MOp op);
+
+/// Virtual register id. Negative ids never appear; kInvalidReg marks "no
+/// destination" (stores, branches).
+using Reg = std::int32_t;
+inline constexpr Reg kInvalidReg = -1;
+
+/// One micro-op in SSA-ish form: a fresh destination register and up to a
+/// few source registers. A source that is never defined inside the analyzed
+/// block is live-in (ready at cycle zero of the first iteration); when the
+/// block is replayed for loop analysis, a live-in that *is* defined by the
+/// block picks up the previous iteration's definition — that is how
+/// loop-carried dependency chains (reduction accumulators) are modelled.
+struct MInst {
+  MOp op = MOp::IAlu;
+  Reg dest = kInvalidReg;
+  std::vector<Reg> srcs;
+
+  [[nodiscard]] std::string toString() const;
+};
+
+/// A straight-line block of micro-ops, the unit MCA analyzes.
+struct MCProgram {
+  std::vector<MInst> insts;
+  /// Number of distinct virtual registers referenced (defs and live-ins).
+  Reg regCount = 0;
+  /// Loop-carried pairs (liveInReg, lastDefReg): when the block is replayed
+  /// as consecutive loop iterations, a read of liveInReg in iteration i+1
+  /// depends on the definition of lastDefReg made in iteration i. This is
+  /// how reduction accumulators and induction variables serialize.
+  std::vector<std::pair<Reg, Reg>> loopCarried;
+
+  [[nodiscard]] std::string toString() const;
+};
+
+}  // namespace osel::mca

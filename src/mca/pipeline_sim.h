@@ -1,0 +1,62 @@
+// osel/mca/pipeline_sim.h — the MCA pipeline simulator.
+//
+// Emulates llvm-mca's dispatch/issue/retire loop over a MachineModel: the
+// block is replayed for a configurable number of iterations with register
+// renaming, so independent work pipelines across iterations while
+// loop-carried chains (MCProgram::loopCarried) serialize. Output mirrors the
+// llvm-mca summary: total cycles, IPC, per-pipe resource pressure, and the
+// block's steady-state cycles-per-iteration — the `Machine_cycles_per_iter`
+// the OpenMP CPU cost model consumes (paper §IV.A.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mca/machine_model.h"
+#include "mca/minst.h"
+
+namespace osel::mca {
+
+/// Result of simulating `iterations` back-to-back copies of a block.
+struct SimResult {
+  std::uint64_t totalCycles = 0;
+  std::uint64_t instructions = 0;
+  int iterations = 1;
+  /// Retired instructions per cycle.
+  double ipc = 0.0;
+  /// Average cycles per block iteration (totalCycles / iterations).
+  double averageCyclesPerIteration = 0.0;
+  /// Busy fraction of each pipe (same order as MachineModel::pipeNames).
+  std::vector<double> pipePressure;
+  /// Name of the most-pressured pipe ("-" for an empty block).
+  std::string bottleneckPipe = "-";
+};
+
+/// Simulates `iterations` renamed copies of `program` through `model`.
+/// Preconditions: iterations >= 1; every opcode present in the model.
+[[nodiscard]] SimResult simulate(const MCProgram& program,
+                                 const MachineModel& model, int iterations);
+
+/// Steady-state cycles per iteration: the marginal cost of one more
+/// iteration once the pipeline is warm, measured as
+/// (cycles(N) - cycles(1)) / (N - 1). For an empty block returns 0.
+[[nodiscard]] double steadyStateCyclesPerIteration(const MCProgram& program,
+                                                   const MachineModel& model,
+                                                   int iterations = 32);
+
+/// Renders an llvm-mca-style text report (summary + resource pressure
+/// table) for human inspection in examples and the ablation bench.
+[[nodiscard]] std::string renderReport(const SimResult& result,
+                                       const MachineModel& model);
+
+/// Renders an llvm-mca-style timeline for the first `iterations` copies of
+/// the block: one row per dynamic instruction, columns are cycles, with
+/// 'D' = dispatch, 'e' = executing, 'E' = completion, 'R' = retire.
+/// Intended for small blocks/iteration counts (the view is clipped at
+/// `maxCycles` columns).
+[[nodiscard]] std::string renderTimeline(const MCProgram& program,
+                                         const MachineModel& model,
+                                         int iterations, int maxCycles = 100);
+
+}  // namespace osel::mca

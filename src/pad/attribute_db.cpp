@@ -1,0 +1,213 @@
+#include "pad/attribute_db.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace osel::pad {
+
+using support::require;
+
+std::string serializeExpr(const symbolic::Expr& expr) {
+  if (expr.terms().empty()) return "0:_";
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& [mono, coeff] : expr.terms()) {
+    if (!first) out << '+';
+    first = false;
+    out << coeff << ':';
+    if (mono.empty()) {
+      out << '_';
+    } else {
+      for (std::size_t i = 0; i < mono.size(); ++i) {
+        if (i != 0) out << '*';
+        out << mono[i];
+      }
+    }
+  }
+  return out.str();
+}
+
+symbolic::Expr parseExpr(const std::string& text) {
+  require(!text.empty(), "parseExpr: empty input");
+  std::map<symbolic::Expr::Monomial, std::int64_t> terms;
+  std::istringstream in(text);
+  std::string term;
+  while (std::getline(in, term, '+')) {
+    const std::size_t colon = term.find(':');
+    require(colon != std::string::npos, "parseExpr: missing ':' in " + term);
+    char* end = nullptr;
+    const std::int64_t coeff = std::strtoll(term.c_str(), &end, 10);
+    require(end == term.c_str() + colon, "parseExpr: bad coefficient in " + term);
+    const std::string monoText = term.substr(colon + 1);
+    require(!monoText.empty(), "parseExpr: empty monomial in " + term);
+    symbolic::Expr::Monomial mono;
+    if (monoText != "_") {
+      std::istringstream monoIn(monoText);
+      std::string symbolName;
+      while (std::getline(monoIn, symbolName, '*')) {
+        require(!symbolName.empty(), "parseExpr: empty symbol in " + term);
+        mono.push_back(symbolName);
+      }
+    }
+    std::sort(mono.begin(), mono.end());
+    terms[mono] += coeff;
+  }
+  return symbolic::Expr::fromTerms(terms);
+}
+
+void AttributeDatabase::insert(RegionAttributes attributes) {
+  require(!attributes.regionName.empty(),
+          "AttributeDatabase::insert: empty region name");
+  entries_[attributes.regionName] = std::move(attributes);
+}
+
+const RegionAttributes* AttributeDatabase::find(const std::string& regionName) const {
+  const auto it = entries_.find(regionName);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+const RegionAttributes& AttributeDatabase::at(const std::string& regionName) const {
+  const RegionAttributes* entry = find(regionName);
+  require(entry != nullptr,
+          "AttributeDatabase: no attributes for region " + regionName);
+  return *entry;
+}
+
+namespace {
+
+/// Simple "key value" line writer/reader with one region per block.
+constexpr char kRegionHeader[] = "region";
+constexpr char kEndMarker[] = "end";
+
+}  // namespace
+
+std::string AttributeDatabase::serialize() const {
+  std::ostringstream out;
+  out << std::setprecision(17);  // round-trip doubles exactly
+  out << "osel-pad-v1\n";
+  for (const auto& [name, attr] : entries_) {
+    out << kRegionHeader << ' ' << name << '\n';
+    out << "params";
+    for (const auto& param : attr.params) out << ' ' << param;
+    out << '\n';
+    out << "comp " << attr.compInstsPerIter << '\n';
+    out << "special " << attr.specialInstsPerIter << '\n';
+    out << "loads " << attr.loadInstsPerIter << '\n';
+    out << "stores " << attr.storeInstsPerIter << '\n';
+    out << "fp64 " << attr.fp64Fraction << '\n';
+    out << "bytes_per_iter " << attr.bytesTouchedPerIteration << '\n';
+    for (const auto& [model, cycles] : attr.machineCyclesPerIter)
+      out << "mca " << model << ' ' << cycles << '\n';
+    for (const auto& stride : attr.strides) {
+      out << "stride " << (stride.affine ? 1 : 0) << ' '
+          << (stride.isStore ? 1 : 0) << ' ' << stride.elementBytes << ' '
+          << stride.countPerIteration << ' ' << serializeExpr(stride.stride)
+          << '\n';
+    }
+    out << "trips " << serializeExpr(attr.flatTripCount) << '\n';
+    out << "bytes_to " << serializeExpr(attr.bytesToDevice) << '\n';
+    out << "bytes_from " << serializeExpr(attr.bytesFromDevice) << '\n';
+    out << kEndMarker << '\n';
+  }
+  return out.str();
+}
+
+AttributeDatabase AttributeDatabase::deserialize(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  require(std::getline(in, line) && line == "osel-pad-v1",
+          "AttributeDatabase::deserialize: bad header");
+  AttributeDatabase db;
+  std::optional<RegionAttributes> current;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == kRegionHeader) {
+      require(!current.has_value(),
+              "AttributeDatabase::deserialize: nested region block");
+      current.emplace();
+      fields >> current->regionName;
+      require(!current->regionName.empty(),
+              "AttributeDatabase::deserialize: missing region name");
+      continue;
+    }
+    require(current.has_value(),
+            "AttributeDatabase::deserialize: field outside region block");
+    if (key == "params") {
+      std::string param;
+      while (fields >> param) current->params.push_back(param);
+    } else if (key == "comp") {
+      fields >> current->compInstsPerIter;
+    } else if (key == "special") {
+      fields >> current->specialInstsPerIter;
+    } else if (key == "loads") {
+      fields >> current->loadInstsPerIter;
+    } else if (key == "stores") {
+      fields >> current->storeInstsPerIter;
+    } else if (key == "fp64") {
+      fields >> current->fp64Fraction;
+    } else if (key == "bytes_per_iter") {
+      fields >> current->bytesTouchedPerIteration;
+    } else if (key == "mca") {
+      std::string model;
+      double cycles = 0.0;
+      fields >> model >> cycles;
+      current->machineCyclesPerIter[model] = cycles;
+    } else if (key == "stride") {
+      StrideAttribute stride;
+      int affine = 0;
+      int isStore = 0;
+      std::string exprText;
+      fields >> affine >> isStore >> stride.elementBytes >>
+          stride.countPerIteration >> exprText;
+      stride.affine = affine != 0;
+      stride.isStore = isStore != 0;
+      stride.stride = parseExpr(exprText);
+      current->strides.push_back(std::move(stride));
+    } else if (key == "trips") {
+      std::string exprText;
+      fields >> exprText;
+      current->flatTripCount = parseExpr(exprText);
+    } else if (key == "bytes_to") {
+      std::string exprText;
+      fields >> exprText;
+      current->bytesToDevice = parseExpr(exprText);
+    } else if (key == "bytes_from") {
+      std::string exprText;
+      fields >> exprText;
+      current->bytesFromDevice = parseExpr(exprText);
+    } else if (key == kEndMarker) {
+      db.insert(std::move(*current));
+      current.reset();
+    } else {
+      require(false, "AttributeDatabase::deserialize: unknown key " + key);
+    }
+  }
+  require(!current.has_value(),
+          "AttributeDatabase::deserialize: unterminated region block");
+  return db;
+}
+
+void AttributeDatabase::saveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  require(out.good(), "AttributeDatabase::saveToFile: cannot open " + path);
+  out << serialize();
+  require(out.good(), "AttributeDatabase::saveToFile: write failed: " + path);
+}
+
+AttributeDatabase AttributeDatabase::loadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "AttributeDatabase::loadFromFile: cannot open " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return deserialize(text.str());
+}
+
+}  // namespace osel::pad

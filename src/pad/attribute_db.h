@@ -1,0 +1,104 @@
+// osel/pad/attribute_db.h — the Program Attribute Database.
+//
+// The paper's hybrid framework (Fig. 2) splits analysis across compile time
+// and launch time: the compiler stores every statically derivable feature
+// of a target region — instruction loadout, symbolic IPDA stride
+// expressions, MCA cycles-per-iteration, symbolic transfer/trip-count
+// expressions — into a database "indexed by the target region's program and
+// location"; the OpenMP runtime queries it at launch, binds the runtime
+// values, and evaluates the performance models without ever touching the
+// IR. The database round-trips through a line-based text format so the
+// compile and run phases can live in different processes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "symbolic/expr.h"
+
+namespace osel::pad {
+
+/// One memory access site's symbolic stride record, as stored by the
+/// compiler after IPDA (paper §IV.C).
+struct StrideAttribute {
+  /// Symbolic inter-thread stride (elements); meaningful iff `affine`.
+  symbolic::Expr stride;
+  bool affine = false;
+  bool isStore = false;
+  std::int64_t elementBytes = 4;
+  /// Expected executions per parallel iteration under the compiler's
+  /// fixed-trip abstraction (weights the coalesced/uncoalesced split).
+  double countPerIteration = 1.0;
+};
+
+/// Everything the runtime needs to evaluate both performance models for one
+/// outlined target region.
+struct RegionAttributes {
+  std::string regionName;
+  std::vector<std::string> params;  ///< runtime symbols to bind at launch
+
+  // --- Instruction loadout (per parallel iteration, 128-trip / 50%-branch
+  // abstractions, paper §IV.B) ---------------------------------------------
+  double compInstsPerIter = 0.0;
+  double specialInstsPerIter = 0.0;
+  double loadInstsPerIter = 0.0;
+  double storeInstsPerIter = 0.0;
+  double fp64Fraction = 0.0;
+  /// Footprint estimate per parallel iteration (bytes) for the CPU model's
+  /// TLB term.
+  double bytesTouchedPerIteration = 0.0;
+
+  /// MCA Machine_cycles_per_iter, one entry per host machine model name.
+  std::map<std::string, double> machineCyclesPerIter;
+
+  /// IPDA stride records, in ir::collectAccesses order.
+  std::vector<StrideAttribute> strides;
+
+  // --- Symbolic runtime-completed expressions -------------------------------
+  symbolic::Expr flatTripCount;
+  symbolic::Expr bytesToDevice;
+  symbolic::Expr bytesFromDevice;
+};
+
+/// Serializes an Expr to a compact text form ("3:i*n+-1:_+2:j"; "_" is the
+/// constant term's empty monomial). Inverse of parseExpr.
+[[nodiscard]] std::string serializeExpr(const symbolic::Expr& expr);
+
+/// Parses the serializeExpr format. Throws support::PreconditionError on
+/// malformed input.
+[[nodiscard]] symbolic::Expr parseExpr(const std::string& text);
+
+/// The database: region name -> attributes.
+class AttributeDatabase {
+ public:
+  /// Inserts or replaces the entry for `attributes.regionName`.
+  void insert(RegionAttributes attributes);
+
+  /// Looks up a region; nullptr when absent.
+  [[nodiscard]] const RegionAttributes* find(const std::string& regionName) const;
+
+  /// Looks up a region; throws support::PreconditionError when absent.
+  [[nodiscard]] const RegionAttributes& at(const std::string& regionName) const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Text serialization (stable, line-based). Inverse of deserialize.
+  [[nodiscard]] std::string serialize() const;
+  static AttributeDatabase deserialize(const std::string& text);
+
+  /// Writes serialize() to `path` (the compile-phase side of the paper's
+  /// Fig. 2 database handoff). Throws support::PreconditionError on I/O
+  /// failure.
+  void saveToFile(const std::string& path) const;
+
+  /// Reads and deserializes a database written by saveToFile.
+  static AttributeDatabase loadFromFile(const std::string& path);
+
+ private:
+  std::map<std::string, RegionAttributes> entries_;
+};
+
+}  // namespace osel::pad

@@ -1,0 +1,47 @@
+#include <utility>
+
+#include "polybench/polybench.h"
+#include "support/check.h"
+
+namespace osel::polybench {
+
+using support::require;
+
+std::string toString(Mode mode) {
+  return mode == Mode::Test ? "test" : "benchmark";
+}
+
+Benchmark::Benchmark(std::string name, std::vector<ir::TargetRegion> kernels,
+                     std::int64_t testSize, std::int64_t benchmarkSize)
+    : name_(std::move(name)),
+      kernels_(std::move(kernels)),
+      testSize_(testSize),
+      benchmarkSize_(benchmarkSize) {
+  require(!kernels_.empty(), "Benchmark: no kernels");
+  require(testSize_ > 0 && benchmarkSize_ > 0, "Benchmark: bad sizes");
+  for (const ir::TargetRegion& kernel : kernels_) kernel.verify();
+}
+
+symbolic::Bindings Benchmark::bindings(std::int64_t nValue) const {
+  require(nValue > 2, "Benchmark::bindings: n too small for the kernels");
+  return symbolic::Bindings{{"n", nValue}};
+}
+
+ir::ArrayStore Benchmark::allocate(const symbolic::Bindings& b) const {
+  ir::ArrayStore store;
+  for (const ir::TargetRegion& kernel : kernels_) {
+    for (const ir::ArrayDecl& decl : kernel.arrays) {
+      const auto count = static_cast<std::size_t>(decl.elementCount(b));
+      const auto it = store.find(decl.name);
+      if (it == store.end()) {
+        store.emplace(decl.name, std::vector<double>(count));
+      } else {
+        require(it->second.size() == count,
+                "Benchmark::allocate: conflicting sizes for array " + decl.name);
+      }
+    }
+  }
+  return store;
+}
+
+}  // namespace osel::polybench

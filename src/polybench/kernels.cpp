@@ -1,0 +1,446 @@
+// Target-region definitions of the 13 Polybench benchmarks (24 kernels).
+// Loop structure, parallelization, and map clauses follow the PolyBench-GPU
+// OpenMP decomposition the paper evaluates; element type is F32 (PolyBench's
+// DATA_TYPE float), alpha = 1.5, beta = 1.2.
+#include <utility>
+
+#include "ir/builder.h"
+#include "polybench/polybench.h"
+#include "support/check.h"
+
+namespace osel::polybench {
+
+using namespace osel::ir;
+
+namespace {
+
+constexpr double kAlpha = 1.5;
+constexpr double kBeta = 1.2;
+
+symbolic::Expr n() { return sym("n"); }
+
+/// C = beta*C + alpha*A*B, 2D-parallel with a sequential reduction loop.
+TargetRegion matmulKernel(const std::string& name, const std::string& a,
+                          const std::string& b, const std::string& c,
+                          bool accumulateIntoC, double alpha, double beta) {
+  RegionBuilder builder(name);
+  builder.param("n")
+      .array(a, ScalarType::F32, {n(), n()}, Transfer::To)
+      .array(b, ScalarType::F32, {n(), n()}, Transfer::To)
+      .array(c, ScalarType::F32, {n(), n()},
+             accumulateIntoC ? Transfer::ToFrom : Transfer::From)
+      .parallelFor("i", n())
+      .parallelFor("j", n());
+  if (accumulateIntoC) {
+    builder.statement(
+        Stmt::assign("acc", read(c, {sym("i"), sym("j")}) * num(beta)));
+  } else {
+    builder.statement(Stmt::assign("acc", num(0.0)));
+  }
+  builder
+      .statement(Stmt::seqLoop(
+          "k", cst(0), n(),
+          {Stmt::assign("acc", local("acc") +
+                                   num(alpha) * read(a, {sym("i"), sym("k")}) *
+                                       read(b, {sym("k"), sym("j")}))}))
+      .statement(Stmt::store(c, {sym("i"), sym("j")}, local("acc")));
+  return builder.build();
+}
+
+Benchmark makeGemm() {
+  return Benchmark("GEMM",
+                   {matmulKernel("gemm_k1", "A", "B", "C",
+                                 /*accumulateIntoC=*/true, kAlpha, kBeta)},
+                   1100, 9600);
+}
+
+Benchmark make2mm() {
+  TargetRegion k1 = matmulKernel("2mm_k1", "A", "B", "tmp",
+                                 /*accumulateIntoC=*/false, kAlpha, 1.0);
+  TargetRegion k2 = matmulKernel("2mm_k2", "tmp", "C", "D",
+                                 /*accumulateIntoC=*/true, 1.0, kBeta);
+  return Benchmark("2MM", {std::move(k1), std::move(k2)}, 1100, 9600);
+}
+
+Benchmark make3mm() {
+  TargetRegion k1 =
+      matmulKernel("3mm_k1", "A", "B", "E", /*accumulateIntoC=*/false, 1.0, 1.0);
+  TargetRegion k2 =
+      matmulKernel("3mm_k2", "C", "D", "F", /*accumulateIntoC=*/false, 1.0, 1.0);
+  TargetRegion k3 =
+      matmulKernel("3mm_k3", "E", "F", "G", /*accumulateIntoC=*/false, 1.0, 1.0);
+  return Benchmark("3MM", {std::move(k1), std::move(k2), std::move(k3)}, 1100,
+                   9600);
+}
+
+Benchmark makeAtax() {
+  // tmp = A x (row-parallel), then y = A^T tmp (column-parallel).
+  TargetRegion k1 =
+      RegionBuilder("atax_k1")
+          .param("n")
+          .array("A", ScalarType::F32, {n(), n()}, Transfer::To)
+          .array("x", ScalarType::F32, {n()}, Transfer::To)
+          .array("tmp", ScalarType::F32, {n()}, Transfer::From)
+          .parallelFor("i", n())
+          .statement(Stmt::assign("acc", num(0.0)))
+          .statement(Stmt::seqLoop(
+              "j", cst(0), n(),
+              {Stmt::assign("acc", local("acc") +
+                                       read("A", {sym("i"), sym("j")}) *
+                                           read("x", {sym("j")}))}))
+          .statement(Stmt::store("tmp", {sym("i")}, local("acc")))
+          .build();
+  TargetRegion k2 =
+      RegionBuilder("atax_k2")
+          .param("n")
+          .array("A", ScalarType::F32, {n(), n()}, Transfer::To)
+          .array("tmp", ScalarType::F32, {n()}, Transfer::To)
+          .array("y", ScalarType::F32, {n()}, Transfer::From)
+          .parallelFor("j", n())
+          .statement(Stmt::assign("acc", num(0.0)))
+          .statement(Stmt::seqLoop(
+              "i", cst(0), n(),
+              {Stmt::assign("acc", local("acc") +
+                                       read("A", {sym("i"), sym("j")}) *
+                                           read("tmp", {sym("i")}))}))
+          .statement(Stmt::store("y", {sym("j")}, local("acc")))
+          .build();
+  return Benchmark("ATAX", {std::move(k1), std::move(k2)}, 1100, 9600);
+}
+
+Benchmark makeBicg() {
+  TargetRegion k1 =
+      RegionBuilder("bicg_k1")
+          .param("n")
+          .array("A", ScalarType::F32, {n(), n()}, Transfer::To)
+          .array("p", ScalarType::F32, {n()}, Transfer::To)
+          .array("q", ScalarType::F32, {n()}, Transfer::From)
+          .parallelFor("i", n())
+          .statement(Stmt::assign("acc", num(0.0)))
+          .statement(Stmt::seqLoop(
+              "j", cst(0), n(),
+              {Stmt::assign("acc", local("acc") +
+                                       read("A", {sym("i"), sym("j")}) *
+                                           read("p", {sym("j")}))}))
+          .statement(Stmt::store("q", {sym("i")}, local("acc")))
+          .build();
+  TargetRegion k2 =
+      RegionBuilder("bicg_k2")
+          .param("n")
+          .array("A", ScalarType::F32, {n(), n()}, Transfer::To)
+          .array("r", ScalarType::F32, {n()}, Transfer::To)
+          .array("s", ScalarType::F32, {n()}, Transfer::From)
+          .parallelFor("j", n())
+          .statement(Stmt::assign("acc", num(0.0)))
+          .statement(Stmt::seqLoop(
+              "i", cst(0), n(),
+              {Stmt::assign("acc", local("acc") +
+                                       read("A", {sym("i"), sym("j")}) *
+                                           read("r", {sym("i")}))}))
+          .statement(Stmt::store("s", {sym("j")}, local("acc")))
+          .build();
+  return Benchmark("BICG", {std::move(k1), std::move(k2)}, 1100, 9600);
+}
+
+Benchmark makeMvt() {
+  TargetRegion k1 =
+      RegionBuilder("mvt_k1")
+          .param("n")
+          .array("A", ScalarType::F32, {n(), n()}, Transfer::To)
+          .array("y1", ScalarType::F32, {n()}, Transfer::To)
+          .array("x1", ScalarType::F32, {n()}, Transfer::ToFrom)
+          .parallelFor("i", n())
+          .statement(Stmt::assign("acc", read("x1", {sym("i")})))
+          .statement(Stmt::seqLoop(
+              "j", cst(0), n(),
+              {Stmt::assign("acc", local("acc") +
+                                       read("A", {sym("i"), sym("j")}) *
+                                           read("y1", {sym("j")}))}))
+          .statement(Stmt::store("x1", {sym("i")}, local("acc")))
+          .build();
+  TargetRegion k2 =
+      RegionBuilder("mvt_k2")
+          .param("n")
+          .array("A", ScalarType::F32, {n(), n()}, Transfer::To)
+          .array("y2", ScalarType::F32, {n()}, Transfer::To)
+          .array("x2", ScalarType::F32, {n()}, Transfer::ToFrom)
+          .parallelFor("i", n())
+          .statement(Stmt::assign("acc", read("x2", {sym("i")})))
+          .statement(Stmt::seqLoop(
+              "j", cst(0), n(),
+              {Stmt::assign("acc", local("acc") +
+                                       read("A", {sym("j"), sym("i")}) *
+                                           read("y2", {sym("j")}))}))
+          .statement(Stmt::store("x2", {sym("i")}, local("acc")))
+          .build();
+  return Benchmark("MVT", {std::move(k1), std::move(k2)}, 1100, 9600);
+}
+
+Benchmark makeGesummv() {
+  TargetRegion k1 =
+      RegionBuilder("gesummv_k1")
+          .param("n")
+          .array("A", ScalarType::F32, {n(), n()}, Transfer::To)
+          .array("B", ScalarType::F32, {n(), n()}, Transfer::To)
+          .array("x", ScalarType::F32, {n()}, Transfer::To)
+          .array("y", ScalarType::F32, {n()}, Transfer::From)
+          .parallelFor("i", n())
+          .statement(Stmt::assign("a", num(0.0)))
+          .statement(Stmt::assign("b", num(0.0)))
+          .statement(Stmt::seqLoop(
+              "j", cst(0), n(),
+              {Stmt::assign("a", local("a") + read("A", {sym("i"), sym("j")}) *
+                                                  read("x", {sym("j")})),
+               Stmt::assign("b", local("b") + read("B", {sym("i"), sym("j")}) *
+                                                  read("x", {sym("j")}))}))
+          .statement(Stmt::store(
+              "y", {sym("i")},
+              num(kAlpha) * local("a") + num(kBeta) * local("b")))
+          .build();
+  return Benchmark("GESUMMV", {std::move(k1)}, 1100, 9600);
+}
+
+Benchmark make2dconv() {
+  // Interior 3x3 stencil; parallel dims cover [0, n-2) with +offsets.
+  const symbolic::Expr i = sym("i");
+  const symbolic::Expr j = sym("j");
+  auto a = [&](std::int64_t di, std::int64_t dj) {
+    return read("A", {i + di, j + dj});
+  };
+  TargetRegion k1 =
+      RegionBuilder("2dconv_k1")
+          .param("n")
+          .array("A", ScalarType::F32, {n(), n()}, Transfer::To)
+          .array("B", ScalarType::F32, {n(), n()}, Transfer::From)
+          .parallelFor("i", n() - 2)
+          .parallelFor("j", n() - 2)
+          .statement(Stmt::store(
+              "B", {i + 1, j + 1},
+              num(0.2) * a(0, 0) + num(-0.3) * a(0, 1) + num(0.4) * a(0, 2) +
+                  num(-0.5) * a(1, 0) + num(0.6) * a(1, 1) +
+                  num(-0.7) * a(1, 2) + num(0.8) * a(2, 0) +
+                  num(-0.9) * a(2, 1) + num(0.1) * a(2, 2)))
+          .build();
+  return Benchmark("2DCONV", {std::move(k1)}, 1100, 9600);
+}
+
+Benchmark make3dconv() {
+  const symbolic::Expr i = sym("i");
+  const symbolic::Expr j = sym("j");
+  const symbolic::Expr k = sym("k");
+  auto a = [&](std::int64_t di, std::int64_t dj, std::int64_t dk) {
+    return read("A", {i + di, j + dj, k + dk});
+  };
+  TargetRegion k1 =
+      RegionBuilder("3dconv_k1")
+          .param("n")
+          .array("A", ScalarType::F32, {n(), n(), n()}, Transfer::To)
+          .array("B", ScalarType::F32, {n(), n(), n()}, Transfer::From)
+          .parallelFor("i", n() - 2)
+          .parallelFor("j", n() - 2)
+          .statement(Stmt::seqLoop(
+              "k", cst(0), n() - 2,
+              {Stmt::store(
+                  "B", {i + 1, j + 1, k + 1},
+                  num(0.2) * a(0, 0, 0) + num(0.5) * a(0, 0, 2) +
+                      num(-0.8) * a(0, 2, 0) + num(-0.3) * a(0, 2, 2) +
+                      num(0.6) * a(2, 0, 0) + num(-0.9) * a(2, 0, 2) +
+                      num(0.4) * a(2, 2, 0) + num(0.7) * a(2, 2, 2) +
+                      num(-0.1) * a(1, 1, 1) + num(0.15) * a(1, 1, 0) +
+                      num(-0.25) * a(1, 1, 2))}))
+          .build();
+  // 9600^3 is not a real dataset; PolyBench's 3D convolution uses cubes.
+  return Benchmark("3DCONV", {std::move(k1)}, 256, 512);
+}
+
+Benchmark makeSyrk() {
+  TargetRegion k1 =
+      RegionBuilder("syrk_k1")
+          .param("n")
+          .array("A", ScalarType::F32, {n(), n()}, Transfer::To)
+          .array("C", ScalarType::F32, {n(), n()}, Transfer::ToFrom)
+          .parallelFor("i", n())
+          .parallelFor("j", n())
+          .statement(
+              Stmt::assign("acc", read("C", {sym("i"), sym("j")}) * num(kBeta)))
+          .statement(Stmt::seqLoop(
+              "k", cst(0), n(),
+              {Stmt::assign("acc",
+                            local("acc") + num(kAlpha) *
+                                               read("A", {sym("i"), sym("k")}) *
+                                               read("A", {sym("j"), sym("k")}))}))
+          .statement(Stmt::store("C", {sym("i"), sym("j")}, local("acc")))
+          .build();
+  return Benchmark("SYRK", {std::move(k1)}, 1100, 9600);
+}
+
+Benchmark makeSyr2k() {
+  TargetRegion k1 =
+      RegionBuilder("syr2k_k1")
+          .param("n")
+          .array("A", ScalarType::F32, {n(), n()}, Transfer::To)
+          .array("B", ScalarType::F32, {n(), n()}, Transfer::To)
+          .array("C", ScalarType::F32, {n(), n()}, Transfer::ToFrom)
+          .parallelFor("i", n())
+          .parallelFor("j", n())
+          .statement(
+              Stmt::assign("acc", read("C", {sym("i"), sym("j")}) * num(kBeta)))
+          .statement(Stmt::seqLoop(
+              "k", cst(0), n(),
+              {Stmt::assign(
+                  "acc", local("acc") +
+                             num(kAlpha) * read("A", {sym("i"), sym("k")}) *
+                                 read("B", {sym("j"), sym("k")}) +
+                             num(kAlpha) * read("B", {sym("i"), sym("k")}) *
+                                 read("A", {sym("j"), sym("k")}))}))
+          .statement(Stmt::store("C", {sym("i"), sym("j")}, local("acc")))
+          .build();
+  return Benchmark("SYR2K", {std::move(k1)}, 1100, 9600);
+}
+
+/// mean[j] = sum_i data[i][j] / n — shared by COVAR and CORR.
+TargetRegion meanKernel(const std::string& name) {
+  return RegionBuilder(name)
+      .param("n")
+      .array("data", ScalarType::F32, {n(), n()}, Transfer::To)
+      .array("mean", ScalarType::F32, {n()}, Transfer::From)
+      .parallelFor("j", n())
+      .statement(Stmt::assign("acc", num(0.0)))
+      .statement(Stmt::seqLoop(
+          "i", cst(0), n(),
+          {Stmt::assign("acc",
+                        local("acc") + read("data", {sym("i"), sym("j")}))}))
+      .statement(Stmt::store("mean", {sym("j")},
+                             local("acc") / asValue(n())))
+      .build();
+}
+
+Benchmark makeCovar() {
+  TargetRegion center =
+      RegionBuilder("covar_k2")
+          .param("n")
+          .array("data", ScalarType::F32, {n(), n()}, Transfer::ToFrom)
+          .array("mean", ScalarType::F32, {n()}, Transfer::To)
+          .parallelFor("i", n())
+          .parallelFor("j", n())
+          .statement(Stmt::store("data", {sym("i"), sym("j")},
+                                 read("data", {sym("i"), sym("j")}) -
+                                     read("mean", {sym("j")})))
+          .build();
+  TargetRegion covar =
+      RegionBuilder("covar_k3")
+          .param("n")
+          .array("data", ScalarType::F32, {n(), n()}, Transfer::To)
+          .array("symmat", ScalarType::F32, {n(), n()}, Transfer::From)
+          .parallelFor("j1", n())
+          .statement(Stmt::seqLoop(
+              "j2", sym("j1"), n(),
+              {Stmt::assign("acc", num(0.0)),
+               Stmt::seqLoop(
+                   "i", cst(0), n(),
+                   {Stmt::assign("acc",
+                                 local("acc") +
+                                     read("data", {sym("i"), sym("j1")}) *
+                                         read("data", {sym("i"), sym("j2")}))}),
+               Stmt::store("symmat", {sym("j1"), sym("j2")}, local("acc")),
+               Stmt::store("symmat", {sym("j2"), sym("j1")}, local("acc"))}))
+          .build();
+  return Benchmark("COVAR",
+                   {meanKernel("covar_k1"), std::move(center), std::move(covar)},
+                   1100, 9600);
+}
+
+Benchmark makeCorr() {
+  constexpr double kEps = 0.1;
+  TargetRegion stddev =
+      RegionBuilder("corr_k2")
+          .param("n")
+          .array("data", ScalarType::F32, {n(), n()}, Transfer::To)
+          .array("mean", ScalarType::F32, {n()}, Transfer::To)
+          .array("stddev", ScalarType::F32, {n()}, Transfer::From)
+          .parallelFor("j", n())
+          .statement(Stmt::assign("acc", num(0.0)))
+          .statement(Stmt::seqLoop(
+              "i", cst(0), n(),
+              {Stmt::assign("d", read("data", {sym("i"), sym("j")}) -
+                                     read("mean", {sym("j")})),
+               Stmt::assign("acc", local("acc") + local("d") * local("d"))}))
+          .statement(Stmt::assign(
+              "s", Value::unary(UnOp::Sqrt, local("acc") / asValue(n()))))
+          // The PolyBench guard: near-zero deviation divides by 1 instead.
+          .statement(Stmt::ifStmt(Condition{local("s"), CmpOp::LE, num(kEps)},
+                                  {Stmt::assign("s", num(1.0))}))
+          .statement(Stmt::store("stddev", {sym("j")}, local("s")))
+          .build();
+  TargetRegion reduce =
+      RegionBuilder("corr_k3")
+          .param("n")
+          .array("data", ScalarType::F32, {n(), n()}, Transfer::ToFrom)
+          .array("mean", ScalarType::F32, {n()}, Transfer::To)
+          .array("stddev", ScalarType::F32, {n()}, Transfer::To)
+          .parallelFor("i", n())
+          .parallelFor("j", n())
+          .statement(Stmt::store(
+              "data", {sym("i"), sym("j")},
+              (read("data", {sym("i"), sym("j")}) - read("mean", {sym("j")})) /
+                  (Value::unary(UnOp::Sqrt, asValue(n())) *
+                   read("stddev", {sym("j")}))))
+          .build();
+  TargetRegion corr =
+      RegionBuilder("corr_k4")
+          .param("n")
+          .array("data", ScalarType::F32, {n(), n()}, Transfer::To)
+          .array("corr", ScalarType::F32, {n(), n()}, Transfer::From)
+          .parallelFor("j1", n() - 1)
+          .statement(Stmt::store("corr", {sym("j1"), sym("j1")}, num(1.0)))
+          .statement(Stmt::seqLoop(
+              "j2", sym("j1") + 1, n(),
+              {Stmt::assign("acc", num(0.0)),
+               Stmt::seqLoop(
+                   "i", cst(0), n(),
+                   {Stmt::assign("acc",
+                                 local("acc") +
+                                     read("data", {sym("i"), sym("j1")}) *
+                                         read("data", {sym("i"), sym("j2")}))}),
+               Stmt::store("corr", {sym("j1"), sym("j2")}, local("acc")),
+               Stmt::store("corr", {sym("j2"), sym("j1")}, local("acc"))}))
+          .build();
+  return Benchmark("CORR",
+                   {meanKernel("corr_k1"), std::move(stddev), std::move(reduce),
+                    std::move(corr)},
+                   1100, 9600);
+}
+
+}  // namespace
+
+const std::vector<Benchmark>& suite() {
+  static const std::vector<Benchmark> benchmarks = [] {
+    std::vector<Benchmark> all;
+    all.push_back(makeGemm());
+    all.push_back(makeMvt());
+    all.push_back(make3mm());
+    all.push_back(make2mm());
+    all.push_back(makeAtax());
+    all.push_back(makeBicg());
+    all.push_back(make2dconv());
+    all.push_back(make3dconv());
+    all.push_back(makeCovar());
+    all.push_back(makeGesummv());
+    all.push_back(makeSyr2k());
+    all.push_back(makeSyrk());
+    all.push_back(makeCorr());
+    return all;
+  }();
+  return benchmarks;
+}
+
+const Benchmark& benchmarkByName(const std::string& name) {
+  for (const Benchmark& benchmark : suite()) {
+    if (benchmark.name() == name) return benchmark;
+  }
+  support::require(false, "polybench: unknown benchmark " + name);
+  static const Benchmark* never = nullptr;
+  return *never;  // unreachable
+}
+
+}  // namespace osel::polybench

@@ -1,0 +1,447 @@
+// Deterministic input initialization and native (plain-loop) reference
+// implementations of every benchmark pipeline. The references mirror the
+// kernel IR operation-for-operation (same literals, same summation order),
+// so interpreter output must match bit-for-bit in double precision.
+#include <cmath>
+#include <vector>
+
+#include "polybench/polybench.h"
+#include "support/check.h"
+
+namespace osel::polybench {
+
+using support::require;
+
+namespace {
+
+constexpr double kAlpha = 1.5;
+constexpr double kBeta = 1.2;
+
+using Grid = std::vector<double>;
+
+std::int64_t sizeOf(const symbolic::Bindings& bindings) {
+  const auto it = bindings.find("n");
+  require(it != bindings.end(), "polybench reference: missing binding n");
+  return it->second;
+}
+
+/// PolyBench-style deterministic matrix entry in [0, 1).
+double cell(std::int64_t i, std::int64_t j) {
+  return static_cast<double>((i * j + i + 7) % 1024) / 1024.0;
+}
+
+double vecCell(std::int64_t i) {
+  return static_cast<double>((3 * i + 11) % 512) / 512.0;
+}
+
+void fill2d(Grid& grid, std::int64_t n, std::int64_t salt) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j)
+      grid[static_cast<std::size_t>(i * n + j)] = cell(i + salt, j + 2 * salt);
+  }
+}
+
+void fill1d(Grid& grid, std::int64_t n, std::int64_t salt) {
+  for (std::int64_t i = 0; i < n; ++i)
+    grid[static_cast<std::size_t>(i)] = vecCell(i + salt);
+}
+
+void fill3d(Grid& grid, std::int64_t n, std::int64_t salt) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      for (std::int64_t k = 0; k < n; ++k)
+        grid[static_cast<std::size_t>((i * n + j) * n + k)] =
+            cell(i + k + salt, j + salt);
+    }
+  }
+}
+
+void zero(Grid& grid) { std::fill(grid.begin(), grid.end(), 0.0); }
+
+// ---- Shared reference pieces -----------------------------------------------
+
+/// C = beta*C + alpha*A*B (or overwrite when beta accumulation is off).
+void refMatmul(const Grid& a, const Grid& b, Grid& c, std::int64_t n,
+               bool accumulate, double alpha, double beta) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = accumulate ? c[static_cast<std::size_t>(i * n + j)] * beta : 0.0;
+      for (std::int64_t k = 0; k < n; ++k)
+        acc += alpha * a[static_cast<std::size_t>(i * n + k)] *
+               b[static_cast<std::size_t>(k * n + j)];
+      c[static_cast<std::size_t>(i * n + j)] = acc;
+    }
+  }
+}
+
+void refMean(const Grid& data, Grid& mean, std::int64_t n) {
+  for (std::int64_t j = 0; j < n; ++j) {
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < n; ++i)
+      acc += data[static_cast<std::size_t>(i * n + j)];
+    mean[static_cast<std::size_t>(j)] = acc / static_cast<double>(n);
+  }
+}
+
+// ---- Per-benchmark drivers --------------------------------------------------
+
+void initGemm(ir::ArrayStore& store, std::int64_t n) {
+  fill2d(store.at("A"), n, 1);
+  fill2d(store.at("B"), n, 2);
+  fill2d(store.at("C"), n, 3);
+}
+
+void refGemm(ir::ArrayStore& store, std::int64_t n) {
+  refMatmul(store.at("A"), store.at("B"), store.at("C"), n, true, kAlpha, kBeta);
+}
+
+void init2mm(ir::ArrayStore& store, std::int64_t n) {
+  fill2d(store.at("A"), n, 1);
+  fill2d(store.at("B"), n, 2);
+  fill2d(store.at("C"), n, 3);
+  fill2d(store.at("D"), n, 4);
+  zero(store.at("tmp"));
+}
+
+void ref2mm(ir::ArrayStore& store, std::int64_t n) {
+  refMatmul(store.at("A"), store.at("B"), store.at("tmp"), n, false, kAlpha, 1.0);
+  refMatmul(store.at("tmp"), store.at("C"), store.at("D"), n, true, 1.0, kBeta);
+}
+
+void init3mm(ir::ArrayStore& store, std::int64_t n) {
+  fill2d(store.at("A"), n, 1);
+  fill2d(store.at("B"), n, 2);
+  fill2d(store.at("C"), n, 3);
+  fill2d(store.at("D"), n, 4);
+  zero(store.at("E"));
+  zero(store.at("F"));
+  zero(store.at("G"));
+}
+
+void ref3mm(ir::ArrayStore& store, std::int64_t n) {
+  refMatmul(store.at("A"), store.at("B"), store.at("E"), n, false, 1.0, 1.0);
+  refMatmul(store.at("C"), store.at("D"), store.at("F"), n, false, 1.0, 1.0);
+  refMatmul(store.at("E"), store.at("F"), store.at("G"), n, false, 1.0, 1.0);
+}
+
+void initAtax(ir::ArrayStore& store, std::int64_t n) {
+  fill2d(store.at("A"), n, 1);
+  fill1d(store.at("x"), n, 2);
+  zero(store.at("tmp"));
+  zero(store.at("y"));
+}
+
+void refAtax(ir::ArrayStore& store, std::int64_t n) {
+  Grid& tmp = store.at("tmp");
+  const Grid& a = store.at("A");
+  const Grid& x = store.at("x");
+  for (std::int64_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::int64_t j = 0; j < n; ++j)
+      acc += a[static_cast<std::size_t>(i * n + j)] *
+             x[static_cast<std::size_t>(j)];
+    tmp[static_cast<std::size_t>(i)] = acc;
+  }
+  Grid& y = store.at("y");
+  for (std::int64_t j = 0; j < n; ++j) {
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < n; ++i)
+      acc += a[static_cast<std::size_t>(i * n + j)] *
+             tmp[static_cast<std::size_t>(i)];
+    y[static_cast<std::size_t>(j)] = acc;
+  }
+}
+
+void initBicg(ir::ArrayStore& store, std::int64_t n) {
+  fill2d(store.at("A"), n, 1);
+  fill1d(store.at("p"), n, 2);
+  fill1d(store.at("r"), n, 3);
+  zero(store.at("q"));
+  zero(store.at("s"));
+}
+
+void refBicg(ir::ArrayStore& store, std::int64_t n) {
+  const Grid& a = store.at("A");
+  Grid& q = store.at("q");
+  const Grid& p = store.at("p");
+  for (std::int64_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::int64_t j = 0; j < n; ++j)
+      acc += a[static_cast<std::size_t>(i * n + j)] *
+             p[static_cast<std::size_t>(j)];
+    q[static_cast<std::size_t>(i)] = acc;
+  }
+  Grid& s = store.at("s");
+  const Grid& r = store.at("r");
+  for (std::int64_t j = 0; j < n; ++j) {
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < n; ++i)
+      acc += a[static_cast<std::size_t>(i * n + j)] *
+             r[static_cast<std::size_t>(i)];
+    s[static_cast<std::size_t>(j)] = acc;
+  }
+}
+
+void initMvt(ir::ArrayStore& store, std::int64_t n) {
+  fill2d(store.at("A"), n, 1);
+  fill1d(store.at("y1"), n, 2);
+  fill1d(store.at("y2"), n, 3);
+  fill1d(store.at("x1"), n, 4);
+  fill1d(store.at("x2"), n, 5);
+}
+
+void refMvt(ir::ArrayStore& store, std::int64_t n) {
+  const Grid& a = store.at("A");
+  Grid& x1 = store.at("x1");
+  const Grid& y1 = store.at("y1");
+  for (std::int64_t i = 0; i < n; ++i) {
+    double acc = x1[static_cast<std::size_t>(i)];
+    for (std::int64_t j = 0; j < n; ++j)
+      acc += a[static_cast<std::size_t>(i * n + j)] *
+             y1[static_cast<std::size_t>(j)];
+    x1[static_cast<std::size_t>(i)] = acc;
+  }
+  Grid& x2 = store.at("x2");
+  const Grid& y2 = store.at("y2");
+  for (std::int64_t i = 0; i < n; ++i) {
+    double acc = x2[static_cast<std::size_t>(i)];
+    for (std::int64_t j = 0; j < n; ++j)
+      acc += a[static_cast<std::size_t>(j * n + i)] *
+             y2[static_cast<std::size_t>(j)];
+    x2[static_cast<std::size_t>(i)] = acc;
+  }
+}
+
+void initGesummv(ir::ArrayStore& store, std::int64_t n) {
+  fill2d(store.at("A"), n, 1);
+  fill2d(store.at("B"), n, 2);
+  fill1d(store.at("x"), n, 3);
+  zero(store.at("y"));
+}
+
+void refGesummv(ir::ArrayStore& store, std::int64_t n) {
+  const Grid& a = store.at("A");
+  const Grid& b = store.at("B");
+  const Grid& x = store.at("x");
+  Grid& y = store.at("y");
+  for (std::int64_t i = 0; i < n; ++i) {
+    double sumA = 0.0;
+    double sumB = 0.0;
+    for (std::int64_t j = 0; j < n; ++j) {
+      sumA += a[static_cast<std::size_t>(i * n + j)] *
+              x[static_cast<std::size_t>(j)];
+      sumB += b[static_cast<std::size_t>(i * n + j)] *
+              x[static_cast<std::size_t>(j)];
+    }
+    y[static_cast<std::size_t>(i)] = kAlpha * sumA + kBeta * sumB;
+  }
+}
+
+void init2dconv(ir::ArrayStore& store, std::int64_t n) {
+  fill2d(store.at("A"), n, 1);
+  zero(store.at("B"));
+}
+
+void ref2dconv(ir::ArrayStore& store, std::int64_t n) {
+  const Grid& a = store.at("A");
+  Grid& b = store.at("B");
+  auto at = [n](std::int64_t i, std::int64_t j) {
+    return static_cast<std::size_t>(i * n + j);
+  };
+  for (std::int64_t i = 0; i + 2 < n; ++i) {
+    for (std::int64_t j = 0; j + 2 < n; ++j) {
+      b[at(i + 1, j + 1)] =
+          0.2 * a[at(i, j)] + -0.3 * a[at(i, j + 1)] + 0.4 * a[at(i, j + 2)] +
+          -0.5 * a[at(i + 1, j)] + 0.6 * a[at(i + 1, j + 1)] +
+          -0.7 * a[at(i + 1, j + 2)] + 0.8 * a[at(i + 2, j)] +
+          -0.9 * a[at(i + 2, j + 1)] + 0.1 * a[at(i + 2, j + 2)];
+    }
+  }
+}
+
+void init3dconv(ir::ArrayStore& store, std::int64_t n) {
+  fill3d(store.at("A"), n, 1);
+  zero(store.at("B"));
+}
+
+void ref3dconv(ir::ArrayStore& store, std::int64_t n) {
+  const Grid& a = store.at("A");
+  Grid& b = store.at("B");
+  auto at = [n](std::int64_t i, std::int64_t j, std::int64_t k) {
+    return static_cast<std::size_t>((i * n + j) * n + k);
+  };
+  for (std::int64_t i = 0; i + 2 < n; ++i) {
+    for (std::int64_t j = 0; j + 2 < n; ++j) {
+      for (std::int64_t k = 0; k + 2 < n; ++k) {
+        b[at(i + 1, j + 1, k + 1)] =
+            0.2 * a[at(i, j, k)] + 0.5 * a[at(i, j, k + 2)] +
+            -0.8 * a[at(i, j + 2, k)] + -0.3 * a[at(i, j + 2, k + 2)] +
+            0.6 * a[at(i + 2, j, k)] + -0.9 * a[at(i + 2, j, k + 2)] +
+            0.4 * a[at(i + 2, j + 2, k)] + 0.7 * a[at(i + 2, j + 2, k + 2)] +
+            -0.1 * a[at(i + 1, j + 1, k + 1)] + 0.15 * a[at(i + 1, j + 1, k)] +
+            -0.25 * a[at(i + 1, j + 1, k + 2)];
+      }
+    }
+  }
+}
+
+void initSyrk(ir::ArrayStore& store, std::int64_t n) {
+  fill2d(store.at("A"), n, 1);
+  fill2d(store.at("C"), n, 2);
+}
+
+void refSyrk(ir::ArrayStore& store, std::int64_t n) {
+  const Grid& a = store.at("A");
+  Grid& c = store.at("C");
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = c[static_cast<std::size_t>(i * n + j)] * kBeta;
+      for (std::int64_t k = 0; k < n; ++k)
+        acc += kAlpha * a[static_cast<std::size_t>(i * n + k)] *
+               a[static_cast<std::size_t>(j * n + k)];
+      c[static_cast<std::size_t>(i * n + j)] = acc;
+    }
+  }
+}
+
+void initSyr2k(ir::ArrayStore& store, std::int64_t n) {
+  fill2d(store.at("A"), n, 1);
+  fill2d(store.at("B"), n, 2);
+  fill2d(store.at("C"), n, 3);
+}
+
+void refSyr2k(ir::ArrayStore& store, std::int64_t n) {
+  const Grid& a = store.at("A");
+  const Grid& b = store.at("B");
+  Grid& c = store.at("C");
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = c[static_cast<std::size_t>(i * n + j)] * kBeta;
+      for (std::int64_t k = 0; k < n; ++k) {
+        acc += kAlpha * a[static_cast<std::size_t>(i * n + k)] *
+                   b[static_cast<std::size_t>(j * n + k)] +
+               kAlpha * b[static_cast<std::size_t>(i * n + k)] *
+                   a[static_cast<std::size_t>(j * n + k)];
+      }
+      c[static_cast<std::size_t>(i * n + j)] = acc;
+    }
+  }
+}
+
+void initCovar(ir::ArrayStore& store, std::int64_t n) {
+  fill2d(store.at("data"), n, 1);
+  zero(store.at("mean"));
+  zero(store.at("symmat"));
+}
+
+void refCovar(ir::ArrayStore& store, std::int64_t n) {
+  Grid& data = store.at("data");
+  Grid& mean = store.at("mean");
+  refMean(data, mean, n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j)
+      data[static_cast<std::size_t>(i * n + j)] -=
+          mean[static_cast<std::size_t>(j)];
+  }
+  Grid& symmat = store.at("symmat");
+  for (std::int64_t j1 = 0; j1 < n; ++j1) {
+    for (std::int64_t j2 = j1; j2 < n; ++j2) {
+      double acc = 0.0;
+      for (std::int64_t i = 0; i < n; ++i)
+        acc += data[static_cast<std::size_t>(i * n + j1)] *
+               data[static_cast<std::size_t>(i * n + j2)];
+      symmat[static_cast<std::size_t>(j1 * n + j2)] = acc;
+      symmat[static_cast<std::size_t>(j2 * n + j1)] = acc;
+    }
+  }
+}
+
+void initCorr(ir::ArrayStore& store, std::int64_t n) {
+  fill2d(store.at("data"), n, 1);
+  zero(store.at("mean"));
+  zero(store.at("stddev"));
+  zero(store.at("corr"));
+}
+
+void refCorr(ir::ArrayStore& store, std::int64_t n) {
+  Grid& data = store.at("data");
+  Grid& mean = store.at("mean");
+  refMean(data, mean, n);
+  Grid& stddev = store.at("stddev");
+  for (std::int64_t j = 0; j < n; ++j) {
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const double d = data[static_cast<std::size_t>(i * n + j)] -
+                       mean[static_cast<std::size_t>(j)];
+      acc += d * d;
+    }
+    double s = std::sqrt(acc / static_cast<double>(n));
+    if (s <= 0.1) s = 1.0;
+    stddev[static_cast<std::size_t>(j)] = s;
+  }
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      data[static_cast<std::size_t>(i * n + j)] =
+          (data[static_cast<std::size_t>(i * n + j)] -
+           mean[static_cast<std::size_t>(j)]) /
+          (std::sqrt(static_cast<double>(n)) *
+           stddev[static_cast<std::size_t>(j)]);
+    }
+  }
+  Grid& corr = store.at("corr");
+  for (std::int64_t j1 = 0; j1 + 1 < n; ++j1) {
+    corr[static_cast<std::size_t>(j1 * n + j1)] = 1.0;
+    for (std::int64_t j2 = j1 + 1; j2 < n; ++j2) {
+      double acc = 0.0;
+      for (std::int64_t i = 0; i < n; ++i)
+        acc += data[static_cast<std::size_t>(i * n + j1)] *
+               data[static_cast<std::size_t>(i * n + j2)];
+      corr[static_cast<std::size_t>(j1 * n + j2)] = acc;
+      corr[static_cast<std::size_t>(j2 * n + j1)] = acc;
+    }
+  }
+}
+
+}  // namespace
+
+void initializeInputs(const Benchmark& benchmark,
+                      const symbolic::Bindings& bindings, ir::ArrayStore& store) {
+  const std::int64_t n = sizeOf(bindings);
+  const std::string& name = benchmark.name();
+  if (name == "GEMM") return initGemm(store, n);
+  if (name == "2MM") return init2mm(store, n);
+  if (name == "3MM") return init3mm(store, n);
+  if (name == "ATAX") return initAtax(store, n);
+  if (name == "BICG") return initBicg(store, n);
+  if (name == "MVT") return initMvt(store, n);
+  if (name == "GESUMMV") return initGesummv(store, n);
+  if (name == "2DCONV") return init2dconv(store, n);
+  if (name == "3DCONV") return init3dconv(store, n);
+  if (name == "SYRK") return initSyrk(store, n);
+  if (name == "SYR2K") return initSyr2k(store, n);
+  if (name == "COVAR") return initCovar(store, n);
+  if (name == "CORR") return initCorr(store, n);
+  require(false, "initializeInputs: unknown benchmark " + name);
+}
+
+void referenceExecute(const Benchmark& benchmark,
+                      const symbolic::Bindings& bindings, ir::ArrayStore& store) {
+  const std::int64_t n = sizeOf(bindings);
+  const std::string& name = benchmark.name();
+  if (name == "GEMM") return refGemm(store, n);
+  if (name == "2MM") return ref2mm(store, n);
+  if (name == "3MM") return ref3mm(store, n);
+  if (name == "ATAX") return refAtax(store, n);
+  if (name == "BICG") return refBicg(store, n);
+  if (name == "MVT") return refMvt(store, n);
+  if (name == "GESUMMV") return refGesummv(store, n);
+  if (name == "2DCONV") return ref2dconv(store, n);
+  if (name == "3DCONV") return ref3dconv(store, n);
+  if (name == "SYRK") return refSyrk(store, n);
+  if (name == "SYR2K") return refSyr2k(store, n);
+  if (name == "COVAR") return refCovar(store, n);
+  if (name == "CORR") return refCorr(store, n);
+  require(false, "referenceExecute: unknown benchmark " + name);
+}
+
+}  // namespace osel::polybench

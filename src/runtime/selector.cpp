@@ -1,0 +1,87 @@
+#include "runtime/selector.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+
+#include "support/check.h"
+
+namespace osel::runtime {
+
+using support::require;
+
+std::string toString(Device device) {
+  return device == Device::Cpu ? "CPU" : "GPU";
+}
+
+OffloadSelector::OffloadSelector(SelectorConfig config)
+    : config_(std::move(config)),
+      cpuModel_(config_.cpuParams, config_.cpuThreads),
+      gpuModel_(config_.gpuParams) {}
+
+cpumodel::CpuWorkload OffloadSelector::cpuWorkload(
+    const pad::RegionAttributes& attr, const symbolic::Bindings& bindings) const {
+  const auto cyclesIt = attr.machineCyclesPerIter.find(config_.mcaModelName);
+  require(cyclesIt != attr.machineCyclesPerIter.end(),
+          "OffloadSelector: PAD entry " + attr.regionName +
+              " has no MCA cycles for host model " + config_.mcaModelName);
+  cpumodel::CpuWorkload workload;
+  workload.machineCyclesPerIter = cyclesIt->second;
+  workload.parallelTripCount = attr.flatTripCount.evaluate(bindings);
+  workload.bytesTouchedPerIteration = attr.bytesTouchedPerIteration;
+  // False-sharing flag: a resolved store stride below one cache line.
+  for (const pad::StrideAttribute& stride : attr.strides) {
+    if (!stride.isStore || !stride.affine) continue;
+    const auto resolved = stride.stride.substituteAll(bindings).tryConstant();
+    if (!resolved.has_value() || *resolved == 0) continue;
+    if (std::abs(*resolved) * stride.elementBytes <
+        config_.cpuParams.cacheLineBytes) {
+      workload.falseSharingRisk = true;
+      break;
+    }
+  }
+  return workload;
+}
+
+gpumodel::GpuWorkload OffloadSelector::gpuWorkload(
+    const pad::RegionAttributes& attr, const symbolic::Bindings& bindings) const {
+  gpumodel::GpuWorkload workload;
+  // Special math instructions weigh as several issue slots.
+  constexpr double kSpecialWeight = 8.0;
+  workload.compInstsPerThread =
+      attr.compInstsPerIter + kSpecialWeight * attr.specialInstsPerIter;
+  workload.fp64Fraction = attr.fp64Fraction;
+  for (const pad::StrideAttribute& stride : attr.strides) {
+    bool coalesced = false;
+    if (stride.affine) {
+      const auto resolved = stride.stride.substituteAll(bindings).tryConstant();
+      coalesced = resolved.has_value() && std::abs(*resolved) <= 1;
+    }
+    if (coalesced) {
+      workload.coalMemInstsPerThread += stride.countPerIteration;
+    } else {
+      workload.uncoalMemInstsPerThread += stride.countPerIteration;
+    }
+  }
+  workload.parallelTripCount = attr.flatTripCount.evaluate(bindings);
+  workload.bytesToDevice = attr.bytesToDevice.evaluate(bindings);
+  workload.bytesFromDevice = attr.bytesFromDevice.evaluate(bindings);
+  return workload;
+}
+
+Decision OffloadSelector::decide(const pad::RegionAttributes& attr,
+                                 const symbolic::Bindings& bindings) const {
+  const auto start = std::chrono::steady_clock::now();
+  Decision decision;
+  decision.cpu = cpuModel_.predict(cpuWorkload(attr, bindings));
+  decision.gpu = gpuModel_.predict(gpuWorkload(attr, bindings));
+  decision.device = decision.gpu.totalSeconds < decision.cpu.seconds
+                        ? Device::Gpu
+                        : Device::Cpu;
+  const auto end = std::chrono::steady_clock::now();
+  decision.overheadSeconds =
+      std::chrono::duration<double>(end - start).count();
+  return decision;
+}
+
+}  // namespace osel::runtime

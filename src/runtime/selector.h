@@ -1,0 +1,75 @@
+// osel/runtime/selector.h — launch-time device selection (paper §IV.D).
+//
+// At a target region's launch point the runtime pulls the region's static
+// features from the Program Attribute Database, binds the runtime values
+// (array extents, trip counts), evaluates both analytical models, and picks
+// the device with the lower predicted time. Because both models are closed
+// formulas, the decision is "equivalent to solving an equation" — the
+// measured overhead is exposed so the negligible-overhead claim can be
+// checked (bench/micro_decision_overhead).
+#pragma once
+
+#include <string>
+
+#include "cpumodel/cpu_model.h"
+#include "gpumodel/gpu_model.h"
+#include "pad/attribute_db.h"
+
+namespace osel::runtime {
+
+/// Execution targets the selector chooses between.
+enum class Device { Cpu, Gpu };
+
+[[nodiscard]] std::string toString(Device device);
+
+/// Host/device configuration the selector evaluates against.
+struct SelectorConfig {
+  cpumodel::CpuModelParams cpuParams = cpumodel::CpuModelParams::power9();
+  int cpuThreads = 160;
+  gpumodel::GpuDeviceParams gpuParams = gpumodel::GpuDeviceParams::teslaV100();
+  /// Which MCA host-model entry of the PAD supplies Machine_cycles_per_iter.
+  std::string mcaModelName = "POWER9";
+};
+
+/// The outcome of one selection.
+struct Decision {
+  Device device = Device::Cpu;
+  cpumodel::CpuPrediction cpu;
+  gpumodel::GpuPrediction gpu;
+  /// Wall time spent evaluating both models and comparing.
+  double overheadSeconds = 0.0;
+
+  /// Predicted GPU-offloading speedup (cpu time / gpu time).
+  [[nodiscard]] double predictedSpeedup() const {
+    return gpu.totalSeconds > 0.0 ? cpu.seconds / gpu.totalSeconds : 0.0;
+  }
+};
+
+/// Stateless selector bound to one machine configuration.
+class OffloadSelector {
+ public:
+  explicit OffloadSelector(SelectorConfig config);
+
+  /// Builds the CPU model inputs from PAD attributes + runtime values.
+  [[nodiscard]] cpumodel::CpuWorkload cpuWorkload(
+      const pad::RegionAttributes& attr, const symbolic::Bindings& bindings) const;
+
+  /// Builds the GPU model inputs; the coalesced/uncoalesced split comes from
+  /// resolving each stored symbolic stride with the runtime bindings
+  /// (paper §IV.C, case 2).
+  [[nodiscard]] gpumodel::GpuWorkload gpuWorkload(
+      const pad::RegionAttributes& attr, const symbolic::Bindings& bindings) const;
+
+  /// Evaluates both models and picks the faster device.
+  [[nodiscard]] Decision decide(const pad::RegionAttributes& attr,
+                                const symbolic::Bindings& bindings) const;
+
+  [[nodiscard]] const SelectorConfig& config() const { return config_; }
+
+ private:
+  SelectorConfig config_;
+  cpumodel::CpuCostModel cpuModel_;
+  gpumodel::GpuCostModel gpuModel_;
+};
+
+}  // namespace osel::runtime

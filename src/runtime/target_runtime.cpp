@@ -1,0 +1,123 @@
+#include "runtime/target_runtime.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace osel::runtime {
+
+using support::require;
+
+std::string toString(Policy policy) {
+  switch (policy) {
+    case Policy::AlwaysCpu:
+      return "always-cpu";
+    case Policy::AlwaysGpu:
+      return "always-gpu";
+    case Policy::ModelGuided:
+      return "model-guided";
+    case Policy::Oracle:
+      return "oracle";
+  }
+  return "?";
+}
+
+TargetRuntime::TargetRuntime(pad::AttributeDatabase database,
+                             SelectorConfig selectorConfig,
+                             cpusim::CpuSimParams cpuSim, int cpuThreads,
+                             gpusim::GpuSimParams gpuSim)
+    : database_(std::move(database)),
+      selector_(std::move(selectorConfig)),
+      cpuSim_(std::move(cpuSim), cpuThreads),
+      gpuSim_(std::move(gpuSim)) {}
+
+void TargetRuntime::registerRegion(ir::TargetRegion region) {
+  region.verify();
+  const std::string name = region.name;
+  regions_.insert_or_assign(name, std::move(region));
+}
+
+bool TargetRuntime::hasRegion(const std::string& name) const {
+  return regions_.contains(name);
+}
+
+double TargetRuntime::measure(const std::string& regionName,
+                              const symbolic::Bindings& bindings,
+                              ir::ArrayStore& store, Device device) const {
+  const auto it = regions_.find(regionName);
+  require(it != regions_.end(),
+          "TargetRuntime::measure: unregistered region " + regionName);
+  if (device == Device::Cpu) {
+    return cpuSim_.simulate(it->second, bindings, store).seconds;
+  }
+  return gpuSim_.simulate(it->second, bindings, store).totalSeconds;
+}
+
+LaunchRecord TargetRuntime::launch(const std::string& regionName,
+                                   const symbolic::Bindings& bindings,
+                                   ir::ArrayStore& store, Policy policy) {
+  require(hasRegion(regionName),
+          "TargetRuntime::launch: unregistered region " + regionName);
+  LaunchRecord record;
+  record.regionName = regionName;
+  record.policy = policy;
+  record.decision = selector_.decide(database_.at(regionName), bindings);
+
+  switch (policy) {
+    case Policy::AlwaysCpu:
+      record.chosen = Device::Cpu;
+      break;
+    case Policy::AlwaysGpu:
+      record.chosen = Device::Gpu;
+      break;
+    case Policy::ModelGuided:
+      record.chosen = record.decision.device;
+      break;
+    case Policy::Oracle: {
+      record.actualCpuSeconds = measure(regionName, bindings, store, Device::Cpu);
+      record.cpuMeasured = true;
+      record.actualGpuSeconds = measure(regionName, bindings, store, Device::Gpu);
+      record.gpuMeasured = true;
+      record.chosen = record.actualGpuSeconds < record.actualCpuSeconds
+                          ? Device::Gpu
+                          : Device::Cpu;
+      record.actualSeconds = record.chosen == Device::Gpu
+                                 ? record.actualGpuSeconds
+                                 : record.actualCpuSeconds;
+      log_.push_back(record);
+      return record;
+    }
+  }
+
+  record.actualSeconds = measure(regionName, bindings, store, record.chosen);
+  if (record.chosen == Device::Cpu) {
+    record.actualCpuSeconds = record.actualSeconds;
+    record.cpuMeasured = true;
+  } else {
+    record.actualGpuSeconds = record.actualSeconds;
+    record.gpuMeasured = true;
+  }
+  log_.push_back(record);
+  return record;
+}
+
+std::string renderLogCsv(std::span<const LaunchRecord> log) {
+  std::ostringstream out;
+  out << std::setprecision(9);
+  out << "region,policy,chosen,predicted_cpu_s,predicted_gpu_s,actual_s,"
+         "actual_cpu_s,actual_gpu_s,decision_overhead_s\n";
+  for (const LaunchRecord& record : log) {
+    out << record.regionName << ',' << toString(record.policy) << ','
+        << toString(record.chosen) << ',' << record.decision.cpu.seconds << ','
+        << record.decision.gpu.totalSeconds << ',' << record.actualSeconds
+        << ',';
+    if (record.cpuMeasured) out << record.actualCpuSeconds;
+    out << ',';
+    if (record.gpuMeasured) out << record.actualGpuSeconds;
+    out << ',' << record.decision.overheadSeconds << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace osel::runtime

@@ -1,0 +1,97 @@
+// osel/runtime/target_runtime.h — the OpenMP-style offloading runtime.
+//
+// Ties the framework together (paper Fig. 2, §IV.D): registered target
+// regions carry two "generated versions" (played by the ground-truth CPU
+// and GPU simulators); on launch the runtime applies a policy —
+//   AlwaysGpu     the OpenMP-compliant default (target regions offload),
+//   AlwaysCpu     the host fallback path,
+//   ModelGuided   the paper's contribution: PAD + analytical models decide,
+//   Oracle        measures both and picks the true winner (upper bound)
+// — executes accordingly, and logs the launch for the evaluation benches.
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cpusim/cpu_simulator.h"
+#include "gpusim/gpu_simulator.h"
+#include "ir/region.h"
+#include "pad/attribute_db.h"
+#include "runtime/selector.h"
+
+namespace osel::runtime {
+
+/// Launch-time device-selection policy.
+enum class Policy { AlwaysCpu, AlwaysGpu, ModelGuided, Oracle };
+
+[[nodiscard]] std::string toString(Policy policy);
+
+/// One logged launch.
+struct LaunchRecord {
+  std::string regionName;
+  Policy policy = Policy::AlwaysGpu;
+  Device chosen = Device::Gpu;
+  /// Model evaluation (filled for every policy so benches can compare
+  /// predictions even under fixed policies).
+  Decision decision;
+  /// Measured times; a device not exercised under the policy is NaN,
+  /// except Oracle which always measures both.
+  double actualCpuSeconds = 0.0;
+  bool cpuMeasured = false;
+  double actualGpuSeconds = 0.0;
+  bool gpuMeasured = false;
+  /// Time of the device that actually ran.
+  double actualSeconds = 0.0;
+};
+
+/// The runtime: device simulators + PAD + selector + launch log.
+class TargetRuntime {
+ public:
+  TargetRuntime(pad::AttributeDatabase database, SelectorConfig selectorConfig,
+                cpusim::CpuSimParams cpuSim, int cpuThreads,
+                gpusim::GpuSimParams gpuSim);
+
+  /// Registers the executable version of a region (must verify and must
+  /// have a PAD entry for ModelGuided launches).
+  void registerRegion(ir::TargetRegion region);
+
+  [[nodiscard]] bool hasRegion(const std::string& name) const;
+
+  /// Measures one execution of a region on a specific device (ground-truth
+  /// simulation against `store`).
+  [[nodiscard]] double measure(const std::string& regionName,
+                               const symbolic::Bindings& bindings,
+                               ir::ArrayStore& store, Device device) const;
+
+  /// Launches under `policy`: selects (if applicable), executes on the
+  /// chosen device, logs, and returns the record.
+  LaunchRecord launch(const std::string& regionName,
+                      const symbolic::Bindings& bindings, ir::ArrayStore& store,
+                      Policy policy);
+
+  [[nodiscard]] const std::vector<LaunchRecord>& log() const { return log_; }
+  void clearLog() { log_.clear(); }
+
+  [[nodiscard]] const pad::AttributeDatabase& database() const {
+    return database_;
+  }
+  [[nodiscard]] const OffloadSelector& selector() const { return selector_; }
+
+ private:
+  pad::AttributeDatabase database_;
+  OffloadSelector selector_;
+  cpusim::CpuSimulator cpuSim_;
+  gpusim::GpuSimulator gpuSim_;
+  std::map<std::string, ir::TargetRegion> regions_;
+  std::vector<LaunchRecord> log_;
+};
+
+/// Renders launch records as CSV (header + one row per launch) — the
+/// OMPT-flavoured observability hook §V.A gestures at: region, policy,
+/// chosen device, predicted CPU/GPU seconds, measured seconds, decision
+/// overhead.
+[[nodiscard]] std::string renderLogCsv(std::span<const LaunchRecord> log);
+
+}  // namespace osel::runtime

@@ -1,0 +1,52 @@
+#include "support/cache_sim.h"
+
+#include "support/check.h"
+
+namespace osel::support {
+
+SetAssociativeCache::SetAssociativeCache(std::int64_t capacityBytes,
+                                         int associativity, int lineBytes)
+    : lineBytes_(lineBytes), associativity_(associativity) {
+  require(lineBytes > 0, "SetAssociativeCache: lineBytes must be positive");
+  require(associativity > 0, "SetAssociativeCache: associativity must be positive");
+  require(capacityBytes >= 0, "SetAssociativeCache: negative capacity");
+  numSets_ = capacityBytes / (static_cast<std::int64_t>(associativity) * lineBytes);
+  if (numSets_ > 0)
+    ways_.assign(static_cast<std::size_t>(numSets_ * associativity), -1);
+}
+
+bool SetAssociativeCache::access(std::int64_t byteAddress) {
+  if (numSets_ == 0) {
+    ++misses_;
+    return false;
+  }
+  const std::int64_t line = byteAddress / lineBytes_;
+  const std::int64_t set = line % numSets_;
+  const std::size_t base = static_cast<std::size_t>(set * associativity_);
+  // Scan ways MRU-first.
+  for (int way = 0; way < associativity_; ++way) {
+    if (ways_[base + static_cast<std::size_t>(way)] != line) continue;
+    // Hit: rotate to MRU.
+    for (int w = way; w > 0; --w)
+      ways_[base + static_cast<std::size_t>(w)] =
+          ways_[base + static_cast<std::size_t>(w - 1)];
+    ways_[base] = line;
+    ++hits_;
+    return true;
+  }
+  // Miss: evict LRU (last way), insert at MRU.
+  for (int w = associativity_ - 1; w > 0; --w)
+    ways_[base + static_cast<std::size_t>(w)] =
+        ways_[base + static_cast<std::size_t>(w - 1)];
+  ways_[base] = line;
+  ++misses_;
+  return false;
+}
+
+void SetAssociativeCache::reset() {
+  for (auto& tag : ways_) tag = -1;
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace osel::support

@@ -1,0 +1,49 @@
+// osel/support/cache_sim.h — a small set-associative LRU cache simulator.
+//
+// Shared by the ground-truth GPU and CPU simulators: the analytical models
+// deliberately lack a cache hierarchy (the paper names this the primary
+// source of prediction error, §IV.E), so the simulators must have one for
+// the predicted-vs-actual comparison to carry the same error structure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace osel::support {
+
+/// Set-associative cache with true-LRU replacement over byte addresses.
+/// Tracks hit/miss counts; no data storage (tag-only simulation).
+class SetAssociativeCache {
+ public:
+  /// Capacity is rounded down to a whole number of sets; associativity and
+  /// lineBytes must be positive. A capacity below one line yields a cache
+  /// that misses every access (useful for degenerate shares).
+  SetAssociativeCache(std::int64_t capacityBytes, int associativity,
+                      int lineBytes);
+
+  /// Accesses the line containing `byteAddress`; returns true on hit.
+  /// Misses insert the line (allocate-on-miss, for loads and stores alike).
+  bool access(std::int64_t byteAddress);
+
+  /// Drops all cached lines and statistics.
+  void reset();
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] double hitRate() const {
+    const std::uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
+  }
+  [[nodiscard]] std::int64_t lineBytes() const { return lineBytes_; }
+
+ private:
+  std::int64_t lineBytes_;
+  int associativity_;
+  std::int64_t numSets_;
+  /// ways_[set * associativity + way] = line tag, -1 if empty; way 0 is MRU.
+  std::vector<std::int64_t> ways_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace osel::support

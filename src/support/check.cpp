@@ -1,0 +1,15 @@
+#include "support/check.h"
+
+namespace osel::support::detail {
+
+std::string locate(const std::source_location& loc, const std::string& message) {
+  std::string out = message;
+  out += " [";
+  out += loc.file_name();
+  out += ':';
+  out += std::to_string(loc.line());
+  out += ']';
+  return out;
+}
+
+}  // namespace osel::support::detail

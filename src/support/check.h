@@ -1,0 +1,45 @@
+// osel/support/check.h — precondition and invariant checking.
+//
+// The library throws typed exceptions instead of aborting: model evaluation
+// runs inside a host "runtime" that must survive a malformed kernel
+// description (mirrors the paper's production-environment framing, §I).
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace osel::support {
+
+/// Thrown when a caller violates a documented precondition of a public API.
+class PreconditionError final : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when an internal invariant fails; indicates a bug in osel itself.
+class InvariantError final : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[nodiscard]] std::string locate(const std::source_location& loc,
+                                 const std::string& message);
+}  // namespace detail
+
+/// Checks a documented precondition of a public entry point.
+/// Throws PreconditionError with the call site appended when `condition` is
+/// false.
+inline void require(bool condition, const std::string& message,
+                    std::source_location loc = std::source_location::current()) {
+  if (!condition) throw PreconditionError(detail::locate(loc, message));
+}
+
+/// Checks an internal invariant. Throws InvariantError when violated.
+inline void ensure(bool condition, const std::string& message,
+                   std::source_location loc = std::source_location::current()) {
+  if (!condition) throw InvariantError(detail::locate(loc, message));
+}
+
+}  // namespace osel::support

@@ -1,0 +1,57 @@
+#include "support/cli.h"
+
+#include <cstdlib>
+
+#include "support/check.h"
+
+namespace osel::support {
+
+CommandLine CommandLine::parse(int argc, const char* const* argv) {
+  CommandLine cl;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      cl.positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      cl.options_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // "--key value" if the next token exists and is not itself an option;
+    // otherwise a bare flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      cl.options_[body] = argv[++i];
+    } else {
+      cl.options_[body] = "";
+    }
+  }
+  return cl;
+}
+
+bool CommandLine::hasFlag(const std::string& name) const {
+  return options_.contains(name);
+}
+
+std::optional<std::string> CommandLine::stringOption(const std::string& name) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::int64_t CommandLine::intOption(const std::string& name,
+                                    std::int64_t defaultValue) const {
+  const auto value = stringOption(name);
+  if (!value || value->empty()) return defaultValue;
+  return std::strtoll(value->c_str(), nullptr, 10);
+}
+
+double CommandLine::doubleOption(const std::string& name, double defaultValue) const {
+  const auto value = stringOption(name);
+  if (!value || value->empty()) return defaultValue;
+  return std::strtod(value->c_str(), nullptr);
+}
+
+}  // namespace osel::support

@@ -1,0 +1,35 @@
+// osel/support/cli.h — minimal command-line option parsing for the bench and
+// example binaries (--flag, --key value, --key=value).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace osel::support {
+
+/// Parsed command line: named options plus positional arguments.
+class CommandLine {
+ public:
+  /// Parses argv (excluding argv[0]). Options start with "--"; "--k=v" and
+  /// "--k v" both bind v to k; a trailing "--k" becomes a boolean flag.
+  static CommandLine parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool hasFlag(const std::string& name) const;
+  [[nodiscard]] std::optional<std::string> stringOption(const std::string& name) const;
+  [[nodiscard]] std::int64_t intOption(const std::string& name,
+                                       std::int64_t defaultValue) const;
+  [[nodiscard]] double doubleOption(const std::string& name,
+                                    double defaultValue) const;
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> options_;  // value "" == bare flag
+  std::vector<std::string> positional_;
+};
+
+}  // namespace osel::support

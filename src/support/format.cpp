@@ -1,0 +1,55 @@
+#include "support/format.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace osel::support {
+
+std::string formatFixed(double value, int decimals) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.*f", decimals, value);
+  return std::string(buf.data());
+}
+
+std::string formatSpeedup(double speedup) { return formatFixed(speedup, 2) + "x"; }
+
+std::string formatSeconds(double seconds) {
+  const double magnitude = std::fabs(seconds);
+  if (magnitude >= 1.0) return formatFixed(seconds, 3) + " s";
+  if (magnitude >= 1e-3) return formatFixed(seconds * 1e3, 3) + " ms";
+  if (magnitude >= 1e-6) return formatFixed(seconds * 1e6, 3) + " us";
+  return formatFixed(seconds * 1e9, 1) + " ns";
+}
+
+std::string formatBytes(std::uint64_t bytes) {
+  constexpr std::uint64_t kKiB = 1024;
+  constexpr std::uint64_t kMiB = kKiB * 1024;
+  constexpr std::uint64_t kGiB = kMiB * 1024;
+  if (bytes >= kGiB)
+    return formatFixed(static_cast<double>(bytes) / static_cast<double>(kGiB), 2) + " GiB";
+  if (bytes >= kMiB)
+    return formatFixed(static_cast<double>(bytes) / static_cast<double>(kMiB), 2) + " MiB";
+  if (bytes >= kKiB)
+    return formatFixed(static_cast<double>(bytes) / static_cast<double>(kKiB), 2) + " KiB";
+  return std::to_string(bytes) + " B";
+}
+
+std::string formatCount(std::uint64_t count) {
+  std::string digits = std::to_string(count);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  std::size_t leading = digits.size() % 3;
+  if (leading == 0) leading = 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i + 3 - leading) % 3 == 0) out += ',';
+    out += digits[i];
+  }
+  return out;
+}
+
+std::string formatPercent(double fraction01) {
+  return formatFixed(fraction01 * 100.0, 1) + "%";
+}
+
+}  // namespace osel::support

@@ -1,0 +1,28 @@
+// osel/support/format.h — numeric formatting helpers for tables and reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace osel::support {
+
+/// Formats `value` with `decimals` digits after the point (fixed notation).
+[[nodiscard]] std::string formatFixed(double value, int decimals);
+
+/// Formats a speedup factor the way the paper prints them, e.g. "4.41x".
+/// Slowdowns (< 1) keep two decimals as well, e.g. "0.47x".
+[[nodiscard]] std::string formatSpeedup(double speedup);
+
+/// Formats a duration in seconds with an adaptive unit (s / ms / us / ns).
+[[nodiscard]] std::string formatSeconds(double seconds);
+
+/// Formats a byte count with an adaptive binary unit (B / KiB / MiB / GiB).
+[[nodiscard]] std::string formatBytes(std::uint64_t bytes);
+
+/// Formats a large count with thousands separators, e.g. "12,345,678".
+[[nodiscard]] std::string formatCount(std::uint64_t count);
+
+/// Formats a percentage with one decimal, e.g. "12.3%".
+[[nodiscard]] std::string formatPercent(double fraction01);
+
+}  // namespace osel::support

@@ -1,0 +1,45 @@
+// osel/support/rng.h — deterministic pseudo-random numbers.
+//
+// Everything in osel that needs randomness (workload initialization, sampled
+// simulation, property-test inputs) uses this seeded generator so runs are
+// bit-for-bit reproducible — one of the paper's stated requirements for
+// production compiler/runtime systems (§I, reproducibility).
+#pragma once
+
+#include <cstdint>
+
+namespace osel::support {
+
+/// SplitMix64: tiny, fast, full-period 2^64 generator. Good enough for
+/// workload data and deterministic sampling; not for cryptography.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next 64 uniformly distributed bits.
+  constexpr std::uint64_t next() noexcept {
+    state_ += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double nextDouble() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound); bound == 0 returns 0. Uses a plain
+  /// modulo mapping — the bias is negligible for the bounds used here
+  /// (far below 2^32).
+  constexpr std::uint64_t nextBelow(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    return next() % bound;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace osel::support

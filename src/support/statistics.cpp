@@ -1,0 +1,79 @@
+#include "support/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/check.h"
+
+namespace osel::support {
+
+double mean(std::span<const double> values) {
+  require(!values.empty(), "mean: empty sample");
+  const double sum = std::accumulate(values.begin(), values.end(), 0.0);
+  return sum / static_cast<double>(values.size());
+}
+
+double geometricMean(std::span<const double> values) {
+  require(!values.empty(), "geometricMean: empty sample");
+  double logSum = 0.0;
+  for (double v : values) {
+    require(v > 0.0, "geometricMean: non-positive value");
+    logSum += std::log(v);
+  }
+  return std::exp(logSum / static_cast<double>(values.size()));
+}
+
+double populationStdDev(std::span<const double> values) {
+  require(!values.empty(), "populationStdDev: empty sample");
+  const double mu = mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - mu) * (v - mu);
+  return std::sqrt(acc / static_cast<double>(values.size()));
+}
+
+double minValue(std::span<const double> values) {
+  require(!values.empty(), "minValue: empty sample");
+  return *std::min_element(values.begin(), values.end());
+}
+
+double maxValue(std::span<const double> values) {
+  require(!values.empty(), "maxValue: empty sample");
+  return *std::max_element(values.begin(), values.end());
+}
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  s.mean = mean(values);
+  s.stddev = populationStdDev(values);
+  s.min = minValue(values);
+  s.max = maxValue(values);
+  return s;
+}
+
+double meanAbsolutePercentageError(std::span<const double> predicted,
+                                   std::span<const double> actual) {
+  require(predicted.size() == actual.size(),
+          "meanAbsolutePercentageError: length mismatch");
+  require(!predicted.empty(), "meanAbsolutePercentageError: empty sample");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    require(actual[i] != 0.0, "meanAbsolutePercentageError: zero actual");
+    acc += std::abs((predicted[i] - actual[i]) / actual[i]);
+  }
+  return 100.0 * acc / static_cast<double>(predicted.size());
+}
+
+double agreementRate(std::span<const double> predicted,
+                     std::span<const double> actual, double threshold) {
+  require(predicted.size() == actual.size(), "agreementRate: length mismatch");
+  require(!predicted.empty(), "agreementRate: empty sample");
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    if ((predicted[i] > threshold) == (actual[i] > threshold)) ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(predicted.size());
+}
+
+}  // namespace osel::support

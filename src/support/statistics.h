@@ -1,0 +1,50 @@
+// osel/support/statistics.h — summary statistics used throughout the
+// evaluation harness (the paper reports geometric-mean speedups, §IV.E).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace osel::support {
+
+/// Arithmetic mean of `values`. Precondition: non-empty.
+[[nodiscard]] double mean(std::span<const double> values);
+
+/// Geometric mean of `values`. Preconditions: non-empty, all strictly
+/// positive. Computed in log space to avoid overflow on long products.
+[[nodiscard]] double geometricMean(std::span<const double> values);
+
+/// Population standard deviation. Precondition: non-empty.
+[[nodiscard]] double populationStdDev(std::span<const double> values);
+
+/// Minimum element. Precondition: non-empty.
+[[nodiscard]] double minValue(std::span<const double> values);
+
+/// Maximum element. Precondition: non-empty.
+[[nodiscard]] double maxValue(std::span<const double> values);
+
+/// Five-number style summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Computes a Summary for `values`. Precondition: non-empty.
+[[nodiscard]] Summary summarize(std::span<const double> values);
+
+/// Mean absolute percentage error of `predicted` against `actual`, in
+/// percent. Preconditions: equal non-zero lengths, every actual non-zero.
+[[nodiscard]] double meanAbsolutePercentageError(std::span<const double> predicted,
+                                                 std::span<const double> actual);
+
+/// Fraction (0..1) of positions where predicted and actual fall on the same
+/// side of `threshold` — used to score binary offloading decisions, where the
+/// threshold is speedup == 1.
+[[nodiscard]] double agreementRate(std::span<const double> predicted,
+                                   std::span<const double> actual,
+                                   double threshold);
+
+}  // namespace osel::support

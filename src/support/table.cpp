@@ -1,0 +1,104 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace osel::support {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  require(!headers_.empty(), "TextTable: need at least one column");
+  alignment_.assign(headers_.size(), Align::Right);
+  alignment_.front() = Align::Left;
+}
+
+void TextTable::setAlignment(std::vector<Align> alignment) {
+  require(alignment.size() == headers_.size(),
+          "TextTable::setAlignment: column count mismatch");
+  alignment_ = std::move(alignment);
+}
+
+void TextTable::addRow(std::vector<std::string> row) {
+  require(row.size() == headers_.size(),
+          "TextTable::addRow: column count mismatch");
+  rows_.push_back(Row{std::move(row), /*separator=*/false});
+}
+
+void TextTable::addSeparator() { rows_.push_back(Row{{}, /*separator=*/true}); }
+
+std::string TextTable::render(std::size_t indent) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c)
+      widths[c] = std::max(widths[c], row.cells[c].size());
+  }
+
+  const std::string pad(indent, ' ');
+  std::ostringstream out;
+  auto emitRow = [&](const std::vector<std::string>& cells) {
+    out << pad;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) out << "  ";
+      const std::size_t space = widths[c] - std::min(widths[c], cells[c].size());
+      if (alignment_[c] == Align::Right) out << std::string(space, ' ');
+      out << cells[c];
+      if (alignment_[c] == Align::Left && c + 1 != cells.size())
+        out << std::string(space, ' ');
+    }
+    out << '\n';
+  };
+  auto emitSeparator = [&] {
+    out << pad;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      if (c != 0) out << "  ";
+      out << std::string(widths[c], '-');
+    }
+    out << '\n';
+  };
+
+  emitRow(headers_);
+  emitSeparator();
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      emitSeparator();
+    } else {
+      emitRow(row.cells);
+    }
+  }
+  return out.str();
+}
+
+namespace {
+std::string csvEscape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string TextTable::renderCsv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) out << ',';
+      out << csvEscape(cells[c]);
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const Row& row : rows_) {
+    if (!row.separator) emit(row.cells);
+  }
+  return out.str();
+}
+
+}  // namespace osel::support

@@ -1,0 +1,33 @@
+#include "symbolic/compiled_expr.h"
+
+#include "support/check.h"
+
+namespace osel::symbolic {
+
+using support::require;
+
+std::size_t SlotMap::slotOf(const std::string& name) {
+  const auto [it, inserted] = slots_.emplace(name, slots_.size());
+  (void)inserted;
+  return it->second;
+}
+
+std::size_t SlotMap::lookup(const std::string& name) const {
+  const auto it = slots_.find(name);
+  require(it != slots_.end(), "SlotMap::lookup: unknown symbol " + name);
+  return it->second;
+}
+
+CompiledExpr::CompiledExpr(const Expr& expr, SlotMap& slots) {
+  terms_.reserve(expr.terms().size());
+  for (const auto& [mono, coeff] : expr.terms()) {
+    Term term;
+    term.coefficient = coeff;
+    term.slots.reserve(mono.size());
+    for (const std::string& symbolName : mono)
+      term.slots.push_back(slots.slotOf(symbolName));
+    terms_.push_back(std::move(term));
+  }
+}
+
+}  // namespace osel::symbolic

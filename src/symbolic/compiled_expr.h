@@ -1,0 +1,75 @@
+// osel/symbolic/compiled_expr.h — fast evaluation of symbolic expressions.
+//
+// Expr::evaluate() resolves symbols through string maps, which is fine for
+// one-shot model queries but far too slow inside interpreter/simulator inner
+// loops. A CompiledExpr resolves each symbol to a dense slot index once, so
+// evaluation is a few integer multiplies over a flat array.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "symbolic/expr.h"
+
+namespace osel::symbolic {
+
+/// Assigns dense slot indices to symbol names. Shared by all CompiledExprs
+/// of one kernel so they read the same environment vector.
+class SlotMap {
+ public:
+  /// Returns the slot for `name`, creating one if absent.
+  std::size_t slotOf(const std::string& name);
+
+  /// Returns the slot for `name`. Throws support::PreconditionError if the
+  /// symbol was never registered.
+  [[nodiscard]] std::size_t lookup(const std::string& name) const;
+
+  [[nodiscard]] bool contains(const std::string& name) const {
+    return slots_.contains(name);
+  }
+
+  [[nodiscard]] std::size_t size() const { return slots_.size(); }
+
+ private:
+  std::map<std::string, std::size_t> slots_;
+};
+
+/// A symbolic expression compiled against a SlotMap. Evaluate with a span of
+/// slot values (size >= SlotMap::size()).
+class CompiledExpr {
+ public:
+  /// The compiled zero expression.
+  CompiledExpr() = default;
+
+  /// Compiles `expr`, registering any unseen symbols in `slots`.
+  CompiledExpr(const Expr& expr, SlotMap& slots);
+
+  /// Evaluates with the given slot values.
+  [[nodiscard]] std::int64_t evaluate(std::span<const std::int64_t> slotValues) const {
+    std::int64_t total = 0;
+    for (const Term& term : terms_) {
+      std::int64_t product = term.coefficient;
+      for (const std::size_t slot : term.slots) product *= slotValues[slot];
+      total += product;
+    }
+    return total;
+  }
+
+  /// True iff the expression is a compile-time constant.
+  [[nodiscard]] bool isConstant() const {
+    return terms_.empty() || (terms_.size() == 1 && terms_[0].slots.empty());
+  }
+
+ private:
+  struct Term {
+    std::int64_t coefficient = 0;
+    std::vector<std::size_t> slots;  // one entry per factor (with repetition)
+  };
+
+  std::vector<Term> terms_;
+};
+
+}  // namespace osel::symbolic

@@ -1,0 +1,253 @@
+#include "symbolic/expr.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace osel::symbolic {
+
+using support::require;
+
+Expr Expr::constant(std::int64_t value) {
+  Expr e;
+  e.addTerm({}, value);
+  return e;
+}
+
+Expr Expr::symbol(const std::string& name) {
+  require(!name.empty(), "Expr::symbol: empty name");
+  Expr e;
+  e.addTerm({name}, 1);
+  return e;
+}
+
+void Expr::addTerm(Monomial monomial, std::int64_t coefficient) {
+  if (coefficient == 0) return;
+  std::sort(monomial.begin(), monomial.end());
+  const auto it = terms_.find(monomial);
+  if (it == terms_.end()) {
+    terms_.emplace(std::move(monomial), coefficient);
+    return;
+  }
+  it->second += coefficient;
+  if (it->second == 0) terms_.erase(it);
+}
+
+Expr& Expr::operator+=(const Expr& other) {
+  for (const auto& [mono, coeff] : other.terms_) addTerm(mono, coeff);
+  return *this;
+}
+
+Expr& Expr::operator-=(const Expr& other) {
+  for (const auto& [mono, coeff] : other.terms_) addTerm(mono, -coeff);
+  return *this;
+}
+
+Expr& Expr::operator*=(const Expr& other) {
+  *this = *this * other;
+  return *this;
+}
+
+Expr operator+(const Expr& a, const Expr& b) {
+  Expr out = a;
+  out += b;
+  return out;
+}
+
+Expr operator-(const Expr& a, const Expr& b) {
+  Expr out = a;
+  out -= b;
+  return out;
+}
+
+Expr operator*(const Expr& a, const Expr& b) {
+  Expr out;
+  for (const auto& [monoA, coeffA] : a.terms_) {
+    for (const auto& [monoB, coeffB] : b.terms_) {
+      Expr::Monomial merged;
+      merged.reserve(monoA.size() + monoB.size());
+      std::merge(monoA.begin(), monoA.end(), monoB.begin(), monoB.end(),
+                 std::back_inserter(merged));
+      out.addTerm(std::move(merged), coeffA * coeffB);
+    }
+  }
+  return out;
+}
+
+Expr operator-(const Expr& a) { return Expr{} - a; }
+
+bool Expr::isConstant() const {
+  return terms_.empty() || (terms_.size() == 1 && terms_.begin()->first.empty());
+}
+
+std::optional<std::int64_t> Expr::tryConstant() const {
+  if (terms_.empty()) return 0;
+  if (terms_.size() == 1 && terms_.begin()->first.empty())
+    return terms_.begin()->second;
+  return std::nullopt;
+}
+
+std::set<std::string> Expr::freeSymbols() const {
+  std::set<std::string> out;
+  for (const auto& [mono, coeff] : terms_) {
+    (void)coeff;
+    out.insert(mono.begin(), mono.end());
+  }
+  return out;
+}
+
+bool Expr::references(const std::string& name) const {
+  return std::any_of(terms_.begin(), terms_.end(), [&](const auto& term) {
+    return std::binary_search(term.first.begin(), term.first.end(), name);
+  });
+}
+
+Expr Expr::substitute(const std::string& name, const Expr& replacement) const {
+  Expr out;
+  for (const auto& [mono, coeff] : terms_) {
+    Expr term = Expr::constant(coeff);
+    for (const std::string& sym : mono) {
+      term *= (sym == name) ? replacement : Expr::symbol(sym);
+    }
+    out += term;
+  }
+  return out;
+}
+
+Expr Expr::substituteAll(const Bindings& bindings) const {
+  Expr out;
+  for (const auto& [mono, coeff] : terms_) {
+    Expr term = Expr::constant(coeff);
+    for (const std::string& sym : mono) {
+      const auto it = bindings.find(sym);
+      term *= (it != bindings.end()) ? Expr::constant(it->second)
+                                     : Expr::symbol(sym);
+    }
+    out += term;
+  }
+  return out;
+}
+
+std::int64_t Expr::evaluate(const Bindings& bindings) const {
+  const Expr bound = substituteAll(bindings);
+  const auto value = bound.tryConstant();
+  require(value.has_value(),
+          "Expr::evaluate: unbound symbol in " + bound.toString());
+  return *value;
+}
+
+std::optional<std::int64_t> Expr::tryEvaluate(const Bindings& bindings) const {
+  return substituteAll(bindings).tryConstant();
+}
+
+double Expr::evaluateReal(const std::map<std::string, double>& bindings) const {
+  double total = 0.0;
+  for (const auto& [mono, coeff] : terms_) {
+    double product = static_cast<double>(coeff);
+    for (const std::string& sym : mono) {
+      const auto it = bindings.find(sym);
+      require(it != bindings.end(), "Expr::evaluateReal: unbound symbol " + sym);
+      product *= it->second;
+    }
+    total += product;
+  }
+  return total;
+}
+
+bool Expr::isAffineIn(const std::set<std::string>& vars) const {
+  for (const auto& [mono, coeff] : terms_) {
+    (void)coeff;
+    int varFactors = 0;
+    for (const std::string& sym : mono) {
+      if (vars.contains(sym)) ++varFactors;
+    }
+    if (varFactors > 1) return false;
+  }
+  return true;
+}
+
+Expr Expr::coefficientOf(const std::string& var) const {
+  Expr out;
+  for (const auto& [mono, coeff] : terms_) {
+    const auto occurrences = std::count(mono.begin(), mono.end(), var);
+    require(occurrences <= 1, "Expr::coefficientOf: degree > 1 in " + var);
+    if (occurrences == 0) continue;
+    Monomial rest;
+    rest.reserve(mono.size() - 1);
+    bool removed = false;
+    for (const std::string& sym : mono) {
+      if (!removed && sym == var) {
+        removed = true;
+        continue;
+      }
+      rest.push_back(sym);
+    }
+    out.addTerm(std::move(rest), coeff);
+  }
+  return out;
+}
+
+Expr Expr::withoutSymbol(const std::string& var) const {
+  Expr out;
+  for (const auto& [mono, coeff] : terms_) {
+    if (!std::binary_search(mono.begin(), mono.end(), var))
+      out.addTerm(mono, coeff);
+  }
+  return out;
+}
+
+Expr Expr::differenceIn(const std::string& var) const {
+  return substitute(var, Expr::symbol(var) + 1) - *this;
+}
+
+int Expr::degree() const {
+  int max = 0;
+  for (const auto& [mono, coeff] : terms_) {
+    (void)coeff;
+    max = std::max(max, static_cast<int>(mono.size()));
+  }
+  return max;
+}
+
+std::string Expr::toString() const {
+  if (terms_.empty()) return "0";
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& [mono, coeff] : terms_) {
+    std::int64_t magnitude = coeff;
+    if (first) {
+      if (coeff < 0) {
+        out << "-";
+        magnitude = -coeff;
+      }
+    } else {
+      out << (coeff < 0 ? " - " : " + ");
+      magnitude = coeff < 0 ? -coeff : coeff;
+    }
+    first = false;
+    if (mono.empty()) {
+      out << magnitude;
+      continue;
+    }
+    bool emittedFactor = false;
+    if (magnitude != 1) {
+      out << magnitude;
+      emittedFactor = true;
+    }
+    for (const std::string& sym : mono) {
+      if (emittedFactor) out << "*";
+      out << "[" << sym << "]";
+      emittedFactor = true;
+    }
+  }
+  return out.str();
+}
+
+Expr Expr::fromTerms(const std::map<Monomial, std::int64_t>& terms) {
+  Expr out;
+  for (const auto& [mono, coeff] : terms) out.addTerm(mono, coeff);
+  return out;
+}
+
+}  // namespace osel::symbolic

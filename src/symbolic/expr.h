@@ -1,0 +1,153 @@
+// osel/symbolic/expr.h — symbolic integer expressions in canonical
+// polynomial form.
+//
+// IPDA (§II.C, §IV.C of the paper) builds *difference* expressions between
+// the addressing expressions of adjacent GPU threads and needs them to
+// simplify exactly: IPD_th(A[max*a]) = [max]*1 - [max]*0 = [max]. Address
+// expressions in OpenMP parallel loops are polynomials over loop induction
+// variables, the thread index, and runtime-unknown symbols (array extents,
+// trip counts), so a canonical multivariate-polynomial representation gives
+// complete simplification and decidable equality — no rewrite-rule
+// heuristics needed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace osel::symbolic {
+
+/// Maps symbol names to runtime values, e.g. {"max", 9600}. This is the
+/// runtime half of the paper's hybrid analysis: the compiler stores symbolic
+/// expressions, the OpenMP runtime binds them just before kernel launch.
+using Bindings = std::map<std::string, std::int64_t>;
+
+/// An integer-valued symbolic expression, stored canonically as a
+/// multivariate polynomial: a map from monomial (sorted multiset of symbol
+/// names) to integer coefficient. Construction, arithmetic, and substitution
+/// all preserve canonical form, so operator== is semantic equality.
+///
+/// Value type: cheap to copy for the small expressions that occur in
+/// addressing code (a handful of monomials).
+class Expr {
+ public:
+  /// A monomial is the sorted list of its symbol factors; ["i","max"]
+  /// represents i*max, [] the constant term, ["i","i"] represents i^2.
+  using Monomial = std::vector<std::string>;
+
+  /// The zero expression.
+  Expr() = default;
+
+  /// The constant expression `value`.
+  static Expr constant(std::int64_t value);
+
+  /// The symbol expression `name`. Precondition: non-empty name.
+  static Expr symbol(const std::string& name);
+
+  friend Expr operator+(const Expr& a, const Expr& b);
+  friend Expr operator-(const Expr& a, const Expr& b);
+  friend Expr operator*(const Expr& a, const Expr& b);
+  friend Expr operator-(const Expr& a);
+  Expr& operator+=(const Expr& other);
+  Expr& operator-=(const Expr& other);
+  Expr& operator*=(const Expr& other);
+
+  /// Semantic equality (canonical forms compared structurally).
+  friend bool operator==(const Expr& a, const Expr& b) = default;
+
+  /// True iff the expression contains no symbols.
+  [[nodiscard]] bool isConstant() const;
+
+  /// The constant value if isConstant(), otherwise nullopt.
+  [[nodiscard]] std::optional<std::int64_t> tryConstant() const;
+
+  /// All distinct symbols appearing in the expression.
+  [[nodiscard]] std::set<std::string> freeSymbols() const;
+
+  /// True iff `name` appears in the expression.
+  [[nodiscard]] bool references(const std::string& name) const;
+
+  /// Replaces every occurrence of symbol `name` by `replacement` and
+  /// re-canonicalizes. Substituting an absent symbol is a no-op.
+  [[nodiscard]] Expr substitute(const std::string& name, const Expr& replacement) const;
+
+  /// Replaces all bound symbols; unbound symbols remain symbolic.
+  [[nodiscard]] Expr substituteAll(const Bindings& bindings) const;
+
+  /// Evaluates with all symbols bound. Throws support::PreconditionError if
+  /// a free symbol has no binding.
+  [[nodiscard]] std::int64_t evaluate(const Bindings& bindings) const;
+
+  /// Evaluates if every free symbol is bound; otherwise nullopt.
+  [[nodiscard]] std::optional<std::int64_t> tryEvaluate(const Bindings& bindings) const;
+
+  /// Evaluates with real-valued symbol bindings — used by the average-trip
+  /// analyses, where loop variables take fractional expected values.
+  /// Throws support::PreconditionError on an unbound symbol.
+  [[nodiscard]] double evaluateReal(const std::map<std::string, double>& bindings) const;
+
+  /// True iff no monomial has degree > 1 in any of `vars` and no monomial
+  /// contains two of `vars` (i.e. the expression is affine when the
+  /// remaining symbols are treated as unknown coefficients is NOT enough —
+  /// this checks joint affinity in the listed vars; coefficients may still
+  /// contain other symbols, e.g. max*i + j is affine in {i, j}).
+  [[nodiscard]] bool isAffineIn(const std::set<std::string>& vars) const;
+
+  /// The (possibly symbolic) coefficient of `var`, assuming the expression
+  /// is affine in {var}: sum over monomials containing `var` exactly once,
+  /// with `var` removed. Precondition: degree in `var` is at most one.
+  [[nodiscard]] Expr coefficientOf(const std::string& var) const;
+
+  /// The expression with every monomial mentioning `var` removed (the
+  /// "constant term" with respect to var).
+  [[nodiscard]] Expr withoutSymbol(const std::string& var) const;
+
+  /// The finite difference with respect to `var` with unit step:
+  /// substitute(var, var+1) - *this. For affine expressions this is exactly
+  /// the stride IPDA needs.
+  [[nodiscard]] Expr differenceIn(const std::string& var) const;
+
+  /// Maximum total degree over all monomials (0 for constants; 0 for zero).
+  [[nodiscard]] int degree() const;
+
+  /// Human-readable rendering; symbols print bracketed like the paper
+  /// ("[max]*i + j + 5"). Zero prints as "0".
+  [[nodiscard]] std::string toString() const;
+
+  /// Access to the canonical term map (monomial -> coefficient, no zero
+  /// coefficients stored). Exposed for serialization in the PAD.
+  [[nodiscard]] const std::map<Monomial, std::int64_t>& terms() const {
+    return terms_;
+  }
+
+  /// Rebuilds an Expr from a term map (e.g. PAD deserialization); zero
+  /// coefficients are dropped, monomials are re-sorted.
+  static Expr fromTerms(const std::map<Monomial, std::int64_t>& terms);
+
+ private:
+  void addTerm(Monomial monomial, std::int64_t coefficient);
+
+  std::map<Monomial, std::int64_t> terms_;
+};
+
+/// Convenience literals for building expressions.
+[[nodiscard]] inline Expr operator+(const Expr& a, std::int64_t b) {
+  return a + Expr::constant(b);
+}
+[[nodiscard]] inline Expr operator-(const Expr& a, std::int64_t b) {
+  return a - Expr::constant(b);
+}
+[[nodiscard]] inline Expr operator*(const Expr& a, std::int64_t b) {
+  return a * Expr::constant(b);
+}
+[[nodiscard]] inline Expr operator*(std::int64_t a, const Expr& b) {
+  return Expr::constant(a) * b;
+}
+[[nodiscard]] inline Expr operator+(std::int64_t a, const Expr& b) {
+  return Expr::constant(a) + b;
+}
+
+}  // namespace osel::symbolic

@@ -1,0 +1,148 @@
+#include "compiler/cache_aware_mca.h"
+
+#include <gtest/gtest.h>
+
+#include "compiler/compiler.h"
+#include "ir/builder.h"
+
+namespace osel::compiler {
+namespace {
+
+using namespace osel::ir;
+
+/// Row-streaming reduction: unit-stride loads within a small row.
+TargetRegion rowKernel() {
+  return RegionBuilder("rows")
+      .param("n")
+      .array("A", ScalarType::F32, {sym("n"), sym("n")}, Transfer::To)
+      .array("y", ScalarType::F32, {sym("n")}, Transfer::From)
+      .parallelFor("i", sym("n"))
+      .statement(Stmt::assign("acc", num(0.0)))
+      .statement(Stmt::seqLoop(
+          "k", cst(0), sym("n"),
+          {Stmt::assign("acc", local("acc") + read("A", {sym("i"), sym("k")}))}))
+      .statement(Stmt::store("y", {sym("i")}, local("acc")))
+      .build();
+}
+
+/// Column walk: every load opens a new line; footprint = n lines.
+TargetRegion columnKernel() {
+  return RegionBuilder("columns")
+      .param("n")
+      .array("A", ScalarType::F32, {sym("n"), sym("n")}, Transfer::To)
+      .array("y", ScalarType::F32, {sym("n")}, Transfer::From)
+      .parallelFor("i", sym("n"))
+      .statement(Stmt::assign("acc", num(0.0)))
+      .statement(Stmt::seqLoop(
+          "k", cst(0), sym("n"),
+          {Stmt::assign("acc", local("acc") + read("A", {sym("k"), sym("i")}))}))
+      .statement(Stmt::store("y", {sym("i")}, local("acc")))
+      .build();
+}
+
+TEST(CacheAwareMca, UnitStrideStaysNearL1) {
+  const EffectiveLoadLatency latency =
+      estimateLoadLatency(rowKernel(), {{"n", 1000}}, CacheGeometry::power9());
+  // 4 KB row walk fits L1; shared-line accesses keep the mix near the L1
+  // figure.
+  EXPECT_LT(latency.cycles, 8.0);
+  EXPECT_GT(latency.l1Fraction, 0.9);
+}
+
+TEST(CacheAwareMca, ColumnWalkChargesDeeperLevels) {
+  const CacheGeometry geometry = CacheGeometry::power9();
+  // n = 1000: column walk touches 1000 x 128B = 128 KB -> L2 figure.
+  const EffectiveLoadLatency medium =
+      estimateLoadLatency(columnKernel(), {{"n", 1000}}, geometry);
+  EXPECT_NEAR(medium.cycles, geometry.l2LoadCycles, 2.0);
+  // n = 40000: 5.1 MB walk -> L3 figure.
+  const EffectiveLoadLatency large =
+      estimateLoadLatency(columnKernel(), {{"n", 40000}}, geometry);
+  EXPECT_NEAR(large.cycles, geometry.l3LoadCycles, 5.0);
+  EXPECT_GT(large.cycles, medium.cycles);
+}
+
+TEST(CacheAwareMca, FractionsSumToOne) {
+  const EffectiveLoadLatency latency = estimateLoadLatency(
+      columnKernel(), {{"n", 2000}}, CacheGeometry::power9());
+  EXPECT_NEAR(latency.l1Fraction + latency.l2Fraction + latency.l3Fraction +
+                  latency.dramFraction,
+              1.0, 1e-9);
+}
+
+TEST(CacheAwareMca, RuntimeValueChangesTheEstimate) {
+  // The hybrid point again: the same static kernel gets a different
+  // effective latency once runtime values reveal the footprint.
+  const CacheGeometry geometry = CacheGeometry::power9();
+  const TargetRegion kernel = columnKernel();
+  const double small = estimateLoadLatency(kernel, {{"n", 100}}, geometry).cycles;
+  const double large =
+      estimateLoadLatency(kernel, {{"n", 100000}}, geometry).cycles;
+  EXPECT_LT(small, large);
+}
+
+TEST(CacheAwareMca, ModelGainsCacheSuffixAndAdjustedLoad) {
+  const mca::MachineModel base = mca::MachineModel::power9();
+  const mca::MachineModel aware = cacheAwareMachineModel(
+      base, columnKernel(), {{"n", 40000}}, CacheGeometry::power9());
+  EXPECT_EQ(aware.name, "POWER9+cache");
+  EXPECT_GT(aware.opModel(mca::MOp::Load).latency,
+            base.opModel(mca::MOp::Load).latency);
+  // Everything else untouched.
+  EXPECT_EQ(aware.opModel(mca::MOp::FAdd).latency,
+            base.opModel(mca::MOp::FAdd).latency);
+  EXPECT_EQ(aware.dispatchWidth, base.dispatchWidth);
+}
+
+TEST(CacheAwareMca, UnitStrideKernelKeepsBaseLoadLatency) {
+  const mca::MachineModel base = mca::MachineModel::power9();
+  const mca::MachineModel aware = cacheAwareMachineModel(
+      base, rowKernel(), {{"n", 1000}}, CacheGeometry::power9());
+  EXPECT_EQ(aware.opModel(mca::MOp::Load).latency,
+            base.opModel(mca::MOp::Load).latency);
+}
+
+TEST(CacheAwareMca, RaisesMachineCyclesOnceWalksReachDram) {
+  // The OoO window hides L2/L3-level load latencies behind the reduction
+  // chain, so the composed Machine_cycles_per_iter only grows once the
+  // footprint heuristic charges DRAM — which is also why the extension is
+  // near-neutral at Polybench's sizes (see bench/ablation_mca).
+  CompileOptions options;
+  options.assumedLoopTrips = 4000.0;
+  const TargetRegion kernel = columnKernel();
+  const mca::MachineModel base = mca::MachineModel::power9();
+  // Touched lines: 2e6 x 128 B = 256 MB >> L3 -> DRAM-level load latency.
+  const mca::MachineModel aware = cacheAwareMachineModel(
+      base, kernel, {{"n", 2000000}}, CacheGeometry::power9());
+  const double baseCycles = machineCyclesPerIteration(kernel, base, options);
+  const double awareCycles = machineCyclesPerIteration(kernel, aware, options);
+  EXPECT_GT(awareCycles, 1.5 * baseCycles);
+
+  // L2-level walk: hidden by the window, estimate unchanged-ish.
+  const mca::MachineModel l2Aware = cacheAwareMachineModel(
+      base, kernel, {{"n", 4000}}, CacheGeometry::power9());
+  const double l2Cycles = machineCyclesPerIteration(kernel, l2Aware, options);
+  EXPECT_LT(l2Cycles, 1.2 * baseCycles);
+}
+
+TEST(CacheAwareMca, LoopInvariantLoadIsL1) {
+  // b[i] inside the k-loop is loop-invariant: stride 0 -> register/L1.
+  const TargetRegion kernel =
+      RegionBuilder("broadcast")
+          .param("n")
+          .array("b", ScalarType::F32, {sym("n")}, Transfer::To)
+          .array("y", ScalarType::F32, {sym("n")}, Transfer::From)
+          .parallelFor("i", sym("n"))
+          .statement(Stmt::assign("acc", num(0.0)))
+          .statement(Stmt::seqLoop(
+              "k", cst(0), sym("n"),
+              {Stmt::assign("acc", local("acc") + read("b", {sym("i")}))}))
+          .statement(Stmt::store("y", {sym("i")}, local("acc")))
+          .build();
+  const EffectiveLoadLatency latency = estimateLoadLatency(
+      kernel, {{"n", 100000}}, CacheGeometry::power9());
+  EXPECT_DOUBLE_EQ(latency.l1Fraction, 1.0);
+}
+
+}  // namespace
+}  // namespace osel::compiler

@@ -1,0 +1,168 @@
+#include "compiler/compiler.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "ir/builder.h"
+
+namespace osel::compiler {
+namespace {
+
+using namespace osel::ir;
+
+TargetRegion gemmKernel() {
+  return RegionBuilder("gemm")
+      .param("n")
+      .array("A", ScalarType::F32, {sym("n"), sym("n")}, Transfer::To)
+      .array("B", ScalarType::F32, {sym("n"), sym("n")}, Transfer::To)
+      .array("C", ScalarType::F32, {sym("n"), sym("n")}, Transfer::ToFrom)
+      .parallelFor("i", sym("n"))
+      .parallelFor("j", sym("n"))
+      .statement(Stmt::assign("acc", num(0.0)))
+      .statement(Stmt::seqLoop(
+          "k", cst(0), sym("n"),
+          {Stmt::assign("acc", local("acc") + read("A", {sym("i"), sym("k")}) *
+                                                  read("B", {sym("k"), sym("j")}))}))
+      .statement(Stmt::store("C", {sym("i"), sym("j")}, local("acc")))
+      .build();
+}
+
+std::array<mca::MachineModel, 2> hostModels() {
+  return {mca::MachineModel::power9(), mca::MachineModel::power8()};
+}
+
+TEST(Compiler, LoadoutUses128TripAbstraction) {
+  const auto models = hostModels();
+  const pad::RegionAttributes attr = analyzeRegion(gemmKernel(), models);
+  // 2 loads x 128 trips; the loadout must not depend on any runtime n.
+  EXPECT_DOUBLE_EQ(attr.loadInstsPerIter, 256.0);
+  EXPECT_DOUBLE_EQ(attr.storeInstsPerIter, 1.0);
+  EXPECT_DOUBLE_EQ(attr.compInstsPerIter, 256.0);
+  EXPECT_DOUBLE_EQ(attr.specialInstsPerIter, 0.0);
+}
+
+TEST(Compiler, CustomTripAssumption) {
+  const auto models = hostModels();
+  CompileOptions options;
+  options.assumedLoopTrips = 10.0;
+  const pad::RegionAttributes attr = analyzeRegion(gemmKernel(), models, options);
+  EXPECT_DOUBLE_EQ(attr.loadInstsPerIter, 20.0);
+}
+
+TEST(Compiler, McaCyclesPerHostModel) {
+  const auto models = hostModels();
+  const pad::RegionAttributes attr = analyzeRegion(gemmKernel(), models);
+  ASSERT_EQ(attr.machineCyclesPerIter.size(), 2u);
+  EXPECT_GT(attr.machineCyclesPerIter.at("POWER9"), 0.0);
+  EXPECT_GT(attr.machineCyclesPerIter.at("POWER8"), 0.0);
+}
+
+TEST(Compiler, McaCompositionScalesWithTrips) {
+  CompileOptions few;
+  few.assumedLoopTrips = 16.0;
+  CompileOptions many;
+  many.assumedLoopTrips = 160.0;
+  const double fewCycles =
+      machineCyclesPerIteration(gemmKernel(), mca::MachineModel::power9(), few);
+  const double manyCycles =
+      machineCyclesPerIteration(gemmKernel(), mca::MachineModel::power9(), many);
+  EXPECT_NEAR(manyCycles / fewCycles, 10.0, 1.0);
+}
+
+TEST(Compiler, StrideRecordsStoredSymbolically) {
+  const auto models = hostModels();
+  const pad::RegionAttributes attr = analyzeRegion(gemmKernel(), models);
+  ASSERT_EQ(attr.strides.size(), 3u);
+  // A[i][k]: stride 0 in thread var j (uniform); B[k][j]: stride 1;
+  // C store: stride 1.
+  EXPECT_EQ(attr.strides[0].stride, symbolic::Expr{});
+  EXPECT_EQ(attr.strides[1].stride, symbolic::Expr::constant(1));
+  EXPECT_EQ(attr.strides[2].stride, symbolic::Expr::constant(1));
+  EXPECT_TRUE(attr.strides[2].isStore);
+  // Loads in the k-loop run 128x per parallel iteration; the store once.
+  EXPECT_DOUBLE_EQ(attr.strides[0].countPerIteration, 128.0);
+  EXPECT_DOUBLE_EQ(attr.strides[2].countPerIteration, 1.0);
+}
+
+TEST(Compiler, SymbolicTripAndTransferExpressions) {
+  const auto models = hostModels();
+  const pad::RegionAttributes attr = analyzeRegion(gemmKernel(), models);
+  const symbolic::Bindings bindings{{"n", 1100}};
+  EXPECT_EQ(attr.flatTripCount.evaluate(bindings), 1100 * 1100);
+  // To: A + B + C (tofrom) = 3 arrays x n^2 x 4B.
+  EXPECT_EQ(attr.bytesToDevice.evaluate(bindings), 3LL * 1100 * 1100 * 4);
+  EXPECT_EQ(attr.bytesFromDevice.evaluate(bindings), 1LL * 1100 * 1100 * 4);
+}
+
+TEST(Compiler, Fp64FractionFromElementTypes) {
+  const auto models = hostModels();
+  const TargetRegion mixed =
+      RegionBuilder("mixed")
+          .param("n")
+          .array("a", ScalarType::F64, {sym("n")}, Transfer::To)
+          .array("b", ScalarType::F32, {sym("n")}, Transfer::From)
+          .parallelFor("i", sym("n"))
+          .statement(Stmt::store("b", {sym("i")}, read("a", {sym("i")})))
+          .build();
+  const pad::RegionAttributes attr = analyzeRegion(mixed, models);
+  EXPECT_DOUBLE_EQ(attr.fp64Fraction, 0.5);
+}
+
+TEST(Compiler, BranchHalvesGuardedWork) {
+  const auto models = hostModels();
+  const TargetRegion guarded =
+      RegionBuilder("guarded")
+          .param("n")
+          .array("x", ScalarType::F32, {sym("n")}, Transfer::ToFrom)
+          .parallelFor("i", sym("n"))
+          .statement(Stmt::ifStmt(
+              Condition{read("x", {sym("i")}), CmpOp::LE, num(0.1)},
+              {Stmt::store("x", {sym("i")}, num(1.0))}))
+          .build();
+  const pad::RegionAttributes attr = analyzeRegion(guarded, models);
+  // Condition load always; guarded store half the time.
+  EXPECT_DOUBLE_EQ(attr.loadInstsPerIter, 1.0);
+  EXPECT_DOUBLE_EQ(attr.storeInstsPerIter, 0.5);
+}
+
+TEST(Compiler, BytesTouchedAccountsElementSizes) {
+  const auto models = hostModels();
+  const pad::RegionAttributes attr = analyzeRegion(gemmKernel(), models);
+  // (256 loads + 1 store + 1 C-read? no C read) -> 257 accesses x 4B.
+  EXPECT_DOUBLE_EQ(attr.bytesTouchedPerIteration, 257.0 * 4.0);
+}
+
+TEST(Compiler, CompileAllBuildsDatabase) {
+  const auto models = hostModels();
+  const std::array<TargetRegion, 2> regions{gemmKernel(),
+                                            RegionBuilder("copy")
+                                                .param("n")
+                                                .array("x", ScalarType::F32,
+                                                       {sym("n")}, Transfer::To)
+                                                .array("y", ScalarType::F32,
+                                                       {sym("n")}, Transfer::From)
+                                                .parallelFor("i", sym("n"))
+                                                .statement(Stmt::store(
+                                                    "y", {sym("i")},
+                                                    read("x", {sym("i")})))
+                                                .build()};
+  const pad::AttributeDatabase db = compileAll(regions, models);
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_NE(db.find("gemm"), nullptr);
+  EXPECT_NE(db.find("copy"), nullptr);
+}
+
+TEST(Compiler, AttributesSurvivePadRoundTrip) {
+  const auto models = hostModels();
+  pad::AttributeDatabase db;
+  db.insert(analyzeRegion(gemmKernel(), models));
+  const pad::AttributeDatabase parsed =
+      pad::AttributeDatabase::deserialize(db.serialize());
+  EXPECT_DOUBLE_EQ(parsed.at("gemm").machineCyclesPerIter.at("POWER9"),
+                   db.at("gemm").machineCyclesPerIter.at("POWER9"));
+  EXPECT_EQ(parsed.at("gemm").strides.size(), 3u);
+}
+
+}  // namespace
+}  // namespace osel::compiler

@@ -1,0 +1,100 @@
+// Property tests for the Liao/Chapman CPU cost model: monotonicities and
+// decompositions that must hold for any workload.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cpumodel/cpu_model.h"
+#include "support/rng.h"
+
+namespace osel::cpumodel {
+namespace {
+
+CpuWorkload randomWorkload(support::SplitMix64& rng) {
+  CpuWorkload w;
+  w.machineCyclesPerIter = 1.0 + static_cast<double>(rng.nextBelow(100000));
+  w.parallelTripCount = 1 + static_cast<std::int64_t>(rng.nextBelow(10000000));
+  w.bytesTouchedPerIteration = static_cast<double>(rng.nextBelow(1 << 16));
+  w.falseSharingRisk = rng.nextBelow(2) == 0;
+  w.schedule =
+      rng.nextBelow(2) == 0 ? ScheduleKind::Static : ScheduleKind::Dynamic;
+  return w;
+}
+
+class CpuModelProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CpuModelProperty, TotalIsSumOfComponents) {
+  support::SplitMix64 rng(GetParam());
+  const CpuCostModel model(CpuModelParams::power9(), 16);
+  const CpuPrediction p = model.predict(randomWorkload(rng));
+  EXPECT_NEAR(p.totalCycles,
+              p.forkJoinCycles + p.scheduleCycles + p.workCycles +
+                  p.loopOverheadCycles + p.tlbCycles + p.falseSharingCycles,
+              1e-6 * p.totalCycles + 1e-9);
+  EXPECT_NEAR(p.seconds, p.totalCycles / 3.0e9, 1e-15);
+}
+
+TEST_P(CpuModelProperty, MonotoneInWorkPerIteration) {
+  support::SplitMix64 rng(GetParam() ^ 0x1111);
+  const CpuCostModel model(CpuModelParams::power9(), 8);
+  CpuWorkload w = randomWorkload(rng);
+  const double base = model.predict(w).seconds;
+  w.machineCyclesPerIter *= 2.0;
+  EXPECT_GE(model.predict(w).seconds, base);
+}
+
+TEST_P(CpuModelProperty, MonotoneInTripCount) {
+  support::SplitMix64 rng(GetParam() ^ 0x2222);
+  const CpuCostModel model(CpuModelParams::power9(), 8);
+  CpuWorkload w = randomWorkload(rng);
+  const double base = model.predict(w).seconds;
+  w.parallelTripCount *= 4;
+  EXPECT_GE(model.predict(w).seconds, base);
+}
+
+TEST_P(CpuModelProperty, MonotoneInFootprint) {
+  support::SplitMix64 rng(GetParam() ^ 0x3333);
+  const CpuCostModel model(CpuModelParams::power9(), 8);
+  CpuWorkload w = randomWorkload(rng);
+  const double base = model.predict(w).tlbCycles;
+  w.bytesTouchedPerIteration = w.bytesTouchedPerIteration * 8.0 + 1024.0;
+  EXPECT_GE(model.predict(w).tlbCycles, base);
+}
+
+TEST_P(CpuModelProperty, FalseSharingOnlyEverAdds) {
+  support::SplitMix64 rng(GetParam() ^ 0x4444);
+  const CpuCostModel model(CpuModelParams::power9(), 32);
+  CpuWorkload w = randomWorkload(rng);
+  w.falseSharingRisk = false;
+  const double clean = model.predict(w).seconds;
+  w.falseSharingRisk = true;
+  EXPECT_GE(model.predict(w).seconds, clean);
+}
+
+TEST_P(CpuModelProperty, DynamicScheduleNeverCheaperThanStatic) {
+  // In *this model* dynamic only adds dispatch transactions (the balance
+  // benefit is a ground-truth effect the model does not see).
+  support::SplitMix64 rng(GetParam() ^ 0x5555);
+  const CpuCostModel model(CpuModelParams::power9(), 16);
+  CpuWorkload w = randomWorkload(rng);
+  w.schedule = ScheduleKind::Static;
+  const double staticSec = model.predict(w).seconds;
+  w.schedule = ScheduleKind::Dynamic;
+  EXPECT_GE(model.predict(w).seconds, staticSec);
+}
+
+TEST_P(CpuModelProperty, PredictionsFiniteAndPositive) {
+  support::SplitMix64 rng(GetParam() ^ 0x6666);
+  for (const int threads : {1, 7, 44, 160, 1000}) {
+    const CpuCostModel model(CpuModelParams::power8(), threads);
+    const CpuPrediction p = model.predict(randomWorkload(rng));
+    EXPECT_TRUE(std::isfinite(p.seconds)) << threads;
+    EXPECT_GT(p.seconds, 0.0) << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CpuModelProperty,
+                         ::testing::Range<std::uint64_t>(1, 31));
+
+}  // namespace
+}  // namespace osel::cpumodel

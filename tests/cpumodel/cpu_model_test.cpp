@@ -1,0 +1,201 @@
+#include "cpumodel/cpu_model.h"
+
+#include <gtest/gtest.h>
+
+#include "support/check.h"
+
+namespace osel::cpumodel {
+namespace {
+
+using support::PreconditionError;
+
+CpuWorkload basicWorkload() {
+  CpuWorkload w;
+  w.machineCyclesPerIter = 100.0;
+  w.parallelTripCount = 160000;
+  w.bytesTouchedPerIteration = 64.0;
+  return w;
+}
+
+TEST(CpuModelParams, Power9MatchesPaperTableII) {
+  const CpuModelParams p = CpuModelParams::power9();
+  EXPECT_DOUBLE_EQ(p.frequencyHz, 3.0e9);
+  EXPECT_EQ(p.tlbEntries, 1024);
+  EXPECT_DOUBLE_EQ(p.tlbMissPenaltyCycles, 14.0);
+  EXPECT_DOUBLE_EQ(p.loopOverheadPerIterCycles, 4.0);
+  EXPECT_DOUBLE_EQ(p.parScheduleOverheadStaticCycles, 10154.0);
+  EXPECT_DOUBLE_EQ(p.synchronizationOverheadCycles, 4000.0);
+  EXPECT_DOUBLE_EQ(p.parStartupCycles, 3000.0);
+}
+
+TEST(CpuModelParams, Power8RunsSameClockWithCostlierRuntime) {
+  const CpuModelParams p8 = CpuModelParams::power8();
+  const CpuModelParams p9 = CpuModelParams::power9();
+  EXPECT_DOUBLE_EQ(p8.frequencyHz, p9.frequencyHz);  // both 3000 MHz (§III)
+  EXPECT_GT(p8.parScheduleOverheadStaticCycles,
+            p9.parScheduleOverheadStaticCycles);
+  EXPECT_GT(p8.synchronizationOverheadCycles, p9.synchronizationOverheadCycles);
+}
+
+TEST(CpuModelParams, EffectiveParallelismSaturatesAtSmtCeiling) {
+  const CpuModelParams p = CpuModelParams::power9();
+  EXPECT_DOUBLE_EQ(p.effectiveParallelism(1), 1.0);
+  EXPECT_DOUBLE_EQ(p.effectiveParallelism(4), 4.0);
+  EXPECT_DOUBLE_EQ(p.effectiveParallelism(20), 20.0);
+  // 160 SMT threads on 20 cores do not run 160x faster.
+  EXPECT_DOUBLE_EQ(p.effectiveParallelism(160), 20.0 * 2.2);
+}
+
+TEST(CpuCostModel, MoreThreadsFasterWhileWorkDominates) {
+  CpuWorkload w = basicWorkload();
+  w.machineCyclesPerIter = 5000.0;  // enough work to amortize fork costs
+  double previous = 1e300;
+  for (const int threads : {1, 2, 4, 8, 20, 44}) {
+    const CpuPrediction prediction =
+        CpuCostModel(CpuModelParams::power9(), threads).predict(w);
+    EXPECT_LE(prediction.seconds, previous + 1e-12) << threads;
+    previous = prediction.seconds;
+  }
+}
+
+TEST(CpuCostModel, PerThreadOverheadPenalizesTinyKernels) {
+  // Forking 160 threads for microseconds of work costs more than it buys —
+  // the model now carries the EPCC per-thread component.
+  CpuWorkload w;
+  w.machineCyclesPerIter = 10.0;
+  w.parallelTripCount = 2048;
+  w.bytesTouchedPerIteration = 8.0;
+  const double at20 =
+      CpuCostModel(CpuModelParams::power9(), 20).predict(w).seconds;
+  const double at160 =
+      CpuCostModel(CpuModelParams::power9(), 160).predict(w).seconds;
+  EXPECT_GT(at160, at20);
+}
+
+TEST(CpuCostModel, WorkScalesLinearlyInTripCount) {
+  CpuWorkload w = basicWorkload();
+  const CpuCostModel model(CpuModelParams::power9(), 4);
+  const double small = model.predict(w).workCycles;
+  w.parallelTripCount *= 10;
+  const double large = model.predict(w).workCycles;
+  EXPECT_NEAR(large / small, 10.0, 0.01);
+}
+
+TEST(CpuCostModel, FixedOverheadsIndependentOfWork) {
+  CpuWorkload w = basicWorkload();
+  const CpuCostModel model(CpuModelParams::power9(), 16);
+  const CpuPrediction a = model.predict(w);
+  w.machineCyclesPerIter *= 7;
+  const CpuPrediction b = model.predict(w);
+  EXPECT_DOUBLE_EQ(a.forkJoinCycles, b.forkJoinCycles);
+  EXPECT_DOUBLE_EQ(a.scheduleCycles, b.scheduleCycles);
+  // Table II base figures plus the per-thread EPCC component (16 threads).
+  EXPECT_DOUBLE_EQ(a.forkJoinCycles, 3000.0 + 4000.0 + 16 * 3000.0);
+  EXPECT_DOUBLE_EQ(a.scheduleCycles, 10154.0);
+}
+
+TEST(CpuCostModel, TinyKernelDominatedByOverheads) {
+  // The crossover the selection framework exists to catch: a 16x16 kernel's
+  // predicted time is almost all fork/schedule overhead.
+  CpuWorkload w;
+  w.machineCyclesPerIter = 50.0;
+  w.parallelTripCount = 16;
+  w.bytesTouchedPerIteration = 128.0;
+  const CpuPrediction prediction =
+      CpuCostModel(CpuModelParams::power9(), 160).predict(w);
+  const double overhead = prediction.forkJoinCycles + prediction.scheduleCycles;
+  EXPECT_GT(overhead / prediction.totalCycles, 0.9);
+}
+
+TEST(CpuCostModel, LargeKernelDominatedByWork) {
+  CpuWorkload w;
+  w.machineCyclesPerIter = 5000.0;  // long inner loop per parallel iter
+  w.parallelTripCount = 9600 * 9600;
+  w.bytesTouchedPerIteration = 64.0;
+  const CpuPrediction prediction =
+      CpuCostModel(CpuModelParams::power9(), 160).predict(w);
+  EXPECT_GT(prediction.workCycles / prediction.totalCycles, 0.9);
+}
+
+TEST(CpuCostModel, TlbTermGrowsWithFootprint) {
+  CpuWorkload w = basicWorkload();
+  const CpuCostModel model(CpuModelParams::power9(), 4);
+  w.bytesTouchedPerIteration = 8.0;
+  const double smallTlb = model.predict(w).tlbCycles;
+  w.bytesTouchedPerIteration = 64 * 1024.0;  // one page per iteration
+  const double largeTlb = model.predict(w).tlbCycles;
+  EXPECT_GT(largeTlb, smallTlb * 100);
+}
+
+TEST(CpuCostModel, TlbCapacityMissesBeyondReach) {
+  // Footprint beyond 1024 pages pays capacity misses on top of cold misses.
+  CpuWorkload w = basicWorkload();
+  const CpuCostModel model(CpuModelParams::power9(), 1);
+  w.parallelTripCount = 1;
+  w.bytesTouchedPerIteration = 1024.0 * 64 * 1024;  // exactly TLB reach
+  const double atReach = model.predict(w).tlbCycles;
+  w.bytesTouchedPerIteration *= 2.0;  // double it
+  const double beyondReach = model.predict(w).tlbCycles;
+  // Beyond reach: 2048 cold + 1024 capacity = 3x the misses at reach.
+  EXPECT_NEAR(beyondReach / atReach, 3.0, 0.01);
+}
+
+TEST(CpuCostModel, FalseSharingAddsPenaltyOnlyWhenFlagged) {
+  CpuWorkload w = basicWorkload();
+  const CpuCostModel model(CpuModelParams::power9(), 8);
+  EXPECT_DOUBLE_EQ(model.predict(w).falseSharingCycles, 0.0);
+  w.falseSharingRisk = true;
+  EXPECT_GT(model.predict(w).falseSharingCycles, 0.0);
+}
+
+TEST(CpuCostModel, FalseSharingFreeOnSingleThread) {
+  CpuWorkload w = basicWorkload();
+  w.falseSharingRisk = true;
+  const CpuPrediction prediction =
+      CpuCostModel(CpuModelParams::power9(), 1).predict(w);
+  EXPECT_DOUBLE_EQ(prediction.falseSharingCycles, 0.0);
+}
+
+TEST(CpuCostModel, DynamicScheduleCostsMoreThanStatic) {
+  CpuWorkload w = basicWorkload();
+  const CpuCostModel model(CpuModelParams::power9(), 8);
+  const double staticCycles = model.predict(w).scheduleCycles;
+  w.schedule = ScheduleKind::Dynamic;
+  const double dynamicCycles = model.predict(w).scheduleCycles;
+  EXPECT_GT(dynamicCycles, staticCycles);
+}
+
+TEST(CpuCostModel, SecondsConsistentWithCyclesAndFrequency) {
+  const CpuWorkload w = basicWorkload();
+  const CpuPrediction prediction =
+      CpuCostModel(CpuModelParams::power9(), 4).predict(w);
+  EXPECT_NEAR(prediction.seconds, prediction.totalCycles / 3.0e9, 1e-15);
+  EXPECT_NEAR(prediction.totalCycles,
+              prediction.forkJoinCycles + prediction.scheduleCycles +
+                  prediction.workCycles + prediction.loopOverheadCycles +
+                  prediction.tlbCycles + prediction.falseSharingCycles,
+              1e-9);
+}
+
+TEST(CpuCostModel, RejectsInvalidInputs) {
+  const CpuCostModel model(CpuModelParams::power9(), 4);
+  CpuWorkload w = basicWorkload();
+  w.parallelTripCount = 0;
+  EXPECT_THROW((void)model.predict(w), PreconditionError);
+  w = basicWorkload();
+  w.machineCyclesPerIter = -1.0;
+  EXPECT_THROW((void)model.predict(w), PreconditionError);
+  EXPECT_THROW(CpuCostModel(CpuModelParams::power9(), 0), PreconditionError);
+}
+
+TEST(CpuCostModel, PredictionToStringMentionsComponents) {
+  const CpuPrediction prediction =
+      CpuCostModel(CpuModelParams::power9(), 4).predict(basicWorkload());
+  const std::string text = prediction.toString();
+  EXPECT_NE(text.find("work"), std::string::npos);
+  EXPECT_NE(text.find("sched"), std::string::npos);
+  EXPECT_NE(text.find("tlb"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace osel::cpumodel

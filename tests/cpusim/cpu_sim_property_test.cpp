@@ -1,0 +1,126 @@
+// Property tests for the ground-truth CPU simulator: determinism, scaling
+// in problem size and threads, and platform-ordering invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cpusim/cpu_simulator.h"
+#include "ir/builder.h"
+#include "support/rng.h"
+
+namespace osel::cpusim {
+namespace {
+
+using namespace osel::ir;
+
+/// Random reduction kernel: the A access pattern varies with the seed
+/// (row walk, column walk, or broadcast).
+TargetRegion randomKernel(std::uint64_t seed) {
+  support::SplitMix64 rng(seed);
+  symbolic::Expr row = sym("i");
+  symbolic::Expr col = sym("k");
+  switch (rng.nextBelow(3)) {
+    case 0:
+      break;  // A[i][k] row walk
+    case 1:
+      std::swap(row, col);  // A[k][i] column walk
+      break;
+    default:
+      col = cst(7);  // A[i][7] loop-invariant
+      break;
+  }
+  return RegionBuilder("random_" + std::to_string(seed))
+      .param("n")
+      .array("A", ScalarType::F32, {sym("n"), sym("n")}, Transfer::To)
+      .array("y", ScalarType::F32, {sym("n")}, Transfer::From)
+      .parallelFor("i", sym("n"))
+      .statement(Stmt::assign("acc", num(0.0)))
+      .statement(Stmt::seqLoop(
+          "k", cst(0), sym("n"),
+          {Stmt::assign("acc", local("acc") + read("A", {row, col}))}))
+      .statement(Stmt::store("y", {sym("i")}, local("acc")))
+      .build();
+}
+
+class CpuSimProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CpuSimProperty, SimulationIsDeterministic) {
+  const TargetRegion region = randomKernel(GetParam());
+  const symbolic::Bindings bindings{{"n", 300}};
+  const CpuSimulator sim(CpuSimParams::power9(), 16);
+  ArrayStore storeA = allocateArrays(region, bindings);
+  ArrayStore storeB = allocateArrays(region, bindings);
+  const CpuSimResult a = sim.simulate(region, bindings, storeA);
+  const CpuSimResult b = sim.simulate(region, bindings, storeB);
+  EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+  EXPECT_DOUBLE_EQ(a.totalCycles, b.totalCycles);
+  EXPECT_DOUBLE_EQ(a.l1HitRate, b.l1HitRate);
+}
+
+TEST_P(CpuSimProperty, LargerProblemsNeverFaster) {
+  const TargetRegion region = randomKernel(GetParam());
+  const CpuSimulator sim(CpuSimParams::power9(), 8);
+  double previous = 0.0;
+  for (const std::int64_t n : {128, 512, 2048}) {
+    const symbolic::Bindings bindings{{"n", n}};
+    ArrayStore store = allocateArrays(region, bindings);
+    const double t = sim.simulate(region, bindings, store).seconds;
+    EXPECT_GE(t, previous * 0.9) << n;  // sampling jitter tolerance
+    previous = t;
+  }
+}
+
+TEST_P(CpuSimProperty, ResultInvariantsHold) {
+  const TargetRegion region = randomKernel(GetParam());
+  const symbolic::Bindings bindings{{"n", 400}};
+  ArrayStore store = allocateArrays(region, bindings);
+  const CpuSimResult r =
+      CpuSimulator(CpuSimParams::power9(), 32).simulate(region, bindings, store);
+  EXPECT_TRUE(std::isfinite(r.seconds));
+  EXPECT_GT(r.seconds, 0.0);
+  EXPECT_GE(r.vectorFactor, 1.0);
+  EXPECT_GE(r.smtSlowdown, 1.0);
+  EXPECT_NEAR(r.seconds, r.totalCycles / 3.0e9, 1e-15);
+  EXPECT_GE(r.totalCycles,
+            r.overheadCycles);  // overheads always included
+  for (const double rate : {r.l1HitRate, r.l2HitRate, r.l3HitRate}) {
+    EXPECT_GE(rate, 0.0);
+    EXPECT_LE(rate, 1.0);
+  }
+}
+
+TEST_P(CpuSimProperty, SingleThreadSlowerThanEight) {
+  const TargetRegion region = randomKernel(GetParam());
+  const symbolic::Bindings bindings{{"n", 1024}};
+  ArrayStore storeA = allocateArrays(region, bindings);
+  ArrayStore storeB = allocateArrays(region, bindings);
+  const double one = CpuSimulator(CpuSimParams::power9(), 1)
+                         .simulate(region, bindings, storeA)
+                         .seconds;
+  const double eight = CpuSimulator(CpuSimParams::power9(), 8)
+                           .simulate(region, bindings, storeB)
+                           .seconds;
+  EXPECT_GT(one, eight);
+}
+
+TEST_P(CpuSimProperty, Power8NeverFasterThanPower9) {
+  // POWER9 dominates POWER8 in every simulated parameter, so it must never
+  // lose on the same kernel and thread count.
+  const TargetRegion region = randomKernel(GetParam());
+  const symbolic::Bindings bindings{{"n", 700}};
+  ArrayStore storeA = allocateArrays(region, bindings);
+  ArrayStore storeB = allocateArrays(region, bindings);
+  const double p9 = CpuSimulator(CpuSimParams::power9(), 16)
+                        .simulate(region, bindings, storeA)
+                        .seconds;
+  const double p8 = CpuSimulator(CpuSimParams::power8(), 16)
+                        .simulate(region, bindings, storeB)
+                        .seconds;
+  EXPECT_LE(p9, p8 * 1.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CpuSimProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace osel::cpusim

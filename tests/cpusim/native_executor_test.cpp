@@ -1,0 +1,93 @@
+#include "cpusim/native_executor.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "polybench/polybench.h"
+#include "support/check.h"
+
+namespace osel::cpusim {
+namespace {
+
+using namespace osel::ir;
+
+TEST(NativeExecutor, MatchesSequentialRunAll) {
+  const TargetRegion region =
+      RegionBuilder("affine")
+          .param("n")
+          .array("x", ScalarType::F32, {sym("n")}, Transfer::To)
+          .array("y", ScalarType::F32, {sym("n")}, Transfer::From)
+          .parallelFor("i", sym("n"))
+          .statement(Stmt::store("y", {sym("i")},
+                                 read("x", {sym("i")}) * num(3.0) + num(1.0)))
+          .build();
+  const symbolic::Bindings bindings{{"n", 10007}};  // prime: ragged chunks
+  ArrayStore parallelStore = allocateArrays(region, bindings);
+  ArrayStore sequentialStore = allocateArrays(region, bindings);
+  for (std::size_t i = 0; i < parallelStore["x"].size(); ++i) {
+    parallelStore["x"][i] = static_cast<double>(i % 97);
+    sequentialStore["x"][i] = static_cast<double>(i % 97);
+  }
+  executeNative(region, bindings, parallelStore, 8);
+  CompiledRegion(region, bindings).runAll(sequentialStore);
+  EXPECT_EQ(parallelStore["y"], sequentialStore["y"]);
+}
+
+TEST(NativeExecutor, PolybenchGemmMatchesReference) {
+  const polybench::Benchmark& gemm = polybench::benchmarkByName("GEMM");
+  const auto bindings = gemm.bindings(96);
+  ArrayStore nativeStore = gemm.allocate(bindings);
+  polybench::initializeInputs(gemm, bindings, nativeStore);
+  ArrayStore referenceStore = gemm.allocate(bindings);
+  polybench::initializeInputs(gemm, bindings, referenceStore);
+
+  for (const auto& kernel : gemm.kernels())
+    executeNative(kernel, bindings, nativeStore, 6);
+  polybench::referenceExecute(gemm, bindings, referenceStore);
+
+  const auto& actual = nativeStore.at("C");
+  const auto& expected = referenceStore.at("C");
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    ASSERT_NEAR(actual[i], expected[i], 1e-9) << i;
+}
+
+TEST(NativeExecutor, TriangularOverlappingStoresStayRaceFree) {
+  // COVAR's third kernel writes symmat[j1][j2] and symmat[j2][j1]; the
+  // (j1, j2) pairs are unique across threads, so parallel execution must
+  // match the reference exactly.
+  const polybench::Benchmark& covar = polybench::benchmarkByName("COVAR");
+  const auto bindings = covar.bindings(48);
+  ArrayStore nativeStore = covar.allocate(bindings);
+  polybench::initializeInputs(covar, bindings, nativeStore);
+  ArrayStore referenceStore = covar.allocate(bindings);
+  polybench::initializeInputs(covar, bindings, referenceStore);
+
+  for (const auto& kernel : covar.kernels())
+    executeNative(kernel, bindings, nativeStore, 8);
+  polybench::referenceExecute(covar, bindings, referenceStore);
+
+  const auto& actual = nativeStore.at("symmat");
+  const auto& expected = referenceStore.at("symmat");
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    ASSERT_NEAR(actual[i], expected[i], 1e-9) << i;
+}
+
+TEST(NativeExecutor, SingleThreadWorks) {
+  const polybench::Benchmark& atax = polybench::benchmarkByName("ATAX");
+  const auto bindings = atax.bindings(40);
+  ArrayStore store = atax.allocate(bindings);
+  polybench::initializeInputs(atax, bindings, store);
+  for (const auto& kernel : atax.kernels())
+    EXPECT_NO_THROW(executeNative(kernel, bindings, store, 1));
+}
+
+TEST(NativeExecutor, RejectsZeroThreads) {
+  const polybench::Benchmark& atax = polybench::benchmarkByName("ATAX");
+  const auto bindings = atax.bindings(16);
+  ArrayStore store = atax.allocate(bindings);
+  EXPECT_THROW(executeNative(atax.kernels()[0], bindings, store, 0),
+               support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace osel::cpusim

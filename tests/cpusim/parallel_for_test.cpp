@@ -1,0 +1,66 @@
+#include "cpusim/parallel_for.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "support/check.h"
+
+namespace osel::cpusim {
+namespace {
+
+TEST(ParallelFor, CoversExactRangeOnce) {
+  std::vector<std::atomic<int>> touched(1000);
+  parallelFor(0, 1000, 8, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i)
+      touched[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (const auto& count : touched) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  int calls = 0;
+  parallelFor(5, 5, 4, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, SingleThreadRunsInline) {
+  std::vector<int> order;
+  parallelFor(0, 10, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) order.push_back(static_cast<int>(i));
+  });
+  ASSERT_EQ(order.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(ParallelFor, MoreThreadsThanWork) {
+  std::atomic<std::int64_t> sum{0};
+  parallelFor(0, 3, 64, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) sum.fetch_add(i);
+  });
+  EXPECT_EQ(sum.load(), 3);
+}
+
+TEST(ParallelFor, ParallelSumMatchesSequential) {
+  std::vector<double> data(100000);
+  std::iota(data.begin(), data.end(), 0.0);
+  std::vector<double> out(data.size());
+  parallelFor(0, static_cast<std::int64_t>(data.size()), 8,
+              [&](std::int64_t lo, std::int64_t hi) {
+                for (std::int64_t i = lo; i < hi; ++i)
+                  out[static_cast<std::size_t>(i)] =
+                      2.0 * data[static_cast<std::size_t>(i)];
+              });
+  for (std::size_t i = 0; i < data.size(); ++i)
+    EXPECT_DOUBLE_EQ(out[i], 2.0 * data[i]);
+}
+
+TEST(ParallelFor, RejectsZeroThreads) {
+  EXPECT_THROW(parallelFor(0, 1, 0, [](std::int64_t, std::int64_t) {}),
+               support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace osel::cpusim

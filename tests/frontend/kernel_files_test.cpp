@@ -1,0 +1,63 @@
+// The shipped .osel example files must parse, verify, execute, and
+// round-trip through the printer. Guards the files themselves (they are
+// user-facing documentation) as well as the toolchain.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "frontend/parser.h"
+#include "frontend/printer.h"
+#include "ir/interpreter.h"
+
+namespace osel::frontend {
+namespace {
+
+std::filesystem::path kernelDir() {
+  // Tests run from the build tree; the kernels live in the source tree.
+  for (std::filesystem::path dir = std::filesystem::current_path();
+       dir.has_parent_path(); dir = dir.parent_path()) {
+    const std::filesystem::path candidate = dir / "examples" / "kernels";
+    if (std::filesystem::exists(candidate)) return candidate;
+    if (dir == dir.root_path()) break;
+  }
+  return {};
+}
+
+class KernelFiles : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(KernelFiles, ParsesExecutesAndRoundTrips) {
+  const std::filesystem::path dir = kernelDir();
+  if (dir.empty()) GTEST_SKIP() << "examples/kernels not found from cwd";
+  const std::string path = (dir / GetParam()).string();
+  const auto kernels = parseKernelFile(path);
+  ASSERT_FALSE(kernels.empty());
+  for (const ir::TargetRegion& kernel : kernels) {
+    SCOPED_TRACE(kernel.name);
+    EXPECT_NO_THROW(kernel.verify());
+
+    // Executes on small inputs.
+    symbolic::Bindings bindings;
+    for (const std::string& param : kernel.params) bindings[param] = 16;
+    ir::ArrayStore store = ir::allocateArrays(kernel, bindings);
+    std::size_t salt = 1;
+    for (auto& [name, data] : store) {
+      for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<double>((i + salt) % 31) / 31.0;
+      ++salt;
+    }
+    EXPECT_NO_THROW(ir::CompiledRegion(kernel, bindings).runAll(store));
+
+    // Round-trips through the printer.
+    const auto again = parseKernels(printKernel(kernel));
+    ASSERT_EQ(again.size(), 1u);
+    EXPECT_EQ(again[0].name, kernel.name);
+    EXPECT_EQ(again[0].arrays.size(), kernel.arrays.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shipped, KernelFiles,
+                         ::testing::Values("saxpy.osel", "jacobi2d.osel",
+                                           "dot_chain.osel"));
+
+}  // namespace
+}  // namespace osel::frontend

@@ -1,0 +1,95 @@
+#include "frontend/lexer.h"
+
+#include <gtest/gtest.h>
+
+#include "support/check.h"
+
+namespace osel::frontend {
+namespace {
+
+std::vector<Token> lex(const std::string& source) { return tokenize(source); }
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  const auto tokens = lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_TRUE(tokens[0].is(TokenKind::EndOfInput));
+}
+
+TEST(Lexer, IdentifiersAndKeywords) {
+  const auto tokens = lex("kernel my_kernel acc f32");
+  EXPECT_TRUE(tokens[0].is(TokenKind::Keyword, "kernel"));
+  EXPECT_TRUE(tokens[1].is(TokenKind::Identifier, "my_kernel"));
+  EXPECT_TRUE(tokens[2].is(TokenKind::Identifier, "acc"));
+  EXPECT_TRUE(tokens[3].is(TokenKind::Keyword, "f32"));
+}
+
+TEST(Lexer, IntegerAndFloatLiterals) {
+  const auto tokens = lex("42 1.5 2e3 7.25e-2");
+  EXPECT_TRUE(tokens[0].is(TokenKind::Integer, "42"));
+  EXPECT_TRUE(tokens[1].is(TokenKind::Float, "1.5"));
+  EXPECT_TRUE(tokens[2].is(TokenKind::Float, "2e3"));
+  EXPECT_TRUE(tokens[3].is(TokenKind::Float, "7.25e-2"));
+}
+
+TEST(Lexer, RangeOperatorVsFloatDot) {
+  // "0..n" must lex as Integer '..' Identifier, not a float.
+  const auto tokens = lex("0..n");
+  EXPECT_TRUE(tokens[0].is(TokenKind::Integer, "0"));
+  EXPECT_TRUE(tokens[1].is(TokenKind::Punct, ".."));
+  EXPECT_TRUE(tokens[2].is(TokenKind::Identifier, "n"));
+}
+
+TEST(Lexer, ComparisonOperators) {
+  const auto tokens = lex("< <= > >= == !=");
+  const char* expected[] = {"<", "<=", ">", ">=", "==", "!="};
+  for (int i = 0; i < 6; ++i)
+    EXPECT_TRUE(tokens[static_cast<std::size_t>(i)].is(TokenKind::Punct,
+                                                       expected[i]));
+}
+
+TEST(Lexer, CommentsIgnoredToEndOfLine) {
+  const auto tokens = lex("a # the rest is noise [ } 1.2.3\nb");
+  EXPECT_TRUE(tokens[0].is(TokenKind::Identifier, "a"));
+  EXPECT_TRUE(tokens[1].is(TokenKind::Identifier, "b"));
+  EXPECT_TRUE(tokens[2].is(TokenKind::EndOfInput));
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  const auto tokens = lex("a\n  b");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[0].column, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[1].column, 3);
+}
+
+TEST(Lexer, DigitLeadingIdentifiers) {
+  // Polybench kernel names like "3mm_k1" are identifiers; exponent-shaped
+  // tokens stay floats.
+  const auto tokens = lex("3mm_k1 2e3 2e3x");
+  EXPECT_TRUE(tokens[0].is(TokenKind::Identifier, "3mm_k1"));
+  EXPECT_TRUE(tokens[1].is(TokenKind::Float, "2e3"));
+  // "2e3x": the exponent consumes digits, then 'x' is a fresh identifier.
+  EXPECT_TRUE(tokens[2].is(TokenKind::Float, "2e3"));
+  EXPECT_TRUE(tokens[3].is(TokenKind::Identifier, "x"));
+}
+
+TEST(Lexer, RejectsStrayCharacters) {
+  EXPECT_THROW((void)lex("a $ b"), support::PreconditionError);
+}
+
+TEST(Lexer, DanglingExponentBecomesIdentifier) {
+  // With digit-leading identifiers allowed, "2e+" is the identifier "2e"
+  // followed by '+', not a malformed float.
+  const auto tokens = lex("2e+");
+  EXPECT_TRUE(tokens[0].is(TokenKind::Identifier, "2e"));
+  EXPECT_TRUE(tokens[1].is(TokenKind::Punct, "+"));
+}
+
+TEST(Lexer, PunctuationInventory) {
+  const auto tokens = lex("( ) { } [ ] , ; : = + - * /");
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i)
+    EXPECT_TRUE(tokens[i].is(TokenKind::Punct)) << i;
+}
+
+}  // namespace
+}  // namespace osel::frontend

@@ -1,0 +1,250 @@
+#include "frontend/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/interpreter.h"
+#include "ipda/ipda.h"
+#include "support/check.h"
+
+namespace osel::frontend {
+namespace {
+
+constexpr char kSaxpy[] = R"(
+# y = 2.5*x + y over n elements
+kernel saxpy(n) {
+  array x[n] : f32 to;
+  array y[n] : f32 tofrom;
+  parallel for i in 0..n {
+    y[i] = 2.5 * x[i] + y[i];
+  }
+}
+)";
+
+constexpr char kGemm[] = R"(
+kernel gemm(n) {
+  array A[n][n] : f32 to;
+  array B[n][n] : f32 to;
+  array C[n][n] : f32 tofrom;
+  parallel for i in 0..n, j in 0..n {
+    acc = C[i][j] * 1.2;
+    for k in 0..n {
+      acc = acc + 1.5 * A[i][k] * B[k][j];
+    }
+    C[i][j] = acc;
+  }
+}
+)";
+
+constexpr char kGuarded[] = R"(
+kernel stddev_guard(n) {
+  array s[n] : f32 tofrom;
+  parallel for j in 0..n {
+    v = sqrt(s[j] / n);
+    if (v <= 0.1) {
+      v = 1.0;
+    } else {
+      v = v * 2.0;
+    }
+    s[j] = v;
+  }
+}
+)";
+
+TEST(Parser, SaxpyStructure) {
+  const auto kernels = parseKernels(kSaxpy);
+  ASSERT_EQ(kernels.size(), 1u);
+  const ir::TargetRegion& region = kernels[0];
+  EXPECT_EQ(region.name, "saxpy");
+  ASSERT_EQ(region.params.size(), 1u);
+  EXPECT_EQ(region.params[0], "n");
+  ASSERT_EQ(region.arrays.size(), 2u);
+  EXPECT_EQ(region.arrays[0].transfer, ir::Transfer::To);
+  EXPECT_EQ(region.arrays[1].transfer, ir::Transfer::ToFrom);
+  ASSERT_EQ(region.parallelDims.size(), 1u);
+  EXPECT_EQ(region.parallelDims[0].var, "i");
+  EXPECT_NO_THROW(region.verify());
+}
+
+TEST(Parser, SaxpyExecutesCorrectly) {
+  const ir::TargetRegion region = parseKernels(kSaxpy)[0];
+  const symbolic::Bindings bindings{{"n", 32}};
+  ir::ArrayStore store = ir::allocateArrays(region, bindings);
+  for (int i = 0; i < 32; ++i) {
+    store["x"][static_cast<std::size_t>(i)] = i;
+    store["y"][static_cast<std::size_t>(i)] = 100.0;
+  }
+  ir::CompiledRegion(region, bindings).runAll(store);
+  for (int i = 0; i < 32; ++i)
+    EXPECT_DOUBLE_EQ(store["y"][static_cast<std::size_t>(i)], 2.5 * i + 100.0);
+}
+
+TEST(Parser, GemmMatchesHandBuiltSemantics) {
+  const ir::TargetRegion region = parseKernels(kGemm)[0];
+  const symbolic::Bindings bindings{{"n", 12}};
+  ir::ArrayStore store = ir::allocateArrays(region, bindings);
+  auto at = [](int r, int c) { return static_cast<std::size_t>(r * 12 + c); };
+  for (int i = 0; i < 12; ++i) {
+    for (int j = 0; j < 12; ++j) {
+      store["A"][at(i, j)] = 0.5 * i + j;
+      store["B"][at(i, j)] = i - 0.25 * j;
+      store["C"][at(i, j)] = 1.0;
+    }
+  }
+  const std::vector<double> cBefore = store["C"];
+  ir::CompiledRegion(region, bindings).runAll(store);
+  for (int i = 0; i < 12; ++i) {
+    for (int j = 0; j < 12; ++j) {
+      double expect = cBefore[at(i, j)] * 1.2;
+      for (int k = 0; k < 12; ++k)
+        expect += 1.5 * store["A"][at(i, k)] * store["B"][at(k, j)];
+      EXPECT_NEAR(store["C"][at(i, j)], expect, 1e-9);
+    }
+  }
+}
+
+TEST(Parser, GemmIpdaStridesMatchExpectation) {
+  const ir::TargetRegion region = parseKernels(kGemm)[0];
+  const ipda::Analysis analysis = ipda::Analysis::analyze(region);
+  // Sites: C read (coalesced), A (uniform in j), B (coalesced), C store.
+  const auto counts = analysis.classifySites({{"n", 512}});
+  EXPECT_EQ(counts.coalesced, 3);
+  EXPECT_EQ(counts.uniform, 1);
+}
+
+TEST(Parser, GuardedKernelParsesIfElseAndMathCalls) {
+  const ir::TargetRegion region = parseKernels(kGuarded)[0];
+  int branches = 0;
+  int loops = 0;
+  ir::forEachStmt(region.body, [&](const ir::Stmt& stmt) {
+    if (stmt.kind() == ir::Stmt::Kind::If) ++branches;
+    if (stmt.kind() == ir::Stmt::Kind::SeqLoop) ++loops;
+  });
+  EXPECT_EQ(branches, 1);
+  EXPECT_EQ(loops, 0);
+
+  // Functional check: below-eps entries become 1, others double.
+  const symbolic::Bindings bindings{{"n", 4}};
+  ir::ArrayStore store = ir::allocateArrays(region, bindings);
+  store["s"] = {0.0, 4.0, 16.0, 64.0};  // v = sqrt(s/4) = 0, 1, 2, 4
+  ir::CompiledRegion(region, bindings).runAll(store);
+  EXPECT_DOUBLE_EQ(store["s"][0], 1.0);
+  EXPECT_DOUBLE_EQ(store["s"][1], 2.0);
+  EXPECT_DOUBLE_EQ(store["s"][2], 4.0);
+  EXPECT_DOUBLE_EQ(store["s"][3], 8.0);
+}
+
+TEST(Parser, MultipleKernelsInOneSource) {
+  const std::string source = std::string(kSaxpy) + kGemm;
+  const auto kernels = parseKernels(source);
+  ASSERT_EQ(kernels.size(), 2u);
+  EXPECT_EQ(kernels[0].name, "saxpy");
+  EXPECT_EQ(kernels[1].name, "gemm");
+}
+
+TEST(Parser, ParameterUsedAsDataOperandBecomesIndexCast) {
+  const auto kernels = parseKernels(R"(
+kernel meanlike(n) {
+  array d[n] : f32 to;
+  array m[n] : f32 from;
+  parallel for j in 0..n {
+    m[j] = d[j] / n;
+  }
+})");
+  const symbolic::Bindings bindings{{"n", 8}};
+  ir::ArrayStore store = ir::allocateArrays(kernels[0], bindings);
+  for (auto& v : store["d"]) v = 16.0;
+  ir::CompiledRegion(kernels[0], bindings).runAll(store);
+  for (const double v : store["m"]) EXPECT_DOUBLE_EQ(v, 2.0);
+}
+
+TEST(Parser, TriangularLoopBounds) {
+  const auto kernels = parseKernels(R"(
+kernel tri(n) {
+  array A[n][n] : f32 to;
+  array y[n] : f32 from;
+  parallel for j1 in 0..n {
+    acc = 0.0;
+    for j2 in j1 + 1..n {
+      acc = acc + A[j1][j2];
+    }
+    y[j1] = acc;
+  }
+})");
+  const ir::Stmt& loop = kernels[0].body[1];
+  ASSERT_EQ(loop.kind(), ir::Stmt::Kind::SeqLoop);
+  EXPECT_EQ(loop.lowerBound(),
+            symbolic::Expr::symbol("j1") + symbolic::Expr::constant(1));
+}
+
+// ---- Error reporting ---------------------------------------------------------
+
+TEST(ParserErrors, UndeclaredArray) {
+  EXPECT_THROW((void)parseKernels(R"(
+kernel bad(n) {
+  array y[n] : f32 from;
+  parallel for i in 0..n { y[i] = ghost[i]; }
+})"),
+               support::PreconditionError);
+}
+
+TEST(ParserErrors, ArrayWithoutSubscripts) {
+  EXPECT_THROW((void)parseKernels(R"(
+kernel bad(n) {
+  array y[n] : f32 from;
+  parallel for i in 0..n { y[i] = y; }
+})"),
+               support::PreconditionError);
+}
+
+TEST(ParserErrors, NonZeroParallelLowerBound) {
+  EXPECT_THROW((void)parseKernels(R"(
+kernel bad(n) {
+  array y[n] : f32 from;
+  parallel for i in 1..n { y[i] = 0.0; }
+})"),
+               support::PreconditionError);
+}
+
+TEST(ParserErrors, OutOfScopeIndexSymbol) {
+  EXPECT_THROW((void)parseKernels(R"(
+kernel bad(n) {
+  array y[n] : f32 from;
+  parallel for i in 0..n { y[q] = 0.0; }
+})"),
+               support::PreconditionError);
+}
+
+TEST(ParserErrors, MissingSemicolonMentionsLocation) {
+  try {
+    (void)parseKernels(R"(
+kernel bad(n) {
+  array y[n] : f32 from;
+  parallel for i in 0..n { y[i] = 0.0 }
+})");
+    FAIL() << "expected parse error";
+  } catch (const support::PreconditionError& error) {
+    EXPECT_NE(std::string(error.what()).find("line 4"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(ParserErrors, EmptyInput) {
+  EXPECT_THROW((void)parseKernels(""), support::PreconditionError);
+}
+
+TEST(ParserErrors, ReadOfUnassignedLocal) {
+  EXPECT_THROW((void)parseKernels(R"(
+kernel bad(n) {
+  array y[n] : f32 from;
+  parallel for i in 0..n { y[i] = acc; }
+})"),
+               support::PreconditionError);
+}
+
+TEST(Parser, FileLoading) {
+  EXPECT_THROW((void)parseKernelFile("/nonexistent/kernels.osel"),
+               support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace osel::frontend

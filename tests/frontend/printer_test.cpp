@@ -1,0 +1,93 @@
+#include "frontend/printer.h"
+
+#include <gtest/gtest.h>
+
+#include "frontend/parser.h"
+#include "ipda/ipda.h"
+#include "ir/interpreter.h"
+#include "polybench/polybench.h"
+
+namespace osel::frontend {
+namespace {
+
+/// Round-trip semantic check: print -> parse -> same execution + strides.
+void expectRoundTrip(const ir::TargetRegion& region,
+                     const symbolic::Bindings& bindings) {
+  const std::string source = printKernel(region);
+  SCOPED_TRACE(source);
+  const auto reparsed = parseKernels(source);
+  ASSERT_EQ(reparsed.size(), 1u);
+  const ir::TargetRegion& again = reparsed[0];
+  EXPECT_EQ(again.name, region.name);
+  EXPECT_EQ(again.params, region.params);
+  ASSERT_EQ(again.arrays.size(), region.arrays.size());
+  for (std::size_t i = 0; i < region.arrays.size(); ++i) {
+    EXPECT_EQ(again.arrays[i].name, region.arrays[i].name);
+    EXPECT_EQ(again.arrays[i].elementType, region.arrays[i].elementType);
+    EXPECT_EQ(again.arrays[i].transfer, region.arrays[i].transfer);
+    EXPECT_EQ(again.arrays[i].extents, region.arrays[i].extents);
+  }
+
+  // IPDA strides identical.
+  const auto before = ipda::Analysis::analyze(region);
+  const auto after = ipda::Analysis::analyze(again);
+  ASSERT_EQ(before.records().size(), after.records().size());
+  for (std::size_t i = 0; i < before.records().size(); ++i)
+    EXPECT_EQ(before.records()[i].stride, after.records()[i].stride) << i;
+
+  // Execution identical on deterministic inputs.
+  ir::ArrayStore a = ir::allocateArrays(region, bindings);
+  ir::ArrayStore b = ir::allocateArrays(again, bindings);
+  std::size_t salt = 1;
+  for (auto& [name, data] : a) {
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const double v = static_cast<double>((i * salt + 5) % 101) / 101.0 + 0.01;
+      data[i] = v;
+      b.at(name)[i] = v;
+    }
+    ++salt;
+  }
+  ir::CompiledRegion(region, bindings).runAll(a);
+  ir::CompiledRegion(again, bindings).runAll(b);
+  for (const auto& [name, expected] : a) EXPECT_EQ(b.at(name), expected) << name;
+}
+
+class PrinterRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PrinterRoundTrip, EveryPolybenchKernelRoundTrips) {
+  const polybench::Benchmark& benchmark = polybench::benchmarkByName(GetParam());
+  const std::int64_t n = benchmark.name() == "3DCONV" ? 12 : 16;
+  for (const ir::TargetRegion& kernel : benchmark.kernels()) {
+    SCOPED_TRACE(kernel.name);
+    expectRoundTrip(kernel, benchmark.bindings(n));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, PrinterRoundTrip,
+                         ::testing::Values("GEMM", "MVT", "3MM", "2MM", "ATAX",
+                                           "BICG", "2DCONV", "3DCONV", "COVAR",
+                                           "GESUMMV", "SYR2K", "SYRK", "CORR"));
+
+TEST(Printer, OutputLooksLikeTheLanguage) {
+  const ir::TargetRegion& gemm = polybench::benchmarkByName("GEMM").kernels()[0];
+  const std::string source = printKernel(gemm);
+  EXPECT_NE(source.find("kernel gemm_k1(n) {"), std::string::npos);
+  EXPECT_NE(source.find("array A[n][n] : f32 to;"), std::string::npos);
+  EXPECT_NE(source.find("parallel for i in 0..n, j in 0..n {"),
+            std::string::npos);
+  EXPECT_NE(source.find("for k in 0..n {"), std::string::npos);
+}
+
+TEST(Printer, NegativeAndFractionalLiteralsRoundTrip) {
+  const auto kernels = parseKernels(R"(
+kernel lits(n) {
+  array y[n] : f64 from;
+  parallel for i in 0..n {
+    y[i] = (-0.30000000000000004) * 3.0 + 0.125;
+  }
+})");
+  expectRoundTrip(kernels[0], {{"n", 8}});
+}
+
+}  // namespace
+}  // namespace osel::frontend

@@ -1,0 +1,109 @@
+// Property tests: Hong-Kim model invariants over random workloads and both
+// device generations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gpumodel/gpu_model.h"
+#include "support/rng.h"
+
+namespace osel::gpumodel {
+namespace {
+
+GpuWorkload randomWorkload(support::SplitMix64& rng) {
+  GpuWorkload w;
+  w.compInstsPerThread = 1.0 + static_cast<double>(rng.nextBelow(5000));
+  w.coalMemInstsPerThread = static_cast<double>(rng.nextBelow(200));
+  w.uncoalMemInstsPerThread = static_cast<double>(rng.nextBelow(200));
+  w.fp64Fraction = rng.nextDouble();
+  w.parallelTripCount = 1 + static_cast<std::int64_t>(rng.nextBelow(100000000));
+  w.bytesToDevice = static_cast<std::int64_t>(rng.nextBelow(1u << 30));
+  w.bytesFromDevice = static_cast<std::int64_t>(rng.nextBelow(1u << 30));
+  return w;
+}
+
+class GpuModelProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GpuModelProperty, PredictionsAreFinitePositive) {
+  support::SplitMix64 rng(GetParam());
+  for (const auto& device :
+       {GpuDeviceParams::teslaV100(), GpuDeviceParams::teslaK80()}) {
+    const GpuCostModel model(device);
+    const GpuWorkload w = randomWorkload(rng);
+    const GpuPrediction p = model.predict(w);
+    EXPECT_TRUE(std::isfinite(p.totalSeconds)) << device.name;
+    EXPECT_GT(p.totalSeconds, 0.0) << device.name;
+    EXPECT_GE(p.kernelCycles, 0.0);
+    EXPECT_GE(p.transferSeconds, 0.0);
+  }
+}
+
+TEST_P(GpuModelProperty, MwpCwpWithinBounds) {
+  support::SplitMix64 rng(GetParam() ^ 0xF00D);
+  const GpuCostModel model(GpuDeviceParams::teslaV100());
+  const GpuWorkload w = randomWorkload(rng);
+  const GpuPrediction p = model.predict(w);
+  EXPECT_GE(p.mwp, 1.0);
+  EXPECT_GE(p.cwp, 1.0);
+  EXPECT_LE(p.mwp, p.activeWarpsPerSm + 1e-9);
+  EXPECT_LE(p.cwp, p.activeWarpsPerSm + 1e-9);
+}
+
+TEST_P(GpuModelProperty, MoreWorkNeverMuchFaster) {
+  // The three-case Hong-Kim formula is discontinuous at the MWP/CWP case
+  // boundaries (a property of the published model, not a bug), so adding
+  // work can shift the case and *slightly* lower the estimate. Bound the
+  // violation instead of forbidding it.
+  support::SplitMix64 rng(GetParam() ^ 0xCAFE);
+  const GpuCostModel model(GpuDeviceParams::teslaV100());
+  GpuWorkload w = randomWorkload(rng);
+  const double base = model.predict(w).kernelCycles;
+  w.compInstsPerThread *= 2.0;
+  const double moreCompute = model.predict(w).kernelCycles;
+  EXPECT_GE(moreCompute, 0.85 * base);
+  w.uncoalMemInstsPerThread += 10.0;
+  const double moreMemory = model.predict(w).kernelCycles;
+  EXPECT_GE(moreMemory, 0.85 * moreCompute);
+}
+
+TEST_P(GpuModelProperty, TripCountMonotone) {
+  support::SplitMix64 rng(GetParam() ^ 0xB00B5);
+  const GpuCostModel model(GpuDeviceParams::teslaK80());
+  GpuWorkload w = randomWorkload(rng);
+  w.parallelTripCount = 1 + static_cast<std::int64_t>(rng.nextBelow(1000000));
+  const double small = model.predict(w).kernelCycles;
+  w.parallelTripCount *= 16;
+  const double large = model.predict(w).kernelCycles;
+  EXPECT_GE(large, small - 1e-6);
+}
+
+TEST_P(GpuModelProperty, HigherBandwidthNeverHurts) {
+  support::SplitMix64 rng(GetParam() ^ 0x5EED);
+  GpuDeviceParams slow = GpuDeviceParams::teslaV100();
+  GpuDeviceParams fast = slow;
+  fast.memBandwidthBytesPerSec *= 4.0;
+  const GpuWorkload w = randomWorkload(rng);
+  const double slowCycles = GpuCostModel(slow).predict(w).kernelCycles;
+  const double fastCycles = GpuCostModel(fast).predict(w).kernelCycles;
+  EXPECT_LE(fastCycles, slowCycles + 1e-6);
+}
+
+TEST_P(GpuModelProperty, CoalescingNeverHurts) {
+  // Moving one instruction from the uncoalesced to the coalesced bucket
+  // must never increase predicted cycles.
+  support::SplitMix64 rng(GetParam() ^ 0xDEAD);
+  const GpuCostModel model(GpuDeviceParams::teslaV100());
+  GpuWorkload w = randomWorkload(rng);
+  if (w.uncoalMemInstsPerThread < 1.0) w.uncoalMemInstsPerThread = 1.0;
+  const double before = model.predict(w).kernelCycles;
+  w.uncoalMemInstsPerThread -= 1.0;
+  w.coalMemInstsPerThread += 1.0;
+  const double after = model.predict(w).kernelCycles;
+  EXPECT_LE(after, before + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GpuModelProperty,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace osel::gpumodel

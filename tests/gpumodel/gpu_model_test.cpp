@@ -1,0 +1,269 @@
+#include "gpumodel/gpu_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/check.h"
+
+namespace osel::gpumodel {
+namespace {
+
+using support::PreconditionError;
+
+GpuWorkload denseWorkload() {
+  GpuWorkload w;
+  w.compInstsPerThread = 200.0;
+  w.coalMemInstsPerThread = 20.0;
+  w.uncoalMemInstsPerThread = 0.0;
+  w.parallelTripCount = 1100 * 1100;
+  w.bytesToDevice = 3 * 1100 * 1100 * 8;
+  w.bytesFromDevice = 1100 * 1100 * 8;
+  return w;
+}
+
+TEST(GpuDeviceParams, V100MatchesTableIII) {
+  const GpuDeviceParams d = GpuDeviceParams::teslaV100();
+  EXPECT_EQ(d.sms, 80);
+  EXPECT_DOUBLE_EQ(d.memBandwidthBytesPerSec, 900.0e9);
+  EXPECT_EQ(d.maxWarpsPerSm, 64);
+  EXPECT_EQ(d.maxThreadsPerSm, 2048);
+  EXPECT_DOUBLE_EQ(d.coreClockHz, 1.53e9);
+}
+
+TEST(GpuDeviceParams, TableIIIFieldInventoryComplete) {
+  // Every Table III row maps to a populated field.
+  const GpuDeviceParams d = GpuDeviceParams::teslaV100();
+  EXPECT_GT(d.sms, 0);                       // #SMs
+  EXPECT_GT(d.coresPerSm, 0);                // Processor Cores
+  EXPECT_GT(d.coreClockHz, 0.0);             // Processor Clock
+  EXPECT_GT(d.memBandwidthBytesPerSec, 0.0); // Memory Bandwidth
+  EXPECT_GT(d.transferBandwidthBytesPerSec, 0.0);  // NVLink Transfer Rate
+  EXPECT_GT(d.maxWarpsPerSm, 0);             // Max Warps/SM
+  EXPECT_GT(d.maxThreadsPerSm, 0);           // Max Threads/SM
+  EXPECT_GT(d.issueCyclesPerInst, 0.0);      // Issue Rate
+  EXPECT_GT(d.memLatencyCycles, 0.0);        // Memory Access Latency
+  EXPECT_GT(d.fp64IssueMultiplier, 0.0);     // Float Cmpu Inst. Latency ctx
+  EXPECT_GT(d.warpSize, 0);
+}
+
+TEST(GpuCostModel, Fp64WorkloadsCostMoreThanFp32) {
+  const GpuCostModel model(GpuDeviceParams::teslaV100());
+  GpuWorkload fp32 = denseWorkload();
+  fp32.fp64Fraction = 0.0;
+  GpuWorkload fp64 = denseWorkload();
+  fp64.fp64Fraction = 1.0;
+  EXPECT_GT(model.predict(fp64).kernelCycles, model.predict(fp32).kernelCycles);
+}
+
+TEST(GpuDeviceParams, GenerationalContrasts) {
+  const GpuDeviceParams v100 = GpuDeviceParams::teslaV100();
+  const GpuDeviceParams k80 = GpuDeviceParams::teslaK80();
+  EXPECT_GT(v100.memBandwidthBytesPerSec, 3.0 * k80.memBandwidthBytesPerSec);
+  EXPECT_GT(v100.transferBandwidthBytesPerSec,
+            5.0 * k80.transferBandwidthBytesPerSec);  // NVLink2 vs PCIe3
+  EXPECT_LT(v100.memLatencyCycles, k80.memLatencyCycles);
+  EXPECT_GT(v100.sms, k80.sms);
+}
+
+TEST(GpuDeviceParams, P100SitsBetweenGenerations) {
+  const GpuDeviceParams k80 = GpuDeviceParams::teslaK80();
+  const GpuDeviceParams p100 = GpuDeviceParams::teslaP100();
+  const GpuDeviceParams v100 = GpuDeviceParams::teslaV100();
+  EXPECT_GT(p100.memBandwidthBytesPerSec, k80.memBandwidthBytesPerSec);
+  EXPECT_LT(p100.memBandwidthBytesPerSec, v100.memBandwidthBytesPerSec);
+  EXPECT_GT(p100.transferBandwidthBytesPerSec, k80.transferBandwidthBytesPerSec);
+  EXPECT_LT(p100.transferBandwidthBytesPerSec, v100.transferBandwidthBytesPerSec);
+  EXPECT_LT(p100.memLatencyCycles, k80.memLatencyCycles);
+  EXPECT_GT(p100.memLatencyCycles, v100.memLatencyCycles);
+}
+
+TEST(GpuCostModel, GenerationsOrderPredictedTimes) {
+  GpuWorkload w = denseWorkload();
+  w.parallelTripCount = 2400L * 2400;
+  w.bytesToDevice = 2 * 2400L * 2400 * 4;
+  w.bytesFromDevice = 2400L * 2400 * 4;
+  const double k80 =
+      GpuCostModel(GpuDeviceParams::teslaK80()).predict(w).totalSeconds;
+  const double p100 =
+      GpuCostModel(GpuDeviceParams::teslaP100()).predict(w).totalSeconds;
+  const double v100 =
+      GpuCostModel(GpuDeviceParams::teslaV100()).predict(w).totalSeconds;
+  EXPECT_LT(v100, p100);
+  EXPECT_LT(p100, k80);
+}
+
+TEST(GpuCostModel, GridGeometryCoversSmallIterationSpace) {
+  const GpuCostModel model(GpuDeviceParams::teslaV100());
+  GpuWorkload w = denseWorkload();
+  w.parallelTripCount = 1000;
+  const GpuPrediction p = model.predict(w);
+  EXPECT_EQ(p.threadsPerBlock, 128);
+  EXPECT_EQ(p.blocks, 8);  // ceil(1000/128)
+  EXPECT_DOUBLE_EQ(p.ompRep, 1.0);
+}
+
+TEST(GpuCostModel, OmpRepKicksInBeyondMaxGrid) {
+  GpuDeviceParams device = GpuDeviceParams::teslaV100();
+  device.maxGridBlocks = 1;  // force the paper's example scenario
+  device.defaultThreadsPerBlock = 128;
+  const GpuCostModel model(device);
+  GpuWorkload w = denseWorkload();
+  w.parallelTripCount = 1024;
+  const GpuPrediction p = model.predict(w);
+  // Paper §IV.B: 1024 iterations, 1 block of 128 threads -> 8 reps each.
+  EXPECT_EQ(p.blocks, 1);
+  EXPECT_DOUBLE_EQ(p.ompRep, 8.0);
+}
+
+TEST(GpuCostModel, OmpRepScalesKernelCyclesLinearly) {
+  GpuDeviceParams device = GpuDeviceParams::teslaV100();
+  device.maxGridBlocks = 80;
+  const GpuCostModel model(device);
+  GpuWorkload w = denseWorkload();
+  w.parallelTripCount = 80L * 128;  // exactly one grid
+  const double base = model.predict(w).kernelCycles;
+  w.parallelTripCount *= 4;  // same grid, OMP_Rep = 4
+  const GpuPrediction p = model.predict(w);
+  EXPECT_DOUBLE_EQ(p.ompRep, 4.0);
+  EXPECT_NEAR(p.kernelCycles / base, 4.0, 1e-9);
+}
+
+TEST(GpuCostModel, MwpRespectsAllThreeCeilings) {
+  const GpuCostModel model(GpuDeviceParams::teslaV100());
+  const GpuPrediction p = model.predict(denseWorkload());
+  EXPECT_LE(p.mwp, p.mwpWithoutBw + 1e-9);
+  EXPECT_LE(p.mwp, p.mwpPeakBw + 1e-9);
+  EXPECT_LE(p.mwp, p.activeWarpsPerSm + 1e-9);
+  EXPECT_GE(p.mwp, 1.0);
+}
+
+TEST(GpuCostModel, CwpBoundedByActiveWarps) {
+  const GpuCostModel model(GpuDeviceParams::teslaV100());
+  GpuWorkload w = denseWorkload();
+  w.compInstsPerThread = 1.0;  // extreme memory-boundedness
+  w.uncoalMemInstsPerThread = 50.0;
+  const GpuPrediction p = model.predict(w);
+  EXPECT_LE(p.cwp, p.activeWarpsPerSm + 1e-9);
+  EXPECT_GE(p.cwp, 1.0);
+}
+
+TEST(GpuCostModel, UncoalescedAccessesCostMore) {
+  const GpuCostModel model(GpuDeviceParams::teslaV100());
+  GpuWorkload coalesced = denseWorkload();
+  GpuWorkload uncoalesced = denseWorkload();
+  uncoalesced.uncoalMemInstsPerThread = coalesced.coalMemInstsPerThread;
+  uncoalesced.coalMemInstsPerThread = 0.0;
+  EXPECT_GT(model.predict(uncoalesced).kernelSeconds,
+            model.predict(coalesced).kernelSeconds * 1.5);
+}
+
+TEST(GpuCostModel, ComputeBoundCaseForArithmeticHeavyKernels) {
+  const GpuCostModel model(GpuDeviceParams::teslaV100());
+  GpuWorkload w = denseWorkload();
+  w.compInstsPerThread = 100000.0;
+  w.coalMemInstsPerThread = 1.0;
+  w.uncoalMemInstsPerThread = 0.0;
+  const GpuPrediction p = model.predict(w);
+  EXPECT_EQ(p.execCase, ExecCase::ComputeBound);
+}
+
+TEST(GpuCostModel, MemoryBoundCaseForStreamingKernels) {
+  const GpuCostModel model(GpuDeviceParams::teslaV100());
+  GpuWorkload w = denseWorkload();
+  w.compInstsPerThread = 2.0;
+  w.coalMemInstsPerThread = 3.0;
+  w.uncoalMemInstsPerThread = 3.0;
+  const GpuPrediction p = model.predict(w);
+  EXPECT_EQ(p.execCase, ExecCase::MemoryBound);
+}
+
+TEST(GpuCostModel, PureComputeKernelHandledWithoutMemInsts) {
+  const GpuCostModel model(GpuDeviceParams::teslaV100());
+  GpuWorkload w = denseWorkload();
+  w.coalMemInstsPerThread = 0.0;
+  w.uncoalMemInstsPerThread = 0.0;
+  const GpuPrediction p = model.predict(w);
+  EXPECT_EQ(p.execCase, ExecCase::ComputeBound);
+  EXPECT_GT(p.kernelCycles, 0.0);
+  EXPECT_TRUE(std::isfinite(p.kernelCycles));
+}
+
+TEST(GpuCostModel, TransferTimeScalesWithBytesAndLink) {
+  const GpuCostModel v100(GpuDeviceParams::teslaV100());
+  const GpuCostModel k80(GpuCostModel(GpuDeviceParams::teslaK80()).device());
+  GpuWorkload w = denseWorkload();
+  const double v100Transfer = v100.predict(w).transferSeconds;
+  const double k80Transfer = k80.predict(w).transferSeconds;
+  // PCIe3 is ~6x slower than NVLink2 for the same bytes.
+  EXPECT_GT(k80Transfer, 4.0 * v100Transfer);
+  GpuWorkload doubled = w;
+  doubled.bytesToDevice *= 2;
+  doubled.bytesFromDevice *= 2;
+  EXPECT_GT(v100.predict(doubled).transferSeconds, v100Transfer * 1.5);
+}
+
+TEST(GpuCostModel, MemoryBoundKernelFasterOnV100ThanK80) {
+  // The Table I 3DCONV story: low arithmetic intensity -> wins with HBM2.
+  GpuWorkload w = denseWorkload();
+  w.compInstsPerThread = 30.0;
+  w.coalMemInstsPerThread = 30.0;
+  w.parallelTripCount = 9600L * 9600;
+  w.bytesToDevice = 2 * 9600L * 9600 * 8;
+  w.bytesFromDevice = 9600L * 9600 * 8;
+  const double v100 =
+      GpuCostModel(GpuDeviceParams::teslaV100()).predict(w).totalSeconds;
+  const double k80 =
+      GpuCostModel(GpuDeviceParams::teslaK80()).predict(w).totalSeconds;
+  EXPECT_GT(k80, 2.5 * v100);
+}
+
+TEST(GpuCostModel, FullGridUsesAllSms) {
+  const GpuCostModel model(GpuDeviceParams::teslaV100());
+  const GpuPrediction p = model.predict(denseWorkload());
+  EXPECT_EQ(p.activeSms, 80);
+  EXPECT_GT(p.activeWarpsPerSm, 1.0);
+}
+
+TEST(GpuCostModel, TinyGridLeavesSmsIdle) {
+  const GpuCostModel model(GpuDeviceParams::teslaV100());
+  GpuWorkload w = denseWorkload();
+  w.parallelTripCount = 256;  // 2 blocks
+  const GpuPrediction p = model.predict(w);
+  EXPECT_EQ(p.activeSms, 2);
+}
+
+TEST(GpuCostModel, RepCountsBlockWaves) {
+  GpuDeviceParams device = GpuDeviceParams::teslaV100();
+  device.maxGridBlocks = 100000;  // no grid cap: many waves instead
+  const GpuCostModel model(device);
+  GpuWorkload w = denseWorkload();
+  w.parallelTripCount = 9600L * 9600;  // 720000 blocks
+  const GpuPrediction p = model.predict(w);
+  EXPECT_DOUBLE_EQ(p.ompRep, 8.0);  // capped at 100000 blocks
+  EXPECT_GT(p.rep, 1.0);
+}
+
+TEST(GpuCostModel, RejectsInvalidWorkloads) {
+  const GpuCostModel model(GpuDeviceParams::teslaV100());
+  GpuWorkload w = denseWorkload();
+  w.parallelTripCount = 0;
+  EXPECT_THROW((void)model.predict(w), PreconditionError);
+  w = denseWorkload();
+  w.compInstsPerThread = -1.0;
+  EXPECT_THROW((void)model.predict(w), PreconditionError);
+  w = denseWorkload();
+  w.bytesToDevice = -5;
+  EXPECT_THROW((void)model.predict(w), PreconditionError);
+}
+
+TEST(GpuCostModel, PredictionToStringShowsMwpCwp) {
+  const GpuCostModel model(GpuDeviceParams::teslaV100());
+  const std::string text = model.predict(denseWorkload()).toString();
+  EXPECT_NE(text.find("MWP"), std::string::npos);
+  EXPECT_NE(text.find("CWP"), std::string::npos);
+  EXPECT_NE(text.find("OMP_Rep"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace osel::gpumodel

@@ -1,0 +1,75 @@
+// Brute-force verification of the coalescer formula: for random strides,
+// element sizes, warp sizes, and base offsets, the closed-form transaction
+// count must match (or safely bound) the exact count of distinct sectors
+// the warp's lanes touch.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+#include "gpusim/coalescer.h"
+#include "support/rng.h"
+
+namespace osel::gpusim {
+namespace {
+
+/// Exact distinct-sector count for lanes l*stride*elem .. covering elem
+/// bytes each, at a given base offset.
+int bruteForceSectors(std::int64_t strideElements, std::int64_t elementBytes,
+                      int warpSize, int sectorBytes, std::int64_t baseBytes) {
+  std::set<std::int64_t> sectors;
+  for (int lane = 0; lane < warpSize; ++lane) {
+    const std::int64_t first = baseBytes + lane * strideElements * elementBytes;
+    for (std::int64_t b = 0; b < elementBytes; ++b)
+      sectors.insert((first + b) / sectorBytes);
+  }
+  return static_cast<int>(sectors.size());
+}
+
+class CoalescerProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CoalescerProperty, FormulaMatchesBruteForceAtAlignedBase) {
+  support::SplitMix64 rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::int64_t stride = static_cast<std::int64_t>(rng.nextBelow(40)) - 8;
+    const std::int64_t elem = (rng.nextBelow(2) == 0) ? 4 : 8;
+    const int warp = 32;
+    const int sector = 32;
+    const int predicted = transactionsForStride(stride, elem, warp, sector);
+    // Aligned base, offset so negative strides stay at positive addresses
+    // (integer division semantics).
+    const std::int64_t base = 64LL * warp * elem;  // sector-aligned
+    const int exact = bruteForceSectors(stride, elem, warp, sector, base);
+    // The formula caps at warpSize and rounds the span up; it must never
+    // under-count at an aligned base and never overshoot by more than one
+    // sector (span rounding).
+    EXPECT_GE(predicted + 1, exact)
+        << "stride " << stride << " elem " << elem;
+    EXPECT_LE(predicted, std::max(exact + 1, warp))
+        << "stride " << stride << " elem " << elem;
+    if (stride != 0 && std::abs(stride) * elem >= sector) {
+      EXPECT_EQ(predicted, warp);  // fully serialized regime is exact
+      EXPECT_EQ(exact, warp);
+    }
+  }
+}
+
+TEST_P(CoalescerProperty, MisalignedBaseAddsAtMostOneSector) {
+  support::SplitMix64 rng(GetParam() ^ 0xA11A);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::int64_t stride = static_cast<std::int64_t>(rng.nextBelow(5));
+    const std::int64_t elem = 4;
+    const std::int64_t base =
+        static_cast<std::int64_t>(rng.nextBelow(32) & ~3u);  // elem-aligned
+    const int aligned = bruteForceSectors(stride, elem, 32, 32, 0);
+    const int shifted = bruteForceSectors(stride, elem, 32, 32, base);
+    EXPECT_LE(shifted, aligned + 1);
+    EXPECT_GE(shifted, aligned);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoalescerProperty,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace osel::gpusim

@@ -1,0 +1,87 @@
+#include "gpusim/coalescer.h"
+
+#include <gtest/gtest.h>
+
+#include "support/check.h"
+
+namespace osel::gpusim {
+namespace {
+
+TEST(Coalescer, BroadcastIsOneTransaction) {
+  EXPECT_EQ(transactionsForStride(0, 8, 32, 32), 1);
+  EXPECT_EQ(transactionsForStride(0, 4, 32, 32), 1);
+}
+
+TEST(Coalescer, UnitStrideF32) {
+  // 32 lanes x 4B = 128B span = 4 sectors of 32B.
+  EXPECT_EQ(transactionsForStride(1, 4, 32, 32), 4);
+}
+
+TEST(Coalescer, UnitStrideF64) {
+  // 32 lanes x 8B = 256B span = 8 sectors.
+  EXPECT_EQ(transactionsForStride(1, 8, 32, 32), 8);
+}
+
+TEST(Coalescer, NegativeUnitStrideSameAsPositive) {
+  EXPECT_EQ(transactionsForStride(-1, 8, 32, 32),
+            transactionsForStride(1, 8, 32, 32));
+}
+
+TEST(Coalescer, StrideTwoF32DoublesSpan) {
+  // Stride 2 x 4B = 8B apart: span 252B -> 8 sectors.
+  EXPECT_EQ(transactionsForStride(2, 4, 32, 32), 8);
+}
+
+TEST(Coalescer, WideStrideFullySerializes) {
+  EXPECT_EQ(transactionsForStride(100, 8, 32, 32), 32);
+  EXPECT_EQ(transactionsForStride(9600, 4, 32, 32), 32);
+  // Stride whose byte distance exactly equals the sector size also
+  // serializes: each lane starts a new sector.
+  EXPECT_EQ(transactionsForStride(8, 4, 32, 32), 32);
+}
+
+TEST(Coalescer, MonotoneInStride) {
+  int previous = 0;
+  for (const std::int64_t stride : {0, 1, 2, 3, 4, 6, 8, 16, 64}) {
+    const int t = transactionsForStride(stride, 4, 32, 32);
+    EXPECT_GE(t, previous) << "stride " << stride;
+    previous = t;
+  }
+}
+
+TEST(Coalescer, CappedAtWarpSize) {
+  for (const std::int64_t stride : {1, 5, 17, 1000000}) {
+    EXPECT_LE(transactionsForStride(stride, 8, 32, 32), 32);
+    EXPECT_GE(transactionsForStride(stride, 8, 32, 32), 1);
+  }
+}
+
+TEST(Coalescer, SmallerWarpsFewerTransactions) {
+  EXPECT_LT(transactionsForStride(1, 8, 8, 32), transactionsForStride(1, 8, 32, 32));
+}
+
+TEST(Coalescer, ClassificationDispatch) {
+  ipda::Classification uniform{ipda::CoalescingClass::Uniform, 0};
+  EXPECT_EQ(transactionsForClassification(uniform, 8, 32, 32), 1);
+
+  ipda::Classification coalesced{ipda::CoalescingClass::Coalesced, 1};
+  EXPECT_EQ(transactionsForClassification(coalesced, 8, 32, 32), 8);
+
+  ipda::Classification strided{ipda::CoalescingClass::Strided, 9600};
+  EXPECT_EQ(transactionsForClassification(strided, 8, 32, 32), 32);
+
+  ipda::Classification irregular{};  // defaults to Irregular
+  EXPECT_EQ(transactionsForClassification(irregular, 8, 32, 32), 32);
+}
+
+TEST(Coalescer, RejectsBadGeometry) {
+  EXPECT_THROW((void)transactionsForStride(1, 0, 32, 32),
+               support::PreconditionError);
+  EXPECT_THROW((void)transactionsForStride(1, 8, 0, 32),
+               support::PreconditionError);
+  EXPECT_THROW((void)transactionsForStride(1, 8, 32, 0),
+               support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace osel::gpusim

@@ -1,0 +1,149 @@
+// Property tests for the ground-truth GPU simulator: determinism, scaling
+// behaviour, and cross-consistency between the simulator's measured
+// transaction statistics and IPDA's static stride classification.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gpusim/coalescer.h"
+#include "gpusim/gpu_simulator.h"
+#include "ipda/ipda.h"
+#include "ir/builder.h"
+#include "support/rng.h"
+
+namespace osel::gpusim {
+namespace {
+
+using namespace osel::ir;
+
+/// Random two-array kernel whose access strides vary with the seed: the
+/// B read uses one of several index shapes.
+TargetRegion randomKernel(std::uint64_t seed) {
+  support::SplitMix64 rng(seed);
+  RegionBuilder b("random_" + std::to_string(seed));
+  b.param("n")
+      .array("A", ScalarType::F32, {sym("n"), sym("n")}, Transfer::To)
+      .array("B", ScalarType::F32, {sym("n"), sym("n")}, Transfer::From)
+      .parallelFor("i", sym("n"))
+      .parallelFor("j", sym("n"));
+  symbolic::Expr row = sym("i");
+  symbolic::Expr col = sym("j");
+  switch (rng.nextBelow(4)) {
+    case 0:
+      break;  // A[i][j], coalesced
+    case 1:
+      std::swap(row, col);  // A[j][i], strided
+      break;
+    case 2:
+      col = sym("j") * 2;  // stride 2 (requires extent care: use n/2 range)
+      b = RegionBuilder("random_" + std::to_string(seed));
+      b.param("n")
+          .array("A", ScalarType::F32, {sym("n"), sym("n")}, Transfer::To)
+          .array("B", ScalarType::F32, {sym("n"), sym("n")}, Transfer::From)
+          .parallelFor("i", sym("n"))
+          .parallelFor("j", sym("n") - sym("n") + cst(64));  // fixed 64
+      col = sym("j") * 2;
+      break;
+    default:
+      col = cst(0);  // uniform
+      break;
+  }
+  b.statement(Stmt::store("B", {sym("i"), sym("j")},
+                          read("A", {row, col}) + num(1.0)));
+  return b.build();
+}
+
+class GpuSimProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GpuSimProperty, SimulationIsDeterministic) {
+  const TargetRegion region = randomKernel(GetParam());
+  const symbolic::Bindings bindings{{"n", 192}};
+  const GpuSimulator sim(GpuSimParams::teslaV100());
+  ArrayStore storeA = allocateArrays(region, bindings);
+  ArrayStore storeB = allocateArrays(region, bindings);
+  const GpuSimResult a = sim.simulate(region, bindings, storeA);
+  const GpuSimResult b = sim.simulate(region, bindings, storeB);
+  EXPECT_DOUBLE_EQ(a.kernelSeconds, b.kernelSeconds);
+  EXPECT_DOUBLE_EQ(a.totalSeconds, b.totalSeconds);
+  EXPECT_EQ(a.sampledTransactions, b.sampledTransactions);
+  EXPECT_DOUBLE_EQ(a.l1HitRate, b.l1HitRate);
+}
+
+TEST_P(GpuSimProperty, TransactionsMatchIpdaClassification) {
+  // The simulator's average transactions per access must equal the
+  // dynamic-count-weighted coalescer prediction from IPDA strides.
+  const TargetRegion region = randomKernel(GetParam());
+  const symbolic::Bindings bindings{{"n", 192}};
+  const GpuSimParams params = GpuSimParams::teslaV100();
+  ArrayStore store = allocateArrays(region, bindings);
+  const GpuSimResult result =
+      GpuSimulator(params).simulate(region, bindings, store);
+
+  const ipda::Analysis analysis = ipda::Analysis::analyze(region);
+  // Both sites execute once per parallel iteration here, so the unweighted
+  // mean over sites is the expected value.
+  double expected = 0.0;
+  for (const auto& record : analysis.records()) {
+    expected += transactionsForClassification(
+        record.classify(bindings), static_cast<std::int64_t>(record.elementBytes),
+        params.device.warpSize, params.memory.sectorBytes);
+  }
+  expected /= static_cast<double>(analysis.records().size());
+  EXPECT_NEAR(result.avgTransactionsPerAccess, expected, 1e-9);
+}
+
+TEST_P(GpuSimProperty, LargerProblemsNeverFaster) {
+  const TargetRegion region = randomKernel(GetParam());
+  const GpuSimulator sim(GpuSimParams::teslaV100());
+  double previous = 0.0;
+  for (const std::int64_t n : {128, 256, 512}) {
+    const symbolic::Bindings bindings{{"n", n}};
+    ArrayStore store = allocateArrays(region, bindings);
+    const double t = sim.simulate(region, bindings, store).totalSeconds;
+    EXPECT_GE(t, previous * 0.95) << n;  // sampling jitter tolerance
+    previous = t;
+  }
+}
+
+TEST_P(GpuSimProperty, K80NeverBeatsV100OnTheseKernels) {
+  // Uniformly better device parameters (bandwidth, link, SMs) must never
+  // lose on these simple one-statement kernels.
+  const TargetRegion region = randomKernel(GetParam());
+  const symbolic::Bindings bindings{{"n", 256}};
+  ArrayStore storeA = allocateArrays(region, bindings);
+  ArrayStore storeB = allocateArrays(region, bindings);
+  const double v100 = GpuSimulator(GpuSimParams::teslaV100())
+                          .simulate(region, bindings, storeA)
+                          .totalSeconds;
+  const double k80 = GpuSimulator(GpuSimParams::teslaK80())
+                         .simulate(region, bindings, storeB)
+                         .totalSeconds;
+  EXPECT_LT(v100, k80);
+}
+
+TEST_P(GpuSimProperty, ResultInvariantsHold) {
+  const TargetRegion region = randomKernel(GetParam());
+  const symbolic::Bindings bindings{{"n", 200}};
+  ArrayStore store = allocateArrays(region, bindings);
+  const GpuSimResult r =
+      GpuSimulator(GpuSimParams::teslaV100()).simulate(region, bindings, store);
+  EXPECT_TRUE(std::isfinite(r.totalSeconds));
+  EXPECT_GE(r.kernelSeconds, 0.0);
+  EXPECT_GE(r.transferSeconds, 0.0);
+  EXPECT_NEAR(r.totalSeconds,
+              r.kernelSeconds + r.transferSeconds + r.launchSeconds, 1e-12);
+  EXPECT_GE(r.sampledTransactions, r.sampledMemAccesses);
+  for (const double rate : {r.l1HitRate, r.l2HitRate, r.tlbHitRate}) {
+    EXPECT_GE(rate, 0.0);
+    EXPECT_LE(rate, 1.0);
+  }
+  EXPECT_NEAR(r.issueBoundFraction + r.latencyBoundFraction +
+                  r.bandwidthBoundFraction,
+              1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GpuSimProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace osel::gpusim

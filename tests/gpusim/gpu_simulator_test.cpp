@@ -1,0 +1,205 @@
+#include "gpusim/gpu_simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+
+namespace osel::gpusim {
+namespace {
+
+using namespace osel::ir;
+
+/// Streaming kernel with selectable inner-dim parallelism: when `coalesced`,
+/// both parallel dims map so adjacent threads read adjacent elements; when
+/// not, only the outer dim is parallel and each thread strides a whole row.
+TargetRegion streamKernel(bool coalesced) {
+  RegionBuilder b(coalesced ? "stream_coalesced" : "stream_strided");
+  b.param("n")
+      .array("A", ScalarType::F32, {sym("n"), sym("n")}, Transfer::To)
+      .array("B", ScalarType::F32, {sym("n"), sym("n")}, Transfer::From);
+  if (coalesced) {
+    b.parallelFor("i", sym("n"))
+        .parallelFor("j", sym("n"))
+        .statement(Stmt::store("B", {sym("i"), sym("j")},
+                               read("A", {sym("i"), sym("j")}) * num(2.0)));
+  } else {
+    // Thread var is the *row* index i: A[i][j] is n elements apart between
+    // adjacent threads -> fully uncoalesced.
+    b.parallelFor("i", sym("n"))
+        .statement(Stmt::seqLoop(
+            "j", cst(0), sym("n"),
+            {Stmt::store("B", {sym("i"), sym("j")},
+                         read("A", {sym("i"), sym("j")}) * num(2.0))}));
+  }
+  return b.build();
+}
+
+GpuSimResult runSim(const GpuSimParams& params, const TargetRegion& region,
+                    std::int64_t n) {
+  const symbolic::Bindings bindings{{"n", n}};
+  ArrayStore store = allocateArrays(region, bindings);
+  return GpuSimulator(params).simulate(region, bindings, store);
+}
+
+TEST(GpuSimulator, GeometryMatchesRuntimePolicy) {
+  const GpuSimResult r = runSim(GpuSimParams::teslaV100(), streamKernel(true), 256);
+  EXPECT_EQ(r.threadsPerBlock, 128);
+  EXPECT_EQ(r.blocks, 512);  // 256*256/128
+  EXPECT_DOUBLE_EQ(r.ompRep, 1.0);
+  EXPECT_GT(r.waves, 0);
+}
+
+TEST(GpuSimulator, OmpRepBeyondGridCap) {
+  GpuSimParams params = GpuSimParams::teslaV100();
+  params.device.maxGridBlocks = 64;
+  const GpuSimResult r = runSim(params, streamKernel(true), 512);
+  // 512*512 = 262144 iterations; grid 64*128 = 8192 threads -> 32 reps.
+  EXPECT_EQ(r.blocks, 64);
+  EXPECT_DOUBLE_EQ(r.ompRep, 32.0);
+}
+
+TEST(GpuSimulator, CoalescedBeatsStridedKernelTime) {
+  const GpuSimParams params = GpuSimParams::teslaV100();
+  const double coalesced =
+      runSim(params, streamKernel(true), 1100).kernelSeconds;
+  const double strided = runSim(params, streamKernel(false), 1100).kernelSeconds;
+  EXPECT_GT(strided, 2.0 * coalesced);
+}
+
+TEST(GpuSimulator, TransactionStatsReflectCoalescing) {
+  const GpuSimParams params = GpuSimParams::teslaV100();
+  const GpuSimResult coalesced = runSim(params, streamKernel(true), 512);
+  const GpuSimResult strided = runSim(params, streamKernel(false), 512);
+  // Unit-stride f32: 4 sectors per warp access.
+  EXPECT_NEAR(coalesced.avgTransactionsPerAccess, 4.0, 0.01);
+  // Row-stride f32 (512*4B apart): fully serialized.
+  EXPECT_NEAR(strided.avgTransactionsPerAccess, 32.0, 0.01);
+}
+
+TEST(GpuSimulator, MemoryBoundKernelFasterOnV100) {
+  const TargetRegion kernel = streamKernel(true);
+  const double v100 = runSim(GpuSimParams::teslaV100(), kernel, 1100).totalSeconds;
+  const double k80 = runSim(GpuSimParams::teslaK80(), kernel, 1100).totalSeconds;
+  EXPECT_GT(k80, 2.0 * v100);
+}
+
+TEST(GpuSimulator, TransferScalesWithBytes) {
+  const GpuSimParams params = GpuSimParams::teslaV100();
+  const double small = runSim(params, streamKernel(true), 256).transferSeconds;
+  const double large = runSim(params, streamKernel(true), 2048).transferSeconds;
+  // 64x the data; fixed DMA latency damps the ratio but growth must be
+  // strongly superlinear in this range.
+  EXPECT_GT(large, 10.0 * small);
+}
+
+TEST(GpuSimulator, KernelTimeGrowsWithProblemSize) {
+  const GpuSimParams params = GpuSimParams::teslaV100();
+  const double small = runSim(params, streamKernel(true), 256).kernelSeconds;
+  const double large = runSim(params, streamKernel(true), 2048).kernelSeconds;
+  EXPECT_GT(large, 10.0 * small);
+}
+
+TEST(GpuSimulator, TinyKernelDominatedByTransferAndLaunch) {
+  const GpuSimResult r = runSim(GpuSimParams::teslaV100(), streamKernel(true), 16);
+  EXPECT_GT(r.transferSeconds + r.launchSeconds, r.kernelSeconds);
+  EXPECT_NEAR(r.totalSeconds,
+              r.kernelSeconds + r.transferSeconds + r.launchSeconds, 1e-12);
+}
+
+TEST(GpuSimulator, HitRatesWithinBounds) {
+  const GpuSimResult r = runSim(GpuSimParams::teslaV100(), streamKernel(false), 700);
+  EXPECT_GE(r.l1HitRate, 0.0);
+  EXPECT_LE(r.l1HitRate, 1.0);
+  EXPECT_GE(r.l2HitRate, 0.0);
+  EXPECT_LE(r.l2HitRate, 1.0);
+  EXPECT_GT(r.sampledMemAccesses, 0u);
+  EXPECT_GE(r.sampledTransactions, r.sampledMemAccesses);
+}
+
+TEST(GpuSimulator, BoundFractionsPartitionUnity) {
+  const GpuSimResult r = runSim(GpuSimParams::teslaV100(), streamKernel(true), 512);
+  const double total = r.issueBoundFraction + r.latencyBoundFraction +
+                       r.bandwidthBoundFraction;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(GpuSimulator, DenserSamplingStaysClose) {
+  // Sampling is an approximation; a 4x denser budget must agree within a
+  // modest factor on a homogeneous kernel.
+  GpuSimParams sparse = GpuSimParams::teslaV100();
+  GpuSimParams dense = GpuSimParams::teslaV100();
+  dense.sampling.warpsPerWave = 16;
+  dense.sampling.repsPerThread = 16;
+  dense.sampling.waves = 12;
+  const TargetRegion kernel = streamKernel(true);
+  const double sparseTime = runSim(sparse, kernel, 768).kernelSeconds;
+  const double denseTime = runSim(dense, kernel, 768).kernelSeconds;
+  EXPECT_LT(std::abs(sparseTime - denseTime) / denseTime, 0.35);
+}
+
+TEST(GpuSimulator, SampledThreadsProduceRealResults) {
+  // The simulator executes sampled threads functionally on real data.
+  const TargetRegion region = streamKernel(true);
+  const symbolic::Bindings bindings{{"n", 256}};
+  ArrayStore store = allocateArrays(region, bindings);
+  for (auto& v : store["A"]) v = 3.0;
+  (void)GpuSimulator(GpuSimParams::teslaV100()).simulate(region, bindings, store);
+  // Thread 0 of block 0 is always sampled; B[0][0] = 2*A[0][0].
+  EXPECT_DOUBLE_EQ(store["B"][0], 6.0);
+}
+
+TEST(GpuSimulator, DataDependentBranchesUseRealData) {
+  // Guarded store kernel: only negative entries rewritten. Real data decide
+  // the branch, unlike the model's 50% abstraction.
+  const TargetRegion region =
+      RegionBuilder("guarded")
+          .param("n")
+          .array("x", ScalarType::F32, {sym("n")}, Transfer::To)
+          .array("y", ScalarType::F32, {sym("n")}, Transfer::From)
+          .parallelFor("i", sym("n"))
+          .statement(Stmt::ifStmt(
+              Condition{read("x", {sym("i")}), CmpOp::LT, num(0.0)},
+              {Stmt::store("y", {sym("i")}, num(1.0))}))
+          .build();
+  const symbolic::Bindings bindings{{"n", 4096}};
+  ArrayStore store = allocateArrays(region, bindings);
+  GpuSimulator sim(GpuSimParams::teslaV100());
+  // All positive: no stores -> fewer accesses than all-negative.
+  for (auto& v : store["x"]) v = 1.0;
+  const auto fewer = sim.simulate(region, bindings, store).sampledMemAccesses;
+  for (auto& v : store["x"]) v = -1.0;
+  const auto more = sim.simulate(region, bindings, store).sampledMemAccesses;
+  EXPECT_GT(more, fewer);
+}
+
+TEST(GpuSimulator, TlbHitRateTracked) {
+  // Streaming kernels walk pages sequentially: high TLB hit rate.
+  const GpuSimResult streaming =
+      runSim(GpuSimParams::teslaV100(), streamKernel(true), 1024);
+  EXPECT_GT(streaming.tlbHitRate, 0.9);
+  EXPECT_LE(streaming.tlbHitRate, 1.0);
+}
+
+TEST(GpuSimulator, TlbMissesSlowWidePageStrides) {
+  // Same kernel, TLB disabled-vs-enabled comparison via the miss penalty.
+  GpuSimParams noPenalty = GpuSimParams::teslaV100();
+  noPenalty.memory.tlbMissCycles = 0.0;
+  GpuSimParams heavy = GpuSimParams::teslaV100();
+  heavy.memory.tlbMissCycles = 2000.0;
+  heavy.memory.tlbEntries = 2;  // thrash
+  const TargetRegion kernel = streamKernel(false);  // row-strided walker
+  const double fast = runSim(noPenalty, kernel, 1400).kernelSeconds;
+  const double slow = runSim(heavy, kernel, 1400).kernelSeconds;
+  EXPECT_GT(slow, fast);
+}
+
+TEST(GpuSimulator, ToStringMentionsKeyStats) {
+  const GpuSimResult r = runSim(GpuSimParams::teslaV100(), streamKernel(true), 256);
+  const std::string text = r.toString();
+  EXPECT_NE(text.find("GPU sim"), std::string::npos);
+  EXPECT_NE(text.find("OMP_Rep"), std::string::npos);
+  EXPECT_NE(text.find("L1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace osel::gpusim

@@ -1,0 +1,114 @@
+// Property test: the symbolic inter-thread stride must equal the concrete
+// address difference between adjacent threads, measured by evaluating the
+// linearized index expression at thread t and t+1 for random kernels,
+// bindings, and iteration points.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "ipda/ipda.h"
+#include "ir/builder.h"
+#include "support/rng.h"
+
+namespace osel::ipda {
+namespace {
+
+using namespace osel::ir;
+
+/// Builds a random 2D-parallel region with one access whose index is a
+/// random affine combination of (i, j, k, n).
+struct RandomKernel {
+  TargetRegion region;
+  symbolic::Expr index;
+};
+
+RandomKernel makeRandomKernel(support::SplitMix64& rng) {
+  // index = c0 + c1*j + c2*i + c3*k + c4*n*i + c5*n*j.
+  auto coeff = [&rng] {
+    return static_cast<std::int64_t>(rng.nextBelow(5)) - 2;
+  };
+  symbolic::Expr index = cst(coeff() + 2);  // keep a positive base offset
+  index += coeff() * sym("j");
+  index += coeff() * sym("i");
+  index += coeff() * sym("k");
+  index += coeff() * sym("n") * sym("i");
+  index += coeff() * sym("n") * sym("j");
+
+  // Generous flat extent so all evaluated indices stay in bounds: offsets
+  // are bounded by |coeffs|*(2n + 2n^2) + 3.
+  const symbolic::Expr extent = 8 * sym("n") * sym("n") + 64 * sym("n") + 64;
+  TargetRegion region =
+      RegionBuilder("random")
+          .param("n")
+          .array("A", ScalarType::F64, {extent}, Transfer::To)
+          .array("y", ScalarType::F64, {sym("n"), sym("n")}, Transfer::From)
+          .parallelFor("i", sym("n"))
+          .parallelFor("j", sym("n"))
+          .statement(Stmt::assign("acc", num(0.0)))
+          .statement(Stmt::seqLoop(
+              "k", cst(0), sym("n"),
+              // Shift by 4n^2+32n+32 to keep negative offsets in range.
+              {Stmt::assign("acc",
+                            local("acc") +
+                                read("A", {index + 4 * sym("n") * sym("n") +
+                                           32 * sym("n") + 32}))}))
+          .statement(Stmt::store("y", {sym("i"), sym("j")}, local("acc")))
+          .build();
+  return RandomKernel{std::move(region), index};
+}
+
+class IpdaProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IpdaProperty, SymbolicStrideEqualsConcreteAddressDifference) {
+  support::SplitMix64 rng(GetParam());
+  const RandomKernel kernel = makeRandomKernel(rng);
+  const Analysis analysis = Analysis::analyze(kernel.region);
+  // records()[0] is the A load.
+  const StrideRecord& record = analysis.records()[0];
+  ASSERT_TRUE(record.affineInThreadVar);
+
+  const std::int64_t n = 4 + static_cast<std::int64_t>(rng.nextBelow(13));
+  for (int trial = 0; trial < 20; ++trial) {
+    symbolic::Bindings point{{"n", n}};
+    point["i"] = static_cast<std::int64_t>(rng.nextBelow(static_cast<std::uint64_t>(n)));
+    point["j"] =
+        static_cast<std::int64_t>(rng.nextBelow(static_cast<std::uint64_t>(n - 1)));
+    point["k"] = static_cast<std::int64_t>(rng.nextBelow(static_cast<std::uint64_t>(n)));
+    symbolic::Bindings neighbour = point;
+    neighbour["j"] = point["j"] + 1;  // adjacent thread
+    const std::int64_t difference = record.linearIndex.evaluate(neighbour) -
+                                    record.linearIndex.evaluate(point);
+    EXPECT_EQ(record.stride.evaluate(point), difference)
+        << "index: " << kernel.index.toString();
+  }
+}
+
+TEST_P(IpdaProperty, ClassificationAgreesWithResolvedStrideValue) {
+  support::SplitMix64 rng(GetParam() ^ 0xC0FFEE);
+  const RandomKernel kernel = makeRandomKernel(rng);
+  const Analysis analysis = Analysis::analyze(kernel.region);
+  const StrideRecord& record = analysis.records()[0];
+  const std::int64_t n = 4 + static_cast<std::int64_t>(rng.nextBelow(13));
+  const Classification c = record.classify({{"n", n}});
+  const symbolic::Expr bound = record.stride.substituteAll({{"n", n}});
+  if (const auto constant = bound.tryConstant()) {
+    ASSERT_TRUE(c.strideElements.has_value());
+    EXPECT_EQ(*c.strideElements, std::abs(*constant));
+    if (*constant == 0) {
+      EXPECT_EQ(c.kind, CoalescingClass::Uniform);
+    } else if (std::abs(*constant) == 1) {
+      EXPECT_EQ(c.kind, CoalescingClass::Coalesced);
+    } else {
+      EXPECT_EQ(c.kind, CoalescingClass::Strided);
+    }
+  } else {
+    EXPECT_EQ(c.kind, CoalescingClass::Irregular);
+    EXPECT_FALSE(c.strideElements.has_value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IpdaProperty,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace osel::ipda

@@ -1,0 +1,239 @@
+#include "ipda/ipda.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+
+namespace osel::ipda {
+namespace {
+
+using namespace osel::ir;
+
+/// The paper's running example (§IV.C):
+///   #pragma omp teams distribute parallel for
+///   for (a = 0; a < max; a++) A[max * a] = ...
+TargetRegion paperExample() {
+  return RegionBuilder("paper_example")
+      .param("max")
+      .array("A", ScalarType::F64, {sym("max") * sym("max")}, Transfer::From)
+      .parallelFor("a", sym("max"))
+      .statement(Stmt::store("A", {sym("max") * sym("a")}, num(1.0)))
+      .build();
+}
+
+TEST(Ipda, PaperExampleSymbolicStride) {
+  const Analysis analysis = Analysis::analyze(paperExample());
+  ASSERT_EQ(analysis.records().size(), 1u);
+  const StrideRecord& record = analysis.records()[0];
+  EXPECT_TRUE(record.affineInThreadVar);
+  // IPD_th(A[max*a]) = [max]*1 - [max]*0 = [max].
+  EXPECT_EQ(record.stride, sym("max"));
+  // Unknown at compile time -> deferred to runtime (case 2 of the paper).
+  EXPECT_FALSE(record.classifyStatic().has_value());
+}
+
+TEST(Ipda, PaperExampleRuntimeResolution) {
+  const Analysis analysis = Analysis::analyze(paperExample());
+  const StrideRecord& record = analysis.records()[0];
+  // Runtime binds max=1024: stride 1024 elements -> badly strided.
+  const Classification big = record.classify({{"max", 1024}});
+  EXPECT_EQ(big.kind, CoalescingClass::Strided);
+  EXPECT_EQ(big.strideElements.value(), 1024);
+  EXPECT_FALSE(big.countsAsCoalesced());
+  // Degenerate runtime value max=1 -> stride 1, coalesced.
+  const Classification tiny = record.classify({{"max", 1}});
+  EXPECT_EQ(tiny.kind, CoalescingClass::Coalesced);
+  EXPECT_TRUE(tiny.countsAsCoalesced());
+}
+
+/// Row-major 2D kernel, inner parallel dim j: A[i][j] coalesced, A[j][i]
+/// strided by n, b[i] uniform across the warp.
+TargetRegion rowColKernel() {
+  return RegionBuilder("rowcol")
+      .param("n")
+      .array("A", ScalarType::F64, {sym("n"), sym("n")}, Transfer::To)
+      .array("B", ScalarType::F64, {sym("n"), sym("n")}, Transfer::To)
+      .array("b", ScalarType::F64, {sym("n")}, Transfer::To)
+      .array("C", ScalarType::F64, {sym("n"), sym("n")}, Transfer::From)
+      .parallelFor("i", sym("n"))
+      .parallelFor("j", sym("n"))
+      .statement(Stmt::store("C", {sym("i"), sym("j")},
+                             read("A", {sym("i"), sym("j")}) +
+                                 read("B", {sym("j"), sym("i")}) +
+                                 read("b", {sym("i")})))
+      .build();
+}
+
+TEST(Ipda, ThreadVarIsInnermostParallelDim) {
+  const Analysis analysis = Analysis::analyze(rowColKernel());
+  EXPECT_EQ(analysis.threadVar(), "j");
+}
+
+TEST(Ipda, RowMajorAccessIsCoalesced) {
+  const Analysis analysis = Analysis::analyze(rowColKernel());
+  const StrideRecord& a = analysis.records()[0];  // A[i][j]
+  EXPECT_EQ(a.stride, cst(1));
+  // Stride constant 1: resolvable statically (case 1 of the paper).
+  const auto statically = a.classifyStatic();
+  ASSERT_TRUE(statically.has_value());
+  EXPECT_EQ(statically->kind, CoalescingClass::Coalesced);
+}
+
+TEST(Ipda, ColumnMajorAccessIsStridedByLeadingDimension) {
+  const Analysis analysis = Analysis::analyze(rowColKernel());
+  const StrideRecord& b = analysis.records()[1];  // B[j][i]
+  EXPECT_EQ(b.stride, sym("n"));
+  const Classification c = b.classify({{"n", 9600}});
+  EXPECT_EQ(c.kind, CoalescingClass::Strided);
+  EXPECT_EQ(c.strideElements.value(), 9600);
+}
+
+TEST(Ipda, ThreadInvariantAccessIsUniform) {
+  const Analysis analysis = Analysis::analyze(rowColKernel());
+  const StrideRecord& r = analysis.records()[2];  // b[i]
+  EXPECT_EQ(r.stride, symbolic::Expr{});
+  const Classification c = r.classify({{"n", 100}});
+  EXPECT_EQ(c.kind, CoalescingClass::Uniform);
+  EXPECT_EQ(c.strideElements.value(), 0);
+  EXPECT_TRUE(c.countsAsCoalesced());
+}
+
+TEST(Ipda, StoreSiteRecorded) {
+  const Analysis analysis = Analysis::analyze(rowColKernel());
+  const StrideRecord& store = analysis.records()[3];  // C[i][j]
+  EXPECT_TRUE(store.site.isStore);
+  EXPECT_EQ(store.stride, cst(1));
+}
+
+TEST(Ipda, OuterOnlyParallelismMakesRowMajorUncoalesced) {
+  // Only i is parallel; the j loop is sequential inside each thread.
+  // A[i][j]: adjacent threads differ in i -> stride n (uncoalesced).
+  const TargetRegion region =
+      RegionBuilder("outer_only")
+          .param("n")
+          .array("A", ScalarType::F64, {sym("n"), sym("n")}, Transfer::To)
+          .array("y", ScalarType::F64, {sym("n")}, Transfer::From)
+          .parallelFor("i", sym("n"))
+          .statement(Stmt::assign("acc", num(0.0)))
+          .statement(Stmt::seqLoop(
+              "j", cst(0), sym("n"),
+              {Stmt::assign("acc", local("acc") +
+                                       read("A", {sym("i"), sym("j")}))}))
+          .statement(Stmt::store("y", {sym("i")}, local("acc")))
+          .build();
+  const Analysis analysis = Analysis::analyze(region);
+  EXPECT_EQ(analysis.threadVar(), "i");
+  const StrideRecord& a = analysis.records()[0];
+  EXPECT_EQ(a.stride, sym("n"));
+  EXPECT_EQ(a.classify({{"n", 1100}}).kind, CoalescingClass::Strided);
+  // The y[i] store is coalesced.
+  const StrideRecord& y = analysis.records()[1];
+  EXPECT_EQ(y.classify({{"n", 1100}}).kind, CoalescingClass::Coalesced);
+}
+
+TEST(Ipda, NonAffineAddressIsIrregular) {
+  const TargetRegion region =
+      RegionBuilder("quadratic")
+          .param("n")
+          .array("A", ScalarType::F64, {sym("n") * sym("n")}, Transfer::From)
+          .parallelFor("i", sym("n"))
+          .statement(Stmt::store("A", {sym("i") * sym("i")}, num(1.0)))
+          .build();
+  const Analysis analysis = Analysis::analyze(region);
+  const StrideRecord& record = analysis.records()[0];
+  EXPECT_FALSE(record.affineInThreadVar);
+  const auto statically = record.classifyStatic();
+  ASSERT_TRUE(statically.has_value());  // known-bad statically
+  EXPECT_EQ(statically->kind, CoalescingClass::Irregular);
+  EXPECT_EQ(record.classify({{"n", 64}}).kind, CoalescingClass::Irregular);
+}
+
+TEST(Ipda, StrideDependingOnOuterParallelVarIsIrregular) {
+  // A[i*j]: affine in j, but the stride (i) differs per thread row.
+  const TargetRegion region =
+      RegionBuilder("mixed")
+          .param("n")
+          .array("A", ScalarType::F64, {sym("n") * sym("n")}, Transfer::From)
+          .parallelFor("i", sym("n"))
+          .parallelFor("j", sym("n"))
+          .statement(Stmt::store("A", {sym("i") * sym("j")}, num(1.0)))
+          .build();
+  const Analysis analysis = Analysis::analyze(region);
+  const StrideRecord& record = analysis.records()[0];
+  EXPECT_TRUE(record.affineInThreadVar);
+  EXPECT_EQ(record.stride, sym("i"));
+  EXPECT_FALSE(record.classifyStatic().has_value());
+  // i is not a runtime parameter; binding n does not resolve it.
+  EXPECT_EQ(record.classify({{"n", 64}}).kind, CoalescingClass::Irregular);
+}
+
+TEST(Ipda, StrideDependingOnSeqLoopVarIsIrregular) {
+  // A[k*i]: stride k changes every sequential iteration.
+  const TargetRegion region =
+      RegionBuilder("seqvar")
+          .param("n")
+          .array("A", ScalarType::F64, {sym("n") * sym("n")}, Transfer::To)
+          .array("y", ScalarType::F64, {sym("n")}, Transfer::From)
+          .parallelFor("i", sym("n"))
+          .statement(Stmt::assign("acc", num(0.0)))
+          .statement(Stmt::seqLoop(
+              "k", cst(0), sym("n"),
+              {Stmt::assign("acc",
+                            local("acc") + read("A", {sym("k") * sym("i")}))}))
+          .statement(Stmt::store("y", {sym("i")}, local("acc")))
+          .build();
+  const Analysis analysis = Analysis::analyze(region);
+  const StrideRecord& record = analysis.records()[0];
+  EXPECT_EQ(record.stride, sym("k"));
+  EXPECT_EQ(record.classify({{"n", 64}}).kind, CoalescingClass::Irregular);
+}
+
+TEST(Ipda, SiteCountsSummarize) {
+  const Analysis analysis = Analysis::analyze(rowColKernel());
+  const auto counts = analysis.classifySites({{"n", 256}});
+  EXPECT_EQ(counts.coalesced, 2);  // A[i][j] load + C[i][j] store
+  EXPECT_EQ(counts.strided, 1);    // B[j][i]
+  EXPECT_EQ(counts.uniform, 1);    // b[i]
+  EXPECT_EQ(counts.irregular, 0);
+}
+
+TEST(Ipda, FalseSharingRiskForFineGrainedStores) {
+  // Coalesced f64 store: adjacent parallel iterations are 8 bytes apart —
+  // below a 128-byte line, so chunk-boundary false sharing is possible.
+  const Analysis analysis = Analysis::analyze(rowColKernel());
+  EXPECT_TRUE(analysis.falseSharingRisk({{"n", 256}}, 128));
+  // With a 4-byte "line" no two stores share a line.
+  EXPECT_FALSE(analysis.falseSharingRisk({{"n", 256}}, 4));
+}
+
+TEST(Ipda, NoFalseSharingForWideStrides) {
+  const Analysis analysis = Analysis::analyze(paperExample());
+  // Stride max*8 bytes >= 128 for max >= 16.
+  EXPECT_FALSE(analysis.falseSharingRisk({{"max", 1024}}, 128));
+  EXPECT_TRUE(analysis.falseSharingRisk({{"max", 2}}, 128));
+}
+
+TEST(Ipda, ToStringShowsPaperNotation) {
+  const Analysis analysis = Analysis::analyze(paperExample());
+  const std::string text = analysis.toString();
+  EXPECT_NE(text.find("IPD_a(A[[a]*[max]]) = [max]"), std::string::npos);
+  EXPECT_NE(text.find("(store)"), std::string::npos);
+}
+
+TEST(Ipda, NegativeUnitStrideCountsAsCoalesced) {
+  // A[n-1-i]: reversed traversal still touches adjacent addresses.
+  const TargetRegion region =
+      RegionBuilder("reversed")
+          .param("n")
+          .array("A", ScalarType::F64, {sym("n")}, Transfer::From)
+          .parallelFor("i", sym("n"))
+          .statement(Stmt::store("A", {sym("n") - 1 - sym("i")}, num(1.0)))
+          .build();
+  const Analysis analysis = Analysis::analyze(region);
+  const Classification c = analysis.records()[0].classify({{"n", 100}});
+  EXPECT_EQ(c.kind, CoalescingClass::Coalesced);
+  EXPECT_EQ(c.strideElements.value(), 1);
+}
+
+}  // namespace
+}  // namespace osel::ipda

@@ -1,0 +1,156 @@
+#include "ir/cost_walk.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/interpreter.h"
+#include "ir/traversal.h"
+#include "support/check.h"
+
+namespace osel::ir {
+namespace {
+
+TargetRegion gemmKernel() {
+  return RegionBuilder("gemm")
+      .param("n")
+      .array("A", ScalarType::F32, {sym("n"), sym("n")}, Transfer::To)
+      .array("B", ScalarType::F32, {sym("n"), sym("n")}, Transfer::To)
+      .array("C", ScalarType::F32, {sym("n"), sym("n")}, Transfer::ToFrom)
+      .parallelFor("i", sym("n"))
+      .parallelFor("j", sym("n"))
+      .statement(Stmt::assign("acc", num(0.0)))
+      .statement(Stmt::seqLoop(
+          "k", cst(0), sym("n"),
+          {Stmt::assign("acc", local("acc") + read("A", {sym("i"), sym("k")}) *
+                                                  read("B", {sym("k"), sym("j")}))}))
+      .statement(Stmt::store("C", {sym("i"), sym("j")}, local("acc")))
+      .build();
+}
+
+/// Triangular nest like CORR: inner loop trips depend on the outer seq var.
+TargetRegion triangularKernel() {
+  return RegionBuilder("tri")
+      .param("n")
+      .array("A", ScalarType::F32, {sym("n"), sym("n")}, Transfer::To)
+      .array("y", ScalarType::F32, {sym("n")}, Transfer::From)
+      .parallelFor("i", sym("n"))
+      .statement(Stmt::assign("acc", num(0.0)))
+      .statement(Stmt::seqLoop(
+          "j", cst(0), sym("n"),
+          {Stmt::seqLoop("k", sym("j") + 1, sym("n"),
+                         {Stmt::assign("acc", local("acc") +
+                                                  read("A", {sym("j"), sym("k")}))})}))
+      .statement(Stmt::store("y", {sym("i")}, local("acc")))
+      .build();
+}
+
+TEST(CostWalk, GemmRuntimeCountsMatchTripCounts) {
+  const WalkPolicy policy{WalkPolicy::TripMode::RuntimeAverage, 128.0, 0.5};
+  const DynamicCounts counts =
+      estimateDynamicCounts(gemmKernel(), {{"n", 100}}, policy);
+  EXPECT_DOUBLE_EQ(counts.loads, 200.0);  // 2 per k-iteration
+  EXPECT_DOUBLE_EQ(counts.stores, 1.0);
+  EXPECT_DOUBLE_EQ(counts.arithOps, 200.0);  // add+mul per k-iteration
+  EXPECT_DOUBLE_EQ(counts.loopIterations, 100.0);
+}
+
+TEST(CostWalk, GemmFixedAssumptionUses128Trips) {
+  const WalkPolicy policy{WalkPolicy::TripMode::FixedAssumption, 128.0, 0.5};
+  const DynamicCounts counts =
+      estimateDynamicCounts(gemmKernel(), {{"n", 100}}, policy);
+  EXPECT_DOUBLE_EQ(counts.loads, 256.0);  // 2 x 128, regardless of n
+  EXPECT_DOUBLE_EQ(counts.arithOps, 256.0);
+}
+
+TEST(CostWalk, SiteCountsAlignWithCollectAccesses) {
+  const TargetRegion region = gemmKernel();
+  const auto sites = collectAccesses(region);
+  const WalkPolicy policy{WalkPolicy::TripMode::RuntimeAverage, 128.0, 0.5};
+  const DynamicCounts counts = estimateDynamicCounts(region, {{"n", 50}}, policy);
+  ASSERT_EQ(counts.siteCounts.size(), sites.size());
+  // A and B loads execute 50x each; the C store once.
+  EXPECT_DOUBLE_EQ(counts.siteCounts[0], 50.0);
+  EXPECT_DOUBLE_EQ(counts.siteCounts[1], 50.0);
+  EXPECT_DOUBLE_EQ(counts.siteCounts[2], 1.0);
+  EXPECT_TRUE(sites[2].isStore);
+}
+
+TEST(CostWalk, TriangularAverageIsExact) {
+  // Total inner iterations per parallel point: sum_{j=0}^{n-1} (n-j-1)
+  // = n(n-1)/2. The affine-average recursion must reproduce it exactly.
+  const std::int64_t n = 40;
+  const WalkPolicy policy{WalkPolicy::TripMode::RuntimeAverage, 128.0, 0.5};
+  const DynamicCounts counts =
+      estimateDynamicCounts(triangularKernel(), {{"n", n}}, policy);
+  const double expected = static_cast<double>(n * (n - 1)) / 2.0;
+  EXPECT_DOUBLE_EQ(counts.loads, expected);
+}
+
+TEST(CostWalk, TriangularMatchesInterpreterEventCounts) {
+  // Cross-check against a real execution of one parallel point.
+  const TargetRegion region = triangularKernel();
+  const symbolic::Bindings bindings{{"n", 24}};
+  class Counter final : public ExecutionObserver {
+   public:
+    double loads = 0, stores = 0, arith = 0, loopIters = 0;
+    void onLoad(std::size_t, std::int64_t, std::size_t) override { ++loads; }
+    void onStore(std::size_t, std::int64_t, std::size_t) override { ++stores; }
+    void onArithmetic(bool) override { ++arith; }
+    void onLoopIteration() override { ++loopIters; }
+  };
+  ArrayStore store = allocateArrays(region, bindings);
+  Counter counter;
+  CompiledRegion(region, bindings).runPoint(0, store, &counter);
+
+  const WalkPolicy policy{WalkPolicy::TripMode::RuntimeAverage, 128.0, 0.5};
+  const DynamicCounts counts = estimateDynamicCounts(region, bindings, policy);
+  EXPECT_DOUBLE_EQ(counts.loads, counter.loads);
+  EXPECT_DOUBLE_EQ(counts.stores, counter.stores);
+  EXPECT_DOUBLE_EQ(counts.arithOps, counter.arith);
+  EXPECT_DOUBLE_EQ(counts.loopIterations, counter.loopIters);
+}
+
+TEST(CostWalk, BranchProbabilityWeighting) {
+  const TargetRegion region =
+      RegionBuilder("branchy")
+          .param("n")
+          .array("x", ScalarType::F32, {sym("n")}, Transfer::To)
+          .array("y", ScalarType::F32, {sym("n")}, Transfer::ToFrom)
+          .parallelFor("i", sym("n"))
+          .statement(Stmt::ifStmt(
+              Condition{read("x", {sym("i")}), CmpOp::LE, num(0.1)},
+              {Stmt::store("y", {sym("i")}, num(1.0))},
+              {Stmt::store("y", {sym("i")}, read("y", {sym("i")}) * num(2.0))}))
+          .build();
+  WalkPolicy policy{WalkPolicy::TripMode::RuntimeAverage, 128.0, 0.5};
+  DynamicCounts counts = estimateDynamicCounts(region, {{"n", 10}}, policy);
+  EXPECT_DOUBLE_EQ(counts.compares, 1.0);
+  // Condition load (1.0) + else-arm load (0.5).
+  EXPECT_DOUBLE_EQ(counts.loads, 1.5);
+  // Stores: 0.5 (then) + 0.5 (else).
+  EXPECT_DOUBLE_EQ(counts.stores, 1.0);
+
+  policy.branchProbability = 1.0;
+  counts = estimateDynamicCounts(region, {{"n", 10}}, policy);
+  EXPECT_DOUBLE_EQ(counts.loads, 1.0);  // else arm never runs
+  EXPECT_DOUBLE_EQ(counts.arithOps, 0.0);
+}
+
+TEST(CostWalk, TotalEventsAggregates) {
+  const WalkPolicy policy{WalkPolicy::TripMode::RuntimeAverage, 128.0, 0.5};
+  const DynamicCounts counts =
+      estimateDynamicCounts(gemmKernel(), {{"n", 10}}, policy);
+  EXPECT_DOUBLE_EQ(counts.totalEvents(),
+                   counts.arithOps + counts.specialOps + counts.loads +
+                       counts.stores + counts.compares + counts.loopIterations);
+  EXPECT_DOUBLE_EQ(counts.memoryAccesses(), counts.loads + counts.stores);
+}
+
+TEST(CostWalk, RequiresBoundParamsInRuntimeMode) {
+  const WalkPolicy policy{WalkPolicy::TripMode::RuntimeAverage, 128.0, 0.5};
+  EXPECT_THROW((void)estimateDynamicCounts(gemmKernel(), {}, policy),
+               support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace osel::ir

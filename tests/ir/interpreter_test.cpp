@@ -1,0 +1,293 @@
+#include "ir/interpreter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "ir/builder.h"
+#include "support/check.h"
+
+namespace osel::ir {
+namespace {
+
+using support::PreconditionError;
+
+TargetRegion vectorAdd() {
+  return RegionBuilder("vadd")
+      .param("n")
+      .array("x", ScalarType::F64, {sym("n")}, Transfer::To)
+      .array("y", ScalarType::F64, {sym("n")}, Transfer::To)
+      .array("z", ScalarType::F64, {sym("n")}, Transfer::From)
+      .parallelFor("i", sym("n"))
+      .statement(Stmt::store("z", {sym("i")},
+                             read("x", {sym("i")}) + read("y", {sym("i")})))
+      .build();
+}
+
+TEST(Interpreter, VectorAddMatchesReference) {
+  const TargetRegion region = vectorAdd();
+  const symbolic::Bindings b{{"n", 64}};
+  ArrayStore store = allocateArrays(region, b);
+  for (int i = 0; i < 64; ++i) {
+    store["x"][static_cast<std::size_t>(i)] = i;
+    store["y"][static_cast<std::size_t>(i)] = 100 - i;
+  }
+  CompiledRegion compiled(region, b);
+  compiled.runAll(store);
+  for (int i = 0; i < 64; ++i)
+    EXPECT_DOUBLE_EQ(store["z"][static_cast<std::size_t>(i)], 100.0);
+}
+
+TEST(Interpreter, MatmulMatchesNaiveReference) {
+  const int n = 12;
+  const TargetRegion region =
+      RegionBuilder("matmul")
+          .param("n")
+          .array("A", ScalarType::F64, {sym("n"), sym("n")}, Transfer::To)
+          .array("B", ScalarType::F64, {sym("n"), sym("n")}, Transfer::To)
+          .array("C", ScalarType::F64, {sym("n"), sym("n")}, Transfer::From)
+          .parallelFor("i", sym("n"))
+          .parallelFor("j", sym("n"))
+          .statement(Stmt::assign("acc", num(0.0)))
+          .statement(Stmt::seqLoop(
+              "k", cst(0), sym("n"),
+              {Stmt::assign("acc",
+                            local("acc") + read("A", {sym("i"), sym("k")}) *
+                                               read("B", {sym("k"), sym("j")}))}))
+          .statement(Stmt::store("C", {sym("i"), sym("j")}, local("acc")))
+          .build();
+  const symbolic::Bindings b{{"n", n}};
+  ArrayStore store = allocateArrays(region, b);
+  auto at = [n](int r, int c) { return static_cast<std::size_t>(r * n + c); };
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      store["A"][at(i, j)] = 0.25 * i + j;
+      store["B"][at(i, j)] = i - 0.5 * j;
+    }
+  }
+  CompiledRegion compiled(region, b);
+  compiled.runAll(store);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double expect = 0.0;
+      for (int k = 0; k < n; ++k)
+        expect += store["A"][at(i, k)] * store["B"][at(k, j)];
+      EXPECT_NEAR(store["C"][at(i, j)], expect, 1e-9);
+    }
+  }
+}
+
+TEST(Interpreter, ConditionalSelectsBranchFromData) {
+  // y[i] = (x[i] <= 0.5) ? 1 : -1, mirroring CORR's eps-guard.
+  const TargetRegion region =
+      RegionBuilder("guard")
+          .param("n")
+          .array("x", ScalarType::F64, {sym("n")}, Transfer::To)
+          .array("y", ScalarType::F64, {sym("n")}, Transfer::From)
+          .parallelFor("i", sym("n"))
+          .statement(Stmt::ifStmt(
+              Condition{read("x", {sym("i")}), CmpOp::LE, num(0.5)},
+              {Stmt::store("y", {sym("i")}, num(1.0))},
+              {Stmt::store("y", {sym("i")}, num(-1.0))}))
+          .build();
+  const symbolic::Bindings b{{"n", 10}};
+  ArrayStore store = allocateArrays(region, b);
+  for (int i = 0; i < 10; ++i) store["x"][static_cast<std::size_t>(i)] = i * 0.1;
+  CompiledRegion compiled(region, b);
+  compiled.runAll(store);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(store["y"][static_cast<std::size_t>(i)],
+                     (i * 0.1 <= 0.5) ? 1.0 : -1.0);
+  }
+}
+
+TEST(Interpreter, UnaryMathOps) {
+  const TargetRegion region =
+      RegionBuilder("unary")
+          .param("n")
+          .array("x", ScalarType::F64, {sym("n")}, Transfer::To)
+          .array("y", ScalarType::F64, {sym("n")}, Transfer::From)
+          .parallelFor("i", sym("n"))
+          .statement(Stmt::store(
+              "y", {sym("i")},
+              Value::unary(UnOp::Sqrt, Value::unary(UnOp::Abs,
+                                                    read("x", {sym("i")})))))
+          .build();
+  const symbolic::Bindings b{{"n", 4}};
+  ArrayStore store = allocateArrays(region, b);
+  store["x"] = {-4.0, 9.0, -16.0, 25.0};
+  CompiledRegion(region, b).runAll(store);
+  EXPECT_DOUBLE_EQ(store["y"][0], 2.0);
+  EXPECT_DOUBLE_EQ(store["y"][1], 3.0);
+  EXPECT_DOUBLE_EQ(store["y"][2], 4.0);
+  EXPECT_DOUBLE_EQ(store["y"][3], 5.0);
+}
+
+TEST(Interpreter, IndexCastProvidesLoopVarValues) {
+  const TargetRegion region =
+      RegionBuilder("iota")
+          .param("n")
+          .array("y", ScalarType::F64, {sym("n")}, Transfer::From)
+          .parallelFor("i", sym("n"))
+          .statement(Stmt::store("y", {sym("i")}, asValue(sym("i") * 3 + 1)))
+          .build();
+  const symbolic::Bindings b{{"n", 5}};
+  ArrayStore store = allocateArrays(region, b);
+  CompiledRegion(region, b).runAll(store);
+  for (int i = 0; i < 5; ++i)
+    EXPECT_DOUBLE_EQ(store["y"][static_cast<std::size_t>(i)], 3.0 * i + 1.0);
+}
+
+/// Counts observer callbacks.
+class CountingObserver final : public ExecutionObserver {
+ public:
+  int loads = 0;
+  int stores = 0;
+  int arithmetic = 0;
+  int special = 0;
+  int branches = 0;
+  int branchesTaken = 0;
+  int loopIterations = 0;
+
+  void onLoad(std::size_t, std::int64_t, std::size_t) override { ++loads; }
+  void onStore(std::size_t, std::int64_t, std::size_t) override { ++stores; }
+  void onArithmetic(bool isSpecial) override {
+    ++arithmetic;
+    if (isSpecial) ++special;
+  }
+  void onBranch(bool taken) override {
+    ++branches;
+    if (taken) ++branchesTaken;
+  }
+  void onLoopIteration() override { ++loopIterations; }
+};
+
+TEST(Interpreter, ObserverSeesEveryDynamicOperation) {
+  const TargetRegion region =
+      RegionBuilder("observed")
+          .param("n")
+          .array("x", ScalarType::F64, {sym("n")}, Transfer::To)
+          .array("y", ScalarType::F64, {sym("n")}, Transfer::From)
+          .parallelFor("i", sym("n"))
+          .statement(Stmt::assign("acc", num(0.0)))
+          .statement(Stmt::seqLoop(
+              "k", cst(0), sym("n"),
+              {Stmt::assign("acc", local("acc") + read("x", {sym("k")}))}))
+          .statement(Stmt::store("y", {sym("i")}, local("acc")))
+          .build();
+  const symbolic::Bindings b{{"n", 8}};
+  ArrayStore store = allocateArrays(region, b);
+  CountingObserver observer;
+  CompiledRegion(region, b).runAll(store, &observer);
+  EXPECT_EQ(observer.loads, 64);           // 8 points x 8 iterations
+  EXPECT_EQ(observer.stores, 8);           // one per point
+  EXPECT_EQ(observer.arithmetic, 64);      // one add per load
+  EXPECT_EQ(observer.loopIterations, 64);  // 8 x 8
+  EXPECT_EQ(observer.branches, 0);
+}
+
+TEST(Interpreter, ObserverBranchOutcomes) {
+  const TargetRegion region =
+      RegionBuilder("branchy")
+          .param("n")
+          .array("x", ScalarType::F64, {sym("n")}, Transfer::To)
+          .array("y", ScalarType::F64, {sym("n")}, Transfer::From)
+          .parallelFor("i", sym("n"))
+          .statement(Stmt::ifStmt(
+              Condition{read("x", {sym("i")}), CmpOp::GT, num(0.0)},
+              {Stmt::store("y", {sym("i")}, num(1.0))}))
+          .build();
+  const symbolic::Bindings b{{"n", 6}};
+  ArrayStore store = allocateArrays(region, b);
+  store["x"] = {1.0, -1.0, 1.0, 1.0, -1.0, -1.0};
+  CountingObserver observer;
+  CompiledRegion(region, b).runAll(store, &observer);
+  EXPECT_EQ(observer.branches, 6);
+  EXPECT_EQ(observer.branchesTaken, 3);
+  EXPECT_EQ(observer.stores, 3);
+}
+
+TEST(Interpreter, RunPointFlatIndexDecomposesRowMajor) {
+  // 2D space (i in [0,3), j in [0,4)): flat 5 -> i=1, j=1.
+  const TargetRegion region =
+      RegionBuilder("coords")
+          .param("ni")
+          .param("nj")
+          .array("out", ScalarType::F64, {sym("ni"), sym("nj")}, Transfer::From)
+          .parallelFor("i", sym("ni"))
+          .parallelFor("j", sym("nj"))
+          .statement(Stmt::store("out", {sym("i"), sym("j")},
+                                 asValue(sym("i") * 100 + sym("j"))))
+          .build();
+  const symbolic::Bindings b{{"ni", 3}, {"nj", 4}};
+  ArrayStore store = allocateArrays(region, b);
+  CompiledRegion compiled(region, b);
+  compiled.runPoint(5, store);
+  EXPECT_DOUBLE_EQ(store["out"][5], 101.0);  // i=1, j=1
+  compiled.runPoint(11, store);
+  EXPECT_DOUBLE_EQ(store["out"][11], 203.0);  // i=2, j=3
+}
+
+TEST(Interpreter, ReusableContextMatchesDirectRunPoint) {
+  const TargetRegion region = vectorAdd();
+  const symbolic::Bindings b{{"n", 16}};
+  ArrayStore store = allocateArrays(region, b);
+  for (int i = 0; i < 16; ++i) store["x"][static_cast<std::size_t>(i)] = i;
+  CompiledRegion compiled(region, b);
+  ExecutionContext context = compiled.makeContext(store);
+  for (std::int64_t i = 0; i < compiled.flatTripCount(); ++i)
+    compiled.runPoint(context, i);
+  for (int i = 0; i < 16; ++i)
+    EXPECT_DOUBLE_EQ(store["z"][static_cast<std::size_t>(i)], i);
+}
+
+TEST(Interpreter, RejectsUnboundParameter) {
+  EXPECT_THROW(CompiledRegion(vectorAdd(), {}), PreconditionError);
+}
+
+TEST(Interpreter, RejectsMissingArrayStorage) {
+  const TargetRegion region = vectorAdd();
+  const symbolic::Bindings b{{"n", 4}};
+  ArrayStore store;  // empty
+  CompiledRegion compiled(region, b);
+  EXPECT_THROW(compiled.runAll(store), PreconditionError);
+}
+
+TEST(Interpreter, RejectsWrongStorageSize) {
+  const TargetRegion region = vectorAdd();
+  const symbolic::Bindings b{{"n", 4}};
+  ArrayStore store = allocateArrays(region, b);
+  store["x"].resize(2);
+  CompiledRegion compiled(region, b);
+  EXPECT_THROW(compiled.runAll(store), PreconditionError);
+}
+
+TEST(Interpreter, RunPointRejectsOutOfRangeIndex) {
+  const TargetRegion region = vectorAdd();
+  const symbolic::Bindings b{{"n", 4}};
+  ArrayStore store = allocateArrays(region, b);
+  CompiledRegion compiled(region, b);
+  EXPECT_THROW(compiled.runPoint(4, store), PreconditionError);
+  EXPECT_THROW(compiled.runPoint(-1, store), PreconditionError);
+}
+
+TEST(Interpreter, FlatTripCountAndExtents) {
+  const TargetRegion region =
+      RegionBuilder("dims")
+          .param("a")
+          .param("b")
+          .array("out", ScalarType::F64, {sym("a"), sym("b")}, Transfer::From)
+          .parallelFor("i", sym("a"))
+          .parallelFor("j", sym("b"))
+          .statement(Stmt::store("out", {sym("i"), sym("j")}, num(0.0)))
+          .build();
+  CompiledRegion compiled(region, {{"a", 7}, {"b", 9}});
+  EXPECT_EQ(compiled.flatTripCount(), 63);
+  EXPECT_EQ(compiled.parallelExtent(0), 7);
+  EXPECT_EQ(compiled.parallelExtent(1), 9);
+  EXPECT_THROW((void)compiled.parallelExtent(2), PreconditionError);
+}
+
+}  // namespace
+}  // namespace osel::ir

@@ -1,0 +1,186 @@
+#include "ir/region.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "support/check.h"
+
+namespace osel::ir {
+namespace {
+
+using support::PreconditionError;
+
+TEST(ArrayDecl, ElementCountAndBytes) {
+  const ArrayDecl decl{"A", ScalarType::F64, {sym("n"), sym("n")}, Transfer::To};
+  const symbolic::Bindings b{{"n", 100}};
+  EXPECT_EQ(decl.elementCount(b), 10000);
+  EXPECT_EQ(decl.byteSize(b), 80000);
+}
+
+TEST(ArrayDecl, ElementCountRejectsNonPositiveExtent) {
+  const ArrayDecl decl{"A", ScalarType::F64, {sym("n")}, Transfer::To};
+  EXPECT_THROW((void)decl.elementCount({{"n", 0}}), PreconditionError);
+}
+
+TEST(ArrayDecl, LinearizeRowMajor2D) {
+  const ArrayDecl decl{"A", ScalarType::F64, {sym("n"), sym("m")}, Transfer::To};
+  const symbolic::Expr linear = decl.linearize({sym("i"), sym("j")});
+  // Row-major: i*m + j.
+  EXPECT_EQ(linear, sym("i") * sym("m") + sym("j"));
+}
+
+TEST(ArrayDecl, LinearizeRowMajor3D) {
+  const ArrayDecl decl{"V", ScalarType::F32, {sym("d"), sym("h"), sym("w")},
+                       Transfer::To};
+  const symbolic::Expr linear = decl.linearize({sym("i"), sym("j"), sym("k")});
+  EXPECT_EQ(linear, (sym("i") * sym("h") + sym("j")) * sym("w") + sym("k"));
+}
+
+TEST(ArrayDecl, LinearizeRejectsRankMismatch) {
+  const ArrayDecl decl{"A", ScalarType::F64, {sym("n"), sym("n")}, Transfer::To};
+  EXPECT_THROW((void)decl.linearize({sym("i")}), PreconditionError);
+}
+
+TargetRegion vectorScale() {
+  return RegionBuilder("vector_scale")
+      .param("n")
+      .array("x", ScalarType::F64, {sym("n")}, Transfer::To)
+      .array("y", ScalarType::F64, {sym("n")}, Transfer::From)
+      .parallelFor("i", sym("n"))
+      .statement(Stmt::store("y", {sym("i")}, num(2.0) * read("x", {sym("i")})))
+      .build();
+}
+
+TEST(TargetRegion, TransferByteAccounting) {
+  const TargetRegion region = vectorScale();
+  const symbolic::Bindings b{{"n", 1000}};
+  EXPECT_EQ(region.bytesToDevice(b), 8000);
+  EXPECT_EQ(region.bytesFromDevice(b), 8000);
+}
+
+TEST(TargetRegion, ToFromCountsBothWays) {
+  const TargetRegion region =
+      RegionBuilder("inout")
+          .param("n")
+          .array("a", ScalarType::F32, {sym("n")}, Transfer::ToFrom)
+          .parallelFor("i", sym("n"))
+          .statement(Stmt::store("a", {sym("i")}, num(0.0)))
+          .build();
+  const symbolic::Bindings b{{"n", 10}};
+  EXPECT_EQ(region.bytesToDevice(b), 40);
+  EXPECT_EQ(region.bytesFromDevice(b), 40);
+}
+
+TEST(TargetRegion, AllocArraysNeverTransfer) {
+  const TargetRegion region =
+      RegionBuilder("scratchpad")
+          .param("n")
+          .array("tmp", ScalarType::F64, {sym("n")}, Transfer::Alloc)
+          .parallelFor("i", sym("n"))
+          .statement(Stmt::store("tmp", {sym("i")}, num(1.0)))
+          .build();
+  const symbolic::Bindings b{{"n", 10}};
+  EXPECT_EQ(region.bytesToDevice(b), 0);
+  EXPECT_EQ(region.bytesFromDevice(b), 0);
+}
+
+TEST(TargetRegion, FlatTripCountMultipliesDims) {
+  const TargetRegion region =
+      RegionBuilder("grid2d")
+          .param("n")
+          .param("m")
+          .array("a", ScalarType::F64, {sym("n"), sym("m")}, Transfer::From)
+          .parallelFor("i", sym("n"))
+          .parallelFor("j", sym("m"))
+          .statement(Stmt::store("a", {sym("i"), sym("j")}, num(1.0)))
+          .build();
+  EXPECT_EQ(region.flatTripCount({{"n", 12}, {"m", 5}}), 60);
+}
+
+TEST(Verify, RejectsUndeclaredArrayRead) {
+  RegionBuilder b("bad");
+  b.param("n")
+      .array("y", ScalarType::F64, {sym("n")}, Transfer::From)
+      .parallelFor("i", sym("n"))
+      .statement(Stmt::store("y", {sym("i")}, read("ghost", {sym("i")})));
+  EXPECT_THROW(b.build(), PreconditionError);
+}
+
+TEST(Verify, RejectsOutOfScopeSymbolInIndex) {
+  RegionBuilder b("bad");
+  b.param("n")
+      .array("y", ScalarType::F64, {sym("n")}, Transfer::From)
+      .parallelFor("i", sym("n"))
+      .statement(Stmt::store("y", {sym("q")}, num(1.0)));
+  EXPECT_THROW(b.build(), PreconditionError);
+}
+
+TEST(Verify, RejectsLocalReadBeforeAssign) {
+  RegionBuilder b("bad");
+  b.param("n")
+      .array("y", ScalarType::F64, {sym("n")}, Transfer::From)
+      .parallelFor("i", sym("n"))
+      .statement(Stmt::store("y", {sym("i")}, local("acc")));
+  EXPECT_THROW(b.build(), PreconditionError);
+}
+
+TEST(Verify, RejectsRankMismatch) {
+  RegionBuilder b("bad");
+  b.param("n")
+      .array("y", ScalarType::F64, {sym("n"), sym("n")}, Transfer::From)
+      .parallelFor("i", sym("n"))
+      .statement(Stmt::store("y", {sym("i")}, num(1.0)));
+  EXPECT_THROW(b.build(), PreconditionError);
+}
+
+TEST(Verify, RejectsLoopVarShadowing) {
+  RegionBuilder b("bad");
+  b.param("n")
+      .array("y", ScalarType::F64, {sym("n")}, Transfer::From)
+      .parallelFor("i", sym("n"))
+      .statement(Stmt::seqLoop("i", cst(0), sym("n"),
+                               {Stmt::store("y", {sym("i")}, num(1.0))}));
+  EXPECT_THROW(b.build(), PreconditionError);
+}
+
+TEST(Verify, ConditionallyAssignedLocalDoesNotLeak) {
+  RegionBuilder b("bad");
+  b.param("n")
+      .array("y", ScalarType::F64, {sym("n")}, Transfer::From)
+      .parallelFor("i", sym("n"))
+      .statement(Stmt::ifStmt(Condition{num(1.0), CmpOp::LT, num(2.0)},
+                              {Stmt::assign("t", num(1.0))}))
+      .statement(Stmt::store("y", {sym("i")}, local("t")));
+  EXPECT_THROW(b.build(), PreconditionError);
+}
+
+TEST(Verify, AcceptsLoopVarUseInsideLoop) {
+  RegionBuilder b("good");
+  b.param("n")
+      .array("y", ScalarType::F64, {sym("n")}, Transfer::From)
+      .parallelFor("i", sym("n"))
+      .statement(Stmt::assign("acc", num(0.0)))
+      .statement(Stmt::seqLoop(
+          "k", cst(0), sym("n"),
+          {Stmt::assign("acc", local("acc") + asValue(sym("k")))}))
+      .statement(Stmt::store("y", {sym("i")}, local("acc")));
+  EXPECT_NO_THROW(b.build());
+}
+
+TEST(TargetRegion, ToStringMentionsStructure) {
+  const std::string text = vectorScale().toString();
+  EXPECT_NE(text.find("target region vector_scale"), std::string::npos);
+  EXPECT_NE(text.find("parallel for (i in [0, [n]))"), std::string::npos);
+  EXPECT_NE(text.find("map(to: x"), std::string::npos);
+}
+
+TEST(TargetRegion, ArrayLookup) {
+  const TargetRegion region = vectorScale();
+  EXPECT_EQ(region.array("x").name, "x");
+  EXPECT_TRUE(region.hasArray("y"));
+  EXPECT_FALSE(region.hasArray("z"));
+  EXPECT_THROW((void)region.array("z"), PreconditionError);
+}
+
+}  // namespace
+}  // namespace osel::ir

@@ -1,0 +1,112 @@
+#include "ir/traversal.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+
+namespace osel::ir {
+namespace {
+
+/// GEMM-like region: C[i][j] = beta*C[i][j] + alpha*sum_k A[i][k]*B[k][j].
+TargetRegion gemmLike() {
+  return RegionBuilder("gemm_like")
+      .param("n")
+      .array("A", ScalarType::F64, {sym("n"), sym("n")}, Transfer::To)
+      .array("B", ScalarType::F64, {sym("n"), sym("n")}, Transfer::To)
+      .array("C", ScalarType::F64, {sym("n"), sym("n")}, Transfer::ToFrom)
+      .parallelFor("i", sym("n"))
+      .parallelFor("j", sym("n"))
+      .statement(Stmt::assign("acc", read("C", {sym("i"), sym("j")}) * num(0.5)))
+      .statement(Stmt::seqLoop(
+          "k", cst(0), sym("n"),
+          {Stmt::assign("acc", local("acc") + read("A", {sym("i"), sym("k")}) *
+                                                  read("B", {sym("k"), sym("j")}))}))
+      .statement(Stmt::store("C", {sym("i"), sym("j")}, local("acc")))
+      .build();
+}
+
+TEST(CollectAccesses, FindsAllSitesInOrder) {
+  const auto sites = collectAccesses(gemmLike());
+  ASSERT_EQ(sites.size(), 4u);
+  EXPECT_EQ(sites[0].array, "C");
+  EXPECT_FALSE(sites[0].isStore);
+  EXPECT_EQ(sites[1].array, "A");
+  EXPECT_EQ(sites[2].array, "B");
+  EXPECT_EQ(sites[3].array, "C");
+  EXPECT_TRUE(sites[3].isStore);
+}
+
+TEST(CollectAccesses, TracksEnclosingLoops) {
+  const auto sites = collectAccesses(gemmLike());
+  EXPECT_TRUE(sites[0].enclosingLoops.empty());
+  ASSERT_EQ(sites[1].enclosingLoops.size(), 1u);
+  EXPECT_EQ(sites[1].enclosingLoops[0].var, "k");
+  EXPECT_EQ(sites[1].enclosingLoops[0].upper, sym("n"));
+}
+
+TEST(CollectAccesses, TracksBranchDepth) {
+  const TargetRegion region =
+      RegionBuilder("branchy")
+          .param("n")
+          .array("y", ScalarType::F64, {sym("n")}, Transfer::ToFrom)
+          .parallelFor("i", sym("n"))
+          .statement(Stmt::ifStmt(
+              Condition{read("y", {sym("i")}), CmpOp::LE, num(0.1)},
+              {Stmt::store("y", {sym("i")}, num(1.0))}))
+          .build();
+  const auto sites = collectAccesses(region);
+  ASSERT_EQ(sites.size(), 2u);
+  EXPECT_EQ(sites[0].branchDepth, 0);  // condition load
+  EXPECT_EQ(sites[1].branchDepth, 1);  // guarded store
+}
+
+TEST(CountOpSites, GemmLikeCounts) {
+  const OpCounts counts = countOpSites(gemmLike().body);
+  EXPECT_EQ(counts.loads, 3);
+  EXPECT_EQ(counts.stores, 1);
+  // mul(acc init) + add + mul in loop body.
+  EXPECT_EQ(counts.floatOps, 3);
+  EXPECT_EQ(counts.seqLoops, 1);
+  EXPECT_EQ(counts.branches, 0);
+}
+
+TEST(CountOpSites, SpecialOpsSeparated) {
+  const std::vector<Stmt> body{
+      Stmt::assign("a", Value::unary(UnOp::Sqrt, num(2.0))),
+      Stmt::assign("b", Value::unary(UnOp::Neg, local("a"))),
+      Stmt::assign("c", Value::unary(UnOp::Exp, local("b"))),
+  };
+  const OpCounts counts = countOpSites(body);
+  EXPECT_EQ(counts.specialOps, 2);
+  EXPECT_EQ(counts.floatOps, 1);
+}
+
+TEST(CountOpSites, BranchArmsCounted) {
+  const std::vector<Stmt> body{
+      Stmt::assign("x", num(0.0)),
+      Stmt::ifStmt(Condition{local("x"), CmpOp::LT, num(1.0)},
+                   {Stmt::assign("x", local("x") + num(1.0))},
+                   {Stmt::assign("x", local("x") - num(1.0))}),
+  };
+  const OpCounts counts = countOpSites(body);
+  EXPECT_EQ(counts.branches, 1);
+  EXPECT_EQ(counts.compares, 1);
+  EXPECT_EQ(counts.floatOps, 2);  // one per arm
+}
+
+TEST(ForEachStmt, VisitsNestedBodies) {
+  int visits = 0;
+  forEachStmt(gemmLike().body, [&](const Stmt&) { ++visits; });
+  // assign + seqloop + inner assign + store.
+  EXPECT_EQ(visits, 4);
+}
+
+TEST(ForEachValue, VisitsWholeTree) {
+  int visits = 0;
+  const Value v = (num(1.0) + local("x")) * Value::unary(UnOp::Neg, num(2.0));
+  forEachValue(v, [&](const Value&) { ++visits; });
+  EXPECT_EQ(visits, 6);
+}
+
+}  // namespace
+}  // namespace osel::ir

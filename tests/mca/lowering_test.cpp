@@ -1,0 +1,162 @@
+#include "mca/lowering.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "support/check.h"
+
+namespace osel::mca {
+namespace {
+
+using namespace osel::ir;
+
+TargetRegion axpyRegion() {
+  return RegionBuilder("axpy")
+      .param("n")
+      .array("x", ScalarType::F64, {sym("n")}, Transfer::To)
+      .array("y", ScalarType::F64, {sym("n")}, Transfer::ToFrom)
+      .parallelFor("i", sym("n"))
+      .statement(Stmt::store("y", {sym("i")},
+                             num(2.0) * read("x", {sym("i")}) +
+                                 read("y", {sym("i")})))
+      .build();
+}
+
+std::size_t countOps(const MCProgram& program, MOp op) {
+  std::size_t count = 0;
+  for (const MInst& inst : program.insts) {
+    if (inst.op == op) ++count;
+  }
+  return count;
+}
+
+TEST(Lowering, AxpyOpMix) {
+  const TargetRegion region = axpyRegion();
+  const MCProgram program = lowerStraightLine(region, region.body);
+  EXPECT_EQ(countOps(program, MOp::Load), 2u);
+  EXPECT_EQ(countOps(program, MOp::Store), 1u);
+  EXPECT_EQ(countOps(program, MOp::FMul), 1u);
+  EXPECT_EQ(countOps(program, MOp::FAdd), 1u);
+  // Address arithmetic exists for each [i]-indexed access.
+  EXPECT_GE(countOps(program, MOp::IAlu), 3u);
+}
+
+TEST(Lowering, RejectsControlFlow) {
+  const TargetRegion region =
+      RegionBuilder("loopy")
+          .param("n")
+          .array("y", ScalarType::F64, {sym("n")}, Transfer::From)
+          .parallelFor("i", sym("n"))
+          .statement(Stmt::seqLoop("k", cst(0), sym("n"),
+                                   {Stmt::store("y", {sym("k")}, num(1.0))}))
+          .build();
+  EXPECT_THROW((void)lowerStraightLine(region, region.body),
+               support::PreconditionError);
+}
+
+TEST(Lowering, ReductionAccumulatorIsLoopCarried) {
+  // Inner GEMM body: acc = acc + A[i][k]*B[k][j], lowered as a loop over k.
+  const TargetRegion region =
+      RegionBuilder("gemm_inner")
+          .param("n")
+          .array("A", ScalarType::F64, {sym("n"), sym("n")}, Transfer::To)
+          .array("B", ScalarType::F64, {sym("n"), sym("n")}, Transfer::To)
+          .array("C", ScalarType::F64, {sym("n"), sym("n")}, Transfer::From)
+          .parallelFor("i", sym("n"))
+          .parallelFor("j", sym("n"))
+          .statement(Stmt::assign("acc", num(0.0)))
+          .statement(Stmt::seqLoop(
+              "k", cst(0), sym("n"),
+              {Stmt::assign("acc", local("acc") +
+                                       read("A", {sym("i"), sym("k")}) *
+                                           read("B", {sym("k"), sym("j")}))}))
+          .statement(Stmt::store("C", {sym("i"), sym("j")}, local("acc")))
+          .build();
+  const MCProgram body =
+      lowerLoopBody(region, region.body[1].loopBody(), "k");
+  // Two loop-carried chains: the accumulator and the induction variable.
+  EXPECT_EQ(body.loopCarried.size(), 2u);
+  EXPECT_EQ(countOps(body, MOp::Load), 2u);
+  EXPECT_EQ(countOps(body, MOp::FAdd), 1u);
+  EXPECT_EQ(countOps(body, MOp::FMul), 1u);
+}
+
+TEST(Lowering, StraightLineWithoutReassignmentHasNoLoopCarried) {
+  const TargetRegion region = axpyRegion();
+  const MCProgram program = lowerStraightLine(region, region.body);
+  EXPECT_TRUE(program.loopCarried.empty());
+}
+
+TEST(Lowering, ConditionLowersToCmpAndBranch) {
+  const TargetRegion region =
+      RegionBuilder("guarded")
+          .param("n")
+          .array("s", ScalarType::F64, {sym("n")}, Transfer::ToFrom)
+          .parallelFor("j", sym("n"))
+          .statement(Stmt::ifStmt(
+              Condition{read("s", {sym("j")}), CmpOp::LE, num(0.1)},
+              {Stmt::store("s", {sym("j")}, num(1.0))}))
+          .build();
+  const MCProgram cond = lowerCondition(region, region.body[0].condition());
+  EXPECT_EQ(countOps(cond, MOp::Cmp), 1u);
+  EXPECT_EQ(countOps(cond, MOp::Branch), 1u);
+  EXPECT_EQ(countOps(cond, MOp::Load), 1u);  // s[j] operand
+}
+
+TEST(Lowering, ConstantIndexNeedsNoAddressArithmetic) {
+  const TargetRegion region =
+      RegionBuilder("fixed")
+          .param("n")
+          .array("y", ScalarType::F64, {sym("n")}, Transfer::From)
+          .parallelFor("i", sym("n"))
+          .statement(Stmt::store("y", {cst(0)}, num(1.0)))
+          .build();
+  const MCProgram program = lowerStraightLine(region, region.body);
+  EXPECT_EQ(countOps(program, MOp::IAlu), 0u);
+  EXPECT_EQ(countOps(program, MOp::Store), 1u);
+}
+
+TEST(Lowering, UnaryOpClasses) {
+  const TargetRegion region =
+      RegionBuilder("unary")
+          .param("n")
+          .array("y", ScalarType::F64, {sym("n")}, Transfer::ToFrom)
+          .parallelFor("i", sym("n"))
+          .statement(Stmt::store(
+              "y", {sym("i")},
+              Value::unary(UnOp::Sqrt,
+                           Value::unary(UnOp::Exp,
+                                        Value::unary(UnOp::Abs,
+                                                     read("y", {sym("i")}))))))
+          .build();
+  const MCProgram program = lowerStraightLine(region, region.body);
+  EXPECT_EQ(countOps(program, MOp::FSqrt), 1u);
+  EXPECT_EQ(countOps(program, MOp::FSpec), 1u);
+  EXPECT_EQ(countOps(program, MOp::FAdd), 1u);  // Abs maps to the cheap class
+}
+
+TEST(Lowering, RegCountCoversAllRegisters) {
+  const TargetRegion region = axpyRegion();
+  const MCProgram program = lowerStraightLine(region, region.body);
+  for (const MInst& inst : program.insts) {
+    if (inst.dest != kInvalidReg) {
+      EXPECT_LT(inst.dest, program.regCount);
+    }
+    for (const Reg src : inst.srcs) {
+      EXPECT_GE(src, 0);
+      EXPECT_LT(src, program.regCount);
+    }
+  }
+}
+
+TEST(Lowering, ProgramToStringListsInstructions) {
+  const TargetRegion region = axpyRegion();
+  const MCProgram program = lowerStraightLine(region, region.body);
+  const std::string text = program.toString();
+  EXPECT_NE(text.find("load"), std::string::npos);
+  EXPECT_NE(text.find("store"), std::string::npos);
+  EXPECT_NE(text.find("fmul"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace osel::mca

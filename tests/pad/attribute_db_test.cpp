@@ -1,0 +1,193 @@
+#include "pad/attribute_db.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace osel::pad {
+namespace {
+
+using symbolic::Expr;
+
+Expr S(const std::string& name) { return Expr::symbol(name); }
+
+TEST(ExprSerialization, RoundTripsSimpleForms) {
+  for (const Expr& e :
+       {Expr{}, Expr::constant(42), Expr::constant(-7), S("n"),
+        S("n") * S("i") + S("j") + Expr::constant(5),
+        3 * S("a") * S("a") - 2 * S("b"), S("max")}) {
+    EXPECT_EQ(parseExpr(serializeExpr(e)), e) << serializeExpr(e);
+  }
+}
+
+TEST(ExprSerialization, KnownTextForm) {
+  EXPECT_EQ(serializeExpr(Expr{}), "0:_");
+  EXPECT_EQ(serializeExpr(Expr::constant(5)), "5:_");
+  EXPECT_EQ(serializeExpr(S("n")), "1:n");
+  EXPECT_EQ(serializeExpr(S("a") * S("b") * 2), "2:a*b");
+}
+
+TEST(ExprSerialization, ParseRejectsGarbage) {
+  EXPECT_THROW((void)parseExpr(""), support::PreconditionError);
+  EXPECT_THROW((void)parseExpr("nocolon"), support::PreconditionError);
+  EXPECT_THROW((void)parseExpr("x:_"), support::PreconditionError);
+  EXPECT_THROW((void)parseExpr("3:"), support::PreconditionError);
+}
+
+RegionAttributes sampleAttributes(const std::string& name) {
+  RegionAttributes attr;
+  attr.regionName = name;
+  attr.params = {"n", "max"};
+  attr.compInstsPerIter = 256.0;
+  attr.specialInstsPerIter = 2.0;
+  attr.loadInstsPerIter = 260.0;
+  attr.storeInstsPerIter = 1.0;
+  attr.fp64Fraction = 0.25;
+  attr.bytesTouchedPerIteration = 2048.0;
+  attr.machineCyclesPerIter = {{"POWER9", 901.5}, {"POWER8", 1033.25}};
+  StrideAttribute stride;
+  stride.stride = S("max");
+  stride.affine = true;
+  stride.isStore = true;
+  stride.elementBytes = 4;
+  stride.countPerIteration = 128.0;
+  attr.strides.push_back(stride);
+  StrideAttribute irregular;
+  irregular.affine = false;
+  irregular.countPerIteration = 1.0;
+  attr.strides.push_back(irregular);
+  attr.flatTripCount = S("n") * S("n");
+  attr.bytesToDevice = 4 * S("n") * S("n");
+  attr.bytesFromDevice = 4 * S("n");
+  return attr;
+}
+
+TEST(AttributeDatabase, InsertAndLookup) {
+  AttributeDatabase db;
+  db.insert(sampleAttributes("gemm_k1"));
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_NE(db.find("gemm_k1"), nullptr);
+  EXPECT_EQ(db.find("missing"), nullptr);
+  EXPECT_EQ(db.at("gemm_k1").compInstsPerIter, 256.0);
+  EXPECT_THROW((void)db.at("missing"), support::PreconditionError);
+}
+
+TEST(AttributeDatabase, InsertReplacesExisting) {
+  AttributeDatabase db;
+  db.insert(sampleAttributes("k"));
+  RegionAttributes updated = sampleAttributes("k");
+  updated.compInstsPerIter = 999.0;
+  db.insert(updated);
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_EQ(db.at("k").compInstsPerIter, 999.0);
+}
+
+TEST(AttributeDatabase, RejectsEmptyName) {
+  AttributeDatabase db;
+  EXPECT_THROW(db.insert(RegionAttributes{}), support::PreconditionError);
+}
+
+TEST(AttributeDatabase, SerializationRoundTrip) {
+  AttributeDatabase db;
+  db.insert(sampleAttributes("atax_k1"));
+  db.insert(sampleAttributes("atax_k2"));
+  const std::string text = db.serialize();
+  const AttributeDatabase parsed = AttributeDatabase::deserialize(text);
+  ASSERT_EQ(parsed.size(), 2u);
+  const RegionAttributes& attr = parsed.at("atax_k1");
+  const RegionAttributes& original = db.at("atax_k1");
+  EXPECT_EQ(attr.params, original.params);
+  EXPECT_DOUBLE_EQ(attr.compInstsPerIter, original.compInstsPerIter);
+  EXPECT_DOUBLE_EQ(attr.specialInstsPerIter, original.specialInstsPerIter);
+  EXPECT_DOUBLE_EQ(attr.loadInstsPerIter, original.loadInstsPerIter);
+  EXPECT_DOUBLE_EQ(attr.storeInstsPerIter, original.storeInstsPerIter);
+  EXPECT_DOUBLE_EQ(attr.fp64Fraction, original.fp64Fraction);
+  EXPECT_EQ(attr.machineCyclesPerIter, original.machineCyclesPerIter);
+  ASSERT_EQ(attr.strides.size(), 2u);
+  EXPECT_EQ(attr.strides[0].stride, original.strides[0].stride);
+  EXPECT_TRUE(attr.strides[0].affine);
+  EXPECT_TRUE(attr.strides[0].isStore);
+  EXPECT_EQ(attr.strides[0].elementBytes, 4);
+  EXPECT_FALSE(attr.strides[1].affine);
+  EXPECT_EQ(attr.flatTripCount, original.flatTripCount);
+  EXPECT_EQ(attr.bytesToDevice, original.bytesToDevice);
+  EXPECT_EQ(attr.bytesFromDevice, original.bytesFromDevice);
+}
+
+TEST(AttributeDatabase, DeserializeRejectsBadHeader) {
+  EXPECT_THROW((void)AttributeDatabase::deserialize("wrong\n"),
+               support::PreconditionError);
+}
+
+TEST(AttributeDatabase, DeserializeRejectsUnterminatedBlock) {
+  const std::string text = "osel-pad-v1\nregion r\ncomp 1\n";
+  EXPECT_THROW((void)AttributeDatabase::deserialize(text),
+               support::PreconditionError);
+}
+
+TEST(AttributeDatabase, DeserializeRejectsUnknownKey) {
+  const std::string text = "osel-pad-v1\nregion r\nwhatever 1\nend\n";
+  EXPECT_THROW((void)AttributeDatabase::deserialize(text),
+               support::PreconditionError);
+}
+
+TEST(AttributeDatabase, FileRoundTrip) {
+  AttributeDatabase db;
+  db.insert(sampleAttributes("file_kernel"));
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "osel_pad_test.txt").string();
+  db.saveToFile(path);
+  const AttributeDatabase loaded = AttributeDatabase::loadFromFile(path);
+  EXPECT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded.at("file_kernel").strides.size(), 2u);
+  EXPECT_EQ(loaded.at("file_kernel").flatTripCount,
+            db.at("file_kernel").flatTripCount);
+  std::remove(path.c_str());
+}
+
+TEST(AttributeDatabase, LoadFromMissingFileThrows) {
+  EXPECT_THROW((void)AttributeDatabase::loadFromFile("/nonexistent/osel.pad"),
+               support::PreconditionError);
+}
+
+TEST(AttributeDatabase, SaveToUnwritablePathThrows) {
+  AttributeDatabase db;
+  db.insert(sampleAttributes("k"));
+  EXPECT_THROW(db.saveToFile("/nonexistent-dir/osel.pad"),
+               support::PreconditionError);
+}
+
+TEST(ExprSerialization, FuzzRoundTripRandomPolynomials) {
+  support::SplitMix64 rng(31337);
+  const char* names[] = {"n", "i", "j", "max", "nk"};
+  for (int trial = 0; trial < 300; ++trial) {
+    symbolic::Expr e;
+    const auto terms = rng.nextBelow(6);
+    for (std::uint64_t t = 0; t < terms; ++t) {
+      symbolic::Expr mono = symbolic::Expr::constant(
+          static_cast<std::int64_t>(rng.nextBelow(2001)) - 1000);
+      const auto degree = rng.nextBelow(4);
+      for (std::uint64_t d = 0; d < degree; ++d)
+        mono = mono * symbolic::Expr::symbol(names[rng.nextBelow(5)]);
+      e = e + mono;
+    }
+    EXPECT_EQ(parseExpr(serializeExpr(e)), e) << serializeExpr(e);
+  }
+}
+
+TEST(AttributeDatabase, RuntimeBindingCompletesStoredStride) {
+  // The paper's two-phase flow: compile stores "[max]", runtime binds it.
+  AttributeDatabase db;
+  db.insert(sampleAttributes("paper_example"));
+  const AttributeDatabase parsed = AttributeDatabase::deserialize(db.serialize());
+  const StrideAttribute& stride = parsed.at("paper_example").strides[0];
+  EXPECT_EQ(stride.stride.substituteAll({{"max", 1024}}).tryConstant().value(),
+            1024);
+}
+
+}  // namespace
+}  // namespace osel::pad

@@ -1,0 +1,77 @@
+// Suite-wide analysis snapshot: coarse invariants pinned for every kernel,
+// so a regression anywhere in the analysis stack (loadout, IPDA, MCA
+// composition, transfer accounting) trips immediately even when no
+// fine-grained unit test covers the exact kernel.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "compiler/compiler.h"
+#include "ipda/ipda.h"
+#include "ir/cost_walk.h"
+#include "ir/traversal.h"
+#include "polybench/polybench.h"
+
+namespace osel::polybench {
+namespace {
+
+class SuiteSnapshot : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SuiteSnapshot, AnalysisInvariantsHoldForEveryKernel) {
+  const Benchmark& benchmark = benchmarkByName(GetParam());
+  const std::array<mca::MachineModel, 2> models{mca::MachineModel::power9(),
+                                                mca::MachineModel::power8()};
+  const symbolic::Bindings bindings = benchmark.bindings(200);
+  for (const ir::TargetRegion& kernel : benchmark.kernels()) {
+    SCOPED_TRACE(kernel.name);
+    const auto sites = ir::collectAccesses(kernel);
+    EXPECT_FALSE(sites.empty());
+
+    // IPDA covers every access site; every record is either affine with a
+    // runtime-resolvable stride or explicitly non-affine.
+    const ipda::Analysis ipdaResult = ipda::Analysis::analyze(kernel);
+    ASSERT_EQ(ipdaResult.records().size(), sites.size());
+    const auto counts = ipdaResult.classifySites(bindings);
+    EXPECT_EQ(counts.coalesced + counts.uniform + counts.strided +
+                  counts.irregular,
+              static_cast<std::int64_t>(sites.size()));
+
+    // Loadout/PAD sanity.
+    const pad::RegionAttributes attr = compiler::analyzeRegion(kernel, models);
+    EXPECT_GT(attr.loadInstsPerIter + attr.storeInstsPerIter, 0.0);
+    EXPECT_GE(attr.compInstsPerIter, 0.0);
+    EXPECT_EQ(attr.strides.size(), sites.size());
+    EXPECT_GT(attr.bytesTouchedPerIteration, 0.0);
+    EXPECT_GT(attr.flatTripCount.evaluate(bindings), 0);
+    EXPECT_GE(attr.bytesToDevice.evaluate(bindings), 0);
+    EXPECT_GT(attr.bytesFromDevice.evaluate(bindings), 0)
+        << "every kernel produces output";
+
+    // MCA composition: positive and mutually sane. (POWER8's shallower
+    // FPU actually has *lower* per-op latency than POWER9's; the
+    // generational gap comes from width/vector/memory, so the two
+    // estimates may order either way but never wildly.)
+    const double p9 = attr.machineCyclesPerIter.at("POWER9");
+    const double p8 = attr.machineCyclesPerIter.at("POWER8");
+    EXPECT_GT(p9, 0.0);
+    EXPECT_GT(p8, 0.0);
+    EXPECT_LT(p8 / p9, 3.0);
+    EXPECT_GT(p8 / p9, 1.0 / 3.0);
+
+    // Runtime-average counts at this size dominate a single statement pass.
+    const ir::WalkPolicy policy{ir::WalkPolicy::TripMode::RuntimeAverage,
+                                128.0, 0.5};
+    const ir::DynamicCounts dynamic =
+        ir::estimateDynamicCounts(kernel, bindings, policy);
+    EXPECT_GT(dynamic.totalEvents(), 0.0);
+    EXPECT_EQ(dynamic.siteCounts.size(), sites.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, SuiteSnapshot,
+                         ::testing::Values("GEMM", "MVT", "3MM", "2MM", "ATAX",
+                                           "BICG", "2DCONV", "3DCONV", "COVAR",
+                                           "GESUMMV", "SYR2K", "SYRK", "CORR"));
+
+}  // namespace
+}  // namespace osel::polybench

@@ -1,0 +1,134 @@
+#include "polybench/polybench.h"
+
+#include <gtest/gtest.h>
+
+#include "support/check.h"
+
+namespace osel::polybench {
+namespace {
+
+TEST(Suite, ThirteenBenchmarksInPaperOrder) {
+  const auto& all = suite();
+  ASSERT_EQ(all.size(), 13u);
+  const std::vector<std::string> expected{
+      "GEMM", "MVT",    "3MM",     "2MM",   "ATAX",  "BICG", "2DCONV",
+      "3DCONV", "COVAR", "GESUMMV", "SYR2K", "SYRK", "CORR"};
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(all[i].name(), expected[i]);
+}
+
+TEST(Suite, TwentyFourKernelsTotal) {
+  std::size_t kernels = 0;
+  for (const Benchmark& b : suite()) kernels += b.kernels().size();
+  EXPECT_EQ(kernels, 24u);
+}
+
+TEST(Suite, KernelCountsPerBenchmark) {
+  EXPECT_EQ(benchmarkByName("GEMM").kernels().size(), 1u);
+  EXPECT_EQ(benchmarkByName("MVT").kernels().size(), 2u);
+  EXPECT_EQ(benchmarkByName("3MM").kernels().size(), 3u);
+  EXPECT_EQ(benchmarkByName("2MM").kernels().size(), 2u);
+  EXPECT_EQ(benchmarkByName("ATAX").kernels().size(), 2u);
+  EXPECT_EQ(benchmarkByName("BICG").kernels().size(), 2u);
+  EXPECT_EQ(benchmarkByName("2DCONV").kernels().size(), 1u);
+  EXPECT_EQ(benchmarkByName("3DCONV").kernels().size(), 1u);
+  EXPECT_EQ(benchmarkByName("COVAR").kernels().size(), 3u);
+  EXPECT_EQ(benchmarkByName("GESUMMV").kernels().size(), 1u);
+  EXPECT_EQ(benchmarkByName("SYR2K").kernels().size(), 1u);
+  EXPECT_EQ(benchmarkByName("SYRK").kernels().size(), 1u);
+  EXPECT_EQ(benchmarkByName("CORR").kernels().size(), 4u);
+}
+
+TEST(Suite, PaperDatasetSizes) {
+  // §III: test = 1100x1100, benchmark = 9600x9600 "in most programs".
+  for (const Benchmark& b : suite()) {
+    if (b.name() == "3DCONV") {
+      EXPECT_LT(b.size(Mode::Benchmark), 1024);  // cubes stay tractable
+      continue;
+    }
+    EXPECT_EQ(b.size(Mode::Test), 1100);
+    EXPECT_EQ(b.size(Mode::Benchmark), 9600);
+  }
+}
+
+TEST(Suite, UnknownBenchmarkThrows) {
+  EXPECT_THROW((void)benchmarkByName("FFT"), support::PreconditionError);
+}
+
+TEST(Suite, AllKernelsVerify) {
+  for (const Benchmark& b : suite()) {
+    for (const auto& kernel : b.kernels())
+      EXPECT_NO_THROW(kernel.verify()) << kernel.name;
+  }
+}
+
+TEST(Suite, KernelNamesAreUniqueAndPrefixed) {
+  std::set<std::string> names;
+  for (const Benchmark& b : suite()) {
+    for (const auto& kernel : b.kernels()) {
+      EXPECT_TRUE(names.insert(kernel.name).second) << kernel.name;
+    }
+  }
+  EXPECT_EQ(names.size(), 24u);
+}
+
+TEST(Suite, AllocateCoversEveryKernelArray) {
+  for (const Benchmark& b : suite()) {
+    const auto bindings = b.bindings(16);
+    const ir::ArrayStore store = b.allocate(bindings);
+    for (const auto& kernel : b.kernels()) {
+      for (const auto& decl : kernel.arrays) {
+        const auto it = store.find(decl.name);
+        ASSERT_NE(it, store.end()) << b.name() << "/" << decl.name;
+        EXPECT_EQ(static_cast<std::int64_t>(it->second.size()),
+                  decl.elementCount(bindings));
+      }
+    }
+  }
+}
+
+TEST(Suite, BindingsRejectDegenerateSizes) {
+  EXPECT_THROW((void)benchmarkByName("GEMM").bindings(2),
+               support::PreconditionError);
+}
+
+TEST(Suite, ModeNames) {
+  EXPECT_EQ(toString(Mode::Test), "test");
+  EXPECT_EQ(toString(Mode::Benchmark), "benchmark");
+}
+
+/// Functional validation: for every benchmark, executing all kernel IRs
+/// through the interpreter must reproduce the native reference pipeline.
+class PipelineCorrectness : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PipelineCorrectness, InterpreterMatchesReference) {
+  const Benchmark& benchmark = benchmarkByName(GetParam());
+  const std::int64_t n = 20;
+  const auto bindings = benchmark.bindings(n);
+
+  ir::ArrayStore viaIr = benchmark.allocate(bindings);
+  initializeInputs(benchmark, bindings, viaIr);
+  for (const auto& kernel : benchmark.kernels())
+    ir::CompiledRegion(kernel, bindings).runAll(viaIr);
+
+  ir::ArrayStore viaRef = benchmark.allocate(bindings);
+  initializeInputs(benchmark, bindings, viaRef);
+  referenceExecute(benchmark, bindings, viaRef);
+
+  for (const auto& [name, expected] : viaRef) {
+    const auto& actual = viaIr.at(name);
+    ASSERT_EQ(actual.size(), expected.size()) << name;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_NEAR(actual[i], expected[i], 1e-9)
+          << name << "[" << i << "] in " << benchmark.name();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, PipelineCorrectness,
+                         ::testing::Values("GEMM", "MVT", "3MM", "2MM", "ATAX",
+                                           "BICG", "2DCONV", "3DCONV", "COVAR",
+                                           "GESUMMV", "SYR2K", "SYRK", "CORR"));
+
+}  // namespace
+}  // namespace osel::polybench

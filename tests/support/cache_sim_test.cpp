@@ -1,0 +1,107 @@
+#include "support/cache_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace osel::support {
+namespace {
+
+TEST(CacheSim, ColdMissThenHit) {
+  SetAssociativeCache cache(1024, 4, 32);
+  EXPECT_FALSE(cache.access(0));
+  EXPECT_TRUE(cache.access(0));
+  EXPECT_TRUE(cache.access(31));  // same 32B line
+  EXPECT_FALSE(cache.access(32)); // next line
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(CacheSim, LruEvictionOrder) {
+  // Direct-mapped-by-set with 2 ways: fill a set, touch way A, insert a
+  // third line -> way B evicted.
+  SetAssociativeCache cache(/*capacity=*/2 * 32, /*assoc=*/2, /*line=*/32);
+  // One set only: lines 0, 1, 2 all map to it.
+  EXPECT_FALSE(cache.access(0));        // miss, insert line 0
+  EXPECT_FALSE(cache.access(32));       // miss, insert line 1
+  EXPECT_TRUE(cache.access(0));         // hit, line 0 becomes MRU
+  EXPECT_FALSE(cache.access(64));       // miss, evicts line 1 (LRU)
+  EXPECT_TRUE(cache.access(0));         // line 0 survived
+  EXPECT_FALSE(cache.access(32));       // line 1 gone
+}
+
+TEST(CacheSim, WorkingSetWithinCapacityAllHitsOnSecondPass) {
+  SetAssociativeCache cache(64 * 1024, 8, 64);
+  for (std::int64_t a = 0; a < 32 * 1024; a += 64) cache.access(a);
+  const std::uint64_t missesAfterWarmup = cache.misses();
+  for (std::int64_t a = 0; a < 32 * 1024; a += 64) EXPECT_TRUE(cache.access(a));
+  EXPECT_EQ(cache.misses(), missesAfterWarmup);
+}
+
+TEST(CacheSim, StreamingLargerThanCapacityKeepsMissing) {
+  SetAssociativeCache cache(4 * 1024, 4, 64);
+  // Two passes over a 64 KiB stream: LRU keeps evicting, second pass
+  // mostly misses too.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::int64_t a = 0; a < 64 * 1024; a += 64) cache.access(a);
+  }
+  EXPECT_LT(cache.hitRate(), 0.05);
+}
+
+TEST(CacheSim, ZeroCapacityAlwaysMisses) {
+  SetAssociativeCache cache(0, 4, 32);
+  for (std::int64_t a = 0; a < 1024; a += 32) EXPECT_FALSE(cache.access(a));
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(CacheSim, ResetClearsContentsAndStats) {
+  SetAssociativeCache cache(1024, 4, 32);
+  cache.access(0);
+  cache.access(0);
+  cache.reset();
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_FALSE(cache.access(0));  // cold again
+}
+
+TEST(CacheSim, HitRateComputation) {
+  SetAssociativeCache cache(1024, 4, 32);
+  EXPECT_DOUBLE_EQ(cache.hitRate(), 0.0);
+  cache.access(0);
+  cache.access(0);
+  cache.access(0);
+  cache.access(0);
+  EXPECT_DOUBLE_EQ(cache.hitRate(), 0.75);
+}
+
+TEST(CacheSim, RejectsBadGeometry) {
+  EXPECT_THROW(SetAssociativeCache(1024, 0, 32), PreconditionError);
+  EXPECT_THROW(SetAssociativeCache(1024, 4, 0), PreconditionError);
+  EXPECT_THROW(SetAssociativeCache(-1, 4, 32), PreconditionError);
+}
+
+TEST(CacheSim, AssociativityReducesConflictMisses) {
+  // Pathological stride hitting one set: higher associativity helps.
+  auto conflictMisses = [](int assoc) {
+    SetAssociativeCache cache(8 * 1024, assoc, 64);
+    // Stride = cache capacity / assoc lands every access in the same set.
+    const std::int64_t setStride = 8 * 1024 / assoc;
+    for (int pass = 0; pass < 4; ++pass) {
+      for (int i = 0; i < 4; ++i) cache.access(i * setStride);
+    }
+    return cache.misses();
+  };
+  EXPECT_GT(conflictMisses(1), conflictMisses(4));
+}
+
+TEST(CacheSim, RandomAccessesNeverCrash) {
+  SplitMix64 rng(99);
+  SetAssociativeCache cache(16 * 1024, 4, 32);
+  for (int i = 0; i < 100000; ++i)
+    cache.access(static_cast<std::int64_t>(rng.nextBelow(1u << 24)));
+  EXPECT_EQ(cache.hits() + cache.misses(), 100000u);
+}
+
+}  // namespace
+}  // namespace osel::support

@@ -1,0 +1,65 @@
+#include "support/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace osel::support {
+namespace {
+
+CommandLine parseArgs(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return CommandLine::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CommandLine, ParsesEqualsForm) {
+  const auto cl = parseArgs({"--scale=4"});
+  EXPECT_EQ(cl.intOption("scale", 1), 4);
+}
+
+TEST(CommandLine, ParsesSpaceForm) {
+  const auto cl = parseArgs({"--mode", "benchmark"});
+  EXPECT_EQ(cl.stringOption("mode").value_or(""), "benchmark");
+}
+
+TEST(CommandLine, BareFlag) {
+  const auto cl = parseArgs({"--csv"});
+  EXPECT_TRUE(cl.hasFlag("csv"));
+  EXPECT_FALSE(cl.hasFlag("json"));
+}
+
+TEST(CommandLine, PositionalArguments) {
+  const auto cl = parseArgs({"gemm", "mvt", "--csv"});
+  ASSERT_EQ(cl.positional().size(), 2u);
+  EXPECT_EQ(cl.positional()[0], "gemm");
+  EXPECT_EQ(cl.positional()[1], "mvt");
+  EXPECT_TRUE(cl.hasFlag("csv"));
+}
+
+TEST(CommandLine, OptionGreedilyBindsFollowingToken) {
+  // Documented semantics: "--key value" binds, so a bare flag directly
+  // before a positional must use the "--key=" or trailing position.
+  const auto cl = parseArgs({"--csv", "mvt"});
+  EXPECT_EQ(cl.stringOption("csv").value_or(""), "mvt");
+  EXPECT_TRUE(cl.positional().empty());
+}
+
+TEST(CommandLine, DefaultsWhenAbsent) {
+  const auto cl = parseArgs({});
+  EXPECT_EQ(cl.intOption("threads", 160), 160);
+  EXPECT_DOUBLE_EQ(cl.doubleOption("alpha", 1.5), 1.5);
+  EXPECT_FALSE(cl.stringOption("mode").has_value());
+}
+
+TEST(CommandLine, DoubleOption) {
+  const auto cl = parseArgs({"--alpha=0.25"});
+  EXPECT_DOUBLE_EQ(cl.doubleOption("alpha", 0.0), 0.25);
+}
+
+TEST(CommandLine, FlagFollowedByOptionDoesNotSwallowIt) {
+  const auto cl = parseArgs({"--csv", "--scale", "2"});
+  EXPECT_TRUE(cl.hasFlag("csv"));
+  EXPECT_EQ(cl.intOption("scale", 1), 2);
+}
+
+}  // namespace
+}  // namespace osel::support

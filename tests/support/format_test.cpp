@@ -1,0 +1,47 @@
+#include "support/format.h"
+
+#include <gtest/gtest.h>
+
+namespace osel::support {
+namespace {
+
+TEST(Format, FixedDecimals) {
+  EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
+  EXPECT_EQ(formatFixed(-1.0, 0), "-1");
+  EXPECT_EQ(formatFixed(0.005, 2), "0.01");
+}
+
+TEST(Format, SpeedupMatchesPaperStyle) {
+  EXPECT_EQ(formatSpeedup(4.41), "4.41x");
+  EXPECT_EQ(formatSpeedup(0.47), "0.47x");
+  EXPECT_EQ(formatSpeedup(40.69), "40.69x");
+}
+
+TEST(Format, SecondsAdaptiveUnits) {
+  EXPECT_EQ(formatSeconds(1.5), "1.500 s");
+  EXPECT_EQ(formatSeconds(0.0025), "2.500 ms");
+  EXPECT_EQ(formatSeconds(3.2e-6), "3.200 us");
+  EXPECT_EQ(formatSeconds(5e-9), "5.0 ns");
+}
+
+TEST(Format, BytesAdaptiveUnits) {
+  EXPECT_EQ(formatBytes(512), "512 B");
+  EXPECT_EQ(formatBytes(2048), "2.00 KiB");
+  EXPECT_EQ(formatBytes(3u * 1024 * 1024), "3.00 MiB");
+  EXPECT_EQ(formatBytes(5ull * 1024 * 1024 * 1024), "5.00 GiB");
+}
+
+TEST(Format, CountThousandsSeparators) {
+  EXPECT_EQ(formatCount(0), "0");
+  EXPECT_EQ(formatCount(999), "999");
+  EXPECT_EQ(formatCount(1000), "1,000");
+  EXPECT_EQ(formatCount(12345678), "12,345,678");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(formatPercent(0.123), "12.3%");
+  EXPECT_EQ(formatPercent(1.0), "100.0%");
+}
+
+}  // namespace
+}  // namespace osel::support

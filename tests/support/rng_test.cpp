@@ -1,0 +1,66 @@
+#include "support/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace osel::support {
+namespace {
+
+TEST(SplitMix64, DeterministicForSameSeed) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int differing = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (a.next() != b.next()) ++differing;
+  }
+  EXPECT_GT(differing, 12);
+}
+
+TEST(SplitMix64, DoublesInUnitInterval) {
+  SplitMix64 rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.nextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(SplitMix64, NextBelowRespectsBound) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.nextBelow(17), 17u);
+}
+
+TEST(SplitMix64, NextBelowZeroBound) {
+  SplitMix64 rng(7);
+  EXPECT_EQ(rng.nextBelow(0), 0u);
+}
+
+TEST(SplitMix64, NextBelowCoversRange) {
+  SplitMix64 rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.nextBelow(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(SplitMix64, RoughlyUniformDoubles) {
+  SplitMix64 rng(11);
+  std::vector<int> histogram(10, 0);
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i)
+    ++histogram[static_cast<std::size_t>(rng.nextDouble() * 10.0)];
+  for (const int count : histogram) {
+    EXPECT_GT(count, kSamples / 10 * 0.9);
+    EXPECT_LT(count, kSamples / 10 * 1.1);
+  }
+}
+
+}  // namespace
+}  // namespace osel::support

@@ -1,0 +1,110 @@
+#include "support/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace osel::support {
+namespace {
+
+TEST(Statistics, MeanOfSingleton) {
+  const std::array<double, 1> xs{42.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 42.0);
+}
+
+TEST(Statistics, MeanOfUniformSequence) {
+  const std::array<double, 4> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Statistics, MeanRejectsEmpty) {
+  EXPECT_THROW((void)mean({}), PreconditionError);
+}
+
+TEST(Statistics, GeometricMeanOfEqualValues) {
+  const std::array<double, 3> xs{7.0, 7.0, 7.0};
+  EXPECT_NEAR(geometricMean(xs), 7.0, 1e-12);
+}
+
+TEST(Statistics, GeometricMeanOfSpeedups) {
+  // geomean(2, 8) = 4 — the paper's headline metric (§IV.E).
+  const std::array<double, 2> xs{2.0, 8.0};
+  EXPECT_NEAR(geometricMean(xs), 4.0, 1e-12);
+}
+
+TEST(Statistics, GeometricMeanRejectsNonPositive) {
+  const std::array<double, 2> xs{2.0, 0.0};
+  EXPECT_THROW((void)geometricMean(xs), PreconditionError);
+}
+
+TEST(Statistics, GeometricMeanHandlesManyLargeValuesWithoutOverflow) {
+  std::vector<double> xs(1000, 1e300);
+  EXPECT_NEAR(geometricMean(xs) / 1e300, 1.0, 1e-9);
+}
+
+TEST(Statistics, GeometricMeanNeverExceedsArithmeticMean) {
+  SplitMix64 rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<double> xs;
+    for (int i = 0; i < 10; ++i) xs.push_back(0.01 + rng.nextDouble() * 100.0);
+    EXPECT_LE(geometricMean(xs), mean(xs) + 1e-9);
+  }
+}
+
+TEST(Statistics, PopulationStdDevOfConstant) {
+  const std::array<double, 5> xs{3.0, 3.0, 3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(populationStdDev(xs), 0.0);
+}
+
+TEST(Statistics, PopulationStdDevKnownValue) {
+  const std::array<double, 2> xs{1.0, 3.0};
+  EXPECT_DOUBLE_EQ(populationStdDev(xs), 1.0);
+}
+
+TEST(Statistics, SummarizeReportsAllFields) {
+  const std::array<double, 4> xs{4.0, 1.0, 3.0, 2.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+}
+
+TEST(Statistics, MapeZeroWhenExact) {
+  const std::array<double, 3> a{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(meanAbsolutePercentageError(a, a), 0.0);
+}
+
+TEST(Statistics, MapeKnownValue) {
+  const std::array<double, 2> predicted{1.1, 0.9};
+  const std::array<double, 2> actual{1.0, 1.0};
+  EXPECT_NEAR(meanAbsolutePercentageError(predicted, actual), 10.0, 1e-9);
+}
+
+TEST(Statistics, MapeRejectsLengthMismatch) {
+  const std::array<double, 2> predicted{1.0, 2.0};
+  const std::array<double, 1> actual{1.0};
+  EXPECT_THROW((void)meanAbsolutePercentageError(predicted, actual), PreconditionError);
+}
+
+TEST(Statistics, AgreementRateCountsDecisionMatches) {
+  // Offloading decision agreement at speedup threshold 1.0: the prediction
+  // matters only through which side of 1.0 it lands on.
+  const std::array<double, 4> predicted{0.5, 1.2, 3.0, 0.9};
+  const std::array<double, 4> actual{0.8, 4.0, 0.7, 0.99};
+  EXPECT_DOUBLE_EQ(agreementRate(predicted, actual, 1.0), 0.75);
+}
+
+TEST(Statistics, AgreementRatePerfectWhenIdentical) {
+  const std::array<double, 3> xs{0.5, 1.5, 2.5};
+  EXPECT_DOUBLE_EQ(agreementRate(xs, xs, 1.0), 1.0);
+}
+
+}  // namespace
+}  // namespace osel::support

@@ -1,0 +1,89 @@
+#include "support/table.h"
+
+#include <gtest/gtest.h>
+
+#include "support/check.h"
+
+namespace osel::support {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable table({"Kernel", "Speedup"});
+  table.addRow({"GEMM", "4.41x"});
+  table.addRow({"CORR", "0.47x"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("Kernel"), std::string::npos);
+  EXPECT_NE(out.find("GEMM"), std::string::npos);
+  EXPECT_NE(out.find("0.47x"), std::string::npos);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"A", "B"});
+  table.addRow({"x", "1"});
+  table.addRow({"longer", "22"});
+  const std::string out = table.render();
+  // Every line has the same width up to trailing content.
+  const std::size_t firstNewline = out.find('\n');
+  ASSERT_NE(firstNewline, std::string::npos);
+  // Right-aligned numeric column: "1" should be preceded by a space pad.
+  EXPECT_NE(out.find(" 1\n"), std::string::npos);
+}
+
+TEST(TextTable, RejectsColumnCountMismatch) {
+  TextTable table({"A", "B"});
+  EXPECT_THROW(table.addRow({"only-one"}), PreconditionError);
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), PreconditionError);
+}
+
+TEST(TextTable, CsvEscapesSpecialCharacters) {
+  TextTable table({"name", "value"});
+  table.addRow({"a,b", "say \"hi\""});
+  const std::string csv = table.renderCsv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TextTable, CsvSkipsSeparators) {
+  TextTable table({"h"});
+  table.addRow({"1"});
+  table.addSeparator();
+  table.addRow({"2"});
+  const std::string csv = table.renderCsv();
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);  // header + 2 rows
+}
+
+TEST(TextTable, SeparatorRendersDashes) {
+  TextTable table({"h"});
+  table.addRow({"1"});
+  table.addSeparator();
+  const std::string out = table.render();
+  EXPECT_NE(out.find("-"), std::string::npos);
+}
+
+TEST(TextTable, IndentAppliesToEveryLine) {
+  TextTable table({"h"});
+  table.addRow({"1"});
+  const std::string out = table.render(4);
+  EXPECT_EQ(out.rfind("    h", 0), 0u);
+  EXPECT_NE(out.find("\n    "), std::string::npos);
+}
+
+TEST(TextTable, AlignmentOverrideRespected) {
+  TextTable table({"n", "v"});
+  table.setAlignment({Align::Right, Align::Left});
+  table.addRow({"1", "x"});
+  table.addRow({"22", "yy"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find(" 1"), std::string::npos);
+}
+
+TEST(TextTable, SetAlignmentRejectsWrongArity) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.setAlignment({Align::Left}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace osel::support

@@ -1,0 +1,84 @@
+#include "symbolic/compiled_expr.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace osel::symbolic {
+namespace {
+
+TEST(CompiledExpr, EvaluatesConstant) {
+  SlotMap slots;
+  const CompiledExpr c(Expr::constant(42), slots);
+  EXPECT_TRUE(c.isConstant());
+  EXPECT_EQ(c.evaluate({}), 42);
+}
+
+TEST(CompiledExpr, EvaluatesPolynomial) {
+  SlotMap slots;
+  const Expr e = Expr::symbol("n") * Expr::symbol("i") + Expr::symbol("j") + 7;
+  const CompiledExpr c(e, slots);
+  std::vector<std::int64_t> values(slots.size());
+  values[slots.lookup("n")] = 100;
+  values[slots.lookup("i")] = 3;
+  values[slots.lookup("j")] = 4;
+  EXPECT_EQ(c.evaluate(values), 311);
+  EXPECT_FALSE(c.isConstant());
+}
+
+TEST(CompiledExpr, SharedSlotMapAcrossExpressions) {
+  SlotMap slots;
+  const CompiledExpr a(Expr::symbol("x") + 1, slots);
+  const CompiledExpr b(Expr::symbol("x") * 2, slots);
+  std::vector<std::int64_t> values(slots.size());
+  values[slots.lookup("x")] = 5;
+  EXPECT_EQ(a.evaluate(values), 6);
+  EXPECT_EQ(b.evaluate(values), 10);
+  EXPECT_EQ(slots.size(), 1u);
+}
+
+TEST(SlotMap, LookupThrowsForUnknown) {
+  SlotMap slots;
+  EXPECT_THROW((void)slots.lookup("nope"), support::PreconditionError);
+}
+
+TEST(SlotMap, SlotOfIsIdempotent) {
+  SlotMap slots;
+  const std::size_t a = slots.slotOf("a");
+  EXPECT_EQ(slots.slotOf("a"), a);
+  EXPECT_EQ(slots.size(), 1u);
+}
+
+TEST(CompiledExpr, MatchesInterpretedEvaluationOnRandomExprs) {
+  support::SplitMix64 rng(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Random degree-<=3 polynomial over 3 symbols.
+    Expr e;
+    for (int term = 0; term < 5; ++term) {
+      Expr monomial =
+          Expr::constant(static_cast<std::int64_t>(rng.nextBelow(9)) - 4);
+      const auto factors = rng.nextBelow(4);
+      for (std::uint64_t f = 0; f < factors; ++f) {
+        const char* names[] = {"a", "b", "c"};
+        monomial *= Expr::symbol(names[rng.nextBelow(3)]);
+      }
+      e += monomial;
+    }
+    SlotMap slots;
+    const CompiledExpr compiled(e, slots);
+    Bindings bindings;
+    std::vector<std::int64_t> values(slots.size() == 0 ? 1 : slots.size());
+    for (const auto& name : e.freeSymbols()) {
+      const auto v = static_cast<std::int64_t>(rng.nextBelow(15)) - 7;
+      bindings[name] = v;
+      values[slots.lookup(name)] = v;
+    }
+    EXPECT_EQ(compiled.evaluate(values), e.evaluate(bindings)) << e.toString();
+  }
+}
+
+}  // namespace
+}  // namespace osel::symbolic

@@ -1,0 +1,137 @@
+// Property tests: random expression trees, checked against direct evaluation.
+// The canonical polynomial representation must preserve semantics under
+// construction, arithmetic, substitution, and differencing.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.h"
+#include "symbolic/expr.h"
+
+namespace osel::symbolic {
+namespace {
+
+constexpr std::array<const char*, 4> kSymbols{"i", "j", "n", "max"};
+
+/// A random expression together with an oracle evaluator (direct recursive
+/// arithmetic, no canonicalization involved).
+struct RandomExpr {
+  Expr expr;
+  // Oracle: evaluate the construction steps directly.
+  std::int64_t oracle;
+};
+
+/// Builds a random expression of the given depth and evaluates the identical
+/// arithmetic directly on values, independent of Expr's canonical form.
+RandomExpr randomExpr(support::SplitMix64& rng, const Bindings& bindings, int depth) {
+  if (depth == 0 || rng.nextBelow(4) == 0) {
+    if (rng.nextBelow(2) == 0) {
+      const auto value = static_cast<std::int64_t>(rng.nextBelow(21)) - 10;
+      return {Expr::constant(value), value};
+    }
+    const char* name = kSymbols[rng.nextBelow(kSymbols.size())];
+    return {Expr::symbol(name), bindings.at(name)};
+  }
+  const RandomExpr lhs = randomExpr(rng, bindings, depth - 1);
+  const RandomExpr rhs = randomExpr(rng, bindings, depth - 1);
+  switch (rng.nextBelow(3)) {
+    case 0:
+      return {lhs.expr + rhs.expr, lhs.oracle + rhs.oracle};
+    case 1:
+      return {lhs.expr - rhs.expr, lhs.oracle - rhs.oracle};
+    default:
+      return {lhs.expr * rhs.expr, lhs.oracle * rhs.oracle};
+  }
+}
+
+Bindings randomBindings(support::SplitMix64& rng) {
+  Bindings bindings;
+  for (const char* name : kSymbols)
+    bindings[name] = static_cast<std::int64_t>(rng.nextBelow(13)) - 6;
+  return bindings;
+}
+
+class ExprProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExprProperty, CanonicalFormPreservesEvaluation) {
+  support::SplitMix64 rng(GetParam());
+  const Bindings bindings = randomBindings(rng);
+  const RandomExpr sample = randomExpr(rng, bindings, 4);
+  EXPECT_EQ(sample.expr.evaluate(bindings), sample.oracle)
+      << sample.expr.toString();
+}
+
+TEST_P(ExprProperty, SubstitutionCommutesWithEvaluation) {
+  support::SplitMix64 rng(GetParam() ^ 0xABCDEF);
+  const Bindings bindings = randomBindings(rng);
+  const RandomExpr sample = randomExpr(rng, bindings, 3);
+  // Substituting j := i + 2 then evaluating must equal evaluating with
+  // bindings where j = i + 2.
+  const Expr substituted = sample.expr.substitute("j", Expr::symbol("i") + 2);
+  Bindings rebound = bindings;
+  rebound["j"] = bindings.at("i") + 2;
+  EXPECT_EQ(substituted.evaluate(bindings), sample.expr.evaluate(rebound))
+      << sample.expr.toString();
+}
+
+TEST_P(ExprProperty, DifferenceMatchesShiftedEvaluation) {
+  support::SplitMix64 rng(GetParam() ^ 0x55AA55);
+  const Bindings bindings = randomBindings(rng);
+  const RandomExpr sample = randomExpr(rng, bindings, 3);
+  const Expr difference = sample.expr.differenceIn("i");
+  Bindings shifted = bindings;
+  shifted["i"] = bindings.at("i") + 1;
+  EXPECT_EQ(difference.evaluate(bindings),
+            sample.expr.evaluate(shifted) - sample.expr.evaluate(bindings))
+      << sample.expr.toString();
+}
+
+TEST_P(ExprProperty, AdditionCommutesAndAssociates) {
+  support::SplitMix64 rng(GetParam() ^ 0x123123);
+  const Bindings bindings = randomBindings(rng);
+  const RandomExpr a = randomExpr(rng, bindings, 2);
+  const RandomExpr b = randomExpr(rng, bindings, 2);
+  const RandomExpr c = randomExpr(rng, bindings, 2);
+  EXPECT_EQ(a.expr + b.expr, b.expr + a.expr);
+  EXPECT_EQ((a.expr + b.expr) + c.expr, a.expr + (b.expr + c.expr));
+  EXPECT_EQ(a.expr * b.expr, b.expr * a.expr);
+  EXPECT_EQ((a.expr * b.expr) * c.expr, a.expr * (b.expr * c.expr));
+}
+
+TEST_P(ExprProperty, MultiplicationDistributesOverAddition) {
+  support::SplitMix64 rng(GetParam() ^ 0x777777);
+  const Bindings bindings = randomBindings(rng);
+  const RandomExpr a = randomExpr(rng, bindings, 2);
+  const RandomExpr b = randomExpr(rng, bindings, 2);
+  const RandomExpr c = randomExpr(rng, bindings, 2);
+  EXPECT_EQ(a.expr * (b.expr + c.expr), a.expr * b.expr + a.expr * c.expr);
+}
+
+TEST_P(ExprProperty, SubtractionOfSelfIsZero) {
+  support::SplitMix64 rng(GetParam() ^ 0x999999);
+  const Bindings bindings = randomBindings(rng);
+  const RandomExpr a = randomExpr(rng, bindings, 3);
+  EXPECT_EQ(a.expr - a.expr, Expr{});
+}
+
+TEST_P(ExprProperty, CoefficientTimesVarPlusRestReconstructs) {
+  support::SplitMix64 rng(GetParam() ^ 0x31415926);
+  const Bindings bindings = randomBindings(rng);
+  // Build an expression affine in "i": coeff(i)*i + rest with random parts.
+  const RandomExpr coeff = randomExpr(rng, bindings, 2);
+  const RandomExpr rest = randomExpr(rng, bindings, 2);
+  const Expr coeffNoI = coeff.expr.withoutSymbol("i");
+  const Expr restNoI = rest.expr.withoutSymbol("i");
+  const Expr affine = coeffNoI * Expr::symbol("i") + restNoI;
+  EXPECT_EQ(affine.coefficientOf("i"), coeffNoI);
+  EXPECT_EQ(affine.withoutSymbol("i"), restNoI);
+  EXPECT_EQ(affine.coefficientOf("i") * Expr::symbol("i") + affine.withoutSymbol("i"),
+            affine);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExprProperty,
+                         ::testing::Range<std::uint64_t>(1, 51));
+
+}  // namespace
+}  // namespace osel::symbolic

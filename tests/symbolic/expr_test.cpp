@@ -1,0 +1,179 @@
+#include "symbolic/expr.h"
+
+#include <gtest/gtest.h>
+
+#include "support/check.h"
+
+namespace osel::symbolic {
+namespace {
+
+Expr S(const std::string& name) { return Expr::symbol(name); }
+Expr C(std::int64_t v) { return Expr::constant(v); }
+
+TEST(Expr, ZeroByDefault) {
+  EXPECT_TRUE(Expr{}.isConstant());
+  EXPECT_EQ(Expr{}.tryConstant().value(), 0);
+  EXPECT_EQ(Expr{}.toString(), "0");
+}
+
+TEST(Expr, ConstantFolding) {
+  EXPECT_EQ((C(2) + C(3)).tryConstant().value(), 5);
+  EXPECT_EQ((C(2) * C(3)).tryConstant().value(), 6);
+  EXPECT_EQ((C(2) - C(2)).tryConstant().value(), 0);
+}
+
+TEST(Expr, LikeTermCollection) {
+  const Expr e = S("x") + S("x") + S("x");
+  EXPECT_EQ(e, 3 * S("x"));
+}
+
+TEST(Expr, CancellationYieldsZero) {
+  const Expr e = S("x") * S("y") - S("y") * S("x");
+  EXPECT_TRUE(e.isConstant());
+  EXPECT_EQ(e.tryConstant().value(), 0);
+}
+
+TEST(Expr, PaperExampleStrideDerivation) {
+  // Paper §IV.C: IPD_th(A[max * a]) with thread t accessing a = t:
+  // [max]*1 - [max]*0 = [max].
+  const Expr address = S("max") * S("a");
+  const Expr atOne = address.substitute("a", C(1));
+  const Expr atZero = address.substitute("a", C(0));
+  EXPECT_EQ(atOne - atZero, S("max"));
+}
+
+TEST(Expr, DistributesMultiplication) {
+  const Expr e = (S("x") + C(1)) * (S("x") - C(1));
+  EXPECT_EQ(e, S("x") * S("x") - C(1));
+}
+
+TEST(Expr, EvaluateBindsSymbols) {
+  const Expr e = S("n") * S("i") + S("j") + C(7);
+  const Bindings bindings{{"n", 100}, {"i", 3}, {"j", 4}};
+  EXPECT_EQ(e.evaluate(bindings), 311);
+}
+
+TEST(Expr, EvaluateThrowsOnUnbound) {
+  const Expr e = S("n") + C(1);
+  EXPECT_THROW((void)e.evaluate({}), support::PreconditionError);
+}
+
+TEST(Expr, EvaluateRealWithFractionalBindings) {
+  const Expr e = S("n") * S("i") + S("j");
+  const std::map<std::string, double> env{{"n", 10.0}, {"i", 2.5}, {"j", 0.5}};
+  EXPECT_DOUBLE_EQ(e.evaluateReal(env), 25.5);
+  EXPECT_DOUBLE_EQ(Expr{}.evaluateReal({}), 0.0);
+  EXPECT_THROW((void)e.evaluateReal({{"n", 1.0}}), support::PreconditionError);
+}
+
+TEST(Expr, TryEvaluatePartialBinding) {
+  const Expr e = S("n") * S("i");
+  EXPECT_FALSE(e.tryEvaluate({{"n", 5}}).has_value());
+  EXPECT_EQ(e.tryEvaluate({{"n", 5}, {"i", 2}}).value(), 10);
+}
+
+TEST(Expr, SubstituteAllLeavesUnboundSymbolic) {
+  const Expr e = S("n") * S("i") + S("j");
+  const Expr partial = e.substituteAll({{"n", 10}});
+  EXPECT_EQ(partial, 10 * S("i") + S("j"));
+}
+
+TEST(Expr, FreeSymbols) {
+  const Expr e = S("n") * S("i") + S("j") + C(5);
+  const auto syms = e.freeSymbols();
+  EXPECT_EQ(syms.size(), 3u);
+  EXPECT_TRUE(syms.contains("n"));
+  EXPECT_TRUE(syms.contains("i"));
+  EXPECT_TRUE(syms.contains("j"));
+}
+
+TEST(Expr, References) {
+  const Expr e = S("n") * S("i");
+  EXPECT_TRUE(e.references("n"));
+  EXPECT_FALSE(e.references("j"));
+}
+
+TEST(Expr, AffinityChecks) {
+  const Expr affine = S("max") * S("i") + S("j") + C(3);
+  EXPECT_TRUE(affine.isAffineIn({"i", "j"}));
+  // i*j couples two loop vars -> not jointly affine.
+  EXPECT_FALSE((S("i") * S("j")).isAffineIn({"i", "j"}));
+  // i^2 -> not affine in i.
+  EXPECT_FALSE((S("i") * S("i")).isAffineIn({"i"}));
+  // max*i is affine in {i} even though max is symbolic.
+  EXPECT_TRUE((S("max") * S("i")).isAffineIn({"i"}));
+}
+
+TEST(Expr, CoefficientOfSymbolicStride) {
+  const Expr e = S("max") * S("i") + S("j") + C(5);
+  EXPECT_EQ(e.coefficientOf("i"), S("max"));
+  EXPECT_EQ(e.coefficientOf("j"), C(1));
+  EXPECT_EQ(e.coefficientOf("k"), Expr{});
+}
+
+TEST(Expr, CoefficientOfRejectsHigherDegree) {
+  const Expr e = S("i") * S("i");
+  EXPECT_THROW((void)e.coefficientOf("i"), support::PreconditionError);
+}
+
+TEST(Expr, WithoutSymbolDropsTerms) {
+  const Expr e = S("max") * S("i") + S("j") + C(5);
+  EXPECT_EQ(e.withoutSymbol("i"), S("j") + C(5));
+}
+
+TEST(Expr, DifferenceInIsStrideForAffine) {
+  const Expr rowMajor = S("n") * S("i") + S("j");
+  EXPECT_EQ(rowMajor.differenceIn("j"), C(1));
+  EXPECT_EQ(rowMajor.differenceIn("i"), S("n"));
+}
+
+TEST(Expr, DifferenceInQuadratic) {
+  // d/di (i^2) with unit step: (i+1)^2 - i^2 = 2i + 1.
+  const Expr e = S("i") * S("i");
+  EXPECT_EQ(e.differenceIn("i"), 2 * S("i") + C(1));
+}
+
+TEST(Expr, Degree) {
+  EXPECT_EQ(Expr{}.degree(), 0);
+  EXPECT_EQ(C(5).degree(), 0);
+  EXPECT_EQ(S("x").degree(), 1);
+  EXPECT_EQ((S("x") * S("y") * S("x")).degree(), 3);
+}
+
+TEST(Expr, ToStringBracketsSymbols) {
+  const Expr e = S("max") * S("a");
+  EXPECT_EQ(e.toString(), "[a]*[max]");
+}
+
+TEST(Expr, ToStringNegativeLeading) {
+  const Expr e = C(0) - S("x");
+  EXPECT_EQ(e.toString(), "-[x]");
+}
+
+TEST(Expr, ToStringMixedSigns) {
+  const Expr e = S("n") * S("i") - C(4);
+  // Constant term sorts first in the canonical map (empty monomial).
+  EXPECT_EQ(e.toString(), "-4 + [i]*[n]");
+}
+
+TEST(Expr, FromTermsRoundTrip) {
+  const Expr e = 3 * S("a") * S("b") + 2 * S("c") - C(7);
+  EXPECT_EQ(Expr::fromTerms(e.terms()), e);
+}
+
+TEST(Expr, SymbolRejectsEmptyName) {
+  EXPECT_THROW((void)Expr::symbol(""), support::PreconditionError);
+}
+
+TEST(Expr, CompoundAssignmentOperators) {
+  Expr e = S("x");
+  e += S("x");
+  EXPECT_EQ(e, 2 * S("x"));
+  e -= S("x");
+  EXPECT_EQ(e, S("x"));
+  e *= S("y");
+  EXPECT_EQ(e, S("x") * S("y"));
+}
+
+}  // namespace
+}  // namespace osel::symbolic

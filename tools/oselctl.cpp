@@ -1,0 +1,237 @@
+// oselctl — command-line front end to the osel framework.
+//
+//   oselctl list                          all benchmarks and kernels
+//   oselctl inspect  <kernel>             region IR, IPDA dump, loadout, MCA
+//   oselctl decide   <kernel> [opts]      evaluate both models and choose
+//   oselctl measure  <kernel> [opts]      ground-truth device simulations
+//   oselctl pad      [<kernel>...]        print serialized PAD entries
+//   oselctl emit     <kernel>             print a kernel as .osel source
+//
+// Common options: --n <size> (default: the kernel's test size),
+// --threads <count> (default 160), --platform v100|k80 (default v100),
+// --file <path.osel> (load kernels from a kernel-language file instead of
+// the built-in Polybench suite; see examples/kernels/).
+#include <array>
+#include <cstdio>
+#include <string>
+
+#include "compiler/compiler.h"
+#include "frontend/parser.h"
+#include "frontend/printer.h"
+#include "cpusim/cpu_simulator.h"
+#include "gpusim/gpu_simulator.h"
+#include "ipda/ipda.h"
+#include "mca/lowering.h"
+#include "mca/pipeline_sim.h"
+#include "polybench/polybench.h"
+#include "runtime/selector.h"
+#include "support/cli.h"
+#include "support/format.h"
+
+namespace {
+
+using namespace osel;
+
+struct KernelRef {
+  const polybench::Benchmark* benchmark = nullptr;  // null for file kernels
+  const ir::TargetRegion* region = nullptr;
+};
+
+/// Kernels loaded via --file live here for the process lifetime.
+std::vector<ir::TargetRegion>& fileKernels() {
+  static std::vector<ir::TargetRegion> kernels;
+  return kernels;
+}
+
+KernelRef findKernel(const std::string& name) {
+  for (const ir::TargetRegion& kernel : fileKernels()) {
+    if (kernel.name == name) return {nullptr, &kernel};
+  }
+  for (const polybench::Benchmark& benchmark : polybench::suite()) {
+    for (const ir::TargetRegion& kernel : benchmark.kernels()) {
+      if (kernel.name == name) return {&benchmark, &kernel};
+    }
+  }
+  return {};
+}
+
+struct Config {
+  std::int64_t n = 0;  // 0 = kernel's test size
+  int threads = 160;
+  bool k80 = false;
+
+  [[nodiscard]] std::int64_t sizeFor(const polybench::Benchmark* b) const {
+    if (n > 0) return n;
+    return b != nullptr ? b->size(polybench::Mode::Test) : 1100;
+  }
+};
+
+symbolic::Bindings bindingsFor(const KernelRef& ref, const Config& config) {
+  const std::int64_t n = config.sizeFor(ref.benchmark);
+  symbolic::Bindings bindings;
+  for (const std::string& param : ref.region->params) bindings[param] = n;
+  return bindings;
+}
+
+int cmdList() {
+  for (const ir::TargetRegion& kernel : fileKernels())
+    std::printf("(file)   %s\n", kernel.name.c_str());
+  for (const polybench::Benchmark& benchmark : polybench::suite()) {
+    std::printf("%-8s (test n=%lld, benchmark n=%lld)\n",
+                benchmark.name().c_str(),
+                static_cast<long long>(benchmark.size(polybench::Mode::Test)),
+                static_cast<long long>(
+                    benchmark.size(polybench::Mode::Benchmark)));
+    for (const ir::TargetRegion& kernel : benchmark.kernels())
+      std::printf("    %s\n", kernel.name.c_str());
+  }
+  return 0;
+}
+
+int cmdInspect(const KernelRef& ref, const Config& config) {
+  const ir::TargetRegion& kernel = *ref.region;
+  std::printf("%s\n", kernel.toString().c_str());
+  const ipda::Analysis analysis = ipda::Analysis::analyze(kernel);
+  std::printf("IPDA:\n%s\n", analysis.toString().c_str());
+
+  const std::array<mca::MachineModel, 2> hosts{mca::MachineModel::power9(),
+                                               mca::MachineModel::power8()};
+  const pad::RegionAttributes attr = compiler::analyzeRegion(kernel, hosts);
+  std::printf("Instruction loadout (128-trip / 50%%-branch abstraction):\n"
+              "  comp %.1f  special %.1f  loads %.1f  stores %.1f  per "
+              "parallel iteration\n",
+              attr.compInstsPerIter, attr.specialInstsPerIter,
+              attr.loadInstsPerIter, attr.storeInstsPerIter);
+  for (const auto& [model, cycles] : attr.machineCyclesPerIter)
+    std::printf("  Machine_cycles_per_iter[%s] = %.1f\n", model.c_str(), cycles);
+
+  const symbolic::Bindings bindings = bindingsFor(ref, config);
+  const auto counts = analysis.classifySites(bindings);
+  std::printf("\nCoalescing at n=%lld: %lld coalesced, %lld uniform, "
+              "%lld strided, %lld irregular\n",
+              static_cast<long long>(bindings.at("n")),
+              static_cast<long long>(counts.coalesced),
+              static_cast<long long>(counts.uniform),
+              static_cast<long long>(counts.strided),
+              static_cast<long long>(counts.irregular));
+  return 0;
+}
+
+runtime::SelectorConfig selectorConfig(const Config& config) {
+  runtime::SelectorConfig sc;
+  if (config.k80) {
+    sc.cpuParams = cpumodel::CpuModelParams::power8();
+    sc.gpuParams = gpumodel::GpuDeviceParams::teslaK80();
+    sc.mcaModelName = "POWER8";
+  }
+  sc.cpuThreads = config.threads;
+  return sc;
+}
+
+int cmdDecide(const KernelRef& ref, const Config& config) {
+  const std::array<mca::MachineModel, 2> hosts{mca::MachineModel::power9(),
+                                               mca::MachineModel::power8()};
+  const pad::RegionAttributes attr = compiler::analyzeRegion(*ref.region, hosts);
+  const runtime::OffloadSelector selector(selectorConfig(config));
+  const symbolic::Bindings bindings = bindingsFor(ref, config);
+  const runtime::Decision decision = selector.decide(attr, bindings);
+  std::printf("%s\n%s\n", decision.cpu.toString().c_str(),
+              decision.gpu.toString().c_str());
+  std::printf("predicted offloading speedup: %s\n",
+              support::formatSpeedup(decision.predictedSpeedup()).c_str());
+  std::printf("decision: run on %s (decided in %s)\n",
+              runtime::toString(decision.device).c_str(),
+              support::formatSeconds(decision.overheadSeconds).c_str());
+  return 0;
+}
+
+int cmdMeasure(const KernelRef& ref, const Config& config) {
+  const symbolic::Bindings bindings = bindingsFor(ref, config);
+  ir::ArrayStore store = ref.benchmark != nullptr
+                             ? ref.benchmark->allocate(bindings)
+                             : ir::allocateArrays(*ref.region, bindings);
+  if (ref.benchmark != nullptr) {
+    polybench::initializeInputs(*ref.benchmark, bindings, store);
+  } else {
+    // Deterministic non-zero inputs for file kernels.
+    std::size_t salt = 1;
+    for (auto& [name, data] : store) {
+      for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<double>((i * salt + 7) % 512) / 512.0;
+      ++salt;
+    }
+  }
+  const cpusim::CpuSimulator cpuSim(config.k80 ? cpusim::CpuSimParams::power8()
+                                               : cpusim::CpuSimParams::power9(),
+                                    config.threads);
+  const gpusim::GpuSimulator gpuSim(config.k80
+                                        ? gpusim::GpuSimParams::teslaK80()
+                                        : gpusim::GpuSimParams::teslaV100());
+  const auto cpu = cpuSim.simulate(*ref.region, bindings, store);
+  const auto gpu = gpuSim.simulate(*ref.region, bindings, store);
+  std::printf("%s\n%s\n", cpu.toString().c_str(), gpu.toString().c_str());
+  std::printf("true offloading speedup: %s\n",
+              support::formatSpeedup(cpu.seconds / gpu.totalSeconds).c_str());
+  return 0;
+}
+
+int cmdPad(const std::vector<std::string>& names) {
+  const std::array<mca::MachineModel, 2> hosts{mca::MachineModel::power9(),
+                                               mca::MachineModel::power8()};
+  pad::AttributeDatabase db;
+  for (const polybench::Benchmark& benchmark : polybench::suite()) {
+    for (const ir::TargetRegion& kernel : benchmark.kernels()) {
+      const bool wanted =
+          names.size() <= 1 ||
+          std::find(names.begin() + 1, names.end(), kernel.name) != names.end();
+      if (wanted) db.insert(compiler::analyzeRegion(kernel, hosts));
+    }
+  }
+  std::fputs(db.serialize().c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cl = support::CommandLine::parse(argc, argv);
+  const auto& positional = cl.positional();
+  if (positional.empty()) {
+    std::fprintf(stderr,
+                 "usage: oselctl <list|inspect|decide|measure|pad|emit> [kernel] "
+                 "[--n N] [--threads T] [--platform v100|k80]\n");
+    return 2;
+  }
+  Config config;
+  if (const auto file = cl.stringOption("file"); file && !file->empty()) {
+    fileKernels() = frontend::parseKernelFile(*file);
+  }
+  config.n = cl.intOption("n", 0);
+  config.threads = static_cast<int>(cl.intOption("threads", 160));
+  config.k80 = cl.stringOption("platform").value_or("v100") == "k80";
+
+  const std::string& command = positional[0];
+  if (command == "list") return cmdList();
+  if (command == "pad") return cmdPad(positional);
+
+  if (positional.size() < 2) {
+    std::fprintf(stderr, "oselctl %s: missing kernel name (try `oselctl list`)\n",
+                 command.c_str());
+    return 2;
+  }
+  const KernelRef ref = findKernel(positional[1]);
+  if (ref.region == nullptr) {
+    std::fprintf(stderr, "oselctl: unknown kernel %s (try `oselctl list`)\n",
+                 positional[1].c_str());
+    return 2;
+  }
+  if (command == "emit") {
+    std::fputs(frontend::printKernel(*ref.region).c_str(), stdout);
+    return 0;
+  }
+  if (command == "inspect") return cmdInspect(ref, config);
+  if (command == "decide") return cmdDecide(ref, config);
+  if (command == "measure") return cmdMeasure(ref, config);
+  std::fprintf(stderr, "oselctl: unknown command %s\n", command.c_str());
+  return 2;
+}
