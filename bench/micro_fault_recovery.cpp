@@ -1,0 +1,97 @@
+// Micro-benchmarks for the fault-tolerant launch path: what does the
+// LaunchGuard cost when nothing goes wrong (the common case must stay
+// negligible next to the decision overhead itself), and how expensive are
+// the recovery paths — transient retry, fatal CPU fallback, and a launch
+// refused by the open circuit breaker.
+#include <benchmark/benchmark.h>
+
+#include "runtime/launch_guard.h"
+#include "support/check.h"
+#include "support/faultinject.h"
+
+namespace {
+
+using namespace osel;
+using runtime::Device;
+using runtime::DeviceHealthTracker;
+using runtime::GuardedExecution;
+using runtime::HealthPolicy;
+using runtime::LaunchGuard;
+using runtime::RetryPolicy;
+
+void BM_GuardHealthyLaunch(benchmark::State& state) {
+  const LaunchGuard guard;
+  for (auto _ : state) {
+    GuardedExecution out = guard.execute(Device::Gpu, [](Device) { return 1.0; });
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_GuardHealthyLaunch);
+
+void BM_GuardTransientRetry(benchmark::State& state) {
+  // Two transient hiccups, success on the third attempt.
+  const LaunchGuard guard;
+  for (auto _ : state) {
+    int calls = 0;
+    GuardedExecution out = guard.execute(Device::Gpu, [&](Device) {
+      if (++calls < 3) throw support::TransientLaunchError("GPU", "hiccup");
+      return 1.0;
+    });
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_GuardTransientRetry);
+
+void BM_GuardFatalFallback(benchmark::State& state) {
+  // Device-memory exhaustion on the GPU, immediate CPU fallback.
+  const LaunchGuard guard;
+  for (auto _ : state) {
+    GuardedExecution out = guard.execute(Device::Gpu, [](Device device) {
+      if (device == Device::Gpu)
+        throw support::DeviceMemoryError("GPU", "out of device memory");
+      return 1.0;
+    });
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_GuardFatalFallback);
+
+void BM_BreakerAdmitWhileOpen(benchmark::State& state) {
+  // Cost of the admission check against a (mostly) open breaker.
+  HealthPolicy policy;
+  policy.quarantineThreshold = 1;
+  policy.quarantineLaunches = 1 << 30;
+  DeviceHealthTracker health(policy);
+  health.recordGpuFatal();  // open it
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(health.admitGpu());
+  }
+}
+BENCHMARK(BM_BreakerAdmitWhileOpen);
+
+void BM_FaultPointDisarmed(benchmark::State& state) {
+  // The fast path every simulator launch pays when no fault is armed:
+  // must stay a single atomic load.
+  support::faultInjector().disarmAll();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        support::faultInjector().hit(support::faultpoints::kGpuLaunch, "GPU"));
+  }
+}
+BENCHMARK(BM_FaultPointDisarmed);
+
+void BM_FaultPointArmedMiss(benchmark::State& state) {
+  // Armed but probability 0: pays the map lookup + RNG draw, never throws.
+  support::faultInjector().arm(
+      "bench.miss", {.kind = support::FaultKind::TransientLaunch,
+                     .probability = 0.0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(support::faultInjector().hit("bench.miss", "GPU"));
+  }
+  support::faultInjector().disarm("bench.miss");
+}
+BENCHMARK(BM_FaultPointArmedMiss);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -10,12 +10,28 @@
 #include "compiler/compiler.h"
 #include "runtime/target_runtime.h"
 #include "support/cli.h"
+#include "support/faultinject.h"
 
 int main(int argc, char** argv) {
   using namespace osel;
   const auto cl = support::CommandLine::parse(argc, argv);
   const auto scale = cl.intOption("scale", 4);
   const auto threads = static_cast<int>(cl.intOption("threads", 160));
+  // --gpu-fault-rate R injects transient GPU launch failures with
+  // probability R, exercising the retry/fallback columns of the log.
+  const double gpuFaultRate = cl.doubleOption("gpu-fault-rate", 0.0);
+  if (gpuFaultRate < 0.0 || gpuFaultRate > 1.0) {
+    std::fprintf(stderr, "suite_launch_log: --gpu-fault-rate must be in [0, 1], got %g\n",
+                 gpuFaultRate);
+    return 2;
+  }
+  if (gpuFaultRate > 0.0) {
+    support::faultInjector().arm(
+        support::faultpoints::kGpuLaunch,
+        {.kind = support::FaultKind::TransientLaunch,
+         .probability = gpuFaultRate,
+         .seed = static_cast<std::uint64_t>(cl.intOption("fault-seed", 2019))});
+  }
   const std::string policyName =
       cl.stringOption("policy").value_or("model-guided");
   runtime::Policy policy = runtime::Policy::ModelGuided;

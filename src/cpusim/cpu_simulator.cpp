@@ -9,6 +9,7 @@
 #include "ir/traversal.h"
 #include "support/cache_sim.h"
 #include "support/check.h"
+#include "support/faultinject.h"
 #include "support/format.h"
 
 namespace osel::cpusim {
@@ -293,6 +294,10 @@ CpuSimResult CpuSimulator::simulate(const ir::TargetRegion& region,
                                     const symbolic::Bindings& bindings,
                                     ir::ArrayStore& store,
                                     Schedule schedule) const {
+  // Launch-entry fault point (see support/faultinject.h); the host path can
+  // also hiccup, though the runtime treats it as the fallback of last resort.
+  const double injectedLaunchSeconds =
+      support::faultInjector().hit(support::faultpoints::kCpuLaunch, "CPU");
   const ir::CompiledRegion compiled(region, bindings);
   const std::int64_t trips = compiled.flatTripCount();
 
@@ -477,7 +482,8 @@ CpuSimResult CpuSimulator::simulate(const ir::TargetRegion& region,
 
   const double workCycles = std::max(maxThreadCycles, result.bandwidthCycles);
   result.totalCycles = result.overheadCycles + workCycles;
-  result.seconds = result.totalCycles / params_.frequencyHz;
+  result.seconds =
+      result.totalCycles / params_.frequencyHz + injectedLaunchSeconds;
 
   if (result.bandwidthCycles >= maxThreadCycles) {
     result.bound = CpuBound::MemoryBandwidth;

@@ -11,6 +11,7 @@
 #include "ir/cost_walk.h"
 #include "support/cache_sim.h"
 #include "support/check.h"
+#include "support/faultinject.h"
 #include "support/format.h"
 
 namespace osel::gpusim {
@@ -239,6 +240,10 @@ GpuSimulator::GpuSimulator(GpuSimParams params) : params_(std::move(params)) {
 GpuSimResult GpuSimulator::simulate(const ir::TargetRegion& region,
                                     const symbolic::Bindings& bindings,
                                     ir::ArrayStore& store) const {
+  // Launch-entry fault point: armed tests/benches inject device failures or
+  // extra launch latency here; disarmed cost is one relaxed atomic load.
+  const double injectedLaunchSeconds =
+      support::faultInjector().hit(support::faultpoints::kGpuLaunch, "GPU");
   const gpumodel::GpuDeviceParams& device = params_.device;
   const ir::CompiledRegion compiled(region, bindings);
   const std::int64_t trips = compiled.flatTripCount();
@@ -482,7 +487,7 @@ GpuSimResult GpuSimulator::simulate(const ir::TargetRegion& region,
   };
   result.transferSeconds = dmaSeconds(region.bytesToDevice(bindings)) +
                            dmaSeconds(region.bytesFromDevice(bindings));
-  result.launchSeconds = device.kernelLaunchOverheadSec;
+  result.launchSeconds = device.kernelLaunchOverheadSec + injectedLaunchSeconds;
   result.totalSeconds =
       result.kernelSeconds + result.transferSeconds + result.launchSeconds;
   return result;

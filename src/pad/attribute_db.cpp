@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <iomanip>
 #include <sstream>
 
@@ -11,6 +12,41 @@
 namespace osel::pad {
 
 using support::require;
+
+namespace {
+
+std::string lookupMessage(const std::string& regionName,
+                          const std::string& suggestion) {
+  std::string message =
+      "AttributeDatabase: no attributes for region " + regionName;
+  if (!suggestion.empty()) message += "; did you mean '" + suggestion + "'?";
+  return message;
+}
+
+/// Plain Levenshtein distance; the candidate sets here are a few dozen
+/// region names, so the quadratic table is irrelevant.
+std::size_t editDistance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> previous(b.size() + 1);
+  std::vector<std::size_t> current(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) previous[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    current[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t substitute =
+          previous[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      current[j] = std::min({previous[j] + 1, current[j - 1] + 1, substitute});
+    }
+    std::swap(previous, current);
+  }
+  return previous[b.size()];
+}
+
+}  // namespace
+
+PadLookupError::PadLookupError(std::string regionName, std::string suggestion)
+    : support::PreconditionError(lookupMessage(regionName, suggestion)),
+      regionName_(std::move(regionName)),
+      suggestion_(std::move(suggestion)) {}
 
 std::string serializeExpr(const symbolic::Expr& expr) {
   if (expr.terms().empty()) return "0:_";
@@ -73,9 +109,27 @@ const RegionAttributes* AttributeDatabase::find(const std::string& regionName) c
 
 const RegionAttributes& AttributeDatabase::at(const std::string& regionName) const {
   const RegionAttributes* entry = find(regionName);
-  require(entry != nullptr,
-          "AttributeDatabase: no attributes for region " + regionName);
+  if (entry == nullptr) {
+    throw PadLookupError(regionName, nearestRegionName(regionName));
+  }
   return *entry;
+}
+
+std::string AttributeDatabase::nearestRegionName(
+    const std::string& regionName) const {
+  std::string best;
+  std::size_t bestDistance = std::numeric_limits<std::size_t>::max();
+  for (const auto& [name, attr] : entries_) {
+    const std::size_t distance = editDistance(regionName, name);
+    if (distance < bestDistance) {
+      bestDistance = distance;
+      best = name;
+    }
+  }
+  // Suggest only plausible typos: within half the queried name's length
+  // (and never a rewrite of a very short name into something unrelated).
+  const std::size_t threshold = std::max<std::size_t>(2, regionName.size() / 2);
+  return bestDistance <= threshold ? best : std::string();
 }
 
 namespace {

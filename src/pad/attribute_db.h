@@ -17,9 +17,31 @@
 #include <string>
 #include <vector>
 
+#include "support/check.h"
 #include "symbolic/expr.h"
 
 namespace osel::pad {
+
+/// Thrown by AttributeDatabase::at for an unknown region. Carries the
+/// region name and, when one is plausibly close (edit distance), the
+/// nearest known region name — a missing PAD entry is usually a typo or a
+/// stale database, and the suggestion makes the diagnostic actionable.
+class PadLookupError final : public support::PreconditionError {
+ public:
+  PadLookupError(std::string regionName, std::string suggestion);
+
+  [[nodiscard]] const std::string& regionName() const noexcept {
+    return regionName_;
+  }
+  /// Nearest known region name; empty when nothing is close.
+  [[nodiscard]] const std::string& suggestion() const noexcept {
+    return suggestion_;
+  }
+
+ private:
+  std::string regionName_;
+  std::string suggestion_;
+};
 
 /// One memory access site's symbolic stride record, as stored by the
 /// compiler after IPDA (paper §IV.C).
@@ -80,8 +102,13 @@ class AttributeDatabase {
   /// Looks up a region; nullptr when absent.
   [[nodiscard]] const RegionAttributes* find(const std::string& regionName) const;
 
-  /// Looks up a region; throws support::PreconditionError when absent.
+  /// Looks up a region; throws PadLookupError (a PreconditionError) with
+  /// the region name and a nearest-name suggestion when absent.
   [[nodiscard]] const RegionAttributes& at(const std::string& regionName) const;
+
+  /// Known region name closest to `regionName` by edit distance, when the
+  /// distance is small enough to suggest a typo; empty otherwise.
+  [[nodiscard]] std::string nearestRegionName(const std::string& regionName) const;
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 

@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "support/check.h"
+#include "support/faultinject.h"
 
 namespace osel::runtime {
 
@@ -69,15 +70,49 @@ gpumodel::GpuWorkload OffloadSelector::gpuWorkload(
   return workload;
 }
 
+namespace {
+
+/// A predicted time the selector may compare: finite and strictly positive
+/// (every model includes constant launch/fork overheads, so a zero or
+/// negative estimate is degenerate, not a fast kernel).
+bool usablePrediction(double seconds) {
+  return std::isfinite(seconds) && seconds > 0.0;
+}
+
+}  // namespace
+
 Decision OffloadSelector::decide(const pad::RegionAttributes& attr,
                                  const symbolic::Bindings& bindings) const {
   const auto start = std::chrono::steady_clock::now();
   Decision decision;
-  decision.cpu = cpuModel_.predict(cpuWorkload(attr, bindings));
-  decision.gpu = gpuModel_.predict(gpuWorkload(attr, bindings));
-  decision.device = decision.gpu.totalSeconds < decision.cpu.seconds
-                        ? Device::Gpu
-                        : Device::Cpu;
+  try {
+    (void)support::faultInjector().hit(support::faultpoints::kSelectorDecide,
+                                       "selector");
+    decision.cpu = cpuModel_.predict(cpuWorkload(attr, bindings));
+    decision.gpu = gpuModel_.predict(gpuWorkload(attr, bindings));
+    const bool cpuOk = usablePrediction(decision.cpu.seconds);
+    const bool gpuOk = usablePrediction(decision.gpu.totalSeconds);
+    if (cpuOk && gpuOk) {
+      decision.device = decision.gpu.totalSeconds < decision.cpu.seconds
+                            ? Device::Gpu
+                            : Device::Cpu;
+    } else if (cpuOk) {
+      // Only the always-available host path predicted sanely: run there.
+      decision.device = Device::Cpu;
+      decision.valid = false;
+      decision.diagnostic = "degenerate GPU prediction for " + attr.regionName;
+    } else {
+      decision.device = config_.safeDefaultDevice;
+      decision.valid = false;
+      decision.diagnostic = gpuOk ? "degenerate CPU prediction for "
+                                  : "degenerate CPU and GPU predictions for ";
+      decision.diagnostic += attr.regionName;
+    }
+  } catch (const std::exception& error) {
+    decision.device = config_.safeDefaultDevice;
+    decision.valid = false;
+    decision.diagnostic = error.what();
+  }
   const auto end = std::chrono::steady_clock::now();
   decision.overheadSeconds =
       std::chrono::duration<double>(end - start).count();

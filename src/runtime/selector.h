@@ -9,6 +9,8 @@
 // checked (bench/micro_decision_overhead).
 #pragma once
 
+#include <cmath>
+#include <limits>
 #include <string>
 
 #include "cpumodel/cpu_model.h"
@@ -29,19 +31,36 @@ struct SelectorConfig {
   gpumodel::GpuDeviceParams gpuParams = gpumodel::GpuDeviceParams::teslaV100();
   /// Which MCA host-model entry of the PAD supplies Machine_cycles_per_iter.
   std::string mcaModelName = "POWER9";
+  /// Device a degraded decision resolves to when the models cannot be
+  /// trusted (missing PAD attributes, non-finite predictions, evaluation
+  /// exceptions). The CPU is the OpenMP host-fallback contract's
+  /// always-available path, so it is the default.
+  Device safeDefaultDevice = Device::Cpu;
 };
 
 /// The outcome of one selection.
 struct Decision {
   Device device = Device::Cpu;
+  /// False when the models could not produce a trustworthy comparison
+  /// (missing PAD attributes, NaN/non-finite/non-positive predicted times,
+  /// model-evaluation exception); `device` then holds the configured safe
+  /// default and `diagnostic` says why.
+  bool valid = true;
+  std::string diagnostic;
   cpumodel::CpuPrediction cpu;
   gpumodel::GpuPrediction gpu;
   /// Wall time spent evaluating both models and comparing.
   double overheadSeconds = 0.0;
 
-  /// Predicted GPU-offloading speedup (cpu time / gpu time).
+  /// Predicted GPU-offloading speedup (cpu time / gpu time). NaN when the
+  /// predictions are not comparable (non-finite or non-positive GPU time) —
+  /// callers must not treat a degraded prediction as "speedup 0".
   [[nodiscard]] double predictedSpeedup() const {
-    return gpu.totalSeconds > 0.0 ? cpu.seconds / gpu.totalSeconds : 0.0;
+    if (!std::isfinite(cpu.seconds) || !std::isfinite(gpu.totalSeconds) ||
+        gpu.totalSeconds <= 0.0) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    return cpu.seconds / gpu.totalSeconds;
   }
 };
 
@@ -60,7 +79,11 @@ class OffloadSelector {
   [[nodiscard]] gpumodel::GpuWorkload gpuWorkload(
       const pad::RegionAttributes& attr, const symbolic::Bindings& bindings) const;
 
-  /// Evaluates both models and picks the faster device.
+  /// Evaluates both models and picks the faster device. Guardrailed: model
+  /// or workload-construction failures and degenerate (NaN/non-finite/
+  /// non-positive) predictions never escape — the decision degrades to the
+  /// configured safe default device with `valid == false` and a diagnostic,
+  /// so ModelGuided launches behave like AlwaysCpu instead of crashing.
   [[nodiscard]] Decision decide(const pad::RegionAttributes& attr,
                                 const symbolic::Bindings& bindings) const;
 

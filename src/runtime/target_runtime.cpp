@@ -1,9 +1,11 @@
 #include "runtime/target_runtime.h"
 
+#include <algorithm>
 #include <iomanip>
 #include <sstream>
 
 #include "support/check.h"
+#include "support/faultinject.h"
 
 namespace osel::runtime {
 
@@ -26,11 +28,13 @@ std::string toString(Policy policy) {
 TargetRuntime::TargetRuntime(pad::AttributeDatabase database,
                              SelectorConfig selectorConfig,
                              cpusim::CpuSimParams cpuSim, int cpuThreads,
-                             gpusim::GpuSimParams gpuSim)
+                             gpusim::GpuSimParams gpuSim, RuntimeOptions options)
     : database_(std::move(database)),
       selector_(std::move(selectorConfig)),
       cpuSim_(std::move(cpuSim), cpuThreads),
-      gpuSim_(std::move(gpuSim)) {}
+      gpuSim_(std::move(gpuSim)),
+      guard_(options.retry),
+      health_(options.health) {}
 
 void TargetRuntime::registerRegion(ir::TargetRegion region) {
   region.verify();
@@ -54,6 +58,42 @@ double TargetRuntime::measure(const std::string& regionName,
   return gpuSim_.simulate(it->second, bindings, store).totalSeconds;
 }
 
+Decision TargetRuntime::guardedDecision(const std::string& regionName,
+                                        const symbolic::Bindings& bindings) const {
+  const pad::RegionAttributes* attr = database_.find(regionName);
+  if (attr == nullptr) {
+    // Missing/corrupt PAD entry: ModelGuided must degrade, not crash.
+    Decision decision;
+    decision.valid = false;
+    decision.device = selector_.config().safeDefaultDevice;
+    decision.diagnostic =
+        pad::PadLookupError(regionName, database_.nearestRegionName(regionName))
+            .what();
+    return decision;
+  }
+  return selector_.decide(*attr, bindings);
+}
+
+void TargetRuntime::recordExecution(LaunchRecord& record,
+                                    const GuardedExecution& execution) {
+  record.attemptLog.insert(record.attemptLog.end(), execution.attempts.begin(),
+                           execution.attempts.end());
+  record.attempts = static_cast<int>(record.attemptLog.size());
+  record.backoffSeconds += execution.totalBackoffSeconds;
+  if (record.fallbackReason == FallbackReason::None) {
+    record.fallbackReason = execution.fallback;
+    record.fallbackDetail = execution.fallbackDetail;
+  }
+  // Feed the circuit breaker: a fatal GPU outcome advances the streak, a
+  // GPU success clears it; transient exhaustion leaves it unchanged (the
+  // device neither failed hard nor proved healthy).
+  if (execution.gpuFatal) {
+    health_.recordGpuFatal();
+  } else if (execution.succeeded && execution.executed == Device::Gpu) {
+    health_.recordGpuSuccess();
+  }
+}
+
 LaunchRecord TargetRuntime::launch(const std::string& regionName,
                                    const symbolic::Bindings& bindings,
                                    ir::ArrayStore& store, Policy policy) {
@@ -62,35 +102,95 @@ LaunchRecord TargetRuntime::launch(const std::string& regionName,
   LaunchRecord record;
   record.regionName = regionName;
   record.policy = policy;
-  record.decision = selector_.decide(database_.at(regionName), bindings);
+  record.decision = guardedDecision(regionName, bindings);
+  record.gpuQuarantined = health_.quarantined();
 
-  switch (policy) {
-    case Policy::AlwaysCpu:
-      record.chosen = Device::Cpu;
-      break;
-    case Policy::AlwaysGpu:
-      record.chosen = Device::Gpu;
-      break;
-    case Policy::ModelGuided:
-      record.chosen = record.decision.device;
-      break;
-    case Policy::Oracle: {
-      record.actualCpuSeconds = measure(regionName, bindings, store, Device::Cpu);
+  const auto measureOn = [&](Device device) {
+    return measure(regionName, bindings, store, device);
+  };
+
+  if (policy == Policy::Oracle) {
+    record.preferred = Device::Gpu;
+    const GuardedExecution cpuExec =
+        guard_.execute(Device::Cpu, measureOn, /*allowFallback=*/false);
+    recordExecution(record, cpuExec);
+    if (cpuExec.succeeded) {
+      record.actualCpuSeconds = cpuExec.seconds;
       record.cpuMeasured = true;
-      record.actualGpuSeconds = measure(regionName, bindings, store, Device::Gpu);
-      record.gpuMeasured = true;
+    }
+    if (health_.admitGpu()) {
+      const GuardedExecution gpuExec =
+          guard_.execute(Device::Gpu, measureOn, /*allowFallback=*/false);
+      recordExecution(record, gpuExec);
+      if (gpuExec.succeeded) {
+        record.actualGpuSeconds = gpuExec.seconds;
+        record.gpuMeasured = true;
+      }
+    } else if (record.fallbackReason == FallbackReason::None) {
+      record.fallbackReason = FallbackReason::Quarantined;
+      record.fallbackDetail = "GPU quarantined by circuit breaker";
+    }
+    if (record.cpuMeasured && record.gpuMeasured) {
       record.chosen = record.actualGpuSeconds < record.actualCpuSeconds
                           ? Device::Gpu
                           : Device::Cpu;
       record.actualSeconds = record.chosen == Device::Gpu
                                  ? record.actualGpuSeconds
                                  : record.actualCpuSeconds;
+    } else if (record.cpuMeasured) {
+      record.chosen = Device::Cpu;
+      record.actualSeconds = record.actualCpuSeconds;
+    } else if (record.gpuMeasured) {
+      record.chosen = Device::Gpu;
+      record.actualSeconds = record.actualGpuSeconds;
+    } else {
       log_.push_back(record);
-      return record;
+      throw support::DeviceError(
+          "CPU", "oracle launch of " + regionName +
+                     " failed on every device: " + record.fallbackDetail);
     }
+    log_.push_back(record);
+    return record;
   }
 
-  record.actualSeconds = measure(regionName, bindings, store, record.chosen);
+  Device preferred = Device::Cpu;
+  switch (policy) {
+    case Policy::AlwaysCpu:
+      preferred = Device::Cpu;
+      break;
+    case Policy::AlwaysGpu:
+      preferred = Device::Gpu;
+      break;
+    case Policy::ModelGuided:
+      preferred = record.decision.device;
+      if (!record.decision.valid) {
+        record.fallbackReason = FallbackReason::InvalidDecision;
+        record.fallbackDetail = record.decision.diagnostic;
+      }
+      break;
+    case Policy::Oracle:
+      break;  // handled above
+  }
+  record.preferred = preferred;
+
+  if (preferred == Device::Gpu && !health_.admitGpu()) {
+    preferred = Device::Cpu;
+    record.fallbackReason = FallbackReason::Quarantined;
+    record.fallbackDetail = "GPU quarantined by circuit breaker";
+  }
+
+  const GuardedExecution execution =
+      guard_.execute(preferred, measureOn, /*allowFallback=*/true);
+  recordExecution(record, execution);
+  if (!execution.succeeded) {
+    log_.push_back(record);
+    throw support::DeviceError(
+        "CPU", "launch of " + regionName +
+                   " failed on every available path: " + record.fallbackDetail);
+  }
+
+  record.chosen = execution.executed;
+  record.actualSeconds = execution.seconds;
   if (record.chosen == Device::Cpu) {
     record.actualCpuSeconds = record.actualSeconds;
     record.cpuMeasured = true;
@@ -106,7 +206,8 @@ std::string renderLogCsv(std::span<const LaunchRecord> log) {
   std::ostringstream out;
   out << std::setprecision(9);
   out << "region,policy,chosen,predicted_cpu_s,predicted_gpu_s,actual_s,"
-         "actual_cpu_s,actual_gpu_s,decision_overhead_s\n";
+         "actual_cpu_s,actual_gpu_s,decision_overhead_s,decision_valid,"
+         "attempts,fallback,backoff_s,quarantined\n";
   for (const LaunchRecord& record : log) {
     out << record.regionName << ',' << toString(record.policy) << ','
         << toString(record.chosen) << ',' << record.decision.cpu.seconds << ','
@@ -115,7 +216,10 @@ std::string renderLogCsv(std::span<const LaunchRecord> log) {
     if (record.cpuMeasured) out << record.actualCpuSeconds;
     out << ',';
     if (record.gpuMeasured) out << record.actualGpuSeconds;
-    out << ',' << record.decision.overheadSeconds << '\n';
+    out << ',' << record.decision.overheadSeconds << ','
+        << (record.decision.valid ? 1 : 0) << ',' << record.attempts << ','
+        << toString(record.fallbackReason) << ',' << record.backoffSeconds
+        << ',' << (record.gpuQuarantined ? 1 : 0) << '\n';
   }
   return out.str();
 }

@@ -19,6 +19,7 @@
 #include "gpusim/gpu_simulator.h"
 #include "ir/region.h"
 #include "pad/attribute_db.h"
+#include "runtime/launch_guard.h"
 #include "runtime/selector.h"
 
 namespace osel::runtime {
@@ -44,14 +45,37 @@ struct LaunchRecord {
   bool gpuMeasured = false;
   /// Time of the device that actually ran.
   double actualSeconds = 0.0;
+
+  // --- Fault-tolerance telemetry (runtime/launch_guard.h) -----------------
+  /// Device the policy wanted before quarantine/fallback intervened.
+  Device preferred = Device::Gpu;
+  /// True when the GPU circuit breaker was open as this launch arrived.
+  bool gpuQuarantined = false;
+  /// Why the launch degraded; None on the healthy path.
+  FallbackReason fallbackReason = FallbackReason::None;
+  std::string fallbackDetail;
+  /// Total measurement attempts across devices (1 on the healthy path;
+  /// Oracle counts both devices' attempts).
+  int attempts = 1;
+  /// Retry backoff charged to this launch (accounted simulated time).
+  double backoffSeconds = 0.0;
+  /// Per-attempt trace: device, outcome, error class, backoff.
+  std::vector<LaunchAttempt> attemptLog;
 };
 
-/// The runtime: device simulators + PAD + selector + launch log.
+/// Fault-tolerance knobs of the runtime.
+struct RuntimeOptions {
+  RetryPolicy retry;
+  HealthPolicy health;
+};
+
+/// The runtime: device simulators + PAD + selector + launch guard + health
+/// tracker + launch log.
 class TargetRuntime {
  public:
   TargetRuntime(pad::AttributeDatabase database, SelectorConfig selectorConfig,
                 cpusim::CpuSimParams cpuSim, int cpuThreads,
-                gpusim::GpuSimParams gpuSim);
+                gpusim::GpuSimParams gpuSim, RuntimeOptions options = {});
 
   /// Registers the executable version of a region (must verify and must
   /// have a PAD entry for ModelGuided launches).
@@ -66,7 +90,10 @@ class TargetRuntime {
                                ir::ArrayStore& store, Device device) const;
 
   /// Launches under `policy`: selects (if applicable), executes on the
-  /// chosen device, logs, and returns the record.
+  /// chosen device through the launch guard (retry/backoff, CPU fallback,
+  /// circuit breaker), logs, and returns the record. Device failures never
+  /// escape while the CPU fallback path can still run; only a launch whose
+  /// every path failed rethrows (as support::DeviceError), after logging.
   LaunchRecord launch(const std::string& regionName,
                       const symbolic::Bindings& bindings, ir::ArrayStore& store,
                       Policy policy);
@@ -78,12 +105,24 @@ class TargetRuntime {
     return database_;
   }
   [[nodiscard]] const OffloadSelector& selector() const { return selector_; }
+  [[nodiscard]] const LaunchGuard& guard() const { return guard_; }
+  /// GPU circuit-breaker state (quarantine countdown, fatal streak).
+  [[nodiscard]] const DeviceHealthTracker& gpuHealth() const { return health_; }
 
  private:
+  /// Selector evaluation that never throws: a region missing from the PAD
+  /// degrades to an invalid decision on the safe default device.
+  [[nodiscard]] Decision guardedDecision(const std::string& regionName,
+                                         const symbolic::Bindings& bindings) const;
+  /// Folds a guarded execution into `record` and the health tracker.
+  void recordExecution(LaunchRecord& record, const GuardedExecution& execution);
+
   pad::AttributeDatabase database_;
   OffloadSelector selector_;
   cpusim::CpuSimulator cpuSim_;
   gpusim::GpuSimulator gpuSim_;
+  LaunchGuard guard_;
+  DeviceHealthTracker health_;
   std::map<std::string, ir::TargetRegion> regions_;
   std::vector<LaunchRecord> log_;
 };
@@ -91,7 +130,8 @@ class TargetRuntime {
 /// Renders launch records as CSV (header + one row per launch) — the
 /// OMPT-flavoured observability hook §V.A gestures at: region, policy,
 /// chosen device, predicted CPU/GPU seconds, measured seconds, decision
-/// overhead.
+/// overhead, plus the fault-tolerance columns (attempts, fallback reason,
+/// accounted backoff, quarantine state).
 [[nodiscard]] std::string renderLogCsv(std::span<const LaunchRecord> log);
 
 }  // namespace osel::runtime

@@ -12,7 +12,9 @@
 namespace osel::support {
 
 /// Thrown when a caller violates a documented precondition of a public API.
-class PreconditionError final : public std::logic_error {
+/// Subclassable so modules can raise typed, data-carrying variants (e.g.
+/// pad::PadLookupError) that existing catch sites still handle.
+class PreconditionError : public std::logic_error {
  public:
   using std::logic_error::logic_error;
 };

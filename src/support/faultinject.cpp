@@ -1,0 +1,107 @@
+#include "support/faultinject.h"
+
+#include "support/check.h"
+
+namespace osel::support {
+
+std::string toString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::TransientLaunch:
+      return "transient-launch";
+    case FaultKind::DeviceMemory:
+      return "device-memory";
+    case FaultKind::DeviceLost:
+      return "device-lost";
+    case FaultKind::Latency:
+      return "latency";
+  }
+  return "?";
+}
+
+void FaultInjector::arm(const std::string& point, FaultSpec spec) {
+  require(!point.empty(), "FaultInjector::arm: empty point name");
+  require(spec.probability >= 0.0 && spec.probability <= 1.0,
+          "FaultInjector::arm: probability must be in [0, 1]");
+  require(spec.maxFires >= 0, "FaultInjector::arm: maxFires must be >= 0");
+  require(spec.latencySeconds >= 0.0,
+          "FaultInjector::arm: latencySeconds must be >= 0");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = armed_.try_emplace(point);
+  it->second.spec = spec;
+  it->second.rng = SplitMix64(spec.seed);
+  it->second.stats = FaultStats{};
+  if (inserted) armedCount_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm(const std::string& point) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = armed_.find(point);
+  if (it == armed_.end()) return;
+  // Preserve the counters so tests can assert after the scope closes.
+  retired_[point] = it->second.stats;
+  armed_.erase(it);
+  armedCount_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::disarmAll() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, state] : armed_) retired_[name] = state.stats;
+  armed_.clear();
+  armedCount_.store(0, std::memory_order_relaxed);
+}
+
+bool FaultInjector::armed(const std::string& point) const {
+  if (armedCount_.load(std::memory_order_relaxed) == 0) return false;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return armed_.contains(point);
+}
+
+FaultStats FaultInjector::stats(const std::string& point) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = armed_.find(point);
+  if (it != armed_.end()) return it->second.stats;
+  const auto retiredIt = retired_.find(point);
+  return retiredIt == retired_.end() ? FaultStats{} : retiredIt->second;
+}
+
+double FaultInjector::hit(const std::string& point, const std::string& device) {
+  // Fast path: nothing armed anywhere — one relaxed load, no lock.
+  if (armedCount_.load(std::memory_order_relaxed) == 0) return 0.0;
+
+  FaultSpec firing;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = armed_.find(point);
+    if (it == armed_.end()) return 0.0;
+    ArmedPoint& state = it->second;
+    state.stats.hits += 1;
+    if (state.spec.maxFires != 0 &&
+        state.stats.fires >= static_cast<std::uint64_t>(state.spec.maxFires)) {
+      return 0.0;
+    }
+    if (state.rng.nextDouble() >= state.spec.probability) return 0.0;
+    state.stats.fires += 1;
+    firing = state.spec;
+  }
+
+  const std::string detail =
+      "injected " + toString(firing.kind) + " fault at " + point;
+  switch (firing.kind) {
+    case FaultKind::TransientLaunch:
+      throw TransientLaunchError(device, detail);
+    case FaultKind::DeviceMemory:
+      throw DeviceMemoryError(device, detail);
+    case FaultKind::DeviceLost:
+      throw DeviceLostError(device, detail);
+    case FaultKind::Latency:
+      return firing.latencySeconds;
+  }
+  return 0.0;
+}
+
+FaultInjector& faultInjector() {
+  static FaultInjector instance;
+  return instance;
+}
+
+}  // namespace osel::support

@@ -1,0 +1,159 @@
+// osel/support/faultinject.h — deterministic fault injection for the launch
+// pipeline.
+//
+// Production offloading runtimes must survive device launches that fail
+// (transient driver errors, device-memory exhaustion, a lost device) — the
+// host CPU path is the always-available fallback (paper §IV.D production
+// framing). This framework lets tests and benches *arm* named fault points
+// inside the device simulators so that failure handling (retry/backoff,
+// CPU fallback, circuit breaking — see runtime/launch_guard.h) can be
+// exercised deterministically: every armed point draws from its own seeded
+// SplitMix64 stream, so a given (seed, probability, hit sequence) fires the
+// same faults on every run.
+//
+// Disarmed cost is one relaxed atomic load per fault point — the framework
+// is compiled in unconditionally and is safe to leave in hot paths.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+#include "support/rng.h"
+
+namespace osel::support {
+
+// --- Error taxonomy ---------------------------------------------------------
+
+/// Base class for launch-time device failures. Carries which device-side
+/// path raised it ("GPU"/"CPU"); the launch guard classifies subclasses as
+/// transient (retryable) or fatal (fall back immediately).
+class DeviceError : public std::runtime_error {
+ public:
+  DeviceError(std::string device, const std::string& message)
+      : std::runtime_error(device + ": " + message),
+        device_(std::move(device)) {}
+
+  [[nodiscard]] const std::string& device() const noexcept { return device_; }
+
+ private:
+  std::string device_;
+};
+
+/// A launch attempt failed for a reason expected to clear on retry
+/// (scheduler hiccup, momentary resource contention).
+class TransientLaunchError final : public DeviceError {
+ public:
+  using DeviceError::DeviceError;
+};
+
+/// The device could not satisfy the launch's memory demand; retrying the
+/// same launch cannot succeed.
+class DeviceMemoryError final : public DeviceError {
+ public:
+  using DeviceError::DeviceError;
+};
+
+/// The device fell off the bus / stopped responding; fatal for this launch
+/// and grounds for quarantining the device (runtime circuit breaker).
+class DeviceLostError final : public DeviceError {
+ public:
+  using DeviceError::DeviceError;
+};
+
+// --- Fault points ------------------------------------------------------------
+
+/// What an armed fault point does when it fires.
+enum class FaultKind {
+  TransientLaunch,  ///< throw TransientLaunchError
+  DeviceMemory,     ///< throw DeviceMemoryError
+  DeviceLost,       ///< throw DeviceLostError
+  Latency,          ///< inject extra simulated latency, no exception
+};
+
+[[nodiscard]] std::string toString(FaultKind kind);
+
+/// Configuration of one armed fault point.
+struct FaultSpec {
+  FaultKind kind = FaultKind::TransientLaunch;
+  /// Chance each hit fires, drawn from the point's seeded stream.
+  double probability = 1.0;
+  /// Stop firing after this many fires; 0 = unlimited.
+  int maxFires = 0;
+  /// Extra simulated seconds returned on fire when kind == Latency.
+  double latencySeconds = 0.0;
+  /// Seed of the point's private SplitMix64 stream.
+  std::uint64_t seed = 0x5EEDFA17ULL;
+};
+
+/// Hit/fire counters of one fault point (counted only while armed).
+struct FaultStats {
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+};
+
+/// Well-known fault point names wired into the pipeline.
+namespace faultpoints {
+/// Entry of gpusim::GpuSimulator::simulate.
+inline constexpr const char* kGpuLaunch = "gpu.launch";
+/// Entry of cpusim::CpuSimulator::simulate.
+inline constexpr const char* kCpuLaunch = "cpu.launch";
+/// Inside runtime::OffloadSelector::decide (model-evaluation failure).
+inline constexpr const char* kSelectorDecide = "selector.decide";
+}  // namespace faultpoints
+
+/// The registry of named fault points. Thread-safe; a process-global
+/// instance is reachable via faultInjector().
+class FaultInjector {
+ public:
+  /// Arms (or re-arms, resetting counters and the random stream) a point.
+  void arm(const std::string& point, FaultSpec spec);
+  void disarm(const std::string& point);
+  void disarmAll();
+
+  [[nodiscard]] bool armed(const std::string& point) const;
+  /// Counters for `point`; zeros when it was never armed.
+  [[nodiscard]] FaultStats stats(const std::string& point) const;
+
+  /// Instrumentation call placed at a fault point. Returns extra simulated
+  /// latency in seconds (0 unless an armed Latency fault fires); throws the
+  /// armed DeviceError subclass when a throwing fault fires. `device` names
+  /// the path for the error message ("GPU"/"CPU").
+  double hit(const std::string& point, const std::string& device);
+
+ private:
+  struct ArmedPoint {
+    FaultSpec spec;
+    SplitMix64 rng{0};
+    FaultStats stats;
+  };
+
+  mutable std::mutex mutex_;
+  std::atomic<int> armedCount_{0};
+  // Disarmed points are kept (spec ignored) so stats survive a disarm.
+  std::map<std::string, ArmedPoint> armed_;
+  std::map<std::string, FaultStats> retired_;
+};
+
+/// The process-global injector every instrumented fault point consults.
+[[nodiscard]] FaultInjector& faultInjector();
+
+/// RAII arming for tests/benches: arms on construction, disarms on scope
+/// exit.
+class ScopedFault {
+ public:
+  ScopedFault(std::string point, FaultSpec spec) : point_(std::move(point)) {
+    faultInjector().arm(point_, spec);
+  }
+  ~ScopedFault() { faultInjector().disarm(point_); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+ private:
+  std::string point_;
+};
+
+}  // namespace osel::support

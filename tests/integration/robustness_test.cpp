@@ -1,15 +1,22 @@
 // Failure-injection / extreme-parameter robustness: the simulators and
 // models must stay finite, positive, and exception-clean under degenerate
 // but legal configurations (production runtimes cannot crash on odd
-// machines, §I).
+// machines, §I) — and the launch pipeline must survive injected device
+// faults by retrying and falling back to the host path (§IV.D production
+// framing; see docs/ROBUSTNESS.md).
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
 
+#include "compiler/compiler.h"
 #include "cpusim/cpu_simulator.h"
 #include "gpusim/gpu_simulator.h"
 #include "ir/builder.h"
+#include "polybench/polybench.h"
+#include "runtime/target_runtime.h"
 #include "support/check.h"
+#include "support/faultinject.h"
 
 namespace osel {
 namespace {
@@ -103,6 +110,218 @@ TEST(Robustness, SingleIterationRegionEverywhere) {
   EXPECT_GT(gpu.totalSeconds, 0.0);
   EXPECT_GT(cpu.seconds, 0.0);
   EXPECT_EQ(gpu.blocks, 1);
+}
+
+// --- Launch-pipeline fault scenarios ----------------------------------------
+
+using support::FaultKind;
+using support::FaultSpec;
+using support::faultInjector;
+using support::faultpoints::kGpuLaunch;
+using support::faultpoints::kSelectorDecide;
+
+/// Builds a runtime over `smallKernel` with tight fault-tolerance knobs so
+/// scenarios stay short. `registerPad` false leaves the PAD empty (the
+/// malformed-database scenario).
+runtime::TargetRuntime makeFaultRuntime(runtime::RuntimeOptions options,
+                                        bool registerPad = true) {
+  const std::array<mca::MachineModel, 1> models{mca::MachineModel::power9()};
+  const std::array<TargetRegion, 1> regions{smallKernel()};
+  pad::AttributeDatabase db;
+  if (registerPad) db = compiler::compileAll(regions, models);
+  runtime::SelectorConfig config;
+  config.cpuThreads = 160;
+  runtime::TargetRuntime rt(std::move(db), config,
+                            cpusim::CpuSimParams::power9(), 160,
+                            gpusim::GpuSimParams::teslaV100(), options);
+  rt.registerRegion(smallKernel());
+  return rt;
+}
+
+class LaunchFaults : public ::testing::Test {
+ protected:
+  void TearDown() override { faultInjector().disarmAll(); }
+
+  runtime::RuntimeOptions tightOptions() const {
+    runtime::RuntimeOptions options;
+    options.retry.maxAttempts = 3;
+    options.health.quarantineThreshold = 2;
+    options.health.quarantineLaunches = 3;
+    return options;
+  }
+};
+
+TEST_F(LaunchFaults, TransientThenRecoverStaysOnGpu) {
+  runtime::TargetRuntime rt = makeFaultRuntime(tightOptions());
+  const symbolic::Bindings bindings{{"n", 64}};
+  ArrayStore store = allocateArrays(smallKernel(), bindings);
+  // Exactly two transient failures, then the device behaves again.
+  faultInjector().arm(kGpuLaunch,
+                      {.kind = FaultKind::TransientLaunch, .maxFires = 2});
+  const runtime::LaunchRecord record =
+      rt.launch("probe", bindings, store, runtime::Policy::AlwaysGpu);
+  EXPECT_EQ(record.chosen, runtime::Device::Gpu);
+  EXPECT_EQ(record.attempts, 3);
+  EXPECT_EQ(record.fallbackReason, runtime::FallbackReason::None);
+  EXPECT_GT(record.backoffSeconds, 0.0);
+  EXPECT_GT(record.actualSeconds, 0.0);
+  EXPECT_FALSE(rt.gpuHealth().quarantined());
+}
+
+TEST_F(LaunchFaults, FatalThenFallbackRunsOnCpu) {
+  runtime::TargetRuntime rt = makeFaultRuntime(tightOptions());
+  const symbolic::Bindings bindings{{"n", 64}};
+  ArrayStore store = allocateArrays(smallKernel(), bindings);
+  faultInjector().arm(kGpuLaunch,
+                      {.kind = FaultKind::DeviceMemory, .maxFires = 1});
+  const runtime::LaunchRecord record =
+      rt.launch("probe", bindings, store, runtime::Policy::AlwaysGpu);
+  EXPECT_EQ(record.preferred, runtime::Device::Gpu);
+  EXPECT_EQ(record.chosen, runtime::Device::Cpu);
+  EXPECT_TRUE(record.cpuMeasured);
+  EXPECT_FALSE(record.gpuMeasured);
+  EXPECT_EQ(record.fallbackReason, runtime::FallbackReason::FatalError);
+  EXPECT_EQ(record.attempts, 2);  // 1 fatal GPU + 1 CPU
+  EXPECT_GT(record.actualSeconds, 0.0);
+  EXPECT_EQ(rt.gpuHealth().consecutiveFatals(), 1);
+}
+
+TEST_F(LaunchFaults, QuarantineThenProbeReopensTheGpu) {
+  runtime::TargetRuntime rt = makeFaultRuntime(tightOptions());
+  const symbolic::Bindings bindings{{"n", 64}};
+  ArrayStore store = allocateArrays(smallKernel(), bindings);
+  faultInjector().arm(kGpuLaunch, {.kind = FaultKind::DeviceLost});
+
+  // Two consecutive fatal launches open the breaker (threshold 2).
+  for (int i = 0; i < 2; ++i) {
+    const auto record =
+        rt.launch("probe", bindings, store, runtime::Policy::AlwaysGpu);
+    EXPECT_EQ(record.chosen, runtime::Device::Cpu);
+    EXPECT_EQ(record.fallbackReason, runtime::FallbackReason::FatalError);
+  }
+  EXPECT_TRUE(rt.gpuHealth().quarantined());
+  EXPECT_EQ(rt.gpuHealth().quarantinesOpened(), 1);
+
+  // The next three launches are refused GPU access without touching it.
+  const auto gpuFiresBefore = faultInjector().stats(kGpuLaunch).fires;
+  for (int i = 0; i < 3; ++i) {
+    const auto record =
+        rt.launch("probe", bindings, store, runtime::Policy::AlwaysGpu);
+    EXPECT_EQ(record.chosen, runtime::Device::Cpu);
+    EXPECT_TRUE(record.gpuQuarantined);
+    EXPECT_EQ(record.fallbackReason, runtime::FallbackReason::Quarantined);
+    EXPECT_EQ(record.attempts, 1);  // straight to the CPU, no GPU attempt
+  }
+  EXPECT_EQ(faultInjector().stats(kGpuLaunch).fires, gpuFiresBefore);
+
+  // Quarantine has drained; the device recovered; the probe succeeds.
+  faultInjector().disarm(kGpuLaunch);
+  const auto probe =
+      rt.launch("probe", bindings, store, runtime::Policy::AlwaysGpu);
+  EXPECT_FALSE(probe.gpuQuarantined);
+  EXPECT_EQ(probe.chosen, runtime::Device::Gpu);
+  EXPECT_EQ(probe.fallbackReason, runtime::FallbackReason::None);
+  EXPECT_FALSE(rt.gpuHealth().quarantined());
+}
+
+TEST_F(LaunchFaults, MissingPadEntryDegradesModelGuidedToCpu) {
+  runtime::TargetRuntime rt =
+      makeFaultRuntime(tightOptions(), /*registerPad=*/false);
+  const symbolic::Bindings bindings{{"n", 64}};
+  ArrayStore store = allocateArrays(smallKernel(), bindings);
+  const runtime::LaunchRecord record =
+      rt.launch("probe", bindings, store, runtime::Policy::ModelGuided);
+  EXPECT_FALSE(record.decision.valid);
+  EXPECT_EQ(record.chosen, runtime::Device::Cpu);
+  EXPECT_EQ(record.fallbackReason, runtime::FallbackReason::InvalidDecision);
+  EXPECT_NE(record.fallbackDetail.find("probe"), std::string::npos);
+  EXPECT_GT(record.actualSeconds, 0.0);
+  EXPECT_TRUE(std::isnan(record.decision.predictedSpeedup()));
+}
+
+TEST_F(LaunchFaults, ModelEvaluationFaultDegradesModelGuidedToCpu) {
+  runtime::TargetRuntime rt = makeFaultRuntime(tightOptions());
+  const symbolic::Bindings bindings{{"n", 64}};
+  ArrayStore store = allocateArrays(smallKernel(), bindings);
+  faultInjector().arm(kSelectorDecide, {.kind = FaultKind::DeviceLost});
+  const runtime::LaunchRecord record =
+      rt.launch("probe", bindings, store, runtime::Policy::ModelGuided);
+  EXPECT_FALSE(record.decision.valid);
+  EXPECT_EQ(record.chosen, runtime::Device::Cpu);
+  EXPECT_EQ(record.fallbackReason, runtime::FallbackReason::InvalidDecision);
+  EXPECT_GT(record.actualSeconds, 0.0);
+}
+
+TEST_F(LaunchFaults, ThirtyPercentTransientSuiteCompletesEveryLaunch) {
+  // The acceptance scenario: ModelGuided across the whole Polybench suite
+  // with a 30% transient GPU failure rate — zero uncaught exceptions and
+  // every launch resolving to a measured execution.
+  std::vector<ir::TargetRegion> regions;
+  for (const polybench::Benchmark& benchmark : polybench::suite()) {
+    for (const auto& kernel : benchmark.kernels()) regions.push_back(kernel);
+  }
+  const std::array<mca::MachineModel, 1> models{mca::MachineModel::power9()};
+  pad::AttributeDatabase db = compiler::compileAll(regions, models);
+  runtime::SelectorConfig config;
+  config.cpuThreads = 160;
+  runtime::TargetRuntime rt(std::move(db), config,
+                            cpusim::CpuSimParams::power9(), 160,
+                            gpusim::GpuSimParams::teslaV100());
+  for (ir::TargetRegion& region : regions) rt.registerRegion(std::move(region));
+
+  faultInjector().arm(kGpuLaunch, {.kind = FaultKind::TransientLaunch,
+                                   .probability = 0.3,
+                                   .seed = 2019});
+  for (const polybench::Benchmark& benchmark : polybench::suite()) {
+    const auto bindings = benchmark.bindings(48);
+    ir::ArrayStore store = benchmark.allocate(bindings);
+    polybench::initializeInputs(benchmark, bindings, store);
+    for (const auto& kernel : benchmark.kernels()) {
+      const auto record = rt.launch(kernel.name, bindings, store,
+                                    runtime::Policy::ModelGuided);
+      EXPECT_GT(record.actualSeconds, 0.0) << kernel.name;
+    }
+  }
+  // The launch log shows the faults were really exercised: every launch
+  // resolved, and the injected failures surface as retries/fallbacks.
+  EXPECT_EQ(rt.log().size(), 24u);
+  int retried = 0, fellBack = 0;
+  for (const auto& record : rt.log()) {
+    EXPECT_TRUE(record.cpuMeasured || record.gpuMeasured);
+    if (record.attempts > 1) ++retried;
+    if (record.fallbackReason != runtime::FallbackReason::None) ++fellBack;
+  }
+  EXPECT_GT(faultInjector().stats(kGpuLaunch).fires, 0u);
+  EXPECT_GT(retried + fellBack, 0);
+}
+
+TEST_F(LaunchFaults, DisarmedRunMatchesNeverArmedRun) {
+  // Arm-then-disarm must leave no residue: decisions and measured times are
+  // bit-identical to a runtime that never saw a fault.
+  const symbolic::Bindings bindings{{"n", 96}};
+
+  runtime::TargetRuntime faulted = makeFaultRuntime(tightOptions());
+  faultInjector().arm(kGpuLaunch,
+                      {.kind = FaultKind::TransientLaunch, .maxFires = 1});
+  ArrayStore warmup = allocateArrays(smallKernel(), bindings);
+  (void)faulted.launch("probe", bindings, warmup, runtime::Policy::AlwaysGpu);
+  faultInjector().disarmAll();
+  ArrayStore storeA = allocateArrays(smallKernel(), bindings);
+  const auto after =
+      faulted.launch("probe", bindings, storeA, runtime::Policy::ModelGuided);
+
+  runtime::TargetRuntime pristine = makeFaultRuntime(tightOptions());
+  ArrayStore storeB = allocateArrays(smallKernel(), bindings);
+  const auto clean =
+      pristine.launch("probe", bindings, storeB, runtime::Policy::ModelGuided);
+
+  EXPECT_EQ(after.chosen, clean.chosen);
+  EXPECT_TRUE(after.decision.valid);
+  EXPECT_EQ(after.decision.cpu.seconds, clean.decision.cpu.seconds);
+  EXPECT_EQ(after.decision.gpu.totalSeconds, clean.decision.gpu.totalSeconds);
+  EXPECT_EQ(after.actualSeconds, clean.actualSeconds);
+  EXPECT_EQ(after.attempts, 1);
+  EXPECT_DOUBLE_EQ(after.backoffSeconds, 0.0);
 }
 
 TEST(Robustness, HugeTripCountsStayFinite) {

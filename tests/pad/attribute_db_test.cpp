@@ -76,6 +76,47 @@ TEST(AttributeDatabase, InsertAndLookup) {
   EXPECT_THROW((void)db.at("missing"), support::PreconditionError);
 }
 
+TEST(AttributeDatabase, MissingLookupThrowsTypedErrorWithSuggestion) {
+  AttributeDatabase db;
+  db.insert(sampleAttributes("gemm_k1"));
+  db.insert(sampleAttributes("atax_k1"));
+  try {
+    (void)db.at("gemm_k2");  // plausible typo of gemm_k1
+    FAIL() << "expected PadLookupError";
+  } catch (const PadLookupError& error) {
+    EXPECT_EQ(error.regionName(), "gemm_k2");
+    EXPECT_EQ(error.suggestion(), "gemm_k1");
+    EXPECT_NE(std::string(error.what()).find("gemm_k2"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("did you mean 'gemm_k1'"),
+              std::string::npos);
+  }
+}
+
+TEST(AttributeDatabase, FarFetchedLookupSuggestsNothing) {
+  AttributeDatabase db;
+  db.insert(sampleAttributes("gemm_k1"));
+  try {
+    (void)db.at("completely_unrelated_region");
+    FAIL() << "expected PadLookupError";
+  } catch (const PadLookupError& error) {
+    EXPECT_TRUE(error.suggestion().empty());
+    EXPECT_EQ(std::string(error.what()).find("did you mean"),
+              std::string::npos);
+  }
+}
+
+TEST(AttributeDatabase, NearestRegionName) {
+  AttributeDatabase db;
+  db.insert(sampleAttributes("bicg_k1"));
+  db.insert(sampleAttributes("bicg_k2"));
+  db.insert(sampleAttributes("mvt_k1"));
+  // bicg_k1 and bicg_k2 tie at distance 1; the first in name order wins.
+  EXPECT_EQ(db.nearestRegionName("bicg_k3"), "bicg_k1");
+  EXPECT_EQ(db.nearestRegionName("mvt_k1"), "mvt_k1");
+  EXPECT_EQ(db.nearestRegionName("zzzzzzzzz"), "");
+  EXPECT_EQ(AttributeDatabase{}.nearestRegionName("anything"), "");
+}
+
 TEST(AttributeDatabase, InsertReplacesExisting) {
   AttributeDatabase db;
   db.insert(sampleAttributes("k"));

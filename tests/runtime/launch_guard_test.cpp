@@ -1,0 +1,230 @@
+// LaunchGuard in isolation, against scripted measure functions: error
+// classification, retry/backoff accounting, CPU fallback, and the
+// DeviceHealthTracker circuit breaker.
+#include "runtime/launch_guard.h"
+
+#include <gtest/gtest.h>
+
+#include "support/check.h"
+#include "support/faultinject.h"
+
+namespace osel::runtime {
+namespace {
+
+using support::DeviceLostError;
+using support::DeviceMemoryError;
+using support::TransientLaunchError;
+
+TEST(ClassifyLaunchError, MapsTheTaxonomy) {
+  EXPECT_EQ(classifyLaunchError(TransientLaunchError("GPU", "x")),
+            ErrorClass::Transient);
+  EXPECT_EQ(classifyLaunchError(DeviceMemoryError("GPU", "x")),
+            ErrorClass::Fatal);
+  EXPECT_EQ(classifyLaunchError(DeviceLostError("GPU", "x")),
+            ErrorClass::Fatal);
+  EXPECT_EQ(classifyLaunchError(support::PreconditionError("x")),
+            ErrorClass::ModelInput);
+  EXPECT_EQ(classifyLaunchError(std::runtime_error("x")), ErrorClass::Fatal);
+}
+
+TEST(RetryPolicy, BackoffGrowsGeometricallyAndCaps) {
+  RetryPolicy policy;
+  policy.backoffBaseSeconds = 1e-4;
+  policy.backoffMultiplier = 2.0;
+  policy.backoffCapSeconds = 3e-4;
+  EXPECT_DOUBLE_EQ(policy.backoffBeforeAttempt(1), 0.0);
+  EXPECT_DOUBLE_EQ(policy.backoffBeforeAttempt(2), 1e-4);
+  EXPECT_DOUBLE_EQ(policy.backoffBeforeAttempt(3), 2e-4);
+  EXPECT_DOUBLE_EQ(policy.backoffBeforeAttempt(4), 3e-4);  // capped (4e-4)
+  EXPECT_DOUBLE_EQ(policy.backoffBeforeAttempt(5), 3e-4);
+}
+
+TEST(LaunchGuard, HealthyPathIsOneAttemptNoBackoff) {
+  const LaunchGuard guard;
+  const GuardedExecution out =
+      guard.execute(Device::Gpu, [](Device) { return 1.5; });
+  EXPECT_TRUE(out.succeeded);
+  EXPECT_EQ(out.executed, Device::Gpu);
+  EXPECT_DOUBLE_EQ(out.seconds, 1.5);
+  EXPECT_EQ(out.attemptCount(), 1);
+  EXPECT_EQ(out.fallback, FallbackReason::None);
+  EXPECT_DOUBLE_EQ(out.totalBackoffSeconds, 0.0);
+  EXPECT_FALSE(out.gpuFatal);
+}
+
+TEST(LaunchGuard, TransientFailuresRetryThenSucceed) {
+  RetryPolicy policy;
+  policy.maxAttempts = 3;
+  const LaunchGuard guard(policy);
+  int calls = 0;
+  const GuardedExecution out = guard.execute(Device::Gpu, [&](Device) {
+    if (++calls < 3) throw TransientLaunchError("GPU", "hiccup");
+    return 2.0;
+  });
+  EXPECT_TRUE(out.succeeded);
+  EXPECT_EQ(out.executed, Device::Gpu);
+  EXPECT_EQ(out.attemptCount(), 3);
+  EXPECT_EQ(out.fallback, FallbackReason::None);
+  EXPECT_EQ(out.attempts[0].errorClass, ErrorClass::Transient);
+  EXPECT_EQ(out.attempts[1].errorClass, ErrorClass::Transient);
+  EXPECT_TRUE(out.attempts[2].succeeded);
+  // Backoff before attempts 2 and 3.
+  EXPECT_DOUBLE_EQ(out.totalBackoffSeconds, policy.backoffBeforeAttempt(2) +
+                                                policy.backoffBeforeAttempt(3));
+  EXPECT_FALSE(out.gpuFatal);
+}
+
+TEST(LaunchGuard, TransientExhaustionFallsBackToCpu) {
+  RetryPolicy policy;
+  policy.maxAttempts = 2;
+  const LaunchGuard guard(policy);
+  const GuardedExecution out = guard.execute(Device::Gpu, [](Device device) {
+    if (device == Device::Gpu) throw TransientLaunchError("GPU", "hiccup");
+    return 4.0;
+  });
+  EXPECT_TRUE(out.succeeded);
+  EXPECT_EQ(out.executed, Device::Cpu);
+  EXPECT_DOUBLE_EQ(out.seconds, 4.0);
+  EXPECT_EQ(out.fallback, FallbackReason::TransientExhausted);
+  EXPECT_EQ(out.attemptCount(), 3);  // 2 GPU + 1 CPU
+  EXPECT_FALSE(out.gpuFatal);       // exhaustion is not a fatal device error
+}
+
+TEST(LaunchGuard, FatalErrorSkipsRetriesAndFallsBack) {
+  RetryPolicy policy;
+  policy.maxAttempts = 5;
+  const LaunchGuard guard(policy);
+  int gpuCalls = 0;
+  const GuardedExecution out = guard.execute(Device::Gpu, [&](Device device) {
+    if (device == Device::Gpu) {
+      ++gpuCalls;
+      throw DeviceMemoryError("GPU", "out of device memory");
+    }
+    return 3.0;
+  });
+  EXPECT_TRUE(out.succeeded);
+  EXPECT_EQ(gpuCalls, 1);  // fatal => no retry
+  EXPECT_EQ(out.executed, Device::Cpu);
+  EXPECT_EQ(out.fallback, FallbackReason::FatalError);
+  EXPECT_TRUE(out.gpuFatal);
+  EXPECT_NE(out.fallbackDetail.find("out of device memory"), std::string::npos);
+}
+
+TEST(LaunchGuard, ModelInputErrorIsNotRetried) {
+  const LaunchGuard guard;
+  int gpuCalls = 0;
+  const GuardedExecution out = guard.execute(Device::Gpu, [&](Device device) {
+    if (device == Device::Gpu) {
+      ++gpuCalls;
+      throw support::PreconditionError("bad PAD entry");
+    }
+    return 1.0;
+  });
+  EXPECT_EQ(gpuCalls, 1);
+  EXPECT_TRUE(out.succeeded);
+  EXPECT_EQ(out.executed, Device::Cpu);
+  EXPECT_EQ(out.attempts[0].errorClass, ErrorClass::ModelInput);
+}
+
+TEST(LaunchGuard, FallbackDisabledReportsFailure) {
+  const LaunchGuard guard;
+  const GuardedExecution out = guard.execute(
+      Device::Gpu, [](Device) -> double { throw DeviceLostError("GPU", "gone"); },
+      /*allowFallback=*/false);
+  EXPECT_FALSE(out.succeeded);
+  EXPECT_EQ(out.fallback, FallbackReason::FatalError);
+  EXPECT_TRUE(out.gpuFatal);
+  EXPECT_EQ(out.attemptCount(), 1);
+}
+
+TEST(LaunchGuard, CpuFailureHasNoFurtherFallback) {
+  RetryPolicy policy;
+  policy.maxAttempts = 2;
+  const LaunchGuard guard(policy);
+  const GuardedExecution out = guard.execute(Device::Cpu, [](Device) -> double {
+    throw TransientLaunchError("CPU", "host hiccup");
+  });
+  EXPECT_FALSE(out.succeeded);
+  EXPECT_EQ(out.attemptCount(), 2);  // retried, then reported
+  EXPECT_EQ(out.fallback, FallbackReason::TransientExhausted);
+}
+
+TEST(LaunchGuard, CpuFallbackItselfRetriesTransients) {
+  const LaunchGuard guard;
+  int cpuCalls = 0;
+  const GuardedExecution out = guard.execute(Device::Gpu, [&](Device device) {
+    if (device == Device::Gpu) throw DeviceLostError("GPU", "gone");
+    if (++cpuCalls < 2) throw TransientLaunchError("CPU", "host hiccup");
+    return 6.0;
+  });
+  EXPECT_TRUE(out.succeeded);
+  EXPECT_EQ(out.executed, Device::Cpu);
+  EXPECT_EQ(out.attemptCount(), 3);  // 1 GPU fatal + 2 CPU
+  EXPECT_EQ(out.fallback, FallbackReason::FatalError);
+}
+
+TEST(LaunchGuard, RejectsMalformedPolicy) {
+  RetryPolicy zeroAttempts;
+  zeroAttempts.maxAttempts = 0;
+  EXPECT_THROW(LaunchGuard{zeroAttempts}, support::PreconditionError);
+  RetryPolicy shrinkingBackoff;
+  shrinkingBackoff.backoffMultiplier = 0.5;
+  EXPECT_THROW(LaunchGuard{shrinkingBackoff}, support::PreconditionError);
+}
+
+TEST(DeviceHealthTracker, OpensAfterThresholdAndReleasesAfterQuarantine) {
+  HealthPolicy policy;
+  policy.quarantineThreshold = 2;
+  policy.quarantineLaunches = 3;
+  DeviceHealthTracker health(policy);
+  EXPECT_TRUE(health.admitGpu());
+  health.recordGpuFatal();
+  EXPECT_FALSE(health.quarantined());
+  health.recordGpuFatal();  // second consecutive fatal opens the breaker
+  EXPECT_TRUE(health.quarantined());
+  EXPECT_EQ(health.quarantinesOpened(), 1);
+  // Three launches are refused while the breaker drains...
+  EXPECT_FALSE(health.admitGpu());
+  EXPECT_FALSE(health.admitGpu());
+  EXPECT_FALSE(health.admitGpu());
+  // ...then the next launch probes the device again.
+  EXPECT_FALSE(health.quarantined());
+  EXPECT_TRUE(health.admitGpu());
+}
+
+TEST(DeviceHealthTracker, SuccessResetsTheFatalStreak) {
+  HealthPolicy policy;
+  policy.quarantineThreshold = 2;
+  DeviceHealthTracker health(policy);
+  health.recordGpuFatal();
+  health.recordGpuSuccess();
+  health.recordGpuFatal();
+  EXPECT_FALSE(health.quarantined());  // never two *consecutive* fatals
+  EXPECT_EQ(health.consecutiveFatals(), 1);
+  EXPECT_EQ(health.totalFatals(), 2);
+}
+
+TEST(DeviceHealthTracker, RejectsMalformedPolicy) {
+  HealthPolicy zeroThreshold;
+  zeroThreshold.quarantineThreshold = 0;
+  EXPECT_THROW(DeviceHealthTracker{zeroThreshold}, support::PreconditionError);
+  HealthPolicy zeroLaunches;
+  zeroLaunches.quarantineLaunches = 0;
+  EXPECT_THROW(DeviceHealthTracker{zeroLaunches}, support::PreconditionError);
+}
+
+TEST(LaunchGuardStrings, EnumNames) {
+  EXPECT_EQ(toString(ErrorClass::None), "none");
+  EXPECT_EQ(toString(ErrorClass::Transient), "transient");
+  EXPECT_EQ(toString(ErrorClass::Fatal), "fatal");
+  EXPECT_EQ(toString(ErrorClass::ModelInput), "model-input");
+  EXPECT_EQ(toString(FallbackReason::None), "none");
+  EXPECT_EQ(toString(FallbackReason::TransientExhausted),
+            "transient-exhausted");
+  EXPECT_EQ(toString(FallbackReason::FatalError), "fatal-error");
+  EXPECT_EQ(toString(FallbackReason::Quarantined), "quarantined");
+  EXPECT_EQ(toString(FallbackReason::InvalidDecision), "invalid-decision");
+}
+
+}  // namespace
+}  // namespace osel::runtime

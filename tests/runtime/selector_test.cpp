@@ -3,10 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cmath>
+#include <limits>
 
 #include "compiler/compiler.h"
 #include "ir/builder.h"
 #include "support/check.h"
+#include "support/faultinject.h"
 
 namespace osel::runtime {
 namespace {
@@ -136,6 +139,41 @@ TEST(OffloadSelector, PredictedSpeedupConsistent) {
   } else {
     EXPECT_EQ(decision.device, Device::Cpu);
   }
+}
+
+TEST(OffloadSelector, ValidDecisionsCarryNoDiagnostic) {
+  const pad::RegionAttributes attr = attributesFor(gemmKernel());
+  const Decision decision =
+      OffloadSelector(SelectorConfig{}).decide(attr, {{"n", 1100}});
+  EXPECT_TRUE(decision.valid);
+  EXPECT_TRUE(decision.diagnostic.empty());
+}
+
+TEST(OffloadSelector, ModelFaultDegradesToSafeDefault) {
+  const pad::RegionAttributes attr = attributesFor(gemmKernel());
+  const support::ScopedFault fault(support::faultpoints::kSelectorDecide,
+                                   {.kind = support::FaultKind::DeviceLost});
+  SelectorConfig config;
+  config.safeDefaultDevice = Device::Gpu;  // non-default, to prove it is used
+  const Decision decision = OffloadSelector(config).decide(attr, {{"n", 1100}});
+  EXPECT_FALSE(decision.valid);
+  EXPECT_EQ(decision.device, Device::Gpu);
+  EXPECT_FALSE(decision.diagnostic.empty());
+  EXPECT_TRUE(std::isnan(decision.predictedSpeedup()));
+}
+
+TEST(DecisionSpeedup, NonFinitePredictionsYieldNaN) {
+  Decision decision;
+  decision.cpu.seconds = 1.0;
+  decision.gpu.totalSeconds = 0.0;
+  EXPECT_TRUE(std::isnan(decision.predictedSpeedup()));
+  decision.gpu.totalSeconds = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(decision.predictedSpeedup()));
+  decision.gpu.totalSeconds = 2.0;
+  decision.cpu.seconds = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(std::isnan(decision.predictedSpeedup()));
+  decision.cpu.seconds = 4.0;
+  EXPECT_DOUBLE_EQ(decision.predictedSpeedup(), 2.0);
 }
 
 TEST(OffloadSelector, DeviceNames) {

@@ -1,0 +1,148 @@
+// The fault-injection framework itself: arming semantics, deterministic
+// firing, counters, the error taxonomy, and the disarmed fast path.
+#include "support/faultinject.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "support/check.h"
+
+namespace osel::support {
+namespace {
+
+class FaultInjectTest : public ::testing::Test {
+ protected:
+  void TearDown() override { faultInjector().disarmAll(); }
+};
+
+TEST_F(FaultInjectTest, DisarmedPointIsANoOp) {
+  EXPECT_FALSE(faultInjector().armed("nowhere"));
+  EXPECT_DOUBLE_EQ(faultInjector().hit("nowhere", "GPU"), 0.0);
+  EXPECT_EQ(faultInjector().stats("nowhere").hits, 0u);
+}
+
+TEST_F(FaultInjectTest, ArmedThrowingFaultFiresTypedError) {
+  faultInjector().arm("p", {.kind = FaultKind::TransientLaunch});
+  EXPECT_TRUE(faultInjector().armed("p"));
+  EXPECT_THROW((void)faultInjector().hit("p", "GPU"), TransientLaunchError);
+  faultInjector().arm("p", {.kind = FaultKind::DeviceMemory});
+  EXPECT_THROW((void)faultInjector().hit("p", "GPU"), DeviceMemoryError);
+  faultInjector().arm("p", {.kind = FaultKind::DeviceLost});
+  EXPECT_THROW((void)faultInjector().hit("p", "GPU"), DeviceLostError);
+}
+
+TEST_F(FaultInjectTest, ErrorsCarryDeviceAndPoint) {
+  faultInjector().arm("gpu.launch", {.kind = FaultKind::DeviceLost});
+  try {
+    (void)faultInjector().hit("gpu.launch", "GPU");
+    FAIL() << "expected DeviceLostError";
+  } catch (const DeviceLostError& error) {
+    EXPECT_EQ(error.device(), "GPU");
+    EXPECT_NE(std::string(error.what()).find("gpu.launch"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("device-lost"), std::string::npos);
+  }
+}
+
+TEST_F(FaultInjectTest, AllTypedErrorsAreDeviceErrors) {
+  faultInjector().arm("p", {.kind = FaultKind::DeviceMemory});
+  EXPECT_THROW((void)faultInjector().hit("p", "GPU"), DeviceError);
+}
+
+TEST_F(FaultInjectTest, LatencyFaultReturnsSecondsWithoutThrowing) {
+  faultInjector().arm("p",
+                      {.kind = FaultKind::Latency, .latencySeconds = 2.5e-3});
+  EXPECT_DOUBLE_EQ(faultInjector().hit("p", "GPU"), 2.5e-3);
+}
+
+TEST_F(FaultInjectTest, MaxFiresCapsThenPassesThrough) {
+  faultInjector().arm(
+      "p", {.kind = FaultKind::TransientLaunch, .maxFires = 2});
+  EXPECT_THROW((void)faultInjector().hit("p", "GPU"), TransientLaunchError);
+  EXPECT_THROW((void)faultInjector().hit("p", "GPU"), TransientLaunchError);
+  EXPECT_DOUBLE_EQ(faultInjector().hit("p", "GPU"), 0.0);
+  EXPECT_DOUBLE_EQ(faultInjector().hit("p", "GPU"), 0.0);
+  const FaultStats stats = faultInjector().stats("p");
+  EXPECT_EQ(stats.hits, 4u);
+  EXPECT_EQ(stats.fires, 2u);
+}
+
+TEST_F(FaultInjectTest, ProbabilityZeroNeverFires) {
+  faultInjector().arm("p", {.probability = 0.0});
+  for (int i = 0; i < 100; ++i)
+    EXPECT_DOUBLE_EQ(faultInjector().hit("p", "GPU"), 0.0);
+  EXPECT_EQ(faultInjector().stats("p").fires, 0u);
+  EXPECT_EQ(faultInjector().stats("p").hits, 100u);
+}
+
+std::vector<bool> firePattern(std::uint64_t seed, double probability, int n) {
+  faultInjector().arm("pattern", {.kind = FaultKind::TransientLaunch,
+                                  .probability = probability,
+                                  .seed = seed});
+  std::vector<bool> fired;
+  for (int i = 0; i < n; ++i) {
+    try {
+      (void)faultInjector().hit("pattern", "GPU");
+      fired.push_back(false);
+    } catch (const TransientLaunchError&) {
+      fired.push_back(true);
+    }
+  }
+  faultInjector().disarm("pattern");
+  return fired;
+}
+
+TEST_F(FaultInjectTest, SeededStreamIsDeterministic) {
+  const auto a = firePattern(42, 0.3, 200);
+  const auto b = firePattern(42, 0.3, 200);
+  EXPECT_EQ(a, b);
+  // A different seed produces a different pattern (overwhelmingly likely).
+  EXPECT_NE(a, firePattern(43, 0.3, 200));
+}
+
+TEST_F(FaultInjectTest, FireRateTracksProbability) {
+  const auto fired = firePattern(7, 0.3, 1000);
+  const auto count = std::count(fired.begin(), fired.end(), true);
+  EXPECT_GT(count, 230);
+  EXPECT_LT(count, 370);
+}
+
+TEST_F(FaultInjectTest, StatsSurviveDisarm) {
+  faultInjector().arm("p", {.kind = FaultKind::Latency, .latencySeconds = 1e-6});
+  (void)faultInjector().hit("p", "GPU");
+  faultInjector().disarm("p");
+  EXPECT_FALSE(faultInjector().armed("p"));
+  EXPECT_EQ(faultInjector().stats("p").fires, 1u);
+  // Re-arming resets the counters.
+  faultInjector().arm("p", {.kind = FaultKind::Latency, .latencySeconds = 1e-6});
+  EXPECT_EQ(faultInjector().stats("p").fires, 0u);
+}
+
+TEST_F(FaultInjectTest, ScopedFaultDisarmsOnScopeExit) {
+  {
+    const ScopedFault scoped("p", {.kind = FaultKind::TransientLaunch});
+    EXPECT_TRUE(faultInjector().armed("p"));
+  }
+  EXPECT_FALSE(faultInjector().armed("p"));
+}
+
+TEST_F(FaultInjectTest, ArmRejectsMalformedSpecs) {
+  EXPECT_THROW(faultInjector().arm("", {}), PreconditionError);
+  EXPECT_THROW(faultInjector().arm("p", {.probability = 1.5}),
+               PreconditionError);
+  EXPECT_THROW(faultInjector().arm("p", {.maxFires = -1}), PreconditionError);
+  EXPECT_THROW(faultInjector().arm("p", {.latencySeconds = -1.0}),
+               PreconditionError);
+}
+
+TEST_F(FaultInjectTest, FaultKindNames) {
+  EXPECT_EQ(toString(FaultKind::TransientLaunch), "transient-launch");
+  EXPECT_EQ(toString(FaultKind::DeviceMemory), "device-memory");
+  EXPECT_EQ(toString(FaultKind::DeviceLost), "device-lost");
+  EXPECT_EQ(toString(FaultKind::Latency), "latency");
+}
+
+}  // namespace
+}  // namespace osel::support
