@@ -1,0 +1,90 @@
+#include "bench/common/thread_pool.h"
+
+#include <limits>
+
+namespace osel::bench {
+
+ThreadPool::ThreadPool(unsigned workers) {
+  if (workers == 0) {
+    workers = std::thread::hardware_concurrency();
+    if (workers == 0) workers = 1;
+  }
+  workerCount_ = workers;
+  threads_.reserve(workerCount_ - 1);
+  for (unsigned i = 1; i < workerCount_; ++i) {
+    threads_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void ThreadPool::runIndices(const std::function<void(std::size_t)>& fn,
+                            std::size_t count) {
+  for (;;) {
+    const std::size_t i = nextIndex_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count) return;
+    try {
+      fn(i);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_ || i < errorIndex_) {
+        error_ = std::current_exception();
+        errorIndex_ = i;
+      }
+    }
+  }
+}
+
+void ThreadPool::workerLoop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    std::size_t count = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+      count = jobCount_;
+    }
+    runIndices(*job, count);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_ == 0) done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallelFor(std::size_t count,
+                             const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    jobCount_ = count;
+    nextIndex_.store(0, std::memory_order_relaxed);
+    error_ = nullptr;
+    errorIndex_ = std::numeric_limits<std::size_t>::max();
+    active_ = threads_.size();
+    ++generation_;
+  }
+  wake_.notify_all();
+  runIndices(fn, count);  // the caller is one of the workers
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [&] { return active_ == 0; });
+  if (error_) {
+    const std::exception_ptr error = error_;
+    error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace osel::bench

@@ -1,0 +1,69 @@
+// bench/common/thread_pool.h — a small fixed-size worker pool for the
+// evaluation benches.
+//
+// The benches sweep independent (benchmark, platform, config) cells whose
+// measurements are self-contained; the pool runs those cells concurrently
+// while keeping output deterministic: parallelFor hands each callback its
+// index, so callers write results into pre-sized index-addressed storage
+// and render them serially afterwards — the printed tables and CSVs are
+// byte-identical to a serial run regardless of scheduling.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace osel::bench {
+
+/// Fixed-size thread pool with an index-based parallel-for.
+///
+/// Not reentrant: parallelFor must not be called concurrently or from
+/// inside a pool callback.
+class ThreadPool {
+ public:
+  /// `workers` is the total concurrency of parallelFor (the calling thread
+  /// participates, so `workers - 1` threads are spawned); 0 means
+  /// hardware_concurrency. With one worker, parallelFor runs inline.
+  explicit ThreadPool(unsigned workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned workers() const { return workerCount_; }
+
+  /// Runs fn(0), fn(1), ..., fn(count - 1) across the pool and blocks until
+  /// every index has run. Every index is attempted even when some throw;
+  /// afterwards the exception from the lowest-index failure is rethrown
+  /// (deterministic for deterministic callbacks).
+  void parallelFor(std::size_t count,
+                   const std::function<void(std::size_t)>& fn);
+
+ private:
+  void workerLoop();
+  void runIndices(const std::function<void(std::size_t)>& fn,
+                  std::size_t count);
+
+  unsigned workerCount_ = 1;
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  bool stop_ = false;
+  std::uint64_t generation_ = 0;
+  std::size_t active_ = 0;  // spawned workers still inside the current job
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t jobCount_ = 0;
+  std::atomic<std::size_t> nextIndex_{0};
+  std::size_t errorIndex_ = 0;
+  std::exception_ptr error_;
+};
+
+}  // namespace osel::bench

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bench/common/platform.h"
+#include "bench/common/thread_pool.h"
 #include "support/cli.h"
 #include "support/format.h"
 #include "support/statistics.h"
@@ -48,21 +49,29 @@ BenchmarkTimes evaluate(const polybench::Benchmark& benchmark, std::int64_t n,
   return t;
 }
 
-void runMode(polybench::Mode mode, std::int64_t scale, int threads, bool csv) {
+void runMode(polybench::Mode mode, std::int64_t scale, int threads, bool csv,
+             bench::ThreadPool& pool) {
   const bench::Platform platform = bench::Platform::power9V100(threads);
   std::printf(
       "Figure 8 — suite speedup over host-only execution (%s mode, %d-thread "
       "host, %s)\n\n",
       polybench::toString(mode).c_str(), threads, platform.name.c_str());
 
+  // Measure benchmarks concurrently (each evaluate() is self-contained),
+  // collecting into suite-order slots so the table is scheduling-invariant.
+  const std::vector<polybench::Benchmark>& suite = polybench::suite();
+  std::vector<BenchmarkTimes> times(suite.size());
+  pool.parallelFor(suite.size(), [&](std::size_t i) {
+    const std::int64_t n = bench::scaledSize(suite[i], mode, scale);
+    times[i] = evaluate(suite[i], n, platform);
+  });
+
   support::TextTable table({"Benchmark", "Always-GPU", "Model-guided", "Oracle",
                             "Offloaded kernels"});
   std::vector<double> gpuSpeedups;
   std::vector<double> guidedSpeedups;
   std::vector<double> oracleSpeedups;
-  for (const polybench::Benchmark& benchmark : polybench::suite()) {
-    const std::int64_t n = bench::scaledSize(benchmark, mode, scale);
-    const BenchmarkTimes t = evaluate(benchmark, n, platform);
+  for (const BenchmarkTimes& t : times) {
     const double gpuSpeedup = t.cpuOnly / t.gpuOnly;
     const double guidedSpeedup = t.cpuOnly / t.modelGuided;
     const double oracleSpeedup = t.cpuOnly / t.oracle;
@@ -97,9 +106,11 @@ int main(int argc, char** argv) {
   const auto threads = static_cast<int>(cl.intOption("threads", 160));
   const std::string mode = cl.stringOption("mode").value_or("both");
   const bool csv = cl.hasFlag("csv");
+  // --jobs J: measurement concurrency (0 = hardware threads, 1 = serial).
+  bench::ThreadPool pool(static_cast<unsigned>(cl.intOption("jobs", 0)));
   if (mode == "test" || mode == "both")
-    runMode(polybench::Mode::Test, scale, threads, csv);
+    runMode(polybench::Mode::Test, scale, threads, csv, pool);
   if (mode == "benchmark" || mode == "both")
-    runMode(polybench::Mode::Benchmark, scale, threads, csv);
+    runMode(polybench::Mode::Benchmark, scale, threads, csv, pool);
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "bench/common/platform.h"
+#include "bench/common/thread_pool.h"
 #include "support/cli.h"
 #include "support/format.h"
 #include "support/statistics.h"
@@ -35,15 +36,37 @@ int main(int argc, char** argv) {
 
   support::TextTable table({"Kernel", "K80 (Kepler)", "P100 (Pascal)",
                             "V100 (Volta)", "monotone?"});
+  // The (generation, benchmark) grid is embarrassingly parallel — each
+  // measureBenchmark call builds its own simulators and stores. Cells land
+  // in a pre-indexed grid, so concatenation order (and hence the table) is
+  // identical to the serial sweep. --jobs 1 forces the serial path.
+  const std::vector<polybench::Benchmark>& suite = polybench::suite();
+  struct Cell {
+    std::vector<std::string> kernels;
+    std::vector<double> speedups;
+  };
+  std::vector<Cell> cells(3 * suite.size());
+  bench::ThreadPool pool(static_cast<unsigned>(cl.intOption("jobs", 0)));
+  pool.parallelFor(cells.size(), [&](std::size_t idx) {
+    const std::size_t g = idx / suite.size();
+    const polybench::Benchmark& benchmark = suite[idx % suite.size()];
+    const std::int64_t n = bench::scaledSize(benchmark, mode, scale);
+    Cell& cell = cells[idx];
+    for (const auto& m : bench::measureBenchmark(benchmark, n, platforms[g])) {
+      cell.kernels.push_back(m.kernel);
+      cell.speedups.push_back(m.actualSpeedup());
+    }
+  });
   std::vector<std::vector<double>> speedups(3);
   std::vector<std::string> names;
   for (std::size_t g = 0; g < 3; ++g) {
-    for (const polybench::Benchmark& benchmark : polybench::suite()) {
-      const std::int64_t n = bench::scaledSize(benchmark, mode, scale);
-      for (const auto& m : bench::measureBenchmark(benchmark, n, platforms[g])) {
-        if (g == 0) names.push_back(m.kernel);
-        speedups[g].push_back(m.actualSpeedup());
+    for (std::size_t b = 0; b < suite.size(); ++b) {
+      const Cell& cell = cells[g * suite.size() + b];
+      if (g == 0) {
+        names.insert(names.end(), cell.kernels.begin(), cell.kernels.end());
       }
+      speedups[g].insert(speedups[g].end(), cell.speedups.begin(),
+                         cell.speedups.end());
     }
   }
   int monotone = 0;

@@ -6,11 +6,16 @@
 #include <benchmark/benchmark.h>
 
 #include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
 
 #include "compiler/compiler.h"
 #include "mca/pipeline_sim.h"
 #include "polybench/polybench.h"
+#include "runtime/decision_cache.h"
 #include "runtime/selector.h"
+#include "runtime/target_runtime.h"
 
 namespace {
 
@@ -30,13 +35,44 @@ const runtime::OffloadSelector& selector() {
   return instance;
 }
 
-void BM_FullDecision(benchmark::State& state) {
+void BM_InterpretedDecision(benchmark::State& state) {
+  // The original launch-time path: substitute bindings into the stored
+  // symbolic expressions and walk them (allocates on every call).
   const symbolic::Bindings bindings{{"n", 9600}};
   for (auto _ : state) {
     benchmark::DoNotOptimize(selector().decide(gemmAttributes(), bindings));
   }
 }
-BENCHMARK(BM_FullDecision);
+BENCHMARK(BM_InterpretedDecision);
+
+void BM_CompiledDecision(benchmark::State& state) {
+  // The compiled path: slot-based expression evaluation over a stack
+  // buffer; zero heap allocation, zero string hashing per call.
+  const symbolic::Bindings bindings{{"n", 9600}};
+  const runtime::CompiledRegionPlan plan = selector().compile(gemmAttributes());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector().decide(plan, bindings));
+  }
+}
+BENCHMARK(BM_CompiledDecision);
+
+void BM_DecisionCacheHit(benchmark::State& state) {
+  // Steady-state repeated launch: bind slots + memoization-cache lookup.
+  const symbolic::Bindings bindings{{"n", 9600}};
+  const runtime::CompiledRegionPlan plan = selector().compile(gemmAttributes());
+  runtime::DecisionCache cache(64);
+  std::array<std::int64_t, runtime::CompiledRegionPlan::kMaxSlots> storage{};
+  const std::span<std::int64_t> slots(storage.data(), plan.slotCount());
+  std::uint64_t boundMask = 0;
+  plan.bindSlots(bindings, slots, boundMask);
+  cache.insert(boundMask, slots, selector().decide(plan, bindings));
+  for (auto _ : state) {
+    std::uint64_t mask = 0;
+    plan.bindSlots(bindings, slots, mask);
+    benchmark::DoNotOptimize(cache.find(mask, slots));
+  }
+}
+BENCHMARK(BM_DecisionCacheHit);
 
 void BM_CpuModelPredict(benchmark::State& state) {
   const symbolic::Bindings bindings{{"n", 9600}};
@@ -82,6 +118,30 @@ void BM_PadSerializeDeserialize(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PadSerializeDeserialize);
+
+void BM_RenderLogCsv(benchmark::State& state) {
+  // CSV export of a realistic launch log (~512 records) — the renderer is
+  // reserve+append rather than stringstream concatenation.
+  const symbolic::Bindings bindings{{"n", 9600}};
+  std::vector<runtime::LaunchRecord> log(512);
+  const runtime::Decision decision =
+      selector().decide(gemmAttributes(), bindings);
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    log[i].regionName = "gemm_k1";
+    log[i].policy = runtime::Policy::ModelGuided;
+    log[i].decision = decision;
+    log[i].chosen = decision.device;
+    log[i].actualSeconds = decision.gpu.totalSeconds;
+    log[i].actualGpuSeconds = decision.gpu.totalSeconds;
+    log[i].gpuMeasured = true;
+    log[i].decisionCompiled = true;
+    log[i].decisionCacheHit = i != 0;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runtime::renderLogCsv(log));
+  }
+}
+BENCHMARK(BM_RenderLogCsv);
 
 void BM_CompileTimeAnalysis(benchmark::State& state) {
   // The *compile-time* half (loadout + IPDA + MCA) for context: expensive

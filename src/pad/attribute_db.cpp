@@ -155,8 +155,16 @@ std::string AttributeDatabase::serialize() const {
     out << "stores " << attr.storeInstsPerIter << '\n';
     out << "fp64 " << attr.fp64Fraction << '\n';
     out << "bytes_per_iter " << attr.bytesTouchedPerIteration << '\n';
+    // machineCyclesPerIter is hash-ordered; emit models sorted so the text
+    // form stays byte-stable across inserts and library versions.
+    std::vector<std::string> models;
+    models.reserve(attr.machineCyclesPerIter.size());
     for (const auto& [model, cycles] : attr.machineCyclesPerIter)
-      out << "mca " << model << ' ' << cycles << '\n';
+      models.push_back(model);
+    std::sort(models.begin(), models.end());
+    for (const auto& model : models)
+      out << "mca " << model << ' ' << attr.machineCyclesPerIter.at(model)
+          << '\n';
     for (const auto& stride : attr.strides) {
       out << "stride " << (stride.affine ? 1 : 0) << ' '
           << (stride.isStore ? 1 : 0) << ' ' << stride.elementBytes << ' '

@@ -15,6 +15,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "support/check.h"
@@ -74,7 +75,9 @@ struct RegionAttributes {
   double bytesTouchedPerIteration = 0.0;
 
   /// MCA Machine_cycles_per_iter, one entry per host machine model name.
-  std::map<std::string, double> machineCyclesPerIter;
+  /// Hash-indexed (launch-path lookups); serialization and reporting sort
+  /// the keys explicitly for stable output.
+  std::unordered_map<std::string, double> machineCyclesPerIter;
 
   /// IPDA stride records, in ir::collectAccesses order.
   std::vector<StrideAttribute> strides;

@@ -1,0 +1,169 @@
+#include "runtime/compiled_plan.h"
+
+#include <cstdlib>
+#include <utility>
+
+namespace osel::runtime {
+
+namespace {
+
+/// Mirrors the interpreted gpuWorkload classification of a resolved stride.
+[[nodiscard]] bool coalescedStride(std::int64_t stride) {
+  return std::abs(stride) <= 1;
+}
+
+/// Mirrors the interpreted cpuWorkload false-sharing test of a resolved
+/// store stride (a non-zero stride below one cache line).
+[[nodiscard]] bool falseSharingStride(std::int64_t stride,
+                                      std::int64_t elementBytes,
+                                      std::int64_t cacheLineBytes) {
+  return stride != 0 && std::abs(stride) * elementBytes < cacheLineBytes;
+}
+
+}  // namespace
+
+CompiledRegionPlan::CompiledRegionPlan(pad::RegionAttributes attr,
+                                       const std::string& mcaModelName,
+                                       std::int64_t cacheLineBytes)
+    : attributes_(std::move(attr)), cacheLineBytes_(cacheLineBytes) {
+  // A missing MCA host entry must surface through the interpreted path's
+  // exact diagnostic, so the plan simply declines the fast path.
+  const auto cyclesIt = attributes_.machineCyclesPerIter.find(mcaModelName);
+  if (cyclesIt == attributes_.machineCyclesPerIter.end()) return;
+
+  symbolic::SlotMap slots;
+  // Main expressions first: their slots form the *required* set (the
+  // interpreted path throws when any of their symbols is unbound).
+  flatTripCount_ = symbolic::CompiledExpr(attributes_.flatTripCount, slots);
+  bytesToDevice_ = symbolic::CompiledExpr(attributes_.bytesToDevice, slots);
+  bytesFromDevice_ = symbolic::CompiledExpr(attributes_.bytesFromDevice, slots);
+  const std::size_t requiredSlots = slots.size();
+  if (requiredSlots > kMaxSlots) return;
+  requiredMask_ = requiredSlots == kMaxSlots
+                      ? ~std::uint64_t{0}
+                      : (std::uint64_t{1} << requiredSlots) - 1;
+
+  // --- Binding-independent workload halves ---------------------------------
+  cpuTemplate_.machineCyclesPerIter = cyclesIt->second;
+  cpuTemplate_.bytesTouchedPerIteration = attributes_.bytesTouchedPerIteration;
+  gpuTemplate_.compInstsPerThread =
+      attributes_.compInstsPerIter +
+      kSpecialInstIssueWeight * attributes_.specialInstsPerIter;
+  gpuTemplate_.fp64Fraction = attributes_.fp64Fraction;
+
+  // --- Strides --------------------------------------------------------------
+  // Constant (or non-affine) strides classify at compile time; the leading
+  // run of them folds straight into the workload templates. Later constant
+  // steps stay in `steps_` so the per-accumulator floating-point addition
+  // order matches the interpreted path exactly.
+  bool folding = true;
+  for (const pad::StrideAttribute& stride : attributes_.strides) {
+    StrideStep step;
+    step.isStore = stride.isStore;
+    step.countPerIteration = stride.countPerIteration;
+    step.elementBytes = stride.elementBytes;
+    const auto resolved =
+        stride.affine ? stride.stride.tryConstant() : std::nullopt;
+    if (!stride.affine || resolved.has_value()) {
+      const std::int64_t value = resolved.value_or(0);
+      const bool coalesced = stride.affine && coalescedStride(value);
+      step.kind = coalesced ? StrideStep::Kind::ConstCoalesced
+                            : StrideStep::Kind::ConstUncoalesced;
+      step.constFalseSharing =
+          stride.affine && stride.isStore &&
+          falseSharingStride(value, stride.elementBytes, cacheLineBytes_);
+      ++preResolvedStrides_;
+      if (folding) {
+        if (coalesced) {
+          gpuTemplate_.coalMemInstsPerThread += step.countPerIteration;
+        } else {
+          gpuTemplate_.uncoalMemInstsPerThread += step.countPerIteration;
+        }
+        if (step.constFalseSharing) cpuTemplate_.falseSharingRisk = true;
+        continue;
+      }
+    } else {
+      folding = false;
+      step.kind = StrideStep::Kind::Dynamic;
+      step.stride = symbolic::CompiledExpr(stride.stride, slots);
+      if (slots.size() > kMaxSlots) return;
+      for (const std::string& symbolName : stride.stride.freeSymbols()) {
+        step.slotsNeeded |= std::uint64_t{1} << slots.lookup(symbolName);
+      }
+    }
+    steps_.push_back(std::move(step));
+  }
+  if (slots.size() > kMaxSlots) return;
+
+  slotNames_.reserve(slots.size());
+  for (const auto& [name, slot] : slots.entries()) {
+    slotNames_.push_back(SlotBinding{name, slot});
+  }
+  // SlotMap::entries() iterates its std::map, so slotNames_ is already
+  // sorted by symbol name — the order the bindings merge-join needs.
+  fastPathUsable_ = true;
+}
+
+bool CompiledRegionPlan::bindSlots(const symbolic::Bindings& bindings,
+                                   std::span<std::int64_t> values,
+                                   std::uint64_t& boundMask) const {
+  boundMask = 0;
+  auto it = bindings.begin();
+  const auto end = bindings.end();
+  for (const SlotBinding& slot : slotNames_) {
+    while (it != end && it->first < slot.name) ++it;
+    if (it != end && it->first == slot.name) {
+      values[slot.slot] = it->second;
+      boundMask |= std::uint64_t{1} << slot.slot;
+    } else {
+      values[slot.slot] = 0;
+    }
+  }
+  return (boundMask & requiredMask_) == requiredMask_;
+}
+
+void CompiledRegionPlan::completeWorkloads(std::span<const std::int64_t> values,
+                                           std::uint64_t boundMask,
+                                           cpumodel::CpuWorkload& cpu,
+                                           gpumodel::GpuWorkload& gpu) const {
+  cpu = cpuTemplate_;
+  gpu = gpuTemplate_;
+  cpu.parallelTripCount = flatTripCount_.evaluate(values);
+  gpu.parallelTripCount = cpu.parallelTripCount;
+  gpu.bytesToDevice = bytesToDevice_.evaluate(values);
+  gpu.bytesFromDevice = bytesFromDevice_.evaluate(values);
+  for (const StrideStep& step : steps_) {
+    bool coalesced = false;
+    bool falseSharing = false;
+    switch (step.kind) {
+      case StrideStep::Kind::ConstCoalesced:
+        coalesced = true;
+        falseSharing = step.constFalseSharing;
+        break;
+      case StrideStep::Kind::ConstUncoalesced:
+        falseSharing = step.constFalseSharing;
+        break;
+      case StrideStep::Kind::Dynamic: {
+        // An unbound symbol leaves the stride unresolved: uncoalesced and
+        // exempt from the false-sharing test, like the interpreted path's
+        // substituteAll(...).tryConstant() returning nullopt.
+        if ((boundMask & step.slotsNeeded) == step.slotsNeeded) {
+          const std::int64_t value = step.stride.evaluate(values);
+          coalesced = coalescedStride(value);
+          falseSharing =
+              step.isStore &&
+              falseSharingStride(value, step.elementBytes, cacheLineBytes_);
+        }
+        break;
+      }
+    }
+    if (coalesced) {
+      gpu.coalMemInstsPerThread += step.countPerIteration;
+    } else {
+      gpu.uncoalMemInstsPerThread += step.countPerIteration;
+    }
+    if (falseSharing) cpu.falseSharingRisk = true;
+  }
+}
+
+}  // namespace osel::runtime

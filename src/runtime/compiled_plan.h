@@ -1,0 +1,143 @@
+// osel/runtime/compiled_plan.h — compiled decision plans.
+//
+// The paper's §IV.D pitch is that launch-time model evaluation is
+// "equivalent to solving an equation", yet the interpreted
+// OffloadSelector path re-resolves symbolic expressions through
+// string-keyed maps on every decide(): Expr::substituteAll heap-allocates
+// fresh polynomials per stride per launch and both workload structs are
+// rebuilt from the PAD each time. A CompiledRegionPlan moves all of that to
+// region-registration time (the Kerncraft / OpenMP-Advisor split: expensive
+// analysis once, a cheap closed-form completion at launch):
+//
+//   * flatTripCount / bytesToDevice / bytesFromDevice and every affine
+//     stride are lowered to slot-based symbolic::CompiledExprs over one
+//     shared SlotMap, so launch-time evaluation is integer multiplies over
+//     a flat array — no string hashing, no allocation;
+//   * strides that are already constant are pre-classified (coalesced /
+//     uncoalesced, false-sharing risk), and the leading run of constant
+//     strides is folded into the workload templates so the launch path
+//     skips them entirely;
+//   * the binding-independent parts of CpuWorkload / GpuWorkload
+//     (MCA cycles, instruction loadout, footprint) are precomputed.
+//
+// Launch-time completion fills a fixed-size slot vector from the bindings
+// (merge-join against the sorted slot names — string comparisons only) and
+// evaluates; the result is bit-identical to the interpreted path, which is
+// retained behind SelectorConfig::useCompiledPlans as the correctness
+// oracle. Degenerate inputs (unbound required symbols, a missing MCA host
+// entry, more symbols than kMaxSlots) make the plan report itself unusable
+// for the fast path and the selector falls back to the interpreted walk, so
+// diagnostics stay byte-identical too.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cpumodel/cpu_model.h"
+#include "gpumodel/gpu_model.h"
+#include "pad/attribute_db.h"
+#include "symbolic/compiled_expr.h"
+
+namespace osel::runtime {
+
+/// Issue-slot weight of one special math instruction (rsqrt/exp/...) in the
+/// GPU model's compute stream. Shared by the interpreted and compiled
+/// workload builders so the two paths agree exactly.
+inline constexpr double kSpecialInstIssueWeight = 8.0;
+
+/// A PAD region lowered for allocation-free launch-time completion.
+/// Compiled once (OffloadSelector::compile or TargetRuntime::registerRegion)
+/// and then read-only: concurrent decide() calls over one plan are safe.
+class CompiledRegionPlan {
+ public:
+  /// Slot-vector capacity of the fast path; regions with more distinct
+  /// runtime symbols (none in practice — Polybench kernels bind one or two)
+  /// fall back to the interpreted walk.
+  static constexpr std::size_t kMaxSlots = 64;
+
+  /// Lowers `attr`. `mcaModelName` selects the Machine_cycles_per_iter host
+  /// entry (missing entry => fastPathUsable() is false); `cacheLineBytes`
+  /// is the host line size the false-sharing pre-classification uses.
+  CompiledRegionPlan(pad::RegionAttributes attr, const std::string& mcaModelName,
+                     std::int64_t cacheLineBytes);
+
+  /// The PAD entry the plan was compiled from (kept for the interpreted
+  /// fallback path and diagnostics).
+  [[nodiscard]] const pad::RegionAttributes& attributes() const {
+    return attributes_;
+  }
+
+  /// Number of distinct runtime symbols across all compiled expressions.
+  [[nodiscard]] std::size_t slotCount() const { return slotNames_.size(); }
+
+  /// True when launch-time completion can run on the compiled fast path.
+  [[nodiscard]] bool fastPathUsable() const { return fastPathUsable_; }
+
+  /// Fills `values` (size >= slotCount()) from `bindings` and sets bit i of
+  /// `boundMask` for every bound slot i; unbound slots read 0. Returns true
+  /// iff every *required* symbol (trip count / transfer expressions) is
+  /// bound — optional stride-only symbols may stay unbound, matching the
+  /// interpreted path's "unresolved stride => uncoalesced" semantics.
+  /// Performs no heap allocation.
+  bool bindSlots(const symbolic::Bindings& bindings,
+                 std::span<std::int64_t> values, std::uint64_t& boundMask) const;
+
+  /// Completes both model workloads from bound slot values. Preconditions:
+  /// fastPathUsable() and a bindSlots() call that returned true produced
+  /// `values`/`boundMask`. Performs no heap allocation.
+  void completeWorkloads(std::span<const std::int64_t> values,
+                         std::uint64_t boundMask, cpumodel::CpuWorkload& cpu,
+                         gpumodel::GpuWorkload& gpu) const;
+
+  /// Strides fully resolved and classified at compile time (folded into the
+  /// workload templates or kept as constant steps). Exposed for tests.
+  [[nodiscard]] std::size_t preResolvedStrideCount() const {
+    return preResolvedStrides_;
+  }
+
+ private:
+  /// One not-prefix-foldable stride in original PAD order. Constant kinds
+  /// were classified at compile time; Dynamic evaluates its CompiledExpr.
+  struct StrideStep {
+    enum class Kind : std::uint8_t { ConstCoalesced, ConstUncoalesced, Dynamic };
+    Kind kind = Kind::Dynamic;
+    bool isStore = false;
+    /// Pre-classified false-sharing verdict (constant kinds only).
+    bool constFalseSharing = false;
+    double countPerIteration = 1.0;
+    std::int64_t elementBytes = 4;
+    symbolic::CompiledExpr stride;   // Kind::Dynamic only
+    std::uint64_t slotsNeeded = 0;   // Kind::Dynamic only
+  };
+
+  /// Sorted (symbol name, slot) pairs for the bindings merge-join.
+  struct SlotBinding {
+    std::string name;
+    std::size_t slot = 0;
+  };
+
+  pad::RegionAttributes attributes_;
+  bool fastPathUsable_ = false;
+  std::int64_t cacheLineBytes_ = 128;
+
+  std::vector<SlotBinding> slotNames_;  // sorted by name
+  std::uint64_t requiredMask_ = 0;      // slots the main expressions need
+
+  symbolic::CompiledExpr flatTripCount_;
+  symbolic::CompiledExpr bytesToDevice_;
+  symbolic::CompiledExpr bytesFromDevice_;
+
+  /// Binding-independent workload templates (includes the folded prefix of
+  /// constant strides).
+  cpumodel::CpuWorkload cpuTemplate_;
+  gpumodel::GpuWorkload gpuTemplate_;
+
+  /// Strides after the folded constant prefix, in original order (keeps
+  /// floating-point accumulation order identical to the interpreted path).
+  std::vector<StrideStep> steps_;
+  std::size_t preResolvedStrides_ = 0;
+};
+
+}  // namespace osel::runtime

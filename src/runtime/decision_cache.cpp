@@ -1,0 +1,84 @@
+#include "runtime/decision_cache.h"
+
+#include <algorithm>
+
+namespace osel::runtime {
+
+namespace {
+
+/// SplitMix64 finalizer — a fast, well-mixed 64-bit hash step.
+[[nodiscard]] std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t DecisionCache::hashKey(std::uint64_t boundMask,
+                                     std::span<const std::int64_t> values) {
+  std::uint64_t hash = mix(boundMask ^ (values.size() * 0x9E3779B97F4A7C15ULL));
+  for (const std::int64_t value : values) {
+    hash = mix(hash ^ static_cast<std::uint64_t>(value));
+  }
+  return hash;
+}
+
+DecisionCache::Entry* DecisionCache::locate(
+    std::uint64_t hash, std::uint64_t boundMask,
+    std::span<const std::int64_t> values) {
+  for (Entry& entry : entries_) {
+    if (entry.hash != hash || entry.boundMask != boundMask ||
+        entry.values.size() != values.size()) {
+      continue;
+    }
+    if (std::equal(entry.values.begin(), entry.values.end(), values.begin())) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+const Decision* DecisionCache::find(std::uint64_t boundMask,
+                                    std::span<const std::int64_t> values) {
+  Entry* entry = locate(hashKey(boundMask, values), boundMask, values);
+  if (entry == nullptr) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  entry->lastUse = ++tick_;
+  return &entry->decision;
+}
+
+void DecisionCache::insert(std::uint64_t boundMask,
+                           std::span<const std::int64_t> values,
+                           const Decision& decision) {
+  if (capacity_ == 0) return;
+  const std::uint64_t hash = hashKey(boundMask, values);
+  if (Entry* existing = locate(hash, boundMask, values)) {
+    existing->decision = decision;
+    existing->lastUse = ++tick_;
+    return;
+  }
+  Entry entry;
+  entry.hash = hash;
+  entry.boundMask = boundMask;
+  entry.values.assign(values.begin(), values.end());
+  entry.decision = decision;
+  entry.lastUse = ++tick_;
+  ++stats_.insertions;
+  if (entries_.size() < capacity_) {
+    entries_.push_back(std::move(entry));
+    return;
+  }
+  // Replace the least-recently-used entry.
+  auto victim = std::min_element(
+      entries_.begin(), entries_.end(),
+      [](const Entry& a, const Entry& b) { return a.lastUse < b.lastUse; });
+  *victim = std::move(entry);
+  ++stats_.evictions;
+}
+
+}  // namespace osel::runtime

@@ -1,0 +1,75 @@
+// osel/runtime/decision_cache.h — bounded per-region decision memoization.
+//
+// Suites relaunch the same region with identical bindings (iterative
+// solvers, epoch loops); the models are pure functions of the PAD entry and
+// the bound slot values, so the Decision can be memoized. The cache key is
+// the plan's completed slot vector plus its bound-slot mask — everything
+// launch-time evaluation depends on — hashed for the fast compare, with the
+// full key stored to rule out collisions. Capacity-bounded with
+// least-recently-used replacement; hit/miss/eviction counters feed the
+// LaunchRecord / CSV observability columns.
+//
+// Not thread-safe: one cache lives next to one region's plan inside a
+// TargetRuntime, which is single-threaded by contract.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "runtime/selector.h"
+
+namespace osel::runtime {
+
+class DecisionCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t insertions = 0;
+  };
+
+  /// Capacity 0 disables storage (every lookup misses, inserts are dropped).
+  explicit DecisionCache(std::size_t capacity = 64) : capacity_(capacity) {}
+
+  /// Mixes the bound mask and slot values into the lookup hash.
+  [[nodiscard]] static std::uint64_t hashKey(
+      std::uint64_t boundMask, std::span<const std::int64_t> values);
+
+  /// Returns the memoized decision for this exact key, or nullptr. Counts a
+  /// hit or a miss; performs no heap allocation.
+  [[nodiscard]] const Decision* find(std::uint64_t boundMask,
+                                     std::span<const std::int64_t> values);
+
+  /// Memoizes `decision`, evicting the least-recently-used entry at
+  /// capacity. Inserting an already-present key refreshes its decision.
+  void insert(std::uint64_t boundMask, std::span<const std::int64_t> values,
+              const Decision& decision);
+
+  /// Drops every entry (plan invalidation); counters survive.
+  void clear() { entries_.clear(); }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    std::uint64_t hash = 0;
+    std::uint64_t boundMask = 0;
+    std::vector<std::int64_t> values;
+    Decision decision;
+    std::uint64_t lastUse = 0;
+  };
+
+  [[nodiscard]] Entry* locate(std::uint64_t hash, std::uint64_t boundMask,
+                              std::span<const std::int64_t> values);
+
+  std::size_t capacity_;
+  std::vector<Entry> entries_;
+  std::uint64_t tick_ = 0;
+  Stats stats_;
+};
+
+}  // namespace osel::runtime

@@ -1,8 +1,11 @@
 #include "runtime/selector.h"
 
+#include <array>
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <span>
+#include <utility>
 
 #include "support/check.h"
 #include "support/faultinject.h"
@@ -48,9 +51,8 @@ gpumodel::GpuWorkload OffloadSelector::gpuWorkload(
     const pad::RegionAttributes& attr, const symbolic::Bindings& bindings) const {
   gpumodel::GpuWorkload workload;
   // Special math instructions weigh as several issue slots.
-  constexpr double kSpecialWeight = 8.0;
   workload.compInstsPerThread =
-      attr.compInstsPerIter + kSpecialWeight * attr.specialInstsPerIter;
+      attr.compInstsPerIter + kSpecialInstIssueWeight * attr.specialInstsPerIter;
   workload.fp64Fraction = attr.fp64Fraction;
   for (const pad::StrideAttribute& stride : attr.strides) {
     bool coalesced = false;
@@ -81,6 +83,28 @@ bool usablePrediction(double seconds) {
 
 }  // namespace
 
+void OffloadSelector::resolveChoice(Decision& decision,
+                                    const std::string& regionName) const {
+  const bool cpuOk = usablePrediction(decision.cpu.seconds);
+  const bool gpuOk = usablePrediction(decision.gpu.totalSeconds);
+  if (cpuOk && gpuOk) {
+    decision.device = decision.gpu.totalSeconds < decision.cpu.seconds
+                          ? Device::Gpu
+                          : Device::Cpu;
+  } else if (cpuOk) {
+    // Only the always-available host path predicted sanely: run there.
+    decision.device = Device::Cpu;
+    decision.valid = false;
+    decision.diagnostic = "degenerate GPU prediction for " + regionName;
+  } else {
+    decision.device = config_.safeDefaultDevice;
+    decision.valid = false;
+    decision.diagnostic = gpuOk ? "degenerate CPU prediction for "
+                                : "degenerate CPU and GPU predictions for ";
+    decision.diagnostic += regionName;
+  }
+}
+
 Decision OffloadSelector::decide(const pad::RegionAttributes& attr,
                                  const symbolic::Bindings& bindings) const {
   const auto start = std::chrono::steady_clock::now();
@@ -90,24 +114,46 @@ Decision OffloadSelector::decide(const pad::RegionAttributes& attr,
                                        "selector");
     decision.cpu = cpuModel_.predict(cpuWorkload(attr, bindings));
     decision.gpu = gpuModel_.predict(gpuWorkload(attr, bindings));
-    const bool cpuOk = usablePrediction(decision.cpu.seconds);
-    const bool gpuOk = usablePrediction(decision.gpu.totalSeconds);
-    if (cpuOk && gpuOk) {
-      decision.device = decision.gpu.totalSeconds < decision.cpu.seconds
-                            ? Device::Gpu
-                            : Device::Cpu;
-    } else if (cpuOk) {
-      // Only the always-available host path predicted sanely: run there.
-      decision.device = Device::Cpu;
-      decision.valid = false;
-      decision.diagnostic = "degenerate GPU prediction for " + attr.regionName;
+    resolveChoice(decision, attr.regionName);
+  } catch (const std::exception& error) {
+    decision.device = config_.safeDefaultDevice;
+    decision.valid = false;
+    decision.diagnostic = error.what();
+  }
+  const auto end = std::chrono::steady_clock::now();
+  decision.overheadSeconds =
+      std::chrono::duration<double>(end - start).count();
+  return decision;
+}
+
+CompiledRegionPlan OffloadSelector::compile(pad::RegionAttributes attr) const {
+  return CompiledRegionPlan(std::move(attr), config_.mcaModelName,
+                            config_.cpuParams.cacheLineBytes);
+}
+
+Decision OffloadSelector::decide(const CompiledRegionPlan& plan,
+                                 const symbolic::Bindings& bindings) const {
+  const auto start = std::chrono::steady_clock::now();
+  Decision decision;
+  try {
+    (void)support::faultInjector().hit(support::faultpoints::kSelectorDecide,
+                                       "selector");
+    std::array<std::int64_t, CompiledRegionPlan::kMaxSlots> slotValues{};
+    std::uint64_t boundMask = 0;
+    const std::span<std::int64_t> values(slotValues.data(), plan.slotCount());
+    if (plan.fastPathUsable() && plan.bindSlots(bindings, values, boundMask)) {
+      cpumodel::CpuWorkload cpu;
+      gpumodel::GpuWorkload gpu;
+      plan.completeWorkloads(values, boundMask, cpu, gpu);
+      decision.cpu = cpuModel_.predict(cpu);
+      decision.gpu = gpuModel_.predict(gpu);
     } else {
-      decision.device = config_.safeDefaultDevice;
-      decision.valid = false;
-      decision.diagnostic = gpuOk ? "degenerate CPU prediction for "
-                                  : "degenerate CPU and GPU predictions for ";
-      decision.diagnostic += attr.regionName;
+      // Degenerate plan or bindings: re-run the interpreted walk so the
+      // failure diagnostics are byte-identical to the oracle path.
+      decision.cpu = cpuModel_.predict(cpuWorkload(plan.attributes(), bindings));
+      decision.gpu = gpuModel_.predict(gpuWorkload(plan.attributes(), bindings));
     }
+    resolveChoice(decision, plan.attributes().regionName);
   } catch (const std::exception& error) {
     decision.device = config_.safeDefaultDevice;
     decision.valid = false;

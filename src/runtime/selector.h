@@ -16,6 +16,7 @@
 #include "cpumodel/cpu_model.h"
 #include "gpumodel/gpu_model.h"
 #include "pad/attribute_db.h"
+#include "runtime/compiled_plan.h"
 
 namespace osel::runtime {
 
@@ -36,6 +37,11 @@ struct SelectorConfig {
   /// exceptions). The CPU is the OpenMP host-fallback contract's
   /// always-available path, so it is the default.
   Device safeDefaultDevice = Device::Cpu;
+  /// When true (default), TargetRuntime lowers PAD entries into
+  /// CompiledRegionPlans at registration and decides on the allocation-free
+  /// compiled path. False keeps the original interpreted expression walk —
+  /// the correctness oracle the equivalence tests diff against.
+  bool useCompiledPlans = true;
 };
 
 /// The outcome of one selection.
@@ -87,9 +93,27 @@ class OffloadSelector {
   [[nodiscard]] Decision decide(const pad::RegionAttributes& attr,
                                 const symbolic::Bindings& bindings) const;
 
+  /// Lowers a PAD entry into a compiled decision plan bound to this
+  /// selector's configuration (MCA host entry, cache-line size). Pay this
+  /// once at region registration; decide(plan, ...) then runs
+  /// allocation-free.
+  [[nodiscard]] CompiledRegionPlan compile(pad::RegionAttributes attr) const;
+
+  /// The compiled fast path: fills the plan's slot vector from `bindings`
+  /// (no string hashing, no heap allocation) and evaluates both models.
+  /// Produces a Decision bit-identical to the interpreted overload —
+  /// degenerate inputs (unbound required symbols, unusable plan) are
+  /// delegated to the interpreted walk so even diagnostics match.
+  [[nodiscard]] Decision decide(const CompiledRegionPlan& plan,
+                                const symbolic::Bindings& bindings) const;
+
   [[nodiscard]] const SelectorConfig& config() const { return config_; }
 
  private:
+  /// Shared tail of both decide paths: validates the predictions and picks
+  /// the device (or degrades to the configured safe default).
+  void resolveChoice(Decision& decision, const std::string& regionName) const;
+
   SelectorConfig config_;
   cpumodel::CpuCostModel cpuModel_;
   gpumodel::GpuCostModel gpuModel_;

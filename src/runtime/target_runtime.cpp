@@ -1,8 +1,12 @@
 #include "runtime/target_runtime.h"
 
 #include <algorithm>
-#include <iomanip>
-#include <sstream>
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <string_view>
 
 #include "support/check.h"
 #include "support/faultinject.h"
@@ -34,16 +38,43 @@ TargetRuntime::TargetRuntime(pad::AttributeDatabase database,
       cpuSim_(std::move(cpuSim), cpuThreads),
       gpuSim_(std::move(gpuSim)),
       guard_(options.retry),
-      health_(options.health) {}
+      health_(options.health),
+      decisionCacheEnabled_(options.decisionCacheEnabled),
+      decisionCacheCapacity_(options.decisionCacheCapacity) {}
 
 void TargetRuntime::registerRegion(ir::TargetRegion region) {
   region.verify();
   const std::string name = region.name;
   regions_.insert_or_assign(name, std::move(region));
+  // Compile-time half of the launch-time decision: lower the PAD entry into
+  // a slot-based plan now so decide() never touches symbolic expressions.
+  // Re-registration replaces the plan and drops its memoized decisions.
+  plans_.erase(name);
+  if (selector_.config().useCompiledPlans) {
+    if (const pad::RegionAttributes* attr = database_.find(name)) {
+      plans_.emplace(name, PlanEntry{selector_.compile(*attr),
+                                     DecisionCache(decisionCacheCapacity_)});
+    }
+  }
 }
 
 bool TargetRuntime::hasRegion(const std::string& name) const {
   return regions_.contains(name);
+}
+
+const CompiledRegionPlan* TargetRuntime::plan(const std::string& name) const {
+  const auto it = plans_.find(name);
+  return it == plans_.end() ? nullptr : &it->second.plan;
+}
+
+DecisionCache::Stats TargetRuntime::decisionCacheStats(
+    const std::string& name) const {
+  const auto it = plans_.find(name);
+  return it == plans_.end() ? DecisionCache::Stats{} : it->second.cache.stats();
+}
+
+void TargetRuntime::invalidateDecisionCaches() {
+  for (auto& [name, entry] : plans_) entry.cache.clear();
 }
 
 double TargetRuntime::measure(const std::string& regionName,
@@ -59,7 +90,8 @@ double TargetRuntime::measure(const std::string& regionName,
 }
 
 Decision TargetRuntime::guardedDecision(const std::string& regionName,
-                                        const symbolic::Bindings& bindings) const {
+                                        const symbolic::Bindings& bindings,
+                                        LaunchRecord& record) {
   const pad::RegionAttributes* attr = database_.find(regionName);
   if (attr == nullptr) {
     // Missing/corrupt PAD entry: ModelGuided must degrade, not crash.
@@ -71,7 +103,35 @@ Decision TargetRuntime::guardedDecision(const std::string& regionName,
             .what();
     return decision;
   }
-  return selector_.decide(*attr, bindings);
+  const auto planIt = plans_.find(regionName);
+  if (planIt == plans_.end()) {
+    return selector_.decide(*attr, bindings);
+  }
+  PlanEntry& entry = planIt->second;
+  record.decisionCompiled = true;
+  // The cache key (bound slot values) determines the decision only when the
+  // fast path owns every symbol the models read; otherwise skip memoization.
+  if (!decisionCacheEnabled_ || entry.cache.capacity() == 0 ||
+      !entry.plan.fastPathUsable()) {
+    return selector_.decide(entry.plan, bindings);
+  }
+  const auto start = std::chrono::steady_clock::now();
+  std::array<std::int64_t, CompiledRegionPlan::kMaxSlots> slotStorage{};
+  const std::span<std::int64_t> slotValues(slotStorage.data(),
+                                           entry.plan.slotCount());
+  std::uint64_t boundMask = 0;
+  entry.plan.bindSlots(bindings, slotValues, boundMask);
+  if (const Decision* cached = entry.cache.find(boundMask, slotValues)) {
+    Decision decision = *cached;
+    decision.overheadSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    record.decisionCacheHit = true;
+    return decision;
+  }
+  Decision decision = selector_.decide(entry.plan, bindings);
+  entry.cache.insert(boundMask, slotValues, decision);
+  return decision;
 }
 
 void TargetRuntime::recordExecution(LaunchRecord& record,
@@ -102,7 +162,7 @@ LaunchRecord TargetRuntime::launch(const std::string& regionName,
   LaunchRecord record;
   record.regionName = regionName;
   record.policy = policy;
-  record.decision = guardedDecision(regionName, bindings);
+  record.decision = guardedDecision(regionName, bindings, record);
   record.gpuQuarantined = health_.quarantined();
 
   const auto measureOn = [&](Device device) {
@@ -202,26 +262,69 @@ LaunchRecord TargetRuntime::launch(const std::string& regionName,
   return record;
 }
 
+namespace {
+
+/// Appends a double formatted exactly as the previous ostringstream
+/// implementation did (defaultfloat, precision 9 == %.9g), without a
+/// per-row stream allocation.
+void appendDouble(std::string& out, double value) {
+  char buf[40];
+  const int n = std::snprintf(buf, sizeof(buf), "%.9g", value);
+  out.append(buf, static_cast<std::size_t>(n));
+}
+
+void appendInt(std::string& out, long long value) {
+  char buf[24];
+  const int n = std::snprintf(buf, sizeof(buf), "%lld", value);
+  out.append(buf, static_cast<std::size_t>(n));
+}
+
+}  // namespace
+
 std::string renderLogCsv(std::span<const LaunchRecord> log) {
-  std::ostringstream out;
-  out << std::setprecision(9);
-  out << "region,policy,chosen,predicted_cpu_s,predicted_gpu_s,actual_s,"
-         "actual_cpu_s,actual_gpu_s,decision_overhead_s,decision_valid,"
-         "attempts,fallback,backoff_s,quarantined\n";
+  constexpr std::string_view kHeader =
+      "region,policy,chosen,predicted_cpu_s,predicted_gpu_s,actual_s,"
+      "actual_cpu_s,actual_gpu_s,decision_overhead_s,decision_valid,"
+      "attempts,fallback,backoff_s,quarantined,decision_path,decision_cache";
+  std::string out;
+  out.reserve(kHeader.size() + 1 + log.size() * 192);
+  out.append(kHeader);
+  out.push_back('\n');
   for (const LaunchRecord& record : log) {
-    out << record.regionName << ',' << toString(record.policy) << ','
-        << toString(record.chosen) << ',' << record.decision.cpu.seconds << ','
-        << record.decision.gpu.totalSeconds << ',' << record.actualSeconds
-        << ',';
-    if (record.cpuMeasured) out << record.actualCpuSeconds;
-    out << ',';
-    if (record.gpuMeasured) out << record.actualGpuSeconds;
-    out << ',' << record.decision.overheadSeconds << ','
-        << (record.decision.valid ? 1 : 0) << ',' << record.attempts << ','
-        << toString(record.fallbackReason) << ',' << record.backoffSeconds
-        << ',' << (record.gpuQuarantined ? 1 : 0) << '\n';
+    out.append(record.regionName);
+    out.push_back(',');
+    out.append(toString(record.policy));
+    out.push_back(',');
+    out.append(toString(record.chosen));
+    out.push_back(',');
+    appendDouble(out, record.decision.cpu.seconds);
+    out.push_back(',');
+    appendDouble(out, record.decision.gpu.totalSeconds);
+    out.push_back(',');
+    appendDouble(out, record.actualSeconds);
+    out.push_back(',');
+    if (record.cpuMeasured) appendDouble(out, record.actualCpuSeconds);
+    out.push_back(',');
+    if (record.gpuMeasured) appendDouble(out, record.actualGpuSeconds);
+    out.push_back(',');
+    appendDouble(out, record.decision.overheadSeconds);
+    out.push_back(',');
+    out.push_back(record.decision.valid ? '1' : '0');
+    out.push_back(',');
+    appendInt(out, record.attempts);
+    out.push_back(',');
+    out.append(toString(record.fallbackReason));
+    out.push_back(',');
+    appendDouble(out, record.backoffSeconds);
+    out.push_back(',');
+    out.push_back(record.gpuQuarantined ? '1' : '0');
+    out.push_back(',');
+    out.append(record.decisionCompiled ? "compiled" : "interpreted");
+    out.push_back(',');
+    out.append(record.decisionCacheHit ? "hit" : "miss");
+    out.push_back('\n');
   }
-  return out.str();
+  return out;
 }
 
 }  // namespace osel::runtime

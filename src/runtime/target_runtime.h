@@ -10,15 +10,17 @@
 // — executes accordingly, and logs the launch for the evaluation benches.
 #pragma once
 
-#include <map>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "cpusim/cpu_simulator.h"
 #include "gpusim/gpu_simulator.h"
 #include "ir/region.h"
 #include "pad/attribute_db.h"
+#include "runtime/compiled_plan.h"
+#include "runtime/decision_cache.h"
 #include "runtime/launch_guard.h"
 #include "runtime/selector.h"
 
@@ -61,12 +63,23 @@ struct LaunchRecord {
   double backoffSeconds = 0.0;
   /// Per-attempt trace: device, outcome, error class, backoff.
   std::vector<LaunchAttempt> attemptLog;
+
+  // --- Decision-path telemetry (runtime/compiled_plan.h) ------------------
+  /// True when the decision came from a compiled region plan (false: the
+  /// interpreted oracle path, or no PAD entry / plan available).
+  bool decisionCompiled = false;
+  /// True when the decision was served from the memoization cache.
+  bool decisionCacheHit = false;
 };
 
-/// Fault-tolerance knobs of the runtime.
+/// Fault-tolerance and decision-path knobs of the runtime.
 struct RuntimeOptions {
   RetryPolicy retry;
   HealthPolicy health;
+  /// Per-region decision memoization (only on the compiled-plan path; keyed
+  /// by the hashed slot values a launch binds).
+  bool decisionCacheEnabled = true;
+  std::size_t decisionCacheCapacity = 64;
 };
 
 /// The runtime: device simulators + PAD + selector + launch guard + health
@@ -78,10 +91,26 @@ class TargetRuntime {
                 gpusim::GpuSimParams gpuSim, RuntimeOptions options = {});
 
   /// Registers the executable version of a region (must verify and must
-  /// have a PAD entry for ModelGuided launches).
+  /// have a PAD entry for ModelGuided launches). When a PAD entry exists,
+  /// it is lowered into a CompiledRegionPlan here — the compile-time half
+  /// of the launch-time "solve an equation" split — and any previous
+  /// plan/decision cache for the name is invalidated.
   void registerRegion(ir::TargetRegion region);
 
   [[nodiscard]] bool hasRegion(const std::string& name) const;
+
+  /// The compiled decision plan for a registered region; nullptr when the
+  /// region has no PAD entry (or compiled plans are disabled).
+  [[nodiscard]] const CompiledRegionPlan* plan(const std::string& name) const;
+
+  /// Hit/miss/eviction counters of a region's decision cache (zeros when
+  /// the region has no plan).
+  [[nodiscard]] DecisionCache::Stats decisionCacheStats(
+      const std::string& name) const;
+
+  /// Drops every region's memoized decisions (e.g. after reconfiguring the
+  /// models out-of-band). Counters survive.
+  void invalidateDecisionCaches();
 
   /// Measures one execution of a region on a specific device (ground-truth
   /// simulation against `store`).
@@ -110,10 +139,19 @@ class TargetRuntime {
   [[nodiscard]] const DeviceHealthTracker& gpuHealth() const { return health_; }
 
  private:
+  /// One region's compiled decision state.
+  struct PlanEntry {
+    CompiledRegionPlan plan;
+    DecisionCache cache;
+  };
+
   /// Selector evaluation that never throws: a region missing from the PAD
-  /// degrades to an invalid decision on the safe default device.
+  /// degrades to an invalid decision on the safe default device. Routes
+  /// through the compiled plan (and its memoization cache) when available,
+  /// recording the path taken in `record`.
   [[nodiscard]] Decision guardedDecision(const std::string& regionName,
-                                         const symbolic::Bindings& bindings) const;
+                                         const symbolic::Bindings& bindings,
+                                         LaunchRecord& record);
   /// Folds a guarded execution into `record` and the health tracker.
   void recordExecution(LaunchRecord& record, const GuardedExecution& execution);
 
@@ -123,15 +161,21 @@ class TargetRuntime {
   gpusim::GpuSimulator gpuSim_;
   LaunchGuard guard_;
   DeviceHealthTracker health_;
-  std::map<std::string, ir::TargetRegion> regions_;
+  bool decisionCacheEnabled_ = true;
+  std::size_t decisionCacheCapacity_ = 64;
+  std::unordered_map<std::string, ir::TargetRegion> regions_;
+  std::unordered_map<std::string, PlanEntry> plans_;
   std::vector<LaunchRecord> log_;
 };
 
 /// Renders launch records as CSV (header + one row per launch) — the
 /// OMPT-flavoured observability hook §V.A gestures at: region, policy,
 /// chosen device, predicted CPU/GPU seconds, measured seconds, decision
-/// overhead, plus the fault-tolerance columns (attempts, fallback reason,
-/// accounted backoff, quarantine state).
+/// overhead, the fault-tolerance columns (attempts, fallback reason,
+/// accounted backoff, quarantine state), and the decision-path columns
+/// (compiled vs interpreted, cache hit). Allocation-lean: reserves the
+/// output string once and streams rows through a stack buffer instead of
+/// repeated operator+ concatenation.
 [[nodiscard]] std::string renderLogCsv(std::span<const LaunchRecord> log);
 
 }  // namespace osel::runtime

@@ -38,8 +38,22 @@ inline void require(bool condition, const std::string& message,
   if (!condition) throw PreconditionError(detail::locate(loc, message));
 }
 
+/// Literal-message overload: defers std::string construction to the failure
+/// path, so checks on hot paths (model predict, compiled decide) cost one
+/// branch and zero heap allocations when they pass.
+inline void require(bool condition, const char* message,
+                    std::source_location loc = std::source_location::current()) {
+  if (!condition) throw PreconditionError(detail::locate(loc, message));
+}
+
 /// Checks an internal invariant. Throws InvariantError when violated.
 inline void ensure(bool condition, const std::string& message,
+                   std::source_location loc = std::source_location::current()) {
+  if (!condition) throw InvariantError(detail::locate(loc, message));
+}
+
+/// Literal-message overload of ensure; see require(bool, const char*).
+inline void ensure(bool condition, const char* message,
                    std::source_location loc = std::source_location::current()) {
   if (!condition) throw InvariantError(detail::locate(loc, message));
 }

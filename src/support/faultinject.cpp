@@ -64,7 +64,7 @@ FaultStats FaultInjector::stats(const std::string& point) const {
   return retiredIt == retired_.end() ? FaultStats{} : retiredIt->second;
 }
 
-double FaultInjector::hit(const std::string& point, const std::string& device) {
+double FaultInjector::hit(std::string_view point, std::string_view device) {
   // Fast path: nothing armed anywhere — one relaxed load, no lock.
   if (armedCount_.load(std::memory_order_relaxed) == 0) return 0.0;
 
@@ -85,14 +85,15 @@ double FaultInjector::hit(const std::string& point, const std::string& device) {
   }
 
   const std::string detail =
-      "injected " + toString(firing.kind) + " fault at " + point;
+      "injected " + toString(firing.kind) + " fault at " + std::string(point);
+  const std::string deviceName(device);
   switch (firing.kind) {
     case FaultKind::TransientLaunch:
-      throw TransientLaunchError(device, detail);
+      throw TransientLaunchError(deviceName, detail);
     case FaultKind::DeviceMemory:
-      throw DeviceMemoryError(device, detail);
+      throw DeviceMemoryError(deviceName, detail);
     case FaultKind::DeviceLost:
-      throw DeviceLostError(device, detail);
+      throw DeviceLostError(deviceName, detail);
     case FaultKind::Latency:
       return firing.latencySeconds;
   }

@@ -21,6 +21,7 @@
 #include <mutex>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 #include "support/rng.h"
 
@@ -121,8 +122,9 @@ class FaultInjector {
   /// Instrumentation call placed at a fault point. Returns extra simulated
   /// latency in seconds (0 unless an armed Latency fault fires); throws the
   /// armed DeviceError subclass when a throwing fault fires. `device` names
-  /// the path for the error message ("GPU"/"CPU").
-  double hit(const std::string& point, const std::string& device);
+  /// the path for the error message ("GPU"/"CPU"). Takes views so the
+  /// disarmed hot path never materializes std::strings.
+  double hit(std::string_view point, std::string_view device);
 
  private:
   struct ArmedPoint {
@@ -134,8 +136,10 @@ class FaultInjector {
   mutable std::mutex mutex_;
   std::atomic<int> armedCount_{0};
   // Disarmed points are kept (spec ignored) so stats survive a disarm.
-  std::map<std::string, ArmedPoint> armed_;
-  std::map<std::string, FaultStats> retired_;
+  // Transparent comparators let hit() look up by string_view without
+  // allocating a key.
+  std::map<std::string, ArmedPoint, std::less<>> armed_;
+  std::map<std::string, FaultStats, std::less<>> retired_;
 };
 
 /// The process-global injector every instrumented fault point consults.

@@ -33,6 +33,12 @@ class SlotMap {
 
   [[nodiscard]] std::size_t size() const { return slots_.size(); }
 
+  /// Name -> slot entries, iterated in sorted-name order. Exposed so plan
+  /// compilers can build their own lookup structures once.
+  [[nodiscard]] const std::map<std::string, std::size_t>& entries() const {
+    return slots_;
+  }
+
  private:
   std::map<std::string, std::size_t> slots_;
 };

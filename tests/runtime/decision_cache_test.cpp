@@ -1,0 +1,223 @@
+// DecisionCache unit coverage (hit/miss counters, LRU eviction, refresh,
+// disabled capacity, clear) plus TargetRuntime integration: repeated
+// launches memoize, re-registration and explicit invalidation drop the
+// memoized decisions, and the LaunchRecord/CSV telemetry reports the path.
+#include "runtime/decision_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+
+#include "compiler/compiler.h"
+#include "ir/builder.h"
+#include "runtime/target_runtime.h"
+
+namespace osel::runtime {
+namespace {
+
+using namespace osel::ir;
+
+Decision makeDecision(double cpuSeconds) {
+  Decision decision;
+  decision.device = Device::Gpu;
+  decision.cpu.seconds = cpuSeconds;
+  decision.gpu.totalSeconds = cpuSeconds / 2.0;
+  return decision;
+}
+
+std::array<std::int64_t, 2> key(std::int64_t a, std::int64_t b) {
+  return {a, b};
+}
+
+TEST(DecisionCache, HitAndMissCounters) {
+  DecisionCache cache(4);
+  const auto k = key(9600, 3);
+  EXPECT_EQ(cache.find(0b11, k), nullptr);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  cache.insert(0b11, k, makeDecision(1.0));
+  EXPECT_EQ(cache.stats().insertions, 1u);
+  const Decision* hit = cache.find(0b11, k);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_DOUBLE_EQ(hit->cpu.seconds, 1.0);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  // Same values under a different bound mask is a different key.
+  EXPECT_EQ(cache.find(0b01, k), nullptr);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(DecisionCache, LruEvictionAtCapacity) {
+  DecisionCache cache(2);
+  cache.insert(0b1, key(1, 0), makeDecision(1.0));
+  cache.insert(0b1, key(2, 0), makeDecision(2.0));
+  ASSERT_NE(cache.find(0b1, key(1, 0)), nullptr);  // refresh entry 1
+  cache.insert(0b1, key(3, 0), makeDecision(3.0));  // evicts entry 2
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.find(0b1, key(2, 0)), nullptr);
+  EXPECT_NE(cache.find(0b1, key(1, 0)), nullptr);
+  EXPECT_NE(cache.find(0b1, key(3, 0)), nullptr);
+}
+
+TEST(DecisionCache, InsertRefreshesExistingKey) {
+  DecisionCache cache(2);
+  cache.insert(0b1, key(7, 0), makeDecision(1.0));
+  cache.insert(0b1, key(7, 0), makeDecision(5.0));
+  EXPECT_EQ(cache.size(), 1u);
+  const Decision* hit = cache.find(0b1, key(7, 0));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_DOUBLE_EQ(hit->cpu.seconds, 5.0);
+}
+
+TEST(DecisionCache, CapacityZeroDisablesStorage) {
+  DecisionCache cache(0);
+  cache.insert(0b1, key(1, 0), makeDecision(1.0));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.find(0b1, key(1, 0)), nullptr);
+  EXPECT_EQ(cache.stats().insertions, 0u);
+}
+
+TEST(DecisionCache, ClearDropsEntriesKeepsCounters) {
+  DecisionCache cache(4);
+  cache.insert(0b1, key(1, 0), makeDecision(1.0));
+  ASSERT_NE(cache.find(0b1, key(1, 0)), nullptr);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.find(0b1, key(1, 0)), nullptr);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+}
+
+TEST(DecisionCache, HashDistinguishesMasksAndValues) {
+  const auto k = key(9600, 3);
+  EXPECT_NE(DecisionCache::hashKey(0b11, k), DecisionCache::hashKey(0b01, k));
+  EXPECT_NE(DecisionCache::hashKey(0b11, k),
+            DecisionCache::hashKey(0b11, key(9601, 3)));
+}
+
+// --- TargetRuntime integration ----------------------------------------------
+
+TargetRegion streamKernel() {
+  return RegionBuilder("stream")
+      .param("n")
+      .array("x", ScalarType::F32, {sym("n"), sym("n")}, Transfer::To)
+      .array("y", ScalarType::F32, {sym("n"), sym("n")}, Transfer::From)
+      .parallelFor("i", sym("n"))
+      .parallelFor("j", sym("n"))
+      .statement(Stmt::store("y", {sym("i"), sym("j")},
+                             read("x", {sym("i"), sym("j")}) * num(3.0)))
+      .build();
+}
+
+TargetRuntime makeRuntime(RuntimeOptions options = {},
+                          SelectorConfig config = {}) {
+  const std::array<mca::MachineModel, 1> models{mca::MachineModel::power9()};
+  const std::array<TargetRegion, 1> regions{streamKernel()};
+  pad::AttributeDatabase db = compiler::compileAll(regions, models);
+  config.cpuThreads = 160;
+  TargetRuntime runtime(std::move(db), config, cpusim::CpuSimParams::power9(),
+                        160, gpusim::GpuSimParams::teslaV100(), options);
+  runtime.registerRegion(streamKernel());
+  return runtime;
+}
+
+TEST(TargetRuntimeDecisionCache, RepeatedLaunchHitsCache) {
+  TargetRuntime runtime = makeRuntime();
+  ASSERT_NE(runtime.plan("stream"), nullptr);
+  const symbolic::Bindings bindings{{"n", 96}};
+  ArrayStore store = allocateArrays(streamKernel(), bindings);
+  const LaunchRecord first =
+      runtime.launch("stream", bindings, store, Policy::ModelGuided);
+  EXPECT_TRUE(first.decisionCompiled);
+  EXPECT_FALSE(first.decisionCacheHit);
+  const LaunchRecord second =
+      runtime.launch("stream", bindings, store, Policy::ModelGuided);
+  EXPECT_TRUE(second.decisionCompiled);
+  EXPECT_TRUE(second.decisionCacheHit);
+  // The memoized decision is the same decision.
+  EXPECT_EQ(second.decision.device, first.decision.device);
+  EXPECT_EQ(second.decision.cpu.seconds, first.decision.cpu.seconds);
+  EXPECT_EQ(second.decision.gpu.totalSeconds, first.decision.gpu.totalSeconds);
+  const DecisionCache::Stats stats = runtime.decisionCacheStats("stream");
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  // Different bindings are a different key.
+  const symbolic::Bindings other{{"n", 128}};
+  ArrayStore otherStore = allocateArrays(streamKernel(), other);
+  const LaunchRecord third =
+      runtime.launch("stream", other, otherStore, Policy::ModelGuided);
+  EXPECT_FALSE(third.decisionCacheHit);
+}
+
+TEST(TargetRuntimeDecisionCache, InvalidateDropsMemoizedDecisions) {
+  TargetRuntime runtime = makeRuntime();
+  const symbolic::Bindings bindings{{"n", 96}};
+  ArrayStore store = allocateArrays(streamKernel(), bindings);
+  (void)runtime.launch("stream", bindings, store, Policy::ModelGuided);
+  (void)runtime.launch("stream", bindings, store, Policy::ModelGuided);
+  EXPECT_EQ(runtime.decisionCacheStats("stream").hits, 1u);
+  runtime.invalidateDecisionCaches();
+  const LaunchRecord record =
+      runtime.launch("stream", bindings, store, Policy::ModelGuided);
+  EXPECT_FALSE(record.decisionCacheHit);
+  // Counters survive invalidation.
+  EXPECT_EQ(runtime.decisionCacheStats("stream").misses, 2u);
+}
+
+TEST(TargetRuntimeDecisionCache, ReRegistrationReplacesPlanAndCache) {
+  TargetRuntime runtime = makeRuntime();
+  const symbolic::Bindings bindings{{"n", 96}};
+  ArrayStore store = allocateArrays(streamKernel(), bindings);
+  (void)runtime.launch("stream", bindings, store, Policy::ModelGuided);
+  (void)runtime.launch("stream", bindings, store, Policy::ModelGuided);
+  EXPECT_EQ(runtime.decisionCacheStats("stream").hits, 1u);
+  runtime.registerRegion(streamKernel());
+  EXPECT_EQ(runtime.decisionCacheStats("stream").hits, 0u);
+  const LaunchRecord record =
+      runtime.launch("stream", bindings, store, Policy::ModelGuided);
+  EXPECT_FALSE(record.decisionCacheHit);
+}
+
+TEST(TargetRuntimeDecisionCache, DisabledCacheNeverHits) {
+  RuntimeOptions options;
+  options.decisionCacheEnabled = false;
+  TargetRuntime runtime = makeRuntime(options);
+  const symbolic::Bindings bindings{{"n", 96}};
+  ArrayStore store = allocateArrays(streamKernel(), bindings);
+  (void)runtime.launch("stream", bindings, store, Policy::ModelGuided);
+  const LaunchRecord record =
+      runtime.launch("stream", bindings, store, Policy::ModelGuided);
+  EXPECT_TRUE(record.decisionCompiled);
+  EXPECT_FALSE(record.decisionCacheHit);
+  EXPECT_EQ(runtime.decisionCacheStats("stream").hits, 0u);
+}
+
+TEST(TargetRuntimeDecisionCache, InterpretedModeHasNoPlan) {
+  SelectorConfig config;
+  config.useCompiledPlans = false;
+  TargetRuntime runtime = makeRuntime({}, config);
+  EXPECT_EQ(runtime.plan("stream"), nullptr);
+  const symbolic::Bindings bindings{{"n", 96}};
+  ArrayStore store = allocateArrays(streamKernel(), bindings);
+  const LaunchRecord record =
+      runtime.launch("stream", bindings, store, Policy::ModelGuided);
+  EXPECT_FALSE(record.decisionCompiled);
+  EXPECT_FALSE(record.decisionCacheHit);
+  EXPECT_EQ(record.decision.device, record.chosen);
+}
+
+TEST(TargetRuntimeDecisionCache, CsvReportsDecisionPathColumns) {
+  TargetRuntime runtime = makeRuntime();
+  const symbolic::Bindings bindings{{"n", 96}};
+  ArrayStore store = allocateArrays(streamKernel(), bindings);
+  (void)runtime.launch("stream", bindings, store, Policy::ModelGuided);
+  (void)runtime.launch("stream", bindings, store, Policy::ModelGuided);
+  const std::string csv = renderLogCsv(runtime.log());
+  EXPECT_NE(csv.find("decision_path,decision_cache"), std::string::npos);
+  EXPECT_NE(csv.find(",compiled,miss"), std::string::npos);
+  EXPECT_NE(csv.find(",compiled,hit"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace osel::runtime

@@ -11,9 +11,11 @@
 // --threads <count> (default 160), --platform v100|k80 (default v100),
 // --file <path.osel> (load kernels from a kernel-language file instead of
 // the built-in Polybench suite; see examples/kernels/).
+#include <algorithm>
 #include <array>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "compiler/compiler.h"
 #include "frontend/parser.h"
@@ -102,8 +104,13 @@ int cmdInspect(const KernelRef& ref, const Config& config) {
               "parallel iteration\n",
               attr.compInstsPerIter, attr.specialInstsPerIter,
               attr.loadInstsPerIter, attr.storeInstsPerIter);
+  std::vector<std::string> models;
   for (const auto& [model, cycles] : attr.machineCyclesPerIter)
-    std::printf("  Machine_cycles_per_iter[%s] = %.1f\n", model.c_str(), cycles);
+    models.push_back(model);
+  std::sort(models.begin(), models.end());  // hash map: sort for stable output
+  for (const auto& model : models)
+    std::printf("  Machine_cycles_per_iter[%s] = %.1f\n", model.c_str(),
+                attr.machineCyclesPerIter.at(model));
 
   const symbolic::Bindings bindings = bindingsFor(ref, config);
   const auto counts = analysis.classifySites(bindings);
