@@ -85,7 +85,7 @@ int main(int argc, char** argv) {
       const auto attr = compiler::analyzeRegion(kernel, models);
       const auto base = selector.gpuWorkload(attr, bindings);
       const double cpuPredicted =
-          selector.decide(attr, bindings).cpu.seconds;
+          selector.decide(runtime::RegionHandle(attr), bindings).cpu.seconds;
       std::vector<std::string> row{
           kernel.name, support::formatSeconds(actualGpu)};
       for (const Variant v :

@@ -60,7 +60,8 @@ std::vector<KernelMeasurement> measureBenchmark(
     m.actualGpuSeconds = gpuSim.simulate(kernel, bindings, store).totalSeconds;
 
     const pad::RegionAttributes attr = compiler::analyzeRegion(kernel, models);
-    const runtime::Decision decision = selector.decide(attr, bindings);
+    const runtime::Decision decision =
+        selector.decide(runtime::RegionHandle(attr), bindings);
     m.predictedCpuSeconds = decision.cpu.seconds;
     m.predictedGpuSeconds = decision.gpu.totalSeconds;
     results.push_back(m);

@@ -50,7 +50,8 @@ int main(int argc, char** argv) {
                   gpu.issueBoundFraction, gpu.latencyBoundFraction,
                   gpu.bandwidthBoundFraction);
       const auto attr = compiler::analyzeRegion(kernel, models);
-      const auto decision = selector.decide(attr, bindings);
+      const auto decision =
+          selector.decide(runtime::RegionHandle(attr), bindings);
       std::printf("  model: %s\n  model: %s\n",
                   decision.cpu.toString().c_str(),
                   decision.gpu.toString().c_str());

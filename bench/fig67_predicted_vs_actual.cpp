@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "bench/common/platform.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "support/cli.h"
 #include "support/format.h"
 #include "support/statistics.h"
@@ -22,7 +24,8 @@ namespace {
 
 using namespace osel;
 
-void runMode(polybench::Mode mode, std::int64_t scale, int threads, bool csv) {
+void runMode(polybench::Mode mode, std::int64_t scale, int threads, bool csv,
+             obs::TraceSession* stats) {
   const bench::Platform platform = bench::Platform::power9V100(threads);
   std::printf("Figure %d — actual vs predicted GPU offloading speedup (%s mode, "
               "%d-thread host, %s)\n\n",
@@ -43,6 +46,12 @@ void runMode(polybench::Mode mode, std::int64_t scale, int threads, bool csv) {
                     agrees ? "yes" : "NO"});
       actual.push_back(m.actualSpeedup());
       predicted.push_back(m.predictedSpeedup());
+      if (stats != nullptr) {
+        stats->recordPrediction(m.kernel + "/cpu", m.predictedCpuSeconds,
+                                m.actualCpuSeconds);
+        stats->recordPrediction(m.kernel + "/gpu", m.predictedGpuSeconds,
+                                m.actualGpuSeconds);
+      }
     }
   }
   table.addSeparator();
@@ -70,9 +79,16 @@ int main(int argc, char** argv) {
   const auto threads = static_cast<int>(cl.intOption("threads", 4));
   const std::string mode = cl.stringOption("mode").value_or("both");
   const bool csv = cl.hasFlag("csv");
+  // --stats: accumulate per-kernel predicted-vs-actual error (per device)
+  // in an obs::TraceSession and print the summary to stderr at the end —
+  // the online counterpart of the figures' offline comparison.
+  osel::obs::TraceSession session;
+  osel::obs::TraceSession* stats = cl.hasFlag("stats") ? &session : nullptr;
   if (mode == "test" || mode == "both")
-    runMode(polybench::Mode::Test, scale, threads, csv);
+    runMode(polybench::Mode::Test, scale, threads, csv, stats);
   if (mode == "benchmark" || mode == "both")
-    runMode(polybench::Mode::Benchmark, scale, threads, csv);
+    runMode(polybench::Mode::Benchmark, scale, threads, csv, stats);
+  if (stats != nullptr)
+    std::fputs(osel::obs::renderStatsSummary(session).c_str(), stderr);
   return 0;
 }

@@ -12,6 +12,7 @@
 
 #include "compiler/compiler.h"
 #include "mca/pipeline_sim.h"
+#include "obs/trace.h"
 #include "polybench/polybench.h"
 #include "runtime/decision_cache.h"
 #include "runtime/selector.h"
@@ -39,8 +40,9 @@ void BM_InterpretedDecision(benchmark::State& state) {
   // The original launch-time path: substitute bindings into the stored
   // symbolic expressions and walk them (allocates on every call).
   const symbolic::Bindings bindings{{"n", 9600}};
+  const runtime::RegionHandle region(gemmAttributes());
   for (auto _ : state) {
-    benchmark::DoNotOptimize(selector().decide(gemmAttributes(), bindings));
+    benchmark::DoNotOptimize(selector().decide(region, bindings));
   }
 }
 BENCHMARK(BM_InterpretedDecision);
@@ -50,11 +52,37 @@ void BM_CompiledDecision(benchmark::State& state) {
   // buffer; zero heap allocation, zero string hashing per call.
   const symbolic::Bindings bindings{{"n", 9600}};
   const runtime::CompiledRegionPlan plan = selector().compile(gemmAttributes());
+  const runtime::RegionHandle region(plan);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(selector().decide(plan, bindings));
+    benchmark::DoNotOptimize(selector().decide(region, bindings));
   }
 }
 BENCHMARK(BM_CompiledDecision);
+
+void BM_TracedDecision(benchmark::State& state) {
+  // The compiled path plus the runtime's observability hook: one decision
+  // span recorded into an attached TraceSession per decide. The delta
+  // against BM_CompiledDecision is the per-decision cost of tracing; with
+  // no session attached the hook is a single branch (see the <2% pin in
+  // perf-smoke and the allocation test in test_obs).
+  const symbolic::Bindings bindings{{"n", 9600}};
+  const runtime::CompiledRegionPlan plan = selector().compile(gemmAttributes());
+  const runtime::RegionHandle region(plan);
+  obs::TraceSession session({.capacity = 1024});
+  obs::Histogram& overhead = session.metrics().histogram(
+      "decision.overhead_s", {1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2});
+  for (auto _ : state) {
+    const std::int64_t start = session.nowNs();
+    const runtime::Decision decision = selector().decide(region, bindings);
+    session.recordSpan("decide", "compiled", "gemm_k1", start,
+                       session.nowNs() - start,
+                       {"overhead_s", decision.overheadSeconds},
+                       {"valid", decision.valid ? 1.0 : 0.0});
+    overhead.record(decision.overheadSeconds);
+    benchmark::DoNotOptimize(decision);
+  }
+}
+BENCHMARK(BM_TracedDecision);
 
 void BM_DecisionCacheHit(benchmark::State& state) {
   // Steady-state repeated launch: bind slots + memoization-cache lookup.
@@ -65,7 +93,8 @@ void BM_DecisionCacheHit(benchmark::State& state) {
   const std::span<std::int64_t> slots(storage.data(), plan.slotCount());
   std::uint64_t boundMask = 0;
   plan.bindSlots(bindings, slots, boundMask);
-  cache.insert(boundMask, slots, selector().decide(plan, bindings));
+  cache.insert(boundMask, slots,
+               selector().decide(runtime::RegionHandle(plan), bindings));
   for (auto _ : state) {
     std::uint64_t mask = 0;
     plan.bindSlots(bindings, slots, mask);
@@ -125,7 +154,7 @@ void BM_RenderLogCsv(benchmark::State& state) {
   const symbolic::Bindings bindings{{"n", 9600}};
   std::vector<runtime::LaunchRecord> log(512);
   const runtime::Decision decision =
-      selector().decide(gemmAttributes(), bindings);
+      selector().decide(runtime::RegionHandle(gemmAttributes()), bindings);
   for (std::size_t i = 0; i < log.size(); ++i) {
     log[i].regionName = "gemm_k1";
     log[i].policy = runtime::Policy::ModelGuided;

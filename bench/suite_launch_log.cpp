@@ -12,6 +12,10 @@
 //                            decision path: compiled region plans (default)
 //                            or the interpreted symbolic oracle
 //   --no-decision-cache      disable per-region decision memoization
+//   --trace-out <file>       attach an obs::TraceSession and write a Chrome
+//                            trace_event JSON of the run (forces serial)
+//   --stats                  print metrics + prediction-accuracy summary to
+//                            stderr after the run (forces serial)
 #include <array>
 #include <cstdio>
 #include <vector>
@@ -19,6 +23,8 @@
 #include "bench/common/platform.h"
 #include "bench/common/thread_pool.h"
 #include "compiler/compiler.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "runtime/target_runtime.h"
 #include "support/cli.h"
 #include "support/faultinject.h"
@@ -88,11 +94,21 @@ int main(int argc, char** argv) {
   const std::array<mca::MachineModel, 1> models{mca::MachineModel::power9()};
   pad::AttributeDatabase db = compiler::compileAll(regions, models);
 
-  runtime::SelectorConfig config;
-  config.cpuThreads = threads;
-  config.useCompiledPlans = decisions == "compiled";
   runtime::RuntimeOptions options;
+  options.selector.cpuThreads = threads;
+  options.selector.useCompiledPlans = decisions == "compiled";
+  options.cpuSim = cpusim::CpuSimParams::power9();
+  options.cpuSimThreads = threads;
+  options.gpuSim = gpusim::GpuSimParams::teslaV100();
   options.decisionCacheEnabled = !cl.hasFlag("no-decision-cache");
+
+  const std::string traceOut = cl.stringOption("trace-out").value_or("");
+  const bool wantStats = cl.hasFlag("stats");
+  obs::TraceSession session;
+  if (!traceOut.empty() || wantStats) {
+    options.trace = &session;
+    session.observeFaultInjector();
+  }
 
   const auto jobs = static_cast<unsigned>(cl.intOption("jobs", 0));
   const std::vector<polybench::Benchmark>& suite = polybench::suite();
@@ -100,15 +116,29 @@ int main(int argc, char** argv) {
   // Fault injection draws from one global seeded stream and feeds shared
   // circuit-breaker state, so the fault sequence is launch-order dependent:
   // faulty runs stay on the serial single-runtime path for reproducibility.
-  if (gpuFaultRate > 0.0 || jobs == 1) {
-    runtime::TargetRuntime rt(std::move(db), config,
-                              cpusim::CpuSimParams::power9(), threads,
-                              gpusim::GpuSimParams::teslaV100(), options);
+  // A trace session likewise records one runtime's pipeline, so observed
+  // runs are serial too.
+  if (gpuFaultRate > 0.0 || jobs == 1 || options.trace != nullptr) {
+    runtime::TargetRuntime rt(std::move(db), options);
     for (ir::TargetRegion& region : regions)
       rt.registerRegion(std::move(region));
     for (const polybench::Benchmark& benchmark : suite)
       launchBenchmark(rt, benchmark, mode, scale, policy);
     std::fputs(runtime::renderLogCsv(rt.log()).c_str(), stdout);
+    if (!traceOut.empty()) {
+      std::FILE* out = std::fopen(traceOut.c_str(), "w");
+      if (out == nullptr) {
+        std::fprintf(stderr, "suite_launch_log: cannot open %s for writing\n",
+                     traceOut.c_str());
+        return 1;
+      }
+      std::fputs(obs::renderChromeTrace(session).c_str(), out);
+      std::fclose(out);
+      std::fprintf(stderr, "suite_launch_log: wrote %llu trace events to %s\n",
+                   static_cast<unsigned long long>(session.recorded()),
+                   traceOut.c_str());
+    }
+    if (wantStats) std::fputs(obs::renderStatsSummary(session).c_str(), stderr);
     return 0;
   }
 
@@ -120,9 +150,7 @@ int main(int argc, char** argv) {
   pool.parallelFor(suite.size(), [&](std::size_t i) {
     const polybench::Benchmark& benchmark = suite[i];
     pad::AttributeDatabase dbCopy = db;
-    runtime::TargetRuntime rt(std::move(dbCopy), config,
-                              cpusim::CpuSimParams::power9(), threads,
-                              gpusim::GpuSimParams::teslaV100(), options);
+    runtime::TargetRuntime rt(std::move(dbCopy), options);
     for (const auto& kernel : benchmark.kernels()) rt.registerRegion(kernel);
     launchBenchmark(rt, benchmark, mode, scale, policy);
     logs[i] = rt.log();

@@ -47,7 +47,8 @@ int main(int argc, char** argv) {
     polybench::initializeInputs(conv, bindings, store);
     const double cpu = cpuSim.simulate(kernel, bindings, store).seconds;
     const double gpu = gpuSim.simulate(kernel, bindings, store).totalSeconds;
-    const runtime::Decision decision = selector.decide(attr, bindings);
+    const runtime::Decision decision =
+        selector.decide(runtime::RegionHandle(attr), bindings);
     const runtime::Device winner =
         gpu < cpu ? runtime::Device::Gpu : runtime::Device::Cpu;
     table.addRow({std::to_string(n), support::formatSeconds(cpu),

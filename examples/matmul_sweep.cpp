@@ -29,11 +29,11 @@ int main(int argc, char** argv) {
   pad::AttributeDatabase database;
   database.insert(compiler::analyzeRegion(kernel, hosts));
 
-  runtime::SelectorConfig config;
-  config.cpuThreads = threads;
-  runtime::TargetRuntime rt(std::move(database), config,
-                            cpusim::CpuSimParams::power9(), threads,
-                            gpusim::GpuSimParams::teslaV100());
+  runtime::RuntimeOptions options;
+  options.selector.cpuThreads = threads;
+  options.cpuSim = cpusim::CpuSimParams::power9();
+  options.gpuSim = gpusim::GpuSimParams::teslaV100();
+  runtime::TargetRuntime rt(std::move(database), options);
   rt.registerRegion(kernel);
 
   const std::vector<std::int64_t> sizes{32, 64, 96, 128, 256, 384, 512,

@@ -49,7 +49,8 @@ int main(int argc, char** argv) {
     const pad::RegionAttributes& attr = db.at(name);
     std::vector<std::string> row{name};
     for (const std::int64_t n : {256, 1100, 9600}) {
-      const runtime::Decision decision = selector.decide(attr, {{"n", n}});
+      const runtime::Decision decision =
+          selector.decide(runtime::RegionHandle(attr), {{"n", n}});
       row.push_back(runtime::toString(decision.device) + " (" +
                     support::formatSpeedup(decision.predictedSpeedup()) + ")");
     }

@@ -11,10 +11,8 @@
 #include <array>
 #include <cstdio>
 
-#include "compiler/compiler.h"
-#include "ir/builder.h"
 #include "ipda/ipda.h"
-#include "runtime/target_runtime.h"
+#include "osel.h"  // the single-include public API surface
 #include "support/format.h"
 
 int main() {
@@ -49,10 +47,10 @@ int main() {
               attr.storeInstsPerIter, attr.machineCyclesPerIter.at("POWER9"));
 
   // --- 3+4. Runtime: decide and execute at two problem sizes ---------------
-  runtime::SelectorConfig config;  // POWER9 + V100, 160 host threads
-  runtime::TargetRuntime rt(std::move(database), config,
-                            cpusim::CpuSimParams::power9(), config.cpuThreads,
-                            gpusim::GpuSimParams::teslaV100());
+  runtime::RuntimeOptions options;  // POWER9 + V100, 160 host threads
+  options.cpuSim = cpusim::CpuSimParams::power9();
+  options.gpuSim = gpusim::GpuSimParams::teslaV100();
+  runtime::TargetRuntime rt(std::move(database), options);
   rt.registerRegion(region);
 
   for (const std::int64_t n : {std::int64_t{4096}, std::int64_t{64} << 20}) {

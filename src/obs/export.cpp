@@ -1,0 +1,163 @@
+#include "obs/export.h"
+
+#include <cstdio>
+
+#include "support/format.h"
+#include "support/table.h"
+
+namespace osel::obs {
+
+namespace {
+
+void appendJsonString(std::string& out, std::string_view text) {
+  out += '"';
+  for (char ch : text) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+}
+
+void appendDouble(std::string& out, double value) {
+  char buf[40];
+  const int n = std::snprintf(buf, sizeof(buf), "%.9g", value);
+  out.append(buf, static_cast<std::size_t>(n));
+}
+
+}  // namespace
+
+std::string renderChromeTrace(std::span<const TraceEvent> events) {
+  std::string out;
+  out.reserve(64 + events.size() * 160);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n{\"name\":";
+    appendJsonString(out, event.name);
+    out += ",\"cat\":";
+    appendJsonString(out, event.category);
+    if (event.kind == EventKind::Span) {
+      out += ",\"ph\":\"X\",\"ts\":";
+      appendDouble(out, static_cast<double>(event.startNs) / 1000.0);
+      out += ",\"dur\":";
+      appendDouble(out, static_cast<double>(event.durNs) / 1000.0);
+    } else {
+      out += ",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+      appendDouble(out, static_cast<double>(event.startNs) / 1000.0);
+    }
+    out += ",\"pid\":1,\"tid\":";
+    out += std::to_string(event.tid);
+    out += ",\"args\":{";
+    bool firstArg = true;
+    if (!event.labelView().empty()) {
+      out += "\"label\":";
+      appendJsonString(out, event.labelView());
+      firstArg = false;
+    }
+    for (const TraceArg& arg : event.args) {
+      if (arg.key == nullptr) continue;
+      if (!firstArg) out += ',';
+      firstArg = false;
+      appendJsonString(out, arg.key);
+      out += ':';
+      appendDouble(out, arg.value);
+    }
+    out += "}}";
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+std::string renderChromeTrace(const TraceSession& session) {
+  return renderChromeTrace(session.snapshot());
+}
+
+std::string renderTraceCsv(std::span<const TraceEvent> events) {
+  std::string out =
+      "seq,kind,name,category,label,start_ns,dur_ns,tid,"
+      "arg0,value0,arg1,value1\n";
+  out.reserve(out.size() + events.size() * 96);
+  for (const TraceEvent& event : events) {
+    out += std::to_string(event.seq);
+    out += ',';
+    out += event.kind == EventKind::Span ? "span" : "instant";
+    out += ',';
+    out += support::csvField(event.name);
+    out += ',';
+    out += support::csvField(event.category);
+    out += ',';
+    out += support::csvField(event.labelView());
+    out += ',';
+    out += std::to_string(event.startNs);
+    out += ',';
+    out += std::to_string(event.durNs);
+    out += ',';
+    out += std::to_string(event.tid);
+    for (const TraceArg& arg : event.args) {
+      out += ',';
+      if (arg.key != nullptr) out += support::csvField(arg.key);
+      out += ',';
+      if (arg.key != nullptr) appendDouble(out, arg.value);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string renderTraceCsv(const TraceSession& session) {
+  return renderTraceCsv(session.snapshot());
+}
+
+std::string renderStatsSummary(const TraceSession& session) {
+  std::string out = "trace: " + std::to_string(session.recorded()) +
+                    " events recorded, " + std::to_string(session.dropped()) +
+                    " dropped (capacity " + std::to_string(session.capacity()) +
+                    ")\n";
+  const std::string metrics = session.metrics().renderSummary();
+  if (!metrics.empty()) {
+    out += '\n';
+    out += metrics;
+  }
+  const std::vector<PredictionStats> predictions = session.predictionStats();
+  if (!predictions.empty()) {
+    support::TextTable table({"region", "launches", "mean |pred-act|/act",
+                              "mean predicted", "mean actual"});
+    for (const PredictionStats& stats : predictions) {
+      table.addRow({stats.region, std::to_string(stats.count),
+                    support::formatPercent(stats.meanAbsRelError),
+                    support::formatSeconds(stats.meanPredictedSeconds),
+                    support::formatSeconds(stats.meanActualSeconds)});
+    }
+    out += '\n';
+    out += table.render();
+  }
+  return out;
+}
+
+}  // namespace osel::obs

@@ -1,0 +1,158 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "support/check.h"
+#include "support/format.h"
+#include "support/table.h"
+
+namespace osel::obs {
+
+using support::require;
+
+Histogram::Histogram(std::vector<double> upperBounds)
+    : upperBounds_(std::move(upperBounds)),
+      counts_(upperBounds_.size() + 1, 0),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  require(!upperBounds_.empty(), "Histogram: need at least one bucket bound");
+  require(std::is_sorted(upperBounds_.begin(), upperBounds_.end()) &&
+              std::adjacent_find(upperBounds_.begin(), upperBounds_.end()) ==
+                  upperBounds_.end(),
+          "Histogram: bucket bounds must be strictly increasing");
+}
+
+void Histogram::record(double value) noexcept {
+  const auto it =
+      std::lower_bound(upperBounds_.begin(), upperBounds_.end(), value);
+  const auto bucket =
+      static_cast<std::size_t>(it - upperBounds_.begin());
+  const std::lock_guard<std::mutex> lock(mutex_);
+  counts_[bucket] += 1;
+  count_ += 1;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+std::uint64_t Histogram::bucketValue(std::size_t bucket) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  require(bucket < counts_.size(), "Histogram::bucketValue: bucket out of range");
+  return counts_[bucket];
+}
+
+std::uint64_t Histogram::count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return min_;
+}
+
+double Histogram::max() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return max_;
+}
+
+double Histogram::mean() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  return *gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+              .first->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> upperBounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  return *histograms_
+              .emplace(std::string(name),
+                       std::make_unique<Histogram>(std::move(upperBounds)))
+              .first->second;
+}
+
+std::string MetricsRegistry::renderSummary() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  if (!counters_.empty() || !gauges_.empty()) {
+    support::TextTable table({"metric", "kind", "value"});
+    for (const auto& [name, counter] : counters_) {
+      table.addRow({name, "counter", std::to_string(counter->value())});
+    }
+    for (const auto& [name, gauge] : gauges_) {
+      table.addRow({name, "gauge", support::formatFixed(gauge->value(), 6)});
+    }
+    out += table.render();
+  }
+  if (!histograms_.empty()) {
+    if (!out.empty()) out += '\n';
+    support::TextTable table({"histogram", "count", "mean", "min", "max"});
+    for (const auto& [name, histogram] : histograms_) {
+      const bool empty = histogram->count() == 0;
+      table.addRow({name, std::to_string(histogram->count()),
+                    support::formatSeconds(histogram->mean()),
+                    empty ? "-" : support::formatSeconds(histogram->min()),
+                    empty ? "-" : support::formatSeconds(histogram->max())});
+    }
+    out += table.render();
+  }
+  return out;
+}
+
+std::string MetricsRegistry::renderCsv() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "kind,name,value,count,sum,min,max\n";
+  char buf[64];
+  const auto appendDouble = [&](double value) {
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    out += buf;
+  };
+  for (const auto& [name, counter] : counters_) {
+    out += "counter," + support::csvField(name) + ',' +
+           std::to_string(counter->value()) + ",,,,\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out += "gauge," + support::csvField(name) + ',';
+    appendDouble(gauge->value());
+    out += ",,,,\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const bool empty = histogram->count() == 0;
+    out += "histogram," + support::csvField(name) + ',';
+    appendDouble(histogram->mean());
+    out += ',' + std::to_string(histogram->count()) + ',';
+    appendDouble(histogram->sum());
+    out += ',';
+    if (!empty) appendDouble(histogram->min());
+    out += ',';
+    if (!empty) appendDouble(histogram->max());
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace osel::obs

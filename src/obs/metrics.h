@@ -1,0 +1,116 @@
+// osel/obs/metrics.h — the observability layer's metrics registry.
+//
+// Counters, gauges, and fixed-bucket histograms for the launch pipeline
+// (decision-path mix, cache hit ratios, decision-overhead distribution,
+// fault/retry/fallback counts). Registration returns stable references, so
+// hot paths register once and update through a pointer — updates are one
+// relaxed atomic op for counters/gauges and never allocate.
+//
+// The registry renders to a human-readable summary table (support/table)
+// and to CSV; both iterate names in sorted order so output is stable.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace osel::obs {
+
+/// Monotonically increasing event count. Thread-safe, allocation-free.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written instantaneous value (e.g. a cache hit ratio). Thread-safe,
+/// allocation-free.
+class Gauge {
+ public:
+  void set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts values <= upperBounds[i] (after
+/// the preceding bound); one implicit overflow bucket counts the rest.
+/// Bounds are fixed at registration — recording never allocates.
+class Histogram {
+ public:
+  /// `upperBounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> upperBounds);
+
+  void record(double value) noexcept;
+
+  [[nodiscard]] const std::vector<double>& upperBounds() const {
+    return upperBounds_;
+  }
+  /// upperBounds().size() + 1 (the overflow bucket).
+  [[nodiscard]] std::size_t bucketCount() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucketValue(std::size_t bucket) const;
+
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] double sum() const;
+  [[nodiscard]] double min() const;  ///< +inf when empty
+  [[nodiscard]] double max() const;  ///< -inf when empty
+  [[nodiscard]] double mean() const;  ///< 0 when empty
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> upperBounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Named metrics, one instance per TraceSession. Thread-safe; references
+/// returned by the registration calls stay valid for the registry's
+/// lifetime.
+class MetricsRegistry {
+ public:
+  /// Finds or creates the named counter.
+  [[nodiscard]] Counter& counter(std::string_view name);
+  /// Finds or creates the named gauge.
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  /// Finds or creates the named histogram. `upperBounds` is used only on
+  /// first registration; a later call with the same name returns the
+  /// existing histogram unchanged.
+  [[nodiscard]] Histogram& histogram(std::string_view name,
+                                     std::vector<double> upperBounds);
+
+  /// Human-readable summary (support::TextTable): counters, gauges, then
+  /// histogram statistics, each sorted by name.
+  [[nodiscard]] std::string renderSummary() const;
+  /// CSV form: kind,name,value[,count,sum,min,max] with RFC-4180 quoting.
+  [[nodiscard]] std::string renderCsv() const;
+
+ private:
+  mutable std::mutex mutex_;
+  // unique_ptr: node stability is not enough — renderers iterate while hot
+  // paths update, so the objects themselves must never move.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace osel::obs

@@ -1,0 +1,169 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <thread>
+
+#include "support/check.h"
+
+namespace osel::obs {
+
+namespace {
+
+std::uint32_t currentTid() {
+  return static_cast<std::uint32_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+}
+
+void copyLabel(std::array<char, TraceEvent::kLabelCapacity>& out,
+               std::string_view label) {
+  const std::size_t n = std::min(label.size(), out.size() - 1);
+  std::memcpy(out.data(), label.data(), n);
+  out[n] = '\0';
+}
+
+}  // namespace
+
+TraceSession::TraceSession(TraceOptions options)
+    : origin_(std::chrono::steady_clock::now()) {
+  support::require(options.capacity > 0, "TraceSession: capacity must be > 0");
+  ring_.resize(options.capacity);
+}
+
+TraceSession::~TraceSession() {
+  if (observingInjector_ &&
+      support::faultInjector().observer() == this) {
+    support::faultInjector().setObserver(nullptr);
+  }
+}
+
+std::int64_t TraceSession::nowNs() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - origin_)
+      .count();
+}
+
+void TraceSession::push(const TraceEvent& event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  TraceEvent& slot = ring_[nextSeq_ % ring_.size()];
+  slot = event;
+  slot.seq = nextSeq_;
+  nextSeq_ += 1;
+}
+
+void TraceSession::recordSpan(const char* name, const char* category,
+                              std::string_view label, std::int64_t startNs,
+                              std::int64_t durNs, TraceArg arg0,
+                              TraceArg arg1) {
+  TraceEvent event;
+  event.kind = EventKind::Span;
+  event.name = name;
+  event.category = category;
+  copyLabel(event.label, label);
+  event.startNs = startNs;
+  event.durNs = durNs;
+  event.tid = currentTid();
+  event.args = {arg0, arg1};
+  push(event);
+}
+
+void TraceSession::recordInstant(const char* name, const char* category,
+                                 std::string_view label, std::int64_t atNs,
+                                 TraceArg arg0, TraceArg arg1) {
+  TraceEvent event;
+  event.kind = EventKind::Instant;
+  event.name = name;
+  event.category = category;
+  copyLabel(event.label, label);
+  event.startNs = atNs;
+  event.durNs = 0;
+  event.tid = currentTid();
+  event.args = {arg0, arg1};
+  push(event);
+}
+
+void TraceSession::onFaultHit(std::string_view point, std::string_view device,
+                              support::FaultKind kind, bool fired) {
+  (void)device;
+  metrics_.counter("fault.hits").add();
+  if (fired) metrics_.counter("fault.fires").add();
+  recordInstant(fired ? "fault.fire" : "fault.skip", "fault", point, nowNs(),
+                {"kind", static_cast<double>(kind)});
+}
+
+void TraceSession::observeFaultInjector() {
+  support::faultInjector().setObserver(this);
+  observingInjector_ = true;
+}
+
+void TraceSession::recordPrediction(std::string_view region,
+                                    double predictedSeconds,
+                                    double actualSeconds) {
+  if (!std::isfinite(predictedSeconds) || !std::isfinite(actualSeconds) ||
+      actualSeconds <= 0.0) {
+    return;
+  }
+  const double absRelError =
+      std::fabs(predictedSeconds - actualSeconds) / actualSeconds;
+  const std::lock_guard<std::mutex> lock(predictionMutex_);
+  const auto it = predictions_.find(region);
+  PredictionAccumulator& acc =
+      it != predictions_.end()
+          ? it->second
+          : predictions_.emplace(std::string(region), PredictionAccumulator{})
+                .first->second;
+  acc.count += 1;
+  acc.sumAbsRelError += absRelError;
+  acc.sumPredicted += predictedSeconds;
+  acc.sumActual += actualSeconds;
+}
+
+std::vector<PredictionStats> TraceSession::predictionStats() const {
+  const std::lock_guard<std::mutex> lock(predictionMutex_);
+  std::vector<PredictionStats> out;
+  out.reserve(predictions_.size());
+  for (const auto& [region, acc] : predictions_) {
+    PredictionStats stats;
+    stats.region = region;
+    stats.count = acc.count;
+    const auto n = static_cast<double>(acc.count);
+    stats.meanAbsRelError = acc.sumAbsRelError / n;
+    stats.meanPredictedSeconds = acc.sumPredicted / n;
+    stats.meanActualSeconds = acc.sumActual / n;
+    out.push_back(std::move(stats));
+  }
+  return out;
+}
+
+std::vector<TraceEvent> TraceSession::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> out;
+  const std::uint64_t capacity = ring_.size();
+  const std::uint64_t first =
+      nextSeq_ > capacity ? nextSeq_ - capacity : 0;
+  out.reserve(static_cast<std::size_t>(nextSeq_ - first));
+  for (std::uint64_t seq = first; seq < nextSeq_; ++seq) {
+    out.push_back(ring_[seq % capacity]);
+  }
+  return out;
+}
+
+std::uint64_t TraceSession::recorded() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return nextSeq_;
+}
+
+std::uint64_t TraceSession::dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t capacity = ring_.size();
+  return nextSeq_ > capacity ? nextSeq_ - capacity : 0;
+}
+
+void TraceSession::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  nextSeq_ = 0;
+}
+
+}  // namespace osel::obs

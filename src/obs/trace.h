@@ -1,0 +1,167 @@
+// osel/obs/trace.h — bounded, low-overhead tracing of the launch pipeline.
+//
+// A TraceSession owns a preallocated ring buffer of fixed-size TraceEvents
+// plus a MetricsRegistry and an online predicted-vs-actual error tracker.
+// The paper's §V.A observability gesture (an OMPT-flavoured hook surface)
+// becomes concrete here: TargetRuntime emits decision spans (tagged
+// compiled / interpreted / cache-hit), execution spans with kernel/transfer
+// sub-spans, retry/backoff/fallback instants, circuit-breaker transitions,
+// and fault-injection hits (TraceSession implements support::FaultObserver).
+//
+// Design constraints, in priority order:
+//   * Detached cost is zero: every runtime hook is `if (trace_) ...` on a
+//     raw pointer; with no session attached the launch pipeline performs no
+//     observability work and no allocations (pinned by test and bench).
+//   * Recording never heap-allocates: TraceEvent stores static-string
+//     names/categories by pointer and copies the dynamic label (a region
+//     name) into a fixed inline array, truncating if oversized. The ring
+//     overwrites oldest events when full and counts the drops.
+//   * Timestamps are monotonic nanoseconds since session start
+//     (steady_clock), so traces are immune to wall-clock steps. Explicit
+//     -timestamp record calls exist so exporter tests are deterministic.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "support/faultinject.h"
+
+namespace osel::obs {
+
+enum class EventKind : std::uint8_t {
+  Span,     ///< has a duration (Chrome "X" complete event)
+  Instant,  ///< a point in time (Chrome "i" instant event)
+};
+
+/// One optional (key, value) annotation; key is a static string. A null key
+/// marks the slot unused.
+struct TraceArg {
+  const char* key = nullptr;
+  double value = 0.0;
+};
+
+/// Fixed-size trace record — safe to copy into the ring without touching
+/// the heap. `name`/`category` must be string literals (or otherwise
+/// outlive the session); the label is an inline truncated copy.
+struct TraceEvent {
+  static constexpr std::size_t kLabelCapacity = 48;
+
+  EventKind kind = EventKind::Span;
+  const char* name = "";
+  const char* category = "";
+  std::array<char, kLabelCapacity> label{};  ///< NUL-terminated, may be empty
+  std::int64_t startNs = 0;  ///< ns since session start
+  std::int64_t durNs = 0;    ///< 0 for instants
+  std::uint32_t tid = 0;     ///< hashed thread id
+  std::uint64_t seq = 0;     ///< global record order (survives ring wrap)
+  std::array<TraceArg, 2> args{};
+
+  [[nodiscard]] std::string_view labelView() const {
+    return std::string_view(label.data());
+  }
+};
+
+/// Per-region online predicted-vs-actual accuracy (the online counterpart
+/// of the paper's Fig. 6–7 offline comparison).
+struct PredictionStats {
+  std::string region;
+  std::uint64_t count = 0;
+  /// Mean of |predicted - actual| / actual across launches.
+  double meanAbsRelError = 0.0;
+  double meanPredictedSeconds = 0.0;
+  double meanActualSeconds = 0.0;
+};
+
+struct TraceOptions {
+  /// Ring capacity in events; the ring drops oldest events beyond it.
+  std::size_t capacity = 4096;
+};
+
+/// One tracing session. Attach to a TargetRuntime (RuntimeOptions::trace)
+/// to capture the launch pipeline; call observeFaultInjector() to also
+/// capture armed fault-point activity. Thread-safe.
+class TraceSession : public support::FaultObserver {
+ public:
+  explicit TraceSession(TraceOptions options = {});
+  /// Detaches from the global fault injector if observeFaultInjector() was
+  /// called.
+  ~TraceSession() override;
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// Monotonic nanoseconds since session construction.
+  [[nodiscard]] std::int64_t nowNs() const;
+
+  /// Records a completed span with explicit timestamps (deterministic for
+  /// tests; runtime callers pass nowNs()-derived values).
+  void recordSpan(const char* name, const char* category,
+                  std::string_view label, std::int64_t startNs,
+                  std::int64_t durNs, TraceArg arg0 = {}, TraceArg arg1 = {});
+
+  /// Records an instantaneous event.
+  void recordInstant(const char* name, const char* category,
+                     std::string_view label, std::int64_t atNs,
+                     TraceArg arg0 = {}, TraceArg arg1 = {});
+
+  // --- support::FaultObserver ----------------------------------------------
+  /// Armed fault-point hit: records an instant ("fault.fire" / "fault.skip")
+  /// and bumps the fault.hits / fault.fires counters.
+  void onFaultHit(std::string_view point, std::string_view device,
+                  support::FaultKind kind, bool fired) override;
+
+  /// Installs this session as the process-global FaultInjector's observer
+  /// (single slot, last writer wins). The destructor uninstalls it.
+  void observeFaultInjector();
+
+  // --- Prediction accuracy -------------------------------------------------
+  /// Feeds one launch's model prediction and measured time for `region`
+  /// into the online error tracker (ignored unless both are finite and
+  /// actual > 0).
+  void recordPrediction(std::string_view region, double predictedSeconds,
+                        double actualSeconds);
+  /// Per-region accuracy so far, sorted by region name.
+  [[nodiscard]] std::vector<PredictionStats> predictionStats() const;
+
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Buffered events, oldest first (at most `capacity`).
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+  /// Total events offered to the ring (recorded + dropped).
+  [[nodiscard]] std::uint64_t recorded() const;
+  /// Events overwritten because the ring was full.
+  [[nodiscard]] std::uint64_t dropped() const;
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+
+  void clear();
+
+ private:
+  void push(const TraceEvent& event);
+
+  std::chrono::steady_clock::time_point origin_;
+  MetricsRegistry metrics_;
+  bool observingInjector_ = false;
+
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;  ///< preallocated, indexed seq % capacity
+  std::uint64_t nextSeq_ = 0;
+
+  struct PredictionAccumulator {
+    std::uint64_t count = 0;
+    double sumAbsRelError = 0.0;
+    double sumPredicted = 0.0;
+    double sumActual = 0.0;
+  };
+  mutable std::mutex predictionMutex_;
+  std::map<std::string, PredictionAccumulator, std::less<>> predictions_;
+};
+
+}  // namespace osel::obs

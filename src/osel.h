@@ -1,0 +1,37 @@
+// osel.h — the single-include public API surface.
+//
+// Pulls in every header an application embedding the selector needs, in
+// dependency order. The expected flow:
+//
+//   1. Describe target regions (ir::RegionBuilder) or parse them from the
+//      kernel DSL (frontend/).
+//   2. compiler::compileAll() them into a pad::AttributeDatabase.
+//   3. Construct a runtime::TargetRuntime from the database and one
+//      runtime::RuntimeOptions aggregate (machine configuration, simulator
+//      parameters, fault-tolerance policies, decision memoization, and —
+//      optionally — an obs::TraceSession* for observability).
+//   4. registerRegion() the executable versions, then launch() under a
+//      runtime::Policy; ModelGuided is the paper's model-driven selection.
+//   5. Inspect results: TargetRuntime::log() / renderLogCsv() for launch
+//      records, obs::renderChromeTrace() / renderStatsSummary() for the
+//      trace session.
+//
+// Individual subsystem headers remain includable on their own; this header
+// only aggregates, it declares nothing.
+#pragma once
+
+#include "compiler/compiler.h"
+#include "ir/builder.h"
+#include "ir/region.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "pad/attribute_db.h"
+#include "runtime/compiled_plan.h"
+#include "runtime/decision_cache.h"
+#include "runtime/launch_guard.h"
+#include "runtime/selector.h"
+#include "runtime/target_runtime.h"
+#include "support/error.h"
+#include "support/faultinject.h"
+#include "symbolic/expr.h"

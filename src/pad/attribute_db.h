@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "support/check.h"
+#include "support/error.h"
 #include "symbolic/expr.h"
 
 namespace osel::pad {
@@ -27,7 +28,10 @@ namespace osel::pad {
 /// region name and, when one is plausibly close (edit distance), the
 /// nearest known region name — a missing PAD entry is usually a typo or a
 /// stale database, and the suggestion makes the diagnostic actionable.
-class PadLookupError final : public support::PreconditionError {
+/// Also an osel::Error (code() == ErrorCode::PadLookup), so subsystem-blind
+/// callers can catch the unified type.
+class PadLookupError final : public support::PreconditionError,
+                             public osel::Error {
  public:
   PadLookupError(std::string regionName, std::string suggestion);
 
@@ -37,6 +41,13 @@ class PadLookupError final : public support::PreconditionError {
   /// Nearest known region name; empty when nothing is close.
   [[nodiscard]] const std::string& suggestion() const noexcept {
     return suggestion_;
+  }
+
+  [[nodiscard]] osel::ErrorCode code() const noexcept override {
+    return osel::ErrorCode::PadLookup;
+  }
+  [[nodiscard]] const char* what() const noexcept override {
+    return support::PreconditionError::what();
   }
 
  private:

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/check.h"
+#include "support/error.h"
 #include "support/faultinject.h"
 
 namespace osel::runtime {
@@ -40,16 +41,25 @@ std::string toString(FallbackReason value) {
 }
 
 ErrorClass classifyLaunchError(const std::exception& error) {
-  if (dynamic_cast<const support::TransientLaunchError*>(&error) != nullptr) {
-    return ErrorClass::Transient;
-  }
-  if (dynamic_cast<const support::DeviceError*>(&error) != nullptr) {
-    // DeviceMemoryError, DeviceLostError, plain DeviceError: retrying the
-    // same launch cannot help.
-    return ErrorClass::Fatal;
+  // Typed osel errors classify by machine-readable code — classification
+  // stays stable if the class hierarchy gains intermediate layers.
+  if (const auto* typed = dynamic_cast<const osel::Error*>(&error)) {
+    switch (typed->code()) {
+      case ErrorCode::TransientLaunch:
+        return ErrorClass::Transient;
+      case ErrorCode::DeviceMemory:
+      case ErrorCode::DeviceLost:
+        return ErrorClass::Fatal;
+      case ErrorCode::Precondition:
+      case ErrorCode::PadLookup:
+        return ErrorClass::ModelInput;
+      case ErrorCode::Invariant:
+      case ErrorCode::Unknown:
+        return ErrorClass::Fatal;
+    }
   }
   if (dynamic_cast<const support::PreconditionError*>(&error) != nullptr) {
-    // Bad model/PAD input (includes pad::PadLookupError).
+    // Untyped precondition failures: bad model/PAD input.
     return ErrorClass::ModelInput;
   }
   return ErrorClass::Fatal;

@@ -105,8 +105,40 @@ void OffloadSelector::resolveChoice(Decision& decision,
   }
 }
 
+Decision OffloadSelector::decide(const RegionHandle& region,
+                                 const symbolic::Bindings& bindings) const {
+  if (const CompiledRegionPlan* plan = region.plan()) {
+    return decideCompiled(*plan, bindings);
+  }
+  if (const pad::RegionAttributes* attr = region.attributes()) {
+    return decideInterpreted(*attr, bindings);
+  }
+  // Missing PAD entry: ModelGuided must degrade, not crash. The diagnostic
+  // is the same PadLookupError text at() would have thrown.
+  Decision decision;
+  decision.valid = false;
+  decision.device = config_.safeDefaultDevice;
+  decision.diagnostic = pad::PadLookupError(std::string(region.name()),
+                                            std::string(region.suggestion()))
+                            .what();
+  return decision;
+}
+
+// Deprecated pre-RegionHandle entry points. Exact-signature matches keep
+// pre-redesign call sites binding here (with a deprecation warning) rather
+// than through the implicit RegionHandle conversion.
 Decision OffloadSelector::decide(const pad::RegionAttributes& attr,
                                  const symbolic::Bindings& bindings) const {
+  return decide(RegionHandle(attr), bindings);
+}
+
+Decision OffloadSelector::decide(const CompiledRegionPlan& plan,
+                                 const symbolic::Bindings& bindings) const {
+  return decide(RegionHandle(plan), bindings);
+}
+
+Decision OffloadSelector::decideInterpreted(
+    const pad::RegionAttributes& attr, const symbolic::Bindings& bindings) const {
   const auto start = std::chrono::steady_clock::now();
   Decision decision;
   try {
@@ -131,8 +163,8 @@ CompiledRegionPlan OffloadSelector::compile(pad::RegionAttributes attr) const {
                             config_.cpuParams.cacheLineBytes);
 }
 
-Decision OffloadSelector::decide(const CompiledRegionPlan& plan,
-                                 const symbolic::Bindings& bindings) const {
+Decision OffloadSelector::decideCompiled(
+    const CompiledRegionPlan& plan, const symbolic::Bindings& bindings) const {
   const auto start = std::chrono::steady_clock::now();
   Decision decision;
   try {

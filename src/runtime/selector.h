@@ -12,6 +12,7 @@
 #include <cmath>
 #include <limits>
 #include <string>
+#include <string_view>
 
 #include "cpumodel/cpu_model.h"
 #include "gpumodel/gpu_model.h"
@@ -70,6 +71,54 @@ struct Decision {
   }
 };
 
+/// A lightweight, non-owning view naming the region a decide() call is
+/// about. One handle type spans the three launch-time situations:
+///   * a CompiledRegionPlan — the registration-time lowered fast path,
+///   * raw PAD RegionAttributes — the interpreted oracle walk,
+///   * a missing region — no PAD entry; decide() degrades to the safe
+///     default device with a PadLookupError diagnostic.
+/// Handles are views: the referenced plan/attributes (and, for missing(),
+/// the name/suggestion storage) must outlive the decide() call.
+class RegionHandle {
+ public:
+  /*implicit*/ RegionHandle(const CompiledRegionPlan& plan)
+      : plan_(&plan),
+        attributes_(&plan.attributes()),
+        name_(plan.attributes().regionName) {}
+
+  /*implicit*/ RegionHandle(const pad::RegionAttributes& attributes)
+      : attributes_(&attributes), name_(attributes.regionName) {}
+
+  /// Handle for a region absent from the PAD. `suggestion` is the nearest
+  /// known region name (may be empty); it feeds the diagnostic.
+  [[nodiscard]] static RegionHandle missing(std::string_view regionName,
+                                            std::string_view suggestion = {}) {
+    RegionHandle handle;
+    handle.name_ = regionName;
+    handle.suggestion_ = suggestion;
+    return handle;
+  }
+
+  /// Compiled plan; nullptr when the handle wraps raw attributes or a
+  /// missing region.
+  [[nodiscard]] const CompiledRegionPlan* plan() const { return plan_; }
+  /// PAD attributes; nullptr only for a missing region.
+  [[nodiscard]] const pad::RegionAttributes* attributes() const {
+    return attributes_;
+  }
+  [[nodiscard]] bool resolved() const { return attributes_ != nullptr; }
+  [[nodiscard]] std::string_view name() const { return name_; }
+  [[nodiscard]] std::string_view suggestion() const { return suggestion_; }
+
+ private:
+  RegionHandle() = default;
+
+  const CompiledRegionPlan* plan_ = nullptr;
+  const pad::RegionAttributes* attributes_ = nullptr;
+  std::string_view name_;
+  std::string_view suggestion_;
+};
+
 /// Stateless selector bound to one machine configuration.
 class OffloadSelector {
  public:
@@ -85,31 +134,53 @@ class OffloadSelector {
   [[nodiscard]] gpumodel::GpuWorkload gpuWorkload(
       const pad::RegionAttributes& attr, const symbolic::Bindings& bindings) const;
 
-  /// Evaluates both models and picks the faster device. Guardrailed: model
-  /// or workload-construction failures and degenerate (NaN/non-finite/
-  /// non-positive) predictions never escape — the decision degrades to the
-  /// configured safe default device with `valid == false` and a diagnostic,
-  /// so ModelGuided launches behave like AlwaysCpu instead of crashing.
-  [[nodiscard]] Decision decide(const pad::RegionAttributes& attr,
+  /// THE selection entry point: evaluates both models for the region the
+  /// handle names and picks the faster device.
+  ///   * handle wraps a CompiledRegionPlan: the allocation-free compiled
+  ///     fast path (slot binding, no string hashing); degenerate inputs
+  ///     (unbound required symbols, unusable plan) re-run the interpreted
+  ///     walk so even diagnostics match the oracle path bit-for-bit,
+  ///   * handle wraps RegionAttributes: the interpreted expression walk,
+  ///   * handle is missing(): degrades to the configured safe default
+  ///     device, valid == false, with a PadLookupError diagnostic.
+  /// Guardrailed: model/workload-construction failures and degenerate
+  /// (NaN/non-finite/non-positive) predictions never escape — the decision
+  /// degrades to the safe default with a diagnostic, so ModelGuided
+  /// launches behave like AlwaysCpu instead of crashing.
+  [[nodiscard]] Decision decide(const RegionHandle& region,
                                 const symbolic::Bindings& bindings) const;
+
+  /// Deprecated shim for the pre-RegionHandle API; forwards to
+  /// decide(RegionHandle(attr), bindings).
+  [[deprecated(
+      "use decide(RegionHandle, Bindings); RegionHandle converts from "
+      "RegionAttributes")]] [[nodiscard]] Decision
+  decide(const pad::RegionAttributes& attr,
+         const symbolic::Bindings& bindings) const;
+
+  /// Deprecated shim for the pre-RegionHandle API; forwards to
+  /// decide(RegionHandle(plan), bindings).
+  [[deprecated(
+      "use decide(RegionHandle, Bindings); RegionHandle converts from "
+      "CompiledRegionPlan")]] [[nodiscard]] Decision
+  decide(const CompiledRegionPlan& plan,
+         const symbolic::Bindings& bindings) const;
 
   /// Lowers a PAD entry into a compiled decision plan bound to this
   /// selector's configuration (MCA host entry, cache-line size). Pay this
-  /// once at region registration; decide(plan, ...) then runs
-  /// allocation-free.
+  /// once at region registration; decide(RegionHandle(plan), ...) then
+  /// runs allocation-free.
   [[nodiscard]] CompiledRegionPlan compile(pad::RegionAttributes attr) const;
-
-  /// The compiled fast path: fills the plan's slot vector from `bindings`
-  /// (no string hashing, no heap allocation) and evaluates both models.
-  /// Produces a Decision bit-identical to the interpreted overload —
-  /// degenerate inputs (unbound required symbols, unusable plan) are
-  /// delegated to the interpreted walk so even diagnostics match.
-  [[nodiscard]] Decision decide(const CompiledRegionPlan& plan,
-                                const symbolic::Bindings& bindings) const;
 
   [[nodiscard]] const SelectorConfig& config() const { return config_; }
 
  private:
+  /// The interpreted expression walk (the correctness oracle).
+  [[nodiscard]] Decision decideInterpreted(const pad::RegionAttributes& attr,
+                                           const symbolic::Bindings& bindings) const;
+  /// The compiled slot-based fast path.
+  [[nodiscard]] Decision decideCompiled(const CompiledRegionPlan& plan,
+                                        const symbolic::Bindings& bindings) const;
   /// Shared tail of both decide paths: validates the predictions and picks
   /// the device (or degrades to the configured safe default).
   void resolveChoice(Decision& decision, const std::string& regionName) const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <span>
@@ -10,6 +11,7 @@
 
 #include "support/check.h"
 #include "support/faultinject.h"
+#include "support/format.h"
 
 namespace osel::runtime {
 
@@ -29,18 +31,88 @@ std::string toString(Policy policy) {
   return "?";
 }
 
+namespace {
+
+/// Static-string policy tag for trace categories (toString allocates).
+const char* policyTag(Policy policy) {
+  switch (policy) {
+    case Policy::AlwaysCpu:
+      return "always-cpu";
+    case Policy::AlwaysGpu:
+      return "always-gpu";
+    case Policy::ModelGuided:
+      return "model-guided";
+    case Policy::Oracle:
+      return "oracle";
+  }
+  return "?";
+}
+
+/// Static-string fallback-reason tag for trace categories.
+const char* fallbackTag(FallbackReason reason) {
+  switch (reason) {
+    case FallbackReason::None:
+      return "none";
+    case FallbackReason::TransientExhausted:
+      return "transient-exhausted";
+    case FallbackReason::FatalError:
+      return "fatal-error";
+    case FallbackReason::Quarantined:
+      return "quarantined";
+    case FallbackReason::InvalidDecision:
+      return "invalid-decision";
+  }
+  return "?";
+}
+
+}  // namespace
+
+TargetRuntime::TargetRuntime(pad::AttributeDatabase database,
+                             RuntimeOptions options)
+    : database_(std::move(database)),
+      selector_(options.selector),
+      cpuSim_(std::move(options.cpuSim), options.cpuSimThreads > 0
+                                             ? options.cpuSimThreads
+                                             : options.selector.cpuThreads),
+      gpuSim_(std::move(options.gpuSim)),
+      guard_(options.retry),
+      health_(options.health),
+      decisionCacheEnabled_(options.decisionCacheEnabled),
+      decisionCacheCapacity_(options.decisionCacheCapacity),
+      trace_(options.trace) {
+  initInstruments();
+}
+
 TargetRuntime::TargetRuntime(pad::AttributeDatabase database,
                              SelectorConfig selectorConfig,
                              cpusim::CpuSimParams cpuSim, int cpuThreads,
                              gpusim::GpuSimParams gpuSim, RuntimeOptions options)
-    : database_(std::move(database)),
-      selector_(std::move(selectorConfig)),
-      cpuSim_(std::move(cpuSim), cpuThreads),
-      gpuSim_(std::move(gpuSim)),
-      guard_(options.retry),
-      health_(options.health),
-      decisionCacheEnabled_(options.decisionCacheEnabled),
-      decisionCacheCapacity_(options.decisionCacheCapacity) {}
+    : TargetRuntime(std::move(database), [&] {
+        options.selector = std::move(selectorConfig);
+        options.cpuSim = std::move(cpuSim);
+        options.cpuSimThreads = cpuThreads;
+        options.gpuSim = std::move(gpuSim);
+        return std::move(options);
+      }()) {}
+
+void TargetRuntime::initInstruments() {
+  if (trace_ == nullptr) return;
+  obs::MetricsRegistry& metrics = trace_->metrics();
+  instruments_.decisionsCompiled = &metrics.counter("decision.compiled");
+  instruments_.decisionsInterpreted = &metrics.counter("decision.interpreted");
+  instruments_.decisionsCacheHit = &metrics.counter("decision.cache_hit");
+  instruments_.decisionsDegenerate = &metrics.counter("decision.degenerate");
+  instruments_.launchesCpu = &metrics.counter("launch.cpu");
+  instruments_.launchesGpu = &metrics.counter("launch.gpu");
+  instruments_.retries = &metrics.counter("guard.retries");
+  instruments_.fallbacks = &metrics.counter("guard.fallbacks");
+  instruments_.quarantinesOpened = &metrics.counter("health.quarantines");
+  instruments_.cacheHitRatio = &metrics.gauge("decision_cache.hit_ratio");
+  instruments_.decisionOverhead = &metrics.histogram(
+      "decision.overhead_s", {1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2});
+  instruments_.predictionError = &metrics.histogram(
+      "prediction.abs_rel_error", {0.01, 0.05, 0.1, 0.25, 0.5, 1.0});
+}
 
 void TargetRuntime::registerRegion(ir::TargetRegion region) {
   region.verify();
@@ -89,48 +161,116 @@ double TargetRuntime::measure(const std::string& regionName,
   return gpuSim_.simulate(it->second, bindings, store).totalSeconds;
 }
 
+double TargetRuntime::measureTraced(const std::string& regionName,
+                                    const symbolic::Bindings& bindings,
+                                    ir::ArrayStore& store, Device device) {
+  if (trace_ == nullptr) return measure(regionName, bindings, store, device);
+  const auto it = regions_.find(regionName);
+  require(it != regions_.end(),
+          "TargetRuntime::measure: unregistered region " + regionName);
+  const std::int64_t startNs = trace_->nowNs();
+  if (device == Device::Cpu) {
+    const double seconds = cpuSim_.simulate(it->second, bindings, store).seconds;
+    trace_->recordSpan("exec.cpu", "exec", regionName, startNs,
+                       trace_->nowNs() - startNs, {"simulated_s", seconds});
+    return seconds;
+  }
+  const gpusim::GpuSimResult result =
+      gpuSim_.simulate(it->second, bindings, store);
+  const std::int64_t totalNs = trace_->nowNs() - startNs;
+  // The simulator models device time; the span measures host wall time.
+  // Project the simulated transfer/kernel fractions onto the wall-clock
+  // span so the timeline shows the modeled phase structure, and carry the
+  // simulated seconds in the args for exact values.
+  if (result.totalSeconds > 0.0 && std::isfinite(result.totalSeconds)) {
+    const auto project = [&](double fractionSeconds) {
+      return static_cast<std::int64_t>(static_cast<double>(totalNs) *
+                                       fractionSeconds / result.totalSeconds);
+    };
+    const std::int64_t transferNs = project(result.transferSeconds);
+    trace_->recordSpan("gpu.transfer", "exec", regionName, startNs, transferNs,
+                       {"simulated_s", result.transferSeconds});
+    trace_->recordSpan("gpu.kernel", "exec", regionName, startNs + transferNs,
+                       project(result.kernelSeconds),
+                       {"simulated_s", result.kernelSeconds});
+  }
+  trace_->recordSpan("exec.gpu", "exec", regionName, startNs, totalNs,
+                     {"simulated_s", result.totalSeconds});
+  return result.totalSeconds;
+}
+
 Decision TargetRuntime::guardedDecision(const std::string& regionName,
                                         const symbolic::Bindings& bindings,
                                         LaunchRecord& record) {
+  const std::int64_t startNs = trace_ != nullptr ? trace_->nowNs() : 0;
+  const char* path = "interpreted";
+  obs::Counter* pathCounter = instruments_.decisionsInterpreted;
+  Decision decision;
+
   const pad::RegionAttributes* attr = database_.find(regionName);
   if (attr == nullptr) {
     // Missing/corrupt PAD entry: ModelGuided must degrade, not crash.
-    Decision decision;
-    decision.valid = false;
-    decision.device = selector_.config().safeDefaultDevice;
-    decision.diagnostic =
-        pad::PadLookupError(regionName, database_.nearestRegionName(regionName))
-            .what();
-    return decision;
+    decision = selector_.decide(
+        RegionHandle::missing(regionName, database_.nearestRegionName(regionName)),
+        bindings);
+    path = "degenerate";
+    pathCounter = instruments_.decisionsDegenerate;
+  } else if (const auto planIt = plans_.find(regionName);
+             planIt == plans_.end()) {
+    decision = selector_.decide(RegionHandle(*attr), bindings);
+  } else {
+    PlanEntry& entry = planIt->second;
+    record.decisionCompiled = true;
+    path = "compiled";
+    pathCounter = instruments_.decisionsCompiled;
+    // The cache key (bound slot values) determines the decision only when
+    // the fast path owns every symbol the models read; otherwise skip
+    // memoization.
+    if (!decisionCacheEnabled_ || entry.cache.capacity() == 0 ||
+        !entry.plan.fastPathUsable()) {
+      decision = selector_.decide(RegionHandle(entry.plan), bindings);
+    } else {
+      const auto start = std::chrono::steady_clock::now();
+      std::array<std::int64_t, CompiledRegionPlan::kMaxSlots> slotStorage{};
+      const std::span<std::int64_t> slotValues(slotStorage.data(),
+                                               entry.plan.slotCount());
+      std::uint64_t boundMask = 0;
+      entry.plan.bindSlots(bindings, slotValues, boundMask);
+      if (const Decision* cached = entry.cache.find(boundMask, slotValues)) {
+        decision = *cached;
+        decision.overheadSeconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+        record.decisionCacheHit = true;
+        path = "cache_hit";
+        pathCounter = instruments_.decisionsCacheHit;
+      } else {
+        decision = selector_.decide(RegionHandle(entry.plan), bindings);
+        entry.cache.insert(boundMask, slotValues, decision);
+      }
+    }
   }
-  const auto planIt = plans_.find(regionName);
-  if (planIt == plans_.end()) {
-    return selector_.decide(*attr, bindings);
+
+  if (trace_ != nullptr) {
+    trace_->recordSpan("decide", path, regionName, startNs,
+                       trace_->nowNs() - startNs,
+                       {"overhead_s", decision.overheadSeconds},
+                       {"valid", decision.valid ? 1.0 : 0.0});
+    pathCounter->add();
+    instruments_.decisionOverhead->record(decision.overheadSeconds);
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    for (const auto& [name, entry] : plans_) {
+      const DecisionCache::Stats stats = entry.cache.stats();
+      hits += stats.hits;
+      misses += stats.misses;
+    }
+    if (hits + misses > 0) {
+      instruments_.cacheHitRatio->set(static_cast<double>(hits) /
+                                      static_cast<double>(hits + misses));
+    }
   }
-  PlanEntry& entry = planIt->second;
-  record.decisionCompiled = true;
-  // The cache key (bound slot values) determines the decision only when the
-  // fast path owns every symbol the models read; otherwise skip memoization.
-  if (!decisionCacheEnabled_ || entry.cache.capacity() == 0 ||
-      !entry.plan.fastPathUsable()) {
-    return selector_.decide(entry.plan, bindings);
-  }
-  const auto start = std::chrono::steady_clock::now();
-  std::array<std::int64_t, CompiledRegionPlan::kMaxSlots> slotStorage{};
-  const std::span<std::int64_t> slotValues(slotStorage.data(),
-                                           entry.plan.slotCount());
-  std::uint64_t boundMask = 0;
-  entry.plan.bindSlots(bindings, slotValues, boundMask);
-  if (const Decision* cached = entry.cache.find(boundMask, slotValues)) {
-    Decision decision = *cached;
-    decision.overheadSeconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
-    record.decisionCacheHit = true;
-    return decision;
-  }
-  Decision decision = selector_.decide(entry.plan, bindings);
-  entry.cache.insert(boundMask, slotValues, decision);
   return decision;
 }
 
@@ -144,14 +284,74 @@ void TargetRuntime::recordExecution(LaunchRecord& record,
     record.fallbackReason = execution.fallback;
     record.fallbackDetail = execution.fallbackDetail;
   }
+  if (trace_ != nullptr) {
+    for (const LaunchAttempt& attempt : execution.attempts) {
+      if (attempt.attempt > 1) {
+        instruments_.retries->add();
+        trace_->recordInstant("retry", "guard", record.regionName,
+                              trace_->nowNs(),
+                              {"attempt", static_cast<double>(attempt.attempt)},
+                              {"backoff_s", attempt.backoffSeconds});
+      }
+      if (!attempt.succeeded) {
+        trace_->recordInstant(
+            "attempt.fail", "guard", record.regionName, trace_->nowNs(),
+            {"error_class", static_cast<double>(attempt.errorClass)},
+            {"device", attempt.device == Device::Gpu ? 1.0 : 0.0});
+      }
+    }
+  }
   // Feed the circuit breaker: a fatal GPU outcome advances the streak, a
   // GPU success clears it; transient exhaustion leaves it unchanged (the
   // device neither failed hard nor proved healthy).
   if (execution.gpuFatal) {
+    const int openedBefore = health_.quarantinesOpened();
     health_.recordGpuFatal();
+    if (trace_ != nullptr && health_.quarantinesOpened() > openedBefore) {
+      instruments_.quarantinesOpened->add();
+      trace_->recordInstant(
+          "quarantine.open", "health", record.regionName, trace_->nowNs(),
+          {"launches", static_cast<double>(health_.quarantineRemaining())});
+    }
   } else if (execution.succeeded && execution.executed == Device::Gpu) {
     health_.recordGpuSuccess();
   }
+}
+
+void TargetRuntime::finalizeLaunch(LaunchRecord& record, std::int64_t startNs) {
+  log_.push_back(record);
+  if (trace_ == nullptr) return;
+  if (record.fallbackReason != FallbackReason::None) {
+    instruments_.fallbacks->add();
+    trace_->recordInstant("fallback", fallbackTag(record.fallbackReason),
+                          record.regionName, trace_->nowNs());
+  }
+  if (record.cpuMeasured) instruments_.launchesCpu->add();
+  if (record.gpuMeasured) instruments_.launchesGpu->add();
+  // Online predicted-vs-actual accuracy (the paper's Fig. 6–7 comparison,
+  // tracked live): one sample per device the launch actually measured.
+  if (record.decision.valid) {
+    if (record.cpuMeasured && record.actualCpuSeconds > 0.0) {
+      trace_->recordPrediction(record.regionName, record.decision.cpu.seconds,
+                               record.actualCpuSeconds);
+      instruments_.predictionError->record(
+          std::fabs(record.decision.cpu.seconds - record.actualCpuSeconds) /
+          record.actualCpuSeconds);
+    }
+    if (record.gpuMeasured && record.actualGpuSeconds > 0.0) {
+      trace_->recordPrediction(record.regionName,
+                               record.decision.gpu.totalSeconds,
+                               record.actualGpuSeconds);
+      instruments_.predictionError->record(
+          std::fabs(record.decision.gpu.totalSeconds -
+                    record.actualGpuSeconds) /
+          record.actualGpuSeconds);
+    }
+  }
+  trace_->recordSpan("launch", policyTag(record.policy), record.regionName,
+                     startNs, trace_->nowNs() - startNs,
+                     {"actual_s", record.actualSeconds},
+                     {"attempts", static_cast<double>(record.attempts)});
 }
 
 LaunchRecord TargetRuntime::launch(const std::string& regionName,
@@ -159,6 +359,7 @@ LaunchRecord TargetRuntime::launch(const std::string& regionName,
                                    ir::ArrayStore& store, Policy policy) {
   require(hasRegion(regionName),
           "TargetRuntime::launch: unregistered region " + regionName);
+  const std::int64_t launchStartNs = trace_ != nullptr ? trace_->nowNs() : 0;
   LaunchRecord record;
   record.regionName = regionName;
   record.policy = policy;
@@ -166,7 +367,7 @@ LaunchRecord TargetRuntime::launch(const std::string& regionName,
   record.gpuQuarantined = health_.quarantined();
 
   const auto measureOn = [&](Device device) {
-    return measure(regionName, bindings, store, device);
+    return measureTraced(regionName, bindings, store, device);
   };
 
   if (policy == Policy::Oracle) {
@@ -204,12 +405,12 @@ LaunchRecord TargetRuntime::launch(const std::string& regionName,
       record.chosen = Device::Gpu;
       record.actualSeconds = record.actualGpuSeconds;
     } else {
-      log_.push_back(record);
+      finalizeLaunch(record, launchStartNs);
       throw support::DeviceError(
           "CPU", "oracle launch of " + regionName +
                      " failed on every device: " + record.fallbackDetail);
     }
-    log_.push_back(record);
+    finalizeLaunch(record, launchStartNs);
     return record;
   }
 
@@ -237,13 +438,18 @@ LaunchRecord TargetRuntime::launch(const std::string& regionName,
     preferred = Device::Cpu;
     record.fallbackReason = FallbackReason::Quarantined;
     record.fallbackDetail = "GPU quarantined by circuit breaker";
+    if (trace_ != nullptr) {
+      trace_->recordInstant(
+          "quarantine.block", "health", regionName, trace_->nowNs(),
+          {"remaining", static_cast<double>(health_.quarantineRemaining())});
+    }
   }
 
   const GuardedExecution execution =
       guard_.execute(preferred, measureOn, /*allowFallback=*/true);
   recordExecution(record, execution);
   if (!execution.succeeded) {
-    log_.push_back(record);
+    finalizeLaunch(record, launchStartNs);
     throw support::DeviceError(
         "CPU", "launch of " + regionName +
                    " failed on every available path: " + record.fallbackDetail);
@@ -258,7 +464,7 @@ LaunchRecord TargetRuntime::launch(const std::string& regionName,
     record.actualGpuSeconds = record.actualSeconds;
     record.gpuMeasured = true;
   }
-  log_.push_back(record);
+  finalizeLaunch(record, launchStartNs);
   return record;
 }
 
@@ -291,7 +497,13 @@ std::string renderLogCsv(std::span<const LaunchRecord> log) {
   out.append(kHeader);
   out.push_back('\n');
   for (const LaunchRecord& record : log) {
-    out.append(record.regionName);
+    // Region names are caller-controlled: RFC-4180 quote them so a name
+    // containing a comma/quote/newline cannot shear the row.
+    if (record.regionName.find_first_of(",\"\n\r") == std::string::npos) {
+      out.append(record.regionName);
+    } else {
+      out.append(support::csvField(record.regionName));
+    }
     out.push_back(',');
     out.append(toString(record.policy));
     out.push_back(',');

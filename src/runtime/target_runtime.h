@@ -18,6 +18,7 @@
 #include "cpusim/cpu_simulator.h"
 #include "gpusim/gpu_simulator.h"
 #include "ir/region.h"
+#include "obs/trace.h"
 #include "pad/attribute_db.h"
 #include "runtime/compiled_plan.h"
 #include "runtime/decision_cache.h"
@@ -72,20 +73,48 @@ struct LaunchRecord {
   bool decisionCacheHit = false;
 };
 
-/// Fault-tolerance and decision-path knobs of the runtime.
+/// Everything configurable about a TargetRuntime, in one aggregate: the
+/// selector's machine configuration, both ground-truth simulators,
+/// fault-tolerance policies, decision memoization, and the optional
+/// observability session. Field order is chosen so pre-existing designated
+/// initializers (.retry, .health, .decisionCacheEnabled, ...) keep
+/// compiling unchanged.
 struct RuntimeOptions {
+  /// Machine configuration the selector evaluates against.
+  SelectorConfig selector;
+  /// Ground-truth CPU simulator parameters.
+  cpusim::CpuSimParams cpuSim;
+  /// Simulated host threads backing the CPU simulator; 0 (the default)
+  /// means "use selector.cpuThreads", keeping the simulated machine and the
+  /// modeled machine in agreement.
+  int cpuSimThreads = 0;
+  /// Ground-truth GPU simulator parameters.
+  gpusim::GpuSimParams gpuSim;
   RetryPolicy retry;
   HealthPolicy health;
   /// Per-region decision memoization (only on the compiled-plan path; keyed
   /// by the hashed slot values a launch binds).
   bool decisionCacheEnabled = true;
   std::size_t decisionCacheCapacity = 64;
+  /// Observability session the runtime emits spans/events/metrics into.
+  /// Not owned; must outlive the runtime. nullptr (the default) disables
+  /// all observability work: every hook is one pointer test, no
+  /// allocations (pinned by test and bench).
+  obs::TraceSession* trace = nullptr;
 };
 
 /// The runtime: device simulators + PAD + selector + launch guard + health
 /// tracker + launch log.
 class TargetRuntime {
  public:
+  explicit TargetRuntime(pad::AttributeDatabase database,
+                         RuntimeOptions options = {});
+
+  /// Deprecated shim for the pre-RuntimeOptions constructor grab-bag; folds
+  /// the loose arguments into `options` and delegates.
+  [[deprecated(
+      "construct with TargetRuntime(database, RuntimeOptions) — the loose "
+      "selector/simulator arguments moved into RuntimeOptions")]]
   TargetRuntime(pad::AttributeDatabase database, SelectorConfig selectorConfig,
                 cpusim::CpuSimParams cpuSim, int cpuThreads,
                 gpusim::GpuSimParams gpuSim, RuntimeOptions options = {});
@@ -137,6 +166,8 @@ class TargetRuntime {
   [[nodiscard]] const LaunchGuard& guard() const { return guard_; }
   /// GPU circuit-breaker state (quarantine countdown, fatal streak).
   [[nodiscard]] const DeviceHealthTracker& gpuHealth() const { return health_; }
+  /// The attached observability session; nullptr when detached.
+  [[nodiscard]] obs::TraceSession* traceSession() const { return trace_; }
 
  private:
   /// One region's compiled decision state.
@@ -145,6 +176,26 @@ class TargetRuntime {
     DecisionCache cache;
   };
 
+  /// Pointers into the trace session's metrics registry, resolved once at
+  /// construction so hot-path updates never do a name lookup. All null when
+  /// no session is attached.
+  struct Instruments {
+    obs::Counter* decisionsCompiled = nullptr;
+    obs::Counter* decisionsInterpreted = nullptr;
+    obs::Counter* decisionsCacheHit = nullptr;
+    obs::Counter* decisionsDegenerate = nullptr;
+    obs::Counter* launchesCpu = nullptr;
+    obs::Counter* launchesGpu = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* fallbacks = nullptr;
+    obs::Counter* quarantinesOpened = nullptr;
+    obs::Gauge* cacheHitRatio = nullptr;
+    obs::Histogram* decisionOverhead = nullptr;
+    obs::Histogram* predictionError = nullptr;
+  };
+
+  void initInstruments();
+
   /// Selector evaluation that never throws: a region missing from the PAD
   /// degrades to an invalid decision on the safe default device. Routes
   /// through the compiled plan (and its memoization cache) when available,
@@ -152,8 +203,19 @@ class TargetRuntime {
   [[nodiscard]] Decision guardedDecision(const std::string& regionName,
                                          const symbolic::Bindings& bindings,
                                          LaunchRecord& record);
-  /// Folds a guarded execution into `record` and the health tracker.
+  /// measure() plus, when a trace session is attached, execution spans —
+  /// GPU runs additionally get kernel/transfer sub-spans whose simulated
+  /// fractions are projected onto the wall-clock span.
+  [[nodiscard]] double measureTraced(const std::string& regionName,
+                                     const symbolic::Bindings& bindings,
+                                     ir::ArrayStore& store, Device device);
+  /// Folds a guarded execution into `record` and the health tracker;
+  /// traces retries and circuit-breaker transitions.
   void recordExecution(LaunchRecord& record, const GuardedExecution& execution);
+  /// Appends `record` to the log; with a session attached, emits the launch
+  /// span, fallback instants, per-launch counters, and feeds the
+  /// predicted-vs-actual tracker.
+  void finalizeLaunch(LaunchRecord& record, std::int64_t startNs);
 
   pad::AttributeDatabase database_;
   OffloadSelector selector_;
@@ -163,6 +225,8 @@ class TargetRuntime {
   DeviceHealthTracker health_;
   bool decisionCacheEnabled_ = true;
   std::size_t decisionCacheCapacity_ = 64;
+  obs::TraceSession* trace_ = nullptr;
+  Instruments instruments_;
   std::unordered_map<std::string, ir::TargetRegion> regions_;
   std::unordered_map<std::string, PlanEntry> plans_;
   std::vector<LaunchRecord> log_;
@@ -173,9 +237,10 @@ class TargetRuntime {
 /// chosen device, predicted CPU/GPU seconds, measured seconds, decision
 /// overhead, the fault-tolerance columns (attempts, fallback reason,
 /// accounted backoff, quarantine state), and the decision-path columns
-/// (compiled vs interpreted, cache hit). Allocation-lean: reserves the
-/// output string once and streams rows through a stack buffer instead of
-/// repeated operator+ concatenation.
+/// (compiled vs interpreted, cache hit). Region names are RFC-4180 quoted
+/// (commas/quotes/newlines cannot shear a row). Allocation-lean: reserves
+/// the output string once and streams rows through a stack buffer instead
+/// of repeated operator+ concatenation.
 [[nodiscard]] std::string renderLogCsv(std::span<const LaunchRecord> log);
 
 }  // namespace osel::runtime

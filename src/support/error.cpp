@@ -1,0 +1,27 @@
+#include "support/error.h"
+
+namespace osel {
+
+Error::~Error() = default;
+
+std::string toString(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::Unknown:
+      return "unknown";
+    case ErrorCode::Precondition:
+      return "precondition";
+    case ErrorCode::Invariant:
+      return "invariant";
+    case ErrorCode::TransientLaunch:
+      return "transient-launch";
+    case ErrorCode::DeviceMemory:
+      return "device-memory";
+    case ErrorCode::DeviceLost:
+      return "device-lost";
+    case ErrorCode::PadLookup:
+      return "pad-lookup";
+  }
+  return "?";
+}
+
+}  // namespace osel

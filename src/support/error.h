@@ -1,0 +1,54 @@
+// osel/support/error.h — the unified osel error surface.
+//
+// Every typed exception osel raises across a public API boundary also
+// derives from osel::Error, a lightweight mixin interface carrying a
+// machine-readable ErrorCode. Callers that do not care which subsystem
+// failed can catch the one type and branch on code():
+//
+//   try { runtime.launch(...); }
+//   catch (const osel::Error& e) {
+//     switch (e.code()) { case osel::ErrorCode::DeviceLost: ...; }
+//   }
+//
+// The mixin deliberately sits NEXT TO the std::exception hierarchy rather
+// than replacing it: support::DeviceError stays a std::runtime_error and
+// pad::PadLookupError stays a support::PreconditionError, so every
+// pre-existing catch site keeps working unchanged.
+#pragma once
+
+#include <string>
+
+namespace osel {
+
+/// Machine-readable classification of an osel error, stable across message
+/// wording changes (messages are for humans; codes are for handlers).
+enum class ErrorCode {
+  Unknown,          ///< unclassified failure
+  Precondition,     ///< caller violated a documented precondition
+  Invariant,        ///< internal invariant failed (a bug in osel)
+  TransientLaunch,  ///< device launch failed, retry may succeed
+  DeviceMemory,     ///< device memory exhausted; retry cannot succeed
+  DeviceLost,       ///< device stopped responding; grounds for quarantine
+  PadLookup,        ///< region missing from the Program Attribute Database
+};
+
+[[nodiscard]] std::string toString(ErrorCode code);
+
+/// Mixin base of every typed osel exception. Concrete error classes inherit
+/// both their std::exception branch (runtime_error / logic_error) and this
+/// interface, so `catch (const osel::Error&)` spans subsystems while
+/// existing std-hierarchy catch sites are untouched.
+class Error {
+ public:
+  virtual ~Error();
+
+  /// Machine-readable error classification.
+  [[nodiscard]] virtual ErrorCode code() const noexcept = 0;
+
+  /// Human-readable message; concrete classes forward their
+  /// std::exception::what(). Declared here so a caller holding only an
+  /// `osel::Error&` still gets the message without a cross-cast.
+  [[nodiscard]] virtual const char* what() const noexcept = 0;
+};
+
+}  // namespace osel

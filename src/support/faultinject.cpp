@@ -69,20 +69,30 @@ double FaultInjector::hit(std::string_view point, std::string_view device) {
   if (armedCount_.load(std::memory_order_relaxed) == 0) return 0.0;
 
   FaultSpec firing;
+  bool fired = false;
+  FaultKind armedKind = FaultKind::TransientLaunch;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     const auto it = armed_.find(point);
     if (it == armed_.end()) return 0.0;
     ArmedPoint& state = it->second;
     state.stats.hits += 1;
-    if (state.spec.maxFires != 0 &&
-        state.stats.fires >= static_cast<std::uint64_t>(state.spec.maxFires)) {
-      return 0.0;
+    armedKind = state.spec.kind;
+    const bool exhausted =
+        state.spec.maxFires != 0 &&
+        state.stats.fires >= static_cast<std::uint64_t>(state.spec.maxFires);
+    if (!exhausted && state.rng.nextDouble() < state.spec.probability) {
+      state.stats.fires += 1;
+      firing = state.spec;
+      fired = true;
     }
-    if (state.rng.nextDouble() >= state.spec.probability) return 0.0;
-    state.stats.fires += 1;
-    firing = state.spec;
   }
+  // Observe outside the lock: the observer may itself take locks (the obs
+  // ring buffer) and must never deadlock against arm/disarm.
+  if (FaultObserver* obs = observer()) {
+    obs->onFaultHit(point, device, armedKind, fired);
+  }
+  if (!fired) return 0.0;
 
   const std::string detail =
       "injected " + toString(firing.kind) + " fault at " + std::string(point);

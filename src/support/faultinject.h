@@ -23,6 +23,7 @@
 #include <string>
 #include <string_view>
 
+#include "support/error.h"
 #include "support/rng.h"
 
 namespace osel::support {
@@ -31,14 +32,24 @@ namespace osel::support {
 
 /// Base class for launch-time device failures. Carries which device-side
 /// path raised it ("GPU"/"CPU"); the launch guard classifies subclasses as
-/// transient (retryable) or fatal (fall back immediately).
-class DeviceError : public std::runtime_error {
+/// transient (retryable) or fatal (fall back immediately). Also an
+/// osel::Error, so callers can catch the unified type and branch on code().
+class DeviceError : public std::runtime_error, public osel::Error {
  public:
   DeviceError(std::string device, const std::string& message)
       : std::runtime_error(device + ": " + message),
         device_(std::move(device)) {}
 
   [[nodiscard]] const std::string& device() const noexcept { return device_; }
+
+  [[nodiscard]] ErrorCode code() const noexcept override {
+    return ErrorCode::Unknown;
+  }
+  /// One override resolves what() for both bases (std::runtime_error's
+  /// virtual what() and osel::Error's pure one).
+  [[nodiscard]] const char* what() const noexcept override {
+    return std::runtime_error::what();
+  }
 
  private:
   std::string device_;
@@ -49,6 +60,9 @@ class DeviceError : public std::runtime_error {
 class TransientLaunchError final : public DeviceError {
  public:
   using DeviceError::DeviceError;
+  [[nodiscard]] ErrorCode code() const noexcept override {
+    return ErrorCode::TransientLaunch;
+  }
 };
 
 /// The device could not satisfy the launch's memory demand; retrying the
@@ -56,6 +70,9 @@ class TransientLaunchError final : public DeviceError {
 class DeviceMemoryError final : public DeviceError {
  public:
   using DeviceError::DeviceError;
+  [[nodiscard]] ErrorCode code() const noexcept override {
+    return ErrorCode::DeviceMemory;
+  }
 };
 
 /// The device fell off the bus / stopped responding; fatal for this launch
@@ -63,6 +80,9 @@ class DeviceMemoryError final : public DeviceError {
 class DeviceLostError final : public DeviceError {
  public:
   using DeviceError::DeviceError;
+  [[nodiscard]] ErrorCode code() const noexcept override {
+    return ErrorCode::DeviceLost;
+  }
 };
 
 // --- Fault points ------------------------------------------------------------
@@ -106,6 +126,19 @@ inline constexpr const char* kCpuLaunch = "cpu.launch";
 inline constexpr const char* kSelectorDecide = "selector.decide";
 }  // namespace faultpoints
 
+/// Observer of fault-point activity (the obs layer's hook into the
+/// injector). Called only for *armed* points — the disarmed hot path stays
+/// one relaxed atomic load. Implementations must be thread-safe: simulators
+/// hit fault points from worker threads.
+class FaultObserver {
+ public:
+  virtual ~FaultObserver() = default;
+  /// One armed-point hit. `fired` tells whether the fault actually fired;
+  /// `kind` is the armed FaultSpec's kind.
+  virtual void onFaultHit(std::string_view point, std::string_view device,
+                          FaultKind kind, bool fired) = 0;
+};
+
 /// The registry of named fault points. Thread-safe; a process-global
 /// instance is reachable via faultInjector().
 class FaultInjector {
@@ -114,6 +147,17 @@ class FaultInjector {
   void arm(const std::string& point, FaultSpec spec);
   void disarm(const std::string& point);
   void disarmAll();
+
+  /// Registers the observer notified on armed-point hits (nullptr to
+  /// clear). Single slot, last writer wins; the caller keeps the observer
+  /// alive until it clears the registration (obs::TraceSession does this
+  /// from its destructor).
+  void setObserver(FaultObserver* observer) {
+    observer_.store(observer, std::memory_order_release);
+  }
+  [[nodiscard]] FaultObserver* observer() const {
+    return observer_.load(std::memory_order_acquire);
+  }
 
   [[nodiscard]] bool armed(const std::string& point) const;
   /// Counters for `point`; zeros when it was never armed.
@@ -135,6 +179,7 @@ class FaultInjector {
 
   mutable std::mutex mutex_;
   std::atomic<int> armedCount_{0};
+  std::atomic<FaultObserver*> observer_{nullptr};
   // Disarmed points are kept (spec ignored) so stats survive a disarm.
   // Transparent comparators let hit() look up by string_view without
   // allocating a key.

@@ -6,6 +6,21 @@
 
 namespace osel::support {
 
+std::string csvField(std::string_view field) {
+  if (field.find_first_of(",\"\n\r") == std::string_view::npos) {
+    return std::string(field);
+  }
+  std::string out;
+  out.reserve(field.size() + 2);
+  out += '"';
+  for (char ch : field) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
 std::string formatFixed(double value, int decimals) {
   std::array<char, 64> buf{};
   std::snprintf(buf.data(), buf.size(), "%.*f", decimals, value);

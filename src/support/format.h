@@ -3,8 +3,14 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace osel::support {
+
+/// Quotes `field` for CSV output per RFC 4180: fields containing a comma,
+/// double quote, or newline are wrapped in double quotes with embedded
+/// quotes doubled; all other fields pass through unchanged.
+[[nodiscard]] std::string csvField(std::string_view field);
 
 /// Formats `value` with `decimals` digits after the point (fixed notation).
 [[nodiscard]] std::string formatFixed(double value, int decimals);

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "support/check.h"
+#include "support/format.h"
 
 namespace osel::support {
 
@@ -72,25 +73,12 @@ std::string TextTable::render(std::size_t indent) const {
   return out.str();
 }
 
-namespace {
-std::string csvEscape(const std::string& cell) {
-  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
-  std::string out = "\"";
-  for (char ch : cell) {
-    if (ch == '"') out += '"';
-    out += ch;
-  }
-  out += '"';
-  return out;
-}
-}  // namespace
-
 std::string TextTable::renderCsv() const {
   std::ostringstream out;
   auto emit = [&](const std::vector<std::string>& cells) {
     for (std::size_t c = 0; c < cells.size(); ++c) {
       if (c != 0) out << ',';
-      out << csvEscape(cells[c]);
+      out << csvField(cells[c]);
     }
     out << '\n';
   };

@@ -135,8 +135,10 @@ TEST(FrontendPolybench, ParsedKernelDrivesSelectorIdentically) {
   const std::array<mca::MachineModel, 1> models{mca::MachineModel::power9()};
   const runtime::OffloadSelector selector{runtime::SelectorConfig{}};
   const symbolic::Bindings bindings{{"n", 1100}};
-  const auto a = selector.decide(compiler::analyzeRegion(parsed, models), bindings);
-  const auto b = selector.decide(compiler::analyzeRegion(built, models), bindings);
+  const auto a = selector.decide(
+      runtime::RegionHandle(compiler::analyzeRegion(parsed, models)), bindings);
+  const auto b = selector.decide(
+      runtime::RegionHandle(compiler::analyzeRegion(built, models)), bindings);
   EXPECT_EQ(a.device, b.device);
   EXPECT_DOUBLE_EQ(a.cpu.seconds, b.cpu.seconds);
   EXPECT_DOUBLE_EQ(a.gpu.totalSeconds, b.gpu.totalSeconds);

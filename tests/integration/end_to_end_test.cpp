@@ -26,11 +26,11 @@ runtime::TargetRuntime buildRuntime(const std::vector<std::string>& names,
   // implies: the runtime sees only the deserialized database.
   db = pad::AttributeDatabase::deserialize(db.serialize());
 
-  runtime::SelectorConfig config;
-  config.cpuThreads = threads;
-  runtime::TargetRuntime rt(std::move(db), config,
-                            cpusim::CpuSimParams::power9(), threads,
-                            gpusim::GpuSimParams::teslaV100());
+  runtime::RuntimeOptions options;
+  options.selector.cpuThreads = threads;
+  options.cpuSim = cpusim::CpuSimParams::power9();
+  options.gpuSim = gpusim::GpuSimParams::teslaV100();
+  runtime::TargetRuntime rt(std::move(db), options);
   for (ir::TargetRegion& region : regions) rt.registerRegion(std::move(region));
   return rt;
 }
@@ -120,8 +120,10 @@ TEST(EndToEnd, RuntimeBindingChangesDecisionForSameRegion) {
   // values, different devices.
   runtime::TargetRuntime rt = buildRuntime({"GEMM"}, 160);
   const auto& attr = rt.database().at("gemm_k1");
-  const runtime::Decision small = rt.selector().decide(attr, {{"n", 8}});
-  const runtime::Decision large = rt.selector().decide(attr, {{"n", 4096}});
+  const runtime::Decision small =
+      rt.selector().decide(runtime::RegionHandle(attr), {{"n", 8}});
+  const runtime::Decision large =
+      rt.selector().decide(runtime::RegionHandle(attr), {{"n", 4096}});
   EXPECT_EQ(large.device, runtime::Device::Gpu);
   // The small case must at minimum predict far smaller GPU benefit.
   EXPECT_LT(small.predictedSpeedup(), large.predictedSpeedup());
@@ -141,8 +143,8 @@ TEST(EndToEnd, AllSuiteKernelsSurvivePadRoundTripAndDecision) {
   const runtime::OffloadSelector selector{runtime::SelectorConfig{}};
   for (const auto& region : regions) {
     const symbolic::Bindings bindings{{"n", 1100}};
-    const runtime::Decision decision =
-        selector.decide(parsed.at(region.name), bindings);
+    const runtime::Decision decision = selector.decide(
+        runtime::RegionHandle(parsed.at(region.name)), bindings);
     EXPECT_GT(decision.cpu.seconds, 0.0) << region.name;
     EXPECT_GT(decision.gpu.totalSeconds, 0.0) << region.name;
   }

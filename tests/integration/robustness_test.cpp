@@ -129,11 +129,10 @@ runtime::TargetRuntime makeFaultRuntime(runtime::RuntimeOptions options,
   const std::array<TargetRegion, 1> regions{smallKernel()};
   pad::AttributeDatabase db;
   if (registerPad) db = compiler::compileAll(regions, models);
-  runtime::SelectorConfig config;
-  config.cpuThreads = 160;
-  runtime::TargetRuntime rt(std::move(db), config,
-                            cpusim::CpuSimParams::power9(), 160,
-                            gpusim::GpuSimParams::teslaV100(), options);
+  options.selector.cpuThreads = 160;
+  options.cpuSim = cpusim::CpuSimParams::power9();
+  options.gpuSim = gpusim::GpuSimParams::teslaV100();
+  runtime::TargetRuntime rt(std::move(db), options);
   rt.registerRegion(smallKernel());
   return rt;
 }
@@ -262,11 +261,11 @@ TEST_F(LaunchFaults, ThirtyPercentTransientSuiteCompletesEveryLaunch) {
   }
   const std::array<mca::MachineModel, 1> models{mca::MachineModel::power9()};
   pad::AttributeDatabase db = compiler::compileAll(regions, models);
-  runtime::SelectorConfig config;
-  config.cpuThreads = 160;
-  runtime::TargetRuntime rt(std::move(db), config,
-                            cpusim::CpuSimParams::power9(), 160,
-                            gpusim::GpuSimParams::teslaV100());
+  runtime::RuntimeOptions suiteOptions;
+  suiteOptions.selector.cpuThreads = 160;
+  suiteOptions.cpuSim = cpusim::CpuSimParams::power9();
+  suiteOptions.gpuSim = gpusim::GpuSimParams::teslaV100();
+  runtime::TargetRuntime rt(std::move(db), suiteOptions);
   for (ir::TargetRegion& region : regions) rt.registerRegion(std::move(region));
 
   faultInjector().arm(kGpuLaunch, {.kind = FaultKind::TransientLaunch,

@@ -1,0 +1,108 @@
+// Allocation pins for the observability layer's two core promises:
+//   * with NO session attached, the decision path performs zero heap
+//     allocations (the disabled hook is one pointer test), and
+//   * with a session attached, *recording* never allocates either — events
+//     go into the preallocated ring, metrics updates are atomic ops.
+// The global operator new/delete pair below counts every allocation in this
+// test binary (counting only; behaviour is unchanged).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+#include "compiler/compiler.h"
+#include "obs/trace.h"
+#include "polybench/polybench.h"
+#include "runtime/selector.h"
+
+namespace {
+std::atomic<std::uint64_t> gAllocations{0};
+
+// noinline keeps GCC from tracking malloc/free provenance through the
+// replaced operators and raising a spurious -Wmismatched-new-delete.
+[[gnu::noinline]] void* countedAlloc(std::size_t size) {
+  gAllocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+[[gnu::noinline]] void countedFree(void* p) noexcept { std::free(p); }
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (void* p = countedAlloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { countedFree(p); }
+void operator delete[](void* p) noexcept { countedFree(p); }
+void operator delete(void* p, std::size_t) noexcept { countedFree(p); }
+void operator delete[](void* p, std::size_t) noexcept { countedFree(p); }
+
+namespace osel::obs {
+namespace {
+
+std::uint64_t allocations() {
+  return gAllocations.load(std::memory_order_relaxed);
+}
+
+TEST(ObsAllocPin, DisabledSessionDecideAllocatesNothing) {
+  // The unified decide() over a compiled plan with no TraceSession anywhere
+  // in sight — the exact configuration production launches run in when
+  // observability is off.
+  const runtime::OffloadSelector selector{runtime::SelectorConfig{}};
+  const polybench::Benchmark& gemm = polybench::benchmarkByName("GEMM");
+  const std::array<mca::MachineModel, 1> models{mca::MachineModel::power9()};
+  const runtime::CompiledRegionPlan plan = selector.compile(
+      compiler::analyzeRegion(gemm.kernels()[0], models));
+  ASSERT_TRUE(plan.fastPathUsable());
+  const symbolic::Bindings bindings = gemm.bindings(9600);
+  const runtime::RegionHandle region(plan);
+  double sink = selector.decide(region, bindings).cpu.seconds;  // warm-up
+  const std::uint64_t before = allocations();
+  for (int i = 0; i < 64; ++i) {
+    sink += selector.decide(region, bindings).cpu.seconds;
+  }
+  EXPECT_EQ(allocations() - before, 0u);
+  EXPECT_GT(sink, 0.0);
+}
+
+TEST(ObsAllocPin, RecordingIntoTheRingAllocatesNothing) {
+  TraceSession session({.capacity = 16});
+  const std::string label = "stream_k1";  // allocated before the window
+  session.recordSpan("decide", "compiled", label, 0, 1);  // warm-up
+  const std::uint64_t before = allocations();
+  for (int i = 0; i < 256; ++i) {
+    session.recordSpan("decide", "compiled", label, i, 1, {"overhead_s", 1e-6},
+                       {"valid", 1.0});
+    session.recordInstant("retry", "guard", label, i, {"attempt", 2.0});
+  }
+  EXPECT_EQ(allocations() - before, 0u);
+  EXPECT_EQ(session.recorded(), 513u);
+  EXPECT_EQ(session.dropped(), 513u - 16u);
+}
+
+TEST(ObsAllocPin, MetricUpdatesAllocateNothing) {
+  TraceSession session;
+  // Registration (name lookup, node creation) may allocate; hot paths do it
+  // once and keep the reference — exactly what TargetRuntime::Instruments
+  // does.
+  Counter& counter = session.metrics().counter("decision.compiled");
+  Gauge& gauge = session.metrics().gauge("decision_cache.hit_ratio");
+  Histogram& histogram =
+      session.metrics().histogram("decision.overhead_s", {1e-6, 1e-3});
+  const std::uint64_t before = allocations();
+  for (int i = 0; i < 256; ++i) {
+    counter.add();
+    gauge.set(0.5);
+    histogram.record(1e-4);
+  }
+  EXPECT_EQ(allocations() - before, 0u);
+  EXPECT_EQ(counter.value(), 256u);
+  EXPECT_EQ(histogram.count(), 256u);
+}
+
+}  // namespace
+}  // namespace osel::obs

@@ -1,0 +1,110 @@
+// Exporter goldens. Chrome's trace_event viewer is an external consumer, so
+// the JSON shape is pinned byte for byte on hand-built events (explicit
+// timestamps and tids make the output fully deterministic); the CSV export
+// is pinned the same way, including RFC-4180 quoting of labels.
+#include "obs/export.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace osel::obs {
+namespace {
+
+TraceEvent makeEvent(EventKind kind, const char* name, const char* category,
+                     std::string_view label, std::int64_t startNs,
+                     std::int64_t durNs, std::uint32_t tid, std::uint64_t seq,
+                     TraceArg arg0 = {}, TraceArg arg1 = {}) {
+  TraceEvent event;
+  event.kind = kind;
+  event.name = name;
+  event.category = category;
+  const std::size_t n =
+      std::min(label.size(), TraceEvent::kLabelCapacity - 1);
+  std::memcpy(event.label.data(), label.data(), n);
+  event.label[n] = '\0';
+  event.startNs = startNs;
+  event.durNs = durNs;
+  event.tid = tid;
+  event.seq = seq;
+  event.args = {arg0, arg1};
+  return event;
+}
+
+TEST(ChromeTrace, GoldenOutputForHandBuiltEvents) {
+  const std::vector<TraceEvent> events{
+      makeEvent(EventKind::Span, "decide", "compiled", "gemm_k1", 1500, 2500,
+                7, 0, {"overhead_s", 2.5e-6}, {"valid", 1.0}),
+      makeEvent(EventKind::Instant, "retry", "guard", "", 3000, 0, 7, 1,
+                {"attempt", 2.0}),
+      makeEvent(EventKind::Span, "x", "y", "a\"b\\c\nd", 0, 0, 0, 2),
+  };
+  const std::string expected = R"({"traceEvents":[
+{"name":"decide","cat":"compiled","ph":"X","ts":1.5,"dur":2.5,"pid":1,"tid":7,"args":{"label":"gemm_k1","overhead_s":2.5e-06,"valid":1}},
+{"name":"retry","cat":"guard","ph":"i","s":"t","ts":3,"pid":1,"tid":7,"args":{"attempt":2}},
+{"name":"x","cat":"y","ph":"X","ts":0,"dur":0,"pid":1,"tid":0,"args":{"label":"a\"b\\c\nd"}}
+],"displayTimeUnit":"ms"}
+)";
+  EXPECT_EQ(renderChromeTrace(events), expected);
+}
+
+TEST(ChromeTrace, EscapesControlCharactersAsUnicode) {
+  const std::vector<TraceEvent> events{
+      makeEvent(EventKind::Instant, "e", "c", std::string_view("a\t\x01z", 4),
+                0, 0, 0, 0),
+  };
+  const std::string json = renderChromeTrace(events);
+  EXPECT_NE(json.find(R"("label":"a\t\u0001z")"), std::string::npos) << json;
+}
+
+TEST(ChromeTrace, EmptyTraceIsStillAValidDocument) {
+  EXPECT_EQ(renderChromeTrace(std::vector<TraceEvent>{}),
+            "{\"traceEvents\":[\n],\"displayTimeUnit\":\"ms\"}\n");
+}
+
+TEST(ChromeTrace, SessionOverloadExportsTheSnapshot) {
+  TraceSession session({.capacity = 4});
+  session.recordSpan("decide", "compiled", "gemm_k1", 10, 20);
+  const std::string json = renderChromeTrace(session);
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("\"name\":\"decide\""), std::string::npos);
+  EXPECT_NE(json.find("\"label\":\"gemm_k1\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+}
+
+TEST(TraceCsv, GoldenOutputWithQuotedLabel) {
+  const std::vector<TraceEvent> events{
+      makeEvent(EventKind::Span, "decide", "compiled", "gemm_k1", 1500, 2500,
+                7, 0, {"overhead_s", 2.5e-6}, {"valid", 1.0}),
+      makeEvent(EventKind::Instant, "retry", "guard", "a,b", 3000, 0, 7, 1,
+                {"attempt", 2.0}),
+  };
+  EXPECT_EQ(renderTraceCsv(events),
+            "seq,kind,name,category,label,start_ns,dur_ns,tid,"
+            "arg0,value0,arg1,value1\n"
+            "0,span,decide,compiled,gemm_k1,1500,2500,7,"
+            "overhead_s,2.5e-06,valid,1\n"
+            "1,instant,retry,guard,\"a,b\",3000,0,7,attempt,2,,\n");
+}
+
+TEST(StatsSummary, ReportsRingMetricsAndPredictions) {
+  TraceSession session({.capacity = 2});
+  for (int i = 0; i < 3; ++i) session.recordInstant("e", "c", "", i);
+  session.metrics().counter("decision.compiled").add(5);
+  session.recordPrediction("gemm_k1", 1.5, 1.0);
+
+  const std::string summary = renderStatsSummary(session);
+  EXPECT_NE(summary.find("trace: 3 events recorded, 1 dropped (capacity 2)"),
+            std::string::npos)
+      << summary;
+  EXPECT_NE(summary.find("decision.compiled"), std::string::npos);
+  EXPECT_NE(summary.find("gemm_k1"), std::string::npos);
+  EXPECT_NE(summary.find("50"), std::string::npos);  // 50% mean error
+}
+
+}  // namespace
+}  // namespace osel::obs

@@ -1,0 +1,140 @@
+// Metrics registry: counters, gauges, fixed-bucket histograms. The bucket
+// boundary tests pin the "bucket i counts values <= upperBounds[i]"
+// contract exactly — exporters and dashboards depend on it.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "support/check.h"
+
+namespace osel::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(Gauge, HoldsLastWrittenValue) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.value(), 0.0);
+  gauge.set(0.75);
+  gauge.set(0.25);
+  EXPECT_EQ(gauge.value(), 0.25);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(Histogram(std::vector<double>{}), support::PreconditionError);
+  EXPECT_THROW(Histogram({1.0, 1.0}), support::PreconditionError);
+  EXPECT_THROW(Histogram({2.0, 1.0}), support::PreconditionError);
+}
+
+TEST(Histogram, ValuesOnTheBoundaryFallInTheLowerBucket) {
+  Histogram h({1.0, 2.0, 4.0});
+  ASSERT_EQ(h.bucketCount(), 4u);  // three bounds + overflow
+
+  h.record(0.5);   // <= 1.0          -> bucket 0
+  h.record(1.0);   // == bound 0      -> bucket 0 (inclusive upper bound)
+  h.record(1.001); // (1.0, 2.0]      -> bucket 1
+  h.record(2.0);   // == bound 1      -> bucket 1
+  h.record(4.0);   // == bound 2      -> bucket 2
+  h.record(4.001); // > last bound    -> overflow bucket
+
+  EXPECT_EQ(h.bucketValue(0), 2u);
+  EXPECT_EQ(h.bucketValue(1), 2u);
+  EXPECT_EQ(h.bucketValue(2), 1u);
+  EXPECT_EQ(h.bucketValue(3), 1u);
+  EXPECT_THROW((void)h.bucketValue(4), support::PreconditionError);
+}
+
+TEST(Histogram, StatisticsTrackRecordedValues) {
+  Histogram h({10.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.min(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.max(), -std::numeric_limits<double>::infinity());
+
+  h.record(2.0);
+  h.record(6.0);
+  h.record(1.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 9.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 6.0);
+}
+
+TEST(MetricsRegistry, FindOrCreateReturnsStableReferences) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("decisions");
+  a.add(3);
+  EXPECT_EQ(&registry.counter("decisions"), &a);
+  EXPECT_EQ(registry.counter("decisions").value(), 3u);
+
+  Histogram& h = registry.histogram("overhead", {1.0, 2.0});
+  // Re-registration with different bounds returns the existing histogram
+  // unchanged.
+  EXPECT_EQ(&registry.histogram("overhead", {99.0}), &h);
+  EXPECT_EQ(h.upperBounds().size(), 2u);
+}
+
+TEST(MetricsRegistry, ConcurrentUpdatesAreLossless) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("events");
+  Histogram& histogram = registry.histogram("values", {0.5});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.add();
+        histogram.record(i % 2 == 0 ? 0.25 : 0.75);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+  EXPECT_EQ(histogram.count(), kThreads * kPerThread);
+  EXPECT_EQ(histogram.bucketValue(0), kThreads * kPerThread / 2);
+  EXPECT_EQ(histogram.bucketValue(1), kThreads * kPerThread / 2);
+}
+
+TEST(MetricsRegistry, CsvIsSortedAndQuoted) {
+  MetricsRegistry registry;
+  registry.counter("b.count").add(2);
+  registry.counter("a,comma").add(1);  // must be RFC-4180 quoted
+  registry.gauge("ratio").set(0.5);
+  registry.histogram("h", {1.0}).record(0.5);
+  const std::string csv = registry.renderCsv();
+  EXPECT_EQ(csv,
+            "kind,name,value,count,sum,min,max\n"
+            "counter,\"a,comma\",1,,,,\n"
+            "counter,b.count,2,,,,\n"
+            "gauge,ratio,0.5,,,,\n"
+            "histogram,h,0.5,1,0.5,0.5,0.5\n");
+}
+
+TEST(MetricsRegistry, SummaryListsEveryMetric) {
+  MetricsRegistry registry;
+  registry.counter("launches").add(7);
+  registry.gauge("hit_ratio").set(0.875);
+  registry.histogram("overhead_s", {1e-6}).record(5e-7);
+  const std::string summary = registry.renderSummary();
+  EXPECT_NE(summary.find("launches"), std::string::npos);
+  EXPECT_NE(summary.find("7"), std::string::npos);
+  EXPECT_NE(summary.find("hit_ratio"), std::string::npos);
+  EXPECT_NE(summary.find("0.875"), std::string::npos);
+  EXPECT_NE(summary.find("overhead_s"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace osel::obs

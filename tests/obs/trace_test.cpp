@@ -1,0 +1,146 @@
+// TraceSession ring-buffer semantics: bounded capacity with oldest-first
+// eviction, label truncation into the fixed inline array, the online
+// predicted-vs-actual tracker, and the FaultObserver hook.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "support/check.h"
+#include "support/faultinject.h"
+
+namespace osel::obs {
+namespace {
+
+TEST(TraceSession, RejectsZeroCapacity) {
+  EXPECT_THROW(TraceSession({.capacity = 0}), support::PreconditionError);
+}
+
+TEST(TraceSession, RecordsSpansAndInstantsInOrder) {
+  TraceSession session({.capacity = 8});
+  session.recordSpan("decide", "compiled", "gemm_k1", 100, 50,
+                     {"overhead_s", 1e-6});
+  session.recordInstant("retry", "guard", "gemm_k1", 200, {"attempt", 2.0});
+
+  const std::vector<TraceEvent> events = session.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, EventKind::Span);
+  EXPECT_STREQ(events[0].name, "decide");
+  EXPECT_STREQ(events[0].category, "compiled");
+  EXPECT_EQ(events[0].labelView(), "gemm_k1");
+  EXPECT_EQ(events[0].startNs, 100);
+  EXPECT_EQ(events[0].durNs, 50);
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_STREQ(events[0].args[0].key, "overhead_s");
+  EXPECT_EQ(events[0].args[1].key, nullptr);
+
+  EXPECT_EQ(events[1].kind, EventKind::Instant);
+  EXPECT_EQ(events[1].durNs, 0);
+  EXPECT_EQ(events[1].seq, 1u);
+}
+
+TEST(TraceSession, RingDropsOldestBeyondCapacity) {
+  TraceSession session({.capacity = 4});
+  for (int i = 0; i < 6; ++i) {
+    session.recordInstant("e", "test", "", i * 10);
+  }
+  EXPECT_EQ(session.recorded(), 6u);
+  EXPECT_EQ(session.dropped(), 2u);
+  EXPECT_EQ(session.capacity(), 4u);
+
+  const std::vector<TraceEvent> events = session.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first, starting after the two overwritten events.
+  EXPECT_EQ(events.front().seq, 2u);
+  EXPECT_EQ(events.front().startNs, 20);
+  EXPECT_EQ(events.back().seq, 5u);
+  EXPECT_EQ(events.back().startNs, 50);
+}
+
+TEST(TraceSession, ClearResetsTheRing) {
+  TraceSession session({.capacity = 2});
+  session.recordInstant("e", "test", "", 0);
+  session.clear();
+  EXPECT_EQ(session.recorded(), 0u);
+  EXPECT_TRUE(session.snapshot().empty());
+}
+
+TEST(TraceSession, OversizedLabelsTruncateWithoutAllocating) {
+  TraceSession session({.capacity = 2});
+  const std::string label(100, 'x');
+  session.recordSpan("decide", "compiled", label, 0, 1);
+  const std::vector<TraceEvent> events = session.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].labelView(),
+            std::string(TraceEvent::kLabelCapacity - 1, 'x'));
+}
+
+TEST(TraceSession, PredictionTrackerAveragesPerRegion) {
+  TraceSession session;
+  session.recordPrediction("gemm_k1", 2.0, 1.0);  // |2-1|/1 = 1.0
+  session.recordPrediction("gemm_k1", 0.5, 1.0);  // |0.5-1|/1 = 0.5
+  session.recordPrediction("atax_k1", 1.0, 1.0);  // exact
+
+  const std::vector<PredictionStats> stats = session.predictionStats();
+  ASSERT_EQ(stats.size(), 2u);
+  // Sorted by region name.
+  EXPECT_EQ(stats[0].region, "atax_k1");
+  EXPECT_EQ(stats[0].count, 1u);
+  EXPECT_DOUBLE_EQ(stats[0].meanAbsRelError, 0.0);
+  EXPECT_EQ(stats[1].region, "gemm_k1");
+  EXPECT_EQ(stats[1].count, 2u);
+  EXPECT_DOUBLE_EQ(stats[1].meanAbsRelError, 0.75);
+  EXPECT_DOUBLE_EQ(stats[1].meanPredictedSeconds, 1.25);
+  EXPECT_DOUBLE_EQ(stats[1].meanActualSeconds, 1.0);
+}
+
+TEST(TraceSession, PredictionTrackerIgnoresDegenerateSamples) {
+  TraceSession session;
+  session.recordPrediction("r", 1.0, 0.0);   // actual not > 0
+  session.recordPrediction("r", 1.0, -1.0);  // negative actual
+  session.recordPrediction("r", std::numeric_limits<double>::quiet_NaN(), 1.0);
+  session.recordPrediction("r", 1.0, std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(session.predictionStats().empty());
+}
+
+TEST(TraceSession, FaultObserverRecordsHitsAndFires) {
+  TraceSession session;
+  session.onFaultHit("gpu.launch", "gpu", support::FaultKind::TransientLaunch,
+                     false);
+  session.onFaultHit("gpu.launch", "gpu", support::FaultKind::TransientLaunch,
+                     true);
+  EXPECT_EQ(session.metrics().counter("fault.hits").value(), 2u);
+  EXPECT_EQ(session.metrics().counter("fault.fires").value(), 1u);
+  const std::vector<TraceEvent> events = session.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].name, "fault.skip");
+  EXPECT_STREQ(events[1].name, "fault.fire");
+  EXPECT_EQ(events[1].labelView(), "gpu.launch");
+  EXPECT_STREQ(events[1].category, "fault");
+}
+
+TEST(TraceSession, ObserveFaultInjectorDetachesOnDestruction) {
+  {
+    TraceSession session;
+    session.observeFaultInjector();
+    EXPECT_EQ(support::faultInjector().observer(), &session);
+  }
+  EXPECT_EQ(support::faultInjector().observer(), nullptr);
+}
+
+TEST(TraceSession, LastObserverWinsAndDoesNotDetachTheWinner) {
+  TraceSession winner;
+  {
+    TraceSession loser;
+    loser.observeFaultInjector();
+    winner.observeFaultInjector();
+    // `loser`'s destructor must not uninstall `winner`.
+  }
+  EXPECT_EQ(support::faultInjector().observer(), &winner);
+  support::faultInjector().setObserver(nullptr);
+}
+
+}  // namespace
+}  // namespace osel::obs

@@ -129,8 +129,8 @@ TEST(CompiledPlanEquivalence, EveryPolybenchRegionOverSizeGrid) {
         // Built directly (Benchmark::bindings refuses n < 3): tiny sizes
         // exercise degenerate predictions, which must also match exactly.
         const symbolic::Bindings bindings{{"n", n}};
-        expectIdenticalDecisions(selector.decide(plan, bindings),
-                                 selector.decide(attr, bindings));
+        expectIdenticalDecisions(selector.decide(RegionHandle(plan), bindings),
+                                 selector.decide(RegionHandle(attr), bindings));
       }
     }
   }
@@ -154,8 +154,8 @@ TEST(CompiledPlanEquivalence, RandomizedBindingsFuzz) {
         }
         SCOPED_TRACE(kernel.name + " round=" + std::to_string(round) +
                      " n=" + std::to_string(n));
-        expectIdenticalDecisions(selector.decide(plan, bindings),
-                                 selector.decide(attr, bindings));
+        expectIdenticalDecisions(selector.decide(RegionHandle(plan), bindings),
+                                 selector.decide(RegionHandle(attr), bindings));
       }
     }
   }
@@ -174,8 +174,8 @@ TEST(CompiledPlanEquivalence, UnusablePlanFallsBackToInterpretedWalk) {
   const CompiledRegionPlan plan = selector.compile(attr);
   EXPECT_FALSE(plan.fastPathUsable());
   const symbolic::Bindings bindings = gemm.bindings(128);
-  const Decision compiled = selector.decide(plan, bindings);
-  const Decision interpreted = selector.decide(attr, bindings);
+  const Decision compiled = selector.decide(RegionHandle(plan), bindings);
+  const Decision interpreted = selector.decide(RegionHandle(attr), bindings);
   EXPECT_FALSE(compiled.valid);
   expectIdenticalDecisions(compiled, interpreted);
 }
@@ -217,10 +217,10 @@ TEST(CompiledPlanPerf, CompiledDecideIsAllocationFree) {
   ASSERT_TRUE(plan.fastPathUsable());
   const symbolic::Bindings bindings = gemm.bindings(9600);
   double sink = 0.0;
-  sink += selector.decide(plan, bindings).cpu.seconds;  // warm-up
+  sink += selector.decide(RegionHandle(plan), bindings).cpu.seconds;  // warm-up
   const std::uint64_t before = gAllocations.load(std::memory_order_relaxed);
   for (int i = 0; i < 64; ++i) {
-    sink += selector.decide(plan, bindings).cpu.seconds;
+    sink += selector.decide(RegionHandle(plan), bindings).cpu.seconds;
   }
   const std::uint64_t after = gAllocations.load(std::memory_order_relaxed);
   EXPECT_EQ(after - before, 0u);

@@ -116,8 +116,10 @@ TargetRuntime makeRuntime(RuntimeOptions options = {},
   const std::array<TargetRegion, 1> regions{streamKernel()};
   pad::AttributeDatabase db = compiler::compileAll(regions, models);
   config.cpuThreads = 160;
-  TargetRuntime runtime(std::move(db), config, cpusim::CpuSimParams::power9(),
-                        160, gpusim::GpuSimParams::teslaV100(), options);
+  options.selector = config;
+  options.cpuSim = cpusim::CpuSimParams::power9();
+  options.gpuSim = gpusim::GpuSimParams::teslaV100();
+  TargetRuntime runtime(std::move(db), options);
   runtime.registerRegion(streamKernel());
   return runtime;
 }

@@ -1,0 +1,96 @@
+// The [[deprecated]] compatibility shims: each pre-redesign entry point
+// must keep compiling (with a warning, silenced here) and must behave
+// exactly like the unified API it forwards to. One test per shim.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "compiler/compiler.h"
+#include "ir/builder.h"
+#include "runtime/target_runtime.h"
+
+// These tests exist to exercise the deprecated entry points.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+namespace osel::runtime {
+namespace {
+
+using namespace osel::ir;
+
+TargetRegion streamKernel() {
+  return RegionBuilder("stream")
+      .param("n")
+      .array("x", ScalarType::F32, {sym("n"), sym("n")}, Transfer::To)
+      .array("y", ScalarType::F32, {sym("n"), sym("n")}, Transfer::From)
+      .parallelFor("i", sym("n"))
+      .parallelFor("j", sym("n"))
+      .statement(Stmt::store("y", {sym("i"), sym("j")},
+                             read("x", {sym("i"), sym("j")}) * num(3.0)))
+      .build();
+}
+
+pad::AttributeDatabase makeDatabase() {
+  const std::array<mca::MachineModel, 1> models{mca::MachineModel::power9()};
+  const std::array<TargetRegion, 1> regions{streamKernel()};
+  return compiler::compileAll(regions, models);
+}
+
+void expectSameDecision(const Decision& a, const Decision& b) {
+  EXPECT_EQ(a.device, b.device);
+  EXPECT_EQ(a.valid, b.valid);
+  EXPECT_DOUBLE_EQ(a.cpu.seconds, b.cpu.seconds);
+  EXPECT_DOUBLE_EQ(a.gpu.totalSeconds, b.gpu.totalSeconds);
+}
+
+TEST(DeprecatedApi, DecideOnAttributesMatchesRegionHandle) {
+  const pad::AttributeDatabase db = makeDatabase();
+  const OffloadSelector selector{SelectorConfig{}};
+  const pad::RegionAttributes* attr = db.find("stream");
+  ASSERT_NE(attr, nullptr);
+  const symbolic::Bindings bindings{{"n", 96}};
+  expectSameDecision(selector.decide(*attr, bindings),
+                     selector.decide(RegionHandle(*attr), bindings));
+}
+
+TEST(DeprecatedApi, DecideOnCompiledPlanMatchesRegionHandle) {
+  const pad::AttributeDatabase db = makeDatabase();
+  const OffloadSelector selector{SelectorConfig{}};
+  const pad::RegionAttributes* attr = db.find("stream");
+  ASSERT_NE(attr, nullptr);
+  const CompiledRegionPlan plan = selector.compile(*attr);
+  const symbolic::Bindings bindings{{"n", 96}};
+  expectSameDecision(selector.decide(plan, bindings),
+                     selector.decide(RegionHandle(plan), bindings));
+}
+
+TEST(DeprecatedApi, LooseArgumentConstructorMatchesRuntimeOptions) {
+  SelectorConfig selectorConfig;
+  selectorConfig.cpuThreads = 160;
+
+  RuntimeOptions options;
+  options.selector = selectorConfig;
+  options.cpuSim = cpusim::CpuSimParams::power9();
+  options.gpuSim = gpusim::GpuSimParams::teslaV100();
+  TargetRuntime modern(makeDatabase(), options);
+  modern.registerRegion(streamKernel());
+
+  TargetRuntime legacy(makeDatabase(), selectorConfig,
+                       cpusim::CpuSimParams::power9(), 160,
+                       gpusim::GpuSimParams::teslaV100());
+  legacy.registerRegion(streamKernel());
+
+  EXPECT_EQ(legacy.selector().config().cpuThreads, 160);
+  const symbolic::Bindings bindings{{"n", 128}};
+  ArrayStore modernStore = allocateArrays(streamKernel(), bindings);
+  ArrayStore legacyStore = allocateArrays(streamKernel(), bindings);
+  const LaunchRecord a =
+      modern.launch("stream", bindings, modernStore, Policy::ModelGuided);
+  const LaunchRecord b =
+      legacy.launch("stream", bindings, legacyStore, Policy::ModelGuided);
+  EXPECT_EQ(a.chosen, b.chosen);
+  expectSameDecision(a.decision, b.decision);
+  EXPECT_DOUBLE_EQ(a.actualSeconds, b.actualSeconds);
+}
+
+}  // namespace
+}  // namespace osel::runtime

@@ -109,14 +109,14 @@ TEST(OffloadSelector, FalseSharingFlagFromStoreStride) {
 TEST(OffloadSelector, LargeGemmPrefersGpuSmallPrefersCpu) {
   const pad::RegionAttributes attr = attributesFor(gemmKernel());
   const OffloadSelector bigHost(SelectorConfig{});
-  const Decision large = bigHost.decide(attr, {{"n", 4096}});
+  const Decision large = bigHost.decide(RegionHandle(attr), {{"n", 4096}});
   EXPECT_EQ(large.device, Device::Gpu);
   // At 160 threads even tiny kernels lose to the fork cost, so the
   // CPU-stays case needs a modest host configuration (the paper's 4-thread
   // scenario, Figs. 6-7).
   SelectorConfig smallHost;
   smallHost.cpuThreads = 4;
-  const Decision tiny = OffloadSelector(smallHost).decide(attr, {{"n", 16}});
+  const Decision tiny = OffloadSelector(smallHost).decide(RegionHandle(attr), {{"n", 16}});
   EXPECT_EQ(tiny.device, Device::Cpu);
 }
 
@@ -124,14 +124,14 @@ TEST(OffloadSelector, DecisionOverheadIsMicroseconds) {
   // §IV.D: evaluating two closed-form models must be negligible.
   const pad::RegionAttributes attr = attributesFor(gemmKernel());
   const OffloadSelector selector(SelectorConfig{});
-  const Decision decision = selector.decide(attr, {{"n", 1100}});
+  const Decision decision = selector.decide(RegionHandle(attr), {{"n", 1100}});
   EXPECT_LT(decision.overheadSeconds, 1e-3);
 }
 
 TEST(OffloadSelector, PredictedSpeedupConsistent) {
   const pad::RegionAttributes attr = attributesFor(gemmKernel());
   const OffloadSelector selector(SelectorConfig{});
-  const Decision decision = selector.decide(attr, {{"n", 1100}});
+  const Decision decision = selector.decide(RegionHandle(attr), {{"n", 1100}});
   EXPECT_NEAR(decision.predictedSpeedup(),
               decision.cpu.seconds / decision.gpu.totalSeconds, 1e-12);
   if (decision.predictedSpeedup() > 1.0) {
@@ -144,7 +144,7 @@ TEST(OffloadSelector, PredictedSpeedupConsistent) {
 TEST(OffloadSelector, ValidDecisionsCarryNoDiagnostic) {
   const pad::RegionAttributes attr = attributesFor(gemmKernel());
   const Decision decision =
-      OffloadSelector(SelectorConfig{}).decide(attr, {{"n", 1100}});
+      OffloadSelector(SelectorConfig{}).decide(RegionHandle(attr), {{"n", 1100}});
   EXPECT_TRUE(decision.valid);
   EXPECT_TRUE(decision.diagnostic.empty());
 }
@@ -155,7 +155,7 @@ TEST(OffloadSelector, ModelFaultDegradesToSafeDefault) {
                                    {.kind = support::FaultKind::DeviceLost});
   SelectorConfig config;
   config.safeDefaultDevice = Device::Gpu;  // non-default, to prove it is used
-  const Decision decision = OffloadSelector(config).decide(attr, {{"n", 1100}});
+  const Decision decision = OffloadSelector(config).decide(RegionHandle(attr), {{"n", 1100}});
   EXPECT_FALSE(decision.valid);
   EXPECT_EQ(decision.device, Device::Gpu);
   EXPECT_FALSE(decision.diagnostic.empty());

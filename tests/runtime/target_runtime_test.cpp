@@ -29,10 +29,11 @@ TargetRuntime makeRuntime() {
   const std::array<mca::MachineModel, 1> models{mca::MachineModel::power9()};
   const std::array<TargetRegion, 1> regions{streamKernel()};
   pad::AttributeDatabase db = compiler::compileAll(regions, models);
-  SelectorConfig config;
-  config.cpuThreads = 160;
-  TargetRuntime runtime(std::move(db), config, cpusim::CpuSimParams::power9(),
-                        160, gpusim::GpuSimParams::teslaV100());
+  RuntimeOptions options;
+  options.selector.cpuThreads = 160;
+  options.cpuSim = cpusim::CpuSimParams::power9();
+  options.gpuSim = gpusim::GpuSimParams::teslaV100();
+  TargetRuntime runtime(std::move(db), options);
   runtime.registerRegion(streamKernel());
   return runtime;
 }
@@ -154,6 +155,25 @@ TEST(TargetRuntime, LogCsvExport) {
 TEST(TargetRuntime, LogCsvEmptyLogIsHeaderOnly) {
   const std::string csv = renderLogCsv({});
   EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 1);
+}
+
+TEST(TargetRuntime, LogCsvQuotesHostileRegionNames) {
+  // Region names are caller-controlled; RFC-4180 quoting keeps a name with
+  // commas/quotes/newlines from shearing its row.
+  LaunchRecord record;
+  record.regionName = "evil,\"name\"\nk1";
+  record.policy = Policy::AlwaysCpu;
+  record.chosen = Device::Cpu;
+  const std::string csv = renderLogCsv(std::array{record});
+  EXPECT_NE(csv.find("\"evil,\"\"name\"\"\nk1\",always-cpu,CPU,"),
+            std::string::npos)
+      << csv;
+  // The embedded newline lives inside quotes: header + one (wrapped) row.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+  // A benign name stays unquoted.
+  record.regionName = "stream";
+  EXPECT_NE(renderLogCsv(std::array{record}).find("\nstream,always-cpu,"),
+            std::string::npos);
 }
 
 TEST(TargetRuntime, PolicyNames) {

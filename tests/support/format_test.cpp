@@ -38,6 +38,18 @@ TEST(Format, CountThousandsSeparators) {
   EXPECT_EQ(formatCount(12345678), "12,345,678");
 }
 
+TEST(Format, CsvFieldPassesPlainTextThrough) {
+  EXPECT_EQ(csvField("gemm_k1"), "gemm_k1");
+  EXPECT_EQ(csvField(""), "");
+}
+
+TEST(Format, CsvFieldQuotesRfc4180Specials) {
+  EXPECT_EQ(csvField("a,b"), "\"a,b\"");
+  EXPECT_EQ(csvField("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csvField("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(csvField("cr\rhere"), "\"cr\rhere\"");
+}
+
 TEST(Format, Percent) {
   EXPECT_EQ(formatPercent(0.123), "12.3%");
   EXPECT_EQ(formatPercent(1.0), "100.0%");

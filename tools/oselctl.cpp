@@ -6,11 +6,19 @@
 //   oselctl measure  <kernel> [opts]      ground-truth device simulations
 //   oselctl pad      [<kernel>...]        print serialized PAD entries
 //   oselctl emit     <kernel>             print a kernel as .osel source
+//   oselctl trace    <benchmark> [opts]   run through the target runtime and
+//                                         print a Chrome trace_event JSON
+//   oselctl stats    <benchmark> [opts]   run and print metrics + per-region
+//                                         prediction-accuracy summary
 //
 // Common options: --n <size> (default: the kernel's test size),
 // --threads <count> (default 160), --platform v100|k80 (default v100),
 // --file <path.osel> (load kernels from a kernel-language file instead of
 // the built-in Polybench suite; see examples/kernels/).
+// trace/stats options: --repeat <R> launches per kernel (default 3, so the
+// decision cache gets hits), --gpu-fault-rate <p> arms transient GPU launch
+// faults to exercise retry/fallback spans, --out <file> (trace: write the
+// JSON there instead of stdout).
 #include <algorithm>
 #include <array>
 #include <cstdio>
@@ -25,9 +33,13 @@
 #include "ipda/ipda.h"
 #include "mca/lowering.h"
 #include "mca/pipeline_sim.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "polybench/polybench.h"
 #include "runtime/selector.h"
+#include "runtime/target_runtime.h"
 #include "support/cli.h"
+#include "support/faultinject.h"
 #include "support/format.h"
 
 namespace {
@@ -141,7 +153,8 @@ int cmdDecide(const KernelRef& ref, const Config& config) {
   const pad::RegionAttributes attr = compiler::analyzeRegion(*ref.region, hosts);
   const runtime::OffloadSelector selector(selectorConfig(config));
   const symbolic::Bindings bindings = bindingsFor(ref, config);
-  const runtime::Decision decision = selector.decide(attr, bindings);
+  const runtime::Decision decision =
+      selector.decide(runtime::RegionHandle(attr), bindings);
   std::printf("%s\n%s\n", decision.cpu.toString().c_str(),
               decision.gpu.toString().c_str());
   std::printf("predicted offloading speedup: %s\n",
@@ -182,6 +195,88 @@ int cmdMeasure(const KernelRef& ref, const Config& config) {
   return 0;
 }
 
+/// Runs one Polybench benchmark (every kernel, `--repeat` times) through a
+/// TargetRuntime with an obs::TraceSession attached; shared by `trace` and
+/// `stats`. `name` may be a benchmark ("GEMM") or one of its kernels
+/// ("gemm_k1" — the owning benchmark is run).
+int cmdObserve(const std::string& name, const Config& config,
+               const support::CommandLine& cl, bool emitTrace) {
+  const polybench::Benchmark* benchmark = nullptr;
+  for (const polybench::Benchmark& candidate : polybench::suite()) {
+    if (candidate.name() == name) benchmark = &candidate;
+    for (const ir::TargetRegion& kernel : candidate.kernels())
+      if (kernel.name == name) benchmark = &candidate;
+  }
+  if (benchmark == nullptr) {
+    std::fprintf(stderr,
+                 "oselctl %s: unknown benchmark or kernel %s (try `oselctl "
+                 "list`)\n",
+                 emitTrace ? "trace" : "stats", name.c_str());
+    return 2;
+  }
+
+  const double faultRate = cl.doubleOption("gpu-fault-rate", 0.0);
+  if (faultRate > 0.0) {
+    support::faultInjector().arm(
+        support::faultpoints::kGpuLaunch,
+        {.kind = support::FaultKind::TransientLaunch,
+         .probability = faultRate,
+         .seed = static_cast<std::uint64_t>(cl.intOption("fault-seed", 2019))});
+  }
+
+  const std::array<mca::MachineModel, 2> hosts{mca::MachineModel::power9(),
+                                               mca::MachineModel::power8()};
+  std::vector<ir::TargetRegion> regions(benchmark->kernels().begin(),
+                                        benchmark->kernels().end());
+  pad::AttributeDatabase db = compiler::compileAll(regions, hosts);
+
+  obs::TraceSession session;
+  session.observeFaultInjector();
+  runtime::RuntimeOptions options;
+  options.selector = selectorConfig(config);
+  options.cpuSim = config.k80 ? cpusim::CpuSimParams::power8()
+                              : cpusim::CpuSimParams::power9();
+  options.gpuSim = config.k80 ? gpusim::GpuSimParams::teslaK80()
+                              : gpusim::GpuSimParams::teslaV100();
+  options.trace = &session;
+  runtime::TargetRuntime rt(std::move(db), options);
+  for (const ir::TargetRegion& kernel : benchmark->kernels())
+    rt.registerRegion(kernel);
+
+  const std::int64_t n = config.sizeFor(benchmark);
+  const auto repeat = cl.intOption("repeat", 3);
+  const symbolic::Bindings bindings = benchmark->bindings(n);
+  ir::ArrayStore store = benchmark->allocate(bindings);
+  polybench::initializeInputs(*benchmark, bindings, store);
+  for (std::int64_t r = 0; r < repeat; ++r) {
+    for (const ir::TargetRegion& kernel : benchmark->kernels())
+      (void)rt.launch(kernel.name, bindings, store,
+                      runtime::Policy::ModelGuided);
+  }
+
+  if (emitTrace) {
+    const std::string json = obs::renderChromeTrace(session);
+    if (const auto out = cl.stringOption("out"); out && !out->empty()) {
+      std::FILE* file = std::fopen(out->c_str(), "w");
+      if (file == nullptr) {
+        std::fprintf(stderr, "oselctl trace: cannot open %s for writing\n",
+                     out->c_str());
+        return 1;
+      }
+      std::fputs(json.c_str(), file);
+      std::fclose(file);
+      std::fprintf(stderr, "oselctl trace: wrote %llu events to %s\n",
+                   static_cast<unsigned long long>(session.recorded()),
+                   out->c_str());
+    } else {
+      std::fputs(json.c_str(), stdout);
+    }
+  } else {
+    std::fputs(obs::renderStatsSummary(session).c_str(), stdout);
+  }
+  return 0;
+}
+
 int cmdPad(const std::vector<std::string>& names) {
   const std::array<mca::MachineModel, 2> hosts{mca::MachineModel::power9(),
                                                mca::MachineModel::power8()};
@@ -205,8 +300,8 @@ int main(int argc, char** argv) {
   const auto& positional = cl.positional();
   if (positional.empty()) {
     std::fprintf(stderr,
-                 "usage: oselctl <list|inspect|decide|measure|pad|emit> [kernel] "
-                 "[--n N] [--threads T] [--platform v100|k80]\n");
+                 "usage: oselctl <list|inspect|decide|measure|pad|emit|trace|"
+                 "stats> [kernel] [--n N] [--threads T] [--platform v100|k80]\n");
     return 2;
   }
   Config config;
@@ -226,6 +321,8 @@ int main(int argc, char** argv) {
                  command.c_str());
     return 2;
   }
+  if (command == "trace" || command == "stats")
+    return cmdObserve(positional[1], config, cl, command == "trace");
   const KernelRef ref = findKernel(positional[1]);
   if (ref.region == nullptr) {
     std::fprintf(stderr, "oselctl: unknown kernel %s (try `oselctl list`)\n",
