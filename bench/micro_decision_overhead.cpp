@@ -60,10 +60,12 @@ void BM_CompiledDecision(benchmark::State& state) {
 BENCHMARK(BM_CompiledDecision);
 
 void BM_TracedDecision(benchmark::State& state) {
-  // The compiled path plus the runtime's observability hook: one decision
-  // span recorded into an attached TraceSession per decide. The delta
-  // against BM_CompiledDecision is the per-decision cost of tracing; with
-  // no session attached the hook is a single branch (see the <2% pin in
+  // The compiled path plus the runtime's full observability hook set: one
+  // decision span, one histogram sample, AND one DecisionExplain forensics
+  // record (model-term attribution filled by the selector's explain sink,
+  // pushed into the session's ring) per decide. The delta against
+  // BM_CompiledDecision is the per-decision cost of tracing; with no
+  // session attached the hooks are a single branch (see the <2% pin in
   // perf-smoke and the allocation test in test_obs).
   const symbolic::Bindings bindings{{"n", 9600}};
   const runtime::CompiledRegionPlan plan = selector().compile(gemmAttributes());
@@ -71,13 +73,16 @@ void BM_TracedDecision(benchmark::State& state) {
   obs::TraceSession session({.capacity = 1024});
   obs::Histogram& overhead = session.metrics().histogram(
       "decision.overhead_s", {1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2});
+  obs::DecisionExplain explain;
   for (auto _ : state) {
     const std::int64_t start = session.nowNs();
-    const runtime::Decision decision = selector().decide(region, bindings);
+    const runtime::Decision decision =
+        selector().decide(region, bindings, &explain);
     session.recordSpan("decide", "compiled", "gemm_k1", start,
                        session.nowNs() - start,
                        {"overhead_s", decision.overheadSeconds},
                        {"valid", decision.valid ? 1.0 : 0.0});
+    session.recordExplain(explain);
     overhead.record(decision.overheadSeconds);
     benchmark::DoNotOptimize(decision);
   }

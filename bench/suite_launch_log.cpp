@@ -16,14 +16,26 @@
 //                            trace_event JSON of the run (forces serial)
 //   --stats                  print metrics + prediction-accuracy summary to
 //                            stderr after the run (forces serial)
+//   --drift-report           print the per-region drift report (EWMA/CUSUM
+//                            over prediction error, mispredictions) to
+//                            stderr after the run (forces serial; pair with
+//                            --policy oracle for misprediction counts)
+//   --prom-out <file>        write a Prometheus text exposition (0.0.4) of
+//                            the session after the run (forces serial)
+//   --stats-file <file>      attach an obs::SnapshotWriter that atomically
+//                            rewrites <file> with the stats summary every
+//                            --stats-every launches (default 16; forces
+//                            serial)
 #include <array>
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "bench/common/platform.h"
 #include "bench/common/thread_pool.h"
 #include "compiler/compiler.h"
 #include "obs/export.h"
+#include "obs/snapshot.h"
 #include "obs/trace.h"
 #include "runtime/target_runtime.h"
 #include "support/cli.h"
@@ -104,10 +116,30 @@ int main(int argc, char** argv) {
 
   const std::string traceOut = cl.stringOption("trace-out").value_or("");
   const bool wantStats = cl.hasFlag("stats");
+  const bool wantDrift = cl.hasFlag("drift-report");
+  const std::string promOut = cl.stringOption("prom-out").value_or("");
+  const std::string statsFile = cl.stringOption("stats-file").value_or("");
+  const auto statsEvery = cl.intOption("stats-every", 16);
+  if (!statsFile.empty() && statsEvery <= 0) {
+    std::fprintf(stderr, "suite_launch_log: --stats-every must be > 0, got %lld\n",
+                 static_cast<long long>(statsEvery));
+    return 2;
+  }
   obs::TraceSession session;
-  if (!traceOut.empty() || wantStats) {
+  if (!traceOut.empty() || wantStats || wantDrift || !promOut.empty() ||
+      !statsFile.empty()) {
     options.trace = &session;
     session.observeFaultInjector();
+  }
+  // Periodic snapshot: the writer re-renders the stats summary and
+  // atomically replaces the file every N launches.
+  std::unique_ptr<obs::SnapshotWriter> snapshotWriter;
+  if (!statsFile.empty()) {
+    snapshotWriter = std::make_unique<obs::SnapshotWriter>(
+        obs::SnapshotOptions{statsFile,
+                             static_cast<std::uint64_t>(statsEvery)},
+        [&session] { return obs::renderStatsSummary(session); });
+    session.attachSnapshotWriter(snapshotWriter.get());
   }
 
   const auto jobs = static_cast<unsigned>(cl.intOption("jobs", 0));
@@ -139,6 +171,25 @@ int main(int argc, char** argv) {
                    traceOut.c_str());
     }
     if (wantStats) std::fputs(obs::renderStatsSummary(session).c_str(), stderr);
+    if (wantDrift) std::fputs(obs::renderDriftReport(session).c_str(), stderr);
+    if (!promOut.empty()) {
+      std::FILE* out = std::fopen(promOut.c_str(), "w");
+      if (out == nullptr) {
+        std::fprintf(stderr, "suite_launch_log: cannot open %s for writing\n",
+                     promOut.c_str());
+        return 1;
+      }
+      std::fputs(obs::renderPrometheus(session).c_str(), out);
+      std::fclose(out);
+    }
+    if (snapshotWriter != nullptr) {
+      // Final state beats a mid-run snapshot: flush once more at exit.
+      if (!snapshotWriter->flush()) {
+        std::fprintf(stderr, "suite_launch_log: cannot write %s\n",
+                     statsFile.c_str());
+        return 1;
+      }
+    }
     return 0;
   }
 

@@ -144,4 +144,18 @@ CpuPrediction CpuCostModel::predict(const CpuWorkload& workload) const {
   return prediction;
 }
 
+void explainInto(const CpuWorkload& workload, const CpuPrediction& prediction,
+                 obs::CpuTerms& out) noexcept {
+  out.machineCyclesPerIter = workload.machineCyclesPerIter;
+  out.tripCount = static_cast<double>(workload.parallelTripCount);
+  out.forkJoinCycles = prediction.forkJoinCycles;
+  out.scheduleCycles = prediction.scheduleCycles;
+  out.workCycles = prediction.workCycles;
+  out.loopOverheadCycles = prediction.loopOverheadCycles;
+  out.tlbCycles = prediction.tlbCycles;
+  out.falseSharingCycles = prediction.falseSharingCycles;
+  out.totalCycles = prediction.totalCycles;
+  out.seconds = prediction.seconds;
+}
+
 }  // namespace osel::cpumodel

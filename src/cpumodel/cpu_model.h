@@ -17,6 +17,8 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/explain.h"
+
 namespace osel::cpumodel {
 
 /// How the parallel loop's iterations are scheduled across threads.
@@ -105,6 +107,14 @@ struct CpuPrediction {
 
   [[nodiscard]] std::string toString() const;
 };
+
+/// Explain sink: folds one (workload, prediction) pair into the forensics
+/// term struct — the model's side of obs::DecisionExplain attribution.
+/// Non-virtual and allocation-free so the selector can call it
+/// unconditionally on both decide paths; both paths must produce
+/// bit-identical terms (pinned by the compiled-plan equivalence suite).
+void explainInto(const CpuWorkload& workload, const CpuPrediction& prediction,
+                 obs::CpuTerms& out) noexcept;
 
 /// The cost model bound to one host configuration and thread count.
 class CpuCostModel {

@@ -157,4 +157,26 @@ GpuPrediction GpuCostModel::predict(const GpuWorkload& workload) const {
   return p;
 }
 
+void explainInto(const GpuWorkload& workload, const GpuPrediction& prediction,
+                 obs::GpuTerms& out) noexcept {
+  out.ompRep = prediction.ompRep;
+  out.mwp = prediction.mwp;
+  out.cwp = prediction.cwp;
+  out.memCycles = prediction.memCycles;
+  out.compCycles = prediction.compCycles;
+  out.activeWarpsPerSm = prediction.activeWarpsPerSm;
+  out.coalMemInsts = workload.coalMemInstsPerThread;
+  out.uncoalMemInsts = workload.uncoalMemInstsPerThread;
+  const double memInsts = workload.memInstsPerThread();
+  out.coalescedFraction =
+      memInsts > 0.0 ? workload.coalMemInstsPerThread / memInsts : 0.0;
+  out.bytesToDevice = static_cast<double>(workload.bytesToDevice);
+  out.bytesFromDevice = static_cast<double>(workload.bytesFromDevice);
+  out.kernelSeconds = prediction.kernelSeconds;
+  out.transferSeconds = prediction.transferSeconds;
+  out.launchSeconds = prediction.launchSeconds;
+  out.totalSeconds = prediction.totalSeconds;
+  out.execCase = static_cast<std::uint8_t>(prediction.execCase);
+}
+
 }  // namespace osel::gpumodel

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "gpumodel/gpu_device.h"
+#include "obs/explain.h"
 
 namespace osel::gpumodel {
 
@@ -79,6 +80,13 @@ struct GpuPrediction {
 
   [[nodiscard]] std::string toString() const;
 };
+
+/// Explain sink: folds one (workload, prediction) pair into the forensics
+/// term struct — the GPU model's side of obs::DecisionExplain attribution.
+/// Non-virtual and allocation-free; both decide paths must produce
+/// bit-identical terms (pinned by the compiled-plan equivalence suite).
+void explainInto(const GpuWorkload& workload, const GpuPrediction& prediction,
+                 obs::GpuTerms& out) noexcept;
 
 /// The analytical model bound to one device.
 class GpuCostModel {

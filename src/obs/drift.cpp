@@ -1,0 +1,98 @@
+#include "obs/drift.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.h"
+
+namespace osel::obs {
+
+DriftDetector::DriftDetector(DriftOptions options) : options_(options) {
+  support::require(options_.ewmaAlpha > 0.0 && options_.ewmaAlpha <= 1.0,
+                   "DriftDetector: ewmaAlpha must be in (0, 1]");
+  support::require(options_.baselineSamples > 0,
+                   "DriftDetector: baselineSamples must be > 0");
+  support::require(options_.cusumThreshold > 0.0,
+                   "DriftDetector: cusumThreshold must be > 0");
+}
+
+DriftDetector::State& DriftDetector::stateFor(std::string_view region) {
+  auto it = regions_.find(region);
+  if (it == regions_.end()) {
+    it = regions_.emplace(std::string(region), State{}).first;
+  }
+  return it->second;
+}
+
+DriftSample DriftDetector::recordError(std::string_view region,
+                                       double absRelError) {
+  if (!std::isfinite(absRelError) || absRelError < 0.0) {
+    return {};
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  State& state = stateFor(region);
+  state.samples += 1;
+  if (state.samples == 1) {
+    state.ewma = absRelError;
+  } else {
+    state.ewma = options_.ewmaAlpha * absRelError +
+                 (1.0 - options_.ewmaAlpha) * state.ewma;
+  }
+
+  DriftSample sample;
+  if (state.samples <= options_.baselineSamples) {
+    // Warm-up window: accumulate the baseline, keep the CUSUM disarmed.
+    state.baselineSum += absRelError;
+    state.baseline = state.baselineSum / static_cast<double>(state.samples);
+  } else {
+    state.cusum = std::max(
+        0.0, state.cusum + (absRelError - state.baseline - options_.cusumSlack));
+    if (!state.alarming && state.cusum >= options_.cusumThreshold) {
+      state.alarming = true;
+      state.alarms += 1;
+      sample.alarm = true;
+    } else if (state.alarming && state.cusum == 0.0) {
+      state.alarming = false;
+    }
+  }
+  sample.ewma = state.ewma;
+  sample.cusum = state.cusum;
+  return sample;
+}
+
+void DriftDetector::recordComparison(std::string_view region,
+                                     bool mispredicted) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  State& state = stateFor(region);
+  state.comparisons += 1;
+  if (mispredicted) {
+    state.mispredictions += 1;
+  }
+}
+
+std::vector<RegionDriftStats> DriftDetector::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<RegionDriftStats> out;
+  out.reserve(regions_.size());
+  for (const auto& [region, state] : regions_) {
+    RegionDriftStats row;
+    row.region = region;
+    row.samples = state.samples;
+    row.ewma = state.ewma;
+    row.baseline = state.baseline;
+    row.cusum = state.cusum;
+    row.alarms = state.alarms;
+    row.alarming = state.alarming;
+    row.comparisons = state.comparisons;
+    row.mispredictions = state.mispredictions;
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+void DriftDetector::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  regions_.clear();
+}
+
+}  // namespace osel::obs

@@ -1,0 +1,112 @@
+// osel/obs/drift.h — online drift detection over prediction accuracy.
+//
+// The analytical models are calibrated once (EPCC constants, MCA machine
+// description, IPDA's static coalescing split); in a long-running
+// deployment the workload can walk away from that calibration — a region's
+// trip counts cross a cache boundary the CPU model does not see, or data
+// layout changes flip strides from coalesced to uncoalesced. Offline
+// re-validation (re-running Figs. 6–7) catches this eventually; the
+// DriftDetector catches it *as it happens*.
+//
+// Per region it maintains, over the stream of prediction absolute relative
+// errors |predicted - actual| / actual:
+//   * an EWMA — the smoothed current error level,
+//   * a baseline — the mean of the first `baselineSamples` errors, i.e.
+//     what "calibrated" looked like when the region first ran,
+//   * a one-sided CUSUM: s = max(0, s + (error - baseline - slack)),
+//     which accumulates only *sustained* excess over the baseline and
+//     raises an alarm when it crosses `threshold`. The alarm stays latched
+//     until the CUSUM decays back to zero (errors returned to baseline).
+// Alongside the error stream it counts mispredictions: launches where both
+// devices were measured (Oracle policy) and the model-chosen device was the
+// slower one — the paper's Fig. 8 "wrong side of the crossover" events,
+// counted live.
+//
+// TraceSession owns one detector, feeds it from recordPrediction /
+// recordComparison, and turns alarm transitions into `drift.alarm` trace
+// instants plus a `drift.alarms` counter.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace osel::obs {
+
+struct DriftOptions {
+  /// EWMA smoothing factor in (0, 1]; higher = faster tracking.
+  double ewmaAlpha = 0.2;
+  /// Error samples that establish a region's baseline before the CUSUM arms.
+  std::uint64_t baselineSamples = 8;
+  /// Excess over baseline tolerated per sample before the CUSUM charges.
+  double cusumSlack = 0.05;
+  /// Accumulated excess error that raises a drift alarm.
+  double cusumThreshold = 1.0;
+};
+
+/// Outcome of feeding one error sample.
+struct DriftSample {
+  bool alarm = false;  ///< true only on the sample that RAISES an alarm
+  double ewma = 0.0;
+  double cusum = 0.0;
+};
+
+/// Per-region drift state, for reports and exposition.
+struct RegionDriftStats {
+  std::string region;
+  std::uint64_t samples = 0;
+  double ewma = 0.0;
+  double baseline = 0.0;  ///< mean error of the warm-up window
+  double cusum = 0.0;
+  std::uint64_t alarms = 0;  ///< alarm transitions so far
+  bool alarming = false;     ///< currently latched above threshold
+  /// Misprediction tracking (only launches that measured both devices).
+  std::uint64_t comparisons = 0;
+  std::uint64_t mispredictions = 0;
+};
+
+/// Thread-safe online drift detector. Hot-path calls allocate only on the
+/// first sample of a new region (map node), matching the prediction
+/// tracker's behaviour.
+class DriftDetector {
+ public:
+  explicit DriftDetector(DriftOptions options = {});
+
+  /// Feeds one prediction absolute-relative-error sample for `region`.
+  /// Non-finite or negative samples are ignored (returns all-zero sample).
+  DriftSample recordError(std::string_view region, double absRelError);
+
+  /// Feeds one both-devices-measured launch outcome for `region`.
+  void recordComparison(std::string_view region, bool mispredicted);
+
+  /// Per-region state so far, sorted by region name.
+  [[nodiscard]] std::vector<RegionDriftStats> stats() const;
+
+  [[nodiscard]] const DriftOptions& options() const { return options_; }
+
+  void clear();
+
+ private:
+  struct State {
+    std::uint64_t samples = 0;
+    double ewma = 0.0;
+    double baselineSum = 0.0;
+    double baseline = 0.0;
+    double cusum = 0.0;
+    std::uint64_t alarms = 0;
+    bool alarming = false;
+    std::uint64_t comparisons = 0;
+    std::uint64_t mispredictions = 0;
+  };
+
+  State& stateFor(std::string_view region);
+
+  DriftOptions options_;
+  mutable std::mutex mutex_;
+  std::map<std::string, State, std::less<>> regions_;
+};
+
+}  // namespace osel::obs

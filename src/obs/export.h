@@ -36,4 +36,26 @@ namespace osel::obs {
 /// summary, and the per-region prediction-accuracy table.
 [[nodiscard]] std::string renderStatsSummary(const TraceSession& session);
 
+/// Prometheus text exposition (format 0.0.4) of the session: every
+/// registry counter/gauge/histogram (histograms with cumulative
+/// `_bucket{le=...}` series plus `_sum`/`_count`), the per-region
+/// prediction-accuracy series, and the per-region drift series — all under
+/// the `osel_` prefix with metric names sanitised to the Prometheus
+/// charset and label values escaped per the spec.
+[[nodiscard]] std::string renderPrometheus(const TraceSession& session);
+
+/// JSON array of DecisionExplain records (all model terms spelled out) —
+/// the machine-readable offload report. Deterministic: records keep their
+/// input order and doubles print with %.9g.
+[[nodiscard]] std::string renderExplainJson(
+    std::span<const DecisionExplain> records);
+[[nodiscard]] std::string renderExplainJson(const TraceSession& session);
+
+/// Human-readable single-record term breakdown for `oselctl explain`.
+[[nodiscard]] std::string renderExplainText(const DecisionExplain& record);
+
+/// Human-readable per-region drift table (EWMA, baseline, CUSUM, alarms,
+/// mispredictions) for `oselctl drift` / `suite_launch_log --drift-report`.
+[[nodiscard]] std::string renderDriftReport(const TraceSession& session);
+
 }  // namespace osel::obs

@@ -68,6 +68,17 @@ double Histogram::mean() const {
   return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
 }
 
+Histogram::Stats Histogram::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Stats out;
+  out.counts = counts_;
+  out.count = count_;
+  out.sum = sum_;
+  out.min = min_;
+  out.max = max_;
+  return out;
+}
+
 Counter& MetricsRegistry::counter(std::string_view name) {
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = counters_.find(name);
@@ -93,6 +104,28 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
               .emplace(std::string(name),
                        std::make_unique<Histogram>(std::move(upperBounds)))
               .first->second;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.counters.emplace_back(name, counter->value());
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.gauges.emplace_back(name, gauge->value());
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    Snapshot::HistogramEntry entry;
+    entry.name = name;
+    entry.upperBounds = histogram->upperBounds();
+    entry.stats = histogram->stats();
+    out.histograms.push_back(std::move(entry));
+  }
+  return out;
 }
 
 std::string MetricsRegistry::renderSummary() const {

@@ -17,6 +17,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace osel::obs {
@@ -73,6 +74,17 @@ class Histogram {
   [[nodiscard]] double max() const;  ///< -inf when empty
   [[nodiscard]] double mean() const;  ///< 0 when empty
 
+  /// All per-bucket counts plus count/sum/min/max under one lock, so
+  /// exposition sees a consistent point-in-time state.
+  struct Stats {
+    std::vector<std::uint64_t> counts;  ///< bucketCount() entries
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  [[nodiscard]] Stats stats() const;
+
  private:
   mutable std::mutex mutex_;
   std::vector<double> upperBounds_;
@@ -103,6 +115,20 @@ class MetricsRegistry {
   [[nodiscard]] std::string renderSummary() const;
   /// CSV form: kind,name,value[,count,sum,min,max] with RFC-4180 quoting.
   [[nodiscard]] std::string renderCsv() const;
+
+  /// Point-in-time copy of everything registered, sorted by name — the
+  /// iteration surface for exposition renderers (renderPrometheus).
+  struct Snapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    struct HistogramEntry {
+      std::string name;
+      std::vector<double> upperBounds;
+      Histogram::Stats stats;
+    };
+    std::vector<HistogramEntry> histograms;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
 
  private:
   mutable std::mutex mutex_;

@@ -1,0 +1,76 @@
+#include "obs/snapshot.h"
+
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "support/check.h"
+
+namespace osel::obs {
+
+SnapshotWriter::SnapshotWriter(SnapshotOptions options, RenderFn render)
+    : options_(std::move(options)), render_(std::move(render)) {
+  support::require(!options_.path.empty(), "SnapshotWriter: path is empty");
+  support::require(options_.everyLaunches > 0,
+                   "SnapshotWriter: everyLaunches must be > 0");
+  support::require(static_cast<bool>(render_),
+                   "SnapshotWriter: render function is null");
+}
+
+bool SnapshotWriter::tick() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ticks_ += 1;
+  if (ticks_ % options_.everyLaunches != 0) {
+    return false;
+  }
+  return writeLocked();
+}
+
+bool SnapshotWriter::flush() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return writeLocked();
+}
+
+bool SnapshotWriter::writeLocked() {
+  const std::string body = render_();
+  const std::string tmpPath = options_.path + ".tmp";
+  {
+    std::ofstream out(tmpPath, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      writeFailures_ += 1;
+      return false;
+    }
+    out.write(body.data(), static_cast<std::streamsize>(body.size()));
+    out.flush();
+    if (!out) {
+      writeFailures_ += 1;
+      std::remove(tmpPath.c_str());
+      return false;
+    }
+  }
+  // Atomic replace: readers see either the old file or the new one, whole.
+  if (std::rename(tmpPath.c_str(), options_.path.c_str()) != 0) {
+    writeFailures_ += 1;
+    std::remove(tmpPath.c_str());
+    return false;
+  }
+  writes_ += 1;
+  return true;
+}
+
+std::uint64_t SnapshotWriter::ticks() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return ticks_;
+}
+
+std::uint64_t SnapshotWriter::writes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return writes_;
+}
+
+std::uint64_t SnapshotWriter::writeFailures() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return writeFailures_;
+}
+
+}  // namespace osel::obs

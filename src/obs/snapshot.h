@@ -1,0 +1,61 @@
+// osel/obs/snapshot.h — periodic atomic stats-file rewriter.
+//
+// Long-running hosts want the selector's current state on disk where a
+// node-exporter-style scraper (or a human with `cat`) can read it without
+// attaching to the process. SnapshotWriter rewrites one file every N ticks
+// (a tick = one region launch, fed by TraceSession::notifyLaunch), using
+// the classic atomic-replace dance: render to `<path>.tmp`, flush, then
+// std::rename over the target so readers never observe a half-written
+// file. Rendering is delegated to a caller-supplied function — typically
+// obs::renderPrometheus or obs::renderStatsSummary bound to a session.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+
+namespace osel::obs {
+
+struct SnapshotOptions {
+  std::string path;               ///< target file, rewritten atomically
+  std::uint64_t everyLaunches = 16;  ///< rewrite period in ticks; > 0
+};
+
+/// Periodically rewrites a stats file with whatever `render` returns.
+/// Thread-safe; tick() is cheap (one atomic increment) off-period.
+class SnapshotWriter {
+ public:
+  using RenderFn = std::function<std::string()>;
+
+  /// Precondition: options.path non-empty, options.everyLaunches > 0,
+  /// render non-null.
+  SnapshotWriter(SnapshotOptions options, RenderFn render);
+
+  /// Counts one launch; on every `everyLaunches`-th call renders and
+  /// atomically replaces the target file. Returns true when a rewrite
+  /// happened and succeeded.
+  bool tick();
+
+  /// Renders and rewrites immediately, regardless of the period. Returns
+  /// false when the file could not be written (path unwritable); the
+  /// failure is also counted in writeFailures().
+  bool flush();
+
+  [[nodiscard]] std::uint64_t ticks() const;
+  [[nodiscard]] std::uint64_t writes() const;
+  [[nodiscard]] std::uint64_t writeFailures() const;
+  [[nodiscard]] const SnapshotOptions& options() const { return options_; }
+
+ private:
+  bool writeLocked();
+
+  SnapshotOptions options_;
+  RenderFn render_;
+  mutable std::mutex mutex_;
+  std::uint64_t ticks_ = 0;
+  std::uint64_t writes_ = 0;
+  std::uint64_t writeFailures_ = 0;
+};
+
+}  // namespace osel::obs

@@ -6,6 +6,7 @@
 #include <functional>
 #include <thread>
 
+#include "obs/snapshot.h"
 #include "support/check.h"
 
 namespace osel::obs {
@@ -27,9 +28,15 @@ void copyLabel(std::array<char, TraceEvent::kLabelCapacity>& out,
 }  // namespace
 
 TraceSession::TraceSession(TraceOptions options)
-    : origin_(std::chrono::steady_clock::now()) {
+    : origin_(std::chrono::steady_clock::now()),
+      explain_(options.explainCapacity),
+      drift_(options.drift) {
   support::require(options.capacity > 0, "TraceSession: capacity must be > 0");
   ring_.resize(options.capacity);
+  // Resolve drift counters once; hot-path bumps are then a relaxed atomic.
+  driftAlarms_ = &metrics_.counter("drift.alarms");
+  driftComparisons_ = &metrics_.counter("drift.comparisons");
+  driftMispredictions_ = &metrics_.counter("drift.mispredictions");
 }
 
 TraceSession::~TraceSession() {
@@ -107,17 +114,60 @@ void TraceSession::recordPrediction(std::string_view region,
   }
   const double absRelError =
       std::fabs(predictedSeconds - actualSeconds) / actualSeconds;
-  const std::lock_guard<std::mutex> lock(predictionMutex_);
-  const auto it = predictions_.find(region);
-  PredictionAccumulator& acc =
-      it != predictions_.end()
-          ? it->second
-          : predictions_.emplace(std::string(region), PredictionAccumulator{})
-                .first->second;
-  acc.count += 1;
-  acc.sumAbsRelError += absRelError;
-  acc.sumPredicted += predictedSeconds;
-  acc.sumActual += actualSeconds;
+  {
+    const std::lock_guard<std::mutex> lock(predictionMutex_);
+    const auto it = predictions_.find(region);
+    PredictionAccumulator& acc =
+        it != predictions_.end()
+            ? it->second
+            : predictions_.emplace(std::string(region), PredictionAccumulator{})
+                  .first->second;
+    acc.count += 1;
+    acc.sumAbsRelError += absRelError;
+    acc.sumPredicted += predictedSeconds;
+    acc.sumActual += actualSeconds;
+  }
+  const DriftSample sample = drift_.recordError(region, absRelError);
+  if (sample.alarm) {
+    driftAlarms_->add();
+    recordInstant("drift.alarm", "drift", region, nowNs(),
+                  {"ewma", sample.ewma}, {"cusum", sample.cusum});
+  }
+}
+
+void TraceSession::recordExplain(const DecisionExplain& record) {
+  if (record.atNs == 0) {
+    DecisionExplain stamped = record;
+    stamped.atNs = nowNs();
+    explain_.push(stamped);
+    return;
+  }
+  explain_.push(record);
+}
+
+void TraceSession::recordComparison(std::string_view region,
+                                    bool mispredicted) {
+  drift_.recordComparison(region, mispredicted);
+  driftComparisons_->add();
+  if (mispredicted) {
+    driftMispredictions_->add();
+    recordInstant("drift.mispredict", "drift", region, nowNs());
+  }
+}
+
+std::vector<RegionDriftStats> TraceSession::driftStats() const {
+  return drift_.stats();
+}
+
+void TraceSession::attachSnapshotWriter(SnapshotWriter* writer) {
+  snapshotWriter_.store(writer, std::memory_order_release);
+}
+
+void TraceSession::notifyLaunch() {
+  if (SnapshotWriter* writer =
+          snapshotWriter_.load(std::memory_order_acquire)) {
+    writer->tick();
+  }
 }
 
 std::vector<PredictionStats> TraceSession::predictionStats() const {

@@ -30,10 +30,14 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/drift.h"
+#include "obs/explain.h"
 #include "obs/metrics.h"
 #include "support/faultinject.h"
 
 namespace osel::obs {
+
+class SnapshotWriter;
 
 enum class EventKind : std::uint8_t {
   Span,     ///< has a duration (Chrome "X" complete event)
@@ -82,6 +86,10 @@ struct PredictionStats {
 struct TraceOptions {
   /// Ring capacity in events; the ring drops oldest events beyond it.
   std::size_t capacity = 4096;
+  /// DecisionExplain ring capacity (forensics records per session).
+  std::size_t explainCapacity = 256;
+  /// Drift-detector tuning (EWMA/CUSUM over prediction error).
+  DriftOptions drift = {};
 };
 
 /// One tracing session. Attach to a TargetRuntime (RuntimeOptions::trace)
@@ -124,11 +132,37 @@ class TraceSession : public support::FaultObserver {
   // --- Prediction accuracy -------------------------------------------------
   /// Feeds one launch's model prediction and measured time for `region`
   /// into the online error tracker (ignored unless both are finite and
-  /// actual > 0).
+  /// actual > 0). The same error sample drives the drift detector; a CUSUM
+  /// alarm transition raises a `drift.alarm` trace instant and bumps the
+  /// drift.alarms counter.
   void recordPrediction(std::string_view region, double predictedSeconds,
                         double actualSeconds);
   /// Per-region accuracy so far, sorted by region name.
   [[nodiscard]] std::vector<PredictionStats> predictionStats() const;
+
+  // --- Decision forensics --------------------------------------------------
+  /// Copies one decision's term breakdown into the explain ring, stamping
+  /// its timestamp when the caller left atNs at 0. Never heap-allocates.
+  void recordExplain(const DecisionExplain& record);
+  [[nodiscard]] ExplainRing& explainRing() { return explain_; }
+  [[nodiscard]] const ExplainRing& explainRing() const { return explain_; }
+
+  // --- Drift detection -----------------------------------------------------
+  /// Feeds one both-devices-measured launch outcome: `mispredicted` means
+  /// the model-chosen device was measured slower than the alternative.
+  /// Bumps drift.comparisons / drift.mispredictions and, on misprediction,
+  /// records a `drift.mispredict` instant.
+  void recordComparison(std::string_view region, bool mispredicted);
+  /// Per-region drift state so far, sorted by region name.
+  [[nodiscard]] std::vector<RegionDriftStats> driftStats() const;
+  [[nodiscard]] const DriftDetector& drift() const { return drift_; }
+
+  // --- Periodic snapshots --------------------------------------------------
+  /// Attaches (or detaches, with nullptr) a snapshot writer whose tick()
+  /// runs on every notifyLaunch(). Not owned; must outlive the attachment.
+  void attachSnapshotWriter(SnapshotWriter* writer);
+  /// Counts one completed region launch; drives the attached writer.
+  void notifyLaunch();
 
   [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
   [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
@@ -148,6 +182,13 @@ class TraceSession : public support::FaultObserver {
 
   std::chrono::steady_clock::time_point origin_;
   MetricsRegistry metrics_;
+  ExplainRing explain_;
+  DriftDetector drift_;
+  std::atomic<SnapshotWriter*> snapshotWriter_{nullptr};
+  // Resolved once so hot-path bumps never touch the registry maps.
+  Counter* driftAlarms_ = nullptr;
+  Counter* driftComparisons_ = nullptr;
+  Counter* driftMispredictions_ = nullptr;
   bool observingInjector_ = false;
 
   mutable std::mutex mutex_;

@@ -105,13 +105,26 @@ void OffloadSelector::resolveChoice(Decision& decision,
   }
 }
 
+void OffloadSelector::finishExplain(obs::DecisionExplain& explain,
+                                    std::string_view regionName,
+                                    obs::DecisionPath path,
+                                    const Decision& decision) noexcept {
+  explain.setRegion(regionName);
+  explain.path = path;
+  explain.valid = decision.valid;
+  explain.chosenGpu = decision.device == Device::Gpu;
+  explain.predictedSpeedup = decision.predictedSpeedup();
+  explain.overheadSeconds = decision.overheadSeconds;
+}
+
 Decision OffloadSelector::decide(const RegionHandle& region,
-                                 const symbolic::Bindings& bindings) const {
+                                 const symbolic::Bindings& bindings,
+                                 obs::DecisionExplain* explain) const {
   if (const CompiledRegionPlan* plan = region.plan()) {
-    return decideCompiled(*plan, bindings);
+    return decideCompiled(*plan, bindings, explain);
   }
   if (const pad::RegionAttributes* attr = region.attributes()) {
-    return decideInterpreted(*attr, bindings);
+    return decideInterpreted(*attr, bindings, explain);
   }
   // Missing PAD entry: ModelGuided must degrade, not crash. The diagnostic
   // is the same PadLookupError text at() would have thrown.
@@ -121,6 +134,11 @@ Decision OffloadSelector::decide(const RegionHandle& region,
   decision.diagnostic = pad::PadLookupError(std::string(region.name()),
                                             std::string(region.suggestion()))
                             .what();
+  if (explain != nullptr) {
+    *explain = obs::DecisionExplain{};
+    finishExplain(*explain, region.name(), obs::DecisionPath::Degenerate,
+                  decision);
+  }
   return decision;
 }
 
@@ -138,23 +156,36 @@ Decision OffloadSelector::decide(const CompiledRegionPlan& plan,
 }
 
 Decision OffloadSelector::decideInterpreted(
-    const pad::RegionAttributes& attr, const symbolic::Bindings& bindings) const {
+    const pad::RegionAttributes& attr, const symbolic::Bindings& bindings,
+    obs::DecisionExplain* explain) const {
   const auto start = std::chrono::steady_clock::now();
   Decision decision;
+  obs::DecisionPath path = obs::DecisionPath::Interpreted;
+  if (explain != nullptr) *explain = obs::DecisionExplain{};
   try {
     (void)support::faultInjector().hit(support::faultpoints::kSelectorDecide,
                                        "selector");
-    decision.cpu = cpuModel_.predict(cpuWorkload(attr, bindings));
-    decision.gpu = gpuModel_.predict(gpuWorkload(attr, bindings));
+    const cpumodel::CpuWorkload cpu = cpuWorkload(attr, bindings);
+    const gpumodel::GpuWorkload gpu = gpuWorkload(attr, bindings);
+    decision.cpu = cpuModel_.predict(cpu);
+    decision.gpu = gpuModel_.predict(gpu);
+    if (explain != nullptr) {
+      cpumodel::explainInto(cpu, decision.cpu, explain->cpu);
+      gpumodel::explainInto(gpu, decision.gpu, explain->gpu);
+    }
     resolveChoice(decision, attr.regionName);
   } catch (const std::exception& error) {
     decision.device = config_.safeDefaultDevice;
     decision.valid = false;
     decision.diagnostic = error.what();
+    path = obs::DecisionPath::Degenerate;
   }
   const auto end = std::chrono::steady_clock::now();
   decision.overheadSeconds =
       std::chrono::duration<double>(end - start).count();
+  if (explain != nullptr) {
+    finishExplain(*explain, attr.regionName, path, decision);
+  }
   return decision;
 }
 
@@ -164,36 +195,48 @@ CompiledRegionPlan OffloadSelector::compile(pad::RegionAttributes attr) const {
 }
 
 Decision OffloadSelector::decideCompiled(
-    const CompiledRegionPlan& plan, const symbolic::Bindings& bindings) const {
+    const CompiledRegionPlan& plan, const symbolic::Bindings& bindings,
+    obs::DecisionExplain* explain) const {
   const auto start = std::chrono::steady_clock::now();
   Decision decision;
+  obs::DecisionPath path = obs::DecisionPath::Compiled;
+  if (explain != nullptr) *explain = obs::DecisionExplain{};
   try {
     (void)support::faultInjector().hit(support::faultpoints::kSelectorDecide,
                                        "selector");
     std::array<std::int64_t, CompiledRegionPlan::kMaxSlots> slotValues{};
     std::uint64_t boundMask = 0;
     const std::span<std::int64_t> values(slotValues.data(), plan.slotCount());
+    cpumodel::CpuWorkload cpu;
+    gpumodel::GpuWorkload gpu;
     if (plan.fastPathUsable() && plan.bindSlots(bindings, values, boundMask)) {
-      cpumodel::CpuWorkload cpu;
-      gpumodel::GpuWorkload gpu;
       plan.completeWorkloads(values, boundMask, cpu, gpu);
-      decision.cpu = cpuModel_.predict(cpu);
-      decision.gpu = gpuModel_.predict(gpu);
     } else {
       // Degenerate plan or bindings: re-run the interpreted walk so the
       // failure diagnostics are byte-identical to the oracle path.
-      decision.cpu = cpuModel_.predict(cpuWorkload(plan.attributes(), bindings));
-      decision.gpu = gpuModel_.predict(gpuWorkload(plan.attributes(), bindings));
+      path = obs::DecisionPath::Interpreted;
+      cpu = cpuWorkload(plan.attributes(), bindings);
+      gpu = gpuWorkload(plan.attributes(), bindings);
+    }
+    decision.cpu = cpuModel_.predict(cpu);
+    decision.gpu = gpuModel_.predict(gpu);
+    if (explain != nullptr) {
+      cpumodel::explainInto(cpu, decision.cpu, explain->cpu);
+      gpumodel::explainInto(gpu, decision.gpu, explain->gpu);
     }
     resolveChoice(decision, plan.attributes().regionName);
   } catch (const std::exception& error) {
     decision.device = config_.safeDefaultDevice;
     decision.valid = false;
     decision.diagnostic = error.what();
+    path = obs::DecisionPath::Degenerate;
   }
   const auto end = std::chrono::steady_clock::now();
   decision.overheadSeconds =
       std::chrono::duration<double>(end - start).count();
+  if (explain != nullptr) {
+    finishExplain(*explain, plan.attributes().regionName, path, decision);
+  }
   return decision;
 }
 

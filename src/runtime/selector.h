@@ -16,6 +16,7 @@
 
 #include "cpumodel/cpu_model.h"
 #include "gpumodel/gpu_model.h"
+#include "obs/explain.h"
 #include "pad/attribute_db.h"
 #include "runtime/compiled_plan.h"
 
@@ -147,8 +148,15 @@ class OffloadSelector {
   /// (NaN/non-finite/non-positive) predictions never escape — the decision
   /// degrades to the safe default with a diagnostic, so ModelGuided
   /// launches behave like AlwaysCpu instead of crashing.
+  ///
+  /// `explain`, when non-null, is the forensics sink: the call fills it
+  /// with the full model-term breakdown (obs/explain.h) of this decision.
+  /// Both decide paths fill term-identical records — pinned by the
+  /// compiled-plan equivalence suite; only DecisionExplain::path records
+  /// which evaluation strategy actually ran. Filling never allocates.
   [[nodiscard]] Decision decide(const RegionHandle& region,
-                                const symbolic::Bindings& bindings) const;
+                                const symbolic::Bindings& bindings,
+                                obs::DecisionExplain* explain = nullptr) const;
 
   /// Deprecated shim for the pre-RegionHandle API; forwards to
   /// decide(RegionHandle(attr), bindings).
@@ -177,10 +185,18 @@ class OffloadSelector {
  private:
   /// The interpreted expression walk (the correctness oracle).
   [[nodiscard]] Decision decideInterpreted(const pad::RegionAttributes& attr,
-                                           const symbolic::Bindings& bindings) const;
+                                           const symbolic::Bindings& bindings,
+                                           obs::DecisionExplain* explain) const;
   /// The compiled slot-based fast path.
   [[nodiscard]] Decision decideCompiled(const CompiledRegionPlan& plan,
-                                        const symbolic::Bindings& bindings) const;
+                                        const symbolic::Bindings& bindings,
+                                        obs::DecisionExplain* explain) const;
+  /// Stamps the record header (region, path, choice, speedup, overhead)
+  /// once a decide path has finished.
+  static void finishExplain(obs::DecisionExplain& explain,
+                            std::string_view regionName,
+                            obs::DecisionPath path,
+                            const Decision& decision) noexcept;
   /// Shared tail of both decide paths: validates the predictions and picks
   /// the device (or degrades to the configured safe default).
   void resolveChoice(Decision& decision, const std::string& regionName) const;

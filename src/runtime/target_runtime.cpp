@@ -206,18 +206,24 @@ Decision TargetRuntime::guardedDecision(const std::string& regionName,
   const char* path = "interpreted";
   obs::Counter* pathCounter = instruments_.decisionsInterpreted;
   Decision decision;
+  // Forensics sink: stack storage, filled by the selector, pushed into the
+  // session's explain ring below. Detached sessions pass nullptr and the
+  // selector skips every explain store.
+  obs::DecisionExplain explainStorage;
+  obs::DecisionExplain* const explain =
+      trace_ != nullptr ? &explainStorage : nullptr;
 
   const pad::RegionAttributes* attr = database_.find(regionName);
   if (attr == nullptr) {
     // Missing/corrupt PAD entry: ModelGuided must degrade, not crash.
     decision = selector_.decide(
         RegionHandle::missing(regionName, database_.nearestRegionName(regionName)),
-        bindings);
+        bindings, explain);
     path = "degenerate";
     pathCounter = instruments_.decisionsDegenerate;
   } else if (const auto planIt = plans_.find(regionName);
              planIt == plans_.end()) {
-    decision = selector_.decide(RegionHandle(*attr), bindings);
+    decision = selector_.decide(RegionHandle(*attr), bindings, explain);
   } else {
     PlanEntry& entry = planIt->second;
     record.decisionCompiled = true;
@@ -228,7 +234,7 @@ Decision TargetRuntime::guardedDecision(const std::string& regionName,
     // memoization.
     if (!decisionCacheEnabled_ || entry.cache.capacity() == 0 ||
         !entry.plan.fastPathUsable()) {
-      decision = selector_.decide(RegionHandle(entry.plan), bindings);
+      decision = selector_.decide(RegionHandle(entry.plan), bindings, explain);
     } else {
       const auto start = std::chrono::steady_clock::now();
       std::array<std::int64_t, CompiledRegionPlan::kMaxSlots> slotStorage{};
@@ -246,13 +252,19 @@ Decision TargetRuntime::guardedDecision(const std::string& regionName,
         path = "cache_hit";
         pathCounter = instruments_.decisionsCacheHit;
       } else {
-        decision = selector_.decide(RegionHandle(entry.plan), bindings);
+        decision = selector_.decide(RegionHandle(entry.plan), bindings, explain);
         entry.cache.insert(boundMask, slotValues, decision);
       }
     }
   }
 
   if (trace_ != nullptr) {
+    // A cache hit re-serves a decision whose forensics record was pushed on
+    // the miss that populated the cache; the ring already holds it, so only
+    // fresh evaluations record.
+    if (!record.decisionCacheHit) {
+      trace_->recordExplain(explainStorage);
+    }
     trace_->recordSpan("decide", path, regionName, startNs,
                        trace_->nowNs() - startNs,
                        {"overhead_s", decision.overheadSeconds},
@@ -347,11 +359,21 @@ void TargetRuntime::finalizeLaunch(LaunchRecord& record, std::int64_t startNs) {
                     record.actualGpuSeconds) /
           record.actualGpuSeconds);
     }
+    // Misprediction check: when both devices were measured (Oracle), a
+    // model choice that landed on the slower device is a live Fig. 8
+    // "wrong side of the crossover" event.
+    if (record.cpuMeasured && record.gpuMeasured &&
+        record.actualCpuSeconds > 0.0 && record.actualGpuSeconds > 0.0) {
+      const bool gpuFaster = record.actualGpuSeconds < record.actualCpuSeconds;
+      const bool choseGpu = record.decision.device == Device::Gpu;
+      trace_->recordComparison(record.regionName, gpuFaster != choseGpu);
+    }
   }
   trace_->recordSpan("launch", policyTag(record.policy), record.regionName,
                      startNs, trace_->nowNs() - startNs,
                      {"actual_s", record.actualSeconds},
                      {"attempts", static_cast<double>(record.attempts)});
+  trace_->notifyLaunch();
 }
 
 LaunchRecord TargetRuntime::launch(const std::string& regionName,
@@ -499,11 +521,7 @@ std::string renderLogCsv(std::span<const LaunchRecord> log) {
   for (const LaunchRecord& record : log) {
     // Region names are caller-controlled: RFC-4180 quote them so a name
     // containing a comma/quote/newline cannot shear the row.
-    if (record.regionName.find_first_of(",\"\n\r") == std::string::npos) {
-      out.append(record.regionName);
-    } else {
-      out.append(support::csvField(record.regionName));
-    }
+    support::csvQuote(out, record.regionName);
     out.push_back(',');
     out.append(toString(record.policy));
     out.push_back(',');

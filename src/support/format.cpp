@@ -6,18 +6,23 @@
 
 namespace osel::support {
 
-std::string csvField(std::string_view field) {
+void csvQuote(std::string& out, std::string_view field) {
   if (field.find_first_of(",\"\n\r") == std::string_view::npos) {
-    return std::string(field);
+    out += field;
+    return;
   }
-  std::string out;
-  out.reserve(field.size() + 2);
   out += '"';
   for (char ch : field) {
     if (ch == '"') out += '"';
     out += ch;
   }
   out += '"';
+}
+
+std::string csvField(std::string_view field) {
+  std::string out;
+  out.reserve(field.size() + 2);
+  csvQuote(out, field);
   return out;
 }
 

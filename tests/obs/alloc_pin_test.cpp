@@ -84,6 +84,51 @@ TEST(ObsAllocPin, RecordingIntoTheRingAllocatesNothing) {
   EXPECT_EQ(session.dropped(), 513u - 16u);
 }
 
+TEST(ObsAllocPin, ExplainSinkDecideAllocatesNothing) {
+  // Filling a DecisionExplain through the selector's explain sink and
+  // pushing it into the session's ring — the full forensics hot path — must
+  // stay heap-free: the record is a fixed-size stack object and the ring is
+  // preallocated.
+  const runtime::OffloadSelector selector{runtime::SelectorConfig{}};
+  const polybench::Benchmark& gemm = polybench::benchmarkByName("GEMM");
+  const std::array<mca::MachineModel, 1> models{mca::MachineModel::power9()};
+  const runtime::CompiledRegionPlan plan = selector.compile(
+      compiler::analyzeRegion(gemm.kernels()[0], models));
+  ASSERT_TRUE(plan.fastPathUsable());
+  const symbolic::Bindings bindings = gemm.bindings(9600);
+  const runtime::RegionHandle region(plan);
+  TraceSession session({.explainCapacity = 16});
+  DecisionExplain explain;
+  double sink =
+      selector.decide(region, bindings, &explain).cpu.seconds;  // warm-up
+  session.recordExplain(explain);
+  const std::uint64_t before = allocations();
+  for (int i = 0; i < 64; ++i) {
+    sink += selector.decide(region, bindings, &explain).cpu.seconds;
+    explain.atNs = 1;  // pre-stamped: recording takes no clock branch
+    session.recordExplain(explain);
+  }
+  EXPECT_EQ(allocations() - before, 0u);
+  EXPECT_GT(sink, 0.0);
+  EXPECT_EQ(session.explainRing().recorded(), 65u);
+  EXPECT_EQ(session.explainRing().dropped(), 65u - 16u);
+}
+
+TEST(ObsAllocPin, DriftFeedingAllocatesNothingAfterFirstSample) {
+  // Per-region drift state allocates once (the map node on first sample);
+  // every subsequent error/comparison is arithmetic under a lock.
+  TraceSession session;
+  const std::string region = "gemm_k1";  // allocated before the window
+  session.recordPrediction(region, 1.5, 1.0);  // warm-up: creates the nodes
+  session.recordComparison(region, true);
+  const std::uint64_t before = allocations();
+  for (int i = 0; i < 256; ++i) {
+    session.recordPrediction(region, 1.5, 1.0);
+    session.recordComparison(region, i % 2 == 0);
+  }
+  EXPECT_EQ(allocations() - before, 0u);
+}
+
 TEST(ObsAllocPin, MetricUpdatesAllocateNothing) {
   TraceSession session;
   // Registration (name lookup, node creation) may allocate; hot paths do it

@@ -1,0 +1,168 @@
+// Drift detector: EWMA smoothing, warm-up baseline, one-sided CUSUM with
+// latched alarms, and misprediction counting. The arithmetic is pinned with
+// exact expected values (the update rules are plain double expressions, so
+// the test can mirror them term by term).
+#include "obs/drift.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace.h"
+#include "support/check.h"
+
+namespace osel::obs {
+namespace {
+
+TEST(DriftDetector, RejectsBadOptions) {
+  EXPECT_THROW(DriftDetector({.ewmaAlpha = 0.0}), support::PreconditionError);
+  EXPECT_THROW(DriftDetector({.ewmaAlpha = 1.5}), support::PreconditionError);
+  EXPECT_THROW(DriftDetector({.baselineSamples = 0}),
+               support::PreconditionError);
+  EXPECT_THROW(DriftDetector({.cusumThreshold = 0.0}),
+               support::PreconditionError);
+}
+
+TEST(DriftDetector, IgnoresNonFiniteAndNegativeErrors) {
+  DriftDetector detector;
+  EXPECT_EQ(detector.recordError("k", -0.5).ewma, 0.0);
+  EXPECT_EQ(
+      detector.recordError("k", std::numeric_limits<double>::quiet_NaN()).ewma,
+      0.0);
+  EXPECT_EQ(
+      detector.recordError("k", std::numeric_limits<double>::infinity()).ewma,
+      0.0);
+  // No region state was created for the rejected samples.
+  EXPECT_TRUE(detector.stats().empty());
+}
+
+TEST(DriftDetector, EwmaStartsAtFirstSampleThenSmooths) {
+  DriftDetector detector({.ewmaAlpha = 0.5});
+  EXPECT_DOUBLE_EQ(detector.recordError("k", 0.4).ewma, 0.4);
+  EXPECT_DOUBLE_EQ(detector.recordError("k", 0.8).ewma, 0.5 * 0.8 + 0.5 * 0.4);
+  EXPECT_DOUBLE_EQ(detector.recordError("k", 0.0).ewma, 0.5 * 0.6);
+}
+
+TEST(DriftDetector, BaselineIsMeanOfWarmupWindowAndCusumStaysDisarmed) {
+  DriftDetector detector({.baselineSamples = 3, .cusumSlack = 0.0});
+  // Warm-up samples never charge the CUSUM, however large the error.
+  EXPECT_DOUBLE_EQ(detector.recordError("k", 0.1).cusum, 0.0);
+  EXPECT_DOUBLE_EQ(detector.recordError("k", 0.2).cusum, 0.0);
+  EXPECT_DOUBLE_EQ(detector.recordError("k", 0.3).cusum, 0.0);
+  const std::vector<RegionDriftStats> stats = detector.stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_DOUBLE_EQ(stats[0].baseline, 0.2);
+  EXPECT_EQ(stats[0].samples, 3u);
+  EXPECT_EQ(stats[0].alarms, 0u);
+}
+
+TEST(DriftDetector, CusumChargesOnSustainedExcessAndDrainsBelowBaseline) {
+  DriftDetector detector(
+      {.baselineSamples = 2, .cusumSlack = 0.05, .cusumThreshold = 1.0});
+  detector.recordError("k", 0.1);
+  detector.recordError("k", 0.1);  // baseline = 0.1
+  // Charge: err - baseline - slack = 0.5 - 0.1 - 0.05 = 0.35 per sample.
+  EXPECT_DOUBLE_EQ(detector.recordError("k", 0.5).cusum, 0.35);
+  EXPECT_DOUBLE_EQ(detector.recordError("k", 0.5).cusum, 0.70);
+  // Drain: a back-at-baseline sample subtracts the slack, floored at zero.
+  EXPECT_DOUBLE_EQ(detector.recordError("k", 0.1).cusum, 0.65);
+  for (int i = 0; i < 20; ++i) detector.recordError("k", 0.0);
+  EXPECT_DOUBLE_EQ(detector.stats()[0].cusum, 0.0);
+}
+
+TEST(DriftDetector, AlarmFiresOnceOnCrossingAndStaysLatchedUntilZero) {
+  DriftDetector detector(
+      {.baselineSamples = 1, .cusumSlack = 0.1, .cusumThreshold = 1.0});
+  detector.recordError("k", 0.0);  // baseline = 0
+  // Each 0.6-error sample charges 0.5: crossing happens on the second.
+  EXPECT_FALSE(detector.recordError("k", 0.6).alarm);
+  EXPECT_TRUE(detector.recordError("k", 0.6).alarm);
+  // Above threshold but already latched: no re-alarm.
+  EXPECT_FALSE(detector.recordError("k", 0.6).alarm);
+  EXPECT_TRUE(detector.stats()[0].alarming);
+  EXPECT_EQ(detector.stats()[0].alarms, 1u);
+  // Errors return to baseline; each at-baseline sample drains the slack and
+  // the alarm unlatches only once the CUSUM bottoms out at zero.
+  for (int i = 0; i < 20 && detector.stats()[0].cusum > 0.0; ++i) {
+    detector.recordError("k", 0.0);
+  }
+  EXPECT_EQ(detector.stats()[0].cusum, 0.0);
+  EXPECT_FALSE(detector.stats()[0].alarming);
+  // A fresh excursion can alarm again.
+  detector.recordError("k", 1.5);
+  EXPECT_EQ(detector.stats()[0].alarms, 2u);
+}
+
+TEST(DriftDetector, RegionsAreIndependentAndStatsSorted) {
+  DriftDetector detector({.baselineSamples = 1});
+  detector.recordError("zz_k1", 0.3);
+  detector.recordError("aa_k1", 0.1);
+  detector.recordComparison("mm_k1", true);
+  const std::vector<RegionDriftStats> stats = detector.stats();
+  ASSERT_EQ(stats.size(), 3u);
+  EXPECT_EQ(stats[0].region, "aa_k1");
+  EXPECT_EQ(stats[1].region, "mm_k1");
+  EXPECT_EQ(stats[2].region, "zz_k1");
+  EXPECT_DOUBLE_EQ(stats[0].ewma, 0.1);
+  EXPECT_DOUBLE_EQ(stats[2].ewma, 0.3);
+}
+
+TEST(DriftDetector, CountsComparisonsAndMispredictions) {
+  DriftDetector detector;
+  detector.recordComparison("k", false);
+  detector.recordComparison("k", true);
+  detector.recordComparison("k", false);
+  const std::vector<RegionDriftStats> stats = detector.stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].comparisons, 3u);
+  EXPECT_EQ(stats[0].mispredictions, 1u);
+}
+
+TEST(DriftDetector, ClearForgetsEverything) {
+  DriftDetector detector;
+  detector.recordError("k", 0.5);
+  detector.clear();
+  EXPECT_TRUE(detector.stats().empty());
+}
+
+TEST(TraceSessionDrift, AlarmRaisesInstantAndCounter) {
+  // Route through the session: a CUSUM alarm transition must surface as a
+  // drift.alarm instant plus a drift.alarms counter bump.
+  TraceOptions options;
+  options.drift = {.baselineSamples = 1, .cusumSlack = 0.0,
+                   .cusumThreshold = 0.5};
+  TraceSession session(options);
+  session.recordPrediction("gemm_k1", 1.0, 1.0);  // baseline: zero error
+  session.recordPrediction("gemm_k1", 2.0, 1.0);  // error 1.0 >= threshold
+  EXPECT_EQ(session.metrics().counter("drift.alarms").value(), 1u);
+  bool sawAlarm = false;
+  for (const TraceEvent& event : session.snapshot()) {
+    if (std::string_view(event.name) == "drift.alarm") {
+      sawAlarm = true;
+      EXPECT_EQ(event.labelView(), "gemm_k1");
+    }
+  }
+  EXPECT_TRUE(sawAlarm);
+  const std::vector<RegionDriftStats> stats = session.driftStats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_TRUE(stats[0].alarming);
+}
+
+TEST(TraceSessionDrift, ComparisonFeedsCountersAndMispredictInstant) {
+  TraceSession session;
+  session.recordComparison("atax_k1", false);
+  session.recordComparison("atax_k1", true);
+  EXPECT_EQ(session.metrics().counter("drift.comparisons").value(), 2u);
+  EXPECT_EQ(session.metrics().counter("drift.mispredictions").value(), 1u);
+  bool sawMispredict = false;
+  for (const TraceEvent& event : session.snapshot()) {
+    if (std::string_view(event.name) == "drift.mispredict") sawMispredict = true;
+  }
+  EXPECT_TRUE(sawMispredict);
+}
+
+}  // namespace
+}  // namespace osel::obs

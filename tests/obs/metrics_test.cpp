@@ -71,6 +71,44 @@ TEST(Histogram, StatisticsTrackRecordedValues) {
   EXPECT_DOUBLE_EQ(h.max(), 6.0);
 }
 
+TEST(Histogram, StatsReturnsConsistentBucketCountsAndSummary) {
+  Histogram h({1.0, 2.0});
+  h.record(0.5);
+  h.record(1.5);
+  h.record(9.0);
+  const Histogram::Stats stats = h.stats();
+  ASSERT_EQ(stats.counts.size(), 3u);  // two bounds + overflow
+  EXPECT_EQ(stats.counts[0], 1u);
+  EXPECT_EQ(stats.counts[1], 1u);
+  EXPECT_EQ(stats.counts[2], 1u);
+  EXPECT_EQ(stats.count, 3u);
+  EXPECT_DOUBLE_EQ(stats.sum, 11.0);
+  EXPECT_DOUBLE_EQ(stats.min, 0.5);
+  EXPECT_DOUBLE_EQ(stats.max, 9.0);
+}
+
+TEST(MetricsRegistry, SnapshotCopiesEverythingSortedByName) {
+  MetricsRegistry registry;
+  registry.counter("z.late").add(2);
+  registry.counter("a.early").add(1);
+  registry.gauge("ratio").set(0.75);
+  registry.histogram("overhead", {1.0}).record(0.5);
+  const MetricsRegistry::Snapshot snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  EXPECT_EQ(snapshot.counters[0].first, "a.early");
+  EXPECT_EQ(snapshot.counters[0].second, 1u);
+  EXPECT_EQ(snapshot.counters[1].first, "z.late");
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_EQ(snapshot.gauges[0].second, 0.75);
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].name, "overhead");
+  ASSERT_EQ(snapshot.histograms[0].upperBounds.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].stats.count, 1u);
+  // A snapshot is a copy: later updates do not leak into it.
+  registry.counter("a.early").add(100);
+  EXPECT_EQ(snapshot.counters[0].second, 1u);
+}
+
 TEST(MetricsRegistry, FindOrCreateReturnsStableReferences) {
   MetricsRegistry registry;
   Counter& a = registry.counter("decisions");

@@ -1,0 +1,109 @@
+// SnapshotWriter: tick-period rewrites, immediate flush, atomic replacement
+// (no lingering temp file, readers only ever see a complete render), and
+// counted failures on unwritable paths.
+#include "obs/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/export.h"
+#include "obs/trace.h"
+#include "support/check.h"
+
+namespace osel::obs {
+namespace {
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string tempPath(const char* name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+TEST(SnapshotWriter, RejectsBadOptions) {
+  const auto render = [] { return std::string("x"); };
+  EXPECT_THROW(SnapshotWriter({.path = ""}, render),
+               support::PreconditionError);
+  EXPECT_THROW(SnapshotWriter({.path = "f", .everyLaunches = 0}, render),
+               support::PreconditionError);
+  EXPECT_THROW(SnapshotWriter({.path = "f"}, nullptr),
+               support::PreconditionError);
+}
+
+TEST(SnapshotWriter, WritesOnEveryNthTick) {
+  const std::string path = tempPath("osel_snapshot_period.txt");
+  std::filesystem::remove(path);
+  int renders = 0;
+  SnapshotWriter writer({.path = path, .everyLaunches = 3},
+                        [&renders] { return std::to_string(++renders); });
+  EXPECT_FALSE(writer.tick());
+  EXPECT_FALSE(writer.tick());
+  EXPECT_FALSE(std::filesystem::exists(path));  // off-period: no file yet
+  EXPECT_TRUE(writer.tick());                   // third tick writes
+  EXPECT_EQ(readFile(path), "1");
+  EXPECT_FALSE(writer.tick());
+  EXPECT_FALSE(writer.tick());
+  EXPECT_TRUE(writer.tick());
+  EXPECT_EQ(readFile(path), "2");  // replaced, not appended
+  EXPECT_EQ(writer.ticks(), 6u);
+  EXPECT_EQ(writer.writes(), 2u);
+  EXPECT_EQ(writer.writeFailures(), 0u);
+  std::filesystem::remove(path);
+}
+
+TEST(SnapshotWriter, FlushWritesImmediatelyAndLeavesNoTempFile) {
+  const std::string path = tempPath("osel_snapshot_flush.txt");
+  std::filesystem::remove(path);
+  SnapshotWriter writer({.path = path, .everyLaunches = 1000},
+                        [] { return std::string("payload\n"); });
+  EXPECT_TRUE(writer.flush());
+  EXPECT_EQ(readFile(path), "payload\n");
+  // The atomic-replace temp file must not survive a successful write.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  EXPECT_EQ(writer.writes(), 1u);
+  EXPECT_EQ(writer.ticks(), 0u);  // flush is not a tick
+  std::filesystem::remove(path);
+}
+
+TEST(SnapshotWriter, UnwritablePathCountsFailuresWithoutThrowing) {
+  SnapshotWriter writer(
+      {.path = "/nonexistent-dir-osel/snapshot.txt", .everyLaunches = 1},
+      [] { return std::string("x"); });
+  EXPECT_FALSE(writer.flush());
+  EXPECT_FALSE(writer.tick());
+  EXPECT_EQ(writer.writeFailures(), 2u);
+  EXPECT_EQ(writer.writes(), 0u);
+}
+
+TEST(SnapshotWriter, TickDrivenThroughSessionNotifyLaunch) {
+  // The runtime-facing wiring: attach to a TraceSession and let
+  // notifyLaunch() drive the period.
+  const std::string path = tempPath("osel_snapshot_session.txt");
+  std::filesystem::remove(path);
+  TraceSession session;
+  SnapshotWriter writer({.path = path, .everyLaunches = 2},
+                        [&session] { return renderStatsSummary(session); });
+  session.attachSnapshotWriter(&writer);
+  session.notifyLaunch();
+  EXPECT_FALSE(std::filesystem::exists(path));
+  session.notifyLaunch();
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_NE(readFile(path).find("trace:"), std::string::npos);
+  // Detach: further launches no longer tick the writer.
+  session.attachSnapshotWriter(nullptr);
+  session.notifyLaunch();
+  session.notifyLaunch();
+  EXPECT_EQ(writer.ticks(), 2u);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace osel::obs

@@ -16,6 +16,7 @@
 #include <new>
 
 #include "compiler/compiler.h"
+#include "obs/explain.h"
 #include "polybench/polybench.h"
 #include "runtime/selector.h"
 #include "support/rng.h"
@@ -109,6 +110,75 @@ void expectIdenticalDecisions(const Decision& compiled,
                  "gpu.totalSeconds");
 }
 
+/// Bit-identical equality of two DecisionExplain records' model terms and
+/// outcome fields. `path`, `seq`, `atNs`, and `overheadSeconds` are outside
+/// the contract: the first is *supposed* to differ between the two decide
+/// paths and the rest are wall-clock/ring bookkeeping.
+void expectIdenticalExplains(const obs::DecisionExplain& compiled,
+                             const obs::DecisionExplain& interpreted) {
+  EXPECT_EQ(compiled.regionView(), interpreted.regionView());
+  EXPECT_EQ(compiled.valid, interpreted.valid);
+  EXPECT_EQ(compiled.chosenGpu, interpreted.chosenGpu);
+  expectSameBits(compiled.predictedSpeedup, interpreted.predictedSpeedup,
+                 "explain.predictedSpeedup");
+
+  expectSameBits(compiled.cpu.machineCyclesPerIter,
+                 interpreted.cpu.machineCyclesPerIter,
+                 "explain.cpu.machineCyclesPerIter");
+  expectSameBits(compiled.cpu.tripCount, interpreted.cpu.tripCount,
+                 "explain.cpu.tripCount");
+  expectSameBits(compiled.cpu.forkJoinCycles, interpreted.cpu.forkJoinCycles,
+                 "explain.cpu.forkJoinCycles");
+  expectSameBits(compiled.cpu.scheduleCycles, interpreted.cpu.scheduleCycles,
+                 "explain.cpu.scheduleCycles");
+  expectSameBits(compiled.cpu.workCycles, interpreted.cpu.workCycles,
+                 "explain.cpu.workCycles");
+  expectSameBits(compiled.cpu.loopOverheadCycles,
+                 interpreted.cpu.loopOverheadCycles,
+                 "explain.cpu.loopOverheadCycles");
+  expectSameBits(compiled.cpu.tlbCycles, interpreted.cpu.tlbCycles,
+                 "explain.cpu.tlbCycles");
+  expectSameBits(compiled.cpu.falseSharingCycles,
+                 interpreted.cpu.falseSharingCycles,
+                 "explain.cpu.falseSharingCycles");
+  expectSameBits(compiled.cpu.totalCycles, interpreted.cpu.totalCycles,
+                 "explain.cpu.totalCycles");
+  expectSameBits(compiled.cpu.seconds, interpreted.cpu.seconds,
+                 "explain.cpu.seconds");
+
+  expectSameBits(compiled.gpu.ompRep, interpreted.gpu.ompRep,
+                 "explain.gpu.ompRep");
+  expectSameBits(compiled.gpu.mwp, interpreted.gpu.mwp, "explain.gpu.mwp");
+  expectSameBits(compiled.gpu.cwp, interpreted.gpu.cwp, "explain.gpu.cwp");
+  expectSameBits(compiled.gpu.memCycles, interpreted.gpu.memCycles,
+                 "explain.gpu.memCycles");
+  expectSameBits(compiled.gpu.compCycles, interpreted.gpu.compCycles,
+                 "explain.gpu.compCycles");
+  expectSameBits(compiled.gpu.activeWarpsPerSm,
+                 interpreted.gpu.activeWarpsPerSm,
+                 "explain.gpu.activeWarpsPerSm");
+  expectSameBits(compiled.gpu.coalMemInsts, interpreted.gpu.coalMemInsts,
+                 "explain.gpu.coalMemInsts");
+  expectSameBits(compiled.gpu.uncoalMemInsts, interpreted.gpu.uncoalMemInsts,
+                 "explain.gpu.uncoalMemInsts");
+  expectSameBits(compiled.gpu.coalescedFraction,
+                 interpreted.gpu.coalescedFraction,
+                 "explain.gpu.coalescedFraction");
+  expectSameBits(compiled.gpu.bytesToDevice, interpreted.gpu.bytesToDevice,
+                 "explain.gpu.bytesToDevice");
+  expectSameBits(compiled.gpu.bytesFromDevice, interpreted.gpu.bytesFromDevice,
+                 "explain.gpu.bytesFromDevice");
+  expectSameBits(compiled.gpu.kernelSeconds, interpreted.gpu.kernelSeconds,
+                 "explain.gpu.kernelSeconds");
+  expectSameBits(compiled.gpu.transferSeconds, interpreted.gpu.transferSeconds,
+                 "explain.gpu.transferSeconds");
+  expectSameBits(compiled.gpu.launchSeconds, interpreted.gpu.launchSeconds,
+                 "explain.gpu.launchSeconds");
+  expectSameBits(compiled.gpu.totalSeconds, interpreted.gpu.totalSeconds,
+                 "explain.gpu.totalSeconds");
+  EXPECT_EQ(compiled.gpu.execCase, interpreted.gpu.execCase);
+}
+
 const std::array<mca::MachineModel, 1>& hostModels() {
   static const std::array<mca::MachineModel, 1> models{
       mca::MachineModel::power9()};
@@ -134,6 +204,57 @@ TEST(CompiledPlanEquivalence, EveryPolybenchRegionOverSizeGrid) {
       }
     }
   }
+}
+
+TEST(CompiledPlanEquivalence, ExplainRecordsMatchOverRegionAndSizeGrid) {
+  // The forensics contract (ISSUE 5): both decide paths must fill the
+  // DecisionExplain sink with bit-identical model terms for every Polybench
+  // region over the size grid. Path/seq/atNs/overheadSeconds differ by
+  // design; everything else must not.
+  const OffloadSelector selector{SelectorConfig{}};
+  const std::array<std::int64_t, 6> sizes{1, 2, 16, 100, 1100, 9600};
+  for (const polybench::Benchmark& benchmark : polybench::suite()) {
+    for (const ir::TargetRegion& kernel : benchmark.kernels()) {
+      const pad::RegionAttributes attr =
+          compiler::analyzeRegion(kernel, hostModels());
+      const CompiledRegionPlan plan = selector.compile(attr);
+      for (const std::int64_t n : sizes) {
+        SCOPED_TRACE(kernel.name + " n=" + std::to_string(n));
+        const symbolic::Bindings bindings{{"n", n}};
+        obs::DecisionExplain compiled;
+        obs::DecisionExplain interpreted;
+        (void)selector.decide(RegionHandle(plan), bindings, &compiled);
+        (void)selector.decide(RegionHandle(attr), bindings, &interpreted);
+        // Tiny sizes make some models throw: then BOTH paths must report
+        // Degenerate. Otherwise each reports its own path truthfully.
+        EXPECT_EQ(compiled.path == obs::DecisionPath::Degenerate,
+                  interpreted.path == obs::DecisionPath::Degenerate);
+        if (compiled.path != obs::DecisionPath::Degenerate) {
+          EXPECT_EQ(compiled.path, obs::DecisionPath::Compiled);
+          EXPECT_EQ(interpreted.path, obs::DecisionPath::Interpreted);
+        }
+        expectIdenticalExplains(compiled, interpreted);
+      }
+    }
+  }
+}
+
+TEST(CompiledPlanEquivalence, ExplainRecordsMatchOnDegenerateBindings) {
+  // Missing required symbol: the compiled path falls back to the
+  // interpreted walk (and says so in `path`); the term fields must still
+  // agree bit for bit with the pure interpreted decide.
+  const OffloadSelector selector{SelectorConfig{}};
+  const polybench::Benchmark& gemm = polybench::benchmarkByName("GEMM");
+  const pad::RegionAttributes attr =
+      compiler::analyzeRegion(gemm.kernels()[0], hostModels());
+  const CompiledRegionPlan plan = selector.compile(attr);
+  obs::DecisionExplain compiled;
+  obs::DecisionExplain interpreted;
+  const symbolic::Bindings empty;
+  (void)selector.decide(RegionHandle(plan), empty, &compiled);
+  (void)selector.decide(RegionHandle(attr), empty, &interpreted);
+  EXPECT_EQ(compiled.path, interpreted.path);
+  expectIdenticalExplains(compiled, interpreted);
 }
 
 TEST(CompiledPlanEquivalence, RandomizedBindingsFuzz) {

@@ -50,6 +50,23 @@ TEST(Format, CsvFieldQuotesRfc4180Specials) {
   EXPECT_EQ(csvField("cr\rhere"), "\"cr\rhere\"");
 }
 
+TEST(Format, CsvQuoteAppendsInPlaceAndMatchesCsvField) {
+  // The append-style primitive the renderers share (metrics CSV, trace CSV,
+  // launch-log CSV): same RFC-4180 rules as csvField, no temporary string.
+  std::string out = "prefix,";
+  csvQuote(out, "plain");
+  EXPECT_EQ(out, "prefix,plain");
+  csvQuote(out, ",");
+  EXPECT_EQ(out, "prefix,plain\",\"");
+  for (const char* field :
+       {"gemm_k1", "", "a,b", "say \"hi\"", "line\nbreak", "cr\rhere",
+        "\"leading", "trailing\""}) {
+    std::string appended;
+    csvQuote(appended, field);
+    EXPECT_EQ(appended, csvField(field)) << field;
+  }
+}
+
 TEST(Format, Percent) {
   EXPECT_EQ(formatPercent(0.123), "12.3%");
   EXPECT_EQ(formatPercent(1.0), "100.0%");

@@ -10,15 +10,21 @@
 //                                         print a Chrome trace_event JSON
 //   oselctl stats    <benchmark> [opts]   run and print metrics + per-region
 //                                         prediction-accuracy summary
+//                                         (--prom: Prometheus exposition)
+//   oselctl explain  <kernel> [opts]      run and print the latest decision's
+//                                         model-term breakdown (--json: all
+//                                         buffered records as JSON)
+//   oselctl drift    <benchmark> [opts]   run under the Oracle policy and
+//                                         print the per-region drift report
 //
 // Common options: --n <size> (default: the kernel's test size),
 // --threads <count> (default 160), --platform v100|k80 (default v100),
 // --file <path.osel> (load kernels from a kernel-language file instead of
 // the built-in Polybench suite; see examples/kernels/).
-// trace/stats options: --repeat <R> launches per kernel (default 3, so the
-// decision cache gets hits), --gpu-fault-rate <p> arms transient GPU launch
-// faults to exercise retry/fallback spans, --out <file> (trace: write the
-// JSON there instead of stdout).
+// trace/stats/explain/drift options: --repeat <R> launches per kernel
+// (default 3, so the decision cache gets hits), --gpu-fault-rate <p> arms
+// transient GPU launch faults to exercise retry/fallback spans,
+// --out <file> (trace: write the JSON there instead of stdout).
 #include <algorithm>
 #include <array>
 #include <cstdio>
@@ -195,23 +201,46 @@ int cmdMeasure(const KernelRef& ref, const Config& config) {
   return 0;
 }
 
+/// Which observe-family subcommand is running (they share the setup: run
+/// one benchmark through a traced TargetRuntime, then render).
+enum class ObserveMode { Trace, Stats, Explain, Drift };
+
+const char* toString(ObserveMode mode) {
+  switch (mode) {
+    case ObserveMode::Trace:
+      return "trace";
+    case ObserveMode::Stats:
+      return "stats";
+    case ObserveMode::Explain:
+      return "explain";
+    case ObserveMode::Drift:
+      return "drift";
+  }
+  return "?";
+}
+
 /// Runs one Polybench benchmark (every kernel, `--repeat` times) through a
-/// TargetRuntime with an obs::TraceSession attached; shared by `trace` and
-/// `stats`. `name` may be a benchmark ("GEMM") or one of its kernels
-/// ("gemm_k1" — the owning benchmark is run).
+/// TargetRuntime with an obs::TraceSession attached; shared by `trace`,
+/// `stats`, `explain`, and `drift`. `name` may be a benchmark ("GEMM") or
+/// one of its kernels ("gemm_k1" — the owning benchmark is run; `explain`
+/// then reports just that kernel).
 int cmdObserve(const std::string& name, const Config& config,
-               const support::CommandLine& cl, bool emitTrace) {
+               const support::CommandLine& cl, ObserveMode mode) {
   const polybench::Benchmark* benchmark = nullptr;
+  bool nameIsKernel = false;
   for (const polybench::Benchmark& candidate : polybench::suite()) {
     if (candidate.name() == name) benchmark = &candidate;
     for (const ir::TargetRegion& kernel : candidate.kernels())
-      if (kernel.name == name) benchmark = &candidate;
+      if (kernel.name == name) {
+        benchmark = &candidate;
+        nameIsKernel = true;
+      }
   }
   if (benchmark == nullptr) {
     std::fprintf(stderr,
                  "oselctl %s: unknown benchmark or kernel %s (try `oselctl "
                  "list`)\n",
-                 emitTrace ? "trace" : "stats", name.c_str());
+                 toString(mode), name.c_str());
     return 2;
   }
 
@@ -248,33 +277,77 @@ int cmdObserve(const std::string& name, const Config& config,
   const symbolic::Bindings bindings = benchmark->bindings(n);
   ir::ArrayStore store = benchmark->allocate(bindings);
   polybench::initializeInputs(*benchmark, bindings, store);
+  // Drift needs both devices measured so mispredictions are observable —
+  // that is the Oracle policy's contract.
+  const runtime::Policy policy = mode == ObserveMode::Drift
+                                     ? runtime::Policy::Oracle
+                                     : runtime::Policy::ModelGuided;
   for (std::int64_t r = 0; r < repeat; ++r) {
     for (const ir::TargetRegion& kernel : benchmark->kernels())
-      (void)rt.launch(kernel.name, bindings, store,
-                      runtime::Policy::ModelGuided);
+      (void)rt.launch(kernel.name, bindings, store, policy);
   }
 
-  if (emitTrace) {
-    const std::string json = obs::renderChromeTrace(session);
-    if (const auto out = cl.stringOption("out"); out && !out->empty()) {
-      std::FILE* file = std::fopen(out->c_str(), "w");
-      if (file == nullptr) {
-        std::fprintf(stderr, "oselctl trace: cannot open %s for writing\n",
+  switch (mode) {
+    case ObserveMode::Trace: {
+      const std::string json = obs::renderChromeTrace(session);
+      if (const auto out = cl.stringOption("out"); out && !out->empty()) {
+        std::FILE* file = std::fopen(out->c_str(), "w");
+        if (file == nullptr) {
+          std::fprintf(stderr, "oselctl trace: cannot open %s for writing\n",
+                       out->c_str());
+          return 1;
+        }
+        std::fputs(json.c_str(), file);
+        std::fclose(file);
+        std::fprintf(stderr, "oselctl trace: wrote %llu events to %s\n",
+                     static_cast<unsigned long long>(session.recorded()),
                      out->c_str());
+      } else {
+        std::fputs(json.c_str(), stdout);
+      }
+      return 0;
+    }
+    case ObserveMode::Stats:
+      std::fputs(cl.hasFlag("prom")
+                     ? obs::renderPrometheus(session).c_str()
+                     : obs::renderStatsSummary(session).c_str(),
+                 stdout);
+      return 0;
+    case ObserveMode::Drift:
+      std::fputs(obs::renderDriftReport(session).c_str(), stdout);
+      return 0;
+    case ObserveMode::Explain: {
+      if (cl.hasFlag("json")) {
+        std::vector<obs::DecisionExplain> records =
+            session.explainRing().snapshot();
+        if (nameIsKernel) {
+          std::erase_if(records, [&](const obs::DecisionExplain& r) {
+            return r.regionView() != name;
+          });
+        }
+        std::fputs(obs::renderExplainJson(records).c_str(), stdout);
+        return 0;
+      }
+      // Text: the latest record per requested kernel.
+      bool printedAny = false;
+      for (const ir::TargetRegion& kernel : benchmark->kernels()) {
+        if (nameIsKernel && kernel.name != name) continue;
+        obs::DecisionExplain record;
+        if (!session.explainRing().latestFor(kernel.name, record)) continue;
+        if (printedAny) std::fputs("\n", stdout);
+        std::fputs(obs::renderExplainText(record).c_str(), stdout);
+        printedAny = true;
+      }
+      if (!printedAny) {
+        std::fprintf(stderr,
+                     "oselctl explain: no decision records for %s\n",
+                     name.c_str());
         return 1;
       }
-      std::fputs(json.c_str(), file);
-      std::fclose(file);
-      std::fprintf(stderr, "oselctl trace: wrote %llu events to %s\n",
-                   static_cast<unsigned long long>(session.recorded()),
-                   out->c_str());
-    } else {
-      std::fputs(json.c_str(), stdout);
+      return 0;
     }
-  } else {
-    std::fputs(obs::renderStatsSummary(session).c_str(), stdout);
   }
-  return 0;
+  return 2;
 }
 
 int cmdPad(const std::vector<std::string>& names) {
@@ -293,15 +366,41 @@ int cmdPad(const std::vector<std::string>& names) {
   return 0;
 }
 
+constexpr const char* kUsage =
+    "usage: oselctl <command> [kernel|benchmark] [options]\n"
+    "\n"
+    "commands:\n"
+    "  list                      all benchmarks and kernels\n"
+    "  inspect <kernel>          region IR, IPDA dump, loadout, MCA cycles\n"
+    "  decide  <kernel>          evaluate both models and choose a device\n"
+    "  measure <kernel>          ground-truth device simulations\n"
+    "  pad     [<kernel>...]     print serialized PAD entries\n"
+    "  emit    <kernel>          print a kernel as .osel source\n"
+    "  trace   <benchmark>       run traced; print Chrome trace_event JSON\n"
+    "  stats   <benchmark>       run traced; print metrics + prediction\n"
+    "                            accuracy (--prom: Prometheus exposition)\n"
+    "  explain <kernel>          run traced; print the latest decision's\n"
+    "                            model-term breakdown (--json: all records)\n"
+    "  drift   <benchmark>       run under Oracle; print the per-region\n"
+    "                            drift report (EWMA/CUSUM, mispredictions)\n"
+    "\n"
+    "common options: --n N, --threads T, --platform v100|k80,\n"
+    "  --file path.osel (load kernels from a kernel-language file)\n"
+    "trace/stats/explain/drift: --repeat R, --gpu-fault-rate P,\n"
+    "  --fault-seed S, --out FILE (trace only)\n";
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto cl = support::CommandLine::parse(argc, argv);
   const auto& positional = cl.positional();
+  if (cl.hasFlag("help") || cl.hasFlag("h") ||
+      (!positional.empty() && positional[0] == "help")) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
   if (positional.empty()) {
-    std::fprintf(stderr,
-                 "usage: oselctl <list|inspect|decide|measure|pad|emit|trace|"
-                 "stats> [kernel] [--n N] [--threads T] [--platform v100|k80]\n");
+    std::fputs(kUsage, stderr);
     return 2;
   }
   Config config;
@@ -316,13 +415,27 @@ int main(int argc, char** argv) {
   if (command == "list") return cmdList();
   if (command == "pad") return cmdPad(positional);
 
+  const bool isObserve = command == "trace" || command == "stats" ||
+                         command == "explain" || command == "drift";
+  const bool isKernelCommand = command == "emit" || command == "inspect" ||
+                               command == "decide" || command == "measure";
+  if (!isObserve && !isKernelCommand) {
+    std::fprintf(stderr, "oselctl: unknown command %s\n\n", command.c_str());
+    std::fputs(kUsage, stderr);
+    return 2;
+  }
   if (positional.size() < 2) {
     std::fprintf(stderr, "oselctl %s: missing kernel name (try `oselctl list`)\n",
                  command.c_str());
     return 2;
   }
-  if (command == "trace" || command == "stats")
-    return cmdObserve(positional[1], config, cl, command == "trace");
+  if (isObserve) {
+    const ObserveMode mode = command == "trace"     ? ObserveMode::Trace
+                             : command == "stats"   ? ObserveMode::Stats
+                             : command == "explain" ? ObserveMode::Explain
+                                                    : ObserveMode::Drift;
+    return cmdObserve(positional[1], config, cl, mode);
+  }
   const KernelRef ref = findKernel(positional[1]);
   if (ref.region == nullptr) {
     std::fprintf(stderr, "oselctl: unknown kernel %s (try `oselctl list`)\n",
@@ -335,7 +448,5 @@ int main(int argc, char** argv) {
   }
   if (command == "inspect") return cmdInspect(ref, config);
   if (command == "decide") return cmdDecide(ref, config);
-  if (command == "measure") return cmdMeasure(ref, config);
-  std::fprintf(stderr, "oselctl: unknown command %s\n", command.c_str());
-  return 2;
+  return cmdMeasure(ref, config);
 }
