@@ -100,13 +100,44 @@ void BM_DecisionCacheHit(benchmark::State& state) {
   plan.bindSlots(bindings, slots, boundMask);
   cache.insert(boundMask, slots,
                selector().decide(runtime::RegionHandle(plan), bindings));
+  runtime::Decision out;
   for (auto _ : state) {
     std::uint64_t mask = 0;
     plan.bindSlots(bindings, slots, mask);
-    benchmark::DoNotOptimize(cache.find(mask, slots));
+    benchmark::DoNotOptimize(cache.find(mask, slots, out));
+    benchmark::DoNotOptimize(out);
   }
 }
 BENCHMARK(BM_DecisionCacheHit);
+
+void BM_ConcurrentDecide(benchmark::State& state) {
+  // The decide hot path under contention: every thread hammers
+  // TargetRuntime::decide over the same region (worst case — one shard, one
+  // cache stripe). Scaling here is the ceiling a multi-region service sees;
+  // see bench/micro_concurrent_decide for the open-loop latency view.
+  static runtime::TargetRuntime* sharedRuntime = nullptr;
+  if (state.thread_index() == 0) {
+    const std::array<mca::MachineModel, 1> models{mca::MachineModel::power9()};
+    const ir::TargetRegion& kernel =
+        polybench::benchmarkByName("GEMM").kernels()[0];
+    const std::array<ir::TargetRegion, 1> regions{kernel};
+    runtime::RuntimeOptions options;
+    sharedRuntime = new runtime::TargetRuntime(
+        compiler::compileAll(regions, models), options);
+    sharedRuntime->registerRegion(kernel);
+  }
+  const symbolic::Bindings bindings{{"n", 9600}};
+  const std::string name = polybench::benchmarkByName("GEMM").kernels()[0].name;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sharedRuntime->decide(name, bindings));
+  }
+  if (state.thread_index() == 0) {
+    state.SetItemsProcessed(state.iterations() * state.threads());
+    delete sharedRuntime;
+    sharedRuntime = nullptr;
+  }
+}
+BENCHMARK(BM_ConcurrentDecide)->ThreadRange(1, 8)->UseRealTime();
 
 void BM_CpuModelPredict(benchmark::State& state) {
   const symbolic::Bindings bindings{{"n", 9600}};

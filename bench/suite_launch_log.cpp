@@ -149,8 +149,22 @@ int main(int argc, char** argv) {
   // circuit-breaker state, so the fault sequence is launch-order dependent:
   // faulty runs stay on the serial single-runtime path for reproducibility.
   // A trace session likewise records one runtime's pipeline, so observed
-  // runs are serial too.
+  // runs are serial too. When the user asked for parallel jobs, say why the
+  // request is being overridden instead of silently ignoring it (see
+  // docs/PERFORMANCE.md §4 for the full interaction table).
   if (gpuFaultRate > 0.0 || jobs == 1 || options.trace != nullptr) {
+    if (jobs > 1) {
+      const char* cause =
+          gpuFaultRate > 0.0
+              ? "--gpu-fault-rate needs the launch-order-deterministic fault "
+                "stream"
+              : "observability output (--trace-out/--stats/--drift-report/"
+                "--prom-out/--stats-file) records a single runtime's pipeline";
+      std::fprintf(stderr,
+                   "suite_launch_log: running serial because %s; ignoring "
+                   "--jobs %u\n",
+                   cause, jobs);
+    }
     runtime::TargetRuntime rt(std::move(db), options);
     for (ir::TargetRegion& region : regions)
       rt.registerRegion(std::move(region));

@@ -1,0 +1,85 @@
+#include "runtime/admission.h"
+
+#include "support/check.h"
+
+namespace osel::runtime {
+
+const char* toString(AdmissionOutcome value) {
+  switch (value) {
+    case AdmissionOutcome::Admitted:
+      return "admitted";
+    case AdmissionOutcome::Shed:
+      return "shed";
+    case AdmissionOutcome::Refused:
+      return "refused";
+  }
+  return "?";
+}
+
+AdmissionController::AdmissionController(AdmissionPolicy policy)
+    : policy_(policy) {
+  support::require(policy_.launchDeadlineSeconds >= 0.0,
+                   "AdmissionController: deadline must be >= 0");
+}
+
+AdmissionOutcome AdmissionController::enter() {
+  if (draining_.load(std::memory_order_acquire)) {
+    refused_.fetch_add(1, std::memory_order_relaxed);
+    return AdmissionOutcome::Refused;
+  }
+  std::size_t current = inFlight_.fetch_add(1, std::memory_order_acq_rel);
+  // Both outcomes hold the slot they just took: shed launches still run
+  // (degraded to the safe default), they just skip model evaluation, so
+  // they count against the budget like any other in-flight work.
+  if (policy_.maxInFlight > 0 && current >= policy_.maxInFlight) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    return AdmissionOutcome::Shed;
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  return AdmissionOutcome::Admitted;
+}
+
+void AdmissionController::exit() {
+  const std::size_t before = inFlight_.fetch_sub(1, std::memory_order_acq_rel);
+  support::ensure(before > 0, "AdmissionController: exit without enter");
+  if (before == 1) {
+    // Last launch out: wake quiesce() waiters. The lock pairs with the
+    // waiter's predicate re-check so the notify cannot be lost.
+    std::lock_guard<std::mutex> lock(quiesceMutex_);
+    quiesceCv_.notify_all();
+  }
+}
+
+bool AdmissionController::charge(double simSeconds) {
+  double current = chargedSeconds_.load(std::memory_order_relaxed);
+  while (!chargedSeconds_.compare_exchange_weak(current, current + simSeconds,
+                                                std::memory_order_relaxed)) {
+  }
+  if (policy_.launchDeadlineSeconds > 0.0 &&
+      simSeconds > policy_.launchDeadlineSeconds) {
+    deadlineMisses_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void AdmissionController::drain() {
+  draining_.store(true, std::memory_order_release);
+}
+
+void AdmissionController::resume() {
+  draining_.store(false, std::memory_order_release);
+}
+
+void AdmissionController::quiesce() {
+  std::unique_lock<std::mutex> lock(quiesceMutex_);
+  quiesceCv_.wait(lock, [this] {
+    return inFlight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+double AdmissionController::chargedSeconds() const {
+  return chargedSeconds_.load(std::memory_order_relaxed);
+}
+
+}  // namespace osel::runtime

@@ -1,0 +1,110 @@
+// osel/runtime/admission.h — overload protection for concurrent launches.
+//
+// The paper's runtime framing assumes one caller; a shared selector service
+// (the ROADMAP's `oseld` pivot) has many, and with no overload story a
+// burst of launches queues unboundedly behind the device models. The
+// admission controller bounds the damage with a classic shed-don't-queue
+// policy:
+//   * a bounded in-flight launch budget — launches over budget are *shed*:
+//     the runtime skips model evaluation and degrades the decision to
+//     SelectorConfig::safeDefaultDevice (the always-available host path),
+//     marking the LaunchRecord so the shed traffic is visible in telemetry;
+//   * per-launch deadline accounting folded into the simulated-time ledger
+//     (osel's device world is simulated time, so deadlines are *accounted*,
+//     not enforced with wall-clock timers);
+//   * a drain()/quiesce() API so a runtime can stop accepting new work
+//     while letting in-flight launches finish — the shutdown half of the
+//     overload story.
+//
+// Thread-safety: enter()/exit() are lock-free CAS transitions on one
+// atomic in-flight count; drain()/resume() flip one atomic flag; only
+// quiesce() blocks (condition variable, woken by the last exit()). All
+// counters are monotone atomics, safe to read mid-traffic.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace osel::runtime {
+
+/// Overload policy knobs. Zero means "disabled" for both: the default
+/// controller admits everything and accounts no deadlines.
+struct AdmissionPolicy {
+  /// Launches allowed in flight at once; 0 = unbounded (never shed).
+  std::size_t maxInFlight = 0;
+  /// Simulated-seconds budget per launch; 0 = no deadline accounting.
+  double launchDeadlineSeconds = 0.0;
+};
+
+/// What admission decided for one launch.
+enum class AdmissionOutcome {
+  Admitted,  ///< within budget — full decide/launch path
+  Shed,      ///< over budget — degrade to the safe default device
+  Refused,   ///< draining — the runtime is not accepting new work
+};
+
+[[nodiscard]] const char* toString(AdmissionOutcome value);
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionPolicy policy = {});
+
+  /// Ticket for one launch. Admitted and Shed launches hold an in-flight
+  /// slot until exit(); Refused launches never entered.
+  [[nodiscard]] AdmissionOutcome enter();
+
+  /// Releases the slot taken by an Admitted/Shed enter(). Wakes quiesce().
+  void exit();
+
+  /// Folds one launch's simulated cost into the ledger; returns true iff
+  /// the launch missed its deadline (and counts the miss).
+  bool charge(double simSeconds);
+
+  /// Stop admitting new launches (they are Refused); in-flight launches
+  /// finish normally.
+  void drain();
+  /// Accept launches again after drain().
+  void resume();
+  /// Blocks until every in-flight launch has exited. Does not itself stop
+  /// new arrivals — call drain() first for a full shutdown barrier.
+  void quiesce();
+
+  [[nodiscard]] bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::size_t inFlight() const {
+    return inFlight_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint64_t admitted() const {
+    return admitted_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t shed() const {
+    return shed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t refused() const {
+    return refused_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t deadlineMisses() const {
+    return deadlineMisses_.load(std::memory_order_relaxed);
+  }
+  /// Total simulated seconds charged across all launches.
+  [[nodiscard]] double chargedSeconds() const;
+
+  [[nodiscard]] const AdmissionPolicy& policy() const { return policy_; }
+
+ private:
+  AdmissionPolicy policy_;
+  std::atomic<std::size_t> inFlight_{0};
+  std::atomic<bool> draining_{false};
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> refused_{0};
+  std::atomic<std::uint64_t> deadlineMisses_{0};
+  std::atomic<double> chargedSeconds_{0.0};
+  std::mutex quiesceMutex_;
+  std::condition_variable quiesceCv_;
+};
+
+}  // namespace osel::runtime

@@ -40,23 +40,38 @@ DecisionCache::Entry* DecisionCache::locate(
   return nullptr;
 }
 
-const Decision* DecisionCache::find(std::uint64_t boundMask,
-                                    std::span<const std::int64_t> values) {
-  Entry* entry = locate(hashKey(boundMask, values), boundMask, values);
-  if (entry == nullptr) {
-    ++stats_.misses;
-    return nullptr;
+void DecisionCache::syncEpoch(std::uint64_t epoch) {
+  if (epoch != epoch_) {
+    entries_.clear();
+    epoch_ = epoch;
   }
-  ++stats_.hits;
-  entry->lastUse = ++tick_;
-  return &entry->decision;
+}
+
+bool DecisionCache::find(std::uint64_t boundMask,
+                         std::span<const std::int64_t> values, Decision& out,
+                         std::uint64_t epoch) {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    syncEpoch(epoch);
+    if (Entry* entry = locate(hashKey(boundMask, values), boundMask, values)) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      entry->lastUse = ++tick_;
+      out = entry->decision;
+      return true;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
 }
 
 void DecisionCache::insert(std::uint64_t boundMask,
                            std::span<const std::int64_t> values,
-                           const Decision& decision) {
+                           const Decision& decision, std::uint64_t epoch) {
   if (capacity_ == 0) return;
   const std::uint64_t hash = hashKey(boundMask, values);
+  std::lock_guard<std::mutex> lock(mutex_);
+  syncEpoch(epoch);
   if (Entry* existing = locate(hash, boundMask, values)) {
     existing->decision = decision;
     existing->lastUse = ++tick_;
@@ -68,7 +83,7 @@ void DecisionCache::insert(std::uint64_t boundMask,
   entry.values.assign(values.begin(), values.end());
   entry.decision = decision;
   entry.lastUse = ++tick_;
-  ++stats_.insertions;
+  insertions_.fetch_add(1, std::memory_order_relaxed);
   if (entries_.size() < capacity_) {
     entries_.push_back(std::move(entry));
     return;
@@ -78,7 +93,27 @@ void DecisionCache::insert(std::uint64_t boundMask,
       entries_.begin(), entries_.end(),
       [](const Entry& a, const Entry& b) { return a.lastUse < b.lastUse; });
   *victim = std::move(entry);
-  ++stats_.evictions;
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void DecisionCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+DecisionCache::Stats DecisionCache::stats() const {
+  Stats out;
+  out.lookups = lookups_.load(std::memory_order_relaxed);
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  out.insertions = insertions_.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::size_t DecisionCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
 }
 
 }  // namespace osel::runtime

@@ -9,11 +9,23 @@
 // least-recently-used replacement; hit/miss/eviction counters feed the
 // LaunchRecord / CSV observability columns.
 //
-// Not thread-safe: one cache lives next to one region's plan inside a
-// TargetRuntime, which is single-threaded by contract.
+// Thread-safety: one cache lives next to one region's plan inside a
+// TargetRuntime shard, and concurrent decide() calls hit it from many
+// threads. Entry storage is guarded by one per-cache mutex (the runtime's
+// per-region caches form the lock stripes — contention only happens between
+// launches of the *same* region), while the Stats counters are relaxed
+// atomics so stats() reads observed mid-traffic are never torn: after the
+// caller quiesces, hits + misses == lookups holds exactly.
+//
+// Invalidation is epoch-based so TargetRuntime::invalidateDecisionCaches()
+// is one atomic bump instead of a walk over every shard: find()/insert()
+// take the runtime's current epoch, and a cache lazily drops its entries
+// the first time it observes a newer epoch than the one it stored under.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -23,7 +35,10 @@ namespace osel::runtime {
 
 class DecisionCache {
  public:
+  /// Plain snapshot of the atomic counters; hits + misses == lookups once
+  /// the cache is quiesced (each lookup counts exactly one of the two).
   struct Stats {
+    std::uint64_t lookups = 0;
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
@@ -37,21 +52,27 @@ class DecisionCache {
   [[nodiscard]] static std::uint64_t hashKey(
       std::uint64_t boundMask, std::span<const std::int64_t> values);
 
-  /// Returns the memoized decision for this exact key, or nullptr. Counts a
-  /// hit or a miss; performs no heap allocation.
-  [[nodiscard]] const Decision* find(std::uint64_t boundMask,
-                                     std::span<const std::int64_t> values);
+  /// Copies the memoized decision for this exact key into `out` and returns
+  /// true; false on a miss (out is untouched). Counts a hit or a miss.
+  /// `epoch` is the owner's invalidation epoch: when it advanced past the
+  /// epoch the entries were stored under, the stale entries are dropped
+  /// first (a lazy, O(1)-to-signal invalidation). Copying a cached Decision
+  /// whose diagnostic is empty (every valid decision) does not allocate.
+  [[nodiscard]] bool find(std::uint64_t boundMask,
+                          std::span<const std::int64_t> values, Decision& out,
+                          std::uint64_t epoch = 0);
 
-  /// Memoizes `decision`, evicting the least-recently-used entry at
-  /// capacity. Inserting an already-present key refreshes its decision.
+  /// Memoizes `decision` under `epoch`, evicting the least-recently-used
+  /// entry at capacity. Inserting an already-present key refreshes its
+  /// decision.
   void insert(std::uint64_t boundMask, std::span<const std::int64_t> values,
-              const Decision& decision);
+              const Decision& decision, std::uint64_t epoch = 0);
 
   /// Drops every entry (plan invalidation); counters survive.
-  void clear() { entries_.clear(); }
+  void clear();
 
-  [[nodiscard]] const Stats& stats() const { return stats_; }
-  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
  private:
@@ -63,13 +84,25 @@ class DecisionCache {
     std::uint64_t lastUse = 0;
   };
 
+  /// Callers hold mutex_.
   [[nodiscard]] Entry* locate(std::uint64_t hash, std::uint64_t boundMask,
                               std::span<const std::int64_t> values);
+  /// Drops stale entries when `epoch` advanced; callers hold mutex_.
+  void syncEpoch(std::uint64_t epoch);
 
   std::size_t capacity_;
+  mutable std::mutex mutex_;
   std::vector<Entry> entries_;
   std::uint64_t tick_ = 0;
-  Stats stats_;
+  std::uint64_t epoch_ = 0;
+
+  /// Relaxed atomics: counts are exact (no lost increments), ordering
+  /// between counters is only guaranteed once the caller quiesces.
+  std::atomic<std::uint64_t> lookups_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> insertions_{0};
 };
 
 }  // namespace osel::runtime

@@ -36,6 +36,8 @@ std::string toString(FallbackReason value) {
       return "quarantined";
     case FallbackReason::InvalidDecision:
       return "invalid-decision";
+    case FallbackReason::Shed:
+      return "shed";
   }
   return "?";
 }
@@ -144,22 +146,49 @@ DeviceHealthTracker::DeviceHealthTracker(HealthPolicy policy)
 }
 
 bool DeviceHealthTracker::admitGpu() {
-  if (quarantineRemaining_ > 0) {
-    quarantineRemaining_ -= 1;
-    return false;
+  std::uint64_t state = state_.load(std::memory_order_acquire);
+  for (;;) {
+    const int remaining = unpackRemaining(state);
+    if (remaining <= 0) return true;
+    // Consume exactly one quarantined launch; racing admits each consume
+    // their own (the CAS retries on interference).
+    const std::uint64_t next = pack(unpackFatals(state), remaining - 1);
+    if (state_.compare_exchange_weak(state, next, std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+      return false;
+    }
   }
-  return true;
 }
 
-void DeviceHealthTracker::recordGpuSuccess() { consecutiveFatals_ = 0; }
+void DeviceHealthTracker::recordGpuSuccess() {
+  std::uint64_t state = state_.load(std::memory_order_acquire);
+  for (;;) {
+    if (unpackFatals(state) == 0) return;
+    const std::uint64_t next = pack(0, unpackRemaining(state));
+    if (state_.compare_exchange_weak(state, next, std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+      return;
+    }
+  }
+}
 
-void DeviceHealthTracker::recordGpuFatal() {
-  totalFatals_ += 1;
-  consecutiveFatals_ += 1;
-  if (consecutiveFatals_ >= policy_.quarantineThreshold) {
-    quarantineRemaining_ = policy_.quarantineLaunches;
-    quarantinesOpened_ += 1;
-    consecutiveFatals_ = 0;
+bool DeviceHealthTracker::recordGpuFatal() {
+  totalFatals_.fetch_add(1, std::memory_order_acq_rel);
+  std::uint64_t state = state_.load(std::memory_order_acquire);
+  for (;;) {
+    const int fatals = unpackFatals(state) + 1;
+    const bool opens = fatals >= policy_.quarantineThreshold;
+    // The streak resets when the breaker opens, so the threshold counts
+    // fatals per quarantine window; the CAS winner that crosses it is the
+    // unique opener.
+    const std::uint64_t next =
+        opens ? pack(0, policy_.quarantineLaunches)
+              : pack(fatals, unpackRemaining(state));
+    if (state_.compare_exchange_weak(state, next, std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+      if (opens) quarantinesOpened_.fetch_add(1, std::memory_order_acq_rel);
+      return opens;
+    }
   }
 }
 

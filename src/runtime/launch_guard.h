@@ -15,6 +15,8 @@
 // deterministic.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -40,6 +42,7 @@ enum class FallbackReason {
   FatalError,          ///< fatal/model-input error on the preferred device
   Quarantined,         ///< circuit breaker had the GPU benched
   InvalidDecision,     ///< selector degraded to the safe default device
+  Shed,                ///< admission control shed the launch over budget
 };
 
 [[nodiscard]] std::string toString(FallbackReason value);
@@ -127,12 +130,24 @@ struct HealthPolicy {
 
 /// Tracks GPU launch health for TargetRuntime (the paper's runtime is the
 /// only component with launch-to-launch state, so the breaker lives there).
+///
+/// Thread-safety / memory-order contract: all transitions run as CAS loops
+/// over one packed 64-bit word (low half = consecutive-fatal streak, high
+/// half = quarantined launches remaining), so concurrent launches may call
+/// admitGpu / recordGpuSuccess / recordGpuFatal freely. Under racing fatals
+/// the breaker opens *exactly once* at the threshold: the CAS winner whose
+/// increment reaches the threshold installs the quarantine and is the only
+/// caller for which recordGpuFatal() returns true. All read-modify-writes
+/// use acq_rel so a thread that observes the breaker open also observes the
+/// fatal counts that opened it; the accessor loads are acquire and may be
+/// momentarily stale under traffic (fine for telemetry). quarantinesOpened
+/// and totalFatals are monotone.
 class DeviceHealthTracker {
  public:
   explicit DeviceHealthTracker(HealthPolicy policy = {});
 
   /// Whether the breaker is currently open.
-  [[nodiscard]] bool quarantined() const { return quarantineRemaining_ > 0; }
+  [[nodiscard]] bool quarantined() const { return quarantineRemaining() > 0; }
 
   /// Called when a launch wants the GPU. Returns false — and consumes one
   /// quarantined launch — while the breaker is open.
@@ -140,20 +155,42 @@ class DeviceHealthTracker {
 
   void recordGpuSuccess();
   /// Records a fatal GPU error; opens the breaker at the threshold.
-  void recordGpuFatal();
+  /// Returns true iff THIS call opened the breaker (exactly one of any set
+  /// of racing callers).
+  bool recordGpuFatal();
 
-  [[nodiscard]] int consecutiveFatals() const { return consecutiveFatals_; }
-  [[nodiscard]] int quarantineRemaining() const { return quarantineRemaining_; }
-  [[nodiscard]] int quarantinesOpened() const { return quarantinesOpened_; }
-  [[nodiscard]] int totalFatals() const { return totalFatals_; }
+  [[nodiscard]] int consecutiveFatals() const {
+    return unpackFatals(state_.load(std::memory_order_acquire));
+  }
+  [[nodiscard]] int quarantineRemaining() const {
+    return unpackRemaining(state_.load(std::memory_order_acquire));
+  }
+  [[nodiscard]] int quarantinesOpened() const {
+    return quarantinesOpened_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] int totalFatals() const {
+    return totalFatals_.load(std::memory_order_acquire);
+  }
   [[nodiscard]] const HealthPolicy& policy() const { return policy_; }
 
  private:
+  [[nodiscard]] static std::uint64_t pack(int fatals, int remaining) {
+    return static_cast<std::uint64_t>(static_cast<std::uint32_t>(fatals)) |
+           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(remaining))
+            << 32);
+  }
+  [[nodiscard]] static int unpackFatals(std::uint64_t state) {
+    return static_cast<int>(static_cast<std::uint32_t>(state));
+  }
+  [[nodiscard]] static int unpackRemaining(std::uint64_t state) {
+    return static_cast<int>(static_cast<std::uint32_t>(state >> 32));
+  }
+
   HealthPolicy policy_;
-  int consecutiveFatals_ = 0;
-  int quarantineRemaining_ = 0;
-  int quarantinesOpened_ = 0;
-  int totalFatals_ = 0;
+  /// Packed {consecutiveFatals, quarantineRemaining}; see class comment.
+  std::atomic<std::uint64_t> state_{0};
+  std::atomic<int> quarantinesOpened_{0};
+  std::atomic<int> totalFatals_{0};
 };
 
 }  // namespace osel::runtime

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <span>
 #include <string_view>
+#include <utility>
 
 #include "support/check.h"
 #include "support/faultinject.h"
@@ -61,9 +62,24 @@ const char* fallbackTag(FallbackReason reason) {
       return "quarantined";
     case FallbackReason::InvalidDecision:
       return "invalid-decision";
+    case FallbackReason::Shed:
+      return "shed";
   }
   return "?";
 }
+
+/// Releases one admission slot on every way out of launch().
+class AdmissionSlot {
+ public:
+  explicit AdmissionSlot(AdmissionController& controller)
+      : controller_(controller) {}
+  ~AdmissionSlot() { controller_.exit(); }
+  AdmissionSlot(const AdmissionSlot&) = delete;
+  AdmissionSlot& operator=(const AdmissionSlot&) = delete;
+
+ private:
+  AdmissionController& controller_;
+};
 
 }  // namespace
 
@@ -76,10 +92,17 @@ TargetRuntime::TargetRuntime(pad::AttributeDatabase database,
                                              : options.selector.cpuThreads),
       gpuSim_(std::move(options.gpuSim)),
       guard_(options.retry),
-      health_(options.health),
       decisionCacheEnabled_(options.decisionCacheEnabled),
       decisionCacheCapacity_(options.decisionCacheCapacity),
-      trace_(options.trace) {
+      trace_(options.trace),
+      shardCount_(std::max<std::size_t>(1, options.registryShards)),
+      shards_(std::make_unique<Shard[]>(shardCount_)),
+      state_(std::make_unique<MutableState>(options.health,
+                                            options.admission)) {
+  for (std::size_t i = 0; i < shardCount_; ++i) {
+    shards_[i].snapshot.store(std::make_shared<const RegistrySnapshot>(),
+                              std::memory_order_release);
+  }
   initInstruments();
 }
 
@@ -107,6 +130,7 @@ void TargetRuntime::initInstruments() {
   instruments_.retries = &metrics.counter("guard.retries");
   instruments_.fallbacks = &metrics.counter("guard.fallbacks");
   instruments_.quarantinesOpened = &metrics.counter("health.quarantines");
+  instruments_.launchesShed = &metrics.counter("admission.shed");
   instruments_.cacheHitRatio = &metrics.gauge("decision_cache.hit_ratio");
   instruments_.decisionOverhead = &metrics.histogram(
       "decision.overhead_s", {1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2});
@@ -114,69 +138,93 @@ void TargetRuntime::initInstruments() {
       "prediction.abs_rel_error", {0.01, 0.05, 0.1, 0.25, 0.5, 1.0});
 }
 
+std::shared_ptr<const TargetRuntime::RegionEntry> TargetRuntime::findEntry(
+    const std::string& name) const {
+  const Shard& shard = shards_[shardIndex(name)];
+  const std::shared_ptr<const RegistrySnapshot> snapshot =
+      shard.snapshot.load(std::memory_order_acquire);
+  const auto it = snapshot->find(name);
+  return it == snapshot->end() ? nullptr : it->second;
+}
+
 void TargetRuntime::registerRegion(ir::TargetRegion region) {
   region.verify();
   const std::string name = region.name;
-  regions_.insert_or_assign(name, std::move(region));
-  // Compile-time half of the launch-time decision: lower the PAD entry into
-  // a slot-based plan now so decide() never touches symbolic expressions.
-  // Re-registration replaces the plan and drops its memoized decisions.
-  plans_.erase(name);
+  // Build the whole immutable entry — including the plan compile, the
+  // expensive part — before touching the shard, so registration holds the
+  // write lock only for the copy-and-swap publish.
+  auto entry = std::make_shared<RegionEntry>();
+  entry->region = std::move(region);
   if (selector_.config().useCompiledPlans) {
     if (const pad::RegionAttributes* attr = database_.find(name)) {
-      plans_.emplace(name, PlanEntry{selector_.compile(*attr),
-                                     DecisionCache(decisionCacheCapacity_)});
+      entry->plan = std::make_shared<const CompiledRegionPlan>(
+          selector_.compile(*attr));
+      // A fresh cache: re-registration replaces the plan and drops its
+      // memoized decisions (and their counters) atomically with the plan.
+      entry->cache = std::make_shared<DecisionCache>(decisionCacheCapacity_);
     }
   }
+  Shard& shard = shards_[shardIndex(name)];
+  std::lock_guard<std::mutex> lock(shard.writeMutex);
+  // Copy-on-write: readers on the old snapshot are undisturbed; the next
+  // snapshot load sees the new entry.
+  auto next = std::make_shared<RegistrySnapshot>(
+      *shard.snapshot.load(std::memory_order_acquire));
+  (*next)[name] = std::move(entry);
+  shard.snapshot.store(std::move(next), std::memory_order_release);
 }
 
 bool TargetRuntime::hasRegion(const std::string& name) const {
-  return regions_.contains(name);
+  return findEntry(name) != nullptr;
 }
 
 const CompiledRegionPlan* TargetRuntime::plan(const std::string& name) const {
-  const auto it = plans_.find(name);
-  return it == plans_.end() ? nullptr : &it->second.plan;
+  const std::shared_ptr<const RegionEntry> entry = findEntry(name);
+  return entry == nullptr ? nullptr : entry->plan.get();
 }
 
 DecisionCache::Stats TargetRuntime::decisionCacheStats(
     const std::string& name) const {
-  const auto it = plans_.find(name);
-  return it == plans_.end() ? DecisionCache::Stats{} : it->second.cache.stats();
+  const std::shared_ptr<const RegionEntry> entry = findEntry(name);
+  return entry == nullptr || entry->cache == nullptr ? DecisionCache::Stats{}
+                                                     : entry->cache->stats();
 }
 
 void TargetRuntime::invalidateDecisionCaches() {
-  for (auto& [name, entry] : plans_) entry.cache.clear();
+  state_->cacheEpoch.fetch_add(1, std::memory_order_acq_rel);
 }
 
 double TargetRuntime::measure(const std::string& regionName,
                               const symbolic::Bindings& bindings,
                               ir::ArrayStore& store, Device device) const {
-  const auto it = regions_.find(regionName);
-  require(it != regions_.end(),
+  // The shared_ptr keeps the region alive through the simulation even if a
+  // concurrent re-registration replaces it.
+  const std::shared_ptr<const RegionEntry> entry = findEntry(regionName);
+  require(entry != nullptr,
           "TargetRuntime::measure: unregistered region " + regionName);
   if (device == Device::Cpu) {
-    return cpuSim_.simulate(it->second, bindings, store).seconds;
+    return cpuSim_.simulate(entry->region, bindings, store).seconds;
   }
-  return gpuSim_.simulate(it->second, bindings, store).totalSeconds;
+  return gpuSim_.simulate(entry->region, bindings, store).totalSeconds;
 }
 
 double TargetRuntime::measureTraced(const std::string& regionName,
                                     const symbolic::Bindings& bindings,
                                     ir::ArrayStore& store, Device device) {
   if (trace_ == nullptr) return measure(regionName, bindings, store, device);
-  const auto it = regions_.find(regionName);
-  require(it != regions_.end(),
+  const std::shared_ptr<const RegionEntry> entry = findEntry(regionName);
+  require(entry != nullptr,
           "TargetRuntime::measure: unregistered region " + regionName);
   const std::int64_t startNs = trace_->nowNs();
   if (device == Device::Cpu) {
-    const double seconds = cpuSim_.simulate(it->second, bindings, store).seconds;
+    const double seconds =
+        cpuSim_.simulate(entry->region, bindings, store).seconds;
     trace_->recordSpan("exec.cpu", "exec", regionName, startNs,
                        trace_->nowNs() - startNs, {"simulated_s", seconds});
     return seconds;
   }
   const gpusim::GpuSimResult result =
-      gpuSim_.simulate(it->second, bindings, store);
+      gpuSim_.simulate(entry->region, bindings, store);
   const std::int64_t totalNs = trace_->nowNs() - startNs;
   // The simulator models device time; the span measures host wall time.
   // Project the simulated transfer/kernel fractions onto the wall-clock
@@ -199,6 +247,12 @@ double TargetRuntime::measureTraced(const std::string& regionName,
   return result.totalSeconds;
 }
 
+Decision TargetRuntime::decide(const std::string& regionName,
+                               const symbolic::Bindings& bindings) {
+  LaunchRecord scratch;  // decision-path flags only; never logged
+  return guardedDecision(regionName, bindings, scratch);
+}
+
 Decision TargetRuntime::guardedDecision(const std::string& regionName,
                                         const symbolic::Bindings& bindings,
                                         LaunchRecord& record) {
@@ -214,6 +268,7 @@ Decision TargetRuntime::guardedDecision(const std::string& regionName,
       trace_ != nullptr ? &explainStorage : nullptr;
 
   const pad::RegionAttributes* attr = database_.find(regionName);
+  const std::shared_ptr<const RegionEntry> entry = findEntry(regionName);
   if (attr == nullptr) {
     // Missing/corrupt PAD entry: ModelGuided must degrade, not crash.
     decision = selector_.decide(
@@ -221,29 +276,32 @@ Decision TargetRuntime::guardedDecision(const std::string& regionName,
         bindings, explain);
     path = "degenerate";
     pathCounter = instruments_.decisionsDegenerate;
-  } else if (const auto planIt = plans_.find(regionName);
-             planIt == plans_.end()) {
+  } else if (entry == nullptr || entry->plan == nullptr) {
     decision = selector_.decide(RegionHandle(*attr), bindings, explain);
   } else {
-    PlanEntry& entry = planIt->second;
+    const CompiledRegionPlan& plan = *entry->plan;
+    DecisionCache& cache = *entry->cache;
     record.decisionCompiled = true;
     path = "compiled";
     pathCounter = instruments_.decisionsCompiled;
     // The cache key (bound slot values) determines the decision only when
     // the fast path owns every symbol the models read; otherwise skip
     // memoization.
-    if (!decisionCacheEnabled_ || entry.cache.capacity() == 0 ||
-        !entry.plan.fastPathUsable()) {
-      decision = selector_.decide(RegionHandle(entry.plan), bindings, explain);
+    if (!decisionCacheEnabled_ || cache.capacity() == 0 ||
+        !plan.fastPathUsable()) {
+      decision = selector_.decide(RegionHandle(plan), bindings, explain);
     } else {
       const auto start = std::chrono::steady_clock::now();
       std::array<std::int64_t, CompiledRegionPlan::kMaxSlots> slotStorage{};
       const std::span<std::int64_t> slotValues(slotStorage.data(),
-                                               entry.plan.slotCount());
+                                               plan.slotCount());
       std::uint64_t boundMask = 0;
-      entry.plan.bindSlots(bindings, slotValues, boundMask);
-      if (const Decision* cached = entry.cache.find(boundMask, slotValues)) {
-        decision = *cached;
+      plan.bindSlots(bindings, slotValues, boundMask);
+      const std::uint64_t epoch =
+          state_->cacheEpoch.load(std::memory_order_acquire);
+      state_->cacheLookups.fetch_add(1, std::memory_order_relaxed);
+      if (cache.find(boundMask, slotValues, decision, epoch)) {
+        state_->cacheHits.fetch_add(1, std::memory_order_relaxed);
         decision.overheadSeconds =
             std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                           start)
@@ -252,8 +310,8 @@ Decision TargetRuntime::guardedDecision(const std::string& regionName,
         path = "cache_hit";
         pathCounter = instruments_.decisionsCacheHit;
       } else {
-        decision = selector_.decide(RegionHandle(entry.plan), bindings, explain);
-        entry.cache.insert(boundMask, slotValues, decision);
+        decision = selector_.decide(RegionHandle(plan), bindings, explain);
+        cache.insert(boundMask, slotValues, decision, epoch);
       }
     }
   }
@@ -271,16 +329,16 @@ Decision TargetRuntime::guardedDecision(const std::string& regionName,
                        {"valid", decision.valid ? 1.0 : 0.0});
     pathCounter->add();
     instruments_.decisionOverhead->record(decision.overheadSeconds);
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
-    for (const auto& [name, entry] : plans_) {
-      const DecisionCache::Stats stats = entry.cache.stats();
-      hits += stats.hits;
-      misses += stats.misses;
-    }
-    if (hits + misses > 0) {
+    // Runtime-wide hit ratio from the launch-path atomics: the per-cache
+    // counters stay exact for decisionCacheStats(), but summing them here
+    // would walk every shard per decide.
+    const std::uint64_t lookups =
+        state_->cacheLookups.load(std::memory_order_relaxed);
+    if (lookups > 0) {
+      const std::uint64_t hits =
+          state_->cacheHits.load(std::memory_order_relaxed);
       instruments_.cacheHitRatio->set(static_cast<double>(hits) /
-                                      static_cast<double>(hits + misses));
+                                      static_cast<double>(lookups));
     }
   }
   return decision;
@@ -315,24 +373,34 @@ void TargetRuntime::recordExecution(LaunchRecord& record,
   }
   // Feed the circuit breaker: a fatal GPU outcome advances the streak, a
   // GPU success clears it; transient exhaustion leaves it unchanged (the
-  // device neither failed hard nor proved healthy).
+  // device neither failed hard nor proved healthy). recordGpuFatal()
+  // returns true for exactly one of any set of racing callers, so the
+  // quarantine-open event fires once per opening.
   if (execution.gpuFatal) {
-    const int openedBefore = health_.quarantinesOpened();
-    health_.recordGpuFatal();
-    if (trace_ != nullptr && health_.quarantinesOpened() > openedBefore) {
+    const bool opened = state_->health.recordGpuFatal();
+    if (trace_ != nullptr && opened) {
       instruments_.quarantinesOpened->add();
-      trace_->recordInstant(
-          "quarantine.open", "health", record.regionName, trace_->nowNs(),
-          {"launches", static_cast<double>(health_.quarantineRemaining())});
+      trace_->recordInstant("quarantine.open", "health", record.regionName,
+                            trace_->nowNs(),
+                            {"launches", static_cast<double>(
+                                             state_->health.quarantineRemaining())});
     }
   } else if (execution.succeeded && execution.executed == Device::Gpu) {
-    health_.recordGpuSuccess();
+    state_->health.recordGpuSuccess();
   }
 }
 
 void TargetRuntime::finalizeLaunch(LaunchRecord& record, std::int64_t startNs) {
-  log_.push_back(record);
+  // Fold the launch's simulated cost (execution + accounted backoff) into
+  // the admission ledger before logging so the record carries the verdict.
+  record.deadlineMissed =
+      state_->admission.charge(record.actualSeconds + record.backoffSeconds);
+  {
+    std::lock_guard<std::mutex> lock(state_->logMutex);
+    state_->log.push_back(record);
+  }
   if (trace_ == nullptr) return;
+  if (record.shed) instruments_.launchesShed->add();
   if (record.fallbackReason != FallbackReason::None) {
     instruments_.fallbacks->add();
     trace_->recordInstant("fallback", fallbackTag(record.fallbackReason),
@@ -376,23 +444,64 @@ void TargetRuntime::finalizeLaunch(LaunchRecord& record, std::int64_t startNs) {
   trace_->notifyLaunch();
 }
 
+void TargetRuntime::drain() { state_->admission.drain(); }
+
+void TargetRuntime::resume() { state_->admission.resume(); }
+
+void TargetRuntime::quiesce() { state_->admission.quiesce(); }
+
+std::vector<LaunchRecord> TargetRuntime::logSnapshot() const {
+  std::lock_guard<std::mutex> lock(state_->logMutex);
+  return state_->log;
+}
+
+void TargetRuntime::clearLog() {
+  std::lock_guard<std::mutex> lock(state_->logMutex);
+  state_->log.clear();
+}
+
 LaunchRecord TargetRuntime::launch(const std::string& regionName,
                                    const symbolic::Bindings& bindings,
                                    ir::ArrayStore& store, Policy policy) {
+  const AdmissionOutcome admission = state_->admission.enter();
+  require(admission != AdmissionOutcome::Refused,
+          "TargetRuntime::launch: runtime is draining (refusing new work)");
+  // Admitted and Shed both hold an in-flight slot until this launch is done.
+  const AdmissionSlot slot(state_->admission);
+
   require(hasRegion(regionName),
           "TargetRuntime::launch: unregistered region " + regionName);
   const std::int64_t launchStartNs = trace_ != nullptr ? trace_->nowNs() : 0;
+  const bool shed = admission == AdmissionOutcome::Shed;
   LaunchRecord record;
   record.regionName = regionName;
   record.policy = policy;
-  record.decision = guardedDecision(regionName, bindings, record);
-  record.gpuQuarantined = health_.quarantined();
+  if (shed) {
+    // Over the in-flight budget: skip model evaluation entirely and run on
+    // the always-available safe default — shed work degrades, it does not
+    // queue.
+    record.shed = true;
+    record.decision.device = selector_.config().safeDefaultDevice;
+    record.decision.valid = false;
+    record.decision.diagnostic = "shed: admission in-flight budget exceeded";
+    record.fallbackReason = FallbackReason::Shed;
+    record.fallbackDetail = record.decision.diagnostic;
+    if (trace_ != nullptr) {
+      trace_->recordInstant(
+          "admission.shed", "admission", regionName, trace_->nowNs(),
+          {"in_flight",
+           static_cast<double>(state_->admission.inFlight())});
+    }
+  } else {
+    record.decision = guardedDecision(regionName, bindings, record);
+  }
+  record.gpuQuarantined = state_->health.quarantined();
 
   const auto measureOn = [&](Device device) {
     return measureTraced(regionName, bindings, store, device);
   };
 
-  if (policy == Policy::Oracle) {
+  if (!shed && policy == Policy::Oracle) {
     record.preferred = Device::Gpu;
     const GuardedExecution cpuExec =
         guard_.execute(Device::Cpu, measureOn, /*allowFallback=*/false);
@@ -401,7 +510,7 @@ LaunchRecord TargetRuntime::launch(const std::string& regionName,
       record.actualCpuSeconds = cpuExec.seconds;
       record.cpuMeasured = true;
     }
-    if (health_.admitGpu()) {
+    if (state_->health.admitGpu()) {
       const GuardedExecution gpuExec =
           guard_.execute(Device::Gpu, measureOn, /*allowFallback=*/false);
       recordExecution(record, gpuExec);
@@ -436,34 +545,43 @@ LaunchRecord TargetRuntime::launch(const std::string& regionName,
     return record;
   }
 
-  Device preferred = Device::Cpu;
-  switch (policy) {
-    case Policy::AlwaysCpu:
-      preferred = Device::Cpu;
-      break;
-    case Policy::AlwaysGpu:
-      preferred = Device::Gpu;
-      break;
-    case Policy::ModelGuided:
-      preferred = record.decision.device;
-      if (!record.decision.valid) {
-        record.fallbackReason = FallbackReason::InvalidDecision;
-        record.fallbackDetail = record.decision.diagnostic;
-      }
-      break;
-    case Policy::Oracle:
-      break;  // handled above
+  // Shed launches (any policy, including Oracle) run once on the safe
+  // default device chosen above.
+  Device preferred = record.decision.device;
+  if (!shed) {
+    switch (policy) {
+      case Policy::AlwaysCpu:
+        preferred = Device::Cpu;
+        break;
+      case Policy::AlwaysGpu:
+        preferred = Device::Gpu;
+        break;
+      case Policy::ModelGuided:
+        preferred = record.decision.device;
+        if (!record.decision.valid) {
+          record.fallbackReason = FallbackReason::InvalidDecision;
+          record.fallbackDetail = record.decision.diagnostic;
+        }
+        break;
+      case Policy::Oracle:
+        break;  // handled above
+    }
   }
   record.preferred = preferred;
 
-  if (preferred == Device::Gpu && !health_.admitGpu()) {
+  if (preferred == Device::Gpu && !state_->health.admitGpu()) {
     preferred = Device::Cpu;
-    record.fallbackReason = FallbackReason::Quarantined;
-    record.fallbackDetail = "GPU quarantined by circuit breaker";
+    // A shed launch keeps Shed as its fallback reason even when the breaker
+    // also redirects it; the shed column already explains the degradation.
+    if (!record.shed) {
+      record.fallbackReason = FallbackReason::Quarantined;
+      record.fallbackDetail = "GPU quarantined by circuit breaker";
+    }
     if (trace_ != nullptr) {
       trace_->recordInstant(
           "quarantine.block", "health", regionName, trace_->nowNs(),
-          {"remaining", static_cast<double>(health_.quarantineRemaining())});
+          {"remaining",
+           static_cast<double>(state_->health.quarantineRemaining())});
     }
   }
 
@@ -513,7 +631,8 @@ std::string renderLogCsv(std::span<const LaunchRecord> log) {
   constexpr std::string_view kHeader =
       "region,policy,chosen,predicted_cpu_s,predicted_gpu_s,actual_s,"
       "actual_cpu_s,actual_gpu_s,decision_overhead_s,decision_valid,"
-      "attempts,fallback,backoff_s,quarantined,decision_path,decision_cache";
+      "attempts,fallback,backoff_s,quarantined,decision_path,decision_cache,"
+      "shed";
   std::string out;
   out.reserve(kHeader.size() + 1 + log.size() * 192);
   out.append(kHeader);
@@ -552,6 +671,8 @@ std::string renderLogCsv(std::span<const LaunchRecord> log) {
     out.append(record.decisionCompiled ? "compiled" : "interpreted");
     out.push_back(',');
     out.append(record.decisionCacheHit ? "hit" : "miss");
+    out.push_back(',');
+    out.push_back(record.shed ? '1' : '0');
     out.push_back('\n');
   }
   return out;

@@ -8,8 +8,24 @@
 //   ModelGuided   the paper's contribution: PAD + analytical models decide,
 //   Oracle        measures both and picks the true winner (upper bound)
 // — executes accordingly, and logs the launch for the evaluation benches.
+//
+// Concurrency: the runtime is safe for concurrent registerRegion / decide /
+// launch callers (the ROADMAP's `oseld` service needs many). The registry
+// is sharded by region-name hash, and each shard publishes an immutable
+// RCU-style snapshot (std::shared_ptr atomically swapped on registration),
+// so the decide hot path never takes a registry lock and registration never
+// stalls in-flight decides — readers finish on the snapshot they loaded.
+// Per-region decision caches are internally locked (the per-region caches
+// are the lock stripes), launch-log appends are mutex-guarded, and the
+// health tracker / admission counters are atomic. See the "Thread-safety
+// contract" section of docs/ROBUSTNESS.md for what callers may rely on.
 #pragma once
 
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -20,6 +36,7 @@
 #include "ir/region.h"
 #include "obs/trace.h"
 #include "pad/attribute_db.h"
+#include "runtime/admission.h"
 #include "runtime/compiled_plan.h"
 #include "runtime/decision_cache.h"
 #include "runtime/launch_guard.h"
@@ -71,6 +88,15 @@ struct LaunchRecord {
   bool decisionCompiled = false;
   /// True when the decision was served from the memoization cache.
   bool decisionCacheHit = false;
+
+  // --- Admission telemetry (runtime/admission.h) --------------------------
+  /// True when admission control shed this launch over the in-flight
+  /// budget: model evaluation was skipped and the decision degraded to
+  /// SelectorConfig::safeDefaultDevice.
+  bool shed = false;
+  /// True when the launch's simulated cost exceeded the per-launch
+  /// deadline in AdmissionPolicy (accounted, not enforced).
+  bool deadlineMissed = false;
 };
 
 /// Everything configurable about a TargetRuntime, in one aggregate: the
@@ -78,7 +104,7 @@ struct LaunchRecord {
 /// fault-tolerance policies, decision memoization, and the optional
 /// observability session. Field order is chosen so pre-existing designated
 /// initializers (.retry, .health, .decisionCacheEnabled, ...) keep
-/// compiling unchanged.
+/// compiling unchanged — new knobs append at the end.
 struct RuntimeOptions {
   /// Machine configuration the selector evaluates against.
   SelectorConfig selector;
@@ -101,10 +127,15 @@ struct RuntimeOptions {
   /// all observability work: every hook is one pointer test, no
   /// allocations (pinned by test and bench).
   obs::TraceSession* trace = nullptr;
+  /// Overload protection (in-flight budget, deadline ledger, drain). The
+  /// default policy admits everything.
+  AdmissionPolicy admission;
+  /// Registry shards for concurrent registration/decide; clamped to >= 1.
+  std::size_t registryShards = 8;
 };
 
 /// The runtime: device simulators + PAD + selector + launch guard + health
-/// tracker + launch log.
+/// tracker + admission controller + launch log.
 class TargetRuntime {
  public:
   explicit TargetRuntime(pad::AttributeDatabase database,
@@ -123,23 +154,37 @@ class TargetRuntime {
   /// have a PAD entry for ModelGuided launches). When a PAD entry exists,
   /// it is lowered into a CompiledRegionPlan here — the compile-time half
   /// of the launch-time "solve an equation" split — and any previous
-  /// plan/decision cache for the name is invalidated.
+  /// plan/decision cache for the name is invalidated. Safe to call
+  /// concurrently with decide/launch: the plan compiles outside the shard
+  /// lock and publishes as a fresh snapshot; in-flight decides finish on
+  /// the snapshot they loaded.
   void registerRegion(ir::TargetRegion region);
 
   [[nodiscard]] bool hasRegion(const std::string& name) const;
 
   /// The compiled decision plan for a registered region; nullptr when the
-  /// region has no PAD entry (or compiled plans are disabled).
+  /// region has no PAD entry (or compiled plans are disabled). The pointer
+  /// stays valid until the region is re-registered; callers that race
+  /// re-registration must not cache it across launches.
   [[nodiscard]] const CompiledRegionPlan* plan(const std::string& name) const;
 
   /// Hit/miss/eviction counters of a region's decision cache (zeros when
-  /// the region has no plan).
+  /// the region has no plan). Coherent mid-traffic: counters are atomic
+  /// and hits + misses == lookups once callers quiesce.
   [[nodiscard]] DecisionCache::Stats decisionCacheStats(
       const std::string& name) const;
 
   /// Drops every region's memoized decisions (e.g. after reconfiguring the
-  /// models out-of-band). Counters survive.
+  /// models out-of-band). One atomic epoch bump: caches lazily clear the
+  /// first time a decide observes the new epoch. Counters survive.
   void invalidateDecisionCaches();
+
+  /// Model evaluation only — the decide hot path without execution. Routes
+  /// through the compiled plan and memoization cache exactly as launch()
+  /// does; lock-free on the registry (one shard-snapshot load). This is
+  /// the entry point a selector service (`oseld`) serves per request.
+  [[nodiscard]] Decision decide(const std::string& regionName,
+                                const symbolic::Bindings& bindings);
 
   /// Measures one execution of a region on a specific device (ground-truth
   /// simulation against `store`).
@@ -147,17 +192,40 @@ class TargetRuntime {
                                const symbolic::Bindings& bindings,
                                ir::ArrayStore& store, Device device) const;
 
-  /// Launches under `policy`: selects (if applicable), executes on the
-  /// chosen device through the launch guard (retry/backoff, CPU fallback,
-  /// circuit breaker), logs, and returns the record. Device failures never
-  /// escape while the CPU fallback path can still run; only a launch whose
-  /// every path failed rethrows (as support::DeviceError), after logging.
+  /// Launches under `policy`: admission control first (over the in-flight
+  /// budget the launch is shed to the safe default device; a draining
+  /// runtime refuses with support::PreconditionError), then selects (if
+  /// applicable), executes on the chosen device through the launch guard
+  /// (retry/backoff, CPU fallback, circuit breaker), logs, and returns the
+  /// record. Device failures never escape while the CPU fallback path can
+  /// still run; only a launch whose every path failed rethrows (as
+  /// support::DeviceError), after logging.
   LaunchRecord launch(const std::string& regionName,
                       const symbolic::Bindings& bindings, ir::ArrayStore& store,
                       Policy policy);
 
-  [[nodiscard]] const std::vector<LaunchRecord>& log() const { return log_; }
-  void clearLog() { log_.clear(); }
+  /// Stop admitting launches (they throw support::PreconditionError);
+  /// in-flight launches finish. resume() re-opens intake.
+  void drain();
+  void resume();
+  /// Blocks until every in-flight launch finished. drain() + quiesce() is
+  /// the full shutdown barrier.
+  void quiesce();
+  /// Admission counters/state (in-flight, admitted, shed, refused,
+  /// deadline misses, simulated-seconds ledger).
+  [[nodiscard]] const AdmissionController& admission() const {
+    return state_->admission;
+  }
+
+  /// The launch log. The reference is only stable while no launch is in
+  /// flight — quiesce (or single-thread) before iterating; use
+  /// logSnapshot() under concurrency.
+  [[nodiscard]] const std::vector<LaunchRecord>& log() const {
+    return state_->log;
+  }
+  /// Copy of the launch log, coherent under concurrent launches.
+  [[nodiscard]] std::vector<LaunchRecord> logSnapshot() const;
+  void clearLog();
 
   [[nodiscard]] const pad::AttributeDatabase& database() const {
     return database_;
@@ -165,15 +233,52 @@ class TargetRuntime {
   [[nodiscard]] const OffloadSelector& selector() const { return selector_; }
   [[nodiscard]] const LaunchGuard& guard() const { return guard_; }
   /// GPU circuit-breaker state (quarantine countdown, fatal streak).
-  [[nodiscard]] const DeviceHealthTracker& gpuHealth() const { return health_; }
+  [[nodiscard]] const DeviceHealthTracker& gpuHealth() const {
+    return state_->health;
+  }
   /// The attached observability session; nullptr when detached.
   [[nodiscard]] obs::TraceSession* traceSession() const { return trace_; }
+  [[nodiscard]] std::size_t shardCount() const { return shardCount_; }
 
  private:
-  /// One region's compiled decision state.
-  struct PlanEntry {
-    CompiledRegionPlan plan;
-    DecisionCache cache;
+  /// One registered region's immutable state: the executable IR, the
+  /// compiled decision plan (null on the interpreted path), and the
+  /// region's decision cache (internally locked; shared so in-flight
+  /// decides keep it alive across re-registration).
+  struct RegionEntry {
+    ir::TargetRegion region;
+    std::shared_ptr<const CompiledRegionPlan> plan;
+    std::shared_ptr<DecisionCache> cache;
+  };
+
+  /// Immutable name → entry map one shard publishes. Replaced wholesale
+  /// (copy-on-write) under the shard's write mutex; readers load the
+  /// shared_ptr atomically and never block.
+  using RegistrySnapshot =
+      std::unordered_map<std::string, std::shared_ptr<const RegionEntry>>;
+
+  struct Shard {
+    /// Serializes writers (registration); readers never take it.
+    std::mutex writeMutex;
+    std::atomic<std::shared_ptr<const RegistrySnapshot>> snapshot;
+  };
+
+  /// Launch-to-launch mutable state, heap-held so TargetRuntime stays
+  /// movable (mutexes/atomics aren't, and tests return runtimes by value).
+  struct MutableState {
+    MutableState(HealthPolicy healthPolicy, AdmissionPolicy admissionPolicy)
+        : health(healthPolicy), admission(admissionPolicy) {}
+    DeviceHealthTracker health;
+    AdmissionController admission;
+    /// Bumped by invalidateDecisionCaches(); caches clear lazily on the
+    /// next decide that observes the new value.
+    std::atomic<std::uint64_t> cacheEpoch{0};
+    /// Runtime-wide cache traffic for the hit-ratio gauge (summing the
+    /// per-cache counters on the hot path would race registration).
+    std::atomic<std::uint64_t> cacheLookups{0};
+    std::atomic<std::uint64_t> cacheHits{0};
+    mutable std::mutex logMutex;
+    std::vector<LaunchRecord> log;
   };
 
   /// Pointers into the trace session's metrics registry, resolved once at
@@ -189,12 +294,22 @@ class TargetRuntime {
     obs::Counter* retries = nullptr;
     obs::Counter* fallbacks = nullptr;
     obs::Counter* quarantinesOpened = nullptr;
+    obs::Counter* launchesShed = nullptr;
     obs::Gauge* cacheHitRatio = nullptr;
     obs::Histogram* decisionOverhead = nullptr;
     obs::Histogram* predictionError = nullptr;
   };
 
   void initInstruments();
+
+  [[nodiscard]] std::size_t shardIndex(const std::string& name) const {
+    return std::hash<std::string>{}(name) % shardCount_;
+  }
+  /// Lock-free registry read: one atomic snapshot load + map find. The
+  /// returned entry stays alive (shared ownership) even if the region is
+  /// re-registered mid-decide.
+  [[nodiscard]] std::shared_ptr<const RegionEntry> findEntry(
+      const std::string& name) const;
 
   /// Selector evaluation that never throws: a region missing from the PAD
   /// degrades to an invalid decision on the safe default device. Routes
@@ -212,9 +327,9 @@ class TargetRuntime {
   /// Folds a guarded execution into `record` and the health tracker;
   /// traces retries and circuit-breaker transitions.
   void recordExecution(LaunchRecord& record, const GuardedExecution& execution);
-  /// Appends `record` to the log; with a session attached, emits the launch
-  /// span, fallback instants, per-launch counters, and feeds the
-  /// predicted-vs-actual tracker.
+  /// Charges the admission ledger, appends `record` to the log; with a
+  /// session attached, emits the launch span, fallback instants, per-launch
+  /// counters, and feeds the predicted-vs-actual tracker.
   void finalizeLaunch(LaunchRecord& record, std::int64_t startNs);
 
   pad::AttributeDatabase database_;
@@ -222,25 +337,24 @@ class TargetRuntime {
   cpusim::CpuSimulator cpuSim_;
   gpusim::GpuSimulator gpuSim_;
   LaunchGuard guard_;
-  DeviceHealthTracker health_;
   bool decisionCacheEnabled_ = true;
   std::size_t decisionCacheCapacity_ = 64;
   obs::TraceSession* trace_ = nullptr;
   Instruments instruments_;
-  std::unordered_map<std::string, ir::TargetRegion> regions_;
-  std::unordered_map<std::string, PlanEntry> plans_;
-  std::vector<LaunchRecord> log_;
+  std::size_t shardCount_ = 1;
+  std::unique_ptr<Shard[]> shards_;
+  std::unique_ptr<MutableState> state_;
 };
 
 /// Renders launch records as CSV (header + one row per launch) — the
 /// OMPT-flavoured observability hook §V.A gestures at: region, policy,
 /// chosen device, predicted CPU/GPU seconds, measured seconds, decision
 /// overhead, the fault-tolerance columns (attempts, fallback reason,
-/// accounted backoff, quarantine state), and the decision-path columns
-/// (compiled vs interpreted, cache hit). Region names are RFC-4180 quoted
-/// (commas/quotes/newlines cannot shear a row). Allocation-lean: reserves
-/// the output string once and streams rows through a stack buffer instead
-/// of repeated operator+ concatenation.
+/// accounted backoff, quarantine state), the decision-path columns
+/// (compiled vs interpreted, cache hit), and the admission `shed` flag.
+/// Region names are RFC-4180 quoted (commas/quotes/newlines cannot shear a
+/// row). Allocation-lean: reserves the output string once and streams rows
+/// through a stack buffer instead of repeated operator+ concatenation.
 [[nodiscard]] std::string renderLogCsv(std::span<const LaunchRecord> log);
 
 }  // namespace osel::runtime

@@ -1,0 +1,334 @@
+// Concurrency stress coverage for the sharded runtime (run under the tsan
+// preset: `ctest --preset tsan`): registration storms, decide storms, mixed
+// register+decide traffic, fault injection under concurrent launches, and
+// the admission controller's shed/drain/quiesce semantics. Thread counts
+// stay modest — the point is interleaving coverage under TSan, not load.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "compiler/compiler.h"
+#include "ir/builder.h"
+#include "ir/interpreter.h"
+#include "runtime/admission.h"
+#include "runtime/target_runtime.h"
+#include "support/check.h"
+#include "support/faultinject.h"
+
+namespace osel::runtime {
+namespace {
+
+using namespace osel::ir;
+using support::FaultKind;
+using support::faultInjector;
+namespace faultpoints = support::faultpoints;
+
+constexpr int kThreads = 4;
+
+TargetRegion makeKernel(const std::string& name) {
+  return RegionBuilder(name)
+      .param("n")
+      .array("x", ScalarType::F32, {sym("n"), sym("n")}, Transfer::To)
+      .array("y", ScalarType::F32, {sym("n"), sym("n")}, Transfer::From)
+      .parallelFor("i", sym("n"))
+      .parallelFor("j", sym("n"))
+      .statement(Stmt::store("y", {sym("i"), sym("j")},
+                             read("x", {sym("i"), sym("j")}) * num(3.0)))
+      .build();
+}
+
+/// Compiles `names` into one PAD and registers every kernel.
+TargetRuntime makeRuntime(const std::vector<std::string>& names,
+                          RuntimeOptions options = {}) {
+  std::vector<TargetRegion> regions;
+  regions.reserve(names.size());
+  for (const std::string& name : names) regions.push_back(makeKernel(name));
+  const std::array<mca::MachineModel, 1> models{mca::MachineModel::power9()};
+  options.selector.cpuThreads = 160;
+  options.cpuSim = cpusim::CpuSimParams::power9();
+  options.gpuSim = gpusim::GpuSimParams::teslaV100();
+  TargetRuntime runtime(compiler::compileAll(regions, models), options);
+  for (TargetRegion& region : regions) runtime.registerRegion(std::move(region));
+  return runtime;
+}
+
+void runThreads(int count, const std::function<void(int)>& body) {
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(count));
+  for (int t = 0; t < count; ++t) workers.emplace_back(body, t);
+  for (std::thread& worker : workers) worker.join();
+}
+
+// --- Decide storm -----------------------------------------------------------
+
+TEST(RuntimeConcurrency, DecideStormOverSharedRegion) {
+  TargetRuntime runtime = makeRuntime({"storm"});
+  constexpr int kIterations = 300;
+  std::atomic<int> invalid{0};
+  runThreads(kThreads, [&](int t) {
+    for (int i = 0; i < kIterations; ++i) {
+      // A few distinct sizes so the storm mixes cache hits and misses.
+      const symbolic::Bindings bindings{{"n", 64 + 32 * ((t + i) % 3)}};
+      const Decision decision = runtime.decide("storm", bindings);
+      if (!decision.valid) invalid.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(invalid.load(), 0);
+  const DecisionCache::Stats stats = runtime.decisionCacheStats("storm");
+  EXPECT_EQ(stats.lookups,
+            static_cast<std::uint64_t>(kThreads) * kIterations);
+  EXPECT_EQ(stats.hits + stats.misses, stats.lookups);
+  // At most one miss per distinct key per racing thread; virtually all
+  // traffic hits.
+  EXPECT_GT(stats.hits, stats.lookups / 2);
+}
+
+TEST(RuntimeConcurrency, DecideStormAcrossShards) {
+  std::vector<std::string> names;
+  for (int i = 0; i < 8; ++i) names.push_back("region" + std::to_string(i));
+  TargetRuntime runtime = makeRuntime(names);
+  constexpr int kIterations = 200;
+  runThreads(kThreads, [&](int t) {
+    const symbolic::Bindings bindings{{"n", 96}};
+    for (int i = 0; i < kIterations; ++i) {
+      const Decision decision =
+          runtime.decide(names[(t + i) % names.size()], bindings);
+      ASSERT_TRUE(decision.valid);
+    }
+  });
+}
+
+// --- Registration storm -----------------------------------------------------
+
+TEST(RuntimeConcurrency, RegistrationStorm) {
+  // Pre-compile a PAD holding every name, then register all regions from
+  // racing threads (distinct names and same-name re-registrations).
+  std::vector<std::string> names;
+  for (int i = 0; i < 2 * kThreads; ++i) {
+    names.push_back("reg" + std::to_string(i));
+  }
+  std::vector<TargetRegion> regions;
+  for (const std::string& name : names) regions.push_back(makeKernel(name));
+  const std::array<mca::MachineModel, 1> models{mca::MachineModel::power9()};
+  RuntimeOptions options;
+  options.selector.cpuThreads = 160;
+  options.cpuSim = cpusim::CpuSimParams::power9();
+  options.gpuSim = gpusim::GpuSimParams::teslaV100();
+  // PAD holds every name up front; no region is registered yet.
+  TargetRuntime runtime(compiler::compileAll(regions, models), options);
+  runThreads(kThreads, [&](int t) {
+    for (int round = 0; round < 20; ++round) {
+      // Two names per thread plus one shared name everyone re-registers.
+      runtime.registerRegion(makeKernel(names[2 * t]));
+      runtime.registerRegion(makeKernel(names[2 * t + 1]));
+      runtime.registerRegion(makeKernel(names[0]));
+    }
+  });
+  for (const std::string& name : names) {
+    EXPECT_TRUE(runtime.hasRegion(name)) << name;
+    EXPECT_NE(runtime.plan(name), nullptr) << name;
+  }
+}
+
+// --- Mixed register + decide ------------------------------------------------
+
+TEST(RuntimeConcurrency, MixedRegisterAndDecideStorm) {
+  TargetRuntime runtime = makeRuntime({"mixed"});
+  const symbolic::Bindings bindings{{"n", 96}};
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    // Continuous re-registration: each publish swaps a fresh snapshot,
+    // plan, and cache under the readers.
+    for (int i = 0; i < 60; ++i) runtime.registerRegion(makeKernel("mixed"));
+    stop.store(true, std::memory_order_release);
+  });
+  runThreads(kThreads, [&](int) {
+    while (!stop.load(std::memory_order_acquire)) {
+      const Decision decision = runtime.decide("mixed", bindings);
+      ASSERT_TRUE(decision.valid);
+    }
+    // A few more decides after the writer quits: the final snapshot serves.
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(runtime.decide("mixed", bindings).valid);
+    }
+  });
+  writer.join();
+  EXPECT_NE(runtime.plan("mixed"), nullptr);
+}
+
+TEST(RuntimeConcurrency, InvalidateRacesDecides) {
+  TargetRuntime runtime = makeRuntime({"epoch"});
+  const symbolic::Bindings bindings{{"n", 96}};
+  std::atomic<bool> stop{false};
+  std::thread invalidator([&] {
+    for (int i = 0; i < 200; ++i) runtime.invalidateDecisionCaches();
+    stop.store(true, std::memory_order_release);
+  });
+  runThreads(kThreads, [&](int) {
+    while (!stop.load(std::memory_order_acquire)) {
+      ASSERT_TRUE(runtime.decide("epoch", bindings).valid);
+    }
+  });
+  invalidator.join();
+  const DecisionCache::Stats stats = runtime.decisionCacheStats("epoch");
+  EXPECT_EQ(stats.hits + stats.misses, stats.lookups);
+}
+
+// --- Fault injection under concurrency --------------------------------------
+
+class ConcurrentFaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { faultInjector().disarmAll(); }
+};
+
+TEST_F(ConcurrentFaultTest, BreakerUnderConcurrentFatalLaunches) {
+  RuntimeOptions options;
+  options.health.quarantineThreshold = 3;
+  options.health.quarantineLaunches = 4;
+  options.retry.maxAttempts = 1;
+  TargetRuntime runtime = makeRuntime({"faulty"}, options);
+  faultInjector().arm(faultpoints::kGpuLaunch,
+                      {.kind = FaultKind::DeviceLost, .probability = 1.0});
+  const symbolic::Bindings bindings{{"n", 64}};
+  const TargetRegion kernel = makeKernel("faulty");
+  constexpr int kLaunchesPerThread = 25;
+  runThreads(kThreads, [&](int) {
+    // Per-thread store: the simulators write into the arrays.
+    ArrayStore store = allocateArrays(kernel, bindings);
+    for (int i = 0; i < kLaunchesPerThread; ++i) {
+      const LaunchRecord record =
+          runtime.launch("faulty", bindings, store, Policy::AlwaysGpu);
+      // Every GPU attempt faults fatally; the CPU fallback always lands.
+      ASSERT_EQ(record.chosen, Device::Cpu);
+      ASSERT_NE(record.fallbackReason, FallbackReason::None);
+    }
+  });
+  const DeviceHealthTracker& health = runtime.gpuHealth();
+  EXPECT_GT(health.quarantinesOpened(), 0);
+  EXPECT_GT(health.totalFatals(), 0);
+  // Fatals recorded = launches that actually probed the GPU (the rest were
+  // blocked by the open breaker); together they cover every launch.
+  const std::vector<LaunchRecord> log = runtime.logSnapshot();
+  ASSERT_EQ(log.size(),
+            static_cast<std::size_t>(kThreads) * kLaunchesPerThread);
+  int quarantineBlocked = 0;
+  for (const LaunchRecord& record : log) {
+    if (record.fallbackReason == FallbackReason::Quarantined) {
+      ++quarantineBlocked;
+    }
+  }
+  EXPECT_EQ(quarantineBlocked + health.totalFatals(),
+            static_cast<int>(log.size()));
+}
+
+// --- Admission control ------------------------------------------------------
+
+TEST(AdmissionControllerTest, BudgetShedsDeterministically) {
+  AdmissionController controller({.maxInFlight = 1});
+  EXPECT_EQ(controller.enter(), AdmissionOutcome::Admitted);
+  EXPECT_EQ(controller.enter(), AdmissionOutcome::Shed);
+  EXPECT_EQ(controller.inFlight(), 2u);  // shed launches hold their slot
+  controller.exit();
+  controller.exit();
+  EXPECT_EQ(controller.enter(), AdmissionOutcome::Admitted);
+  controller.exit();
+  EXPECT_EQ(controller.admitted(), 2u);
+  EXPECT_EQ(controller.shed(), 1u);
+}
+
+TEST(AdmissionControllerTest, DrainRefusesResumeReadmits) {
+  AdmissionController controller;
+  controller.drain();
+  EXPECT_EQ(controller.enter(), AdmissionOutcome::Refused);
+  EXPECT_EQ(controller.inFlight(), 0u);  // refused never entered
+  controller.resume();
+  EXPECT_EQ(controller.enter(), AdmissionOutcome::Admitted);
+  controller.exit();
+  EXPECT_EQ(controller.refused(), 1u);
+}
+
+TEST(AdmissionControllerTest, DeadlineChargesLedger) {
+  AdmissionController controller({.launchDeadlineSeconds = 1e-3});
+  EXPECT_FALSE(controller.charge(5e-4));
+  EXPECT_TRUE(controller.charge(2e-3));
+  EXPECT_EQ(controller.deadlineMisses(), 1u);
+  EXPECT_DOUBLE_EQ(controller.chargedSeconds(), 2.5e-3);
+}
+
+TEST(AdmissionControllerTest, QuiesceWaitsForInFlight) {
+  AdmissionController controller;
+  ASSERT_EQ(controller.enter(), AdmissionOutcome::Admitted);
+  std::atomic<bool> quiesced{false};
+  std::thread waiter([&] {
+    controller.quiesce();
+    quiesced.store(true, std::memory_order_release);
+  });
+  // The waiter must block while one launch is in flight.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(quiesced.load(std::memory_order_acquire));
+  controller.exit();
+  waiter.join();
+  EXPECT_TRUE(quiesced.load(std::memory_order_acquire));
+}
+
+TEST(RuntimeConcurrency, ShedLaunchesDegradeToSafeDefault) {
+  RuntimeOptions options;
+  options.admission.maxInFlight = 1;
+  TargetRuntime runtime = makeRuntime({"shed"}, options);
+  const symbolic::Bindings bindings{{"n", 96}};
+  const TargetRegion kernel = makeKernel("shed");
+  runThreads(kThreads, [&](int) {
+    ArrayStore store = allocateArrays(kernel, bindings);
+    for (int i = 0; i < 30; ++i) {
+      (void)runtime.launch("shed", bindings, store, Policy::ModelGuided);
+    }
+  });
+  const std::vector<LaunchRecord> log = runtime.logSnapshot();
+  ASSERT_EQ(log.size(), static_cast<std::size_t>(kThreads) * 30);
+  // With a budget of one and four racing threads, overlap must have shed
+  // some launches; every shed record degraded to the safe default and says
+  // so in the fallback column.
+  std::size_t shedCount = 0;
+  for (const LaunchRecord& record : log) {
+    if (!record.shed) continue;
+    ++shedCount;
+    EXPECT_EQ(record.preferred, runtime.selector().config().safeDefaultDevice);
+    EXPECT_EQ(record.fallbackReason, FallbackReason::Shed);
+    EXPECT_FALSE(record.decision.valid);
+    EXPECT_FALSE(record.decisionCompiled);
+  }
+  EXPECT_GT(shedCount, 0u);
+  EXPECT_EQ(runtime.admission().shed(), shedCount);
+  // The CSV carries the shed flag (last column).
+  const std::string csv = renderLogCsv(log);
+  EXPECT_NE(csv.find(",shed\n"), std::string::npos);
+  EXPECT_NE(csv.find(",1\n"), std::string::npos);
+}
+
+TEST(RuntimeConcurrency, DrainQuiesceStopsIntake) {
+  TargetRuntime runtime = makeRuntime({"drainme"});
+  const symbolic::Bindings bindings{{"n", 64}};
+  const TargetRegion kernel = makeKernel("drainme");
+  ArrayStore store = allocateArrays(kernel, bindings);
+  (void)runtime.launch("drainme", bindings, store, Policy::ModelGuided);
+  runtime.drain();
+  EXPECT_THROW(
+      (void)runtime.launch("drainme", bindings, store, Policy::ModelGuided),
+      support::PreconditionError);
+  runtime.quiesce();  // nothing in flight: returns immediately
+  EXPECT_EQ(runtime.admission().refused(), 1u);
+  runtime.resume();
+  const LaunchRecord record =
+      runtime.launch("drainme", bindings, store, Policy::ModelGuided);
+  EXPECT_FALSE(record.shed);
+}
+
+}  // namespace
+}  // namespace osel::runtime

@@ -8,6 +8,8 @@
 
 #include <array>
 #include <cstdint>
+#include <thread>
+#include <vector>
 
 #include "compiler/compiler.h"
 #include "ir/builder.h"
@@ -33,60 +35,117 @@ std::array<std::int64_t, 2> key(std::int64_t a, std::int64_t b) {
 TEST(DecisionCache, HitAndMissCounters) {
   DecisionCache cache(4);
   const auto k = key(9600, 3);
-  EXPECT_EQ(cache.find(0b11, k), nullptr);
+  Decision out;
+  EXPECT_FALSE(cache.find(0b11, k, out));
   EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().lookups, 1u);
   cache.insert(0b11, k, makeDecision(1.0));
   EXPECT_EQ(cache.stats().insertions, 1u);
-  const Decision* hit = cache.find(0b11, k);
-  ASSERT_NE(hit, nullptr);
-  EXPECT_DOUBLE_EQ(hit->cpu.seconds, 1.0);
+  ASSERT_TRUE(cache.find(0b11, k, out));
+  EXPECT_DOUBLE_EQ(out.cpu.seconds, 1.0);
   EXPECT_EQ(cache.stats().hits, 1u);
   // Same values under a different bound mask is a different key.
-  EXPECT_EQ(cache.find(0b01, k), nullptr);
+  EXPECT_FALSE(cache.find(0b01, k, out));
   EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().lookups, 3u);
 }
 
 TEST(DecisionCache, LruEvictionAtCapacity) {
   DecisionCache cache(2);
+  Decision out;
   cache.insert(0b1, key(1, 0), makeDecision(1.0));
   cache.insert(0b1, key(2, 0), makeDecision(2.0));
-  ASSERT_NE(cache.find(0b1, key(1, 0)), nullptr);  // refresh entry 1
+  ASSERT_TRUE(cache.find(0b1, key(1, 0), out));  // refresh entry 1
   cache.insert(0b1, key(3, 0), makeDecision(3.0));  // evicts entry 2
   EXPECT_EQ(cache.stats().evictions, 1u);
   EXPECT_EQ(cache.size(), 2u);
-  EXPECT_EQ(cache.find(0b1, key(2, 0)), nullptr);
-  EXPECT_NE(cache.find(0b1, key(1, 0)), nullptr);
-  EXPECT_NE(cache.find(0b1, key(3, 0)), nullptr);
+  EXPECT_FALSE(cache.find(0b1, key(2, 0), out));
+  EXPECT_TRUE(cache.find(0b1, key(1, 0), out));
+  EXPECT_TRUE(cache.find(0b1, key(3, 0), out));
 }
 
 TEST(DecisionCache, InsertRefreshesExistingKey) {
   DecisionCache cache(2);
+  Decision out;
   cache.insert(0b1, key(7, 0), makeDecision(1.0));
   cache.insert(0b1, key(7, 0), makeDecision(5.0));
   EXPECT_EQ(cache.size(), 1u);
-  const Decision* hit = cache.find(0b1, key(7, 0));
-  ASSERT_NE(hit, nullptr);
-  EXPECT_DOUBLE_EQ(hit->cpu.seconds, 5.0);
+  ASSERT_TRUE(cache.find(0b1, key(7, 0), out));
+  EXPECT_DOUBLE_EQ(out.cpu.seconds, 5.0);
 }
 
 TEST(DecisionCache, CapacityZeroDisablesStorage) {
   DecisionCache cache(0);
+  Decision out;
   cache.insert(0b1, key(1, 0), makeDecision(1.0));
   EXPECT_EQ(cache.size(), 0u);
-  EXPECT_EQ(cache.find(0b1, key(1, 0)), nullptr);
+  EXPECT_FALSE(cache.find(0b1, key(1, 0), out));
   EXPECT_EQ(cache.stats().insertions, 0u);
 }
 
 TEST(DecisionCache, ClearDropsEntriesKeepsCounters) {
   DecisionCache cache(4);
+  Decision out;
   cache.insert(0b1, key(1, 0), makeDecision(1.0));
-  ASSERT_NE(cache.find(0b1, key(1, 0)), nullptr);
+  ASSERT_TRUE(cache.find(0b1, key(1, 0), out));
   cache.clear();
   EXPECT_EQ(cache.size(), 0u);
-  EXPECT_EQ(cache.find(0b1, key(1, 0)), nullptr);
+  EXPECT_FALSE(cache.find(0b1, key(1, 0), out));
   EXPECT_EQ(cache.stats().hits, 1u);
   EXPECT_EQ(cache.stats().misses, 1u);
   EXPECT_EQ(cache.stats().insertions, 1u);
+  EXPECT_EQ(cache.stats().lookups, 2u);
+}
+
+TEST(DecisionCache, EpochAdvanceDropsEntriesLazily) {
+  DecisionCache cache(4);
+  Decision out;
+  cache.insert(0b1, key(1, 0), makeDecision(1.0), /*epoch=*/0);
+  ASSERT_TRUE(cache.find(0b1, key(1, 0), out, /*epoch=*/0));
+  // The first access under a newer epoch clears the stale entries.
+  EXPECT_FALSE(cache.find(0b1, key(1, 0), out, /*epoch=*/1));
+  EXPECT_EQ(cache.size(), 0u);
+  // Counters survive the epoch bump.
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  // Inserting under the new epoch works normally.
+  cache.insert(0b1, key(1, 0), makeDecision(2.0), /*epoch=*/1);
+  ASSERT_TRUE(cache.find(0b1, key(1, 0), out, /*epoch=*/1));
+  EXPECT_DOUBLE_EQ(out.cpu.seconds, 2.0);
+}
+
+// Satellite regression: 8 threads hammer one cache; the atomic Stats must
+// never lose or tear a count — after joining, hits + misses == lookups and
+// the totals match the per-thread work exactly.
+TEST(DecisionCache, ConcurrentStatsAreCoherent) {
+  DecisionCache cache(8);
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 400;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, t] {
+      Decision out;
+      for (int i = 0; i < kIterations; ++i) {
+        // A handful of shared keys (cross-thread hits) plus per-thread keys
+        // (misses + insertions + evictions under the small capacity).
+        const auto shared = key(i % 4, 0);
+        if (!cache.find(0b1, shared, out)) {
+          cache.insert(0b1, shared, makeDecision(1.0));
+        }
+        const auto mine = key(100 + t, i % 16);
+        if (!cache.find(0b1, mine, out)) {
+          cache.insert(0b1, mine, makeDecision(2.0));
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  const DecisionCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.lookups,
+            static_cast<std::uint64_t>(kThreads) * kIterations * 2);
+  EXPECT_EQ(stats.hits + stats.misses, stats.lookups);
+  EXPECT_LE(cache.size(), 8u);
 }
 
 TEST(DecisionCache, HashDistinguishesMasksAndValues) {

@@ -28,6 +28,7 @@
 #include <algorithm>
 #include <array>
 #include <cstdio>
+#include <exception>
 #include <string>
 #include <vector>
 
@@ -405,7 +406,15 @@ int main(int argc, char** argv) {
   }
   Config config;
   if (const auto file = cl.stringOption("file"); file && !file->empty()) {
-    fileKernels() = frontend::parseKernelFile(*file);
+    // A missing/unreadable/malformed kernel file must be a clean non-zero
+    // exit with the reason, not an uncaught-exception terminate.
+    try {
+      fileKernels() = frontend::parseKernelFile(*file);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "oselctl: cannot load --file %s: %s\n",
+                   file->c_str(), error.what());
+      return 2;
+    }
   }
   config.n = cl.intOption("n", 0);
   config.threads = static_cast<int>(cl.intOption("threads", 160));
