@@ -1,0 +1,118 @@
+// Regression guard for the batched decide path, run under the perf-smoke
+// ctest label: TargetRuntime::decideBatch at batch=64 must beat a loop of
+// scalar decide() calls over identical steady-state traffic, by at least
+// --min-speedup (default 1.5x; the micro bench typically shows >= 3x, the
+// guard threshold leaves headroom for CI noise). Exits nonzero on
+// regression so `ctest -L perf-smoke` fails if someone pessimises the
+// batch path back to per-request cost.
+//
+// Options:
+//   --batch N         batch size for the batched pass (default 64)
+//   --items N         decisions per timed pass (default 4096)
+//   --repeats R       timed passes per path; the median is compared
+//                     (default 5)
+//   --min-speedup S   required looped/batched per-decision cost ratio
+//                     (default 1.5)
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "compiler/compiler.h"
+#include "polybench/polybench.h"
+#include "runtime/target_runtime.h"
+#include "support/cli.h"
+
+namespace {
+
+using namespace osel;
+using Clock = std::chrono::steady_clock;
+
+double medianOf(std::vector<double>& samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const support::CommandLine cl = support::CommandLine::parse(argc, argv);
+  const auto batch = static_cast<std::size_t>(cl.intOption("batch", 64));
+  const auto items = static_cast<std::size_t>(cl.intOption("items", 4096));
+  const auto repeats = static_cast<std::size_t>(cl.intOption("repeats", 5));
+  const double minSpeedup = cl.doubleOption("min-speedup", 1.5);
+  if (batch < 1 || items < batch || repeats < 1 || minSpeedup <= 0.0) {
+    std::fprintf(stderr,
+                 "guard_batch_decide: need --batch >= 1, --items >= --batch, "
+                 "--repeats >= 1, --min-speedup > 0\n");
+    return 2;
+  }
+
+  // Same steady-state traffic shape as BM_LoopedDecide/BM_BatchDecide: one
+  // region, four recurring sizes, so after warm-up both paths are cache-hit
+  // dominated and the comparison isolates per-call vs amortized overhead.
+  const std::array<mca::MachineModel, 1> models{mca::MachineModel::power9()};
+  const ir::TargetRegion& kernel =
+      polybench::benchmarkByName("GEMM").kernels()[0];
+  const std::array<ir::TargetRegion, 1> regions{kernel};
+  runtime::TargetRuntime rt(compiler::compileAll(regions, models),
+                            runtime::RuntimeOptions{});
+  rt.registerRegion(kernel);
+  const std::string name = kernel.name;
+
+  constexpr std::array<std::int64_t, 4> kSizes{512, 1024, 2048, 9600};
+  std::vector<symbolic::Bindings> bindings;
+  for (const std::int64_t n : kSizes) {
+    bindings.push_back(symbolic::Bindings{{"n", n}});
+  }
+  std::vector<runtime::DecideRequest> requests(batch);
+  std::vector<runtime::Decision> out(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    requests[i] = {name, &bindings[i % bindings.size()]};
+  }
+
+  // Warm both paths: populate the decision cache and the thread arena.
+  for (const symbolic::Bindings& b : bindings) (void)rt.decide(name, b);
+  rt.decideBatch(requests, out);
+
+  std::vector<double> loopedNs;
+  std::vector<double> batchedNs;
+  for (std::size_t rep = 0; rep < repeats; ++rep) {
+    Clock::time_point start = Clock::now();
+    for (std::size_t i = 0; i < items; ++i) {
+      (void)rt.decide(name, bindings[i % bindings.size()]);
+    }
+    loopedNs.push_back(
+        std::chrono::duration<double, std::nano>(Clock::now() - start)
+            .count() /
+        static_cast<double>(items));
+
+    start = Clock::now();
+    for (std::size_t done = 0; done + batch <= items; done += batch) {
+      rt.decideBatch(requests, out);
+    }
+    const std::size_t batched = (items / batch) * batch;
+    batchedNs.push_back(
+        std::chrono::duration<double, std::nano>(Clock::now() - start)
+            .count() /
+        static_cast<double>(batched));
+  }
+
+  const double looped = medianOf(loopedNs);
+  const double perDecision = medianOf(batchedNs);
+  const double speedup = perDecision > 0.0 ? looped / perDecision : 0.0;
+  std::printf(
+      "guard_batch_decide: looped=%.1f ns/decision batch%zu=%.1f ns/decision "
+      "speedup=%.2fx (floor %.2fx)\n",
+      looped, batch, perDecision, speedup, minSpeedup);
+  if (speedup < minSpeedup) {
+    std::fprintf(stderr,
+                 "guard_batch_decide: FAIL — batched decide no longer beats "
+                 "looped scalar decide by %.2fx\n",
+                 minSpeedup);
+    return 1;
+  }
+  return 0;
+}

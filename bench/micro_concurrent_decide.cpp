@@ -20,12 +20,27 @@
 //   --shed-demo        run an admission-control demo after the sweep: an
 //                      in-flight budget of 2 under 8 launching threads,
 //                      reporting how many launches shed to the safe default
+//   --workload W       draw (region, bindings) pairs from a workload::
+//                      generator (uniform | zipfian | bursty) instead of
+//                      round-robin over the regions with one fixed size;
+//                      per-thread streams are seeded --workload-seed + the
+//                      thread index, so runs are deterministic. Bursty idle
+//                      gaps are slept in closed-loop mode (latency is
+//                      measured from after the gap) and ignored when --rate
+//                      paces arrivals
+//   --batch N          issue decisions through decideBatch in groups of N
+//                      (default 1 = scalar decide); each latency sample is
+//                      then one batch, and decisions/sec counts N decisions
+//                      per call
+//   --workload-seed S  base seed for --workload streams (default 2019)
 #include <algorithm>
 #include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <optional>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -35,6 +50,7 @@
 #include "ir/interpreter.h"
 #include "runtime/target_runtime.h"
 #include "support/cli.h"
+#include "workload/workload.h"
 
 namespace {
 
@@ -83,24 +99,72 @@ struct SweepResult {
   double p999Us = 0.0;
 };
 
+/// Extra traffic shaping: when `shape` is set, each worker draws its
+/// (region, bindings) stream from a deterministic workload generator; when
+/// `batch > 1`, arrivals go through decideBatch in groups.
+struct TrafficOptions {
+  std::optional<workload::Shape> shape;
+  std::uint64_t seed = 2019;
+  std::size_t batch = 1;
+};
+
+std::vector<workload::Candidate> makeCandidates(
+    const std::vector<std::string>& names) {
+  // A few recurring sizes per region keeps the steady state cache-hit
+  // dominated, like the fixed n=96 of the round-robin path.
+  std::vector<symbolic::Bindings> choices;
+  for (const std::int64_t n : {64, 96, 128, 160}) {
+    choices.push_back(symbolic::Bindings{{"n", n}});
+  }
+  std::vector<workload::Candidate> candidates;
+  candidates.reserve(names.size());
+  for (const std::string& name : names) candidates.push_back({name, choices});
+  return candidates;
+}
+
 SweepResult runSweep(runtime::TargetRuntime& rt,
                      const std::vector<std::string>& names, int threads,
-                     int perThread, double rateHz) {
+                     int perThread, double rateHz,
+                     const TrafficOptions& traffic) {
   std::vector<std::vector<double>> latencies(
       static_cast<std::size_t>(threads));
   std::atomic<int> ready{0};
   std::atomic<bool> go{false};
   std::vector<std::thread> workers;
   workers.reserve(static_cast<std::size_t>(threads));
+  const std::size_t batch = traffic.batch;
   for (int t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
       std::vector<double>& mine = latencies[static_cast<std::size_t>(t)];
       mine.reserve(static_cast<std::size_t>(perThread));
       const symbolic::Bindings bindings{{"n", 96}};
+      std::optional<workload::Generator> generator;
+      if (traffic.shape.has_value()) {
+        workload::GeneratorOptions genOptions;
+        genOptions.seed = traffic.seed + static_cast<std::uint64_t>(t);
+        generator.emplace(*traffic.shape, makeCandidates(names), genOptions);
+      }
+      std::vector<workload::Item> items(batch);
+      std::vector<runtime::DecideRequest> requests(batch);
+      std::vector<runtime::Decision> out(batch);
       ready.fetch_add(1);
       while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
       const Clock::time_point start = Clock::now();
       for (int i = 0; i < perThread; ++i) {
+        // Fill this arrival's requests before taking the timestamp so
+        // generator drawing doesn't count as decide latency.
+        double gapSeconds = 0.0;
+        for (std::size_t j = 0; j < batch; ++j) {
+          if (generator.has_value()) {
+            generator->next(items[j]);
+            gapSeconds += items[j].gapSeconds;
+            requests[j] = {items[j].region, &items[j].bindings};
+          } else {
+            requests[j] = {
+                names[(static_cast<std::size_t>(t + i) + j) % names.size()],
+                &bindings};
+          }
+        }
         Clock::time_point scheduled = start;
         if (rateHz > 0.0) {
           // Open loop: arrival i is due at start + i/rate regardless of how
@@ -110,10 +174,21 @@ SweepResult runSweep(runtime::TargetRuntime& rt,
               std::chrono::duration<double>(static_cast<double>(i) / rateHz));
           std::this_thread::sleep_until(scheduled);
         } else {
+          if (gapSeconds > 0.0) {
+            // Bursty idle gap: the closed loop honors the generator's
+            // pacing; latency is measured from after the sleep.
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(gapSeconds));
+          }
           scheduled = Clock::now();
         }
-        (void)rt.decide(names[static_cast<std::size_t>(t + i) % names.size()],
-                        bindings);
+        if (batch == 1 && !generator.has_value()) {
+          (void)rt.decide(
+              names[static_cast<std::size_t>(t + i) % names.size()], bindings);
+        } else {
+          rt.decideBatch(std::span<const runtime::DecideRequest>(requests),
+                         std::span<runtime::Decision>(out));
+        }
         mine.push_back(
             std::chrono::duration<double>(Clock::now() - scheduled).count());
       }
@@ -138,7 +213,7 @@ SweepResult runSweep(runtime::TargetRuntime& rt,
   result.threads = threads;
   result.decisionsPerSec =
       wallSeconds > 0.0
-          ? static_cast<double>(all.size()) / wallSeconds
+          ? static_cast<double>(all.size() * batch) / wallSeconds
           : 0.0;
   result.p50Us = percentile(all, 0.50) * 1e6;
   result.p99Us = percentile(all, 0.99) * 1e6;
@@ -192,11 +267,19 @@ int main(int argc, char** argv) {
   const int perThread = static_cast<int>(cl.intOption("per-thread", 20000));
   const int regionCount = static_cast<int>(cl.intOption("regions", 8));
   const double rateHz = cl.doubleOption("rate", 0.0);
-  if (threadsMax < 1 || perThread < 1 || regionCount < 1) {
+  const auto batch = static_cast<std::size_t>(cl.intOption("batch", 1));
+  if (threadsMax < 1 || perThread < 1 || regionCount < 1 || batch < 1) {
     std::fprintf(stderr,
-                 "micro_concurrent_decide: --threads-max, --per-thread and "
-                 "--regions must be >= 1\n");
+                 "micro_concurrent_decide: --threads-max, --per-thread, "
+                 "--regions and --batch must be >= 1\n");
     return 2;
+  }
+  TrafficOptions traffic;
+  traffic.batch = batch;
+  traffic.seed = static_cast<std::uint64_t>(cl.intOption("workload-seed", 2019));
+  const std::string workloadName = cl.stringOption("workload").value_or("");
+  if (!workloadName.empty()) {
+    traffic.shape = workload::parseShape(workloadName);  // throws on unknown
   }
 
   std::vector<std::string> names;
@@ -206,11 +289,15 @@ int main(int argc, char** argv) {
   }
   runtime::TargetRuntime rt = makeRuntime(names);
 
-  std::printf("# decide hot path, %s loop, %d region(s), %d calls/thread\n",
-              rateHz > 0.0 ? "open" : "closed", regionCount, perThread);
+  std::printf(
+      "# decide hot path, %s loop, %d region(s), %d calls/thread, "
+      "workload=%s, batch=%zu\n",
+      rateHz > 0.0 ? "open" : "closed", regionCount, perThread,
+      workloadName.empty() ? "round-robin" : workloadName.c_str(), batch);
   std::printf("threads,decisions_per_sec,p50_us,p99_us,p999_us\n");
   for (int threads = 1; threads <= threadsMax; threads *= 2) {
-    const SweepResult result = runSweep(rt, names, threads, perThread, rateHz);
+    const SweepResult result =
+        runSweep(rt, names, threads, perThread, rateHz, traffic);
     std::printf("%d,%.0f,%.3f,%.3f,%.3f\n", result.threads,
                 result.decisionsPerSec, result.p50Us, result.p99Us,
                 result.p999Us);

@@ -1,0 +1,264 @@
+// Batched-decide throughput/latency suite: replays a synthetic decision
+// stream over the full Polybench region set and reports decisions/sec plus
+// p50/p99/p999 of the *amortized per-decision* latency for each batch size
+// (1/8/64/512) under each workload shape, next to a looped scalar decide()
+// baseline. This is the macro view of the decideBatch win the perf-smoke
+// guard pins (see guard_batch_decide and docs/PERFORMANCE.md §"Batched
+// deciding").
+//
+// Options:
+//   --workload W      uniform | zipfian | bursty | all (default all)
+//   --batch N         single batch size instead of the 1/8/64/512 sweep
+//   --requests N      stream length per run (default 16384)
+//   --seed S          workload generator seed (default 2019); the same seed
+//                     is reused for every batch size, so each row of a
+//                     workload sees byte-identical traffic
+//   --zipf-s S        Zipf exponent for the zipfian shape (default 1.2)
+//   --trace-out FILE  serialize the generated stream (workload trace
+//                     format) and exit; pair with --trace-in to replay
+//   --trace-in FILE   replay a recorded trace instead of generating
+//                     (reported under workload name "trace")
+//
+// Bursty gaps are honored between batches (sleep), but decisions/sec is
+// computed over decide time only, so the on/off pacing does not deflate the
+// throughput column.
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "compiler/compiler.h"
+#include "polybench/polybench.h"
+#include "runtime/target_runtime.h"
+#include "support/cli.h"
+#include "workload/workload.h"
+
+namespace {
+
+using namespace osel;
+using Clock = std::chrono::steady_clock;
+
+/// Decide-only candidate set: every Polybench kernel at four recurring
+/// problem sizes. Decide never executes, so the sizes can span the paper's
+/// test-to-benchmark range without allocating arrays.
+constexpr std::array<std::int64_t, 4> kSizes{256, 512, 1024, 2048};
+
+std::vector<workload::Candidate> makeCandidates() {
+  std::vector<workload::Candidate> candidates;
+  for (const polybench::Benchmark& benchmark : polybench::suite()) {
+    std::vector<symbolic::Bindings> choices;
+    choices.reserve(kSizes.size());
+    for (const std::int64_t n : kSizes) choices.push_back(benchmark.bindings(n));
+    for (const ir::TargetRegion& kernel : benchmark.kernels()) {
+      candidates.push_back({kernel.name, choices});
+    }
+  }
+  return candidates;
+}
+
+runtime::TargetRuntime makeRuntime() {
+  std::vector<ir::TargetRegion> regions;
+  for (const polybench::Benchmark& benchmark : polybench::suite()) {
+    for (const ir::TargetRegion& kernel : benchmark.kernels()) {
+      regions.push_back(kernel);
+    }
+  }
+  const std::array<mca::MachineModel, 1> models{mca::MachineModel::power9()};
+  runtime::RuntimeOptions options;
+  options.selector.cpuThreads = 160;
+  runtime::TargetRuntime rt(compiler::compileAll(regions, models), options);
+  for (ir::TargetRegion& region : regions) rt.registerRegion(std::move(region));
+  return rt;
+}
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto index =
+      static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[index];
+}
+
+struct RunResult {
+  double decisionsPerSec = 0.0;
+  double p50Us = 0.0;
+  double p99Us = 0.0;
+  double p999Us = 0.0;
+};
+
+RunResult summarize(std::vector<double>& amortizedSeconds, std::size_t items,
+                    double busySeconds) {
+  std::sort(amortizedSeconds.begin(), amortizedSeconds.end());
+  RunResult result;
+  result.decisionsPerSec = busySeconds > 0.0
+                               ? static_cast<double>(items) / busySeconds
+                               : 0.0;
+  result.p50Us = percentile(amortizedSeconds, 0.50) * 1e6;
+  result.p99Us = percentile(amortizedSeconds, 0.99) * 1e6;
+  result.p999Us = percentile(amortizedSeconds, 0.999) * 1e6;
+  return result;
+}
+
+RunResult runLooped(runtime::TargetRuntime& rt,
+                    const std::vector<workload::Item>& items) {
+  std::vector<double> latencies;
+  latencies.reserve(items.size());
+  double busySeconds = 0.0;
+  for (const workload::Item& item : items) {
+    if (item.gapSeconds > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(item.gapSeconds));
+    }
+    const Clock::time_point start = Clock::now();
+    (void)rt.decide(item.region, item.bindings);
+    const double dt =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    busySeconds += dt;
+    latencies.push_back(dt);
+  }
+  return summarize(latencies, items.size(), busySeconds);
+}
+
+RunResult runBatched(runtime::TargetRuntime& rt,
+                     const std::vector<workload::Item>& items,
+                     std::size_t batch) {
+  std::vector<runtime::DecideRequest> requests(batch);
+  std::vector<runtime::Decision> out(batch);
+  std::vector<double> amortized;
+  amortized.reserve(items.size() / batch + 1);
+  double busySeconds = 0.0;
+  for (std::size_t start = 0; start < items.size(); start += batch) {
+    const std::size_t n = std::min(batch, items.size() - start);
+    double gap = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const workload::Item& item = items[start + i];
+      gap += item.gapSeconds;
+      requests[i] = {item.region, &item.bindings};
+    }
+    if (gap > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(gap));
+    }
+    const Clock::time_point t0 = Clock::now();
+    rt.decideBatch(std::span(requests.data(), n), std::span(out.data(), n));
+    const double dt = std::chrono::duration<double>(Clock::now() - t0).count();
+    busySeconds += dt;
+    amortized.push_back(dt / static_cast<double>(n));
+  }
+  return summarize(amortized, items.size(), busySeconds);
+}
+
+std::vector<workload::Item> makeStream(workload::Shape shape,
+                                       std::size_t requests,
+                                       std::uint64_t seed, double zipfS) {
+  workload::GeneratorOptions options;
+  options.seed = seed;
+  options.zipfExponent = zipfS;
+  workload::Generator generator(shape, makeCandidates(), options);
+  return generator.take(requests);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const support::CommandLine cl = support::CommandLine::parse(argc, argv);
+  const auto requests = static_cast<std::size_t>(cl.intOption("requests", 16384));
+  const auto seed = static_cast<std::uint64_t>(cl.intOption("seed", 2019));
+  const double zipfS = cl.doubleOption("zipf-s", 1.2);
+  const auto singleBatch = static_cast<std::size_t>(cl.intOption("batch", 0));
+  const std::string workloadName = cl.stringOption("workload").value_or("all");
+  const std::string traceOut = cl.stringOption("trace-out").value_or("");
+  const std::string traceIn = cl.stringOption("trace-in").value_or("");
+  if (requests == 0) {
+    std::fprintf(stderr, "suite_batch_decide: --requests must be >= 1\n");
+    return 2;
+  }
+
+  std::vector<workload::Shape> shapes;
+  if (traceIn.empty()) {
+    if (workloadName == "all") {
+      shapes = {workload::Shape::Uniform, workload::Shape::Zipfian,
+                workload::Shape::Bursty};
+    } else {
+      shapes = {workload::parseShape(workloadName)};  // throws on unknown
+    }
+  }
+
+  if (!traceOut.empty()) {
+    // Record mode: serialize the stream the first requested shape would
+    // produce, for later --trace-in replay (deterministic by seed).
+    const workload::Shape shape =
+        shapes.empty() ? workload::Shape::Uniform : shapes.front();
+    const std::vector<workload::Item> items =
+        makeStream(shape, requests, seed, zipfS);
+    std::FILE* out = std::fopen(traceOut.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "suite_batch_decide: cannot open %s for writing\n",
+                   traceOut.c_str());
+      return 1;
+    }
+    const std::string text = workload::serializeTrace(items);
+    std::fputs(text.c_str(), out);
+    std::fclose(out);
+    std::fprintf(stderr, "suite_batch_decide: wrote %zu items to %s\n",
+                 items.size(), traceOut.c_str());
+    return 0;
+  }
+
+  runtime::TargetRuntime rt = makeRuntime();
+
+  struct NamedStream {
+    std::string name;
+    std::vector<workload::Item> items;
+  };
+  std::vector<NamedStream> streams;
+  if (!traceIn.empty()) {
+    std::FILE* in = std::fopen(traceIn.c_str(), "rb");
+    if (in == nullptr) {
+      std::fprintf(stderr, "suite_batch_decide: cannot open %s\n",
+                   traceIn.c_str());
+      return 1;
+    }
+    std::string text;
+    char buffer[4096];
+    std::size_t got = 0;
+    while ((got = std::fread(buffer, 1, sizeof(buffer), in)) > 0) {
+      text.append(buffer, got);
+    }
+    std::fclose(in);
+    streams.push_back({"trace", workload::parseTrace(text)});
+  } else {
+    for (const workload::Shape shape : shapes) {
+      streams.push_back({std::string(workload::toString(shape)),
+                         makeStream(shape, requests, seed, zipfS)});
+    }
+  }
+
+  std::vector<std::size_t> batchSizes{1, 8, 64, 512};
+  if (singleBatch > 0) batchSizes = {singleBatch};
+
+  std::printf("# batched decide over %zu Polybench regions, seed %llu\n",
+              makeCandidates().size(),
+              static_cast<unsigned long long>(seed));
+  std::printf("workload,mode,batch,decisions_per_sec,p50_us,p99_us,p999_us\n");
+  for (const NamedStream& stream : streams) {
+    // Warm pass (scalar) populates the decision caches so every mode below
+    // measures the same steady state over byte-identical traffic.
+    for (const workload::Item& item : stream.items) {
+      (void)rt.decide(item.region, item.bindings);
+    }
+    const RunResult looped = runLooped(rt, stream.items);
+    std::printf("%s,looped,1,%.0f,%.3f,%.3f,%.3f\n", stream.name.c_str(),
+                looped.decisionsPerSec, looped.p50Us, looped.p99Us,
+                looped.p999Us);
+    for (const std::size_t batch : batchSizes) {
+      const RunResult result = runBatched(rt, stream.items, batch);
+      std::printf("%s,batched,%zu,%.0f,%.3f,%.3f,%.3f\n", stream.name.c_str(),
+                  batch, result.decisionsPerSec, result.p50Us, result.p99Us,
+                  result.p999Us);
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}

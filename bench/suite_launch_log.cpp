@@ -26,8 +26,22 @@
 //                            rewrites <file> with the stats summary every
 //                            --stats-every launches (default 16; forces
 //                            serial)
+//   --workload W             launch a generated stream instead of one pass
+//                            in suite order: uniform | zipfian | bursty over
+//                            all suite kernels at the mode/scale size
+//                            (forces serial; deterministic by
+//                            --workload-seed, default 2019)
+//   --workload-requests N    stream length for --workload (default 64)
+//   --batch B                pre-decide each group of B upcoming stream
+//                            launches through decideBatch before launching
+//                            them, so the per-launch decisions hit the
+//                            memoization cache (requires --workload; the
+//                            log's decision_cache_hit column shows the
+//                            effect)
+#include <algorithm>
 #include <array>
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -40,6 +54,7 @@
 #include "runtime/target_runtime.h"
 #include "support/cli.h"
 #include "support/faultinject.h"
+#include "workload/workload.h"
 
 namespace {
 
@@ -56,6 +71,40 @@ void launchBenchmark(runtime::TargetRuntime& rt,
   polybench::initializeInputs(benchmark, bindings, store);
   for (const auto& kernel : benchmark.kernels())
     (void)rt.launch(kernel.name, bindings, store, policy);
+}
+
+/// Launches a --workload stream: kernels drawn by the generator, each
+/// benchmark's data environment allocated lazily on first touch and reused
+/// across the stream. With batch > 0, every group of `batch` upcoming
+/// launches is pre-decided through decideBatch first, so the launches'
+/// decisions come from the memoization cache.
+void launchStream(runtime::TargetRuntime& rt,
+                  const std::vector<workload::Item>& stream,
+                  const std::map<std::string, const polybench::Benchmark*>&
+                      benchmarkByKernel,
+                  runtime::Policy policy, std::size_t batch) {
+  std::map<std::string, ir::ArrayStore> stores;
+  std::vector<runtime::DecideRequest> requests;
+  std::vector<runtime::Decision> decisions;
+  for (std::size_t pos = 0; pos < stream.size(); ++pos) {
+    if (batch > 0 && pos % batch == 0) {
+      const std::size_t n = std::min(batch, stream.size() - pos);
+      requests.resize(n);
+      decisions.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        requests[i] = {stream[pos + i].region, &stream[pos + i].bindings};
+      }
+      rt.decideBatch(requests, decisions);
+    }
+    const workload::Item& item = stream[pos];
+    const polybench::Benchmark& benchmark = *benchmarkByKernel.at(item.region);
+    auto [it, inserted] = stores.try_emplace(benchmark.name());
+    if (inserted) {
+      it->second = benchmark.allocate(item.bindings);
+      polybench::initializeInputs(benchmark, item.bindings, it->second);
+    }
+    (void)rt.launch(item.region, item.bindings, it->second, policy);
+  }
 }
 
 }  // namespace
@@ -95,6 +144,21 @@ int main(int argc, char** argv) {
                  "suite_launch_log: --decisions must be 'compiled' or "
                  "'interpreted', got %s\n",
                  decisions.c_str());
+    return 2;
+  }
+  const std::string workloadName = cl.stringOption("workload").value_or("");
+  const auto workloadRequests =
+      static_cast<std::size_t>(cl.intOption("workload-requests", 64));
+  const auto workloadSeed =
+      static_cast<std::uint64_t>(cl.intOption("workload-seed", 2019));
+  const auto batch = static_cast<std::size_t>(cl.intOption("batch", 0));
+  if (!workloadName.empty() && workloadRequests == 0) {
+    std::fprintf(stderr,
+                 "suite_launch_log: --workload-requests must be >= 1\n");
+    return 2;
+  }
+  if (batch > 0 && workloadName.empty()) {
+    std::fprintf(stderr, "suite_launch_log: --batch requires --workload\n");
     return 2;
   }
 
@@ -152,12 +216,17 @@ int main(int argc, char** argv) {
   // runs are serial too. When the user asked for parallel jobs, say why the
   // request is being overridden instead of silently ignoring it (see
   // docs/PERFORMANCE.md §4 for the full interaction table).
-  if (gpuFaultRate > 0.0 || jobs == 1 || options.trace != nullptr) {
+  // A --workload stream is one ordered sequence over one runtime, so it is
+  // serial by construction, like the faulty and observed runs.
+  if (gpuFaultRate > 0.0 || jobs == 1 || options.trace != nullptr ||
+      !workloadName.empty()) {
     if (jobs > 1) {
       const char* cause =
           gpuFaultRate > 0.0
               ? "--gpu-fault-rate needs the launch-order-deterministic fault "
                 "stream"
+          : !workloadName.empty()
+              ? "--workload replays one ordered stream through one runtime"
               : "observability output (--trace-out/--stats/--drift-report/"
                 "--prom-out/--stats-file) records a single runtime's pipeline";
       std::fprintf(stderr,
@@ -168,8 +237,28 @@ int main(int argc, char** argv) {
     runtime::TargetRuntime rt(std::move(db), options);
     for (ir::TargetRegion& region : regions)
       rt.registerRegion(std::move(region));
-    for (const polybench::Benchmark& benchmark : suite)
-      launchBenchmark(rt, benchmark, mode, scale, policy);
+    if (!workloadName.empty()) {
+      const workload::Shape shape =
+          workload::parseShape(workloadName);  // throws on unknown
+      std::vector<workload::Candidate> candidates;
+      std::map<std::string, const polybench::Benchmark*> benchmarkByKernel;
+      for (const polybench::Benchmark& benchmark : suite) {
+        const std::int64_t n = bench::scaledSize(benchmark, mode, scale);
+        const symbolic::Bindings bindings = benchmark.bindings(n);
+        for (const auto& kernel : benchmark.kernels()) {
+          candidates.push_back({kernel.name, {bindings}});
+          benchmarkByKernel[kernel.name] = &benchmark;
+        }
+      }
+      workload::GeneratorOptions genOptions;
+      genOptions.seed = workloadSeed;
+      workload::Generator generator(shape, std::move(candidates), genOptions);
+      launchStream(rt, generator.take(workloadRequests), benchmarkByKernel,
+                   policy, batch);
+    } else {
+      for (const polybench::Benchmark& benchmark : suite)
+        launchBenchmark(rt, benchmark, mode, scale, policy);
+    }
     std::fputs(runtime::renderLogCsv(rt.log()).c_str(), stdout);
     if (!traceOut.empty()) {
       std::FILE* out = std::fopen(traceOut.c_str(), "w");

@@ -27,6 +27,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "pad/attribute_db.h"
+#include "runtime/batch.h"
 #include "runtime/compiled_plan.h"
 #include "runtime/decision_cache.h"
 #include "runtime/launch_guard.h"
@@ -35,3 +36,4 @@
 #include "support/error.h"
 #include "support/faultinject.h"
 #include "symbolic/expr.h"
+#include "workload/workload.h"

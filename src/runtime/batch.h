@@ -1,0 +1,99 @@
+// osel/runtime/batch.h — batched-decide request/scratch types.
+//
+// The ROADMAP's `oseld` pivot puts *batched decision requests* on the wire:
+// realistic target-offloading traffic arrives as streams of many small
+// decisions, and the per-call overhead scalar decide() pays (registry
+// snapshot acquire, cache lock, trace span, clock reads) dwarfs the
+// closed-form model evaluation itself. TargetRuntime::decideBatch amortizes
+// those costs across a batch; the types here are its request unit and the
+// preallocated per-thread scratch that keeps the steady-state path free of
+// per-request allocation.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <string_view>
+#include <vector>
+
+#include "cpumodel/cpu_model.h"
+#include "gpumodel/gpu_model.h"
+#include "runtime/selector.h"
+#include "symbolic/expr.h"
+
+namespace osel::runtime {
+
+/// One request of a TargetRuntime::decideBatch() call: which region to
+/// decide for and the runtime bindings. Both fields are non-owning views —
+/// the caller keeps the name and bindings alive across the call.
+struct DecideRequest {
+  std::string_view region;
+  const symbolic::Bindings* bindings = nullptr;
+};
+
+/// Per-batch tallies decideBatch() accumulates locally and publishes once
+/// per batch (one atomic add per counter) instead of once per request.
+struct BatchCounters {
+  std::uint64_t compiled = 0;
+  std::uint64_t interpreted = 0;
+  std::uint64_t degenerate = 0;
+  std::uint64_t cacheHits = 0;
+  std::uint64_t cacheLookups = 0;
+};
+
+/// Preallocated scratch for one decideBatch() call. The runtime keeps one
+/// arena per thread (thread_local); every container is resized — never
+/// shrunk — so after a warm-up batch of each (rows, slots) shape the batch
+/// path performs no heap allocation (pinned by the batch allocation test).
+///
+/// `columns` is the SoA heart of the batch path: the current region group's
+/// bound slot values laid out slot-major, `columns[slot * rows + row]`, so
+/// each compiled-expression op streams over contiguous per-slot columns
+/// instead of re-dispatching the op walk once per request.
+struct BatchArena {
+  /// Request indices sorted by region name — the per-region groups.
+  std::vector<std::uint32_t> order;
+  /// Request indices served from the decision cache (whole batch); their
+  /// Decision::overheadSeconds is stamped with the amortized batch cost.
+  std::vector<std::uint32_t> hitRequests;
+
+  // --- Per-group state (row r is the r-th request of the group) -----------
+  std::vector<std::int64_t> columns;        ///< slot-major bound values
+  std::vector<std::uint64_t> masks;         ///< bound-slot mask per row
+  std::vector<std::uint8_t> bindOk;         ///< bindSlots verdict per row
+  std::vector<std::uint8_t> hits;           ///< findMany verdict per row
+  std::vector<std::int64_t> exprOut;        ///< CompiledExpr column output
+  std::vector<std::int64_t> exprScratch;    ///< CompiledExpr column scratch
+  std::vector<cpumodel::CpuWorkload> cpuWorkloads;
+  std::vector<gpumodel::GpuWorkload> gpuWorkloads;
+  std::vector<std::uint32_t> missRows;      ///< rows needing evaluation
+  std::vector<Decision*> targets;           ///< row -> &out[request]
+
+  /// Starts a batch of `requests` requests: order becomes the identity
+  /// permutation (sorted by the caller), hit bookkeeping resets. The hit
+  /// and miss row lists are reserved up front — they are push_back'd on
+  /// data-dependent paths, so growing them lazily would allocate on the
+  /// first batch whose hit/miss mix differs from the warm-up's.
+  void begin(std::size_t requests) {
+    order.resize(requests);
+    std::iota(order.begin(), order.end(), 0U);
+    hitRequests.clear();
+    hitRequests.reserve(requests);
+    missRows.reserve(requests);
+  }
+
+  /// Sizes the per-group state for `rows` requests over `slots` slots.
+  void beginGroup(std::size_t rows, std::size_t slots) {
+    columns.resize(slots * rows);
+    masks.resize(rows);
+    bindOk.resize(rows);
+    hits.resize(rows);
+    exprOut.resize(rows);
+    exprScratch.resize(rows);
+    cpuWorkloads.resize(rows);
+    gpuWorkloads.resize(rows);
+    targets.resize(rows);
+    missRows.clear();
+  }
+};
+
+}  // namespace osel::runtime

@@ -122,6 +122,84 @@ bool CompiledRegionPlan::bindSlots(const symbolic::Bindings& bindings,
   return (boundMask & requiredMask_) == requiredMask_;
 }
 
+bool CompiledRegionPlan::bindSlotsColumn(const symbolic::Bindings& bindings,
+                                         std::int64_t* columns,
+                                         std::size_t rows, std::size_t row,
+                                         std::uint64_t& boundMask) const {
+  boundMask = 0;
+  auto it = bindings.begin();
+  const auto end = bindings.end();
+  for (const SlotBinding& slot : slotNames_) {
+    while (it != end && it->first < slot.name) ++it;
+    if (it != end && it->first == slot.name) {
+      columns[slot.slot * rows + row] = it->second;
+      boundMask |= std::uint64_t{1} << slot.slot;
+    } else {
+      columns[slot.slot * rows + row] = 0;
+    }
+  }
+  return (boundMask & requiredMask_) == requiredMask_;
+}
+
+void CompiledRegionPlan::completeWorkloadsColumns(
+    const std::int64_t* columns, const std::uint64_t* masks, std::size_t rows,
+    std::int64_t* exprOut, std::int64_t* scratch, cpumodel::CpuWorkload* cpu,
+    gpumodel::GpuWorkload* gpu) const {
+  for (std::size_t r = 0; r < rows; ++r) {
+    cpu[r] = cpuTemplate_;
+    gpu[r] = gpuTemplate_;
+  }
+  flatTripCount_.evaluateColumns(columns, rows, exprOut, scratch);
+  for (std::size_t r = 0; r < rows; ++r) {
+    cpu[r].parallelTripCount = exprOut[r];
+    gpu[r].parallelTripCount = exprOut[r];
+  }
+  bytesToDevice_.evaluateColumns(columns, rows, exprOut, scratch);
+  for (std::size_t r = 0; r < rows; ++r) gpu[r].bytesToDevice = exprOut[r];
+  bytesFromDevice_.evaluateColumns(columns, rows, exprOut, scratch);
+  for (std::size_t r = 0; r < rows; ++r) gpu[r].bytesFromDevice = exprOut[r];
+  for (const StrideStep& step : steps_) {
+    switch (step.kind) {
+      case StrideStep::Kind::ConstCoalesced:
+        for (std::size_t r = 0; r < rows; ++r) {
+          gpu[r].coalMemInstsPerThread += step.countPerIteration;
+          if (step.constFalseSharing) cpu[r].falseSharingRisk = true;
+        }
+        break;
+      case StrideStep::Kind::ConstUncoalesced:
+        for (std::size_t r = 0; r < rows; ++r) {
+          gpu[r].uncoalMemInstsPerThread += step.countPerIteration;
+          if (step.constFalseSharing) cpu[r].falseSharingRisk = true;
+        }
+        break;
+      case StrideStep::Kind::Dynamic: {
+        step.stride.evaluateColumns(columns, rows, exprOut, scratch);
+        for (std::size_t r = 0; r < rows; ++r) {
+          bool coalesced = false;
+          bool falseSharing = false;
+          // Unbound symbols leave the stride unresolved for that row:
+          // uncoalesced and exempt from the false-sharing test, exactly as
+          // the scalar completeWorkloads() treats it.
+          if ((masks[r] & step.slotsNeeded) == step.slotsNeeded) {
+            const std::int64_t value = exprOut[r];
+            coalesced = coalescedStride(value);
+            falseSharing =
+                step.isStore &&
+                falseSharingStride(value, step.elementBytes, cacheLineBytes_);
+          }
+          if (coalesced) {
+            gpu[r].coalMemInstsPerThread += step.countPerIteration;
+          } else {
+            gpu[r].uncoalMemInstsPerThread += step.countPerIteration;
+          }
+          if (falseSharing) cpu[r].falseSharingRisk = true;
+        }
+        break;
+      }
+    }
+  }
+}
+
 void CompiledRegionPlan::completeWorkloads(std::span<const std::int64_t> values,
                                            std::uint64_t boundMask,
                                            cpumodel::CpuWorkload& cpu,

@@ -91,6 +91,33 @@ class CompiledRegionPlan {
                          std::uint64_t boundMask, cpumodel::CpuWorkload& cpu,
                          gpumodel::GpuWorkload& gpu) const;
 
+  /// SoA row of bindSlots(): fills row `row` of a slot-major column block
+  /// (`columns[slot * rows + row]`) instead of a contiguous value vector.
+  /// Same contract otherwise: unbound slots read 0, bit i of `boundMask`
+  /// set per bound slot, true iff every required symbol is bound. No heap
+  /// allocation.
+  bool bindSlotsColumn(const symbolic::Bindings& bindings,
+                       std::int64_t* columns, std::size_t rows,
+                       std::size_t row, std::uint64_t& boundMask) const;
+
+  /// SoA batch form of completeWorkloads(): completes `rows` workload pairs
+  /// from a slot-major column block in one pass, evaluating each compiled
+  /// expression op over all rows (CompiledExpr::evaluateColumns) instead of
+  /// re-dispatching the op stream per request. `exprOut`/`scratch` are
+  /// caller-provided workspaces of >= rows entries. Each row's result is
+  /// bit-identical to completeWorkloads() on that row's values/mask: the
+  /// stride steps are walked in the same order per row, so floating-point
+  /// accumulation order matches exactly. Precondition: fastPathUsable().
+  /// Rows whose bindSlotsColumn() returned false are completed too (their
+  /// unresolved dynamic strides classify uncoalesced, like the scalar
+  /// path); callers route such rows to the interpreted walk for decisions.
+  /// No heap allocation.
+  void completeWorkloadsColumns(const std::int64_t* columns,
+                                const std::uint64_t* masks, std::size_t rows,
+                                std::int64_t* exprOut, std::int64_t* scratch,
+                                cpumodel::CpuWorkload* cpu,
+                                gpumodel::GpuWorkload* gpu) const;
+
   /// Strides fully resolved and classified at compile time (folded into the
   /// workload templates or kept as constant steps). Exposed for tests.
   [[nodiscard]] std::size_t preResolvedStrideCount() const {

@@ -96,6 +96,99 @@ void DecisionCache::insert(std::uint64_t boundMask,
   evictions_.fetch_add(1, std::memory_order_relaxed);
 }
 
+std::uint64_t DecisionCache::hashKeyAt(const KeyBlock& keys, std::size_t row) {
+  std::uint64_t hash =
+      mix(keys.masks[row] ^ (keys.slots * 0x9E3779B97F4A7C15ULL));
+  for (std::size_t slot = 0; slot < keys.slots; ++slot) {
+    hash = mix(hash ^
+               static_cast<std::uint64_t>(keys.values[slot * keys.rows + row]));
+  }
+  return hash;
+}
+
+DecisionCache::Entry* DecisionCache::locateAt(std::uint64_t hash,
+                                              const KeyBlock& keys,
+                                              std::size_t row) {
+  for (Entry& entry : entries_) {
+    if (entry.hash != hash || entry.boundMask != keys.masks[row] ||
+        entry.values.size() != keys.slots) {
+      continue;
+    }
+    bool equal = true;
+    for (std::size_t slot = 0; slot < keys.slots; ++slot) {
+      if (entry.values[slot] != keys.values[slot * keys.rows + row]) {
+        equal = false;
+        break;
+      }
+    }
+    if (equal) return &entry;
+  }
+  return nullptr;
+}
+
+std::size_t DecisionCache::findMany(const KeyBlock& keys, Decision* const* out,
+                                    std::uint8_t* hit, std::uint64_t epoch) {
+  lookups_.fetch_add(keys.rows, std::memory_order_relaxed);
+  std::size_t found = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    syncEpoch(epoch);
+    for (std::size_t row = 0; row < keys.rows; ++row) {
+      hit[row] = 0;
+      if (Entry* entry = locateAt(hashKeyAt(keys, row), keys, row)) {
+        entry->lastUse = ++tick_;
+        *out[row] = entry->decision;
+        hit[row] = 1;
+        ++found;
+      }
+    }
+  }
+  hits_.fetch_add(found, std::memory_order_relaxed);
+  misses_.fetch_add(keys.rows - found, std::memory_order_relaxed);
+  return found;
+}
+
+void DecisionCache::insertRowLocked(const KeyBlock& keys, std::size_t row,
+                                    const Decision& decision) {
+  const std::uint64_t hash = hashKeyAt(keys, row);
+  if (Entry* existing = locateAt(hash, keys, row)) {
+    existing->decision = decision;
+    existing->lastUse = ++tick_;
+    return;
+  }
+  Entry entry;
+  entry.hash = hash;
+  entry.boundMask = keys.masks[row];
+  entry.values.resize(keys.slots);
+  for (std::size_t slot = 0; slot < keys.slots; ++slot) {
+    entry.values[slot] = keys.values[slot * keys.rows + row];
+  }
+  entry.decision = decision;
+  entry.lastUse = ++tick_;
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  if (entries_.size() < capacity_) {
+    entries_.push_back(std::move(entry));
+    return;
+  }
+  auto victim = std::min_element(
+      entries_.begin(), entries_.end(),
+      [](const Entry& a, const Entry& b) { return a.lastUse < b.lastUse; });
+  *victim = std::move(entry);
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void DecisionCache::insertMany(const KeyBlock& keys,
+                               std::span<const std::uint32_t> rows,
+                               const Decision* const* decisions,
+                               std::uint64_t epoch) {
+  if (capacity_ == 0 || rows.empty()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  syncEpoch(epoch);
+  for (const std::uint32_t row : rows) {
+    insertRowLocked(keys, row, *decisions[row]);
+  }
+}
+
 void DecisionCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();

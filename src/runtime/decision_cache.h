@@ -68,6 +68,37 @@ class DecisionCache {
   void insert(std::uint64_t boundMask, std::span<const std::int64_t> values,
               const Decision& decision, std::uint64_t epoch = 0);
 
+  /// Column-major (slot-major) key block for the bulk interface: row r of a
+  /// region group reads `values[slot * rows + r]` with bound mask
+  /// `masks[r]`. This is exactly the SoA layout the batched decide path
+  /// evaluates from, so bulk probes do no per-row gather; the per-row hash
+  /// and compare walk the strided column view and match hashKey()/find()
+  /// on the equivalent contiguous row bit-for-bit.
+  struct KeyBlock {
+    const std::int64_t* values = nullptr;
+    const std::uint64_t* masks = nullptr;
+    std::size_t slots = 0;
+    std::size_t rows = 0;
+  };
+
+  /// Bulk find: probes every row of `keys` under ONE mutex acquisition
+  /// (the per-region caches are the runtime's lock stripes, so a batch
+  /// group pays its stripe once instead of once per request). On a hit for
+  /// row r the memoized decision is copied into `*out[r]` and `hit[r]` is
+  /// set to 1; otherwise `hit[r]` is 0 and `*out[r]` is untouched. Stats
+  /// count per entry — `rows` lookups and exactly one hit or miss each —
+  /// so hits + misses == lookups is indistinguishable from `rows` scalar
+  /// find() calls. Returns the number of hits.
+  std::size_t findMany(const KeyBlock& keys, Decision* const* out,
+                       std::uint8_t* hit, std::uint64_t epoch = 0);
+
+  /// Bulk insert of the listed rows under one mutex acquisition;
+  /// `decisions[r]` supplies row r's decision. Duplicate keys inside one
+  /// call refresh the earlier insert, exactly as repeated scalar insert()
+  /// calls would. Stats (insertions/evictions) count per inserted entry.
+  void insertMany(const KeyBlock& keys, std::span<const std::uint32_t> rows,
+                  const Decision* const* decisions, std::uint64_t epoch = 0);
+
   /// Drops every entry (plan invalidation); counters survive.
   void clear();
 
@@ -87,6 +118,17 @@ class DecisionCache {
   /// Callers hold mutex_.
   [[nodiscard]] Entry* locate(std::uint64_t hash, std::uint64_t boundMask,
                               std::span<const std::int64_t> values);
+  /// hashKey() over the strided column view of one KeyBlock row; identical
+  /// mixing sequence, so block and contiguous keys hash alike.
+  [[nodiscard]] static std::uint64_t hashKeyAt(const KeyBlock& keys,
+                                               std::size_t row);
+  /// locate() against one KeyBlock row; callers hold mutex_.
+  [[nodiscard]] Entry* locateAt(std::uint64_t hash, const KeyBlock& keys,
+                                std::size_t row);
+  /// insert() guts against one KeyBlock row; callers hold mutex_ and have
+  /// synced the epoch.
+  void insertRowLocked(const KeyBlock& keys, std::size_t row,
+                       const Decision& decision);
   /// Drops stale entries when `epoch` advanced; callers hold mutex_.
   void syncEpoch(std::uint64_t epoch);
 

@@ -189,6 +189,38 @@ Decision OffloadSelector::decideInterpreted(
   return decision;
 }
 
+Decision OffloadSelector::decideFromWorkloads(
+    const CompiledRegionPlan& plan, const cpumodel::CpuWorkload& cpu,
+    const gpumodel::GpuWorkload& gpu, obs::DecisionExplain* explain) const {
+  const auto start = std::chrono::steady_clock::now();
+  Decision decision;
+  obs::DecisionPath path = obs::DecisionPath::Compiled;
+  if (explain != nullptr) *explain = obs::DecisionExplain{};
+  try {
+    (void)support::faultInjector().hit(support::faultpoints::kSelectorDecide,
+                                       "selector");
+    decision.cpu = cpuModel_.predict(cpu);
+    decision.gpu = gpuModel_.predict(gpu);
+    if (explain != nullptr) {
+      cpumodel::explainInto(cpu, decision.cpu, explain->cpu);
+      gpumodel::explainInto(gpu, decision.gpu, explain->gpu);
+    }
+    resolveChoice(decision, plan.attributes().regionName);
+  } catch (const std::exception& error) {
+    decision.device = config_.safeDefaultDevice;
+    decision.valid = false;
+    decision.diagnostic = error.what();
+    path = obs::DecisionPath::Degenerate;
+  }
+  const auto end = std::chrono::steady_clock::now();
+  decision.overheadSeconds =
+      std::chrono::duration<double>(end - start).count();
+  if (explain != nullptr) {
+    finishExplain(*explain, plan.attributes().regionName, path, decision);
+  }
+  return decision;
+}
+
 CompiledRegionPlan OffloadSelector::compile(pad::RegionAttributes attr) const {
   return CompiledRegionPlan(std::move(attr), config_.mcaModelName,
                             config_.cpuParams.cacheLineBytes);

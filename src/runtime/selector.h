@@ -158,6 +158,23 @@ class OffloadSelector {
                                 const symbolic::Bindings& bindings,
                                 obs::DecisionExplain* explain = nullptr) const;
 
+  /// Batch tail of the compiled fast path: the per-request epilogue
+  /// decideCompiled runs after completeWorkloads — the decide fault point,
+  /// both model predictions, explain fill, choice resolution, degradation
+  /// to the safe default on exception — applied to a workload pair the SoA
+  /// batch evaluator (CompiledRegionPlan::completeWorkloadsColumns) already
+  /// completed. Given workloads equal to what scalar decide(plan, bindings)
+  /// would build, the returned Decision is bit-identical except
+  /// overheadSeconds (wall time, excluded from the equivalence contract);
+  /// the batch equivalence suite pins this. Precondition: the workloads
+  /// came from a bindSlots() row that returned true on a fastPathUsable()
+  /// plan — unbindable rows must use decide() so diagnostics match the
+  /// interpreted oracle byte-for-byte.
+  [[nodiscard]] Decision decideFromWorkloads(
+      const CompiledRegionPlan& plan, const cpumodel::CpuWorkload& cpu,
+      const gpumodel::GpuWorkload& gpu,
+      obs::DecisionExplain* explain = nullptr) const;
+
   /// Deprecated shim for the pre-RegionHandle API; forwards to
   /// decide(RegionHandle(attr), bindings).
   [[deprecated(

@@ -136,10 +136,12 @@ void TargetRuntime::initInstruments() {
       "decision.overhead_s", {1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2});
   instruments_.predictionError = &metrics.histogram(
       "prediction.abs_rel_error", {0.01, 0.05, 0.1, 0.25, 0.5, 1.0});
+  instruments_.batchSize = &metrics.histogram(
+      "decide.batch_size", {1, 2, 4, 8, 16, 32, 64, 128, 256, 512});
 }
 
 std::shared_ptr<const TargetRuntime::RegionEntry> TargetRuntime::findEntry(
-    const std::string& name) const {
+    std::string_view name) const {
   const Shard& shard = shards_[shardIndex(name)];
   const std::shared_ptr<const RegistrySnapshot> snapshot =
       shard.snapshot.load(std::memory_order_acquire);
@@ -267,17 +269,23 @@ Decision TargetRuntime::guardedDecision(const std::string& regionName,
   obs::DecisionExplain* const explain =
       trace_ != nullptr ? &explainStorage : nullptr;
 
-  const pad::RegionAttributes* attr = database_.find(regionName);
+  // Plan-first ordering keeps the PAD probe (a string-keyed map lookup) off
+  // the hot path: a compiled plan only exists when the PAD entry did at
+  // registration, and the database is immutable after construction, so
+  // probing it is only needed when no plan is available.
   const std::shared_ptr<const RegionEntry> entry = findEntry(regionName);
-  if (attr == nullptr) {
-    // Missing/corrupt PAD entry: ModelGuided must degrade, not crash.
-    decision = selector_.decide(
-        RegionHandle::missing(regionName, database_.nearestRegionName(regionName)),
-        bindings, explain);
-    path = "degenerate";
-    pathCounter = instruments_.decisionsDegenerate;
-  } else if (entry == nullptr || entry->plan == nullptr) {
-    decision = selector_.decide(RegionHandle(*attr), bindings, explain);
+  if (entry == nullptr || entry->plan == nullptr) {
+    if (const pad::RegionAttributes* attr = database_.find(regionName)) {
+      decision = selector_.decide(RegionHandle(*attr), bindings, explain);
+    } else {
+      // Missing/corrupt PAD entry: ModelGuided must degrade, not crash.
+      decision = selector_.decide(
+          RegionHandle::missing(regionName,
+                                database_.nearestRegionName(regionName)),
+          bindings, explain);
+      path = "degenerate";
+      pathCounter = instruments_.decisionsDegenerate;
+    }
   } else {
     const CompiledRegionPlan& plan = *entry->plan;
     DecisionCache& cache = *entry->cache;
@@ -342,6 +350,227 @@ Decision TargetRuntime::guardedDecision(const std::string& regionName,
     }
   }
   return decision;
+}
+
+namespace {
+
+/// One arena per thread: decideBatch is re-entrant across runtimes (the
+/// arena is pure scratch) and steady-state batches reuse its capacity.
+BatchArena& threadBatchArena() {
+  static thread_local BatchArena arena;
+  return arena;
+}
+
+}  // namespace
+
+void TargetRuntime::decideBatch(std::span<const DecideRequest> requests,
+                                std::span<Decision> out) {
+  require(out.size() >= requests.size(),
+          "TargetRuntime::decideBatch: output span smaller than request span");
+  if (requests.empty()) return;
+  const std::size_t n = requests.size();
+  const std::int64_t startNs = trace_ != nullptr ? trace_->nowNs() : 0;
+  const auto wallStart = std::chrono::steady_clock::now();
+  BatchArena& arena = threadBatchArena();
+  arena.begin(n);
+  // Group requests by region: sort the index permutation by name, ties in
+  // request order so duplicate keys probe the cache deterministically. The
+  // common streams — one region, or already grouped — are detected with a
+  // single adjacent pass (same-pointer names short-circuit the compare), so
+  // the O(n log n) string sort is only paid for shuffled multi-region
+  // batches; skipping it leaves the identity order, which has the same
+  // request-order ties the sort would produce.
+  bool grouped = true;
+  for (std::size_t k = 1; k < n; ++k) {
+    const std::string_view prev = requests[k - 1].region;
+    const std::string_view cur = requests[k].region;
+    if (prev.data() == cur.data() && prev.size() == cur.size()) continue;
+    if (prev.compare(cur) > 0) {
+      grouped = false;
+      break;
+    }
+  }
+  if (!grouped) {
+    std::sort(arena.order.begin(), arena.order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                const int cmp = requests[a].region.compare(requests[b].region);
+                return cmp != 0 ? cmp < 0 : a < b;
+              });
+  }
+  // One epoch load per batch; scalar decide() loads it per call. Decide
+  // batches intentionally never consult the admission controller or the
+  // health tracker — both gate launch() execution, not model evaluation.
+  const std::uint64_t epoch =
+      state_->cacheEpoch.load(std::memory_order_acquire);
+  BatchCounters counters;
+  std::size_t groups = 0;
+  std::size_t i = 0;
+  while (i < n) {
+    const std::string_view region = requests[arena.order[i]].region;
+    std::size_t j = i + 1;
+    while (j < n && requests[arena.order[j]].region == region) ++j;
+    decideGroup(requests,
+                std::span<const std::uint32_t>(arena.order).subspan(i, j - i),
+                out, epoch, arena, counters);
+    ++groups;
+    i = j;
+  }
+  // Cache hits re-serve a memoized decision; their overheadSeconds reports
+  // this batch's amortized per-decision cost (fresh evaluations keep the
+  // wall time decideFromWorkloads measured for them).
+  const double batchSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wallStart)
+          .count();
+  const double amortized = batchSeconds / static_cast<double>(n);
+  for (const std::uint32_t request : arena.hitRequests) {
+    out[request].overheadSeconds = amortized;
+  }
+  if (counters.cacheLookups > 0) {
+    state_->cacheLookups.fetch_add(counters.cacheLookups,
+                                   std::memory_order_relaxed);
+    state_->cacheHits.fetch_add(counters.cacheHits, std::memory_order_relaxed);
+  }
+  if (trace_ != nullptr) {
+    if (counters.compiled > 0) {
+      instruments_.decisionsCompiled->add(counters.compiled);
+    }
+    if (counters.interpreted > 0) {
+      instruments_.decisionsInterpreted->add(counters.interpreted);
+    }
+    if (counters.degenerate > 0) {
+      instruments_.decisionsDegenerate->add(counters.degenerate);
+    }
+    if (counters.cacheHits > 0) {
+      instruments_.decisionsCacheHit->add(counters.cacheHits);
+    }
+    // The per-request overhead histogram gets one amortized sample per
+    // batch (its count then tallies batches, not requests — the batch_size
+    // histogram carries the request volume).
+    instruments_.decisionOverhead->record(amortized);
+    instruments_.batchSize->record(static_cast<double>(n));
+    const std::uint64_t lookups =
+        state_->cacheLookups.load(std::memory_order_relaxed);
+    if (lookups > 0) {
+      const std::uint64_t hits =
+          state_->cacheHits.load(std::memory_order_relaxed);
+      instruments_.cacheHitRatio->set(static_cast<double>(hits) /
+                                      static_cast<double>(lookups));
+    }
+    trace_->recordSpan("decide.batch", "batch",
+                       requests[arena.order[0]].region, startNs,
+                       trace_->nowNs() - startNs,
+                       {"requests", static_cast<double>(n)},
+                       {"groups", static_cast<double>(groups)});
+  }
+}
+
+void TargetRuntime::decideGroup(std::span<const DecideRequest> requests,
+                                std::span<const std::uint32_t> group,
+                                std::span<Decision> out, std::uint64_t epoch,
+                                BatchArena& arena, BatchCounters& counters) {
+  const std::string_view region = requests[group.front()].region;
+  const std::shared_ptr<const RegionEntry> entry = findEntry(region);
+  obs::DecisionExplain explainStorage;
+  obs::DecisionExplain* const explain =
+      trace_ != nullptr ? &explainStorage : nullptr;
+
+  if (entry == nullptr || entry->plan == nullptr) {
+    // No compiled plan: the scalar interpreted/degenerate paths per
+    // request, but the PAD probe (and nearest-name search for misses)
+    // happens once per group instead of once per request.
+    const std::string regionName(region);
+    if (const pad::RegionAttributes* attr = database_.find(regionName)) {
+      for (const std::uint32_t request : group) {
+        out[request] = selector_.decide(RegionHandle(*attr),
+                                        *requests[request].bindings, explain);
+        if (trace_ != nullptr) trace_->recordExplain(explainStorage);
+        ++counters.interpreted;
+      }
+    } else {
+      const std::string suggestion = database_.nearestRegionName(regionName);
+      for (const std::uint32_t request : group) {
+        out[request] =
+            selector_.decide(RegionHandle::missing(regionName, suggestion),
+                             *requests[request].bindings, explain);
+        if (trace_ != nullptr) trace_->recordExplain(explainStorage);
+        ++counters.degenerate;
+      }
+    }
+    return;
+  }
+
+  const CompiledRegionPlan& plan = *entry->plan;
+  if (!plan.fastPathUsable()) {
+    // Degenerate plan: scalar decide per request (it re-runs the
+    // interpreted walk, keeping diagnostics byte-identical to the oracle).
+    for (const std::uint32_t request : group) {
+      out[request] = selector_.decide(RegionHandle(plan),
+                                      *requests[request].bindings, explain);
+      if (trace_ != nullptr) trace_->recordExplain(explainStorage);
+      ++counters.compiled;
+    }
+    return;
+  }
+
+  // The SoA fast path: bind every row into slot-major columns, bulk-probe
+  // the cache, evaluate the misses with one op walk over all rows.
+  DecisionCache& cache = *entry->cache;
+  const std::size_t rows = group.size();
+  const std::size_t slots = plan.slotCount();
+  arena.beginGroup(rows, slots);
+  for (std::size_t r = 0; r < rows; ++r) {
+    arena.targets[r] = &out[group[r]];
+    arena.bindOk[r] =
+        plan.bindSlotsColumn(*requests[group[r]].bindings,
+                             arena.columns.data(), rows, r, arena.masks[r])
+            ? 1
+            : 0;
+  }
+  const DecisionCache::KeyBlock keys{arena.columns.data(), arena.masks.data(),
+                                     slots, rows};
+  const bool useCache = decisionCacheEnabled_ && cache.capacity() != 0;
+  if (useCache) {
+    const std::size_t hits =
+        cache.findMany(keys, arena.targets.data(), arena.hits.data(), epoch);
+    counters.cacheLookups += rows;
+    counters.cacheHits += hits;
+    counters.compiled += rows - hits;
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (arena.hits[r] != 0) {
+        arena.hitRequests.push_back(group[r]);
+      } else {
+        arena.missRows.push_back(static_cast<std::uint32_t>(r));
+      }
+    }
+  } else {
+    for (std::size_t r = 0; r < rows; ++r) {
+      arena.missRows.push_back(static_cast<std::uint32_t>(r));
+    }
+    counters.compiled += rows;
+  }
+  if (arena.missRows.empty()) return;
+
+  plan.completeWorkloadsColumns(arena.columns.data(), arena.masks.data(), rows,
+                                arena.exprOut.data(), arena.exprScratch.data(),
+                                arena.cpuWorkloads.data(),
+                                arena.gpuWorkloads.data());
+  for (const std::uint32_t r : arena.missRows) {
+    if (arena.bindOk[r] != 0) {
+      *arena.targets[r] = selector_.decideFromWorkloads(
+          plan, arena.cpuWorkloads[r], arena.gpuWorkloads[r], explain);
+    } else {
+      // Unbindable rows re-run the scalar compiled decide, which falls back
+      // to the interpreted walk for byte-identical diagnostics. Their key
+      // (partial values + mask) is still cached, as the scalar path does.
+      *arena.targets[r] = selector_.decide(
+          RegionHandle(plan), *requests[group[r]].bindings, explain);
+    }
+    if (trace_ != nullptr) trace_->recordExplain(explainStorage);
+  }
+  if (useCache) {
+    cache.insertMany(keys, arena.missRows, arena.targets.data(), epoch);
+  }
 }
 
 void TargetRuntime::recordExecution(LaunchRecord& record,

@@ -24,10 +24,12 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -37,6 +39,7 @@
 #include "obs/trace.h"
 #include "pad/attribute_db.h"
 #include "runtime/admission.h"
+#include "runtime/batch.h"
 #include "runtime/compiled_plan.h"
 #include "runtime/decision_cache.h"
 #include "runtime/launch_guard.h"
@@ -186,6 +189,29 @@ class TargetRuntime {
   [[nodiscard]] Decision decide(const std::string& regionName,
                                 const symbolic::Bindings& bindings);
 
+  /// Batched decide: fills out[i] with the decision for requests[i]
+  /// (out.size() >= requests.size(); anything else is a
+  /// support::PreconditionError). The streaming shape the `oseld` wire
+  /// protocol batches into, amortizing everything scalar decide() pays per
+  /// call: one registry-snapshot acquire per region group, one trace span
+  /// and one `decide.batch_size` histogram sample per batch, one bulk
+  /// decision-cache probe/back-fill (findMany/insertMany — a single lock
+  /// acquisition per group) and SoA compiled-plan evaluation for the
+  /// misses, using a preallocated thread_local BatchArena so the
+  /// steady-state path does no per-request allocation or string hashing.
+  ///
+  /// Every decision is bit-identical to what scalar decide() would return
+  /// for that (region, bindings) — including degenerate regions, unbound
+  /// symbols, and non-finite predictions (pinned by the batch equivalence
+  /// suite) — except Decision::overheadSeconds: cache-hit rows report the
+  /// amortized per-decision batch cost instead of an individually measured
+  /// wall time. Decide-only batches never touch the admission controller
+  /// or the GPU health tracker; those gate launch(), not decisions.
+  /// Thread-safe against concurrent decide/decideBatch/registerRegion/
+  /// invalidateDecisionCaches callers, like decide().
+  void decideBatch(std::span<const DecideRequest> requests,
+                   std::span<Decision> out);
+
   /// Measures one execution of a region on a specific device (ground-truth
   /// simulation against `store`).
   [[nodiscard]] double measure(const std::string& regionName,
@@ -251,11 +277,24 @@ class TargetRuntime {
     std::shared_ptr<DecisionCache> cache;
   };
 
+  /// Transparent hasher so DecideRequest's string_view names probe the
+  /// registry without materializing a std::string per request.
+  /// std::hash<std::string> and std::hash<std::string_view> are guaranteed
+  /// to agree for equal content, so shard assignment stays consistent
+  /// across key types.
+  struct NameHash {
+    using is_transparent = void;
+    [[nodiscard]] std::size_t operator()(std::string_view name) const noexcept {
+      return std::hash<std::string_view>{}(name);
+    }
+  };
+
   /// Immutable name → entry map one shard publishes. Replaced wholesale
   /// (copy-on-write) under the shard's write mutex; readers load the
   /// shared_ptr atomically and never block.
   using RegistrySnapshot =
-      std::unordered_map<std::string, std::shared_ptr<const RegionEntry>>;
+      std::unordered_map<std::string, std::shared_ptr<const RegionEntry>,
+                         NameHash, std::equal_to<>>;
 
   struct Shard {
     /// Serializes writers (registration); readers never take it.
@@ -298,18 +337,19 @@ class TargetRuntime {
     obs::Gauge* cacheHitRatio = nullptr;
     obs::Histogram* decisionOverhead = nullptr;
     obs::Histogram* predictionError = nullptr;
+    obs::Histogram* batchSize = nullptr;
   };
 
   void initInstruments();
 
-  [[nodiscard]] std::size_t shardIndex(const std::string& name) const {
-    return std::hash<std::string>{}(name) % shardCount_;
+  [[nodiscard]] std::size_t shardIndex(std::string_view name) const {
+    return std::hash<std::string_view>{}(name) % shardCount_;
   }
   /// Lock-free registry read: one atomic snapshot load + map find. The
   /// returned entry stays alive (shared ownership) even if the region is
   /// re-registered mid-decide.
   [[nodiscard]] std::shared_ptr<const RegionEntry> findEntry(
-      const std::string& name) const;
+      std::string_view name) const;
 
   /// Selector evaluation that never throws: a region missing from the PAD
   /// degrades to an invalid decision on the safe default device. Routes
@@ -318,6 +358,15 @@ class TargetRuntime {
   [[nodiscard]] Decision guardedDecision(const std::string& regionName,
                                          const symbolic::Bindings& bindings,
                                          LaunchRecord& record);
+  /// One region group of a decideBatch() call: a single registry lookup,
+  /// one bulk cache probe/back-fill, SoA evaluation for the misses, scalar
+  /// fallbacks for degenerate rows. `group` lists the request indices (all
+  /// naming the same region); tallies land in `counters` for one
+  /// per-batch publish.
+  void decideGroup(std::span<const DecideRequest> requests,
+                   std::span<const std::uint32_t> group,
+                   std::span<Decision> out, std::uint64_t epoch,
+                   BatchArena& arena, BatchCounters& counters);
   /// measure() plus, when a trace session is attached, execution spans —
   /// GPU runs additionally get kernel/transfer sub-spans whose simulated
   /// fractions are projected onto the wall-clock span.

@@ -64,6 +64,32 @@ class CompiledExpr {
     return total;
   }
 
+  /// SoA batch evaluation: evaluates the expression over `rows` binding
+  /// rows laid out column-wise (slot-major), writing one result per row
+  /// into `out`. `columns[slot * rows + row]` holds the value of `slot`
+  /// for `row`; `scratch` is caller-provided per-row workspace (>= rows
+  /// entries). Each op of the compiled term stream loops over the rows —
+  /// the term walk and slot indirection are paid once per batch instead of
+  /// once per request, and the inner loops run over contiguous columns.
+  /// Results are bit-identical to calling evaluate() row by row (int64
+  /// wraparound arithmetic is associative and commutative). No allocation.
+  void evaluateColumns(const std::int64_t* columns, std::size_t rows,
+                       std::int64_t* out, std::int64_t* scratch) const {
+    for (std::size_t r = 0; r < rows; ++r) out[r] = 0;
+    for (const Term& term : terms_) {
+      if (term.slots.empty()) {
+        for (std::size_t r = 0; r < rows; ++r) out[r] += term.coefficient;
+        continue;
+      }
+      for (std::size_t r = 0; r < rows; ++r) scratch[r] = term.coefficient;
+      for (const std::size_t slot : term.slots) {
+        const std::int64_t* column = columns + slot * rows;
+        for (std::size_t r = 0; r < rows; ++r) scratch[r] *= column[r];
+      }
+      for (std::size_t r = 0; r < rows; ++r) out[r] += scratch[r];
+    }
+  }
+
   /// True iff the expression is a compile-time constant.
   [[nodiscard]] bool isConstant() const {
     return terms_.empty() || (terms_.size() == 1 && terms_[0].slots.empty());

@@ -1,0 +1,219 @@
+#include "workload/workload.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "support/check.h"
+#include "support/format.h"
+
+namespace osel::workload {
+
+using support::require;
+
+std::string_view toString(Shape shape) {
+  switch (shape) {
+    case Shape::Uniform:
+      return "uniform";
+    case Shape::Zipfian:
+      return "zipfian";
+    case Shape::Bursty:
+      return "bursty";
+  }
+  return "?";
+}
+
+Shape parseShape(std::string_view name) {
+  if (name == "uniform") return Shape::Uniform;
+  if (name == "zipfian") return Shape::Zipfian;
+  if (name == "bursty") return Shape::Bursty;
+  throw support::PreconditionError(
+      "workload::parseShape: unknown shape '" + std::string(name) +
+      "' (expected uniform, zipfian, or bursty)");
+}
+
+Generator::Generator(Shape shape, std::vector<Candidate> candidates,
+                     GeneratorOptions options)
+    : shape_(shape),
+      candidates_(std::move(candidates)),
+      options_(options),
+      rng_(options.seed) {
+  require(!candidates_.empty(),
+          "workload::Generator: candidate set must be non-empty");
+  for (const Candidate& candidate : candidates_) {
+    require(!candidate.bindingChoices.empty(),
+            "workload::Generator: candidate " + candidate.region +
+                " has no binding choices");
+  }
+  if (shape_ == Shape::Zipfian) {
+    // p(rank k) ∝ 1/k^s over the candidates in listed order; the CDF is
+    // normalized so a uniform [0,1) draw binary-searches a rank.
+    zipfCdf_.reserve(candidates_.size());
+    double total = 0.0;
+    for (std::size_t rank = 1; rank <= candidates_.size(); ++rank) {
+      total += 1.0 /
+               std::pow(static_cast<double>(rank), options_.zipfExponent);
+      zipfCdf_.push_back(total);
+    }
+    for (double& value : zipfCdf_) value /= total;
+  }
+}
+
+std::size_t Generator::drawCandidate() {
+  if (shape_ == Shape::Zipfian) {
+    const double draw = rng_.nextDouble();
+    std::size_t lo = 0;
+    std::size_t hi = zipfCdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (zipfCdf_[mid] <= draw) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+  return static_cast<std::size_t>(rng_.nextBelow(candidates_.size()));
+}
+
+void Generator::next(Item& item) {
+  const Candidate& candidate = candidates_[drawCandidate()];
+  item.region = candidate.region;
+  item.bindings =
+      candidate.bindingChoices[static_cast<std::size_t>(
+          rng_.nextBelow(candidate.bindingChoices.size()))];
+  item.gapSeconds = 0.0;
+  if (shape_ == Shape::Bursty) {
+    // On/off pacing: a burst of burstLength back-to-back items, then one
+    // idle gap carried by the first item of the next burst.
+    if (burstPosition_ == 0) item.gapSeconds = options_.burstGapSeconds;
+    burstPosition_ = (burstPosition_ + 1) % options_.burstLength;
+  }
+}
+
+std::vector<Item> Generator::take(std::size_t count) {
+  std::vector<Item> items(count);
+  for (Item& item : items) next(item);
+  return items;
+}
+
+std::string serializeTrace(std::span<const Item> items) {
+  std::string out;
+  out.reserve(items.size() * 48);
+  char buffer[48];
+  for (const Item& item : items) {
+    const int n =
+        std::snprintf(buffer, sizeof(buffer), "%.9g", item.gapSeconds);
+    out.append(buffer, static_cast<std::size_t>(n));
+    out.push_back(',');
+    support::csvQuote(out, item.region);
+    out.push_back(',');
+    bool first = true;
+    for (const auto& [symbol, value] : item.bindings) {
+      if (!first) out.push_back(';');
+      first = false;
+      out.append(symbol);
+      out.push_back('=');
+      const int m = std::snprintf(buffer, sizeof(buffer), "%lld",
+                                  static_cast<long long>(value));
+      out.append(buffer, static_cast<std::size_t>(m));
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+namespace {
+
+/// Consumes one CSV field (RFC-4180: quoted fields may contain commas,
+/// doubled quotes escape a quote) and the trailing comma if present.
+std::string takeCsvField(std::string_view& rest, std::string_view line) {
+  std::string field;
+  if (!rest.empty() && rest.front() == '"') {
+    rest.remove_prefix(1);
+    for (;;) {
+      require(!rest.empty(), "workload::parseTrace: unterminated quote in '" +
+                                 std::string(line) + "'");
+      const char c = rest.front();
+      rest.remove_prefix(1);
+      if (c != '"') {
+        field.push_back(c);
+        continue;
+      }
+      if (!rest.empty() && rest.front() == '"') {
+        field.push_back('"');
+        rest.remove_prefix(1);
+        continue;
+      }
+      break;
+    }
+  } else {
+    const std::size_t comma = rest.find(',');
+    field = std::string(rest.substr(0, comma));
+    rest.remove_prefix(comma == std::string_view::npos ? rest.size() : comma);
+  }
+  if (!rest.empty() && rest.front() == ',') rest.remove_prefix(1);
+  return field;
+}
+
+}  // namespace
+
+std::vector<Item> parseTrace(std::string_view text) {
+  std::vector<Item> items;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line.front() == '#') continue;
+
+    std::string_view rest = line;
+    Item item;
+    const std::string gapField = takeCsvField(rest, line);
+    char* gapEnd = nullptr;
+    item.gapSeconds = std::strtod(gapField.c_str(), &gapEnd);
+    require(gapEnd != gapField.c_str(),
+            "workload::parseTrace: bad gap in '" + std::string(line) + "'");
+    item.region = takeCsvField(rest, line);
+    require(!item.region.empty(),
+            "workload::parseTrace: empty region in '" + std::string(line) +
+                "'");
+    // Bindings field: k=v;k=v (may be empty for binding-free regions).
+    while (!rest.empty()) {
+      std::size_t semi = rest.find(';');
+      if (semi == std::string_view::npos) semi = rest.size();
+      const std::string_view pair = rest.substr(0, semi);
+      rest.remove_prefix(semi == rest.size() ? semi : semi + 1);
+      const std::size_t eq = pair.find('=');
+      require(eq != std::string_view::npos && eq > 0,
+              "workload::parseTrace: bad binding '" + std::string(pair) +
+                  "' in '" + std::string(line) + "'");
+      std::int64_t value = 0;
+      const auto [ptr, ec] = std::from_chars(
+          pair.data() + eq + 1, pair.data() + pair.size(), value);
+      require(ec == std::errc{} && ptr == pair.data() + pair.size(),
+              "workload::parseTrace: bad binding value '" + std::string(pair) +
+                  "' in '" + std::string(line) + "'");
+      item.bindings[std::string(pair.substr(0, eq))] = value;
+    }
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+TraceReplayer::TraceReplayer(std::vector<Item> items)
+    : items_(std::move(items)) {
+  require(!items_.empty(), "workload::TraceReplayer: trace must be non-empty");
+}
+
+const Item& TraceReplayer::next() {
+  const Item& item = items_[position_];
+  position_ = (position_ + 1) % items_.size();
+  return item;
+}
+
+}  // namespace osel::workload

@@ -1,0 +1,123 @@
+// osel/workload/workload.h — request-stream generators and trace replay.
+//
+// The ROADMAP's workload frontend (DRAMsim3's cpu.h RandomCPU / StreamCPU /
+// TraceCPU mold, adapted to decision traffic): realistic target-offloading
+// traffic is a stream of (region, bindings) requests with a shape — uniform
+// scatter, hot-key skew, or on/off bursts — and the batched decide path has
+// to be benchmarked under those shapes, not just a tight single-key loop.
+// Generators are deterministic in their seed (support::SplitMix64), so every
+// bench/experiment documents one seed and reproduces bit-identical streams.
+//
+// Trace record/replay closes the loop: a generated (or live-captured)
+// stream serializes to a line-oriented text form and replays later, which
+// is how `oseld` request logs become offline benchmark inputs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/rng.h"
+#include "symbolic/expr.h"
+
+namespace osel::workload {
+
+/// One request of a workload stream: which region to decide/launch and the
+/// runtime bindings.
+struct Item {
+  std::string region;
+  symbolic::Bindings bindings;
+  /// Arrival gap before this item in seconds (open-loop pacing); 0 inside a
+  /// burst and for the shapes that model a saturating caller.
+  double gapSeconds = 0.0;
+};
+
+/// One region a generator can draw, with the binding sets it may request.
+struct Candidate {
+  std::string region;
+  std::vector<symbolic::Bindings> bindingChoices;
+};
+
+/// Traffic shapes (ROADMAP: uniform-random, hot-key Zipfian, bursty on/off).
+enum class Shape { Uniform, Zipfian, Bursty };
+
+[[nodiscard]] std::string_view toString(Shape shape);
+/// Parses "uniform" / "zipfian" / "bursty"; throws support::PreconditionError
+/// on anything else (the CLI surface of --workload flags).
+[[nodiscard]] Shape parseShape(std::string_view name);
+
+struct GeneratorOptions {
+  std::uint64_t seed = 2019;
+  /// Zipfian exponent: candidate ranked k (by listed order) draws with
+  /// probability proportional to 1/k^s. 1.2 gives the classic hot-key skew
+  /// where the top region dominates.
+  double zipfExponent = 1.2;
+  /// Bursty shape: items per on-burst and the idle gap between bursts.
+  std::size_t burstLength = 64;
+  double burstGapSeconds = 1e-3;
+};
+
+/// Deterministic request-stream generator over a fixed candidate set.
+/// next() never allocates beyond the Bindings copy it hands out; streams
+/// from equal (shape, candidates, options) are identical.
+class Generator {
+ public:
+  /// `candidates` must be non-empty and every candidate must offer at least
+  /// one binding choice (support::PreconditionError otherwise).
+  Generator(Shape shape, std::vector<Candidate> candidates,
+            GeneratorOptions options = {});
+
+  /// Fills `item` with the next request of the stream.
+  void next(Item& item);
+
+  /// Convenience: materializes the next `count` items.
+  [[nodiscard]] std::vector<Item> take(std::size_t count);
+
+  [[nodiscard]] Shape shape() const { return shape_; }
+
+ private:
+  [[nodiscard]] std::size_t drawCandidate();
+
+  Shape shape_;
+  std::vector<Candidate> candidates_;
+  GeneratorOptions options_;
+  support::SplitMix64 rng_;
+  /// Zipfian cumulative distribution over candidate ranks.
+  std::vector<double> zipfCdf_;
+  /// Bursty on/off position within the current burst.
+  std::size_t burstPosition_ = 0;
+};
+
+/// Serializes a stream, one item per line:
+///   `<gap_seconds>,<region>,<k>=<v>[;<k>=<v>...]`
+/// with the region RFC-4180-quoted when it contains a delimiter, so
+/// arbitrary region names round-trip. Deterministic output for
+/// deterministic input.
+[[nodiscard]] std::string serializeTrace(std::span<const Item> items);
+
+/// Parses serializeTrace() output (blank lines and `#` comment lines are
+/// skipped). Throws support::PreconditionError on malformed rows.
+[[nodiscard]] std::vector<Item> parseTrace(std::string_view text);
+
+/// Replays a recorded stream, cycling when it reaches the end — the
+/// TraceCPU counterpart to Generator. The items are copied in, so the
+/// replayer owns its stream.
+class TraceReplayer {
+ public:
+  /// `items` must be non-empty (support::PreconditionError).
+  explicit TraceReplayer(std::vector<Item> items);
+
+  /// The next item of the stream (wrapping); the reference is valid until
+  /// the replayer is destroyed.
+  [[nodiscard]] const Item& next();
+
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+
+ private:
+  std::vector<Item> items_;
+  std::size_t position_ = 0;
+};
+
+}  // namespace osel::workload

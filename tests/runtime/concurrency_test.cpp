@@ -181,6 +181,52 @@ TEST(RuntimeConcurrency, InvalidateRacesDecides) {
   EXPECT_EQ(stats.hits + stats.misses, stats.lookups);
 }
 
+TEST(RuntimeConcurrency, BatchDecideRacesRegistrationAndInvalidation) {
+  // The batch fast path under the full churn mix: worker threads issue
+  // decideBatch over two regions and three sizes (hit/miss interleavings)
+  // while one thread re-registers a region (registry snapshot swaps drop
+  // the plan the batch may be holding) and another sweeps the decision
+  // caches (epoch bumps race the bulk insertMany). Everything must stay
+  // valid, and the bulk cache API must keep the stats invariant.
+  TargetRuntime runtime = makeRuntime({"batcha", "batchb"});
+  constexpr std::size_t kBatch = 16;
+  std::atomic<bool> stop{false};
+  std::thread registrar([&] {
+    for (int i = 0; i < 60; ++i) runtime.registerRegion(makeKernel("batcha"));
+  });
+  std::thread invalidator([&] {
+    for (int i = 0; i < 200; ++i) runtime.invalidateDecisionCaches();
+    stop.store(true, std::memory_order_release);
+  });
+  runThreads(kThreads, [&](int t) {
+    const std::array<std::string, 2> names{"batcha", "batchb"};
+    std::array<symbolic::Bindings, 3> sizes;
+    for (int s = 0; s < 3; ++s) {
+      sizes[static_cast<std::size_t>(s)] =
+          symbolic::Bindings{{"n", 64 + 32 * s}};
+    }
+    std::array<DecideRequest, kBatch> requests;
+    std::array<Decision, kBatch> out;
+    int round = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      for (std::size_t j = 0; j < kBatch; ++j) {
+        const std::size_t pick = static_cast<std::size_t>(t + round) + j;
+        requests[j] = {names[pick % names.size()],
+                       &sizes[pick % sizes.size()]};
+      }
+      runtime.decideBatch(requests, out);
+      for (const Decision& decision : out) ASSERT_TRUE(decision.valid);
+      ++round;
+    }
+  });
+  registrar.join();
+  invalidator.join();
+  for (const char* name : {"batcha", "batchb"}) {
+    const DecisionCache::Stats stats = runtime.decisionCacheStats(name);
+    EXPECT_EQ(stats.hits + stats.misses, stats.lookups) << name;
+  }
+}
+
 // --- Fault injection under concurrency --------------------------------------
 
 class ConcurrentFaultTest : public ::testing::Test {
