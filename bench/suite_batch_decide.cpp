@@ -198,7 +198,8 @@ int main(int argc, char** argv) {
                    traceOut.c_str());
       return 1;
     }
-    const std::string text = workload::serializeTrace(items);
+    const std::string text = workload::serializeTrace(
+        items, {.seed = static_cast<std::uint64_t>(seed)});
     std::fputs(text.c_str(), out);
     std::fclose(out);
     std::fprintf(stderr, "suite_batch_decide: wrote %zu items to %s\n",

@@ -38,6 +38,12 @@
 //                            memoization cache (requires --workload; the
 //                            log's decision_cache_hit column shows the
 //                            effect)
+//   --record-trace <file>    write the generated --workload stream as a
+//                            versioned workload trace file (#!osel-trace
+//                            header carrying the generator seed) for later
+//                            replay through suite_batch_decide --trace-in
+//                            or loadgen_oseld --trace-in (requires
+//                            --workload)
 #include <algorithm>
 #include <array>
 #include <cstdio>
@@ -161,6 +167,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "suite_launch_log: --batch requires --workload\n");
     return 2;
   }
+  const std::string recordTrace = cl.stringOption("record-trace").value_or("");
+  if (!recordTrace.empty() && workloadName.empty()) {
+    std::fprintf(stderr,
+                 "suite_launch_log: --record-trace requires --workload\n");
+    return 2;
+  }
 
   // Compile the whole suite into one PAD, then drive the runtime.
   std::vector<ir::TargetRegion> regions;
@@ -253,8 +265,25 @@ int main(int argc, char** argv) {
       workload::GeneratorOptions genOptions;
       genOptions.seed = workloadSeed;
       workload::Generator generator(shape, std::move(candidates), genOptions);
-      launchStream(rt, generator.take(workloadRequests), benchmarkByKernel,
-                   policy, batch);
+      const std::vector<workload::Item> stream =
+          generator.take(workloadRequests);
+      if (!recordTrace.empty()) {
+        std::FILE* out = std::fopen(recordTrace.c_str(), "w");
+        if (out == nullptr) {
+          std::fprintf(stderr,
+                       "suite_launch_log: cannot open %s for writing\n",
+                       recordTrace.c_str());
+          return 1;
+        }
+        const std::string text =
+            workload::serializeTrace(stream, {.seed = workloadSeed});
+        std::fputs(text.c_str(), out);
+        std::fclose(out);
+        std::fprintf(stderr,
+                     "suite_launch_log: recorded %zu-item %s trace to %s\n",
+                     stream.size(), workloadName.c_str(), recordTrace.c_str());
+      }
+      launchStream(rt, stream, benchmarkByKernel, policy, batch);
     } else {
       for (const polybench::Benchmark& benchmark : suite)
         launchBenchmark(rt, benchmark, mode, scale, policy);

@@ -33,6 +33,10 @@
 #include "runtime/launch_guard.h"
 #include "runtime/selector.h"
 #include "runtime/target_runtime.h"
+#include "service/client.h"
+#include "service/codec.h"
+#include "service/osel_abi.h"
+#include "service/server.h"
 #include "support/error.h"
 #include "support/faultinject.h"
 #include "symbolic/expr.h"

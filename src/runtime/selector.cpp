@@ -142,19 +142,6 @@ Decision OffloadSelector::decide(const RegionHandle& region,
   return decision;
 }
 
-// Deprecated pre-RegionHandle entry points. Exact-signature matches keep
-// pre-redesign call sites binding here (with a deprecation warning) rather
-// than through the implicit RegionHandle conversion.
-Decision OffloadSelector::decide(const pad::RegionAttributes& attr,
-                                 const symbolic::Bindings& bindings) const {
-  return decide(RegionHandle(attr), bindings);
-}
-
-Decision OffloadSelector::decide(const CompiledRegionPlan& plan,
-                                 const symbolic::Bindings& bindings) const {
-  return decide(RegionHandle(plan), bindings);
-}
-
 Decision OffloadSelector::decideInterpreted(
     const pad::RegionAttributes& attr, const symbolic::Bindings& bindings,
     obs::DecisionExplain* explain) const {

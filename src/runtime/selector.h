@@ -175,22 +175,6 @@ class OffloadSelector {
       const gpumodel::GpuWorkload& gpu,
       obs::DecisionExplain* explain = nullptr) const;
 
-  /// Deprecated shim for the pre-RegionHandle API; forwards to
-  /// decide(RegionHandle(attr), bindings).
-  [[deprecated(
-      "use decide(RegionHandle, Bindings); RegionHandle converts from "
-      "RegionAttributes")]] [[nodiscard]] Decision
-  decide(const pad::RegionAttributes& attr,
-         const symbolic::Bindings& bindings) const;
-
-  /// Deprecated shim for the pre-RegionHandle API; forwards to
-  /// decide(RegionHandle(plan), bindings).
-  [[deprecated(
-      "use decide(RegionHandle, Bindings); RegionHandle converts from "
-      "CompiledRegionPlan")]] [[nodiscard]] Decision
-  decide(const CompiledRegionPlan& plan,
-         const symbolic::Bindings& bindings) const;
-
   /// Lowers a PAD entry into a compiled decision plan bound to this
   /// selector's configuration (MCA host entry, cache-line size). Pay this
   /// once at region registration; decide(RegionHandle(plan), ...) then

@@ -106,18 +106,6 @@ TargetRuntime::TargetRuntime(pad::AttributeDatabase database,
   initInstruments();
 }
 
-TargetRuntime::TargetRuntime(pad::AttributeDatabase database,
-                             SelectorConfig selectorConfig,
-                             cpusim::CpuSimParams cpuSim, int cpuThreads,
-                             gpusim::GpuSimParams gpuSim, RuntimeOptions options)
-    : TargetRuntime(std::move(database), [&] {
-        options.selector = std::move(selectorConfig);
-        options.cpuSim = std::move(cpuSim);
-        options.cpuSimThreads = cpuThreads;
-        options.gpuSim = std::move(gpuSim);
-        return std::move(options);
-      }()) {}
-
 void TargetRuntime::initInstruments() {
   if (trace_ == nullptr) return;
   obs::MetricsRegistry& metrics = trace_->metrics();

@@ -144,15 +144,6 @@ class TargetRuntime {
   explicit TargetRuntime(pad::AttributeDatabase database,
                          RuntimeOptions options = {});
 
-  /// Deprecated shim for the pre-RuntimeOptions constructor grab-bag; folds
-  /// the loose arguments into `options` and delegates.
-  [[deprecated(
-      "construct with TargetRuntime(database, RuntimeOptions) — the loose "
-      "selector/simulator arguments moved into RuntimeOptions")]]
-  TargetRuntime(pad::AttributeDatabase database, SelectorConfig selectorConfig,
-                cpusim::CpuSimParams cpuSim, int cpuThreads,
-                gpusim::GpuSimParams gpuSim, RuntimeOptions options = {});
-
   /// Registers the executable version of a region (must verify and must
   /// have a PAD entry for ModelGuided launches). When a PAD entry exists,
   /// it is lowered into a CompiledRegionPlan here — the compile-time half

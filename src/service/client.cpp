@@ -1,0 +1,134 @@
+#include "service/client.h"
+
+#include "support/check.h"
+
+namespace osel::service {
+
+Client Client::connect(const std::string& path) {
+  Client client(connectUnix(path));
+  client.handshake();
+  return client;
+}
+
+Client Client::connectPort(std::uint16_t port) {
+  Client client(connectTcp(port));
+  client.handshake();
+  return client;
+}
+
+Client::Client(Socket socket) : socket_(std::move(socket)) {}
+
+void Client::handshake() {
+  HelloFrame hello;
+  hello.versionMin = 1;
+  hello.versionMax = kProtocolVersion;
+  hello.featureBits = kFeatureBatch | kFeatureStats | kFeaturePrometheus;
+  encodeHello(outBuffer_, hello);
+  std::string payload;
+  const FrameHeader header = exchange(payload);
+  expectType(header, payload, FrameType::HelloAck);
+  const HelloAckFrame ack = parseHelloAck(payload);
+  version_ = ack.version;
+  featureBits_ = ack.featureBits;
+  maxFrameBytes_ = ack.maxFrameBytes;
+  decoder_.setMaxFrameBytes(ack.maxFrameBytes);
+}
+
+void Client::ping() {
+  encodePing(outBuffer_);
+  std::string payload;
+  const FrameHeader header = exchange(payload);
+  expectType(header, payload, FrameType::Pong);
+}
+
+runtime::Decision Client::decide(std::string_view region,
+                                 const symbolic::Bindings& bindings) {
+  const std::uint64_t id = nextRequestId_++;
+  encodeDecideRequest(outBuffer_, id, region, bindings);
+  std::string payload;
+  const FrameHeader header = exchange(payload);
+  expectType(header, payload, FrameType::Decision);
+  DecisionView view;
+  parseDecision(payload, view);
+  if (view.requestId != id) {
+    throw CodecError(WireCode::BadFrame,
+                     "client: Decision answered request " +
+                         std::to_string(view.requestId) + ", expected " +
+                         std::to_string(id));
+  }
+  return view.decision;
+}
+
+void Client::decideBatch(std::string_view region,
+                         std::span<const std::string_view> slots,
+                         std::uint32_t rows,
+                         std::span<const std::int64_t> values,
+                         std::vector<runtime::Decision>& out) {
+  const std::uint64_t id = nextRequestId_;
+  nextRequestId_ += rows == 0 ? 1 : rows;  // rows echo id..id+rows-1
+  encodeDecideBatch(outBuffer_, id, region, slots, rows, values);
+  std::string payload;
+  const FrameHeader header = exchange(payload);
+  expectType(header, payload, FrameType::DecisionBatch);
+  std::vector<DecisionView> views;
+  parseDecisionBatch(payload, views);
+  if (views.size() != rows) {
+    throw CodecError(WireCode::BadFrame,
+                     "client: DecisionBatch carried " +
+                         std::to_string(views.size()) + " rows, expected " +
+                         std::to_string(rows));
+  }
+  out.resize(views.size());
+  for (std::size_t row = 0; row < views.size(); ++row) {
+    if (views[row].requestId != id + row) {
+      throw CodecError(WireCode::BadFrame,
+                       "client: DecisionBatch row " + std::to_string(row) +
+                           " echoed request " +
+                           std::to_string(views[row].requestId));
+    }
+    out[row] = views[row].decision;
+  }
+}
+
+std::string Client::stats(StatsFormat format) {
+  encodeStatsRequest(outBuffer_, format);
+  std::string payload;
+  const FrameHeader header = exchange(payload);
+  expectType(header, payload, FrameType::Stats);
+  return std::string(parseStats(payload));
+}
+
+FrameHeader Client::exchange(std::string& payload) {
+  sendAll(socket_, outBuffer_);
+  outBuffer_.clear();
+  return readFrame(payload);
+}
+
+FrameHeader Client::readFrame(std::string& payload) {
+  FrameHeader header;
+  char buffer[64 * 1024];
+  for (;;) {
+    if (decoder_.next(header, payload)) return header;
+    const std::size_t got = recvSome(socket_, buffer, sizeof(buffer));
+    if (got == 0) {
+      throw SocketError("client: server closed the connection mid-exchange");
+    }
+    decoder_.append(buffer, got);
+  }
+}
+
+void Client::expectType(const FrameHeader& header, std::string_view payload,
+                        FrameType expected) {
+  const auto type = static_cast<FrameType>(header.type);
+  if (type == expected) return;
+  if (type == FrameType::Error) {
+    const ErrorView error = parseError(payload);
+    throw ServiceError(error.code, std::string(error.message));
+  }
+  throw CodecError(WireCode::BadFrame,
+                   "client: expected frame type " +
+                       std::to_string(static_cast<int>(expected)) + ", got " +
+                       std::to_string(header.type));
+}
+
+}  // namespace osel::service

@@ -1,0 +1,103 @@
+// osel/service/client.h — blocking client for the oseld wire protocol.
+//
+// One Client wraps one connection: connect() performs the Hello/HelloAck
+// version negotiation, after which decide()/decideBatch()/ping()/stats()
+// are synchronous request/response exchanges. An ErrorFrame answer raises
+// ServiceError carrying the wire code, so callers see the server's error
+// taxonomy as typed exceptions rather than sentinel decisions. Used by
+// `oselctl`, `loadgen_oseld`, and the service tests; not thread-safe —
+// open one Client per thread.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runtime/selector.h"
+#include "service/codec.h"
+#include "service/socket.h"
+#include "symbolic/expr.h"
+
+namespace osel::service {
+
+/// The server answered ErrorFrame{code}; message is the server's text.
+class ServiceError : public std::runtime_error, public osel::Error {
+ public:
+  ServiceError(WireCode wireCode, const std::string& message)
+      : std::runtime_error(message), wireCode_(wireCode) {}
+
+  [[nodiscard]] WireCode wireCode() const noexcept { return wireCode_; }
+  [[nodiscard]] ErrorCode code() const noexcept override {
+    return errorCodeFor(wireCode_);
+  }
+  [[nodiscard]] const char* what() const noexcept override {
+    return std::runtime_error::what();
+  }
+
+ private:
+  WireCode wireCode_;
+};
+
+class Client {
+ public:
+  /// Connects to a Unix-domain socket and completes the handshake. Throws
+  /// ConnectError when nothing listens on `path`, ServiceError when the
+  /// server refuses (version mismatch, shed), CodecError on wire garbage.
+  [[nodiscard]] static Client connect(const std::string& path);
+  /// Same over loopback TCP (the optional transport).
+  [[nodiscard]] static Client connectPort(std::uint16_t port);
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  /// Negotiated protocol version / granted feature bits / the server's
+  /// frame-size ceiling, all from HelloAck.
+  [[nodiscard]] std::uint16_t version() const { return version_; }
+  [[nodiscard]] std::uint32_t featureBits() const { return featureBits_; }
+  [[nodiscard]] std::uint32_t maxFrameBytes() const { return maxFrameBytes_; }
+
+  /// Ping → Pong round trip (liveness probe for `oselctl ping`).
+  void ping();
+
+  /// One decision over the wire. Only the wire-stable Decision subset is
+  /// populated (device, valid, diagnostic, cpu.seconds, gpu.totalSeconds,
+  /// overheadSeconds).
+  [[nodiscard]] runtime::Decision decide(std::string_view region,
+                                         const symbolic::Bindings& bindings);
+
+  /// Batched decisions for `rows` rows sharing one region and slot set;
+  /// `values` is slot-major (values[slot * rows + row]). Decisions land in
+  /// `out` (resized to `rows`), row order preserved.
+  void decideBatch(std::string_view region,
+                   std::span<const std::string_view> slots, std::uint32_t rows,
+                   std::span<const std::int64_t> values,
+                   std::vector<runtime::Decision>& out);
+
+  /// Server-side stats text: the obs summary or the Prometheus exposition.
+  [[nodiscard]] std::string stats(StatsFormat format);
+
+ private:
+  explicit Client(Socket socket);
+
+  void handshake();
+  /// Sends `outBuffer_` and blocks until one complete frame arrives.
+  FrameHeader exchange(std::string& payload);
+  /// Blocks until one complete frame arrives (no send).
+  FrameHeader readFrame(std::string& payload);
+  /// Throws ServiceError if the frame is an ErrorFrame; CodecError if its
+  /// type is not `expected`.
+  void expectType(const FrameHeader& header, std::string_view payload,
+                  FrameType expected);
+
+  Socket socket_;
+  FrameDecoder decoder_;
+  std::string outBuffer_;
+  std::uint64_t nextRequestId_ = 1;
+  std::uint16_t version_ = 0;
+  std::uint32_t featureBits_ = 0;
+  std::uint32_t maxFrameBytes_ = kDefaultMaxFrameBytes;
+};
+
+}  // namespace osel::service

@@ -1,0 +1,161 @@
+// osel/service/codec.h — encode/decode between osel_abi.h wire frames and
+// in-process types.
+//
+// The decode side is the trust boundary of `oseld`: every byte it consumes
+// may come from a hostile or broken peer, so all parsing is bounds-checked
+// memcpy against the payload extent — truncated tails, counts that do not
+// add up, oversized length prefixes, and bad magic/version all raise a
+// typed CodecError (never UB, pinned by the hostile-frame fuzz test).
+// Parse functions fill caller-owned view structs whose string_views point
+// into the payload buffer; the views are valid only while that buffer is.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runtime/selector.h"
+#include "service/osel_abi.h"
+#include "support/error.h"
+#include "symbolic/expr.h"
+
+namespace osel::service {
+
+[[nodiscard]] std::string toString(WireCode code);
+
+/// The stable wire code for an in-process error classification (and back).
+[[nodiscard]] WireCode wireCodeFor(ErrorCode code) noexcept;
+[[nodiscard]] ErrorCode errorCodeFor(WireCode code) noexcept;
+
+/// Raised by every parse path on malformed wire data. A server catches it
+/// and answers ErrorFrame{wireCode()}; a client surfaces it to the caller.
+class CodecError : public std::runtime_error, public osel::Error {
+ public:
+  CodecError(WireCode wireCode, const std::string& message)
+      : std::runtime_error(message), wireCode_(wireCode) {}
+
+  [[nodiscard]] WireCode wireCode() const noexcept { return wireCode_; }
+  [[nodiscard]] ErrorCode code() const noexcept override {
+    return errorCodeFor(wireCode_);
+  }
+  [[nodiscard]] const char* what() const noexcept override {
+    return std::runtime_error::what();
+  }
+
+ private:
+  WireCode wireCode_;
+};
+
+// --- Encoding -------------------------------------------------------------
+// Every encoder appends one complete frame (header + payload) to `out`,
+// which accumulates bytes ready for send(). Appending to one string lets a
+// caller coalesce many frames into a single write.
+
+void encodeHello(std::string& out, const HelloFrame& hello);
+void encodeHelloAck(std::string& out, const HelloAckFrame& ack);
+void encodePing(std::string& out);
+void encodePong(std::string& out);
+void encodeDecideRequest(std::string& out, std::uint64_t requestId,
+                         std::string_view region,
+                         const symbolic::Bindings& bindings);
+/// `values` is slot-major, values[slot * rows + row], slots.size() * rows
+/// entries (support::PreconditionError otherwise).
+void encodeDecideBatch(std::string& out, std::uint64_t requestId,
+                       std::string_view region,
+                       std::span<const std::string_view> slots,
+                       std::uint32_t rows,
+                       std::span<const std::int64_t> values);
+void encodeDecision(std::string& out, std::uint64_t requestId,
+                    const runtime::Decision& decision);
+/// Row r is encoded with requestId + r.
+void encodeDecisionBatch(std::string& out, std::uint64_t requestId,
+                         std::span<const runtime::Decision> decisions);
+void encodeStatsRequest(std::string& out, StatsFormat format);
+void encodeStats(std::string& out, std::string_view text);
+void encodeError(std::string& out, WireCode code, std::string_view message);
+
+// --- Decoding -------------------------------------------------------------
+
+/// Incremental frame splitter over a byte stream. Feed received bytes with
+/// append(); next() pops one complete frame at a time. The only validation
+/// here is the length prefix (against the connection's negotiated limit);
+/// payload structure is the typed parsers' job.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::uint32_t maxFrameBytes = kDefaultMaxFrameBytes);
+
+  /// Tightens/loosens the length ceiling (post-Hello negotiation). Clamped
+  /// to kAbsoluteMaxFrameBytes.
+  void setMaxFrameBytes(std::uint32_t maxFrameBytes);
+
+  void append(const void* data, std::size_t size);
+
+  /// Pops the next complete frame into (header, payload); false when the
+  /// buffered bytes do not yet hold one. Throws CodecError{FrameTooLarge}
+  /// as soon as a header's length prefix exceeds the limit — before waiting
+  /// for (or allocating) the oversized payload.
+  [[nodiscard]] bool next(FrameHeader& header, std::string& payload);
+
+  /// Bytes buffered but not yet consumed by next().
+  [[nodiscard]] std::size_t pending() const { return buffer_.size() - start_; }
+
+ private:
+  std::uint32_t maxFrameBytes_;
+  std::string buffer_;
+  std::size_t start_ = 0;  ///< consumed prefix, compacted periodically
+};
+
+/// Decoded DecideRequest; `region`/`symbol` views point into the payload.
+struct DecideRequestView {
+  std::uint64_t requestId = 0;
+  std::string_view region;
+  struct Binding {
+    std::string_view symbol;
+    std::int64_t value = 0;
+  };
+  std::vector<Binding> bindings;
+};
+
+/// Decoded DecideBatch. `values` stays in wire order (slot-major); use
+/// value(slot, row) — the payload carries no alignment guarantee, so the
+/// accessor memcpys.
+struct DecideBatchView {
+  std::uint64_t requestId = 0;
+  std::string_view region;
+  std::vector<std::string_view> slots;
+  std::uint32_t rows = 0;
+  const char* values = nullptr;  ///< slots.size() * rows little-endian i64s
+
+  [[nodiscard]] std::int64_t value(std::size_t slot, std::size_t row) const;
+};
+
+/// One decoded decision; only the wire-stable Decision subset is filled
+/// (device, valid, diagnostic, cpu.seconds, gpu.totalSeconds,
+/// overheadSeconds) — the model-term breakdowns stay server-side.
+struct DecisionView {
+  std::uint64_t requestId = 0;
+  runtime::Decision decision;
+};
+
+struct ErrorView {
+  WireCode code = WireCode::Unknown;
+  std::string_view message;
+};
+
+// All parsers throw CodecError{BadFrame} on truncated/oversized/ill-formed
+// payloads (and {UnsupportedVersion} where magic/version checks apply).
+[[nodiscard]] HelloFrame parseHello(std::string_view payload);
+[[nodiscard]] HelloAckFrame parseHelloAck(std::string_view payload);
+void parseDecideRequest(std::string_view payload, DecideRequestView& view);
+void parseDecideBatch(std::string_view payload, DecideBatchView& view);
+void parseDecision(std::string_view payload, DecisionView& view);
+void parseDecisionBatch(std::string_view payload,
+                        std::vector<DecisionView>& views);
+[[nodiscard]] StatsRequestFrame parseStatsRequest(std::string_view payload);
+[[nodiscard]] ErrorView parseError(std::string_view payload);
+[[nodiscard]] std::string_view parseStats(std::string_view payload);
+
+}  // namespace osel::service

@@ -1,0 +1,410 @@
+#include "service/server.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <utility>
+
+#include "obs/export.h"
+#include "service/codec.h"
+#include "support/check.h"
+
+namespace osel::service {
+
+namespace {
+
+constexpr std::uint32_t kSupportedFeatures =
+    kFeatureBatch | kFeatureStats | kFeaturePrometheus;
+
+/// Best-effort single-frame reply on a connection we are about to drop
+/// (shed notices, pre-handshake protocol errors). Failures are ignored —
+/// the peer may already be gone.
+void trySendError(const Socket& socket, WireCode code,
+                  std::string_view message) {
+  try {
+    std::string out;
+    encodeError(out, code, message);
+    sendAll(socket, out);
+  } catch (const SocketError&) {
+  }
+}
+
+runtime::RuntimeOptions withTrace(runtime::RuntimeOptions options,
+                                  obs::TraceSession* session) {
+  options.trace = session;
+  return options;
+}
+
+}  // namespace
+
+Server::Server(pad::AttributeDatabase database,
+               runtime::RuntimeOptions rtOptions, ServiceOptions options)
+    : options_(std::move(options)),
+      runtime_(std::move(database), withTrace(std::move(rtOptions), &session_)) {
+  support::require(!options_.socketPath.empty(),
+                   "service::Server: socketPath must be set");
+  options_.workerThreads = std::max<std::size_t>(1, options_.workerThreads);
+  options_.maxFrameBytes =
+      std::min(options_.maxFrameBytes, kAbsoluteMaxFrameBytes);
+  obs::MetricsRegistry& metrics = session_.metrics();
+  instruments_.connections = &metrics.counter("service.connections");
+  instruments_.sheds = &metrics.counter("service.sheds");
+  instruments_.frames = &metrics.counter("service.frames");
+  instruments_.decisions = &metrics.counter("service.decisions");
+  instruments_.errors = &metrics.counter("service.errors");
+  instruments_.bytesIn = &metrics.counter("service.bytes_in");
+  instruments_.bytesOut = &metrics.counter("service.bytes_out");
+  instruments_.batchRows = &metrics.histogram(
+      "service.batch_rows", {1.0, 8.0, 32.0, 64.0, 256.0, 1024.0, 4096.0});
+}
+
+Server::~Server() { stop(); }
+
+void Server::registerRegion(ir::TargetRegion region) {
+  runtime_.registerRegion(std::move(region));
+}
+
+std::uint64_t Server::connectionsAccepted() const {
+  return accepted_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Server::connectionsShed() const {
+  return shed_.load(std::memory_order_relaxed);
+}
+
+void Server::start() {
+  if (running()) return;
+  stopping_.store(false, std::memory_order_release);
+  unixListener_ = listenUnix(options_.socketPath, options_.listenBacklog);
+  if (options_.tcpPort >= 0) {
+    tcpListener_ = listenTcp(static_cast<std::uint16_t>(options_.tcpPort),
+                             options_.listenBacklog);
+    tcpPort_ = boundPort(tcpListener_);
+  }
+  if (options_.metricsPort >= 0) {
+    metricsListener_ = listenTcp(
+        static_cast<std::uint16_t>(options_.metricsPort), options_.listenBacklog);
+    metricsPort_ = boundPort(metricsListener_);
+  }
+  threads_.emplace_back([this] { acceptLoop(unixListener_); });
+  if (tcpListener_.valid()) {
+    threads_.emplace_back([this] { acceptLoop(tcpListener_); });
+  }
+  if (metricsListener_.valid()) {
+    threads_.emplace_back([this] { metricsLoop(); });
+  }
+  for (std::size_t i = 0; i < options_.workerThreads; ++i) {
+    threads_.emplace_back([this] { workerLoop(); });
+  }
+  running_.store(true, std::memory_order_release);
+}
+
+void Server::stop() {
+  if (!running() && threads_.empty()) return;
+  stopping_.store(true, std::memory_order_release);
+  // Wake the accept loops (shutdown, not close: the fds must stay reserved
+  // until those threads observed the wakeup, or a racing open could reuse
+  // the number under them).
+  unixListener_.shutdownBoth();
+  tcpListener_.shutdownBoth();
+  metricsListener_.shutdownBoth();
+  // Unblock workers parked in recv() on live connections.
+  {
+    std::lock_guard<std::mutex> lock(activeMutex_);
+    for (const int fd : activeFds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  queueCv_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+  threads_.clear();
+  // Queued-but-unserved connections are dropped on the floor; nobody will
+  // ever read their frames.
+  {
+    std::lock_guard<std::mutex> lock(queueMutex_);
+    pending_.clear();
+  }
+  unixListener_.close();
+  tcpListener_.close();
+  metricsListener_.close();
+  ::unlink(options_.socketPath.c_str());
+  running_.store(false, std::memory_order_release);
+}
+
+void Server::acceptLoop(Socket& listener) {
+  for (;;) {
+    Socket connection = acceptOn(listener);
+    if (!connection.valid() || stopping_.load(std::memory_order_acquire)) {
+      return;
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    instruments_.connections->add();
+    std::unique_lock<std::mutex> lock(queueMutex_);
+    if (pending_.size() >= options_.maxPendingConnections) {
+      lock.unlock();
+      // Shed, don't queue: tell the client why before hanging up, mirroring
+      // the runtime's admission controller.
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      instruments_.sheds->add();
+      trySendError(connection, WireCode::Shed,
+                   "oseld: connection queue full, try again");
+      continue;  // connection closes here
+    }
+    pending_.push_back(std::move(connection));
+    lock.unlock();
+    queueCv_.notify_one();
+  }
+}
+
+void Server::workerLoop() {
+  for (;;) {
+    Socket connection;
+    std::uint64_t clientId = 0;
+    {
+      std::unique_lock<std::mutex> lock(queueMutex_);
+      queueCv_.wait(lock, [this] {
+        return stopping_.load(std::memory_order_acquire) || !pending_.empty();
+      });
+      if (stopping_.load(std::memory_order_acquire)) return;
+      connection = std::move(pending_.front());
+      pending_.pop_front();
+      clientId = nextClientId_++;
+    }
+    serveConnection(std::move(connection), clientId);
+  }
+}
+
+void Server::serveConnection(Socket socket, std::uint64_t clientId) {
+  {
+    std::lock_guard<std::mutex> lock(activeMutex_);
+    activeFds_.insert(socket.fd());
+  }
+  // Capped per-client series: aggregate counters always update; named
+  // per-client ones only for the first maxClientMetricSeries connections so
+  // churn cannot grow the registry without bound.
+  obs::Counter* clientFrames = nullptr;
+  obs::Counter* clientDecisions = nullptr;
+  if (clientId < options_.maxClientMetricSeries) {
+    const std::string prefix = "service.client." + std::to_string(clientId);
+    clientFrames = &session_.metrics().counter(prefix + ".frames");
+    clientDecisions = &session_.metrics().counter(prefix + ".decisions");
+  }
+
+  FrameDecoder decoder(options_.maxFrameBytes);
+  std::string payload;
+  std::string out;
+  bool helloDone = false;
+  bool closing = false;
+  // Per-connection scratch, reused across frames.
+  std::string regionName;
+  symbolic::Bindings bindings;
+  DecideRequestView requestView;
+  DecideBatchView batchView;
+  std::vector<symbolic::Bindings> rowBindings;
+  std::vector<runtime::DecideRequest> requests;
+  std::vector<runtime::Decision> decisions;
+  char buffer[64 * 1024];
+
+  try {
+    while (!closing && !stopping_.load(std::memory_order_acquire)) {
+      const std::size_t got = recvSome(socket, buffer, sizeof(buffer));
+      if (got == 0) break;  // orderly peer close
+      instruments_.bytesIn->add(got);
+      decoder.append(buffer, got);
+
+      FrameHeader header;
+      for (;;) {
+        try {
+          if (!decoder.next(header, payload)) break;
+        } catch (const CodecError& error) {
+          // A bad length prefix desynchronizes the stream; answer and drop.
+          encodeError(out, error.wireCode(), error.what());
+          instruments_.errors->add();
+          closing = true;
+          break;
+        }
+        instruments_.frames->add();
+        if (clientFrames != nullptr) clientFrames->add();
+        const auto type = static_cast<FrameType>(header.type);
+
+        if (!helloDone) {
+          if (type != FrameType::Hello) {
+            encodeError(out, WireCode::ExpectedHello,
+                        "oseld: first frame must be Hello");
+            instruments_.errors->add();
+            closing = true;
+            break;
+          }
+          try {
+            const HelloFrame hello = parseHello(payload);
+            const std::uint16_t version =
+                std::min(hello.versionMax, kProtocolVersion);
+            if (version < hello.versionMin || version == 0) {
+              encodeError(out, WireCode::UnsupportedVersion,
+                          "oseld: no common protocol version (server speaks v" +
+                              std::to_string(kProtocolVersion) + ")");
+              instruments_.errors->add();
+              closing = true;
+              break;
+            }
+            HelloAckFrame ack;
+            ack.version = version;
+            ack.featureBits = hello.featureBits & kSupportedFeatures;
+            ack.maxFrameBytes = options_.maxFrameBytes;
+            encodeHelloAck(out, ack);
+            helloDone = true;
+          } catch (const CodecError& error) {
+            encodeError(out, error.wireCode(), error.what());
+            instruments_.errors->add();
+            closing = true;
+            break;
+          }
+          continue;
+        }
+
+        // Post-handshake dispatch. Frame boundaries survive payload-level
+        // errors (the decoder already consumed the frame), so BadFrame
+        // answers keep the connection usable.
+        try {
+          switch (type) {
+            case FrameType::Ping:
+              encodePong(out);
+              break;
+            case FrameType::DecideRequest: {
+              parseDecideRequest(payload, requestView);
+              regionName.assign(requestView.region);
+              bindings.clear();
+              for (const auto& binding : requestView.bindings) {
+                bindings[std::string(binding.symbol)] = binding.value;
+              }
+              const runtime::Decision decision =
+                  runtime_.decide(regionName, bindings);
+              encodeDecision(out, requestView.requestId, decision);
+              instruments_.decisions->add();
+              if (clientDecisions != nullptr) clientDecisions->add();
+              break;
+            }
+            case FrameType::DecideBatch: {
+              parseDecideBatch(payload, batchView);
+              const std::size_t rows = batchView.rows;
+              regionName.assign(batchView.region);
+              if (rowBindings.size() < rows) rowBindings.resize(rows);
+              requests.resize(rows);
+              decisions.assign(rows, runtime::Decision{});
+              for (std::size_t row = 0; row < rows; ++row) {
+                symbolic::Bindings& rowBound = rowBindings[row];
+                rowBound.clear();
+                for (std::size_t slot = 0; slot < batchView.slots.size();
+                     ++slot) {
+                  rowBound[std::string(batchView.slots[slot])] =
+                      batchView.value(slot, row);
+                }
+                requests[row] = {regionName, &rowBound};
+              }
+              runtime_.decideBatch(requests, decisions);
+              encodeDecisionBatch(out, batchView.requestId,
+                                  std::span(decisions.data(), rows));
+              instruments_.batchRows->record(static_cast<double>(rows));
+              instruments_.decisions->add(rows);
+              if (clientDecisions != nullptr) clientDecisions->add(rows);
+              break;
+            }
+            case FrameType::StatsRequest: {
+              const StatsRequestFrame stats = parseStatsRequest(payload);
+              const std::string text =
+                  static_cast<StatsFormat>(stats.format) ==
+                          StatsFormat::Prometheus
+                      ? obs::renderPrometheus(session_)
+                      : obs::renderStatsSummary(session_);
+              encodeStats(out, text);
+              break;
+            }
+            case FrameType::Hello:
+            case FrameType::HelloAck:
+            case FrameType::Decision:
+            case FrameType::DecisionBatch:
+            case FrameType::Stats:
+            case FrameType::Pong:
+            case FrameType::Error:
+              encodeError(out, WireCode::BadFrame,
+                          "oseld: unexpected frame type " +
+                              std::to_string(header.type));
+              instruments_.errors->add();
+              break;
+            default:
+              encodeError(out, WireCode::UnknownType,
+                          "oseld: unknown frame type " +
+                              std::to_string(header.type));
+              instruments_.errors->add();
+              break;
+          }
+        } catch (const CodecError& error) {
+          encodeError(out, error.wireCode(), error.what());
+          instruments_.errors->add();
+        } catch (const osel::Error& error) {
+          encodeError(out, wireCodeFor(error.code()), error.what());
+          instruments_.errors->add();
+        } catch (const std::exception& error) {
+          encodeError(out, WireCode::Unknown, error.what());
+          instruments_.errors->add();
+        }
+      }
+
+      if (!out.empty()) {
+        sendAll(socket, out);
+        instruments_.bytesOut->add(out.size());
+        out.clear();
+      }
+    }
+  } catch (const SocketError&) {
+    // Peer vanished mid-conversation; nothing to answer.
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(activeMutex_);
+    activeFds_.erase(socket.fd());
+  }
+}
+
+void Server::metricsLoop() {
+  // Serial request handling is plenty for a scraper that polls every few
+  // seconds; the decision path never waits on this thread.
+  for (;;) {
+    Socket connection = acceptOn(metricsListener_);
+    if (!connection.valid() || stopping_.load(std::memory_order_acquire)) {
+      return;
+    }
+    try {
+      std::string request;
+      char buffer[4096];
+      while (request.find("\r\n\r\n") == std::string::npos &&
+             request.size() < 16 * 1024) {
+        const std::size_t got = recvSome(connection, buffer, sizeof(buffer));
+        if (got == 0) break;
+        request.append(buffer, got);
+      }
+      std::string body;
+      const char* status = "200 OK";
+      if (request.rfind("GET /metrics", 0) == 0) {
+        body = obs::renderPrometheus(session_);
+      } else if (request.rfind("GET / ", 0) == 0 ||
+                 request.rfind("GET /\r", 0) == 0) {
+        body = "oseld metrics endpoint; scrape GET /metrics\n";
+      } else {
+        status = "404 Not Found";
+        body = "only GET /metrics is served here\n";
+      }
+      std::string response = "HTTP/1.0 ";
+      response += status;
+      response +=
+          "\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+          "Content-Length: " +
+          std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n";
+      response += body;
+      sendAll(connection, response);
+    } catch (const SocketError&) {
+      // Scraper hung up early; serve the next one.
+    }
+  }
+}
+
+}  // namespace osel::service

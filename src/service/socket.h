@@ -1,0 +1,99 @@
+// osel/service/socket.h — thin RAII wrappers over POSIX sockets.
+//
+// Just enough plumbing for oseld and its clients: Unix-domain listen and
+// connect, loopback TCP listen (the optional transport and the metrics
+// endpoint), full-buffer send, and chunked receive. Errors surface as
+// SocketError carrying errno text; connect failures are a distinct subtype
+// so CLI callers can map them to the dedicated exit code.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "support/error.h"
+
+namespace osel::service {
+
+/// A socket-layer failure (bind/listen/accept/send/recv) with errno detail.
+class SocketError : public std::runtime_error, public osel::Error {
+ public:
+  explicit SocketError(const std::string& message)
+      : std::runtime_error(message) {}
+
+  [[nodiscard]] ErrorCode code() const noexcept override {
+    return ErrorCode::Unknown;
+  }
+  [[nodiscard]] const char* what() const noexcept override {
+    return std::runtime_error::what();
+  }
+};
+
+/// Failure to reach a server at all (no daemon, bad path, refused). Split
+/// from SocketError so `oselctl` can exit 3 on exactly this condition.
+class ConnectError final : public SocketError {
+ public:
+  using SocketError::SocketError;
+};
+
+/// Owning file descriptor. Move-only; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+  void close();
+  /// shutdown(SHUT_RDWR): unblocks a peer (or our own thread) parked in
+  /// recv() without racing the fd number the way close() would.
+  void shutdownBoth();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds + listens on a Unix-domain socket path, unlinking any stale file
+/// first. Throws SocketError.
+[[nodiscard]] Socket listenUnix(const std::string& path, int backlog);
+
+/// Binds + listens on 127.0.0.1:`port` (port 0 picks a free one). Throws
+/// SocketError.
+[[nodiscard]] Socket listenTcp(std::uint16_t port, int backlog);
+
+/// The port a listenTcp socket actually bound (resolves port 0).
+[[nodiscard]] std::uint16_t boundPort(const Socket& socket);
+
+/// accept(); an invalid Socket when the listener was shut down.
+[[nodiscard]] Socket acceptOn(const Socket& listener);
+
+/// Connects to a Unix-domain socket path. Throws ConnectError.
+[[nodiscard]] Socket connectUnix(const std::string& path);
+
+/// Connects to 127.0.0.1:`port`. Throws ConnectError.
+[[nodiscard]] Socket connectTcp(std::uint16_t port);
+
+/// Sends the whole buffer (looping over partial sends). Throws SocketError
+/// on a broken connection.
+void sendAll(const Socket& socket, std::string_view bytes);
+
+/// One recv() of at most `size` bytes into `buffer`; returns the byte count,
+/// 0 on orderly peer close. Throws SocketError on failure.
+[[nodiscard]] std::size_t recvSome(const Socket& socket, void* buffer,
+                                   std::size_t size);
+
+}  // namespace osel::service

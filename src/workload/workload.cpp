@@ -100,10 +100,18 @@ std::vector<Item> Generator::take(std::size_t count) {
   return items;
 }
 
-std::string serializeTrace(std::span<const Item> items) {
+std::string serializeTrace(std::span<const Item> items, TraceHeader header) {
+  require(header.version == kTraceFormatVersion,
+          "workload::serializeTrace: this build writes trace format v" +
+              std::to_string(kTraceFormatVersion) + ", not v" +
+              std::to_string(header.version));
   std::string out;
-  out.reserve(items.size() * 48);
+  out.reserve(32 + items.size() * 48);
   char buffer[48];
+  const int h = std::snprintf(buffer, sizeof(buffer),
+                              "#!osel-trace v%u seed=%llu\n", header.version,
+                              static_cast<unsigned long long>(header.seed));
+  out.append(buffer, static_cast<std::size_t>(h));
   for (const Item& item : items) {
     const int n =
         std::snprintf(buffer, sizeof(buffer), "%.9g", item.gapSeconds);
@@ -161,7 +169,36 @@ std::string takeCsvField(std::string_view& rest, std::string_view line) {
 
 }  // namespace
 
-std::vector<Item> parseTrace(std::string_view text) {
+namespace {
+
+constexpr std::string_view kTraceHeaderTag = "#!osel-trace";
+
+/// Validates a `#!osel-trace` line. Wrong version or malformed header text
+/// is a hard error — silently replaying a trace whose grammar this build
+/// does not speak would misparse rows, not fail loudly.
+TraceHeader parseTraceHeader(std::string_view line) {
+  TraceHeader header;
+  unsigned version = 0;
+  unsigned long long seed = 0;
+  const int matched = std::sscanf(std::string(line).c_str(),
+                                  "#!osel-trace v%u seed=%llu", &version,
+                                  &seed);
+  require(matched >= 1, "workload::parseTrace: malformed trace header '" +
+                            std::string(line) + "'");
+  require(version == kTraceFormatVersion,
+          "workload::parseTrace: trace is format v" + std::to_string(version) +
+              " but this build reads v" + std::to_string(kTraceFormatVersion) +
+              "; re-record the trace");
+  header.version = version;
+  header.seed = seed;
+  return header;
+}
+
+}  // namespace
+
+std::vector<Item> parseTrace(std::string_view text, TraceHeader* header) {
+  // No header until proven otherwise: legacy traces report version 0.
+  if (header != nullptr) *header = TraceHeader{.version = 0, .seed = 0};
   std::vector<Item> items;
   std::size_t start = 0;
   while (start < text.size()) {
@@ -169,6 +206,11 @@ std::vector<Item> parseTrace(std::string_view text) {
     if (end == std::string_view::npos) end = text.size();
     const std::string_view line = text.substr(start, end - start);
     start = end + 1;
+    if (line.rfind(kTraceHeaderTag, 0) == 0) {
+      const TraceHeader parsed = parseTraceHeader(line);
+      if (header != nullptr) *header = parsed;
+      continue;
+    }
     if (line.empty() || line.front() == '#') continue;
 
     std::string_view rest = line;
@@ -208,6 +250,10 @@ std::vector<Item> parseTrace(std::string_view text) {
 TraceReplayer::TraceReplayer(std::vector<Item> items)
     : items_(std::move(items)) {
   require(!items_.empty(), "workload::TraceReplayer: trace must be non-empty");
+}
+
+TraceReplayer TraceReplayer::fromText(std::string_view text) {
+  return TraceReplayer(parseTrace(text));
 }
 
 const Item& TraceReplayer::next() {

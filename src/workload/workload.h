@@ -90,16 +90,39 @@ class Generator {
   std::size_t burstPosition_ = 0;
 };
 
-/// Serializes a stream, one item per line:
+/// Trace file format version this build writes and reads. Bumped on any
+/// line-grammar change; parseTrace rejects files from other versions.
+inline constexpr std::uint32_t kTraceFormatVersion = 1;
+
+/// The versioned `#!osel-trace` header every written trace file opens with:
+///   `#!osel-trace v<version> seed=<seed>`
+/// It starts with `#`, so pre-versioning parsers skipped it as a comment —
+/// old readers tolerate new files even though new readers are strict.
+struct TraceHeader {
+  std::uint32_t version = kTraceFormatVersion;
+  /// The generator seed the stream was produced from; 0 = unknown (live
+  /// capture or hand-written trace).
+  std::uint64_t seed = 0;
+};
+
+/// Serializes a stream: the TraceHeader line, then one item per line:
 ///   `<gap_seconds>,<region>,<k>=<v>[;<k>=<v>...]`
 /// with the region RFC-4180-quoted when it contains a delimiter, so
 /// arbitrary region names round-trip. Deterministic output for
-/// deterministic input.
-[[nodiscard]] std::string serializeTrace(std::span<const Item> items);
+/// deterministic input. `header.version` must equal kTraceFormatVersion
+/// (support::PreconditionError) — this build cannot write other formats.
+[[nodiscard]] std::string serializeTrace(std::span<const Item> items,
+                                         TraceHeader header = {});
 
 /// Parses serializeTrace() output (blank lines and `#` comment lines are
-/// skipped). Throws support::PreconditionError on malformed rows.
-[[nodiscard]] std::vector<Item> parseTrace(std::string_view text);
+/// skipped). A `#!osel-trace` header, when present, is validated: a
+/// version other than kTraceFormatVersion throws support::PreconditionError
+/// naming both versions instead of silently misparsing, and the header is
+/// returned through `header` when non-null. Headerless input stays accepted
+/// as a legacy trace (header->version reports 0). Throws
+/// support::PreconditionError on malformed rows.
+[[nodiscard]] std::vector<Item> parseTrace(std::string_view text,
+                                           TraceHeader* header = nullptr);
 
 /// Replays a recorded stream, cycling when it reaches the end — the
 /// TraceCPU counterpart to Generator. The items are copied in, so the
@@ -108,6 +131,11 @@ class TraceReplayer {
  public:
   /// `items` must be non-empty (support::PreconditionError).
   explicit TraceReplayer(std::vector<Item> items);
+
+  /// Parses serialized trace text into a replayer, enforcing the versioned
+  /// header contract (a mismatched `#!osel-trace` version throws
+  /// support::PreconditionError with both versions named).
+  [[nodiscard]] static TraceReplayer fromText(std::string_view text);
 
   /// The next item of the stream (wrapping); the reference is valid until
   /// the replayer is destroyed.

@@ -1,0 +1,114 @@
+// The retired compatibility shims must STAY retired. The pre-redesign
+// entry points — exact-signature decide(RegionAttributes, Bindings) /
+// decide(CompiledRegionPlan, Bindings) overloads and the loose-argument
+// TargetRuntime constructor — were [[deprecated]] forwarders for several
+// releases and are now removed. These are compile-time checks that the
+// removed signatures no longer exist, plus behavioral pins that the
+// unified API the shims forwarded to still accepts the old argument types
+// through the intended RegionHandle conversion path.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <type_traits>
+
+#include "compiler/compiler.h"
+#include "ir/builder.h"
+#include "runtime/target_runtime.h"
+
+namespace osel::runtime {
+namespace {
+
+using namespace osel::ir;
+
+// The loose-argument constructor (database, SelectorConfig, CpuSimParams,
+// int, GpuSimParams[, RuntimeOptions]) must not be constructible anymore —
+// RuntimeOptions is the only configuration surface.
+static_assert(!std::is_constructible_v<TargetRuntime, pad::AttributeDatabase,
+                                       SelectorConfig, cpusim::CpuSimParams,
+                                       int, gpusim::GpuSimParams>,
+              "the loose-argument TargetRuntime constructor was removed; "
+              "construct with TargetRuntime(database, RuntimeOptions)");
+static_assert(!std::is_constructible_v<TargetRuntime, pad::AttributeDatabase,
+                                       SelectorConfig, cpusim::CpuSimParams,
+                                       int, gpusim::GpuSimParams,
+                                       RuntimeOptions>,
+              "the loose-argument TargetRuntime constructor was removed; "
+              "construct with TargetRuntime(database, RuntimeOptions)");
+static_assert(std::is_constructible_v<TargetRuntime, pad::AttributeDatabase,
+                                      RuntimeOptions>,
+              "the unified constructor must stay");
+
+TargetRegion streamKernel() {
+  return RegionBuilder("stream")
+      .param("n")
+      .array("x", ScalarType::F32, {sym("n"), sym("n")}, Transfer::To)
+      .array("y", ScalarType::F32, {sym("n"), sym("n")}, Transfer::From)
+      .parallelFor("i", sym("n"))
+      .parallelFor("j", sym("n"))
+      .statement(Stmt::store("y", {sym("i"), sym("j")},
+                             read("x", {sym("i"), sym("j")}) * num(3.0)))
+      .build();
+}
+
+pad::AttributeDatabase makeDatabase() {
+  const std::array<mca::MachineModel, 1> models{mca::MachineModel::power9()};
+  const std::array<TargetRegion, 1> regions{streamKernel()};
+  return compiler::compileAll(regions, models);
+}
+
+void expectSameDecision(const Decision& a, const Decision& b) {
+  EXPECT_EQ(a.device, b.device);
+  EXPECT_EQ(a.valid, b.valid);
+  EXPECT_DOUBLE_EQ(a.cpu.seconds, b.cpu.seconds);
+  EXPECT_DOUBLE_EQ(a.gpu.totalSeconds, b.gpu.totalSeconds);
+}
+
+// Old call sites that passed RegionAttributes / CompiledRegionPlan by value
+// still compile — but through the implicit RegionHandle conversion into the
+// unified overload, not a shim. Pin that the conversion path decides
+// identically to an explicit RegionHandle.
+TEST(RemovedApi, AttributesConvertIntoUnifiedDecide) {
+  const pad::AttributeDatabase db = makeDatabase();
+  const OffloadSelector selector{SelectorConfig{}};
+  const pad::RegionAttributes* attr = db.find("stream");
+  ASSERT_NE(attr, nullptr);
+  const symbolic::Bindings bindings{{"n", 96}};
+  expectSameDecision(selector.decide(*attr, bindings),
+                     selector.decide(RegionHandle(*attr), bindings));
+}
+
+TEST(RemovedApi, CompiledPlanConvertsIntoUnifiedDecide) {
+  const pad::AttributeDatabase db = makeDatabase();
+  const OffloadSelector selector{SelectorConfig{}};
+  const pad::RegionAttributes* attr = db.find("stream");
+  ASSERT_NE(attr, nullptr);
+  const CompiledRegionPlan plan = selector.compile(*attr);
+  const symbolic::Bindings bindings{{"n", 96}};
+  expectSameDecision(selector.decide(plan, bindings),
+                     selector.decide(RegionHandle(plan), bindings));
+}
+
+// What the loose-argument constructor used to assemble is expressible (and
+// equivalent) through RuntimeOptions alone.
+TEST(RemovedApi, RuntimeOptionsCoversTheLooseArguments) {
+  SelectorConfig selectorConfig;
+  selectorConfig.cpuThreads = 160;
+
+  RuntimeOptions options;
+  options.selector = selectorConfig;
+  options.cpuSim = cpusim::CpuSimParams::power9();
+  options.cpuSimThreads = 160;
+  options.gpuSim = gpusim::GpuSimParams::teslaV100();
+  TargetRuntime runtime(makeDatabase(), options);
+  runtime.registerRegion(streamKernel());
+
+  EXPECT_EQ(runtime.selector().config().cpuThreads, 160);
+  const symbolic::Bindings bindings{{"n", 128}};
+  ArrayStore store = allocateArrays(streamKernel(), bindings);
+  const LaunchRecord record =
+      runtime.launch("stream", bindings, store, Policy::ModelGuided);
+  EXPECT_TRUE(record.decision.valid);
+}
+
+}  // namespace
+}  // namespace osel::runtime

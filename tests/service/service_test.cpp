@@ -1,0 +1,378 @@
+// The oseld server end to end over real sockets: lifecycle storms,
+// handshake negotiation, socket-vs-in-process decision equivalence
+// (bit-identical on the wire-stable subset), admission shed, concurrent
+// clients racing registerRegion, and the HTTP metrics endpoint. Labelled
+// test_service; the tsan preset runs this binary under ThreadSanitizer.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "compiler/compiler.h"
+#include "ir/builder.h"
+#include "runtime/batch.h"
+#include "service/client.h"
+#include "service/server.h"
+
+namespace osel::service {
+namespace {
+
+using namespace osel::ir;
+
+TargetRegion streamKernel(const std::string& name) {
+  return RegionBuilder(name)
+      .param("n")
+      .array("x", ScalarType::F32, {sym("n"), sym("n")}, Transfer::To)
+      .array("y", ScalarType::F32, {sym("n"), sym("n")}, Transfer::From)
+      .parallelFor("i", sym("n"))
+      .parallelFor("j", sym("n"))
+      .statement(Stmt::store("y", {sym("i"), sym("j")},
+                             read("x", {sym("i"), sym("j")}) * num(3.0)))
+      .build();
+}
+
+std::vector<TargetRegion> testRegions() {
+  std::vector<TargetRegion> regions;
+  regions.push_back(streamKernel("stream"));
+  regions.push_back(streamKernel("stream_b"));
+  return regions;
+}
+
+pad::AttributeDatabase makeDatabase() {
+  const std::array<mca::MachineModel, 2> hosts{mca::MachineModel::power9(),
+                                               mca::MachineModel::power8()};
+  return compiler::compileAll(testRegions(), hosts);
+}
+
+/// A unique Unix socket path per test instance (paths are global state).
+std::string freshSocketPath() {
+  static std::atomic<int> counter{0};
+  return "/tmp/osel_service_test_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+struct TestServer {
+  explicit TestServer(ServiceOptions options = {}) {
+    if (options.socketPath.empty()) options.socketPath = freshSocketPath();
+    server = std::make_unique<Server>(makeDatabase(),
+                                      runtime::RuntimeOptions{}, options);
+    for (TargetRegion& region : testRegions()) {
+      server->registerRegion(std::move(region));
+    }
+  }
+  std::unique_ptr<Server> server;
+};
+
+void expectWireIdentical(const runtime::Decision& socket,
+                         const runtime::Decision& local) {
+  EXPECT_EQ(socket.device, local.device);
+  EXPECT_EQ(socket.valid, local.valid);
+  EXPECT_EQ(socket.diagnostic, local.diagnostic);
+  // Bit-identical doubles, not EXPECT_DOUBLE_EQ: the acceptance criterion.
+  EXPECT_EQ(std::memcmp(&socket.cpu.seconds, &local.cpu.seconds,
+                        sizeof(double)),
+            0);
+  EXPECT_EQ(std::memcmp(&socket.gpu.totalSeconds, &local.gpu.totalSeconds,
+                        sizeof(double)),
+            0);
+}
+
+TEST(Service, StartStopStorm) {
+  TestServer fixture;
+  Server& server = *fixture.server;
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    server.start();
+    EXPECT_TRUE(server.running());
+    // Odd cycles exercise stop-with-a-live-connection.
+    if (cycle % 2 == 1) {
+      Client client = Client::connect(server.options().socketPath);
+      client.ping();
+    }
+    server.stop();
+    EXPECT_FALSE(server.running());
+  }
+}
+
+TEST(Service, HandshakeNegotiatesVersionAndFeatures) {
+  TestServer fixture;
+  fixture.server->start();
+  Client client = Client::connect(fixture.server->options().socketPath);
+  EXPECT_EQ(client.version(), kProtocolVersion);
+  EXPECT_EQ(client.featureBits(),
+            kFeatureBatch | kFeatureStats | kFeaturePrometheus);
+  EXPECT_EQ(client.maxFrameBytes(), fixture.server->options().maxFrameBytes);
+  client.ping();
+}
+
+TEST(Service, FutureOnlyClientIsRefusedWithUnsupportedVersion) {
+  TestServer fixture;
+  fixture.server->start();
+  Socket raw = connectUnix(fixture.server->options().socketPath);
+  HelloFrame hello;
+  hello.versionMin = 99;
+  hello.versionMax = 120;
+  std::string out;
+  encodeHello(out, hello);
+  sendAll(raw, out);
+
+  FrameDecoder decoder;
+  FrameHeader header;
+  std::string payload;
+  char buffer[4096];
+  for (;;) {
+    if (decoder.next(header, payload)) break;
+    const std::size_t got = recvSome(raw, buffer, sizeof(buffer));
+    ASSERT_GT(got, 0u) << "server closed without answering";
+    decoder.append(buffer, got);
+  }
+  EXPECT_EQ(header.type, static_cast<std::uint16_t>(FrameType::Error));
+  EXPECT_EQ(parseError(payload).code, WireCode::UnsupportedVersion);
+}
+
+TEST(Service, FirstFrameMustBeHello) {
+  TestServer fixture;
+  fixture.server->start();
+  Socket raw = connectUnix(fixture.server->options().socketPath);
+  std::string out;
+  encodePing(out);
+  sendAll(raw, out);
+  FrameDecoder decoder;
+  FrameHeader header;
+  std::string payload;
+  char buffer[4096];
+  for (;;) {
+    if (decoder.next(header, payload)) break;
+    const std::size_t got = recvSome(raw, buffer, sizeof(buffer));
+    ASSERT_GT(got, 0u) << "server closed without answering";
+    decoder.append(buffer, got);
+  }
+  EXPECT_EQ(header.type, static_cast<std::uint16_t>(FrameType::Error));
+  EXPECT_EQ(parseError(payload).code, WireCode::ExpectedHello);
+}
+
+TEST(Service, DecideMatchesInProcessBitIdentical) {
+  TestServer fixture;
+  fixture.server->start();
+  // The reference runtime: same database, same options, in-process.
+  runtime::TargetRuntime local(makeDatabase(), runtime::RuntimeOptions{});
+  for (TargetRegion& region : testRegions()) {
+    local.registerRegion(std::move(region));
+  }
+
+  Client client = Client::connect(fixture.server->options().socketPath);
+  for (const std::int64_t n : {16, 96, 512, 2048}) {
+    const symbolic::Bindings bindings{{"n", n}};
+    expectWireIdentical(client.decide("stream", bindings),
+                        local.decide("stream", bindings));
+  }
+  // Unknown region: the runtime degrades (valid=false, PadLookup text) and
+  // the degradation crosses the wire identically.
+  const symbolic::Bindings bindings{{"n", 64}};
+  const runtime::Decision remote = client.decide("nonesuch", bindings);
+  const runtime::Decision reference = local.decide("nonesuch", bindings);
+  EXPECT_FALSE(remote.valid);
+  expectWireIdentical(remote, reference);
+}
+
+TEST(Service, DecideBatchMatchesInProcessBitIdentical) {
+  TestServer fixture;
+  fixture.server->start();
+  runtime::TargetRuntime local(makeDatabase(), runtime::RuntimeOptions{});
+  for (TargetRegion& region : testRegions()) {
+    local.registerRegion(std::move(region));
+  }
+
+  const std::vector<std::int64_t> sizes{16, 64, 96, 256, 512, 1024, 2048, 37};
+  const auto rows = static_cast<std::uint32_t>(sizes.size());
+  const std::vector<std::string_view> slots{"n"};
+
+  Client client = Client::connect(fixture.server->options().socketPath);
+  std::vector<runtime::Decision> remote;
+  client.decideBatch("stream", slots, rows, sizes, remote);
+
+  std::vector<symbolic::Bindings> bindings(sizes.size());
+  std::vector<runtime::DecideRequest> requests(sizes.size());
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    bindings[i]["n"] = sizes[i];
+    requests[i] = {"stream", &bindings[i]};
+  }
+  std::vector<runtime::Decision> reference(sizes.size());
+  local.decideBatch(requests, reference);
+
+  ASSERT_EQ(remote.size(), reference.size());
+  for (std::size_t i = 0; i < remote.size(); ++i) {
+    expectWireIdentical(remote[i], reference[i]);
+  }
+}
+
+TEST(Service, MalformedFrameKeepsTheConnectionUsable) {
+  TestServer fixture;
+  fixture.server->start();
+  const std::string path = fixture.server->options().socketPath;
+  Socket raw = connectUnix(path);
+  std::string out;
+  encodeHello(out, HelloFrame{});
+  sendAll(raw, out);
+
+  FrameDecoder decoder;
+  FrameHeader header;
+  std::string payload;
+  char buffer[8192];
+  const auto readFrame = [&] {
+    for (;;) {
+      if (decoder.next(header, payload)) return;
+      const std::size_t got = recvSome(raw, buffer, sizeof(buffer));
+      ASSERT_GT(got, 0u) << "server closed unexpectedly";
+      decoder.append(buffer, got);
+    }
+  };
+  readFrame();
+  ASSERT_EQ(header.type, static_cast<std::uint16_t>(FrameType::HelloAck));
+
+  // A DecideRequest whose payload is garbage: answered BadFrame, but the
+  // frame boundary held, so the next (valid) frame still works.
+  out.clear();
+  FrameHeader bad;
+  bad.length = 4;
+  bad.type = static_cast<std::uint16_t>(FrameType::DecideRequest);
+  out.append(reinterpret_cast<const char*>(&bad), sizeof(bad));
+  out.append("oops", 4);
+  encodePing(out);
+  sendAll(raw, out);
+  readFrame();
+  EXPECT_EQ(header.type, static_cast<std::uint16_t>(FrameType::Error));
+  EXPECT_EQ(parseError(payload).code, WireCode::BadFrame);
+  readFrame();
+  EXPECT_EQ(header.type, static_cast<std::uint16_t>(FrameType::Pong));
+}
+
+TEST(Service, QueueOverflowShedsWithAnErrorFrame) {
+  ServiceOptions options;
+  options.workerThreads = 1;
+  options.maxPendingConnections = 1;
+  TestServer fixture(options);
+  fixture.server->start();
+  const std::string path = fixture.server->options().socketPath;
+
+  // Occupy the only worker with a live, handshaken connection.
+  Client held = Client::connect(path);
+  held.ping();
+
+  // Fill the one queue slot, give the accept loop time to enqueue it.
+  Socket queued = connectUnix(path);
+  for (int spin = 0; spin < 200 && fixture.server->connectionsAccepted() < 2;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // The next connection must be shed: Error{Shed}, then close.
+  Socket shedConnection = connectUnix(path);
+  FrameDecoder decoder;
+  FrameHeader header;
+  std::string payload;
+  char buffer[4096];
+  for (;;) {
+    if (decoder.next(header, payload)) break;
+    const std::size_t got =
+        recvSome(shedConnection, buffer, sizeof(buffer));
+    ASSERT_GT(got, 0u) << "shed connection closed without an Error frame";
+    decoder.append(buffer, got);
+  }
+  EXPECT_EQ(header.type, static_cast<std::uint16_t>(FrameType::Error));
+  EXPECT_EQ(parseError(payload).code, WireCode::Shed);
+  EXPECT_GE(fixture.server->connectionsShed(), 1u);
+}
+
+TEST(Service, ConcurrentClientsRaceRegisterRegion) {
+  ServiceOptions options;
+  options.workerThreads = 4;
+  TestServer fixture(options);
+  fixture.server->start();
+  const std::string path = fixture.server->options().socketPath;
+
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> clients;
+  clients.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&, t] {
+      try {
+        Client client = Client::connect(path);
+        const std::vector<std::string_view> slots{"n"};
+        std::vector<runtime::Decision> decisions;
+        for (int i = 0; i < 50; ++i) {
+          const symbolic::Bindings bindings{{"n", 64 + t * 16 + i}};
+          (void)client.decide("stream", bindings);
+          const std::vector<std::int64_t> sizes{32, 64 + i, 128};
+          client.decideBatch("stream_b", slots, 3, sizes, decisions);
+        }
+      } catch (const std::exception&) {
+        failed.store(true);
+      }
+    });
+  }
+  // Meanwhile, re-register regions: the RCU registry republishes snapshots
+  // under live wire traffic.
+  for (int i = 0; i < 25; ++i) {
+    fixture.server->registerRegion(streamKernel("stream"));
+    fixture.server->registerRegion(streamKernel("stream_b"));
+  }
+  for (std::thread& thread : clients) thread.join();
+  EXPECT_FALSE(failed.load());
+}
+
+TEST(Service, StatsOverTheSocket) {
+  TestServer fixture;
+  fixture.server->start();
+  Client client = Client::connect(fixture.server->options().socketPath);
+  (void)client.decide("stream", {{"n", 128}});
+  const std::string summary = client.stats(StatsFormat::Summary);
+  EXPECT_FALSE(summary.empty());
+  const std::string prom = client.stats(StatsFormat::Prometheus);
+  EXPECT_NE(prom.find("osel_"), std::string::npos);
+  EXPECT_NE(prom.find("service_decisions"), std::string::npos);
+}
+
+TEST(Service, TcpTransportAndMetricsEndpoint) {
+  ServiceOptions options;
+  options.tcpPort = 0;      // pick free ports: parallel ctest safe
+  options.metricsPort = 0;
+  TestServer fixture(options);
+  fixture.server->start();
+
+  Client client = Client::connectPort(fixture.server->tcpPort());
+  client.ping();
+  (void)client.decide("stream", {{"n", 256}});
+
+  Socket scrape = connectTcp(fixture.server->metricsPort());
+  sendAll(scrape, "GET /metrics HTTP/1.0\r\n\r\n");
+  std::string response;
+  char buffer[8192];
+  for (;;) {
+    const std::size_t got = recvSome(scrape, buffer, sizeof(buffer));
+    if (got == 0) break;
+    response.append(buffer, got);
+  }
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(response.find("osel_service_decisions"), std::string::npos);
+
+  Socket wrongPath = connectTcp(fixture.server->metricsPort());
+  sendAll(wrongPath, "GET /nope HTTP/1.0\r\n\r\n");
+  response.clear();
+  for (;;) {
+    const std::size_t got = recvSome(wrongPath, buffer, sizeof(buffer));
+    if (got == 0) break;
+    response.append(buffer, got);
+  }
+  EXPECT_NE(response.find("404"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace osel::service

@@ -155,6 +155,58 @@ TEST(WorkloadTrace, RejectsMalformedLines) {
                support::PreconditionError);
 }
 
+TEST(WorkloadTrace, WritesAndReportsTheVersionedHeader) {
+  std::vector<Item> items;
+  items.push_back({"gemm_k1", symbolic::Bindings{{"n", 64}}, 0.0});
+  const std::string text = serializeTrace(items, {.seed = 2019});
+  EXPECT_EQ(text.rfind("#!osel-trace v1 seed=2019\n", 0), 0u)
+      << "trace must open with the versioned header, got: " << text;
+  TraceHeader header;
+  const std::vector<Item> parsed = parseTrace(text, &header);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(header.version, kTraceFormatVersion);
+  EXPECT_EQ(header.seed, 2019u);
+}
+
+TEST(WorkloadTrace, HeaderlessInputIsLegacyNotAnError) {
+  TraceHeader header;
+  const std::vector<Item> parsed = parseTrace("0,gemm_k1,n=64\n", &header);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(header.version, 0u) << "legacy traces report version 0";
+}
+
+TEST(WorkloadTrace, RejectsMismatchedHeaderVersions) {
+  try {
+    (void)parseTrace("#!osel-trace v99 seed=1\n0,gemm_k1,n=64\n");
+    FAIL() << "v99 trace was accepted";
+  } catch (const support::PreconditionError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("v99"), std::string::npos) << what;
+    EXPECT_NE(what.find("v1"), std::string::npos) << what;
+  }
+  EXPECT_THROW((void)parseTrace("#!osel-trace vNaN\n"),
+               support::PreconditionError);
+  // The replayer path enforces the same contract.
+  EXPECT_THROW((void)TraceReplayer::fromText("#!osel-trace v2 seed=0\n"),
+               support::PreconditionError);
+}
+
+TEST(WorkloadTrace, SerializeRefusesForeignVersions) {
+  std::vector<Item> items;
+  items.push_back({"gemm_k1", symbolic::Bindings{{"n", 64}}, 0.0});
+  EXPECT_THROW((void)serializeTrace(items, {.version = 2, .seed = 0}),
+               support::PreconditionError);
+}
+
+TEST(WorkloadTrace, ReplayerFromTextParsesAndCycles) {
+  TraceReplayer replayer = TraceReplayer::fromText(
+      "#!osel-trace v1 seed=7\n0,a,n=1\n0,b,n=2\n");
+  EXPECT_EQ(replayer.size(), 2u);
+  EXPECT_EQ(replayer.next().region, "a");
+  EXPECT_EQ(replayer.next().region, "b");
+  EXPECT_EQ(replayer.next().region, "a");
+}
+
 TEST(WorkloadTrace, ReplayerCyclesAndRejectsEmptyTraces) {
   EXPECT_THROW(TraceReplayer(std::vector<Item>{}), support::PreconditionError);
   std::vector<Item> items;

@@ -16,6 +16,11 @@
 //                                         buffered records as JSON)
 //   oselctl drift    <benchmark> [opts]   run under the Oracle policy and
 //                                         print the per-region drift report
+//   oselctl ping --socket PATH            probe a live oseld daemon
+//
+// `decide` and `stats` accept --socket PATH to talk to a live oseld over
+// its wire protocol instead of evaluating in-process (docs/SERVICE.md).
+// Socket-mode exit codes: 0 ok, 2 usage, 3 could not connect.
 //
 // Common options: --n <size> (default: the kernel's test size),
 // --threads <count> (default 160), --platform v100|k80 (default v100),
@@ -45,6 +50,7 @@
 #include "polybench/polybench.h"
 #include "runtime/selector.h"
 #include "runtime/target_runtime.h"
+#include "service/client.h"
 #include "support/cli.h"
 #include "support/faultinject.h"
 #include "support/format.h"
@@ -351,6 +357,65 @@ int cmdObserve(const std::string& name, const Config& config,
   return 2;
 }
 
+// --- Socket mode ----------------------------------------------------------
+// `ping`, and `decide`/`stats` with --socket PATH, talk to a live oseld
+// instead of evaluating in-process. Exit codes are unified across them:
+// 0 ok, 2 usage, 3 could not connect (distinct so init scripts and probes
+// can tell "daemon down" from "bad invocation").
+
+int cmdPing(const std::string& socketPath) {
+  service::Client client = service::Client::connect(socketPath);
+  client.ping();
+  std::printf("oseld at %s: ok (protocol v%u)\n", socketPath.c_str(),
+              static_cast<unsigned>(client.version()));
+  return 0;
+}
+
+int cmdSocketDecide(const KernelRef& ref, const Config& config,
+                    const std::string& socketPath) {
+  const symbolic::Bindings bindings = bindingsFor(ref, config);
+  service::Client client = service::Client::connect(socketPath);
+  const runtime::Decision decision =
+      client.decide(ref.region->name, bindings);
+  // Only the wire-stable Decision subset crosses the socket; print that.
+  std::printf("cpu predicted:  %s\n",
+              support::formatSeconds(decision.cpu.seconds).c_str());
+  std::printf("gpu predicted:  %s\n",
+              support::formatSeconds(decision.gpu.totalSeconds).c_str());
+  std::printf("predicted offloading speedup: %s\n",
+              support::formatSpeedup(decision.predictedSpeedup()).c_str());
+  std::printf("decision: run on %s (server-side, decided in %s)\n",
+              runtime::toString(decision.device).c_str(),
+              support::formatSeconds(decision.overheadSeconds).c_str());
+  if (!decision.valid) {
+    std::printf("degraded: %s\n", decision.diagnostic.c_str());
+  }
+  return 0;
+}
+
+int cmdSocketStats(const std::string& socketPath, bool prometheus) {
+  service::Client client = service::Client::connect(socketPath);
+  const std::string text = client.stats(
+      prometheus ? service::StatsFormat::Prometheus
+                 : service::StatsFormat::Summary);
+  std::fputs(text.c_str(), stdout);
+  return 0;
+}
+
+/// Shared error envelope for the socket commands' exit-code contract.
+template <typename Body>
+int runSocketCommand(const char* command, Body&& body) {
+  try {
+    return body();
+  } catch (const service::ConnectError& error) {
+    std::fprintf(stderr, "oselctl %s: %s\n", command, error.what());
+    return 3;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "oselctl %s: %s\n", command, error.what());
+    return 1;
+  }
+}
+
 int cmdPad(const std::vector<std::string>& names) {
   const std::array<mca::MachineModel, 2> hosts{mca::MachineModel::power9(),
                                                mca::MachineModel::power8()};
@@ -384,6 +449,14 @@ constexpr const char* kUsage =
     "                            model-term breakdown (--json: all records)\n"
     "  drift   <benchmark>       run under Oracle; print the per-region\n"
     "                            drift report (EWMA/CUSUM, mispredictions)\n"
+    "  ping    --socket PATH     probe a live oseld daemon\n"
+    "\n"
+    "socket mode (against a live oseld; see docs/SERVICE.md):\n"
+    "  decide <kernel> --socket PATH   ask the daemon instead of deciding\n"
+    "                                  in-process\n"
+    "  stats --socket PATH [--prom]    the daemon's metrics summary or\n"
+    "                                  Prometheus exposition\n"
+    "  exit codes: 0 ok, 2 usage, 3 could not connect\n"
     "\n"
     "common options: --n N, --threads T, --platform v100|k80,\n"
     "  --file path.osel (load kernels from a kernel-language file)\n"
@@ -423,6 +496,35 @@ int main(int argc, char** argv) {
   const std::string& command = positional[0];
   if (command == "list") return cmdList();
   if (command == "pad") return cmdPad(positional);
+
+  const auto socketPath = cl.stringOption("socket");
+  if (command == "ping") {
+    if (!socketPath || socketPath->empty()) {
+      std::fprintf(stderr, "oselctl ping: --socket PATH is required\n");
+      return 2;
+    }
+    return runSocketCommand("ping", [&] { return cmdPing(*socketPath); });
+  }
+  if (command == "stats" && socketPath && !socketPath->empty()) {
+    return runSocketCommand("stats", [&] {
+      return cmdSocketStats(*socketPath, cl.hasFlag("prom"));
+    });
+  }
+  if (command == "decide" && socketPath && !socketPath->empty()) {
+    if (positional.size() < 2) {
+      std::fprintf(stderr,
+                   "oselctl decide: missing kernel name (try `oselctl list`)\n");
+      return 2;
+    }
+    const KernelRef ref = findKernel(positional[1]);
+    if (ref.region == nullptr) {
+      std::fprintf(stderr, "oselctl: unknown kernel %s (try `oselctl list`)\n",
+                   positional[1].c_str());
+      return 2;
+    }
+    return runSocketCommand(
+        "decide", [&] { return cmdSocketDecide(ref, config, *socketPath); });
+  }
 
   const bool isObserve = command == "trace" || command == "stats" ||
                          command == "explain" || command == "drift";
