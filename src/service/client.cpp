@@ -30,8 +30,10 @@ void Client::handshake() {
   const HelloAckFrame ack = parseHelloAck(payload);
   version_ = ack.version;
   featureBits_ = ack.featureBits;
+  // The negotiated limit bounds frames *we send*; replies may legally be
+  // larger (a DecisionBatch is ~5x its request), so the receive decoder
+  // keeps the absolute ceiling it was constructed with (see osel_abi.h).
   maxFrameBytes_ = ack.maxFrameBytes;
-  decoder_.setMaxFrameBytes(ack.maxFrameBytes);
 }
 
 void Client::ping() {
@@ -64,6 +66,17 @@ void Client::decideBatch(std::string_view region,
                          std::uint32_t rows,
                          std::span<const std::int64_t> values,
                          std::vector<runtime::Decision>& out) {
+  if (slots.empty() && rows > 0) {
+    // Wire rule: a row-carrying DecideBatch names at least one slot — with
+    // zero slots the server could not bound the claimed rowCount. Rows for
+    // binding-free regions go as scalar frames instead.
+    const symbolic::Bindings none;
+    out.resize(rows);
+    for (std::uint32_t row = 0; row < rows; ++row) {
+      out[row] = decide(region, none);
+    }
+    return;
+  }
   const std::uint64_t id = nextRequestId_;
   nextRequestId_ += rows == 0 ? 1 : rows;  // rows echo id..id+rows-1
   encodeDecideBatch(outBuffer_, id, region, slots, rows, values);
@@ -99,6 +112,18 @@ std::string Client::stats(StatsFormat format) {
 }
 
 FrameHeader Client::exchange(std::string& payload) {
+  // Enforce the server's negotiated request ceiling before sending: a
+  // frame it would refuse must fail here with a clear error, not desync
+  // the connection. Discarding it keeps the client usable.
+  if (outBuffer_.size() > sizeof(FrameHeader) + maxFrameBytes_) {
+    const std::size_t bytes = outBuffer_.size() - sizeof(FrameHeader);
+    outBuffer_.clear();
+    throw CodecError(WireCode::FrameTooLarge,
+                     "client: request frame of " + std::to_string(bytes) +
+                         " payload bytes exceeds the server's negotiated "
+                         "limit " +
+                         std::to_string(maxFrameBytes_));
+  }
   sendAll(socket_, outBuffer_);
   outBuffer_.clear();
   return readFrame(payload);

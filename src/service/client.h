@@ -53,7 +53,7 @@ class Client {
   Client& operator=(Client&&) = default;
 
   /// Negotiated protocol version / granted feature bits / the server's
-  /// frame-size ceiling, all from HelloAck.
+  /// frame-size ceiling for *requests*, all from HelloAck.
   [[nodiscard]] std::uint16_t version() const { return version_; }
   [[nodiscard]] std::uint32_t featureBits() const { return featureBits_; }
   [[nodiscard]] std::uint32_t maxFrameBytes() const { return maxFrameBytes_; }
@@ -69,7 +69,9 @@ class Client {
 
   /// Batched decisions for `rows` rows sharing one region and slot set;
   /// `values` is slot-major (values[slot * rows + row]). Decisions land in
-  /// `out` (resized to `rows`), row order preserved.
+  /// `out` (resized to `rows`), row order preserved. An empty slot set
+  /// (binding-free region) is sent as scalar DecideRequest frames — the
+  /// wire forbids row-carrying zero-slot batches.
   void decideBatch(std::string_view region,
                    std::span<const std::string_view> slots, std::uint32_t rows,
                    std::span<const std::int64_t> values,
@@ -92,7 +94,9 @@ class Client {
                   FrameType expected);
 
   Socket socket_;
-  FrameDecoder decoder_;
+  /// Receive-side decoder. HelloAck::maxFrameBytes bounds what we *send*;
+  /// server replies are bounded only by the absolute ceiling.
+  FrameDecoder decoder_{kAbsoluteMaxFrameBytes};
   std::string outBuffer_;
   std::uint64_t nextRequestId_ = 1;
   std::uint16_t version_ = 0;

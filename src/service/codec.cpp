@@ -217,6 +217,10 @@ void encodeDecideBatch(std::string& out, std::uint64_t requestId,
                        static_cast<std::size_t>(slots.size()) * rows,
                    "encodeDecideBatch: values must hold slots * rows entries "
                    "(slot-major)");
+  support::require(!slots.empty() || rows == 0,
+                   "encodeDecideBatch: a row-carrying batch must name at "
+                   "least one slot (send binding-free rows as scalar "
+                   "DecideRequest frames)");
   const std::size_t at = beginFrame(out, FrameType::DecideBatch);
   DecideBatchFrame frame;
   frame.requestId = requestId;
@@ -383,6 +387,15 @@ void parseDecideBatch(std::string_view payload, DecideBatchView& view) {
   for (std::uint32_t i = 0; i < frame.slotCount; ++i) {
     const auto symbolBytes = cursor.read<std::uint32_t>();
     view.slots.push_back(takeString(cursor, symbolBytes));
+  }
+  // With zero slots the value matrix is empty no matter what rowCount
+  // claims, so the size cross-check below cannot bound it — and the server
+  // sizes per-row buffers from rowCount. Wire rule: a row-carrying batch
+  // names at least one slot (binding-free rows travel as scalar
+  // DecideRequest frames).
+  if (frame.slotCount == 0 && frame.rowCount != 0) {
+    throw CodecError(WireCode::BadFrame,
+                     "service codec: DecideBatch carries rows but no slots");
   }
   view.rows = frame.rowCount;
   const std::uint64_t valueBytes = static_cast<std::uint64_t>(frame.slotCount) *

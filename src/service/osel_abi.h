@@ -126,6 +126,11 @@ static_assert(offsetof(HelloFrame, reserved) == 12);
 
 /// Server's answer to Hello: the negotiated version, the accepted feature
 /// subset, and the per-connection frame ceiling the client must respect.
+/// `maxFrameBytes` bounds the client-to-server direction only — it is the
+/// server's admission limit on untrusted requests. Replies can legally
+/// outgrow the request that produced them (a DecisionBatch carries 40+
+/// bytes per 8-byte request row), so clients bound received frames by
+/// kAbsoluteMaxFrameBytes alone.
 struct HelloAckFrame {
   std::uint32_t magic = kMagic;
   std::uint16_t version = kProtocolVersion;
@@ -160,6 +165,10 @@ static_assert(offsetof(DecideRequestFrame, bindingCount) == 12);
 ///   slotCount ×  { u32 symbolBytes | symbol bytes }   slot symbol table
 ///   slotCount*rowCount × i64             values[slot*rowCount + row]
 /// Row r binds symbol[k] = values[k*rowCount + r] for every k.
+/// A frame with rowCount > 0 must name at least one slot: with zero slots
+/// the value matrix is empty whatever rowCount claims, so a receiver could
+/// not bound the count against the payload. Binding-free rows travel as
+/// scalar DecideRequest frames (bindingCount == 0).
 struct DecideBatchFrame {
   std::uint64_t requestId = 0;  ///< id of row 0; row r echoes requestId + r
   std::uint32_t regionNameBytes = 0;

@@ -47,6 +47,10 @@ Server::Server(pad::AttributeDatabase database,
   options_.workerThreads = std::max<std::size_t>(1, options_.workerThreads);
   options_.maxFrameBytes =
       std::min(options_.maxFrameBytes, kAbsoluteMaxFrameBytes);
+  // 0 would mean "no timeout" to SO_RCVTIMEO, reopening the stalled-scraper
+  // hang this option exists to prevent.
+  options_.metricsRecvTimeoutMillis =
+      std::max(1, options_.metricsRecvTimeoutMillis);
   obs::MetricsRegistry& metrics = session_.metrics();
   instruments_.connections = &metrics.counter("service.connections");
   instruments_.sheds = &metrics.counter("service.sheds");
@@ -263,7 +267,11 @@ void Server::serveConnection(Socket socket, std::uint64_t clientId) {
 
         // Post-handshake dispatch. Frame boundaries survive payload-level
         // errors (the decoder already consumed the frame), so BadFrame
-        // answers keep the connection usable.
+        // answers keep the connection usable. `outMark` lets the catch
+        // blocks discard a partially encoded reply (e.g. a batch whose
+        // encoding tripped the absolute frame ceiling) — sending half a
+        // frame followed by an Error frame would desync the peer.
+        const std::size_t outMark = out.size();
         try {
           switch (type) {
             case FrameType::Ping:
@@ -338,12 +346,15 @@ void Server::serveConnection(Socket socket, std::uint64_t clientId) {
               break;
           }
         } catch (const CodecError& error) {
+          out.resize(outMark);
           encodeError(out, error.wireCode(), error.what());
           instruments_.errors->add();
         } catch (const osel::Error& error) {
+          out.resize(outMark);
           encodeError(out, wireCodeFor(error.code()), error.what());
           instruments_.errors->add();
         } catch (const std::exception& error) {
+          out.resize(outMark);
           encodeError(out, WireCode::Unknown, error.what());
           instruments_.errors->add();
         }
@@ -367,44 +378,65 @@ void Server::serveConnection(Socket socket, std::uint64_t clientId) {
 
 void Server::metricsLoop() {
   // Serial request handling is plenty for a scraper that polls every few
-  // seconds; the decision path never waits on this thread.
+  // seconds; the decision path never waits on this thread. Each accepted
+  // connection is registered in activeFds_ (so stop() can shutdown(2) a
+  // scraper this thread is blocked reading) and recv-bounded (so a scraper
+  // that connects and then stalls cannot pin the loop past the timeout).
   for (;;) {
     Socket connection = acceptOn(metricsListener_);
     if (!connection.valid() || stopping_.load(std::memory_order_acquire)) {
       return;
     }
-    try {
-      std::string request;
-      char buffer[4096];
-      while (request.find("\r\n\r\n") == std::string::npos &&
-             request.size() < 16 * 1024) {
-        const std::size_t got = recvSome(connection, buffer, sizeof(buffer));
-        if (got == 0) break;
-        request.append(buffer, got);
+    {
+      std::lock_guard<std::mutex> lock(activeMutex_);
+      activeFds_.insert(connection.fd());
+    }
+    // Re-check after registering: stop() sets stopping_ before sweeping
+    // activeFds_, so either it sees this fd or we see the flag.
+    if (!stopping_.load(std::memory_order_acquire)) {
+      try {
+        setRecvTimeout(connection, options_.metricsRecvTimeoutMillis);
+        serveMetricsConnection(connection);
+      } catch (const SocketError&) {
+        // Scraper hung up early or stalled past the timeout; serve the
+        // next one.
       }
-      std::string body;
-      const char* status = "200 OK";
-      if (request.rfind("GET /metrics", 0) == 0) {
-        body = obs::renderPrometheus(session_);
-      } else if (request.rfind("GET / ", 0) == 0 ||
-                 request.rfind("GET /\r", 0) == 0) {
-        body = "oseld metrics endpoint; scrape GET /metrics\n";
-      } else {
-        status = "404 Not Found";
-        body = "only GET /metrics is served here\n";
-      }
-      std::string response = "HTTP/1.0 ";
-      response += status;
-      response +=
-          "\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
-          "Content-Length: " +
-          std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n";
-      response += body;
-      sendAll(connection, response);
-    } catch (const SocketError&) {
-      // Scraper hung up early; serve the next one.
+    }
+    {
+      std::lock_guard<std::mutex> lock(activeMutex_);
+      activeFds_.erase(connection.fd());
     }
   }
+}
+
+void Server::serveMetricsConnection(const Socket& connection) {
+  std::string request;
+  char buffer[4096];
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.size() < 16 * 1024) {
+    const std::size_t got = recvSome(connection, buffer, sizeof(buffer));
+    if (got == 0) break;
+    request.append(buffer, got);
+  }
+  std::string body;
+  const char* status = "200 OK";
+  if (request.rfind("GET /metrics", 0) == 0) {
+    body = obs::renderPrometheus(session_);
+  } else if (request.rfind("GET / ", 0) == 0 ||
+             request.rfind("GET /\r", 0) == 0) {
+    body = "oseld metrics endpoint; scrape GET /metrics\n";
+  } else {
+    status = "404 Not Found";
+    body = "only GET /metrics is served here\n";
+  }
+  std::string response = "HTTP/1.0 ";
+  response += status;
+  response +=
+      "\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+      "Content-Length: " +
+      std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n";
+  response += body;
+  sendAll(connection, response);
 }
 
 }  // namespace osel::service

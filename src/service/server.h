@@ -62,6 +62,10 @@ struct ServiceOptions {
   /// for the first this-many connections, bounding metric cardinality
   /// under connection churn; the aggregate series always update.
   std::size_t maxClientMetricSeries = 64;
+  /// recv(2) timeout applied to accepted metrics-endpoint connections, so
+  /// a scraper that connects and then sends nothing (or stalls mid-request)
+  /// cannot pin the serial metrics thread. Clamped to >= 1.
+  int metricsRecvTimeoutMillis = 2000;
 };
 
 /// The daemon core, embeddable for tests and the loopback load generator:
@@ -120,6 +124,9 @@ class Server {
 
   void acceptLoop(Socket& listener);
   void metricsLoop();
+  /// Reads one HTTP request and answers it (GET /metrics → Prometheus
+  /// text). Throws SocketError on a vanished or stalled-past-timeout peer.
+  void serveMetricsConnection(const Socket& connection);
   void workerLoop();
   /// Serves one connection until the peer closes, a fatal wire error, or
   /// stop(). `clientId` keys the per-client metric series.

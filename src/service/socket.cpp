@@ -5,6 +5,7 @@
 #include <cstring>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -123,6 +124,16 @@ Socket connectTcp(std::uint16_t port) {
                                  std::to_string(port)));
   }
   return socket;
+}
+
+void setRecvTimeout(const Socket& socket, int millis) {
+  timeval timeout{};
+  timeout.tv_sec = millis / 1000;
+  timeout.tv_usec = static_cast<suseconds_t>(millis % 1000) * 1000;
+  if (::setsockopt(socket.fd(), SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                   sizeof(timeout)) != 0) {
+    throw SocketError(withErrno("setRecvTimeout: setsockopt"));
+  }
 }
 
 void sendAll(const Socket& socket, std::string_view bytes) {

@@ -87,6 +87,11 @@ class Socket {
 /// Connects to 127.0.0.1:`port`. Throws ConnectError.
 [[nodiscard]] Socket connectTcp(std::uint16_t port);
 
+/// SO_RCVTIMEO: recv(2) on `socket` fails (EAGAIN → SocketError) after
+/// `millis` without data instead of blocking forever. Throws SocketError
+/// when the option cannot be set.
+void setRecvTimeout(const Socket& socket, int millis);
+
 /// Sends the whole buffer (looping over partial sends). Throws SocketError
 /// on a broken connection.
 void sendAll(const Socket& socket, std::string_view bytes);

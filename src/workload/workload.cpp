@@ -180,11 +180,24 @@ TraceHeader parseTraceHeader(std::string_view line) {
   TraceHeader header;
   unsigned version = 0;
   unsigned long long seed = 0;
-  const int matched = std::sscanf(std::string(line).c_str(),
-                                  "#!osel-trace v%u seed=%llu", &version,
-                                  &seed);
-  require(matched >= 1, "workload::parseTrace: malformed trace header '" +
-                            std::string(line) + "'");
+  const std::string text(line);
+  // %n pins full consumption: a header whose tail is not exactly the seed
+  // field ('v1 sed=5', 'seed=5junk') must be the hard error the contract
+  // promises, not a silent seed=0.
+  int consumed = -1;
+  const bool withSeed =
+      std::sscanf(text.c_str(), "#!osel-trace v%u seed=%llu%n", &version,
+                  &seed, &consumed) == 2 &&
+      consumed == static_cast<int>(text.size());
+  if (!withSeed) {
+    version = 0;
+    seed = 0;
+    consumed = -1;
+    const int matched =
+        std::sscanf(text.c_str(), "#!osel-trace v%u%n", &version, &consumed);
+    require(matched == 1 && consumed == static_cast<int>(text.size()),
+            "workload::parseTrace: malformed trace header '" + text + "'");
+  }
   require(version == kTraceFormatVersion,
           "workload::parseTrace: trace is format v" + std::to_string(version) +
               " but this build reads v" + std::to_string(kTraceFormatVersion) +

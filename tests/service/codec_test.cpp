@@ -364,6 +364,39 @@ TEST(CodecHostile, CountsThatDoNotAddUpThrow) {
   EXPECT_THROW(parseDecideBatch(payload, batchView), CodecError);
 }
 
+TEST(CodecHostile, ZeroSlotBatchClaimingRowsThrows) {
+  // With slotCount == 0 the value-matrix size check is vacuous (0 * rows
+  // values == 0 remaining bytes), so without its own guard a 32-byte frame
+  // could claim 4 billion rows and drive the server into rowCount-sized
+  // allocations.
+  std::string payload(sizeof(DecideBatchFrame), '\0');
+  DecideBatchFrame batch;
+  batch.regionNameBytes = 0;
+  batch.slotCount = 0;
+  batch.rowCount = 0xFFFFFFFFu;
+  std::memcpy(payload.data(), &batch, sizeof(batch));
+  DecideBatchView view;
+  try {
+    parseDecideBatch(payload, view);
+    FAIL() << "zero-slot row-carrying batch was accepted";
+  } catch (const CodecError& error) {
+    EXPECT_EQ(error.wireCode(), WireCode::BadFrame);
+  }
+
+  // Zero slots with zero rows stays a legal (empty) batch.
+  batch.rowCount = 0;
+  std::memcpy(payload.data(), &batch, sizeof(batch));
+  parseDecideBatch(payload, view);
+  EXPECT_EQ(view.rows, 0u);
+  EXPECT_TRUE(view.slots.empty());
+
+  // The encoder enforces the same wire rule, so a buggy client fails fast
+  // instead of producing a frame every server rejects.
+  std::string bytes;
+  EXPECT_THROW(encodeDecideBatch(bytes, 1, "stream", {}, 3, {}),
+               std::logic_error);
+}
+
 TEST(CodecHostile, DeviceOutOfRangeThrows) {
   std::string bytes;
   encodeDecision(bytes, 5, sampleDecision());

@@ -374,5 +374,161 @@ TEST(Service, TcpTransportAndMetricsEndpoint) {
   EXPECT_NE(response.find("404"), std::string::npos);
 }
 
+TEST(Service, BindingFreeBatchRowsFallBackToScalarFrames) {
+  // A row-carrying DecideBatch with zero slots is forbidden on the wire
+  // (the server could not bound rowCount), so the client sends such rows
+  // as scalar frames — and the decisions still match in-process.
+  TestServer fixture;
+  fixture.server->start();
+  runtime::TargetRuntime local(makeDatabase(), runtime::RuntimeOptions{});
+  for (TargetRegion& region : testRegions()) {
+    local.registerRegion(std::move(region));
+  }
+
+  Client client = Client::connect(fixture.server->options().socketPath);
+  std::vector<runtime::Decision> remote;
+  client.decideBatch("stream", {}, 3, {}, remote);
+  ASSERT_EQ(remote.size(), 3u);
+  const runtime::Decision reference = local.decide("stream", {});
+  for (const runtime::Decision& decision : remote) {
+    expectWireIdentical(decision, reference);
+  }
+}
+
+TEST(Service, RawZeroSlotBatchClaimingRowsIsAnsweredBadFrame) {
+  TestServer fixture;
+  fixture.server->start();
+  Socket raw = connectUnix(fixture.server->options().socketPath);
+  std::string out;
+  encodeHello(out, HelloFrame{});
+  // Hand-build the hostile frame the encoder refuses to produce: 0 slots,
+  // a 4-billion rowCount, and no value bytes to bound it.
+  FrameHeader hostile;
+  hostile.length = sizeof(DecideBatchFrame);
+  hostile.type = static_cast<std::uint16_t>(FrameType::DecideBatch);
+  DecideBatchFrame batch;
+  batch.slotCount = 0;
+  batch.rowCount = 0xFFFFFFFFu;
+  out.append(reinterpret_cast<const char*>(&hostile), sizeof(hostile));
+  out.append(reinterpret_cast<const char*>(&batch), sizeof(batch));
+  sendAll(raw, out);
+
+  FrameDecoder decoder;
+  FrameHeader header;
+  std::string payload;
+  char buffer[4096];
+  const auto readFrame = [&] {
+    for (;;) {
+      if (decoder.next(header, payload)) return;
+      const std::size_t got = recvSome(raw, buffer, sizeof(buffer));
+      ASSERT_GT(got, 0u) << "server closed unexpectedly";
+      decoder.append(buffer, got);
+    }
+  };
+  readFrame();
+  ASSERT_EQ(header.type, static_cast<std::uint16_t>(FrameType::HelloAck));
+  readFrame();
+  EXPECT_EQ(header.type, static_cast<std::uint16_t>(FrameType::Error));
+  EXPECT_EQ(parseError(payload).code, WireCode::BadFrame);
+}
+
+TEST(Service, BatchReplyLargerThanTheNegotiatedLimitStillParses) {
+  // DecisionBatch replies amplify ~8 request bytes per row into 40+, so a
+  // legal request can produce a reply past HelloAck::maxFrameBytes. The
+  // limit binds the request direction only; the client must parse this.
+  ServiceOptions options;
+  options.maxFrameBytes = 16 * 1024;
+  TestServer fixture(options);
+  fixture.server->start();
+  runtime::TargetRuntime local(makeDatabase(), runtime::RuntimeOptions{});
+  for (TargetRegion& region : testRegions()) {
+    local.registerRegion(std::move(region));
+  }
+
+  const std::uint32_t rows = 1000;  // ~8 KB request, ~40 KB reply
+  std::vector<std::int64_t> sizes(rows);
+  for (std::uint32_t i = 0; i < rows; ++i) sizes[i] = 16 + (i % 512);
+  const std::vector<std::string_view> slots{"n"};
+
+  Client client = Client::connect(fixture.server->options().socketPath);
+  std::vector<runtime::Decision> remote;
+  client.decideBatch("stream", slots, rows, sizes, remote);
+  ASSERT_EQ(remote.size(), rows);
+
+  std::vector<symbolic::Bindings> bindings(rows);
+  std::vector<runtime::DecideRequest> requests(rows);
+  for (std::uint32_t i = 0; i < rows; ++i) {
+    bindings[i]["n"] = sizes[i];
+    requests[i] = {"stream", &bindings[i]};
+  }
+  std::vector<runtime::Decision> reference(rows);
+  local.decideBatch(requests, reference);
+  for (std::uint32_t i = 0; i < rows; ++i) {
+    expectWireIdentical(remote[i], reference[i]);
+  }
+
+  // The flip side: a request frame the server would refuse is rejected
+  // client-side with FrameTooLarge before any bytes hit the wire, and the
+  // connection stays usable.
+  const std::uint32_t tooMany = 3000;  // ~24 KB of values > 16 KB limit
+  std::vector<std::int64_t> big(tooMany, 64);
+  try {
+    client.decideBatch("stream", slots, tooMany, big, remote);
+    FAIL() << "oversized request frame was sent";
+  } catch (const CodecError& error) {
+    EXPECT_EQ(error.wireCode(), WireCode::FrameTooLarge);
+  }
+  client.ping();
+  expectWireIdentical(client.decide("stream", {{"n", 64}}),
+                      local.decide("stream", {{"n", 64}}));
+}
+
+TEST(Service, StalledMetricsScraperDoesNotStarveTheNextScrape) {
+  ServiceOptions options;
+  options.metricsPort = 0;
+  options.metricsRecvTimeoutMillis = 100;
+  TestServer fixture(options);
+  fixture.server->start();
+
+  // A scraper that connects and sends nothing ties up the serial metrics
+  // thread only until the recv timeout drops it...
+  Socket stalled = connectTcp(fixture.server->metricsPort());
+
+  // ...so a well-behaved scrape right behind it must still be answered.
+  Socket scrape = connectTcp(fixture.server->metricsPort());
+  sendAll(scrape, "GET /metrics HTTP/1.0\r\n\r\n");
+  std::string response;
+  char buffer[8192];
+  for (;;) {
+    const std::size_t got = recvSome(scrape, buffer, sizeof(buffer));
+    if (got == 0) break;
+    response.append(buffer, got);
+  }
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("osel_service_connections"), std::string::npos);
+}
+
+TEST(Service, StopUnblocksAStalledMetricsScraper) {
+  // With a long recv timeout, stop() must still return promptly: accepted
+  // metrics connections are registered in the active-fd set it sweeps
+  // with shutdown(2). Before that registration this join hung forever.
+  ServiceOptions options;
+  options.metricsPort = 0;
+  options.metricsRecvTimeoutMillis = 60'000;
+  TestServer fixture(options);
+  fixture.server->start();
+
+  Socket stalled = connectTcp(fixture.server->metricsPort());
+  // Give the metrics thread time to accept and park in recv().
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  fixture.server->stop();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(seconds, 10.0) << "stop() waited on a stalled scraper";
+}
+
 }  // namespace
 }  // namespace osel::service

@@ -191,6 +191,27 @@ TEST(WorkloadTrace, RejectsMismatchedHeaderVersions) {
                support::PreconditionError);
 }
 
+TEST(WorkloadTrace, RejectsHeaderTrailingGarbage) {
+  // A header that is not exactly `#!osel-trace v<N>[ seed=<M>]` is a hard
+  // error — before the %n full-consumption check, 'sed=5' and 'seed=5junk'
+  // were silently accepted with seed=0.
+  for (const char* header :
+       {"#!osel-trace v1 sed=5", "#!osel-trace v1 seed=5junk",
+        "#!osel-trace v1 seed=", "#!osel-trace v1x",
+        "#!osel-trace v1 seed=5 extra"}) {
+    EXPECT_THROW((void)parseTrace(std::string(header) + "\n0,gemm_k1,n=64\n"),
+                 support::PreconditionError)
+        << header;
+  }
+  // A seedless versioned header stays legal; the seed defaults to 0.
+  TraceHeader header;
+  const std::vector<Item> parsed =
+      parseTrace("#!osel-trace v1\n0,gemm_k1,n=64\n", &header);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(header.version, kTraceFormatVersion);
+  EXPECT_EQ(header.seed, 0u);
+}
+
 TEST(WorkloadTrace, SerializeRefusesForeignVersions) {
   std::vector<Item> items;
   items.push_back({"gemm_k1", symbolic::Bindings{{"n", 64}}, 0.0});
