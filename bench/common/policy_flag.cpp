@@ -1,0 +1,46 @@
+#include "bench/common/policy_flag.h"
+
+#include <cstdio>
+#include <string>
+
+namespace osel::bench {
+
+std::optional<PolicySelection> parsePolicyFlag(const support::CommandLine& cl,
+                                               const char* tool,
+                                               bool allowLaunchPolicies) {
+  PolicySelection result;
+  const auto name = cl.stringOption("policy");
+  if (!name.has_value() || name->empty()) return result;
+
+  if (allowLaunchPolicies) {
+    if (*name == "always-cpu") {
+      result.launch = runtime::Policy::AlwaysCpu;
+      return result;
+    }
+    if (*name == "always-gpu") {
+      result.launch = runtime::Policy::AlwaysGpu;
+      return result;
+    }
+    if (*name == "model-guided") return result;
+    if (*name == "oracle") {
+      result.launch = runtime::Policy::Oracle;
+      return result;
+    }
+  }
+  if (const auto kind = runtime::policy::parsePolicyKind(*name)) {
+    runtime::policy::PolicyOptions options;
+    options.kind = *kind;
+    result.selection = runtime::policy::makePolicy(options);
+    return result;
+  }
+  std::string accepted;
+  if (allowLaunchPolicies) {
+    accepted = "always-cpu, always-gpu, model-guided, oracle, ";
+  }
+  accepted += runtime::policy::policyKindNames();
+  std::fprintf(stderr, "%s: unknown --policy '%s' (expected %s)\n", tool,
+               name->c_str(), accepted.c_str());
+  return std::nullopt;
+}
+
+}  // namespace osel::bench

@@ -1,0 +1,265 @@
+// drift_scenario — the closed drift loop, end to end, as a pass/fail guard.
+//
+// Scenario: a deployment calibrates against a healthy device, then the
+// environment degrades mid-run — here the simulated GPU's DRAM service
+// latency rises by --dram-factor (thermal throttling / a neighbor saturating
+// memory bandwidth), while the analytical models keep predicting the
+// healthy device. Every launch runs under the Oracle launch policy so both
+// devices are measured: mispredictions (the model-chosen device was the
+// slower one) are directly observable, and the runtime feeds every
+// measurement back through the selection policy's observe() hook.
+//
+// The same two-phase stream runs twice: once under model-compare (the
+// paper's static rule — it can only keep mispredicting after the shift) and
+// once under calibrated (docs/POLICIES.md), whose per-region multiplicative
+// correction must refit when the drift detector's CUSUM alarm latches and
+// then decide post-shift launches correctly. The guard (exit 1 on failure):
+//   * calibrated records strictly fewer post-shift mispredictions than
+//     model-compare,
+//   * at least one refit happened (policy.refit visible),
+//   * the refit is visible in drift state as latched-then-reset: some
+//     region alarmed and is no longer alarming under calibrated.
+//
+// Options:
+//   --phase1 N        healthy passes over the suite (default 4 — exactly
+//                     arms the 8-sample drift baseline at two samples per
+//                     Oracle launch)
+//   --phase2 N        degraded passes (default 6)
+//   --dram-factor F   DRAM service-latency multiplier for phase 2
+//                     (default 6.0)
+//   --threads T       CPU model/simulator threads (default 160)
+//   --benchmarks K    only the first K suite benchmarks (0 = all; the ctest
+//                     registration trims for speed)
+//   --verbose         also print the calibrated run's drift report and
+//                     calibration factors
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compiler/compiler.h"
+#include "obs/export.h"
+#include "obs/trace.h"
+#include "polybench/polybench.h"
+#include "runtime/policy/policy.h"
+#include "runtime/target_runtime.h"
+#include "support/cli.h"
+#include "support/table.h"
+
+namespace {
+
+using namespace osel;
+
+struct ScenarioResult {
+  std::string policy;
+  int preMispredictions = 0;
+  int postMispredictions = 0;
+  int postLaunches = 0;
+  std::uint64_t refits = 0;
+  std::uint64_t alarms = 0;        ///< drift alarm transitions, whole run
+  int alarmingRegions = 0;         ///< still latched at the end
+  int resetAfterAlarmRegions = 0;  ///< alarmed at some point, not latched now
+  std::string driftReport;
+  std::string statsSummary;
+};
+
+pad::AttributeDatabase makeDatabase(
+    const std::vector<ir::TargetRegion>& regions) {
+  const std::array<mca::MachineModel, 1> models{mca::MachineModel::power9()};
+  return compiler::compileAll(regions, models);
+}
+
+/// Oracle-launches every kernel of the chosen benchmarks `passes` times.
+void runPasses(runtime::TargetRuntime& rt,
+               const std::vector<const polybench::Benchmark*>& benchmarks,
+               int passes) {
+  std::map<std::string, ir::ArrayStore> stores;
+  for (int pass = 0; pass < passes; ++pass) {
+    for (const polybench::Benchmark* benchmark : benchmarks) {
+      const std::int64_t n = benchmark->size(polybench::Mode::Test);
+      const symbolic::Bindings bindings = benchmark->bindings(n);
+      auto [it, inserted] = stores.try_emplace(benchmark->name());
+      if (inserted) {
+        it->second = benchmark->allocate(bindings);
+        polybench::initializeInputs(*benchmark, bindings, it->second);
+      }
+      for (const ir::TargetRegion& kernel : benchmark->kernels()) {
+        (void)rt.launch(kernel.name, bindings, it->second,
+                        runtime::Policy::Oracle);
+      }
+    }
+  }
+}
+
+int countMispredictions(const std::vector<runtime::LaunchRecord>& log) {
+  int count = 0;
+  for (const runtime::LaunchRecord& record : log) {
+    if (!record.cpuMeasured || !record.gpuMeasured) continue;
+    if (record.actualCpuSeconds <= 0.0 || record.actualGpuSeconds <= 0.0)
+      continue;
+    const bool gpuFaster = record.actualGpuSeconds < record.actualCpuSeconds;
+    const bool choseGpu = record.decision.device == runtime::Device::Gpu;
+    if (gpuFaster != choseGpu) ++count;
+  }
+  return count;
+}
+
+ScenarioResult runScenario(
+    runtime::policy::PolicyKind kind,
+    const std::vector<const polybench::Benchmark*>& benchmarks,
+    const std::vector<ir::TargetRegion>& regions, int threads, int phase1,
+    int phase2, double dramFactor) {
+  ScenarioResult result;
+  result.policy = std::string(runtime::policy::toString(kind));
+
+  // One session and one policy instance span both phases: the drift
+  // baseline established against the healthy device is exactly what the
+  // degraded phase must alarm against, and the policy's per-region state
+  // must survive the (simulated) environment change.
+  obs::TraceSession session;
+  runtime::policy::PolicyOptions policyOptions;
+  policyOptions.kind = kind;
+  const auto policy = runtime::policy::makePolicy(policyOptions);
+
+  runtime::RuntimeOptions options;
+  options.selector.cpuThreads = threads;
+  options.selector.policy = policy;
+  options.cpuSim = cpusim::CpuSimParams::power9();
+  options.cpuSimThreads = threads;
+  options.gpuSim = gpusim::GpuSimParams::teslaV100();
+  options.trace = &session;
+
+  {
+    runtime::TargetRuntime healthy(makeDatabase(regions), options);
+    for (const ir::TargetRegion& region : regions)
+      healthy.registerRegion(region);
+    runPasses(healthy, benchmarks, phase1);
+    result.preMispredictions = countMispredictions(healthy.log());
+  }
+
+  // Phase 2: same session, same policy, degraded DRAM. A fresh runtime is
+  // the honest shape — simulator parameters are construction-time — and its
+  // log isolates the post-shift launches the guard scores.
+  runtime::RuntimeOptions degraded = options;
+  degraded.gpuSim.memory.dramCycles *= dramFactor;
+  {
+    runtime::TargetRuntime shifted(makeDatabase(regions), degraded);
+    for (const ir::TargetRegion& region : regions)
+      shifted.registerRegion(region);
+    runPasses(shifted, benchmarks, phase2);
+    const std::vector<runtime::LaunchRecord> log = shifted.log();
+    result.postMispredictions = countMispredictions(log);
+    result.postLaunches = static_cast<int>(log.size());
+  }
+
+  result.refits = policy->refits();
+  for (const obs::RegionDriftStats& stats : session.driftStats()) {
+    result.alarms += stats.alarms;
+    if (stats.alarming) ++result.alarmingRegions;
+    if (stats.alarms > 0 && !stats.alarming) ++result.resetAfterAlarmRegions;
+  }
+  result.driftReport = obs::renderDriftReport(session);
+  result.statsSummary = obs::renderStatsSummary(session);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cl = support::CommandLine::parse(argc, argv);
+  const int phase1 = static_cast<int>(cl.intOption("phase1", 4));
+  const int phase2 = static_cast<int>(cl.intOption("phase2", 6));
+  const double dramFactor = cl.doubleOption("dram-factor", 6.0);
+  const int threads = static_cast<int>(cl.intOption("threads", 160));
+  const auto benchmarkCount =
+      static_cast<std::size_t>(cl.intOption("benchmarks", 0));
+  const bool verbose = cl.hasFlag("verbose");
+  if (phase1 < 1 || phase2 < 1 || dramFactor <= 1.0) {
+    std::fprintf(stderr,
+                 "drift_scenario: need --phase1 >= 1, --phase2 >= 1, "
+                 "--dram-factor > 1\n");
+    return 2;
+  }
+
+  std::vector<const polybench::Benchmark*> benchmarks;
+  std::vector<ir::TargetRegion> regions;
+  for (const polybench::Benchmark& benchmark : polybench::suite()) {
+    if (benchmarkCount > 0 && benchmarks.size() >= benchmarkCount) break;
+    benchmarks.push_back(&benchmark);
+    for (const ir::TargetRegion& kernel : benchmark.kernels())
+      regions.push_back(kernel);
+  }
+
+  std::printf(
+      "drift scenario: %zu benchmark(s), %d healthy pass(es), then DRAM "
+      "service latency x%.1f for %d pass(es); Oracle launches, "
+      "mispredictions vs ground truth\n\n",
+      benchmarks.size(), phase1, dramFactor, phase2);
+
+  const ScenarioResult modelCompare =
+      runScenario(runtime::policy::PolicyKind::ModelCompare, benchmarks,
+                  regions, threads, phase1, phase2, dramFactor);
+  const ScenarioResult calibrated =
+      runScenario(runtime::policy::PolicyKind::Calibrated, benchmarks,
+                  regions, threads, phase1, phase2, dramFactor);
+
+  support::TextTable table({"Policy", "Pre-shift misses", "Post-shift misses",
+                            "Post launches", "Refits", "Alarms",
+                            "Alarming now"});
+  for (const ScenarioResult* result : {&modelCompare, &calibrated}) {
+    table.addRow({result->policy, std::to_string(result->preMispredictions),
+                  std::to_string(result->postMispredictions),
+                  std::to_string(result->postLaunches),
+                  std::to_string(result->refits),
+                  std::to_string(result->alarms),
+                  std::to_string(result->alarmingRegions)});
+  }
+  std::fputs(table.render(2).c_str(), stdout);
+  std::printf("\n");
+
+  if (verbose) {
+    std::printf("--- calibrated run drift report ---\n%s\n",
+                calibrated.driftReport.c_str());
+    std::printf("--- calibrated run stats ---\n%s\n",
+                calibrated.statsSummary.c_str());
+  }
+
+  int failures = 0;
+  if (calibrated.postMispredictions < modelCompare.postMispredictions) {
+    std::printf("guard: calibrated post-shift mispredictions %d < "
+                "model-compare %d\n",
+                calibrated.postMispredictions,
+                modelCompare.postMispredictions);
+  } else {
+    std::fprintf(stderr,
+                 "drift_scenario: GUARD FAILED: calibrated post-shift "
+                 "mispredictions %d not strictly below model-compare %d\n",
+                 calibrated.postMispredictions,
+                 modelCompare.postMispredictions);
+    ++failures;
+  }
+  if (calibrated.refits > 0) {
+    std::printf("guard: calibrated refit %llu time(s)\n",
+                static_cast<unsigned long long>(calibrated.refits));
+  } else {
+    std::fprintf(stderr,
+                 "drift_scenario: GUARD FAILED: calibrated never refit\n");
+    ++failures;
+  }
+  if (calibrated.alarms > 0 && calibrated.resetAfterAlarmRegions > 0) {
+    std::printf("guard: drift alarm latched then reset by refit in %d "
+                "region(s) (%llu alarm transition(s) total)\n",
+                calibrated.resetAfterAlarmRegions,
+                static_cast<unsigned long long>(calibrated.alarms));
+  } else {
+    std::fprintf(stderr,
+                 "drift_scenario: GUARD FAILED: no latched-then-reset drift "
+                 "alarm under calibrated (alarms=%llu, reset regions=%d)\n",
+                 static_cast<unsigned long long>(calibrated.alarms),
+                 calibrated.resetAfterAlarmRegions);
+    ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}

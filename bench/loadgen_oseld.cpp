@@ -28,6 +28,13 @@
 //   --check           also decide the whole stream through an identically
 //                     configured in-process TargetRuntime and fail unless
 //                     every socket decision is bit-identical
+//   --policy P        selection policy for the loopback server:
+//                     model-compare (default) | calibrated | hysteresis |
+//                     epsilon-greedy (docs/POLICIES.md). Rejected with
+//                     --socket (configure an external daemon via
+//                     `oseld --policy`) and, for stateful policies, with
+//                     --check (the bit-identity contract is defined
+//                     against the deterministic model-compare choice)
 //   --guard-min-per-sec X    exit 1 unless the best batched row sustains
 //                            at least X decisions/sec
 //   --guard-batch-speedup X  exit 1 unless the largest batch size sustains
@@ -48,6 +55,7 @@
 
 #include <unistd.h>
 
+#include "bench/common/policy_flag.h"
 #include "compiler/compiler.h"
 #include "polybench/polybench.h"
 #include "runtime/batch.h"
@@ -402,6 +410,28 @@ int main(int argc, char** argv) {
   const std::vector<std::size_t> batchSizes =
       parseList(cl.stringOption("batch").value_or("1,64"), "--batch");
   if (clientCounts.empty() || batchSizes.empty()) return 2;
+  // Decide-only bench: --policy takes selection-policy names and applies to
+  // the loopback server's selector.
+  const auto policySelection = bench::parsePolicyFlag(cl, "loadgen_oseld", false);
+  if (!policySelection.has_value()) return 2;
+  if (policySelection->selection != nullptr) {
+    if (!externalSocket.empty()) {
+      std::fprintf(stderr,
+                   "loadgen_oseld: --policy configures the loopback server; "
+                   "start the external daemon with `oseld --policy` instead\n");
+      return 2;
+    }
+    if (check && policySelection->selection->kind() !=
+                     runtime::policy::PolicyKind::ModelCompare) {
+      // The --check contract is bit-identity against an in-process
+      // model-compare decideBatch; a stateful server policy would diverge by
+      // design (probes, sticky memory), so the combination is a usage error.
+      std::fprintf(stderr,
+                   "loadgen_oseld: --check requires the model-compare "
+                   "policy\n");
+      return 2;
+    }
+  }
 
   workload::Shape shape = workload::Shape::Uniform;
   std::vector<workload::Item> traceItems;
@@ -452,8 +482,10 @@ int main(int argc, char** argv) {
     serviceOptions.workerThreads =
         *std::max_element(clientCounts.begin(), clientCounts.end());
     serviceOptions.maxPendingConnections = serviceOptions.workerThreads + 8;
+    runtime::RuntimeOptions loopbackOptions = referenceOptions();
+    loopbackOptions.selector.policy = policySelection->selection;
     loopback = std::make_unique<service::Server>(
-        makeDatabase(), referenceOptions(), serviceOptions);
+        makeDatabase(), loopbackOptions, serviceOptions);
     for (ir::TargetRegion& region : suiteRegions()) {
       loopback->registerRegion(std::move(region));
     }

@@ -33,6 +33,10 @@
 //                      then one batch, and decisions/sec counts N decisions
 //                      per call
 //   --workload-seed S  base seed for --workload streams (default 2019)
+//   --policy P         selection policy under contention: model-compare
+//                      (default) | calibrated | hysteresis | epsilon-greedy
+//                      (docs/POLICIES.md; epsilon-greedy also exercises the
+//                      cache-bypass path under load)
 #include <algorithm>
 #include <array>
 #include <atomic>
@@ -45,6 +49,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/common/policy_flag.h"
 #include "compiler/compiler.h"
 #include "ir/builder.h"
 #include "ir/interpreter.h"
@@ -281,19 +286,26 @@ int main(int argc, char** argv) {
   if (!workloadName.empty()) {
     traffic.shape = workload::parseShape(workloadName);  // throws on unknown
   }
+  // Decide-only bench: only selection-policy names are meaningful here.
+  const auto policySelection =
+      bench::parsePolicyFlag(cl, "micro_concurrent_decide", false);
+  if (!policySelection.has_value()) return 2;
 
   std::vector<std::string> names;
   names.reserve(static_cast<std::size_t>(regionCount));
   for (int i = 0; i < regionCount; ++i) {
     names.push_back("concurrent" + std::to_string(i));
   }
-  runtime::TargetRuntime rt = makeRuntime(names);
+  runtime::RuntimeOptions rtOptions;
+  rtOptions.selector.policy = policySelection->selection;
+  runtime::TargetRuntime rt = makeRuntime(names, rtOptions);
 
   std::printf(
       "# decide hot path, %s loop, %d region(s), %d calls/thread, "
-      "workload=%s, batch=%zu\n",
+      "workload=%s, batch=%zu, policy=%s\n",
       rateHz > 0.0 ? "open" : "closed", regionCount, perThread,
-      workloadName.empty() ? "round-robin" : workloadName.c_str(), batch);
+      workloadName.empty() ? "round-robin" : workloadName.c_str(), batch,
+      std::string(rt.selector().policy().name()).c_str());
   std::printf("threads,decisions_per_sec,p50_us,p99_us,p999_us\n");
   for (int threads = 1; threads <= threadsMax; threads *= 2) {
     const SweepResult result =

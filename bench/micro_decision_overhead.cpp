@@ -8,6 +8,7 @@
 #include <array>
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "compiler/compiler.h"
@@ -15,6 +16,7 @@
 #include "obs/trace.h"
 #include "polybench/polybench.h"
 #include "runtime/decision_cache.h"
+#include "runtime/policy/policy.h"
 #include "runtime/selector.h"
 #include "runtime/target_runtime.h"
 
@@ -58,6 +60,29 @@ void BM_CompiledDecision(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CompiledDecision);
+
+void BM_PolicyChoice(benchmark::State& state) {
+  // The selection-policy seam's cost on the compiled decide path. Arg 0 is
+  // model-compare, which the selector devirtualizes back to the inline
+  // compare — the perf-smoke entry pins it next to BM_CompiledDecision so a
+  // reintroduced virtual call on the default path shows up as a smoke
+  // regression. The other kinds pay the virtual choose() plus their state
+  // lookups (sharded map for hysteresis, counter hash for epsilon-greedy).
+  const auto kind = static_cast<runtime::policy::PolicyKind>(state.range(0));
+  runtime::SelectorConfig config;
+  runtime::policy::PolicyOptions policyOptions;
+  policyOptions.kind = kind;
+  config.policy = runtime::policy::makePolicy(policyOptions);
+  const runtime::OffloadSelector sel(config);
+  const symbolic::Bindings bindings{{"n", 9600}};
+  const runtime::CompiledRegionPlan plan = sel.compile(gemmAttributes());
+  const runtime::RegionHandle region(plan);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sel.decide(region, bindings));
+  }
+  state.SetLabel(std::string(config.policy->name()));
+}
+BENCHMARK(BM_PolicyChoice)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
 void BM_TracedDecision(benchmark::State& state) {
   // The compiled path plus the runtime's full observability hook set: one

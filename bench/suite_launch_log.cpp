@@ -4,6 +4,11 @@
 // OMPT discussion in §V.A). Not one of the paper's figures; a harness
 // utility.
 //
+// --policy accepts the launch policies (always-cpu | always-gpu |
+// model-guided | oracle) and the selection policies (model-compare |
+// calibrated | hysteresis | epsilon-greedy, docs/POLICIES.md); a selection
+// name runs model-guided with that policy installed in the selector.
+//
 // Options beyond policy/mode/scale/threads:
 //   --jobs J                 benchmark-level concurrency (0 = hardware
 //                            threads, 1 = serial); faulty runs are always
@@ -52,6 +57,7 @@
 #include <vector>
 
 #include "bench/common/platform.h"
+#include "bench/common/policy_flag.h"
 #include "bench/common/thread_pool.h"
 #include "compiler/compiler.h"
 #include "obs/export.h"
@@ -134,12 +140,13 @@ int main(int argc, char** argv) {
          .probability = gpuFaultRate,
          .seed = static_cast<std::uint64_t>(cl.intOption("fault-seed", 2019))});
   }
-  const std::string policyName =
-      cl.stringOption("policy").value_or("model-guided");
-  runtime::Policy policy = runtime::Policy::ModelGuided;
-  if (policyName == "always-cpu") policy = runtime::Policy::AlwaysCpu;
-  if (policyName == "always-gpu") policy = runtime::Policy::AlwaysGpu;
-  if (policyName == "oracle") policy = runtime::Policy::Oracle;
+  // --policy accepts launch-policy names and selection-policy names
+  // (docs/POLICIES.md); a selection name runs ModelGuided with that policy
+  // installed in the selector. Unknown names are a usage error.
+  const auto policySelection =
+      bench::parsePolicyFlag(cl, "suite_launch_log", true);
+  if (!policySelection.has_value()) return 2;
+  const runtime::Policy policy = policySelection->launch;
   const auto mode = cl.stringOption("mode").value_or("test") == "benchmark"
                         ? polybench::Mode::Benchmark
                         : polybench::Mode::Test;
@@ -184,6 +191,7 @@ int main(int argc, char** argv) {
 
   runtime::RuntimeOptions options;
   options.selector.cpuThreads = threads;
+  options.selector.policy = policySelection->selection;
   options.selector.useCompiledPlans = decisions == "compiled";
   options.cpuSim = cpusim::CpuSimParams::power9();
   options.cpuSimThreads = threads;

@@ -90,6 +90,20 @@ std::vector<RegionDriftStats> DriftDetector::stats() const {
   return out;
 }
 
+void DriftDetector::resetRegion(std::string_view region) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = regions_.find(region);
+  if (it == regions_.end()) return;
+  State& state = it->second;
+  state.samples = 0;
+  state.ewma = 0.0;
+  state.baselineSum = 0.0;
+  state.baseline = 0.0;
+  state.cusum = 0.0;
+  state.alarming = false;
+  // alarms / comparisons / mispredictions deliberately survive.
+}
+
 void DriftDetector::clear() {
   const std::lock_guard<std::mutex> lock(mutex_);
   regions_.clear();

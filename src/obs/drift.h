@@ -87,6 +87,15 @@ class DriftDetector {
 
   [[nodiscard]] const DriftOptions& options() const { return options_; }
 
+  /// Re-arms one region after a model recalibration: the error stream the
+  /// old baseline described no longer exists, so samples/EWMA/baseline/
+  /// CUSUM reset and a latched alarm unlatches — without clear()'s
+  /// collateral loss of every other region. The monotonic history counters
+  /// (alarms, comparisons, mispredictions) survive, so "alarm latched, then
+  /// reset by a refit" stays visible in stats(). Unknown regions are a
+  /// no-op.
+  void resetRegion(std::string_view region);
+
   void clear();
 
  private:

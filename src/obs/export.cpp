@@ -219,6 +219,14 @@ std::string renderStatsSummary(const TraceSession& session) {
                     " events recorded, " + std::to_string(session.dropped()) +
                     " dropped (capacity " + std::to_string(session.capacity()) +
                     ")\n";
+  const PolicyStatus policy = session.policyStatus();
+  if (!policy.name.empty()) {
+    out += "policy: " + policy.name;
+    if (policy.refits > 0) {
+      out += " (" + std::to_string(policy.refits) + " refits)";
+    }
+    out += '\n';
+  }
   const std::string metrics = session.metrics().renderSummary();
   if (!metrics.empty()) {
     out += '\n';
@@ -236,6 +244,23 @@ std::string renderStatsSummary(const TraceSession& session) {
     }
     out += '\n';
     out += table.render();
+  }
+  // Live calibration factors: only meaningful (and only populated) under
+  // the Calibrated selection policy.
+  const PolicyStatus policyForFactors = session.policyStatus();
+  if (policyForFactors.calibrated && !policyForFactors.factors.empty()) {
+    support::TextTable factors({"region", "cpu factor", "gpu factor",
+                                "pending samples", "refits"});
+    for (const PolicyCalibrationFactor& f : policyForFactors.factors) {
+      std::string cpu;
+      appendDouble(cpu, f.cpuFactor);
+      std::string gpu;
+      appendDouble(gpu, f.gpuFactor);
+      factors.addRow({f.region, cpu, gpu, std::to_string(f.pendingSamples),
+                      std::to_string(f.refits)});
+    }
+    out += "\ncalibration factors:\n";
+    out += factors.render();
   }
   return out;
 }
@@ -335,6 +360,32 @@ std::string renderPrometheus(const TraceSession& session) {
     for (const RegionDriftStats& d : drift) {
       promSample(out, "region_drift.mispredictions", "_total", d.region,
                  static_cast<double>(d.mispredictions));
+    }
+  }
+
+  // Selection-policy identity + calibration state (pushed by the runtime).
+  const PolicyStatus policy = session.policyStatus();
+  if (!policy.name.empty()) {
+    promType(out, "policy_info", "gauge");
+    out += "osel_policy_info{policy=";
+    appendPromLabelValue(out, policy.name);
+    out += "} 1\n";
+    if (policy.calibrated && !policy.factors.empty()) {
+      promType(out, "policy_calibration.cpu_factor", "gauge");
+      for (const PolicyCalibrationFactor& f : policy.factors) {
+        promSample(out, "policy_calibration.cpu_factor", "", f.region,
+                   f.cpuFactor);
+      }
+      promType(out, "policy_calibration.gpu_factor", "gauge");
+      for (const PolicyCalibrationFactor& f : policy.factors) {
+        promSample(out, "policy_calibration.gpu_factor", "", f.region,
+                   f.gpuFactor);
+      }
+      promType(out, "policy_calibration.refits", "counter");
+      for (const PolicyCalibrationFactor& f : policy.factors) {
+        promSample(out, "policy_calibration.refits", "_total", f.region,
+                   static_cast<double>(f.refits));
+      }
     }
   }
 

@@ -105,12 +105,12 @@ void TraceSession::observeFaultInjector() {
   observingInjector_ = true;
 }
 
-void TraceSession::recordPrediction(std::string_view region,
-                                    double predictedSeconds,
-                                    double actualSeconds) {
+DriftSample TraceSession::recordPrediction(std::string_view region,
+                                           double predictedSeconds,
+                                           double actualSeconds) {
   if (!std::isfinite(predictedSeconds) || !std::isfinite(actualSeconds) ||
       actualSeconds <= 0.0) {
-    return;
+    return {};
   }
   const double absRelError =
       std::fabs(predictedSeconds - actualSeconds) / actualSeconds;
@@ -133,6 +133,22 @@ void TraceSession::recordPrediction(std::string_view region,
     recordInstant("drift.alarm", "drift", region, nowNs(),
                   {"ewma", sample.ewma}, {"cusum", sample.cusum});
   }
+  return sample;
+}
+
+void TraceSession::resetDriftRegion(std::string_view region) {
+  drift_.resetRegion(region);
+  recordInstant("drift.reset", "drift", region, nowNs());
+}
+
+void TraceSession::setPolicyStatus(PolicyStatus status) {
+  const std::lock_guard<std::mutex> lock(policyMutex_);
+  policyStatus_ = std::move(status);
+}
+
+PolicyStatus TraceSession::policyStatus() const {
+  const std::lock_guard<std::mutex> lock(policyMutex_);
+  return policyStatus_;
 }
 
 void TraceSession::recordExplain(const DecisionExplain& record) {

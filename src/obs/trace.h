@@ -83,6 +83,27 @@ struct PredictionStats {
   double meanActualSeconds = 0.0;
 };
 
+/// One region's multiplicative correction under the Calibrated selection
+/// policy, as pushed by the runtime (obs must not depend on runtime/policy,
+/// so this mirrors policy::CalibrationFactor).
+struct PolicyCalibrationFactor {
+  std::string region;
+  double cpuFactor = 1.0;
+  double gpuFactor = 1.0;
+  std::uint64_t pendingSamples = 0;
+  std::uint64_t refits = 0;
+};
+
+/// The live selection policy's identity and calibration state. TargetRuntime
+/// pushes this at construction and after every refit; the stats/Prometheus
+/// renderers (and `oselctl stats` through them) read it back.
+struct PolicyStatus {
+  std::string name;          ///< empty until a runtime attaches
+  bool calibrated = false;   ///< true when the Calibrated policy is live
+  std::uint64_t refits = 0;
+  std::vector<PolicyCalibrationFactor> factors;
+};
+
 struct TraceOptions {
   /// Ring capacity in events; the ring drops oldest events beyond it.
   std::size_t capacity = 4096;
@@ -132,11 +153,13 @@ class TraceSession : public support::FaultObserver {
   // --- Prediction accuracy -------------------------------------------------
   /// Feeds one launch's model prediction and measured time for `region`
   /// into the online error tracker (ignored unless both are finite and
-  /// actual > 0). The same error sample drives the drift detector; a CUSUM
-  /// alarm transition raises a `drift.alarm` trace instant and bumps the
-  /// drift.alarms counter.
-  void recordPrediction(std::string_view region, double predictedSeconds,
-                        double actualSeconds);
+  /// actual > 0; returns an all-zero sample then). The same error sample
+  /// drives the drift detector; a CUSUM alarm transition raises a
+  /// `drift.alarm` trace instant and bumps the drift.alarms counter. The
+  /// detector's verdict is returned so the runtime's policy feedback
+  /// channel can ride the alarm into SelectionPolicy::observe().
+  DriftSample recordPrediction(std::string_view region,
+                               double predictedSeconds, double actualSeconds);
   /// Per-region accuracy so far, sorted by region name.
   [[nodiscard]] std::vector<PredictionStats> predictionStats() const;
 
@@ -156,6 +179,16 @@ class TraceSession : public support::FaultObserver {
   /// Per-region drift state so far, sorted by region name.
   [[nodiscard]] std::vector<RegionDriftStats> driftStats() const;
   [[nodiscard]] const DriftDetector& drift() const { return drift_; }
+  /// Re-arms one region's drift detection after a policy refit
+  /// (DriftDetector::resetRegion): warm-up restarts against the corrected
+  /// model, the latched alarm unlatches, the alarm-count history survives.
+  void resetDriftRegion(std::string_view region);
+
+  // --- Selection-policy status ---------------------------------------------
+  /// Runtime push: the live policy's name/refits/calibration factors.
+  /// Renderers (stats summary, Prometheus) read it with policyStatus().
+  void setPolicyStatus(PolicyStatus status);
+  [[nodiscard]] PolicyStatus policyStatus() const;
 
   // --- Periodic snapshots --------------------------------------------------
   /// Attaches (or detaches, with nullptr) a snapshot writer whose tick()
@@ -203,6 +236,9 @@ class TraceSession : public support::FaultObserver {
   };
   mutable std::mutex predictionMutex_;
   std::map<std::string, PredictionAccumulator, std::less<>> predictions_;
+
+  mutable std::mutex policyMutex_;
+  PolicyStatus policyStatus_;
 };
 
 }  // namespace osel::obs

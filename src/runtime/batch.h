@@ -38,6 +38,7 @@ struct BatchCounters {
   std::uint64_t degenerate = 0;
   std::uint64_t cacheHits = 0;
   std::uint64_t cacheLookups = 0;
+  std::uint64_t probes = 0;  ///< policy probe decisions (Decision::probe)
 };
 
 /// Preallocated scratch for one decideBatch() call. The runtime keeps one

@@ -1,0 +1,17 @@
+// osel/runtime/device.h — the execution-target enum.
+//
+// Split out of selector.h so the selection-policy layer (runtime/policy/)
+// can name devices without pulling in the model headers the selector needs;
+// selector.h re-exports it, so existing includes keep compiling.
+#pragma once
+
+#include <string>
+
+namespace osel::runtime {
+
+/// Execution targets the selector chooses between.
+enum class Device { Cpu, Gpu };
+
+[[nodiscard]] std::string toString(Device device);
+
+}  // namespace osel::runtime

@@ -1,0 +1,77 @@
+// osel/runtime/policy/calibrated.h — online per-region model correction.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "runtime/policy/policy.h"
+#include "runtime/policy/sharded.h"
+
+namespace osel::runtime::policy {
+
+/// Closes the drift loop: per region, learns a multiplicative correction
+/// factor per device from the launch path's predicted-vs-actual feedback,
+/// and compares *corrected* predictions. Factors start at 1.0 (bit-identical
+/// choices to ModelCompare until the first refit) and re-fit only when the
+/// obs DriftDetector's CUSUM alarm latches for the region — sustained error
+/// drift, not noise:
+///
+///   observe() accumulates actual/predicted ratios for the measured device.
+///   When a feedback sample arrives with alarmRaised (or an alarm is
+///   pending from an earlier sample) and the region has accumulated at
+///   least `calibrationMinSamples` ratios since its last refit, the region
+///   refits: factor_d = mean(actual/predicted) over the window, the window
+///   resets, and the policy's stateEpoch() bumps so the DecisionCache drops
+///   every decision made under the stale factors. The caller (TargetRuntime)
+///   then acknowledges the alarm via DriftDetector::resetRegion, re-arming
+///   the CUSUM against the post-shift baseline.
+///
+/// choose() compares cpuSeconds * cpuFactor vs gpuSeconds * gpuFactor;
+/// state is region-hash sharded, so concurrent callers on different
+/// regions never contend.
+class CalibratedPolicy final : public SelectionPolicy {
+ public:
+  explicit CalibratedPolicy(const PolicyOptions& options)
+      : state_(options.shards),
+        minSamples_(options.calibrationMinSamples > 0
+                        ? options.calibrationMinSamples
+                        : 1) {}
+
+  [[nodiscard]] PolicyKind kind() const override {
+    return PolicyKind::Calibrated;
+  }
+  [[nodiscard]] std::string_view name() const override { return "calibrated"; }
+
+  [[nodiscard]] PolicyChoice choose(const PolicyInputs& inputs) const override;
+  bool observe(const PolicyFeedback& feedback) override;
+
+  [[nodiscard]] std::uint64_t stateEpoch() const override {
+    return epoch_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint64_t refits() const override {
+    return refits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::vector<CalibrationFactor> calibrationReport()
+      const override;
+
+ private:
+  struct RegionState {
+    double cpuFactor = 1.0;
+    double gpuFactor = 1.0;
+    /// Ratio window since the last refit.
+    double cpuRatioSum = 0.0;
+    double gpuRatioSum = 0.0;
+    std::uint64_t cpuSamples = 0;
+    std::uint64_t gpuSamples = 0;
+    /// A CUSUM alarm latched before the window was big enough to refit.
+    bool alarmPending = false;
+    std::uint64_t refits = 0;
+  };
+
+  ShardedRegionMap<RegionState> state_;
+  std::uint64_t minSamples_;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint64_t> refits_{0};
+};
+
+}  // namespace osel::runtime::policy

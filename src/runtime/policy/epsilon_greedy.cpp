@@ -1,0 +1,23 @@
+#include "runtime/policy/epsilon_greedy.h"
+
+#include "support/rng.h"
+
+namespace osel::runtime::policy {
+
+PolicyChoice EpsilonGreedyPolicy::choose(const PolicyInputs& inputs) const {
+  const Device exploit =
+      inputs.gpuSeconds < inputs.cpuSeconds ? Device::Gpu : Device::Cpu;
+  if (epsilon_ <= 0.0) return {exploit, /*probe=*/false};
+  const std::uint64_t draw = state_.update(
+      inputs.region, [](RegionState& state) { return state.decisions++; });
+  // One SplitMix64 step keyed by (seed, region, draw index): stateless in
+  // the mixing sense, so the probe sequence depends only on those three —
+  // not on interleaving with other regions or threads.
+  support::SplitMix64 rng(seed_ ^ regionHash(inputs.region) ^
+                          (draw * 0x9E3779B97F4A7C15ULL));
+  if (rng.nextDouble() >= epsilon_) return {exploit, /*probe=*/false};
+  probes_.fetch_add(1, std::memory_order_relaxed);
+  return {exploit == Device::Gpu ? Device::Cpu : Device::Gpu, /*probe=*/true};
+}
+
+}  // namespace osel::runtime::policy

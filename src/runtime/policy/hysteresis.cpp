@@ -1,0 +1,32 @@
+#include "runtime/policy/hysteresis.h"
+
+namespace osel::runtime::policy {
+
+PolicyChoice HysteresisPolicy::choose(const PolicyInputs& inputs) const {
+  const double cpu = inputs.cpuSeconds;
+  const double gpu = inputs.gpuSeconds;
+  const bool gpuDecisive = gpu * (1.0 + band_) < cpu;
+  const bool cpuDecisive = cpu * (1.0 + band_) < gpu;
+  if (gpuDecisive || cpuDecisive) {
+    const Device winner = gpuDecisive ? Device::Gpu : Device::Cpu;
+    const bool changed = state_.update(inputs.region, [&](RegionState& state) {
+      const bool flip = state.lastDecisive != winner;
+      state.lastDecisive = winner;
+      return flip;
+    });
+    // A remembered-choice change invalidates every cached in-band decision
+    // for the old memory (the cache epoch folds this counter in).
+    if (changed) epoch_.fetch_add(1, std::memory_order_acq_rel);
+    return {winner, /*probe=*/false};
+  }
+  // Inside the dead-band: stick with the last decisive side; before any
+  // decisive sample, the raw compare (the status-quo rule) breaks the tie
+  // without seeding the memory — a band-interior sample is not decisive.
+  const RegionState state = state_.peek(inputs.region);
+  if (state.lastDecisive.has_value()) {
+    return {*state.lastDecisive, /*probe=*/false};
+  }
+  return {gpu < cpu ? Device::Gpu : Device::Cpu, /*probe=*/false};
+}
+
+}  // namespace osel::runtime::policy

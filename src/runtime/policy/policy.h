@@ -1,0 +1,167 @@
+// osel/runtime/policy/policy.h — pluggable CPU-vs-GPU selection policies.
+//
+// The paper's selector is one hard-coded rule: evaluate both analytical
+// models, run where the predicted time is lower. That rule is exactly where
+// the known Fig. 8 misses live — kernels near the 1.0× crossover decided
+// wrongly — and the drift detector (obs/drift.h) can tell us *when* the
+// models have walked away from calibration, but nothing acted on it. This
+// layer factors the choice tail of OffloadSelector::resolveChoice into an
+// interface so "compare two predictions" becomes one policy among several
+// (the Kerncraft / OpenMP-Advisor framing: multiple cost models and advisor
+// rules behind one seam).
+//
+// Deliberately narrow seam: a SelectionPolicy consumes already-evaluated
+// prediction pairs. Model evaluation — the compiled plans, the SoA batch
+// path, the interpreted oracle — is untouched above it; the policy only
+// answers "given these two predicted times for this region, which device,
+// and was that a probe?". Degenerate predictions (non-finite/non-positive)
+// never reach a policy: the selector's safe-default degradation handles
+// them identically for every policy, so diagnostics stay byte-stable.
+//
+// The feedback half closes the drift loop: TargetRuntime feeds each
+// launch's measured execution time back through observe(). A stateful
+// policy may recalibrate on that signal; when it does, it bumps its
+// stateEpoch() so the runtime's DecisionCache (keyed per region, epoch-
+// validated) lazily drops every decision made under the stale calibration.
+//
+// Thread-safety contract: choose() and observe() are called concurrently
+// from decide/decideBatch/launch callers with no external locking.
+// Implementations shard or atomically publish their state (docs/POLICIES.md
+// spells the contract out; test_policy's refit storm runs it under TSan).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runtime/device.h"
+
+namespace osel::runtime::policy {
+
+/// The shipped policy set. Parsed/printed by the kebab-case names below.
+enum class PolicyKind {
+  ModelCompare,   ///< the extracted status quo: lower predicted time wins
+  Calibrated,     ///< per-region multiplicative correction, refit on drift
+  Hysteresis,     ///< dead-band around 1.0× speedup that resists flapping
+  EpsilonGreedy,  ///< seeded deterministic probing of the non-chosen device
+};
+
+[[nodiscard]] std::string_view toString(PolicyKind kind);
+/// Parses "model-compare" / "calibrated" / "hysteresis" / "epsilon-greedy";
+/// nullopt on anything else (callers own the error surface — CLI flags
+/// reject with exit code 2, tests assert).
+[[nodiscard]] std::optional<PolicyKind> parsePolicyKind(std::string_view name);
+/// The accepted names, comma-separated, for CLI error messages.
+[[nodiscard]] std::string policyKindNames();
+
+/// Tuning for makePolicy(). One aggregate for all kinds; each policy reads
+/// the fields it cares about.
+struct PolicyOptions {
+  PolicyKind kind = PolicyKind::ModelCompare;
+  /// Hysteresis: relative dead-band half-width around the 1.0× crossover.
+  /// A device must win by more than this margin to displace the region's
+  /// sticky choice (0.10 = 10%).
+  double hysteresisBand = 0.10;
+  /// EpsilonGreedy: probability a decision probes the non-chosen device.
+  double epsilon = 0.05;
+  /// EpsilonGreedy: probe-sequence seed. Streams are deterministic in
+  /// (seed, region, per-region decision index).
+  std::uint64_t seed = 42;
+  /// Calibrated: feedback samples a region must accumulate (since its last
+  /// refit) before a latched drift alarm triggers a refit.
+  std::uint64_t calibrationMinSamples = 4;
+  /// Stateful policies: state shard count (region-hash striped locks).
+  std::size_t shards = 16;
+};
+
+/// Inputs of one choice: the two model predictions for a region. Only
+/// usable predictions reach a policy (finite, strictly positive) — the
+/// selector resolves degenerate pairs itself.
+struct PolicyInputs {
+  std::string_view region;
+  double cpuSeconds = 0.0;
+  double gpuSeconds = 0.0;
+};
+
+/// Outcome of one choice.
+struct PolicyChoice {
+  Device device = Device::Cpu;
+  /// True when the device was picked to probe the predicted-slower side
+  /// (EpsilonGreedy); surfaces as Decision::probe and the policy.probe
+  /// counter. Probed decisions are never served from the decision cache.
+  bool probe = false;
+};
+
+/// One launch's measured outcome for a device, fed back after execution.
+struct PolicyFeedback {
+  std::string_view region;
+  Device device = Device::Cpu;
+  double predictedSeconds = 0.0;
+  double actualSeconds = 0.0;
+  /// True when this sample raised (latched) a DriftDetector CUSUM alarm
+  /// for the region — the recalibration trigger.
+  bool alarmRaised = false;
+};
+
+/// One region's live calibration state, for stats/Prometheus surfacing.
+struct CalibrationFactor {
+  std::string region;
+  double cpuFactor = 1.0;
+  double gpuFactor = 1.0;
+  /// Feedback samples accumulated toward the next refit.
+  std::uint64_t pendingSamples = 0;
+  std::uint64_t refits = 0;
+};
+
+/// The policy interface. Implementations are internally synchronized; every
+/// virtual below is safe to call from concurrent decide/decideBatch/launch
+/// threads.
+class SelectionPolicy {
+ public:
+  virtual ~SelectionPolicy() = default;
+
+  [[nodiscard]] virtual PolicyKind kind() const = 0;
+  /// The kebab-case name (== toString(kind()) for the shipped set); static
+  /// storage, safe to keep as a string_view for the policy's lifetime.
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Picks a device for one region given both (usable) predictions.
+  [[nodiscard]] virtual PolicyChoice choose(const PolicyInputs& inputs) const = 0;
+
+  /// Feeds one measured execution back. Returns true when the sample
+  /// triggered a recalibration (the caller then bumps refit telemetry and
+  /// acknowledges the drift alarm). Default: stateless, never refits.
+  virtual bool observe(const PolicyFeedback& feedback) {
+    (void)feedback;
+    return false;
+  }
+
+  /// Monotonic counter of state generations. The runtime folds this into
+  /// the DecisionCache epoch, so any bump lazily invalidates every cached
+  /// decision made under the previous state. Stateless policies stay at 0.
+  [[nodiscard]] virtual std::uint64_t stateEpoch() const { return 0; }
+
+  /// False when decisions must not be memoized at all (EpsilonGreedy: a
+  /// cached decision would replay one probe draw forever).
+  [[nodiscard]] virtual bool cacheable() const { return true; }
+
+  /// Total refits so far (stateless policies: 0).
+  [[nodiscard]] virtual std::uint64_t refits() const { return 0; }
+
+  /// Per-region calibration factors, sorted by region name; empty for
+  /// policies without multiplicative state.
+  [[nodiscard]] virtual std::vector<CalibrationFactor> calibrationReport()
+      const {
+    return {};
+  }
+};
+
+/// Builds one of the shipped policies. Never returns null.
+[[nodiscard]] std::shared_ptr<SelectionPolicy> makePolicy(
+    const PolicyOptions& options = {});
+
+}  // namespace osel::runtime::policy

@@ -1,0 +1,98 @@
+// osel/runtime/policy/sharded.h — region-keyed sharded state for policies.
+//
+// The stateful policies (Calibrated, Hysteresis, EpsilonGreedy) all keep a
+// small per-region record that concurrent decide/decideBatch/launch threads
+// read and write. One global mutex would serialize the decide hot path the
+// runtime worked hard to keep lock-free, so state is striped across
+// region-hash shards: callers touching different regions (the common case —
+// batches group by region) take different locks. The hash is FNV-1a, not
+// std::hash, so shard assignment — and therefore any contention pattern a
+// bench measures — is identical across standard libraries.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace osel::runtime::policy {
+
+/// FNV-1a 64-bit — deterministic across platforms and standard libraries.
+[[nodiscard]] constexpr std::uint64_t regionHash(
+    std::string_view region) noexcept {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (const char ch : region) {
+    hash ^= static_cast<std::uint8_t>(ch);
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+/// Mutex-striped map from region name to a policy's per-region State.
+/// Readers of absent regions pay one lock + map miss and get a
+/// default-constructed State by value; writers find-or-create the node.
+template <typename State>
+class ShardedRegionMap {
+ public:
+  explicit ShardedRegionMap(std::size_t shards)
+      : shardCount_(std::max<std::size_t>(1, shards)),
+        shards_(std::make_unique<Shard[]>(shardCount_)) {}
+
+  /// Copy of the region's state (default-constructed when never touched).
+  [[nodiscard]] State peek(std::string_view region) const {
+    const Shard& shard = shardFor(region);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.regions.find(region);
+    return it == shard.regions.end() ? State{} : it->second;
+  }
+
+  /// Applies `fn(State&)` to the region's state under its shard lock,
+  /// creating the node on first touch; returns fn's result.
+  template <typename Fn>
+  auto update(std::string_view region, Fn&& fn) {
+    Shard& shard = shardFor(region);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.regions.find(region);
+    if (it == shard.regions.end()) {
+      it = shard.regions.emplace(std::string(region), State{}).first;
+    }
+    return std::forward<Fn>(fn)(it->second);
+  }
+
+  /// Every (region, state) pair, name-sorted. Each shard is copied under
+  /// its own lock: coherent per region, not a cross-shard atomic snapshot.
+  [[nodiscard]] std::vector<std::pair<std::string, State>> snapshot() const {
+    std::vector<std::pair<std::string, State>> out;
+    for (std::size_t i = 0; i < shardCount_; ++i) {
+      const Shard& shard = shards_[i];
+      const std::lock_guard<std::mutex> lock(shard.mutex);
+      for (const auto& [region, state] : shard.regions) {
+        out.emplace_back(region, state);
+      }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return out;
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<std::string, State, std::less<>> regions;
+  };
+
+  [[nodiscard]] Shard& shardFor(std::string_view region) const {
+    return shards_[regionHash(region) % shardCount_];
+  }
+
+  std::size_t shardCount_;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+}  // namespace osel::runtime::policy

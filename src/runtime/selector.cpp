@@ -21,7 +21,13 @@ std::string toString(Device device) {
 OffloadSelector::OffloadSelector(SelectorConfig config)
     : config_(std::move(config)),
       cpuModel_(config_.cpuParams, config_.cpuThreads),
-      gpuModel_(config_.gpuParams) {}
+      gpuModel_(config_.gpuParams) {
+  if (config_.policy == nullptr) {
+    config_.policy = policy::makePolicy({});
+  }
+  modelComparePolicy_ =
+      config_.policy->kind() == policy::PolicyKind::ModelCompare;
+}
 
 cpumodel::CpuWorkload OffloadSelector::cpuWorkload(
     const pad::RegionAttributes& attr, const symbolic::Bindings& bindings) const {
@@ -88,9 +94,20 @@ void OffloadSelector::resolveChoice(Decision& decision,
   const bool cpuOk = usablePrediction(decision.cpu.seconds);
   const bool gpuOk = usablePrediction(decision.gpu.totalSeconds);
   if (cpuOk && gpuOk) {
-    decision.device = decision.gpu.totalSeconds < decision.cpu.seconds
-                          ? Device::Gpu
-                          : Device::Cpu;
+    // Policies govern only this healthy branch; the degenerate branches
+    // below are safety plumbing no policy may override. ModelCompare is
+    // devirtualized to the seed compare so the default config's choice
+    // tail costs exactly what it did before the policy seam existed.
+    if (modelComparePolicy_) {
+      decision.device = decision.gpu.totalSeconds < decision.cpu.seconds
+                            ? Device::Gpu
+                            : Device::Cpu;
+    } else {
+      const policy::PolicyChoice choice = config_.policy->choose(
+          {regionName, decision.cpu.seconds, decision.gpu.totalSeconds});
+      decision.device = choice.device;
+      decision.probe = choice.probe;
+    }
   } else if (cpuOk) {
     // Only the always-available host path predicted sanely: run there.
     decision.device = Device::Cpu;

@@ -11,6 +11,7 @@
 
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <string>
 #include <string_view>
 
@@ -19,13 +20,10 @@
 #include "obs/explain.h"
 #include "pad/attribute_db.h"
 #include "runtime/compiled_plan.h"
+#include "runtime/device.h"
+#include "runtime/policy/policy.h"
 
 namespace osel::runtime {
-
-/// Execution targets the selector chooses between.
-enum class Device { Cpu, Gpu };
-
-[[nodiscard]] std::string toString(Device device);
 
 /// Host/device configuration the selector evaluates against.
 struct SelectorConfig {
@@ -44,6 +42,14 @@ struct SelectorConfig {
   /// compiled path. False keeps the original interpreted expression walk —
   /// the correctness oracle the equivalence tests diff against.
   bool useCompiledPlans = true;
+  /// The selection policy resolving healthy prediction pairs into a device
+  /// (runtime/policy/policy.h). nullptr (the default) means ModelCompare —
+  /// the paper's rule, devirtualized on the choice tail so the default
+  /// configuration pays nothing for the policy seam. Shared: copies of this
+  /// config (and the selector/runtime built from them) share one policy
+  /// instance, so calibration learned on the launch path steers every
+  /// decide path.
+  std::shared_ptr<policy::SelectionPolicy> policy;
 };
 
 /// The outcome of one selection.
@@ -59,6 +65,10 @@ struct Decision {
   gpumodel::GpuPrediction gpu;
   /// Wall time spent evaluating both models and comparing.
   double overheadSeconds = 0.0;
+  /// True when the policy deliberately picked the predicted-slower device to
+  /// keep the feedback channel informed about it (EpsilonGreedy). Excluded
+  /// from the wire DecisionRecord and the path-equivalence contracts.
+  bool probe = false;
 
   /// Predicted GPU-offloading speedup (cpu time / gpu time). NaN when the
   /// predictions are not comparable (non-finite or non-positive GPU time) —
@@ -183,6 +193,13 @@ class OffloadSelector {
 
   [[nodiscard]] const SelectorConfig& config() const { return config_; }
 
+  /// The live selection policy (never null — the constructor installs
+  /// ModelCompare when the config left it unset). TargetRuntime feeds the
+  /// launch path's measured times back through this reference.
+  [[nodiscard]] policy::SelectionPolicy& policy() const {
+    return *config_.policy;
+  }
+
  private:
   /// The interpreted expression walk (the correctness oracle).
   [[nodiscard]] Decision decideInterpreted(const pad::RegionAttributes& attr,
@@ -205,6 +222,10 @@ class OffloadSelector {
   SelectorConfig config_;
   cpumodel::CpuCostModel cpuModel_;
   gpumodel::GpuCostModel gpuModel_;
+  /// Devirtualization flag: under ModelCompare (the default) the choice tail
+  /// inlines the seed compare instead of the virtual dispatch, keeping the
+  /// refactored tail at zero overhead (pinned by BM_PolicyChoice).
+  bool modelComparePolicy_ = true;
 };
 
 }  // namespace osel::runtime

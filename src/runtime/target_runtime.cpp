@@ -103,7 +103,10 @@ TargetRuntime::TargetRuntime(pad::AttributeDatabase database,
     shards_[i].snapshot.store(std::make_shared<const RegistrySnapshot>(),
                               std::memory_order_release);
   }
+  policy_ = &selector_.policy();
+  policyCacheable_ = policy_->cacheable();
   initInstruments();
+  pushPolicyStatus();
 }
 
 void TargetRuntime::initInstruments() {
@@ -119,6 +122,8 @@ void TargetRuntime::initInstruments() {
   instruments_.fallbacks = &metrics.counter("guard.fallbacks");
   instruments_.quarantinesOpened = &metrics.counter("health.quarantines");
   instruments_.launchesShed = &metrics.counter("admission.shed");
+  instruments_.policyProbes = &metrics.counter("policy.probe");
+  instruments_.policyRefits = &metrics.counter("policy.refit");
   instruments_.cacheHitRatio = &metrics.gauge("decision_cache.hit_ratio");
   instruments_.decisionOverhead = &metrics.histogram(
       "decision.overhead_s", {1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2});
@@ -281,10 +286,11 @@ Decision TargetRuntime::guardedDecision(const std::string& regionName,
     path = "compiled";
     pathCounter = instruments_.decisionsCompiled;
     // The cache key (bound slot values) determines the decision only when
-    // the fast path owns every symbol the models read; otherwise skip
-    // memoization.
+    // the fast path owns every symbol the models read AND the policy's
+    // choices are replayable (EpsilonGreedy's probe draws are not);
+    // otherwise skip memoization.
     if (!decisionCacheEnabled_ || cache.capacity() == 0 ||
-        !plan.fastPathUsable()) {
+        !plan.fastPathUsable() || !policyCacheable_) {
       decision = selector_.decide(RegionHandle(plan), bindings, explain);
     } else {
       const auto start = std::chrono::steady_clock::now();
@@ -293,8 +299,7 @@ Decision TargetRuntime::guardedDecision(const std::string& regionName,
                                                plan.slotCount());
       std::uint64_t boundMask = 0;
       plan.bindSlots(bindings, slotValues, boundMask);
-      const std::uint64_t epoch =
-          state_->cacheEpoch.load(std::memory_order_acquire);
+      const std::uint64_t epoch = effectiveCacheEpoch();
       state_->cacheLookups.fetch_add(1, std::memory_order_relaxed);
       if (cache.find(boundMask, slotValues, decision, epoch)) {
         state_->cacheHits.fetch_add(1, std::memory_order_relaxed);
@@ -324,6 +329,7 @@ Decision TargetRuntime::guardedDecision(const std::string& regionName,
                        {"overhead_s", decision.overheadSeconds},
                        {"valid", decision.valid ? 1.0 : 0.0});
     pathCounter->add();
+    if (decision.probe) instruments_.policyProbes->add();
     instruments_.decisionOverhead->record(decision.overheadSeconds);
     // Runtime-wide hit ratio from the launch-path atomics: the per-cache
     // counters stay exact for decisionCacheStats(), but summing them here
@@ -385,11 +391,13 @@ void TargetRuntime::decideBatch(std::span<const DecideRequest> requests,
                 return cmp != 0 ? cmp < 0 : a < b;
               });
   }
-  // One epoch load per batch; scalar decide() loads it per call. Decide
-  // batches intentionally never consult the admission controller or the
-  // health tracker — both gate launch() execution, not model evaluation.
-  const std::uint64_t epoch =
-      state_->cacheEpoch.load(std::memory_order_acquire);
+  // One epoch load per batch; scalar decide() loads it per call. The
+  // combined epoch folds in the policy's state epoch, so a concurrent
+  // refit invalidates this batch's cached decisions no later than the next
+  // batch. Decide batches intentionally never consult the admission
+  // controller or the health tracker — both gate launch() execution, not
+  // model evaluation.
+  const std::uint64_t epoch = effectiveCacheEpoch();
   BatchCounters counters;
   std::size_t groups = 0;
   std::size_t i = 0;
@@ -432,6 +440,9 @@ void TargetRuntime::decideBatch(std::span<const DecideRequest> requests,
     if (counters.cacheHits > 0) {
       instruments_.decisionsCacheHit->add(counters.cacheHits);
     }
+    if (counters.probes > 0) {
+      instruments_.policyProbes->add(counters.probes);
+    }
     // The per-request overhead histogram gets one amortized sample per
     // batch (its count then tallies batches, not requests — the batch_size
     // histogram carries the request volume).
@@ -473,6 +484,7 @@ void TargetRuntime::decideGroup(std::span<const DecideRequest> requests,
         out[request] = selector_.decide(RegionHandle(*attr),
                                         *requests[request].bindings, explain);
         if (trace_ != nullptr) trace_->recordExplain(explainStorage);
+        if (out[request].probe) ++counters.probes;
         ++counters.interpreted;
       }
     } else {
@@ -496,6 +508,7 @@ void TargetRuntime::decideGroup(std::span<const DecideRequest> requests,
       out[request] = selector_.decide(RegionHandle(plan),
                                       *requests[request].bindings, explain);
       if (trace_ != nullptr) trace_->recordExplain(explainStorage);
+      if (out[request].probe) ++counters.probes;
       ++counters.compiled;
     }
     return;
@@ -517,7 +530,8 @@ void TargetRuntime::decideGroup(std::span<const DecideRequest> requests,
   }
   const DecisionCache::KeyBlock keys{arena.columns.data(), arena.masks.data(),
                                      slots, rows};
-  const bool useCache = decisionCacheEnabled_ && cache.capacity() != 0;
+  const bool useCache =
+      decisionCacheEnabled_ && cache.capacity() != 0 && policyCacheable_;
   if (useCache) {
     const std::size_t hits =
         cache.findMany(keys, arena.targets.data(), arena.hits.data(), epoch);
@@ -555,6 +569,7 @@ void TargetRuntime::decideGroup(std::span<const DecideRequest> requests,
           RegionHandle(plan), *requests[group[r]].bindings, explain);
     }
     if (trace_ != nullptr) trace_->recordExplain(explainStorage);
+    if (arena.targets[r]->probe) ++counters.probes;
   }
   if (useCache) {
     cache.insertMany(keys, arena.missRows, arena.targets.data(), epoch);
@@ -616,6 +631,9 @@ void TargetRuntime::finalizeLaunch(LaunchRecord& record, std::int64_t startNs) {
     std::lock_guard<std::mutex> lock(state_->logMutex);
     state_->log.push_back(record);
   }
+  // The feedback channel runs with or without a session: the policy's
+  // observe() hook is how Calibrated/Hysteresis learn from measured times.
+  feedPolicyFeedback(record);
   if (trace_ == nullptr) return;
   if (record.shed) instruments_.launchesShed->add();
   if (record.fallbackReason != FallbackReason::None) {
@@ -625,40 +643,105 @@ void TargetRuntime::finalizeLaunch(LaunchRecord& record, std::int64_t startNs) {
   }
   if (record.cpuMeasured) instruments_.launchesCpu->add();
   if (record.gpuMeasured) instruments_.launchesGpu->add();
-  // Online predicted-vs-actual accuracy (the paper's Fig. 6–7 comparison,
-  // tracked live): one sample per device the launch actually measured.
-  if (record.decision.valid) {
-    if (record.cpuMeasured && record.actualCpuSeconds > 0.0) {
-      trace_->recordPrediction(record.regionName, record.decision.cpu.seconds,
-                               record.actualCpuSeconds);
-      instruments_.predictionError->record(
-          std::fabs(record.decision.cpu.seconds - record.actualCpuSeconds) /
-          record.actualCpuSeconds);
-    }
-    if (record.gpuMeasured && record.actualGpuSeconds > 0.0) {
-      trace_->recordPrediction(record.regionName,
-                               record.decision.gpu.totalSeconds,
-                               record.actualGpuSeconds);
-      instruments_.predictionError->record(
-          std::fabs(record.decision.gpu.totalSeconds -
-                    record.actualGpuSeconds) /
-          record.actualGpuSeconds);
-    }
-    // Misprediction check: when both devices were measured (Oracle), a
-    // model choice that landed on the slower device is a live Fig. 8
-    // "wrong side of the crossover" event.
-    if (record.cpuMeasured && record.gpuMeasured &&
-        record.actualCpuSeconds > 0.0 && record.actualGpuSeconds > 0.0) {
-      const bool gpuFaster = record.actualGpuSeconds < record.actualCpuSeconds;
-      const bool choseGpu = record.decision.device == Device::Gpu;
-      trace_->recordComparison(record.regionName, gpuFaster != choseGpu);
-    }
-  }
   trace_->recordSpan("launch", policyTag(record.policy), record.regionName,
                      startNs, trace_->nowNs() - startNs,
                      {"actual_s", record.actualSeconds},
                      {"attempts", static_cast<double>(record.attempts)});
   trace_->notifyLaunch();
+}
+
+void TargetRuntime::feedPolicyFeedback(const LaunchRecord& record) {
+  // Shed launches skipped model evaluation; invalid decisions carry
+  // degenerate predictions — neither is a usable accuracy sample.
+  if (record.shed || !record.decision.valid) return;
+  bool refit = false;
+  // Online predicted-vs-actual accuracy (the paper's Fig. 6–7 comparison,
+  // tracked live): one sample per device the launch actually measured.
+  // The same sample feeds the drift detector (session-attached only) and
+  // the selection policy's observe() hook; a CUSUM alarm transition rides
+  // along so Calibrated knows when to schedule a refit.
+  if (record.cpuMeasured && record.actualCpuSeconds > 0.0) {
+    bool alarm = false;
+    if (trace_ != nullptr) {
+      const obs::DriftSample sample = trace_->recordPrediction(
+          record.regionName, record.decision.cpu.seconds,
+          record.actualCpuSeconds);
+      instruments_.predictionError->record(
+          std::fabs(record.decision.cpu.seconds - record.actualCpuSeconds) /
+          record.actualCpuSeconds);
+      alarm = sample.alarm;
+    }
+    refit = policy_->observe({record.regionName, Device::Cpu,
+                              record.decision.cpu.seconds,
+                              record.actualCpuSeconds, alarm}) ||
+            refit;
+  }
+  if (record.gpuMeasured && record.actualGpuSeconds > 0.0) {
+    bool alarm = false;
+    if (trace_ != nullptr) {
+      const obs::DriftSample sample = trace_->recordPrediction(
+          record.regionName, record.decision.gpu.totalSeconds,
+          record.actualGpuSeconds);
+      instruments_.predictionError->record(
+          std::fabs(record.decision.gpu.totalSeconds -
+                    record.actualGpuSeconds) /
+          record.actualGpuSeconds);
+      alarm = sample.alarm;
+    }
+    refit = policy_->observe({record.regionName, Device::Gpu,
+                              record.decision.gpu.totalSeconds,
+                              record.actualGpuSeconds, alarm}) ||
+            refit;
+  }
+  // Misprediction check: when both devices were measured (Oracle), a
+  // model choice that landed on the slower device is a live Fig. 8
+  // "wrong side of the crossover" event.
+  if (trace_ != nullptr && record.cpuMeasured && record.gpuMeasured &&
+      record.actualCpuSeconds > 0.0 && record.actualGpuSeconds > 0.0) {
+    const bool gpuFaster = record.actualGpuSeconds < record.actualCpuSeconds;
+    const bool choseGpu = record.decision.device == Device::Gpu;
+    trace_->recordComparison(record.regionName, gpuFaster != choseGpu);
+  }
+  if (refit) {
+    onPolicyRefit(record.regionName);
+  } else if (trace_ != nullptr &&
+             policy_->kind() == policy::PolicyKind::Calibrated) {
+    // Keep the session's calibration view current between refits too, so
+    // stats/Prometheus show pending sample counts as they accumulate.
+    pushPolicyStatus();
+  }
+}
+
+void TargetRuntime::onPolicyRefit(const std::string& regionName) {
+  if (trace_ != nullptr) {
+    instruments_.policyRefits->add();
+    trace_->recordInstant(
+        "policy.refit", "policy", regionName, trace_->nowNs(),
+        {"refits", static_cast<double>(policy_->refits())},
+        {"epoch", static_cast<double>(policy_->stateEpoch())});
+    // The refit unlatches the region's CUSUM alarm and rebuilds its
+    // baseline: post-refit predictions are judged against the corrected
+    // model, not the drifted history. Other regions' state is untouched.
+    trace_->resetDriftRegion(regionName);
+  }
+  pushPolicyStatus();
+}
+
+void TargetRuntime::pushPolicyStatus() {
+  if (trace_ == nullptr) return;
+  obs::PolicyStatus status;
+  status.name = std::string(policy_->name());
+  status.calibrated = policy_->kind() == policy::PolicyKind::Calibrated;
+  status.refits = policy_->refits();
+  const std::vector<policy::CalibrationFactor> factors =
+      policy_->calibrationReport();
+  status.factors.reserve(factors.size());
+  for (const policy::CalibrationFactor& factor : factors) {
+    status.factors.push_back({factor.region, factor.cpuFactor,
+                              factor.gpuFactor, factor.pendingSamples,
+                              factor.refits});
+  }
+  trace_->setPolicyStatus(std::move(status));
 }
 
 void TargetRuntime::drain() { state_->admission.drain(); }

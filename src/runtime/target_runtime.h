@@ -325,6 +325,8 @@ class TargetRuntime {
     obs::Counter* fallbacks = nullptr;
     obs::Counter* quarantinesOpened = nullptr;
     obs::Counter* launchesShed = nullptr;
+    obs::Counter* policyProbes = nullptr;
+    obs::Counter* policyRefits = nullptr;
     obs::Gauge* cacheHitRatio = nullptr;
     obs::Histogram* decisionOverhead = nullptr;
     obs::Histogram* predictionError = nullptr;
@@ -371,9 +373,35 @@ class TargetRuntime {
   /// session attached, emits the launch span, fallback instants, per-launch
   /// counters, and feeds the predicted-vs-actual tracker.
   void finalizeLaunch(LaunchRecord& record, std::int64_t startNs);
+  /// The policy feedback channel: routes the launch's measured times into
+  /// the drift tracker (when a session is attached) and the selection
+  /// policy's observe() hook; a refit bumps the policy epoch (stale cached
+  /// decisions lazily drop), resets the region's CUSUM state, and
+  /// republishes the policy status. Skipped for shed/invalid launches.
+  void feedPolicyFeedback(const LaunchRecord& record);
+  /// Refit epilogue: counter + instant + drift reset + status push.
+  void onPolicyRefit(const std::string& regionName);
+  /// Pushes the policy's name/refit count/calibration factors into the
+  /// trace session so stats/Prometheus renderings (and `oselctl stats`
+  /// through them) show the live policy.
+  void pushPolicyStatus();
+  /// The combined cache epoch: the runtime's invalidation epoch plus the
+  /// policy's state epoch. Both are monotonic, so the sum is — a policy
+  /// refit invalidates every cached pre-refit decision exactly like
+  /// invalidateDecisionCaches() does, lazily and without locks.
+  [[nodiscard]] std::uint64_t effectiveCacheEpoch() const {
+    return state_->cacheEpoch.load(std::memory_order_acquire) +
+           policy_->stateEpoch();
+  }
 
   pad::AttributeDatabase database_;
   OffloadSelector selector_;
+  /// The selector's selection policy (never null; owned by the selector's
+  /// config). Cached here so hot paths read one pointer, not a shared_ptr.
+  policy::SelectionPolicy* policy_ = nullptr;
+  /// policy_->cacheable(), latched at construction: a non-cacheable policy
+  /// (EpsilonGreedy) bypasses the decision cache entirely.
+  bool policyCacheable_ = true;
   cpusim::CpuSimulator cpuSim_;
   gpusim::GpuSimulator gpuSim_;
   LaunchGuard guard_;

@@ -1,5 +1,6 @@
 #include "workload/workload.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cmath>
 #include <cstdio>
@@ -21,6 +22,8 @@ std::string_view toString(Shape shape) {
       return "zipfian";
     case Shape::Bursty:
       return "bursty";
+    case Shape::DriftRamp:
+      return "drift-ramp";
   }
   return "?";
 }
@@ -29,9 +32,10 @@ Shape parseShape(std::string_view name) {
   if (name == "uniform") return Shape::Uniform;
   if (name == "zipfian") return Shape::Zipfian;
   if (name == "bursty") return Shape::Bursty;
+  if (name == "drift-ramp") return Shape::DriftRamp;
   throw support::PreconditionError(
       "workload::parseShape: unknown shape '" + std::string(name) +
-      "' (expected uniform, zipfian, or bursty)");
+      "' (expected uniform, zipfian, bursty, or drift-ramp)");
 }
 
 Generator::Generator(Shape shape, std::vector<Candidate> candidates,
@@ -82,9 +86,23 @@ std::size_t Generator::drawCandidate() {
 void Generator::next(Item& item) {
   const Candidate& candidate = candidates_[drawCandidate()];
   item.region = candidate.region;
-  item.bindings =
-      candidate.bindingChoices[static_cast<std::size_t>(
-          rng_.nextBelow(candidate.bindingChoices.size()))];
+  if (shape_ == Shape::DriftRamp) {
+    // The binding choice walks monotonically from the first listed choice
+    // to the last over rampLength items, then pins at the last — the
+    // stream's sizes drift away from where the run started. The walk is a
+    // pure function of the emit index, so streams stay seed-reproducible.
+    const std::size_t choices = candidate.bindingChoices.size();
+    const std::size_t ramp = options_.rampLength > 0 ? options_.rampLength : 1;
+    const std::size_t index =
+        emitted_ >= ramp ? choices - 1
+                         : std::min(choices - 1, emitted_ * choices / ramp);
+    item.bindings = candidate.bindingChoices[index];
+  } else {
+    item.bindings =
+        candidate.bindingChoices[static_cast<std::size_t>(
+            rng_.nextBelow(candidate.bindingChoices.size()))];
+  }
+  emitted_ += 1;
   item.gapSeconds = 0.0;
   if (shape_ == Shape::Bursty) {
     // On/off pacing: a burst of burstLength back-to-back items, then one

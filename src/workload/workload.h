@@ -40,12 +40,14 @@ struct Candidate {
   std::vector<symbolic::Bindings> bindingChoices;
 };
 
-/// Traffic shapes (ROADMAP: uniform-random, hot-key Zipfian, bursty on/off).
-enum class Shape { Uniform, Zipfian, Bursty };
+/// Traffic shapes (ROADMAP: uniform-random, hot-key Zipfian, bursty on/off;
+/// DriftRamp drives the recalibration benches).
+enum class Shape { Uniform, Zipfian, Bursty, DriftRamp };
 
 [[nodiscard]] std::string_view toString(Shape shape);
-/// Parses "uniform" / "zipfian" / "bursty"; throws support::PreconditionError
-/// on anything else (the CLI surface of --workload flags).
+/// Parses "uniform" / "zipfian" / "bursty" / "drift-ramp"; throws
+/// support::PreconditionError on anything else (the CLI surface of
+/// --workload flags).
 [[nodiscard]] Shape parseShape(std::string_view name);
 
 struct GeneratorOptions {
@@ -57,6 +59,12 @@ struct GeneratorOptions {
   /// Bursty shape: items per on-burst and the idle gap between bursts.
   std::size_t burstLength = 64;
   double burstGapSeconds = 1e-3;
+  /// DriftRamp shape: items over which the drawn binding choice walks from
+  /// each candidate's first choice (listed order) to its last, after which
+  /// the stream stays pinned at the last choice. With size-ordered binding
+  /// choices this is the "workload walked away from calibration" stream the
+  /// drift-scenario bench feeds the Calibrated policy.
+  std::size_t rampLength = 256;
 };
 
 /// Deterministic request-stream generator over a fixed candidate set.
@@ -88,6 +96,8 @@ class Generator {
   std::vector<double> zipfCdf_;
   /// Bursty on/off position within the current burst.
   std::size_t burstPosition_ = 0;
+  /// DriftRamp: items emitted so far (drives the binding-choice walk).
+  std::size_t emitted_ = 0;
 };
 
 /// Trace file format version this build writes and reads. Bumped on any

@@ -25,7 +25,8 @@
 // Common options: --n <size> (default: the kernel's test size),
 // --threads <count> (default 160), --platform v100|k80 (default v100),
 // --file <path.osel> (load kernels from a kernel-language file instead of
-// the built-in Polybench suite; see examples/kernels/).
+// the built-in Polybench suite; see examples/kernels/),
+// --policy <name> (in-process selection policy; docs/POLICIES.md).
 // trace/stats/explain/drift options: --repeat <R> launches per kernel
 // (default 3, so the decision cache gets hits), --gpu-fault-rate <p> arms
 // transient GPU launch faults to exercise retry/fallback spans,
@@ -34,6 +35,7 @@
 #include <array>
 #include <cstdio>
 #include <exception>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -86,6 +88,9 @@ struct Config {
   std::int64_t n = 0;  // 0 = kernel's test size
   int threads = 160;
   bool k80 = false;
+  /// --policy: selection policy for the in-process commands (null =
+  /// selector default, ModelCompare).
+  std::shared_ptr<runtime::policy::SelectionPolicy> policy;
 
   [[nodiscard]] std::int64_t sizeFor(const polybench::Benchmark* b) const {
     if (n > 0) return n;
@@ -157,6 +162,7 @@ runtime::SelectorConfig selectorConfig(const Config& config) {
     sc.mcaModelName = "POWER8";
   }
   sc.cpuThreads = config.threads;
+  sc.policy = config.policy;
   return sc;
 }
 
@@ -459,7 +465,9 @@ constexpr const char* kUsage =
     "  exit codes: 0 ok, 2 usage, 3 could not connect\n"
     "\n"
     "common options: --n N, --threads T, --platform v100|k80,\n"
-    "  --file path.osel (load kernels from a kernel-language file)\n"
+    "  --file path.osel (load kernels from a kernel-language file),\n"
+    "  --policy model-compare|calibrated|hysteresis|epsilon-greedy\n"
+    "  (in-process selection policy; default model-compare)\n"
     "trace/stats/explain/drift: --repeat R, --gpu-fault-rate P,\n"
     "  --fault-seed S, --out FILE (trace only)\n";
 
@@ -492,6 +500,18 @@ int main(int argc, char** argv) {
   config.n = cl.intOption("n", 0);
   config.threads = static_cast<int>(cl.intOption("threads", 160));
   config.k80 = cl.stringOption("platform").value_or("v100") == "k80";
+  if (const auto policyName = cl.stringOption("policy")) {
+    const auto kind = runtime::policy::parsePolicyKind(*policyName);
+    if (!kind.has_value()) {
+      std::fprintf(stderr, "oselctl: unknown --policy '%s' (expected %s)\n",
+                   policyName->c_str(),
+                   runtime::policy::policyKindNames().c_str());
+      return 2;
+    }
+    runtime::policy::PolicyOptions policyOptions;
+    policyOptions.kind = *kind;
+    config.policy = runtime::policy::makePolicy(policyOptions);
+  }
 
   const std::string& command = positional[0];
   if (command == "list") return cmdList();

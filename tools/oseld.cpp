@@ -45,6 +45,8 @@ constexpr const char* kUsage =
     "                       endpoint (0 = free port)\n"
     "  --threads T          CPU model thread count (default 160)\n"
     "  --platform v100|k80  device pairing (default v100)\n"
+    "  --policy NAME        selection policy: model-compare (default),\n"
+    "                       calibrated, hysteresis, or epsilon-greedy\n"
     "  --file path.osel     serve kernels from a kernel-language file in\n"
     "                       addition to the built-in Polybench suite\n";
 
@@ -86,6 +88,19 @@ int main(int argc, char** argv) {
     rtOptions.gpuSim = gpusim::GpuSimParams::teslaK80();
   }
   rtOptions.cpuSimThreads = rtOptions.selector.cpuThreads;
+
+  if (const auto policyName = cl.stringOption("policy")) {
+    const auto kind = runtime::policy::parsePolicyKind(*policyName);
+    if (!kind.has_value()) {
+      std::fprintf(stderr, "oseld: unknown --policy '%s' (expected %s)\n",
+                   policyName->c_str(),
+                   runtime::policy::policyKindNames().c_str());
+      return 2;
+    }
+    runtime::policy::PolicyOptions policyOptions;
+    policyOptions.kind = *kind;
+    rtOptions.selector.policy = runtime::policy::makePolicy(policyOptions);
+  }
 
   try {
     // The served fleet: every Polybench kernel plus any --file kernels.
@@ -129,6 +144,10 @@ int main(int argc, char** argv) {
     if (serviceOptions.metricsPort >= 0) {
       std::printf("oseld: metrics on http://127.0.0.1:%u/metrics\n",
                   static_cast<unsigned>(server.metricsPort()));
+    }
+    if (rtOptions.selector.policy != nullptr) {
+      std::printf("oseld: policy %s\n",
+                  std::string(rtOptions.selector.policy->name()).c_str());
     }
     std::fflush(stdout);
 
