@@ -57,6 +57,7 @@
 
 #include "bench/common/policy_flag.h"
 #include "compiler/compiler.h"
+#include "obs/quantile.h"
 #include "polybench/polybench.h"
 #include "runtime/batch.h"
 #include "service/client.h"
@@ -108,13 +109,6 @@ std::vector<ir::TargetRegion> suiteRegions() {
 pad::AttributeDatabase makeDatabase() {
   const std::array<mca::MachineModel, 1> models{mca::MachineModel::power9()};
   return compiler::compileAll(suiteRegions(), models);
-}
-
-double percentile(const std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0.0;
-  const auto index =
-      static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1));
-  return sorted[index];
 }
 
 /// One wire-ready DecideBatch frame: up to `batch` rows for a single
@@ -173,19 +167,35 @@ std::vector<PreparedFrame> prepareFrames(
   return frames;
 }
 
+/// Distinct per-request trace ids for --check: the client verifies every
+/// reply echoes its request's id, so a pass proves end-to-end correlation,
+/// not just that a block survived the round trip. Every 16th request is
+/// marked sampled to exercise server-side span + slow-ring capture too.
+/// traceBase == 0 disables trace attachment (the timed sweep runs).
+service::TraceContextBlock makeTrace(std::uint64_t id) {
+  service::TraceContextBlock block;
+  block.traceId = id;
+  block.flags = id % 16 == 0 ? service::kTraceFlagSampled : 0u;
+  return block;
+}
+
 /// Scalar mode: one DecideRequest frame per item, one latency sample each.
 void driveScalar(service::Client& client,
                  const std::vector<workload::Item>& items,
                  std::vector<double>& latencies,
-                 std::vector<runtime::Decision>* decisions) {
+                 std::vector<runtime::Decision>* decisions,
+                 std::uint64_t traceBase = 0) {
   for (std::size_t i = 0; i < items.size(); ++i) {
     const workload::Item& item = items[i];
     if (item.gapSeconds > 0.0) {
       std::this_thread::sleep_for(
           std::chrono::duration<double>(item.gapSeconds));
     }
+    service::TraceContextBlock trace;
+    if (traceBase != 0) trace = makeTrace(traceBase + i);
     const Clock::time_point t0 = Clock::now();
-    runtime::Decision decision = client.decide(item.region, item.bindings);
+    runtime::Decision decision = client.decide(
+        item.region, item.bindings, traceBase != 0 ? &trace : nullptr);
     latencies.push_back(
         std::chrono::duration<double>(Clock::now() - t0).count());
     if (decisions != nullptr) (*decisions)[i] = std::move(decision);
@@ -198,16 +208,20 @@ void driveScalar(service::Client& client,
 void driveBatched(service::Client& client,
                   const std::vector<PreparedFrame>& frames,
                   std::vector<double>& latencies,
-                  std::vector<runtime::Decision>* decisions) {
+                  std::vector<runtime::Decision>* decisions,
+                  std::uint64_t traceBase = 0) {
   std::vector<runtime::Decision> frameDecisions;
-  for (const PreparedFrame& frame : frames) {
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    const PreparedFrame& frame = frames[f];
     if (frame.gapSeconds > 0.0) {
       std::this_thread::sleep_for(
           std::chrono::duration<double>(frame.gapSeconds));
     }
+    service::TraceContextBlock trace;
+    if (traceBase != 0) trace = makeTrace(traceBase + f);
     const Clock::time_point t0 = Clock::now();
     client.decideBatch(frame.region, frame.slots, frame.rows, frame.values,
-                       frameDecisions);
+                       frameDecisions, traceBase != 0 ? &trace : nullptr);
     const double dt = std::chrono::duration<double>(Clock::now() - t0).count();
     latencies.push_back(dt / static_cast<double>(frame.rows));
     if (decisions != nullptr) {
@@ -308,9 +322,9 @@ RunResult runSweepPoint(const std::string& socketPath,
       wallSeconds > 0.0
           ? static_cast<double>(clients * requests) / wallSeconds
           : 0.0;
-  result.p50Us = percentile(merged, 0.50) * 1e6;
-  result.p99Us = percentile(merged, 0.99) * 1e6;
-  result.p999Us = percentile(merged, 0.999) * 1e6;
+  result.p50Us = obs::percentileOfSorted(merged, 0.50) * 1e6;
+  result.p99Us = obs::percentileOfSorted(merged, 0.99) * 1e6;
+  result.p999Us = obs::percentileOfSorted(merged, 0.999) * 1e6;
   return result;
 }
 
@@ -324,8 +338,11 @@ bool checkBitIdentical(const std::string& socketPath,
   std::vector<runtime::Decision> socketDecisions(items.size());
   std::vector<double> scratch;
   service::Client client = service::Client::connect(socketPath);
+  // With the feature granted, the client asserts every reply echoes its
+  // request's trace id — the check also proves end-to-end correlation.
+  const bool traced = client.traceContextGranted();
   driveBatched(client, prepareFrames(items, std::max<std::size_t>(batch, 2)),
-               scratch, &socketDecisions);
+               scratch, &socketDecisions, traced ? 1 : 0);
 
   runtime::TargetRuntime reference(makeDatabase(), referenceOptions());
   for (ir::TargetRegion& region : suiteRegions()) {
@@ -360,8 +377,9 @@ bool checkBitIdentical(const std::string& socketPath,
     }
   }
   std::printf("check: PASS (%zu socket decisions bit-identical to "
-              "in-process decideBatch)\n",
-              items.size());
+              "in-process decideBatch%s)\n",
+              items.size(),
+              traced ? "; trace-context echo verified on every frame" : "");
   return true;
 }
 

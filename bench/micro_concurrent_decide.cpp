@@ -52,6 +52,7 @@
 #include "bench/common/policy_flag.h"
 #include "compiler/compiler.h"
 #include "ir/builder.h"
+#include "obs/quantile.h"
 #include "ir/interpreter.h"
 #include "runtime/target_runtime.h"
 #include "support/cli.h"
@@ -87,13 +88,6 @@ runtime::TargetRuntime makeRuntime(const std::vector<std::string>& names,
   runtime::TargetRuntime rt(compiler::compileAll(regions, models), options);
   for (ir::TargetRegion& region : regions) rt.registerRegion(std::move(region));
   return rt;
-}
-
-double percentile(std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0.0;
-  const auto index = static_cast<std::size_t>(
-      p * static_cast<double>(sorted.size() - 1));
-  return sorted[index];
 }
 
 struct SweepResult {
@@ -220,9 +214,9 @@ SweepResult runSweep(runtime::TargetRuntime& rt,
       wallSeconds > 0.0
           ? static_cast<double>(all.size() * batch) / wallSeconds
           : 0.0;
-  result.p50Us = percentile(all, 0.50) * 1e6;
-  result.p99Us = percentile(all, 0.99) * 1e6;
-  result.p999Us = percentile(all, 0.999) * 1e6;
+  result.p50Us = obs::percentileOfSorted(all, 0.50) * 1e6;
+  result.p99Us = obs::percentileOfSorted(all, 0.99) * 1e6;
+  result.p999Us = obs::percentileOfSorted(all, 0.999) * 1e6;
   return result;
 }
 

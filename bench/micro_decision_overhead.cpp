@@ -4,6 +4,7 @@
 // execution (and next to the ~8 us kernel-launch overhead, let alone the
 // ML-inference alternative §V.B dismisses).
 #include <benchmark/benchmark.h>
+#include <unistd.h>
 
 #include <array>
 #include <cstdint>
@@ -19,6 +20,8 @@
 #include "runtime/policy/policy.h"
 #include "runtime/selector.h"
 #include "runtime/target_runtime.h"
+#include "service/client.h"
+#include "service/server.h"
 
 namespace {
 
@@ -233,6 +236,41 @@ void BM_BatchDecide(benchmark::State& state) {
                           static_cast<std::int64_t>(batch));
 }
 BENCHMARK(BM_BatchDecide)->Arg(1)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_ServeDecide(benchmark::State& state) {
+  // One scalar decide over the oseld wire (loopback Unix socket): client
+  // framing, two syscalls, server decode/decide/encode/send. Arg 0 runs the
+  // pre-trace-context feature set, arg 1 negotiates kFeatureTraceContext —
+  // the pair pins that the observability wiring costs nothing when the
+  // feature is off and only the 16-byte block + stage clocks when on.
+  const bool traced = state.range(0) != 0;
+  const std::array<mca::MachineModel, 1> models{mca::MachineModel::power9()};
+  const ir::TargetRegion& kernel =
+      polybench::benchmarkByName("GEMM").kernels()[0];
+  const std::array<ir::TargetRegion, 1> regions{kernel};
+  service::ServiceOptions options;
+  options.socketPath = "/tmp/osel_bm_serve_" + std::to_string(::getpid()) +
+                       (traced ? "_t.sock" : ".sock");
+  options.workerThreads = 1;
+  service::Server server(compiler::compileAll(regions, models),
+                         runtime::RuntimeOptions{}, options);
+  server.registerRegion(kernel);
+  server.start();
+  const std::uint32_t features =
+      traced ? service::Client::kDefaultFeatureRequest
+             : (service::kFeatureBatch | service::kFeatureStats |
+                service::kFeaturePrometheus);
+  service::Client client =
+      service::Client::connect(options.socketPath, features);
+  const symbolic::Bindings bindings{{"n", 9600}};
+  (void)client.decide(kernel.name, bindings);  // warm the decision cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.decide(kernel.name, bindings));
+  }
+  state.SetLabel(traced ? "trace-context" : "feature-off");
+  server.stop();
+}
+BENCHMARK(BM_ServeDecide)->Arg(0)->Arg(1);
 
 void BM_CpuModelPredict(benchmark::State& state) {
   const symbolic::Bindings bindings{{"n", 9600}};

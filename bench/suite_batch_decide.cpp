@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "compiler/compiler.h"
+#include "obs/quantile.h"
 #include "polybench/polybench.h"
 #include "runtime/target_runtime.h"
 #include "support/cli.h"
@@ -74,13 +75,6 @@ runtime::TargetRuntime makeRuntime() {
   return rt;
 }
 
-double percentile(const std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0.0;
-  const auto index =
-      static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1));
-  return sorted[index];
-}
-
 struct RunResult {
   double decisionsPerSec = 0.0;
   double p50Us = 0.0;
@@ -95,9 +89,9 @@ RunResult summarize(std::vector<double>& amortizedSeconds, std::size_t items,
   result.decisionsPerSec = busySeconds > 0.0
                                ? static_cast<double>(items) / busySeconds
                                : 0.0;
-  result.p50Us = percentile(amortizedSeconds, 0.50) * 1e6;
-  result.p99Us = percentile(amortizedSeconds, 0.99) * 1e6;
-  result.p999Us = percentile(amortizedSeconds, 0.999) * 1e6;
+  result.p50Us = obs::percentileOfSorted(amortizedSeconds, 0.50) * 1e6;
+  result.p99Us = obs::percentileOfSorted(amortizedSeconds, 0.99) * 1e6;
+  result.p999Us = obs::percentileOfSorted(amortizedSeconds, 0.999) * 1e6;
   return result;
 }
 

@@ -395,6 +395,27 @@ std::string renderPrometheus(const TraceSession& session) {
   promType(out, "explain.dropped", "counter");
   promSample(out, "explain.dropped", "_total", {},
              static_cast<double>(session.explainRing().dropped()));
+  promType(out, "slow.recorded", "counter");
+  promSample(out, "slow.recorded", "_total", {},
+             static_cast<double>(session.slowRing().recorded()));
+  promType(out, "slow.dropped", "counter");
+  promSample(out, "slow.dropped", "_total", {},
+             static_cast<double>(session.slowRing().dropped()));
+
+  // Ring overflow in one scrapeable family: how much telemetry each bounded
+  // buffer has overwritten. promSample only speaks region/le labels, so the
+  // ring-labeled lines are emitted directly (the osel_policy_info pattern).
+  promType(out, "trace_dropped", "counter");
+  const auto ringDropped = [&out](const char* ring, std::uint64_t dropped) {
+    out += "osel_trace_dropped_total{ring=";
+    appendPromLabelValue(out, ring);
+    out += "} ";
+    appendPromNumber(out, static_cast<double>(dropped));
+    out += '\n';
+  };
+  ringDropped("events", session.dropped());
+  ringDropped("explain", session.explainRing().dropped());
+  ringDropped("slow", session.slowRing().dropped());
   return out;
 }
 
@@ -585,6 +606,38 @@ std::string renderDriftReport(const TraceSession& session) {
   }
   out += table.render();
   return out;
+}
+
+std::string renderSlowJson(std::span<const SlowRequestRecord> records) {
+  std::string out;
+  out.reserve(records.size() * 320);
+  for (const SlowRequestRecord& record : records) {
+    out += "{\"seq\":" + std::to_string(record.seq);
+    out += ",\"at_ns\":" + std::to_string(record.atNs);
+    out += ",\"trace_id\":" + std::to_string(record.traceId);
+    out += ",\"client_id\":" + std::to_string(record.clientId);
+    out += ",\"request_id\":" + std::to_string(record.requestId);
+    out += ",\"region\":";
+    appendJsonString(out, record.regionView());
+    out += ",\"rows\":" + std::to_string(record.rows);
+    out += ",\"region_groups\":" + std::to_string(record.regionGroups);
+    out += ",\"gpu_decisions\":" + std::to_string(record.gpuDecisions);
+    out += ",\"invalid_decisions\":" + std::to_string(record.invalidDecisions);
+    out += ",\"state_epoch\":" + std::to_string(record.stateEpoch);
+    out += ",\"cause\":";
+    appendJsonString(out, toString(record.cause));
+    out += ",\"decode_ns\":" + std::to_string(record.decodeNs);
+    out += ",\"decide_ns\":" + std::to_string(record.decideNs);
+    out += ",\"encode_ns\":" + std::to_string(record.encodeNs);
+    out += ",\"send_ns\":" + std::to_string(record.sendNs);
+    out += ",\"wall_ns\":" + std::to_string(record.wallNs);
+    out += "}\n";
+  }
+  return out;
+}
+
+std::string renderSlowJson(const TraceSession& session) {
+  return renderSlowJson(session.slowRing().snapshot());
 }
 
 }  // namespace osel::obs

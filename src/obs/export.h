@@ -58,4 +58,12 @@ namespace osel::obs {
 /// mispredictions) for `oselctl drift` / `suite_launch_log --drift-report`.
 [[nodiscard]] std::string renderDriftReport(const TraceSession& session);
 
+/// JSONL of slow-request wide events — one JSON object per line, oldest
+/// first, newline-terminated — the `oselctl slow` payload. Deterministic:
+/// records keep their input order, integers print exactly, and stage times
+/// are nanosecond integers.
+[[nodiscard]] std::string renderSlowJson(
+    std::span<const SlowRequestRecord> records);
+[[nodiscard]] std::string renderSlowJson(const TraceSession& session);
+
 }  // namespace osel::obs

@@ -1,0 +1,53 @@
+#include "obs/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+#include "support/check.h"
+
+namespace osel::obs {
+
+double percentileOfSorted(std::span<const double> sorted, double p) {
+  if (sorted.empty()) return std::numeric_limits<double>::quiet_NaN();
+  p = std::clamp(p, 0.0, 1.0);
+  const auto rank = static_cast<std::size_t>(p * (sorted.size() - 1));
+  return sorted[rank];
+}
+
+double quantileFromBuckets(std::span<const double> upperBounds,
+                           std::span<const std::uint64_t> bucketCounts,
+                           double q) {
+  support::require(bucketCounts.size() == upperBounds.size() + 1,
+                   "quantileFromBuckets: bucketCounts must carry one "
+                   "overflow bucket beyond upperBounds");
+  q = std::clamp(q, 0.0, 1.0);
+  std::uint64_t total = 0;
+  for (const std::uint64_t count : bucketCounts) total += count;
+  if (total == 0) return std::numeric_limits<double>::quiet_NaN();
+  // The smallest cumulative count covering the target rank picks the
+  // bucket; interpolate by rank fraction inside it (the PromQL
+  // histogram_quantile estimate, which assumes uniform spread per bucket).
+  const double targetRank = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < upperBounds.size(); ++i) {
+    const std::uint64_t before = cumulative;
+    cumulative += bucketCounts[i];
+    if (static_cast<double>(cumulative) >= targetRank) {
+      const double lower = i == 0 ? 0.0 : upperBounds[i - 1];
+      const double width = upperBounds[i] - lower;
+      if (bucketCounts[i] == 0 || width <= 0.0) return upperBounds[i];
+      const double fraction =
+          (targetRank - static_cast<double>(before)) /
+          static_cast<double>(bucketCounts[i]);
+      return lower + width * std::clamp(fraction, 0.0, 1.0);
+    }
+  }
+  // Rank lands in the overflow bucket: the buckets cannot resolve beyond
+  // their largest finite bound.
+  return upperBounds.empty() ? std::numeric_limits<double>::quiet_NaN()
+                             : upperBounds.back();
+}
+
+}  // namespace osel::obs

@@ -1,0 +1,37 @@
+// osel/obs/quantile.h — shared quantile estimation.
+//
+// Two estimators every latency-reporting surface shares instead of
+// hand-rolling its own:
+//   * percentileOfSorted — nearest-rank percentile over a sorted sample
+//     vector (what the benches record per-request), and
+//   * quantileFromBuckets — interpolated quantile from fixed-bucket
+//     histogram state (what a scraper can reconstruct from the Prometheus
+//     osel_*_bucket series; `oselctl top` does exactly that).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace osel::obs {
+
+/// The p-th percentile (p in [0, 1]) of an ascending-sorted sample set by
+/// the nearest-rank rule `sorted[floor(p * (size - 1))]` — the convention
+/// the bench harnesses report. Returns NaN for an empty set; p is clamped
+/// to [0, 1].
+[[nodiscard]] double percentileOfSorted(std::span<const double> sorted,
+                                        double p);
+
+/// Estimated q-quantile (q in [0, 1]) from fixed-bucket histogram state:
+/// `upperBounds` ascending finite bucket bounds, `bucketCounts` per-bucket
+/// counts with one extra trailing overflow bucket
+/// (bucketCounts.size() == upperBounds.size() + 1) — the shape
+/// obs::Histogram::Stats carries and the Prometheus exposition preserves.
+/// Interpolates linearly inside the bucket that crosses the target rank,
+/// like PromQL's histogram_quantile. Returns NaN when the histogram is
+/// empty; a rank landing in the overflow bucket returns the largest finite
+/// bound (the estimate cannot exceed what the buckets resolve).
+[[nodiscard]] double quantileFromBuckets(
+    std::span<const double> upperBounds,
+    std::span<const std::uint64_t> bucketCounts, double q);
+
+}  // namespace osel::obs

@@ -1,0 +1,91 @@
+// osel/obs/slow.h — bounded slow-request capture (wide events).
+//
+// A tail-latency answer to the question the aggregate histograms cannot
+// answer: *which* request was slow, and where inside the service did its
+// time go? Any served request whose wall time exceeds a configurable
+// threshold — or that a client trace-sampled explicitly — is captured as
+// one fixed-size wide-event record: the wire trace id, client, batch
+// shape, decision mix, policy state epoch, and the full per-stage
+// breakdown (decode / decide / encode / send). The SlowRing mirrors the
+// TraceSession event ring and the ExplainRing: preallocated at
+// construction, push() never heap-allocates, oldest records are
+// overwritten and the drops are counted.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+namespace osel::obs {
+
+/// Why a request was captured (SlowRequestRecord::cause).
+enum class SlowCause : std::uint8_t {
+  Threshold,  ///< wall time exceeded the configured slow threshold
+  Sampled,    ///< the client trace-sampled it (kTraceFlagSampled)
+};
+
+[[nodiscard]] const char* toString(SlowCause cause);
+
+/// One slow request's wide-event record. Fixed-size; safe to copy into the
+/// ring without touching the heap.
+struct SlowRequestRecord {
+  static constexpr std::size_t kLabelCapacity = 48;
+
+  std::array<char, kLabelCapacity> region{};  ///< NUL-terminated, truncated
+  std::uint64_t seq = 0;    ///< record order, stamped by SlowRing::push
+  std::int64_t atNs = 0;    ///< capture time, ns since session start
+  std::uint64_t traceId = 0;    ///< wire trace id (0 when none attached)
+  std::uint64_t clientId = 0;   ///< server-assigned connection id
+  std::uint64_t requestId = 0;  ///< wire request id (row 0 for batches)
+  std::uint32_t rows = 0;          ///< decisions served (1 for scalar)
+  std::uint32_t regionGroups = 1;  ///< region groups in the frame
+  std::uint32_t gpuDecisions = 0;      ///< decision mix: chose GPU
+  std::uint32_t invalidDecisions = 0;  ///< decision mix: degraded rows
+  std::uint64_t stateEpoch = 0;  ///< selection policy's state epoch
+  std::int64_t decodeNs = 0;  ///< frame parse + binding rebuild
+  std::int64_t decideNs = 0;  ///< runtime decide / decideBatch
+  std::int64_t encodeNs = 0;  ///< reply framing
+  /// Encode end -> reply on the wire: per-frame bookkeeping after encode
+  /// plus this frame's share of the flush write. The four stages tile
+  /// wallNs exactly for request-reply clients.
+  std::int64_t sendNs = 0;
+  std::int64_t wallNs = 0;    ///< decode start -> send end
+  SlowCause cause = SlowCause::Threshold;
+
+  void setRegion(std::string_view name) noexcept;
+  [[nodiscard]] std::string_view regionView() const {
+    return std::string_view(region.data());
+  }
+};
+
+/// Bounded ring of SlowRequestRecords, oldest-overwritten. Same contract as
+/// the ExplainRing: preallocated at construction, push() never allocates,
+/// drops are counted. Thread-safe.
+class SlowRing {
+ public:
+  /// Precondition: capacity > 0.
+  explicit SlowRing(std::size_t capacity);
+
+  /// Copies `record` into the ring, stamping its seq. Never allocates.
+  void push(const SlowRequestRecord& record) noexcept;
+
+  /// Buffered records, oldest first (at most capacity()).
+  [[nodiscard]] std::vector<SlowRequestRecord> snapshot() const;
+
+  /// Total records offered (kept + overwritten).
+  [[nodiscard]] std::uint64_t recorded() const;
+  /// Records overwritten because the ring was full.
+  [[nodiscard]] std::uint64_t dropped() const;
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<SlowRequestRecord> ring_;  ///< preallocated, seq % capacity
+  std::uint64_t nextSeq_ = 0;
+};
+
+}  // namespace osel::obs

@@ -30,6 +30,7 @@ void copyLabel(std::array<char, TraceEvent::kLabelCapacity>& out,
 TraceSession::TraceSession(TraceOptions options)
     : origin_(std::chrono::steady_clock::now()),
       explain_(options.explainCapacity),
+      slow_(options.slowCapacity),
       drift_(options.drift) {
   support::require(options.capacity > 0, "TraceSession: capacity must be > 0");
   ring_.resize(options.capacity);
@@ -159,6 +160,16 @@ void TraceSession::recordExplain(const DecisionExplain& record) {
     return;
   }
   explain_.push(record);
+}
+
+void TraceSession::recordSlow(const SlowRequestRecord& record) {
+  if (record.atNs == 0) {
+    SlowRequestRecord stamped = record;
+    stamped.atNs = nowNs();
+    slow_.push(stamped);
+    return;
+  }
+  slow_.push(record);
 }
 
 void TraceSession::recordComparison(std::string_view region,

@@ -33,6 +33,7 @@
 #include "obs/drift.h"
 #include "obs/explain.h"
 #include "obs/metrics.h"
+#include "obs/slow.h"
 #include "support/faultinject.h"
 
 namespace osel::obs {
@@ -109,6 +110,8 @@ struct TraceOptions {
   std::size_t capacity = 4096;
   /// DecisionExplain ring capacity (forensics records per session).
   std::size_t explainCapacity = 256;
+  /// SlowRequestRecord ring capacity (slow/wide-event captures per session).
+  std::size_t slowCapacity = 256;
   /// Drift-detector tuning (EWMA/CUSUM over prediction error).
   DriftOptions drift = {};
 };
@@ -170,6 +173,13 @@ class TraceSession : public support::FaultObserver {
   [[nodiscard]] ExplainRing& explainRing() { return explain_; }
   [[nodiscard]] const ExplainRing& explainRing() const { return explain_; }
 
+  // --- Slow-request capture ------------------------------------------------
+  /// Copies one slow request's wide event into the slow ring, stamping its
+  /// timestamp when the caller left atNs at 0. Never heap-allocates.
+  void recordSlow(const SlowRequestRecord& record);
+  [[nodiscard]] SlowRing& slowRing() { return slow_; }
+  [[nodiscard]] const SlowRing& slowRing() const { return slow_; }
+
   // --- Drift detection -----------------------------------------------------
   /// Feeds one both-devices-measured launch outcome: `mispredicted` means
   /// the model-chosen device was measured slower than the alternative.
@@ -216,6 +226,7 @@ class TraceSession : public support::FaultObserver {
   std::chrono::steady_clock::time_point origin_;
   MetricsRegistry metrics_;
   ExplainRing explain_;
+  SlowRing slow_;
   DriftDetector drift_;
   std::atomic<SnapshotWriter*> snapshotWriter_{nullptr};
   // Resolved once so hot-path bumps never touch the registry maps.

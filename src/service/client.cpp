@@ -4,25 +4,26 @@
 
 namespace osel::service {
 
-Client Client::connect(const std::string& path) {
+Client Client::connect(const std::string& path,
+                       std::uint32_t featureRequest) {
   Client client(connectUnix(path));
-  client.handshake();
+  client.handshake(featureRequest);
   return client;
 }
 
-Client Client::connectPort(std::uint16_t port) {
+Client Client::connectPort(std::uint16_t port, std::uint32_t featureRequest) {
   Client client(connectTcp(port));
-  client.handshake();
+  client.handshake(featureRequest);
   return client;
 }
 
 Client::Client(Socket socket) : socket_(std::move(socket)) {}
 
-void Client::handshake() {
+void Client::handshake(std::uint32_t featureRequest) {
   HelloFrame hello;
   hello.versionMin = 1;
   hello.versionMax = kProtocolVersion;
-  hello.featureBits = kFeatureBatch | kFeatureStats | kFeaturePrometheus;
+  hello.featureBits = featureRequest;
   encodeHello(outBuffer_, hello);
   std::string payload;
   const FrameHeader header = exchange(payload);
@@ -44,19 +45,35 @@ void Client::ping() {
 }
 
 runtime::Decision Client::decide(std::string_view region,
-                                 const symbolic::Bindings& bindings) {
+                                 const symbolic::Bindings& bindings,
+                                 const TraceContextBlock* trace) {
   const std::uint64_t id = nextRequestId_++;
-  encodeDecideRequest(outBuffer_, id, region, bindings);
+  // On a trace-granted connection every decide frame carries a block (the
+  // layouts are negotiation-dependent, not per-frame optional), so a caller
+  // without a trace id still sends a zeroed one.
+  TraceContextBlock block;
+  const TraceContextBlock* wire = nullptr;
+  if (traceContextGranted()) {
+    if (trace != nullptr) block = *trace;
+    wire = &block;
+  }
+  encodeDecideRequest(outBuffer_, id, region, bindings, wire);
   std::string payload;
   const FrameHeader header = exchange(payload);
   expectType(header, payload, FrameType::Decision);
   DecisionView view;
-  parseDecision(payload, view);
+  parseDecision(payload, view, traceContextGranted());
   if (view.requestId != id) {
     throw CodecError(WireCode::BadFrame,
                      "client: Decision answered request " +
                          std::to_string(view.requestId) + ", expected " +
                          std::to_string(id));
+  }
+  if (wire != nullptr && view.hasTrace && view.trace.traceId != wire->traceId) {
+    throw CodecError(WireCode::BadFrame,
+                     "client: Decision echoed trace id " +
+                         std::to_string(view.trace.traceId) + ", expected " +
+                         std::to_string(wire->traceId));
   }
   return view.decision;
 }
@@ -65,7 +82,8 @@ void Client::decideBatch(std::string_view region,
                          std::span<const std::string_view> slots,
                          std::uint32_t rows,
                          std::span<const std::int64_t> values,
-                         std::vector<runtime::Decision>& out) {
+                         std::vector<runtime::Decision>& out,
+                         const TraceContextBlock* trace) {
   if (slots.empty() && rows > 0) {
     // Wire rule: a row-carrying DecideBatch names at least one slot — with
     // zero slots the server could not bound the claimed rowCount. Rows for
@@ -73,23 +91,36 @@ void Client::decideBatch(std::string_view region,
     const symbolic::Bindings none;
     out.resize(rows);
     for (std::uint32_t row = 0; row < rows; ++row) {
-      out[row] = decide(region, none);
+      out[row] = decide(region, none, trace);
     }
     return;
   }
+  TraceContextBlock block;
+  const TraceContextBlock* wire = nullptr;
+  if (traceContextGranted()) {
+    if (trace != nullptr) block = *trace;
+    wire = &block;
+  }
   const std::uint64_t id = nextRequestId_;
   nextRequestId_ += rows == 0 ? 1 : rows;  // rows echo id..id+rows-1
-  encodeDecideBatch(outBuffer_, id, region, slots, rows, values);
+  encodeDecideBatch(outBuffer_, id, region, slots, rows, values, wire);
   std::string payload;
   const FrameHeader header = exchange(payload);
   expectType(header, payload, FrameType::DecisionBatch);
   std::vector<DecisionView> views;
-  parseDecisionBatch(payload, views);
+  parseDecisionBatch(payload, views, traceContextGranted());
   if (views.size() != rows) {
     throw CodecError(WireCode::BadFrame,
                      "client: DecisionBatch carried " +
                          std::to_string(views.size()) + " rows, expected " +
                          std::to_string(rows));
+  }
+  if (wire != nullptr && !views.empty() && views.front().hasTrace &&
+      views.front().trace.traceId != wire->traceId) {
+    throw CodecError(WireCode::BadFrame,
+                     "client: DecisionBatch echoed trace id " +
+                         std::to_string(views.front().trace.traceId) +
+                         ", expected " + std::to_string(wire->traceId));
   }
   out.resize(views.size());
   for (std::size_t row = 0; row < views.size(); ++row) {
@@ -109,6 +140,14 @@ std::string Client::stats(StatsFormat format) {
   const FrameHeader header = exchange(payload);
   expectType(header, payload, FrameType::Stats);
   return std::string(parseStats(payload));
+}
+
+std::string Client::slowLog(std::uint32_t maxRecords) {
+  encodeSlowLogRequest(outBuffer_, maxRecords);
+  std::string payload;
+  const FrameHeader header = exchange(payload);
+  expectType(header, payload, FrameType::SlowLog);
+  return std::string(parseSlowLog(payload));
 }
 
 FrameHeader Client::exchange(std::string& payload) {
@@ -147,7 +186,10 @@ void Client::expectType(const FrameHeader& header, std::string_view payload,
   const auto type = static_cast<FrameType>(header.type);
   if (type == expected) return;
   if (type == FrameType::Error) {
-    const ErrorView error = parseError(payload);
+    // Pre-handshake featureBits_ is 0, so handshake-time errors correctly
+    // parse without a trace block; post-handshake errors on trace-granted
+    // connections always carry one (zeroed when the context is unknown).
+    const ErrorView error = parseError(payload, traceContextGranted());
     throw ServiceError(error.code, std::string(error.message));
   }
   throw CodecError(WireCode::BadFrame,

@@ -42,12 +42,24 @@ class ServiceError : public std::runtime_error, public osel::Error {
 
 class Client {
  public:
+  /// Feature bits a Client requests by default: everything it implements.
+  /// The server grants the intersection with what *it* supports; a request
+  /// without a bit (e.g. an old client, or the trace-off benchmark) keeps
+  /// the corresponding wire layouts byte-identical to the pre-feature ones.
+  static constexpr std::uint32_t kDefaultFeatureRequest =
+      kFeatureBatch | kFeatureStats | kFeaturePrometheus |
+      kFeatureTraceContext | kFeatureSlowLog;
+
   /// Connects to a Unix-domain socket and completes the handshake. Throws
   /// ConnectError when nothing listens on `path`, ServiceError when the
   /// server refuses (version mismatch, shed), CodecError on wire garbage.
-  [[nodiscard]] static Client connect(const std::string& path);
+  [[nodiscard]] static Client connect(
+      const std::string& path,
+      std::uint32_t featureRequest = kDefaultFeatureRequest);
   /// Same over loopback TCP (the optional transport).
-  [[nodiscard]] static Client connectPort(std::uint16_t port);
+  [[nodiscard]] static Client connectPort(
+      std::uint16_t port,
+      std::uint32_t featureRequest = kDefaultFeatureRequest);
 
   Client(Client&&) = default;
   Client& operator=(Client&&) = default;
@@ -58,32 +70,48 @@ class Client {
   [[nodiscard]] std::uint32_t featureBits() const { return featureBits_; }
   [[nodiscard]] std::uint32_t maxFrameBytes() const { return maxFrameBytes_; }
 
+  /// True when the server granted kFeatureTraceContext: every decide frame
+  /// on this connection carries a TraceContextBlock (attached automatically,
+  /// zeroed unless the caller passes one) and every reply echoes it back.
+  [[nodiscard]] bool traceContextGranted() const {
+    return (featureBits_ & kFeatureTraceContext) != 0;
+  }
+
   /// Ping → Pong round trip (liveness probe for `oselctl ping`).
   void ping();
 
   /// One decision over the wire. Only the wire-stable Decision subset is
   /// populated (device, valid, diagnostic, cpu.seconds, gpu.totalSeconds,
-  /// overheadSeconds).
+  /// overheadSeconds). `trace` is the request's trace context (used only
+  /// when the feature was granted); the reply's echoed block must carry the
+  /// same traceId or the client throws CodecError{BadFrame}.
   [[nodiscard]] runtime::Decision decide(std::string_view region,
-                                         const symbolic::Bindings& bindings);
+                                         const symbolic::Bindings& bindings,
+                                         const TraceContextBlock* trace =
+                                             nullptr);
 
   /// Batched decisions for `rows` rows sharing one region and slot set;
   /// `values` is slot-major (values[slot * rows + row]). Decisions land in
   /// `out` (resized to `rows`), row order preserved. An empty slot set
   /// (binding-free region) is sent as scalar DecideRequest frames — the
-  /// wire forbids row-carrying zero-slot batches.
+  /// wire forbids row-carrying zero-slot batches. `trace` as for decide().
   void decideBatch(std::string_view region,
                    std::span<const std::string_view> slots, std::uint32_t rows,
                    std::span<const std::int64_t> values,
-                   std::vector<runtime::Decision>& out);
+                   std::vector<runtime::Decision>& out,
+                   const TraceContextBlock* trace = nullptr);
 
   /// Server-side stats text: the obs summary or the Prometheus exposition.
   [[nodiscard]] std::string stats(StatsFormat format);
 
+  /// The server's slow-request capture as JSONL text (one wide event per
+  /// line, oldest first). maxRecords == 0 asks for everything buffered.
+  [[nodiscard]] std::string slowLog(std::uint32_t maxRecords = 0);
+
  private:
   explicit Client(Socket socket);
 
-  void handshake();
+  void handshake(std::uint32_t featureRequest);
   /// Sends `outBuffer_` and blocks until one complete frame arrives.
   FrameHeader exchange(std::string& payload);
   /// Blocks until one complete frame arrives (no send).

@@ -81,6 +81,16 @@ std::string_view takeString(Cursor& cursor, std::uint32_t bytes) {
   return cursor.take(bytes);
 }
 
+/// Consumes the negotiation-dependent TraceContextBlock. With the feature
+/// off this reads nothing (a block's bytes would then fail the parser's
+/// trailing-junk check); with it on, a missing block is a truncated frame.
+TraceContextBlock takeTrace(Cursor& cursor, bool traceContext,
+                            bool& hasTrace) {
+  hasTrace = traceContext;
+  if (!traceContext) return {};
+  return cursor.read<TraceContextBlock>();
+}
+
 DecisionRecord recordFor(std::uint64_t requestId,
                          const runtime::Decision& decision) {
   DecisionRecord record;
@@ -192,13 +202,15 @@ void encodePong(std::string& out) {
 
 void encodeDecideRequest(std::string& out, std::uint64_t requestId,
                          std::string_view region,
-                         const symbolic::Bindings& bindings) {
+                         const symbolic::Bindings& bindings,
+                         const TraceContextBlock* trace) {
   const std::size_t at = beginFrame(out, FrameType::DecideRequest);
   DecideRequestFrame frame;
   frame.requestId = requestId;
   frame.regionNameBytes = static_cast<std::uint32_t>(region.size());
   frame.bindingCount = static_cast<std::uint32_t>(bindings.size());
   appendPod(out, frame);
+  if (trace != nullptr) appendPod(out, *trace);
   out.append(region);
   for (const auto& [symbol, value] : bindings) {
     appendPod(out, static_cast<std::uint32_t>(symbol.size()));
@@ -212,7 +224,8 @@ void encodeDecideBatch(std::string& out, std::uint64_t requestId,
                        std::string_view region,
                        std::span<const std::string_view> slots,
                        std::uint32_t rows,
-                       std::span<const std::int64_t> values) {
+                       std::span<const std::int64_t> values,
+                       const TraceContextBlock* trace) {
   support::require(values.size() ==
                        static_cast<std::size_t>(slots.size()) * rows,
                    "encodeDecideBatch: values must hold slots * rows entries "
@@ -228,6 +241,7 @@ void encodeDecideBatch(std::string& out, std::uint64_t requestId,
   frame.slotCount = static_cast<std::uint32_t>(slots.size());
   frame.rowCount = rows;
   appendPod(out, frame);
+  if (trace != nullptr) appendPod(out, *trace);
   out.append(region);
   for (const std::string_view slot : slots) {
     appendPod(out, static_cast<std::uint32_t>(slot.size()));
@@ -239,19 +253,23 @@ void encodeDecideBatch(std::string& out, std::uint64_t requestId,
 }
 
 void encodeDecision(std::string& out, std::uint64_t requestId,
-                    const runtime::Decision& decision) {
+                    const runtime::Decision& decision,
+                    const TraceContextBlock* trace) {
   const std::size_t at = beginFrame(out, FrameType::Decision);
   appendPod(out, recordFor(requestId, decision));
+  if (trace != nullptr) appendPod(out, *trace);
   out.append(decision.diagnostic);
   endFrame(out, at);
 }
 
 void encodeDecisionBatch(std::string& out, std::uint64_t requestId,
-                         std::span<const runtime::Decision> decisions) {
+                         std::span<const runtime::Decision> decisions,
+                         const TraceContextBlock* trace) {
   const std::size_t at = beginFrame(out, FrameType::DecisionBatch);
   DecisionBatchFrame frame;
   frame.count = static_cast<std::uint32_t>(decisions.size());
   appendPod(out, frame);
+  if (trace != nullptr) appendPod(out, *trace);
   for (std::size_t i = 0; i < decisions.size(); ++i) {
     appendPod(out, recordFor(requestId + i, decisions[i]));
   }
@@ -275,12 +293,28 @@ void encodeStats(std::string& out, std::string_view text) {
   endFrame(out, at);
 }
 
-void encodeError(std::string& out, WireCode code, std::string_view message) {
+void encodeSlowLogRequest(std::string& out, std::uint32_t maxRecords) {
+  const std::size_t at = beginFrame(out, FrameType::SlowLogRequest);
+  SlowLogRequestFrame frame;
+  frame.maxRecords = maxRecords;
+  appendPod(out, frame);
+  endFrame(out, at);
+}
+
+void encodeSlowLog(std::string& out, std::string_view jsonl) {
+  const std::size_t at = beginFrame(out, FrameType::SlowLog);
+  out.append(jsonl);
+  endFrame(out, at);
+}
+
+void encodeError(std::string& out, WireCode code, std::string_view message,
+                 const TraceContextBlock* trace) {
   const std::size_t at = beginFrame(out, FrameType::Error);
   ErrorFrame frame;
   frame.wireCode = static_cast<std::uint32_t>(code);
   frame.messageBytes = static_cast<std::uint32_t>(message.size());
   appendPod(out, frame);
+  if (trace != nullptr) appendPod(out, *trace);
   out.append(message);
   endFrame(out, at);
 }
@@ -350,10 +384,12 @@ HelloAckFrame parseHelloAck(std::string_view payload) {
   return ack;
 }
 
-void parseDecideRequest(std::string_view payload, DecideRequestView& view) {
+void parseDecideRequest(std::string_view payload, DecideRequestView& view,
+                        bool traceContext) {
   Cursor cursor(payload);
   const auto frame = cursor.read<DecideRequestFrame>();
   view.requestId = frame.requestId;
+  view.trace = takeTrace(cursor, traceContext, view.hasTrace);
   view.region = takeString(cursor, frame.regionNameBytes);
   view.bindings.clear();
   // Each binding is at least 12 fixed bytes, so a hostile bindingCount that
@@ -373,10 +409,12 @@ void parseDecideRequest(std::string_view payload, DecideRequestView& view) {
   cursor.finish();
 }
 
-void parseDecideBatch(std::string_view payload, DecideBatchView& view) {
+void parseDecideBatch(std::string_view payload, DecideBatchView& view,
+                      bool traceContext) {
   Cursor cursor(payload);
   const auto frame = cursor.read<DecideBatchFrame>();
   view.requestId = frame.requestId;
+  view.trace = takeTrace(cursor, traceContext, view.hasTrace);
   view.region = takeString(cursor, frame.regionNameBytes);
   view.slots.clear();
   if (static_cast<std::uint64_t>(frame.slotCount) * 4 > cursor.remaining()) {
@@ -418,9 +456,11 @@ std::int64_t DecideBatchView::value(std::size_t slot, std::size_t row) const {
   return out;
 }
 
-void parseDecision(std::string_view payload, DecisionView& view) {
+void parseDecision(std::string_view payload, DecisionView& view,
+                   bool traceContext) {
   Cursor cursor(payload);
   const auto record = cursor.read<DecisionRecord>();
+  view.trace = takeTrace(cursor, traceContext, view.hasTrace);
   const std::string_view diagnostic =
       takeString(cursor, record.diagnosticBytes);
   cursor.finish();
@@ -428,9 +468,11 @@ void parseDecision(std::string_view payload, DecisionView& view) {
 }
 
 void parseDecisionBatch(std::string_view payload,
-                        std::vector<DecisionView>& views) {
+                        std::vector<DecisionView>& views, bool traceContext) {
   Cursor cursor(payload);
   const auto frame = cursor.read<DecisionBatchFrame>();
+  bool hasTrace = false;
+  const TraceContextBlock trace = takeTrace(cursor, traceContext, hasTrace);
   if (static_cast<std::uint64_t>(frame.count) * sizeof(DecisionRecord) >
       cursor.remaining()) {
     throw CodecError(WireCode::BadFrame,
@@ -444,6 +486,8 @@ void parseDecisionBatch(std::string_view payload,
   for (std::uint32_t i = 0; i < frame.count; ++i) {
     fillDecision(records[i], takeString(cursor, records[i].diagnosticBytes),
                  views[i]);
+    views[i].hasTrace = hasTrace;
+    views[i].trace = trace;
   }
   cursor.finish();
 }
@@ -459,16 +503,26 @@ StatsRequestFrame parseStatsRequest(std::string_view payload) {
   return frame;
 }
 
-ErrorView parseError(std::string_view payload) {
+SlowLogRequestFrame parseSlowLogRequest(std::string_view payload) {
+  Cursor cursor(payload);
+  const auto frame = cursor.read<SlowLogRequestFrame>();
+  cursor.finish();
+  return frame;
+}
+
+ErrorView parseError(std::string_view payload, bool traceContext) {
   Cursor cursor(payload);
   const auto frame = cursor.read<ErrorFrame>();
   ErrorView view;
   view.code = static_cast<WireCode>(frame.wireCode);
+  view.trace = takeTrace(cursor, traceContext, view.hasTrace);
   view.message = takeString(cursor, frame.messageBytes);
   cursor.finish();
   return view;
 }
 
 std::string_view parseStats(std::string_view payload) { return payload; }
+
+std::string_view parseSlowLog(std::string_view payload) { return payload; }
 
 }  // namespace osel::service

@@ -54,28 +54,42 @@ class CodecError : public std::runtime_error, public osel::Error {
 // which accumulates bytes ready for send(). Appending to one string lets a
 // caller coalesce many frames into a single write.
 
+// The `trace` parameter on the decide/decision/error encoders is the
+// kFeatureTraceContext block: nullptr (the default) leaves the frame
+// byte-identical to the pre-trace-context layout; non-null inserts the
+// block immediately after the fixed POD struct. Callers pass it only on
+// connections where the feature was granted — the layouts are
+// negotiation-dependent, never mixed.
+
 void encodeHello(std::string& out, const HelloFrame& hello);
 void encodeHelloAck(std::string& out, const HelloAckFrame& ack);
 void encodePing(std::string& out);
 void encodePong(std::string& out);
 void encodeDecideRequest(std::string& out, std::uint64_t requestId,
                          std::string_view region,
-                         const symbolic::Bindings& bindings);
+                         const symbolic::Bindings& bindings,
+                         const TraceContextBlock* trace = nullptr);
 /// `values` is slot-major, values[slot * rows + row], slots.size() * rows
 /// entries (support::PreconditionError otherwise).
 void encodeDecideBatch(std::string& out, std::uint64_t requestId,
                        std::string_view region,
                        std::span<const std::string_view> slots,
                        std::uint32_t rows,
-                       std::span<const std::int64_t> values);
+                       std::span<const std::int64_t> values,
+                       const TraceContextBlock* trace = nullptr);
 void encodeDecision(std::string& out, std::uint64_t requestId,
-                    const runtime::Decision& decision);
+                    const runtime::Decision& decision,
+                    const TraceContextBlock* trace = nullptr);
 /// Row r is encoded with requestId + r.
 void encodeDecisionBatch(std::string& out, std::uint64_t requestId,
-                         std::span<const runtime::Decision> decisions);
+                         std::span<const runtime::Decision> decisions,
+                         const TraceContextBlock* trace = nullptr);
 void encodeStatsRequest(std::string& out, StatsFormat format);
 void encodeStats(std::string& out, std::string_view text);
-void encodeError(std::string& out, WireCode code, std::string_view message);
+void encodeSlowLogRequest(std::string& out, std::uint32_t maxRecords = 0);
+void encodeSlowLog(std::string& out, std::string_view jsonl);
+void encodeError(std::string& out, WireCode code, std::string_view message,
+                 const TraceContextBlock* trace = nullptr);
 
 // --- Decoding -------------------------------------------------------------
 
@@ -117,6 +131,8 @@ struct DecideRequestView {
     std::int64_t value = 0;
   };
   std::vector<Binding> bindings;
+  bool hasTrace = false;  ///< a TraceContextBlock was parsed
+  TraceContextBlock trace;
 };
 
 /// Decoded DecideBatch. `values` stays in wire order (slot-major); use
@@ -128,6 +144,8 @@ struct DecideBatchView {
   std::vector<std::string_view> slots;
   std::uint32_t rows = 0;
   const char* values = nullptr;  ///< slots.size() * rows little-endian i64s
+  bool hasTrace = false;         ///< a TraceContextBlock was parsed
+  TraceContextBlock trace;
 
   [[nodiscard]] std::int64_t value(std::size_t slot, std::size_t row) const;
 };
@@ -138,24 +156,42 @@ struct DecideBatchView {
 struct DecisionView {
   std::uint64_t requestId = 0;
   runtime::Decision decision;
+  bool hasTrace = false;  ///< a TraceContextBlock was parsed (echoed)
+  TraceContextBlock trace;
 };
 
 struct ErrorView {
   WireCode code = WireCode::Unknown;
   std::string_view message;
+  bool hasTrace = false;  ///< a TraceContextBlock was parsed (echoed)
+  TraceContextBlock trace;
 };
 
 // All parsers throw CodecError{BadFrame} on truncated/oversized/ill-formed
 // payloads (and {UnsupportedVersion} where magic/version checks apply).
+// `traceContext` is per-connection negotiation state: true means the frame
+// MUST carry a TraceContextBlock (its absence is a truncated payload), false
+// means it must not (extra bytes are trailing junk) — a peer cannot half-
+// speak the feature.
 [[nodiscard]] HelloFrame parseHello(std::string_view payload);
 [[nodiscard]] HelloAckFrame parseHelloAck(std::string_view payload);
-void parseDecideRequest(std::string_view payload, DecideRequestView& view);
-void parseDecideBatch(std::string_view payload, DecideBatchView& view);
-void parseDecision(std::string_view payload, DecisionView& view);
+void parseDecideRequest(std::string_view payload, DecideRequestView& view,
+                        bool traceContext = false);
+void parseDecideBatch(std::string_view payload, DecideBatchView& view,
+                      bool traceContext = false);
+void parseDecision(std::string_view payload, DecisionView& view,
+                   bool traceContext = false);
+/// With traceContext, the frame-level block is echoed into every view
+/// (row order carries one shared block on the wire).
 void parseDecisionBatch(std::string_view payload,
-                        std::vector<DecisionView>& views);
+                        std::vector<DecisionView>& views,
+                        bool traceContext = false);
 [[nodiscard]] StatsRequestFrame parseStatsRequest(std::string_view payload);
-[[nodiscard]] ErrorView parseError(std::string_view payload);
+[[nodiscard]] SlowLogRequestFrame parseSlowLogRequest(
+    std::string_view payload);
+[[nodiscard]] ErrorView parseError(std::string_view payload,
+                                   bool traceContext = false);
 [[nodiscard]] std::string_view parseStats(std::string_view payload);
+[[nodiscard]] std::string_view parseSlowLog(std::string_view payload);
 
 }  // namespace osel::service

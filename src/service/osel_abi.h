@@ -59,6 +59,13 @@ inline constexpr std::uint32_t kFeatureBatch = 1u << 0;  ///< DecideBatch
 inline constexpr std::uint32_t kFeatureStats = 1u << 1;  ///< StatsRequest
 /// StatsRequest::format == Prometheus supported.
 inline constexpr std::uint32_t kFeaturePrometheus = 1u << 2;
+/// Request-scoped tracing: when granted, DecideRequest/DecideBatch carry a
+/// TraceContextBlock between the fixed struct and the variable tail, and the
+/// server echoes the same block on Decision/DecisionBatch/Error replies.
+/// Never granted means never on the wire — old peers see today's layouts.
+inline constexpr std::uint32_t kFeatureTraceContext = 1u << 3;
+/// SlowLogRequest/SlowLog RPC (the slow-request capture ring) supported.
+inline constexpr std::uint32_t kFeatureSlowLog = 1u << 4;
 
 /// Frame discriminator (FrameHeader::type). Values are wire-stable; new
 /// types append, retired values are never reused.
@@ -73,6 +80,8 @@ enum class FrameType : std::uint16_t {
   DecisionBatch = 8,
   StatsRequest = 9,
   Stats = 10,
+  SlowLogRequest = 11,
+  SlowLog = 12,
   Error = 15,
 };
 
@@ -144,7 +153,30 @@ static_assert(offsetof(HelloAckFrame, version) == 4);
 static_assert(offsetof(HelloAckFrame, featureBits) == 8);
 static_assert(offsetof(HelloAckFrame, maxFrameBytes) == 12);
 
+// --- Trace context (kFeatureTraceContext) ---------------------------------
+
+/// TraceContextBlock::flags: this request is trace-sampled — the server
+/// records spans / wide events for it regardless of its own tail sampling.
+inline constexpr std::uint32_t kTraceFlagSampled = 1u << 0;
+
+/// Request-scoped trace identity. Present on the wire only when
+/// kFeatureTraceContext was granted in HelloAck; then it sits immediately
+/// after the fixed POD struct (before the variable tail) of DecideRequest
+/// and DecideBatch, and the server echoes the request's block in the same
+/// position on Decision, DecisionBatch, and post-handshake Error replies
+/// (pre-handshake errors predate negotiation and never carry one).
+struct TraceContextBlock {
+  std::uint64_t traceId = 0;  ///< caller-chosen 64-bit trace id (0 = none)
+  std::uint32_t flags = 0;    ///< kTraceFlagSampled | reserved zeros
+  std::uint32_t reserved = 0;
+};
+static_assert(sizeof(TraceContextBlock) == 16);
+static_assert(offsetof(TraceContextBlock, traceId) == 0);
+static_assert(offsetof(TraceContextBlock, flags) == 8);
+static_assert(offsetof(TraceContextBlock, reserved) == 12);
+
 /// One scalar decide(). Tail, in order:
+///   [TraceContextBlock          only when kFeatureTraceContext granted]
 ///   regionNameBytes bytes   UTF-8 region name (no NUL)
 ///   bindingCount ×  { u32 symbolBytes | i64 value | symbol bytes }
 struct DecideRequestFrame {
@@ -225,6 +257,16 @@ struct StatsRequestFrame {
   std::uint32_t reserved = 0;
 };
 static_assert(sizeof(StatsRequestFrame) == 8);
+
+/// Asks the server to drain its slow-request capture ring (newest last).
+/// Requires kFeatureSlowLog. Answered with a SlowLog frame whose payload is
+/// JSONL text — one wide-event object per line (no fixed struct, just
+/// bytes). `maxRecords == 0` means "all buffered records".
+struct SlowLogRequestFrame {
+  std::uint32_t maxRecords = 0;
+  std::uint32_t reserved = 0;
+};
+static_assert(sizeof(SlowLogRequestFrame) == 8);
 
 /// Error payload: stable code + human-readable message bytes in the tail.
 struct ErrorFrame {

@@ -15,7 +15,17 @@ namespace osel::service {
 namespace {
 
 constexpr std::uint32_t kSupportedFeatures =
-    kFeatureBatch | kFeatureStats | kFeaturePrometheus;
+    kFeatureBatch | kFeatureStats | kFeaturePrometheus | kFeatureTraceContext |
+    kFeatureSlowLog;
+
+/// One decide-carrying frame's stage times, parked until the reply flush
+/// closes its wall clock (send happens per flush, not per frame).
+struct PendingCapture {
+  obs::SlowRequestRecord record;  ///< stages filled, send/wall pending
+  std::int64_t startNs = 0;       ///< decode start (wall origin)
+  std::int64_t encodeEndNs = 0;   ///< encode end (send stage origin)
+  bool sampled = false;           ///< client set kTraceFlagSampled
+};
 
 /// Best-effort single-frame reply on a connection we are about to drop
 /// (shed notices, pre-handshake protocol errors). Failures are ignored —
@@ -41,6 +51,8 @@ runtime::RuntimeOptions withTrace(runtime::RuntimeOptions options,
 Server::Server(pad::AttributeDatabase database,
                runtime::RuntimeOptions rtOptions, ServiceOptions options)
     : options_(std::move(options)),
+      session_(obs::TraceOptions{
+          .slowCapacity = std::max<std::size_t>(1, options_.slowRingCapacity)}),
       runtime_(std::move(database), withTrace(std::move(rtOptions), &session_)) {
   support::require(!options_.socketPath.empty(),
                    "service::Server: socketPath must be set");
@@ -51,6 +63,8 @@ Server::Server(pad::AttributeDatabase database,
   // hang this option exists to prevent.
   options_.metricsRecvTimeoutMillis =
       std::max(1, options_.metricsRecvTimeoutMillis);
+  options_.slowRingCapacity =
+      std::max<std::size_t>(1, options_.slowRingCapacity);
   obs::MetricsRegistry& metrics = session_.metrics();
   instruments_.connections = &metrics.counter("service.connections");
   instruments_.sheds = &metrics.counter("service.sheds");
@@ -61,6 +75,20 @@ Server::Server(pad::AttributeDatabase database,
   instruments_.bytesOut = &metrics.counter("service.bytes_out");
   instruments_.batchRows = &metrics.histogram(
       "service.batch_rows", {1.0, 8.0, 32.0, 64.0, 256.0, 1024.0, 4096.0});
+  // Stage latency buckets: ~3x steps from 1 us to 1 s so p50/p99/p999 stay
+  // resolvable from the cumulative counts (obs::quantileFromBuckets).
+  const std::vector<double> stageBounds = {1e-6, 3e-6, 1e-5, 3e-5, 1e-4,
+                                           3e-4, 1e-3, 3e-3, 1e-2, 3e-2,
+                                           1e-1, 3e-1, 1.0};
+  instruments_.decodeSeconds =
+      &metrics.histogram("service.decode_s", stageBounds);
+  instruments_.decideSeconds =
+      &metrics.histogram("service.decide_s", stageBounds);
+  instruments_.encodeSeconds =
+      &metrics.histogram("service.encode_s", stageBounds);
+  instruments_.sendSeconds = &metrics.histogram("service.send_s", stageBounds);
+  instruments_.requestSeconds =
+      &metrics.histogram("service.request_s", stageBounds);
 }
 
 Server::~Server() { stop(); }
@@ -198,6 +226,8 @@ void Server::serveConnection(Socket socket, std::uint64_t clientId) {
   std::string out;
   bool helloDone = false;
   bool closing = false;
+  // Negotiated per-connection wire state (set once at HelloAck).
+  bool traceWire = false;  ///< kFeatureTraceContext granted
   // Per-connection scratch, reused across frames.
   std::string regionName;
   symbolic::Bindings bindings;
@@ -206,7 +236,54 @@ void Server::serveConnection(Socket socket, std::uint64_t clientId) {
   std::vector<symbolic::Bindings> rowBindings;
   std::vector<runtime::DecideRequest> requests;
   std::vector<runtime::Decision> decisions;
+  std::vector<PendingCapture> pendingCaptures;
   char buffer[64 * 1024];
+
+  const std::int64_t slowThresholdNs =
+      options_.slowThresholdSeconds > 0.0
+          ? static_cast<std::int64_t>(options_.slowThresholdSeconds * 1e9)
+          : -1;
+  // Folds one decide-carrying frame's decode/decide/encode stage times into
+  // the histograms and parks its wide-event record until the flush closes
+  // the send stage and the wall clock.
+  const auto stageDone = [&](std::uint64_t requestId, std::uint64_t traceId,
+                             bool sampled, std::uint32_t rows,
+                             std::int64_t t0, std::int64_t t1, std::int64_t t2,
+                             std::int64_t t3) {
+    instruments_.decodeSeconds->record(static_cast<double>(t1 - t0) * 1e-9);
+    instruments_.decideSeconds->record(static_cast<double>(t2 - t1) * 1e-9);
+    instruments_.encodeSeconds->record(static_cast<double>(t3 - t2) * 1e-9);
+    if (sampled) {
+      const auto client = static_cast<double>(clientId);
+      const auto trace = static_cast<double>(traceId);
+      session_.recordSpan("service.decode", "service", regionName, t0, t1 - t0,
+                          {"client", client}, {"trace_id", trace});
+      session_.recordSpan("service.decide", "service", regionName, t1, t2 - t1,
+                          {"client", client}, {"trace_id", trace});
+      session_.recordSpan("service.encode", "service", regionName, t2, t3 - t2,
+                          {"client", client}, {"trace_id", trace});
+    }
+    PendingCapture capture;
+    capture.startNs = t0;
+    capture.encodeEndNs = t3;
+    capture.sampled = sampled;
+    obs::SlowRequestRecord& record = capture.record;
+    record.setRegion(regionName);
+    record.traceId = traceId;
+    record.clientId = clientId;
+    record.requestId = requestId;
+    record.rows = rows;
+    record.stateEpoch = runtime_.selector().policy().stateEpoch();
+    record.decodeNs = t1 - t0;
+    record.decideNs = t2 - t1;
+    record.encodeNs = t3 - t2;
+    for (std::uint32_t row = 0; row < rows; ++row) {
+      const runtime::Decision& decision = decisions[row];
+      if (decision.device == runtime::Device::Gpu) record.gpuDecisions += 1;
+      if (!decision.valid) record.invalidDecisions += 1;
+    }
+    pendingCaptures.push_back(capture);
+  };
 
   try {
     while (!closing && !stopping_.load(std::memory_order_acquire)) {
@@ -256,6 +333,7 @@ void Server::serveConnection(Socket socket, std::uint64_t clientId) {
             ack.maxFrameBytes = options_.maxFrameBytes;
             encodeHelloAck(out, ack);
             helloDone = true;
+            traceWire = (ack.featureBits & kFeatureTraceContext) != 0;
           } catch (const CodecError& error) {
             encodeError(out, error.wireCode(), error.what());
             instruments_.errors->add();
@@ -271,28 +349,43 @@ void Server::serveConnection(Socket socket, std::uint64_t clientId) {
         // blocks discard a partially encoded reply (e.g. a batch whose
         // encoding tripped the absolute frame ceiling) — sending half a
         // frame followed by an Error frame would desync the peer.
+        // On a trace-context connection every post-handshake reply carries
+        // a TraceContextBlock; `frameTrace` holds the current frame's (a
+        // zeroed block until its request parsed far enough to know it).
         const std::size_t outMark = out.size();
+        TraceContextBlock frameTrace;
+        const TraceContextBlock* echo = traceWire ? &frameTrace : nullptr;
         try {
           switch (type) {
             case FrameType::Ping:
               encodePong(out);
               break;
             case FrameType::DecideRequest: {
-              parseDecideRequest(payload, requestView);
+              const std::int64_t t0 = session_.nowNs();
+              parseDecideRequest(payload, requestView, traceWire);
+              if (requestView.hasTrace) frameTrace = requestView.trace;
               regionName.assign(requestView.region);
               bindings.clear();
               for (const auto& binding : requestView.bindings) {
                 bindings[std::string(binding.symbol)] = binding.value;
               }
-              const runtime::Decision decision =
-                  runtime_.decide(regionName, bindings);
-              encodeDecision(out, requestView.requestId, decision);
+              const std::int64_t t1 = session_.nowNs();
+              decisions.assign(1, runtime::Decision{});
+              decisions[0] = runtime_.decide(regionName, bindings);
+              const std::int64_t t2 = session_.nowNs();
+              encodeDecision(out, requestView.requestId, decisions[0], echo);
+              const std::int64_t t3 = session_.nowNs();
               instruments_.decisions->add();
               if (clientDecisions != nullptr) clientDecisions->add();
+              stageDone(requestView.requestId, frameTrace.traceId,
+                        (frameTrace.flags & kTraceFlagSampled) != 0, 1, t0, t1,
+                        t2, t3);
               break;
             }
             case FrameType::DecideBatch: {
-              parseDecideBatch(payload, batchView);
+              const std::int64_t t0 = session_.nowNs();
+              parseDecideBatch(payload, batchView, traceWire);
+              if (batchView.hasTrace) frameTrace = batchView.trace;
               const std::size_t rows = batchView.rows;
               regionName.assign(batchView.region);
               if (rowBindings.size() < rows) rowBindings.resize(rows);
@@ -308,12 +401,18 @@ void Server::serveConnection(Socket socket, std::uint64_t clientId) {
                 }
                 requests[row] = {regionName, &rowBound};
               }
+              const std::int64_t t1 = session_.nowNs();
               runtime_.decideBatch(requests, decisions);
+              const std::int64_t t2 = session_.nowNs();
               encodeDecisionBatch(out, batchView.requestId,
-                                  std::span(decisions.data(), rows));
+                                  std::span(decisions.data(), rows), echo);
+              const std::int64_t t3 = session_.nowNs();
               instruments_.batchRows->record(static_cast<double>(rows));
               instruments_.decisions->add(rows);
               if (clientDecisions != nullptr) clientDecisions->add(rows);
+              stageDone(batchView.requestId, frameTrace.traceId,
+                        (frameTrace.flags & kTraceFlagSampled) != 0,
+                        static_cast<std::uint32_t>(rows), t0, t1, t2, t3);
               break;
             }
             case FrameType::StatsRequest: {
@@ -326,44 +425,106 @@ void Server::serveConnection(Socket socket, std::uint64_t clientId) {
               encodeStats(out, text);
               break;
             }
+            case FrameType::SlowLogRequest: {
+              const SlowLogRequestFrame slow = parseSlowLogRequest(payload);
+              std::vector<obs::SlowRequestRecord> records =
+                  session_.slowRing().snapshot();
+              if (slow.maxRecords != 0 && records.size() > slow.maxRecords) {
+                records.erase(
+                    records.begin(),
+                    records.end() -
+                        static_cast<std::ptrdiff_t>(slow.maxRecords));
+              }
+              encodeSlowLog(out, obs::renderSlowJson(records));
+              break;
+            }
             case FrameType::Hello:
             case FrameType::HelloAck:
             case FrameType::Decision:
             case FrameType::DecisionBatch:
             case FrameType::Stats:
+            case FrameType::SlowLog:
             case FrameType::Pong:
             case FrameType::Error:
               encodeError(out, WireCode::BadFrame,
                           "oseld: unexpected frame type " +
-                              std::to_string(header.type));
+                              std::to_string(header.type),
+                          echo);
               instruments_.errors->add();
               break;
             default:
               encodeError(out, WireCode::UnknownType,
                           "oseld: unknown frame type " +
-                              std::to_string(header.type));
+                              std::to_string(header.type),
+                          echo);
               instruments_.errors->add();
               break;
           }
         } catch (const CodecError& error) {
           out.resize(outMark);
-          encodeError(out, error.wireCode(), error.what());
+          encodeError(out, error.wireCode(), error.what(), echo);
           instruments_.errors->add();
         } catch (const osel::Error& error) {
           out.resize(outMark);
-          encodeError(out, wireCodeFor(error.code()), error.what());
+          encodeError(out, wireCodeFor(error.code()), error.what(), echo);
           instruments_.errors->add();
         } catch (const std::exception& error) {
           out.resize(outMark);
-          encodeError(out, WireCode::Unknown, error.what());
+          encodeError(out, WireCode::Unknown, error.what(), echo);
           instruments_.errors->add();
         }
       }
 
       if (!out.empty()) {
+        const std::int64_t sendStart = session_.nowNs();
         sendAll(socket, out);
+        const std::int64_t sendEnd = session_.nowNs();
         instruments_.bytesOut->add(out.size());
         out.clear();
+        if (!pendingCaptures.empty()) {
+          // One send(2) flushes every reply buffered this round. A frame's
+          // send stage runs from its own encode end to the point the next
+          // frame's decode began (the flush, for the last frame) plus an
+          // even share of the write itself — so decode/decide/encode/send
+          // tile the request wall exactly for request-reply clients (the
+          // stage histograms must account for >= 99% of request_s), and
+          // pipelined frames still split the write cost evenly.
+          const auto sendShare = static_cast<std::int64_t>(
+              static_cast<std::uint64_t>(sendEnd - sendStart) /
+              pendingCaptures.size());
+          bool sendSpanRecorded = false;
+          for (std::size_t i = 0; i < pendingCaptures.size(); ++i) {
+            PendingCapture& capture = pendingCaptures[i];
+            const std::int64_t stageEnd = i + 1 < pendingCaptures.size()
+                                              ? pendingCaptures[i + 1].startNs
+                                              : sendStart;
+            obs::SlowRequestRecord& record = capture.record;
+            record.sendNs = (stageEnd - capture.encodeEndNs) + sendShare;
+            record.wallNs = sendEnd - capture.startNs;
+            instruments_.sendSeconds->record(
+                static_cast<double>(record.sendNs) * 1e-9);
+            instruments_.requestSeconds->record(
+                static_cast<double>(record.wallNs) * 1e-9);
+            const bool overThreshold =
+                slowThresholdNs >= 0 && record.wallNs > slowThresholdNs;
+            if (capture.sampled && !sendSpanRecorded) {
+              session_.recordSpan("service.send", "service",
+                                  record.regionView(), sendStart,
+                                  sendEnd - sendStart,
+                                  {"client", static_cast<double>(clientId)},
+                                  {"trace_id",
+                                   static_cast<double>(record.traceId)});
+              sendSpanRecorded = true;
+            }
+            if (overThreshold || capture.sampled) {
+              record.cause = overThreshold ? obs::SlowCause::Threshold
+                                           : obs::SlowCause::Sampled;
+              record.atNs = sendEnd;
+              session_.recordSlow(record);
+            }
+          }
+        }
+        pendingCaptures.clear();
       }
     }
   } catch (const SocketError&) {

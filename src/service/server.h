@@ -66,6 +66,15 @@ struct ServiceOptions {
   /// a scraper that connects and then sends nothing (or stalls mid-request)
   /// cannot pin the serial metrics thread. Clamped to >= 1.
   int metricsRecvTimeoutMillis = 2000;
+  /// Decide requests whose server wall time (decode start to send end)
+  /// exceeds this are captured as wide events in the slow ring (served via
+  /// the kFeatureSlowLog RPC / `oselctl slow`). <= 0 disables threshold
+  /// capture; client-sampled requests (kTraceFlagSampled) are always
+  /// captured.
+  double slowThresholdSeconds = 0.050;
+  /// Slow-request ring capacity (oldest records overwritten beyond it).
+  /// Clamped to >= 1.
+  std::size_t slowRingCapacity = 256;
 };
 
 /// The daemon core, embeddable for tests and the loopback load generator:
@@ -120,6 +129,13 @@ class Server {
     obs::Counter* bytesIn = nullptr;
     obs::Counter* bytesOut = nullptr;
     obs::Histogram* batchRows = nullptr;
+    // Per-stage service latency (seconds) for decide-carrying frames, plus
+    // the end-to-end wall histogram the stages must account for.
+    obs::Histogram* decodeSeconds = nullptr;
+    obs::Histogram* decideSeconds = nullptr;
+    obs::Histogram* encodeSeconds = nullptr;
+    obs::Histogram* sendSeconds = nullptr;
+    obs::Histogram* requestSeconds = nullptr;
   };
 
   void acceptLoop(Socket& listener);

@@ -114,6 +114,29 @@ TEST(ObsAllocPin, ExplainSinkDecideAllocatesNothing) {
   EXPECT_EQ(session.explainRing().dropped(), 65u - 16u);
 }
 
+TEST(ObsAllocPin, SlowCaptureAllocatesNothing) {
+  // The service's slow-request capture path: a fixed-size wide-event record
+  // pushed into the preallocated slow ring. Stamped before the window so
+  // recording takes no clock branch; overwriting past capacity must not
+  // allocate either.
+  TraceSession session({.slowCapacity = 16});
+  SlowRequestRecord record;
+  record.setRegion("stream_k1");
+  record.atNs = 1;
+  record.decodeNs = 2000;
+  record.decideNs = 40000;
+  record.wallNs = 45000;
+  session.recordSlow(record);  // warm-up
+  const std::uint64_t before = allocations();
+  for (int i = 0; i < 256; ++i) {
+    record.traceId = static_cast<std::uint64_t>(i);
+    session.recordSlow(record);
+  }
+  EXPECT_EQ(allocations() - before, 0u);
+  EXPECT_EQ(session.slowRing().recorded(), 257u);
+  EXPECT_EQ(session.slowRing().dropped(), 257u - 16u);
+}
+
 TEST(ObsAllocPin, DriftFeedingAllocatesNothingAfterFirstSample) {
   // Per-region drift state allocates once (the map node on first sample);
   // every subsequent error/comparison is arithmetic under a lock.

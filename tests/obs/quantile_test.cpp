@@ -1,0 +1,78 @@
+// The shared quantile estimators (obs/quantile.h) every latency-reporting
+// surface uses: nearest-rank percentiles over sorted samples (the bench
+// harnesses) and interpolated quantiles from fixed-bucket histogram state
+// (`oselctl top` over the Prometheus _bucket series).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "obs/quantile.h"
+#include "support/check.h"
+
+namespace osel::obs {
+namespace {
+
+TEST(Quantile, PercentileOfSortedUsesNearestRank) {
+  std::vector<double> sorted;
+  for (int i = 1; i <= 100; ++i) sorted.push_back(static_cast<double>(i));
+  // rank = floor(p * (size - 1)) — the convention the benches always used.
+  EXPECT_EQ(percentileOfSorted(sorted, 0.0), 1.0);
+  EXPECT_EQ(percentileOfSorted(sorted, 0.5), 50.0);
+  EXPECT_EQ(percentileOfSorted(sorted, 0.99), 99.0);
+  EXPECT_EQ(percentileOfSorted(sorted, 1.0), 100.0);
+}
+
+TEST(Quantile, PercentileOfSortedHandlesEdges) {
+  EXPECT_TRUE(std::isnan(percentileOfSorted({}, 0.5)));
+  const std::vector<double> one{7.0};
+  EXPECT_EQ(percentileOfSorted(one, 0.0), 7.0);
+  EXPECT_EQ(percentileOfSorted(one, 1.0), 7.0);
+  // p is clamped, not rejected.
+  const std::vector<double> pair{1.0, 2.0};
+  EXPECT_EQ(percentileOfSorted(pair, -0.5), 1.0);
+  EXPECT_EQ(percentileOfSorted(pair, 1.5), 2.0);
+}
+
+TEST(Quantile, FromBucketsInterpolatesInsideTheCrossingBucket) {
+  const std::vector<double> bounds{1.0, 2.0, 4.0};
+  // All 10 samples fell in (1, 2]; the median interpolates to the middle.
+  const std::vector<std::uint64_t> counts{0, 10, 0, 0};
+  EXPECT_DOUBLE_EQ(quantileFromBuckets(bounds, counts, 0.5), 1.5);
+  EXPECT_DOUBLE_EQ(quantileFromBuckets(bounds, counts, 1.0), 2.0);
+  // First bucket interpolates from an implicit lower bound of 0.
+  const std::vector<std::uint64_t> first{10, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(quantileFromBuckets(bounds, first, 0.5), 0.5);
+}
+
+TEST(Quantile, FromBucketsSpansMultipleBuckets) {
+  const std::vector<double> bounds{1.0, 2.0, 4.0};
+  const std::vector<std::uint64_t> counts{5, 5, 10, 0};  // total 20
+  // q=0.25 -> rank 5, exactly the first bucket's cumulative edge.
+  EXPECT_DOUBLE_EQ(quantileFromBuckets(bounds, counts, 0.25), 1.0);
+  // q=0.75 -> rank 15, halfway through the (2, 4] bucket.
+  EXPECT_DOUBLE_EQ(quantileFromBuckets(bounds, counts, 0.75), 3.0);
+}
+
+TEST(Quantile, FromBucketsOverflowResolvesToLargestFiniteBound) {
+  const std::vector<double> bounds{1.0, 2.0, 4.0};
+  const std::vector<std::uint64_t> counts{0, 0, 0, 5};  // all overflow
+  EXPECT_DOUBLE_EQ(quantileFromBuckets(bounds, counts, 0.5), 4.0);
+  // A tail rank past the finite buckets clamps the same way.
+  const std::vector<std::uint64_t> mixed{8, 0, 0, 2};
+  EXPECT_DOUBLE_EQ(quantileFromBuckets(bounds, mixed, 0.999), 4.0);
+}
+
+TEST(Quantile, FromBucketsRejectsEmptyAndMalformedState) {
+  const std::vector<double> bounds{1.0, 2.0};
+  const std::vector<std::uint64_t> empty{0, 0, 0};
+  EXPECT_TRUE(std::isnan(quantileFromBuckets(bounds, empty, 0.5)));
+  // The overflow-bucket shape invariant is a hard precondition.
+  const std::vector<std::uint64_t> wrongShape{1, 2};
+  EXPECT_THROW((void)quantileFromBuckets(bounds, wrongShape, 0.5),
+               support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace osel::obs

@@ -470,5 +470,249 @@ TEST(CodecHostile, RandomGarbageStreamsNeverCrashTheDecoder) {
   }
 }
 
+// --- Trace context --------------------------------------------------------
+// The kFeatureTraceContext layouts are negotiation-dependent: with the
+// feature granted every decide/decision/error frame carries a 16-byte
+// TraceContextBlock after its fixed struct; without it the frames must stay
+// byte-identical to the pre-feature layout. Both halves are fuzzed.
+
+TraceContextBlock sampleTrace() {
+  TraceContextBlock trace;
+  trace.traceId = 0xABCDEF0123456789ull;
+  trace.flags = kTraceFlagSampled;
+  return trace;
+}
+
+TEST(CodecTrace, TraceBlockRoundTripsOnEveryDecideFrame) {
+  const TraceContextBlock trace = sampleTrace();
+  const symbolic::Bindings bindings{{"n", 64}};
+  const std::vector<std::string_view> slots{"n"};
+  const std::vector<std::int64_t> values{1, 2};
+  FrameHeader header;
+
+  std::string bytes;
+  encodeDecideRequest(bytes, 5, "gemm_k1", bindings, &trace);
+  DecideRequestView request;
+  parseDecideRequest(decodeOne(bytes, header), request, true);
+  EXPECT_TRUE(request.hasTrace);
+  EXPECT_EQ(request.trace.traceId, trace.traceId);
+  EXPECT_EQ(request.trace.flags, kTraceFlagSampled);
+  EXPECT_EQ(request.region, "gemm_k1");
+  ASSERT_EQ(request.bindings.size(), 1u);
+  EXPECT_EQ(request.bindings[0].value, 64);
+
+  bytes.clear();
+  encodeDecideBatch(bytes, 5, "gemm_k1", slots, 2, values, &trace);
+  DecideBatchView batch;
+  parseDecideBatch(decodeOne(bytes, header), batch, true);
+  EXPECT_TRUE(batch.hasTrace);
+  EXPECT_EQ(batch.trace.traceId, trace.traceId);
+  EXPECT_EQ(batch.value(0, 1), 2);
+
+  bytes.clear();
+  encodeDecision(bytes, 5, sampleDecision(), &trace);
+  DecisionView decision;
+  parseDecision(decodeOne(bytes, header), decision, true);
+  EXPECT_TRUE(decision.hasTrace);
+  EXPECT_EQ(decision.trace.traceId, trace.traceId);
+  EXPECT_EQ(decision.decision.diagnostic, "all models agree");
+
+  bytes.clear();
+  encodeDecisionBatch(bytes, 1000,
+                      std::vector<runtime::Decision>(2, sampleDecision()),
+                      &trace);
+  std::vector<DecisionView> views;
+  parseDecisionBatch(decodeOne(bytes, header), views, true);
+  ASSERT_EQ(views.size(), 2u);
+  // One shared frame-level block, echoed into every row view.
+  EXPECT_TRUE(views[0].hasTrace);
+  EXPECT_TRUE(views[1].hasTrace);
+  EXPECT_EQ(views[1].trace.traceId, trace.traceId);
+
+  bytes.clear();
+  encodeError(bytes, WireCode::Shed, "queue full", &trace);
+  const ErrorView error = parseError(decodeOne(bytes, header), true);
+  EXPECT_TRUE(error.hasTrace);
+  EXPECT_EQ(error.trace.traceId, trace.traceId);
+  EXPECT_EQ(error.message, "queue full");
+}
+
+TEST(CodecTrace, NegotiationMismatchIsRejectedBothWays) {
+  // A trace-carrying frame parsed trace-off has 16 trailing bytes; a plain
+  // frame parsed trace-on is 16 bytes short. Either way the peer is
+  // half-speaking the feature and the parse must throw, never misread.
+  const TraceContextBlock trace = sampleTrace();
+  FrameHeader header;
+  std::string bytes;
+  encodeDecideRequest(bytes, 5, "gemm_k1", {{"n", 64}}, &trace);
+  const std::string withTrace = decodeOne(bytes, header);
+  bytes.clear();
+  encodeDecideRequest(bytes, 5, "gemm_k1", {{"n", 64}});
+  const std::string withoutTrace = decodeOne(bytes, header);
+
+  DecideRequestView view;
+  EXPECT_THROW(parseDecideRequest(withTrace, view, false), CodecError);
+  EXPECT_THROW(parseDecideRequest(withoutTrace, view, true), CodecError);
+
+  bytes.clear();
+  encodeDecision(bytes, 5, sampleDecision(), &trace);
+  const std::string decisionWith = decodeOne(bytes, header);
+  bytes.clear();
+  encodeDecision(bytes, 5, sampleDecision());
+  const std::string decisionWithout = decodeOne(bytes, header);
+  DecisionView decision;
+  EXPECT_THROW(parseDecision(decisionWith, decision, false), CodecError);
+  EXPECT_THROW(parseDecision(decisionWithout, decision, true), CodecError);
+}
+
+TEST(CodecTrace, EveryTruncationOfEveryTraceFrameThrowsBadFrame) {
+  const TraceContextBlock trace = sampleTrace();
+  const symbolic::Bindings bindings{{"n", 64}, {"m", 32}};
+  const std::vector<std::string_view> slots{"n"};
+  const std::vector<std::int64_t> values{1, 2};
+  FrameHeader header;
+  std::vector<std::string> payloads;
+  {
+    std::string bytes;
+    encodeDecideRequest(bytes, 5, "gemm_k1", bindings, &trace);
+    payloads.push_back(decodeOne(bytes, header));
+  }
+  {
+    std::string bytes;
+    encodeDecideBatch(bytes, 5, "gemm_k1", slots, 2, values, &trace);
+    payloads.push_back(decodeOne(bytes, header));
+  }
+  {
+    std::string bytes;
+    encodeDecision(bytes, 5, sampleDecision(), &trace);
+    payloads.push_back(decodeOne(bytes, header));
+  }
+  {
+    std::string bytes;
+    encodeDecisionBatch(bytes, 5,
+                        std::vector<runtime::Decision>(2, sampleDecision()),
+                        &trace);
+    payloads.push_back(decodeOne(bytes, header));
+  }
+  {
+    std::string bytes;
+    encodeError(bytes, WireCode::Shed, "queue full", &trace);
+    payloads.push_back(decodeOne(bytes, header));
+  }
+
+  for (std::size_t which = 0; which < payloads.size(); ++which) {
+    const std::string& full = payloads[which];
+    for (std::size_t cut = 0; cut < full.size(); ++cut) {
+      const std::string truncated = full.substr(0, cut);
+      DecideRequestView request;
+      DecideBatchView batch;
+      DecisionView decision;
+      std::vector<DecisionView> decisions;
+      switch (which) {
+        case 0:
+          EXPECT_THROW(parseDecideRequest(truncated, request, true),
+                       CodecError)
+              << "traced DecideRequest cut at " << cut;
+          break;
+        case 1:
+          EXPECT_THROW(parseDecideBatch(truncated, batch, true), CodecError)
+              << "traced DecideBatch cut at " << cut;
+          break;
+        case 2:
+          EXPECT_THROW(parseDecision(truncated, decision, true), CodecError)
+              << "traced Decision cut at " << cut;
+          break;
+        case 3:
+          EXPECT_THROW(parseDecisionBatch(truncated, decisions, true),
+                       CodecError)
+              << "traced DecisionBatch cut at " << cut;
+          break;
+        default:
+          EXPECT_THROW((void)parseError(truncated, true), CodecError)
+              << "traced Error cut at " << cut;
+          break;
+      }
+    }
+  }
+}
+
+TEST(CodecTrace, RandomMutationsOfTraceFramesNeverEscapeAsNonCodecErrors) {
+  const TraceContextBlock trace = sampleTrace();
+  std::vector<std::string> seeds;
+  {
+    std::string bytes;
+    FrameHeader header;
+    encodeDecideRequest(bytes, 1, "gemm_k1", {{"n", 64}, {"m", 8}}, &trace);
+    seeds.push_back(decodeOne(bytes, header));
+    bytes.clear();
+    const std::vector<std::string_view> slots{"n", "m"};
+    const std::vector<std::int64_t> values{1, 2, 3, 4};
+    encodeDecideBatch(bytes, 1, "gemm_k1", slots, 2, values, &trace);
+    seeds.push_back(decodeOne(bytes, header));
+    bytes.clear();
+    encodeDecisionBatch(bytes, 1,
+                        std::vector<runtime::Decision>(2, sampleDecision()),
+                        &trace);
+    seeds.push_back(decodeOne(bytes, header));
+  }
+  std::mt19937 rng(2026);  // deterministic: this is a regression corpus
+  for (int round = 0; round < 2000; ++round) {
+    std::string mutated = seeds[rng() % seeds.size()];
+    const int flips = 1 + static_cast<int>(rng() % 8);
+    for (int f = 0; f < flips; ++f) {
+      mutated[rng() % mutated.size()] =
+          static_cast<char>(static_cast<unsigned char>(rng()));
+    }
+    // Each mutant is parsed under both negotiation states: mutations must
+    // surface as CodecError regardless of which layout the parser expects.
+    for (const bool traced : {true, false}) {
+      DecideRequestView request;
+      DecideBatchView batch;
+      std::vector<DecisionView> decisions;
+      try {
+        parseDecideRequest(mutated, request, traced);
+      } catch (const CodecError&) {
+      }
+      try {
+        parseDecideBatch(mutated, batch, traced);
+      } catch (const CodecError&) {
+      }
+      try {
+        parseDecisionBatch(mutated, decisions, traced);
+      } catch (const CodecError&) {
+      }
+    }
+  }
+}
+
+TEST(Codec, SlowLogRoundTrip) {
+  std::string bytes;
+  encodeSlowLogRequest(bytes, 16);
+  encodeSlowLog(bytes, "{\"seq\":0}\n");
+  FrameDecoder decoder;
+  decoder.append(bytes.data(), bytes.size());
+  FrameHeader header;
+  std::string payload;
+  ASSERT_TRUE(decoder.next(header, payload));
+  EXPECT_EQ(header.type,
+            static_cast<std::uint16_t>(FrameType::SlowLogRequest));
+  EXPECT_EQ(parseSlowLogRequest(payload).maxRecords, 16u);
+  ASSERT_TRUE(decoder.next(header, payload));
+  EXPECT_EQ(header.type, static_cast<std::uint16_t>(FrameType::SlowLog));
+  EXPECT_EQ(parseSlowLog(payload), "{\"seq\":0}\n");
+}
+
+TEST(CodecHostile, TruncatedSlowLogRequestThrows) {
+  std::string bytes;
+  encodeSlowLogRequest(bytes, 3);
+  FrameHeader header;
+  const std::string full = decodeOne(bytes, header);
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    EXPECT_THROW((void)parseSlowLogRequest(full.substr(0, cut)), CodecError)
+        << "SlowLogRequest cut at " << cut;
+  }
+  EXPECT_THROW((void)parseSlowLogRequest(full + '\0'), CodecError);
+}
+
 }  // namespace
 }  // namespace osel::service

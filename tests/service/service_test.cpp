@@ -106,7 +106,8 @@ TEST(Service, HandshakeNegotiatesVersionAndFeatures) {
   Client client = Client::connect(fixture.server->options().socketPath);
   EXPECT_EQ(client.version(), kProtocolVersion);
   EXPECT_EQ(client.featureBits(),
-            kFeatureBatch | kFeatureStats | kFeaturePrometheus);
+            kFeatureBatch | kFeatureStats | kFeaturePrometheus |
+                kFeatureTraceContext | kFeatureSlowLog);
   EXPECT_EQ(client.maxFrameBytes(), fixture.server->options().maxFrameBytes);
   client.ping();
 }

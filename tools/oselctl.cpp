@@ -17,6 +17,12 @@
 //   oselctl drift    <benchmark> [opts]   run under the Oracle policy and
 //                                         print the per-region drift report
 //   oselctl ping --socket PATH            probe a live oseld daemon
+//   oselctl slow --socket PATH            the daemon's slow-request capture
+//                                         as JSONL wide events
+//   oselctl top  --socket PATH            live dashboard: decisions/sec,
+//                                         per-stage latency quantiles,
+//                                         cache hit ratio, shed/drift/refit
+//                                         counters
 //
 // `decide` and `stats` accept --socket PATH to talk to a live oseld over
 // its wire protocol instead of evaluating in-process (docs/SERVICE.md).
@@ -31,12 +37,18 @@
 // (default 3, so the decision cache gets hits), --gpu-fault-rate <p> arms
 // transient GPU launch faults to exercise retry/fallback spans,
 // --out <file> (trace: write the JSON there instead of stdout).
+#include <unistd.h>
+
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
+#include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "compiler/compiler.h"
@@ -48,6 +60,7 @@
 #include "mca/lowering.h"
 #include "mca/pipeline_sim.h"
 #include "obs/export.h"
+#include "obs/quantile.h"
 #include "obs/trace.h"
 #include "polybench/polybench.h"
 #include "runtime/selector.h"
@@ -408,6 +421,203 @@ int cmdSocketStats(const std::string& socketPath, bool prometheus) {
   return 0;
 }
 
+int cmdSocketSlow(const std::string& socketPath, std::uint32_t maxRecords) {
+  service::Client client = service::Client::connect(socketPath);
+  const std::string jsonl = client.slowLog(maxRecords);
+  std::fputs(jsonl.c_str(), stdout);
+  return 0;
+}
+
+// --- oselctl top ----------------------------------------------------------
+// Polls the daemon's Prometheus exposition over the stats feature and
+// renders interval deltas: decisions/sec, per-stage latency quantiles from
+// bucket-count deltas (obs::quantileFromBuckets), cache hit ratio, and the
+// shed/drift-alarm/refit counters. No new wire surface — anything shown
+// here is scrapeable from `GET /metrics` too.
+
+/// One parsed Prometheus histogram family (cumulative bucket counts in
+/// exposition order, +Inf last; `upperBounds` excludes +Inf).
+struct PromHistogram {
+  std::vector<double> upperBounds;
+  std::vector<double> cumulative;
+};
+
+struct PromSnapshot {
+  /// name (labels included verbatim, e.g. `osel_foo_total{ring="slow"}`)
+  /// → last value wins. Histogram `_bucket` series land in `histograms`.
+  std::map<std::string, double> values;
+  std::map<std::string, PromHistogram> histograms;
+
+  [[nodiscard]] double value(const std::string& name) const {
+    const auto it = values.find(name);
+    return it == values.end() ? 0.0 : it->second;
+  }
+};
+
+PromSnapshot parsePrometheus(const std::string& text) {
+  PromSnapshot snap;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string_view line(text.data() + pos, end - pos);
+    pos = end + 1;
+    if (line.empty() || line.front() == '#') continue;
+    // `name{labels} value` or `name value`; labels never contain spaces in
+    // our exposition (region names are C identifiers).
+    const std::size_t space = line.find(' ');
+    if (space == std::string_view::npos) continue;
+    std::string name(line.substr(0, space));
+    const double value = std::strtod(line.data() + space + 1, nullptr);
+    const std::size_t brace = name.find('{');
+    const std::string bare =
+        brace == std::string::npos ? name : name.substr(0, brace);
+    if (bare.size() > 7 && bare.ends_with("_bucket") &&
+        brace != std::string::npos) {
+      const std::string family = bare.substr(0, bare.size() - 7);
+      const std::size_t le = name.find("le=\"", brace);
+      if (le == std::string::npos) continue;
+      const std::size_t leEnd = name.find('"', le + 4);
+      if (leEnd == std::string::npos) continue;
+      const std::string bound = name.substr(le + 4, leEnd - (le + 4));
+      PromHistogram& hist = snap.histograms[family];
+      if (bound == "+Inf") {
+        hist.cumulative.push_back(value);
+      } else {
+        hist.upperBounds.push_back(std::strtod(bound.c_str(), nullptr));
+        hist.cumulative.push_back(value);
+      }
+      continue;
+    }
+    snap.values[name] = value;
+  }
+  return snap;
+}
+
+/// Per-bucket count deltas between two snapshots of one histogram family
+/// (all-zero when shapes mismatch, e.g. the family appeared mid-run).
+/// Output shape matches obs::quantileFromBuckets: upperBounds.size() + 1
+/// entries, overflow last.
+std::vector<std::uint64_t> bucketDeltas(const PromHistogram& cur,
+                                        const PromHistogram* prev) {
+  std::vector<std::uint64_t> counts(cur.upperBounds.size() + 1, 0);
+  if (cur.cumulative.size() != counts.size()) return counts;
+  double before = 0.0;
+  for (std::size_t i = 0; i < cur.cumulative.size(); ++i) {
+    double cum = cur.cumulative[i];
+    if (prev != nullptr && prev->cumulative.size() == cur.cumulative.size()) {
+      cum -= prev->cumulative[i];
+    }
+    const double delta = cum - before;
+    before = cum;
+    counts[i] = delta > 0 ? static_cast<std::uint64_t>(delta + 0.5) : 0;
+  }
+  return counts;
+}
+
+constexpr struct {
+  const char* label;
+  const char* family;
+} kTopStages[] = {
+    {"decode", "osel_service_decode_s"},
+    {"decide", "osel_service_decide_s"},
+    {"encode", "osel_service_encode_s"},
+    {"send", "osel_service_send_s"},
+    {"request", "osel_service_request_s"},
+};
+
+void renderTop(const std::string& socketPath, const PromSnapshot& snap,
+               const PromSnapshot* prev, double elapsedSeconds,
+               long long sample) {
+  const auto delta = [&](const char* name) {
+    const double cur = snap.value(name);
+    return prev != nullptr ? cur - prev->value(name) : cur;
+  };
+  std::printf("oseld top — %s   sample %lld   window %.1fs%s\n",
+              socketPath.c_str(), sample,
+              elapsedSeconds > 0 ? elapsedSeconds : 0.0,
+              prev == nullptr ? " (since daemon start)" : "");
+  const double decisions = delta("osel_service_decisions_total");
+  if (elapsedSeconds > 0) {
+    std::printf("decisions/sec %.1f   total %.0f   errors %.0f   frames "
+                "%.0f\n",
+                decisions / elapsedSeconds,
+                snap.value("osel_service_decisions_total"),
+                snap.value("osel_service_errors_total"),
+                snap.value("osel_service_frames_total"));
+  } else {
+    std::printf("decisions %.0f   errors %.0f   frames %.0f\n",
+                snap.value("osel_service_decisions_total"),
+                snap.value("osel_service_errors_total"),
+                snap.value("osel_service_frames_total"));
+  }
+  std::printf("%-8s %12s %12s %12s %10s\n", "stage", "p50", "p99", "p999",
+              "count");
+  for (const auto& stage : kTopStages) {
+    const auto it = snap.histograms.find(stage.family);
+    if (it == snap.histograms.end()) continue;
+    const PromHistogram* prevHist = nullptr;
+    if (prev != nullptr) {
+      const auto pit = prev->histograms.find(stage.family);
+      if (pit != prev->histograms.end()) prevHist = &pit->second;
+    }
+    const std::vector<std::uint64_t> counts =
+        bucketDeltas(it->second, prevHist);
+    std::uint64_t total = 0;
+    for (const std::uint64_t c : counts) total += c;
+    const auto quantile = [&](double q) -> std::string {
+      if (total == 0) return "-";
+      return support::formatSeconds(
+          obs::quantileFromBuckets(it->second.upperBounds, counts, q));
+    };
+    std::printf("%-8s %12s %12s %12s %10llu\n", stage.label,
+                quantile(0.5).c_str(), quantile(0.99).c_str(),
+                quantile(0.999).c_str(),
+                static_cast<unsigned long long>(total));
+  }
+  std::printf("cache hit ratio %.1f%%   sheds %.0f (+%.0f)   drift alarms "
+              "%.0f (+%.0f)   refits %.0f (+%.0f)\n",
+              snap.value("osel_decision_cache_hit_ratio") * 100.0,
+              snap.value("osel_service_sheds_total"),
+              delta("osel_service_sheds_total"),
+              snap.value("osel_drift_alarms_total"),
+              delta("osel_drift_alarms_total"),
+              snap.value("osel_policy_refit_total"),
+              delta("osel_policy_refit_total"));
+  std::printf("slow captured %.0f (+%.0f)   slow dropped %.0f\n",
+              snap.value("osel_slow_recorded_total"),
+              delta("osel_slow_recorded_total"),
+              snap.value(
+                  "osel_trace_dropped_total{ring=\"slow\"}"));
+}
+
+int cmdSocketTop(const std::string& socketPath, long long intervalMs,
+                 long long iterations) {
+  service::Client client = service::Client::connect(socketPath);
+  const bool tty = isatty(fileno(stdout)) != 0;
+  PromSnapshot prev;
+  bool havePrev = false;
+  auto prevAt = std::chrono::steady_clock::now();
+  for (long long sample = 0; iterations <= 0 || sample < iterations;
+       ++sample) {
+    if (sample > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(intervalMs));
+    }
+    const auto now = std::chrono::steady_clock::now();
+    PromSnapshot snap =
+        parsePrometheus(client.stats(service::StatsFormat::Prometheus));
+    const double elapsed =
+        havePrev ? std::chrono::duration<double>(now - prevAt).count() : 0.0;
+    if (tty) std::fputs("\x1b[H\x1b[2J", stdout);
+    renderTop(socketPath, snap, havePrev ? &prev : nullptr, elapsed, sample);
+    std::fflush(stdout);
+    prev = std::move(snap);
+    prevAt = now;
+    havePrev = true;
+  }
+  return 0;
+}
+
 /// Shared error envelope for the socket commands' exit-code contract.
 template <typename Body>
 int runSocketCommand(const char* command, Body&& body) {
@@ -456,12 +666,20 @@ constexpr const char* kUsage =
     "  drift   <benchmark>       run under Oracle; print the per-region\n"
     "                            drift report (EWMA/CUSUM, mispredictions)\n"
     "  ping    --socket PATH     probe a live oseld daemon\n"
+    "  slow    --socket PATH     the daemon's slow-request capture (JSONL)\n"
+    "  top     --socket PATH     live service dashboard (polls stats)\n"
     "\n"
     "socket mode (against a live oseld; see docs/SERVICE.md):\n"
     "  decide <kernel> --socket PATH   ask the daemon instead of deciding\n"
     "                                  in-process\n"
     "  stats --socket PATH [--prom]    the daemon's metrics summary or\n"
     "                                  Prometheus exposition\n"
+    "  slow --socket PATH [--max N]    newest N slow-request wide events as\n"
+    "                                  JSONL (default: everything buffered)\n"
+    "  top --socket PATH [--interval-ms M] [--iterations K]\n"
+    "                                  decisions/sec, per-stage p50/p99/p999,\n"
+    "                                  cache hit ratio, shed/drift/refit\n"
+    "                                  counters; K <= 0 polls forever\n"
     "  exit codes: 0 ok, 2 usage, 3 could not connect\n"
     "\n"
     "common options: --n N, --threads T, --platform v100|k80,\n"
@@ -528,6 +746,26 @@ int main(int argc, char** argv) {
   if (command == "stats" && socketPath && !socketPath->empty()) {
     return runSocketCommand("stats", [&] {
       return cmdSocketStats(*socketPath, cl.hasFlag("prom"));
+    });
+  }
+  if (command == "slow") {
+    if (!socketPath || socketPath->empty()) {
+      std::fprintf(stderr, "oselctl slow: --socket PATH is required\n");
+      return 2;
+    }
+    return runSocketCommand("slow", [&] {
+      return cmdSocketSlow(*socketPath,
+                           static_cast<std::uint32_t>(cl.intOption("max", 0)));
+    });
+  }
+  if (command == "top") {
+    if (!socketPath || socketPath->empty()) {
+      std::fprintf(stderr, "oselctl top: --socket PATH is required\n");
+      return 2;
+    }
+    return runSocketCommand("top", [&] {
+      return cmdSocketTop(*socketPath, cl.intOption("interval-ms", 1000),
+                          cl.intOption("iterations", 0));
     });
   }
   if (command == "decide" && socketPath && !socketPath->empty()) {

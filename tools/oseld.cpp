@@ -9,6 +9,7 @@
 //
 //   oseld [--socket /tmp/oseld.sock] [--workers 4] [--max-pending 64]
 //         [--tcp PORT] [--metrics-port PORT]
+//         [--slow-threshold SECONDS] [--slow-ring N]
 //         [--threads 160] [--platform v100|k80] [--file path.osel]
 //
 // Port flags: omitted = endpoint disabled; 0 = pick a free port (printed
@@ -43,6 +44,11 @@ constexpr const char* kUsage =
     "  --tcp PORT           also serve on loopback TCP (0 = free port)\n"
     "  --metrics-port PORT  loopback HTTP `GET /metrics` Prometheus\n"
     "                       endpoint (0 = free port)\n"
+    "  --slow-threshold S   capture decide requests slower than S seconds\n"
+    "                       (server wall time) in the slow-request ring\n"
+    "                       served by `oselctl slow` (default 0.05;\n"
+    "                       <= 0 disables threshold capture)\n"
+    "  --slow-ring N        slow-request ring capacity (default 256)\n"
     "  --threads T          CPU model thread count (default 160)\n"
     "  --platform v100|k80  device pairing (default v100)\n"
     "  --policy NAME        selection policy: model-compare (default),\n"
@@ -75,6 +81,10 @@ int main(int argc, char** argv) {
   serviceOptions.tcpPort = static_cast<int>(cl.intOption("tcp", -1));
   serviceOptions.metricsPort =
       static_cast<int>(cl.intOption("metrics-port", -1));
+  serviceOptions.slowThresholdSeconds = cl.doubleOption(
+      "slow-threshold", serviceOptions.slowThresholdSeconds);
+  serviceOptions.slowRingCapacity = static_cast<std::size_t>(cl.intOption(
+      "slow-ring", static_cast<std::int64_t>(serviceOptions.slowRingCapacity)));
 
   const bool k80 = cl.stringOption("platform").value_or("v100") == "k80";
   runtime::RuntimeOptions rtOptions;
